@@ -1,0 +1,113 @@
+// Ablation study of the design choices DESIGN.md §5 calls out, all on the
+// Jester L∞ workload at N = 500:
+//  1. drift-weighted g_i vs uniform Bernoulli sampling (paper §6.5);
+//  2. number of sampling trials M (1 / Lemma-2(c) auto / 4);
+//  3. partial synchronization vs always-full on alarm;
+//  4. adaptive re-anchoring threshold (this implementation's addition);
+//  5. CVSGM safe-zone radius shrink factor.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "functions/linf_distance.h"
+#include "gm/cvsgm.h"
+#include "gm/sgm.h"
+
+namespace sgm {
+namespace {
+
+RunResult RunSgm(const MonitoredFunction& f, double threshold,
+                 const SgmOptions& options, long cycles) {
+  auto source = bench::JesterFactory(500)();
+  SamplingGeometricMonitor sgm(f, threshold, source->max_step_norm(), options);
+  sgm.set_drift_norm_cap(source->max_drift_norm());
+  return Simulate(source.get(), &sgm, cycles);
+}
+
+RunResult RunCvsgm(const MonitoredFunction& f, double threshold,
+                   const CvsgmOptions& options, long cycles) {
+  auto source = bench::JesterFactory(500)();
+  CvSamplingMonitor cvsgm(f, threshold, source->max_step_norm(), options);
+  cvsgm.set_drift_norm_cap(source->max_drift_norm());
+  return Simulate(source.get(), &cvsgm, cycles);
+}
+
+void AddRow(TablePrinter* table, const std::string& label,
+            const RunResult& r) {
+  table->AddRow({label, TablePrinter::Int(r.metrics.total_messages()),
+                 TablePrinter::Int(r.metrics.full_syncs()),
+                 TablePrinter::Int(r.metrics.partial_resolutions() +
+                                   r.metrics.one_d_resolutions()),
+                 TablePrinter::Int(r.metrics.false_positives()),
+                 TablePrinter::Int(r.metrics.false_negative_cycles())});
+}
+
+void Run() {
+  const long cycles = bench::JesterCycles();
+  const LInfDistance linf{Vector(bench::JesterDim())};
+  const double threshold = 10.0;
+
+  PrintBanner("Ablation", "Jester Linf, N = 500, T = 10, delta = 0.1");
+  TablePrinter table({"configuration", "messages", "full syncs",
+                      "cheap resolutions", "FPs", "FN cycles"});
+
+  {
+    SgmOptions base;
+    AddRow(&table, "SGM (paper defaults)", RunSgm(linf, threshold, base,
+                                                  cycles));
+  }
+  {
+    SgmOptions o;
+    o.mode = SamplingMode::kUniform;
+    AddRow(&table, "1. uniform (Bernoulli) sampling",
+           RunSgm(linf, threshold, o, cycles));
+  }
+  {
+    SgmOptions o;
+    o.num_trials = 0;
+    AddRow(&table, "2a. M = auto (Lemma 2c)", RunSgm(linf, threshold, o,
+                                                     cycles));
+    o.num_trials = 4;
+    AddRow(&table, "2b. M = 4", RunSgm(linf, threshold, o, cycles));
+  }
+  {
+    SgmOptions o;
+    o.always_full_sync = true;
+    AddRow(&table, "3. no partial sync (full on alarm)",
+           RunSgm(linf, threshold, o, cycles));
+  }
+  {
+    SgmOptions o;
+    o.escalate_after_consecutive_alarms = 0;
+    AddRow(&table, "4a. no adaptive re-anchor", RunSgm(linf, threshold, o,
+                                                       cycles));
+    o.escalate_after_consecutive_alarms = 2;
+    AddRow(&table, "4b. re-anchor after 2", RunSgm(linf, threshold, o,
+                                                   cycles));
+    o.escalate_after_consecutive_alarms = 20;
+    AddRow(&table, "4c. re-anchor after 20", RunSgm(linf, threshold, o,
+                                                    cycles));
+  }
+  for (double shrink : {1.0, 0.7, 0.4}) {
+    CvsgmOptions o;
+    o.cv.zone_shrink = shrink;
+    char label[48];
+    std::snprintf(label, sizeof(label), "5. CVSGM zone shrink %.1f", shrink);
+    AddRow(&table, label, RunCvsgm(linf, threshold, o, cycles));
+  }
+  table.Print();
+  std::printf("\nReading guide: drift weighting and the partial sync are "
+              "load-bearing (rows 1 and 3 cost more); extra trials are "
+              "cheap (Lemma 2c); re-anchoring trades messages against "
+              "alarm-storm latency; shrinking the safe zone raises alarm "
+              "pressure.\n");
+}
+
+}  // namespace
+}  // namespace sgm
+
+int main() {
+  sgm::Run();
+  return 0;
+}

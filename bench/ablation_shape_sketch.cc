@@ -1,0 +1,207 @@
+// Two extension studies beyond the paper's evaluation grid:
+//
+//  A. Shape-sensitive (whitened) monitoring [21]: on an anisotropic
+//     workload — a quiet signal coordinate plus a loud irrelevant one —
+//     whitening collapses GM's false-positive rate, and composes with SGM.
+//
+//  B. Sketch-based monitoring [12]: sites summarize item streams with
+//     shared-seed AMS sketches; the protocols track the self-join size of
+//     the sketched global stream, detecting a concentration change (e.g. a
+//     traffic hot-spot forming) at a fraction of GM's cost.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "core/rng.h"
+#include "data/stream.h"
+#include "data/whitened_stream.h"
+#include "functions/linear.h"
+#include "functions/whitened_function.h"
+#include "gm/gm.h"
+#include "gm/sgm.h"
+#include "sim/experiment.h"
+#include "sim/network.h"
+#include "sketch/ams_sketch.h"
+#include "sketch/sketch_functions.h"
+
+namespace sgm {
+namespace {
+
+// ------------------------------------------------------------- part A ----
+
+class AnisoSource final : public StreamSource {
+ public:
+  AnisoSource(int num_sites, std::uint64_t seed)
+      : num_sites_(num_sites), rng_(seed), state_(num_sites, Vector(2)) {}
+
+  std::string name() const override { return "aniso"; }
+  int num_sites() const override { return num_sites_; }
+  std::size_t dim() const override { return 2; }
+  void Advance(std::vector<Vector>* locals) override {
+    locals->resize(num_sites_);
+    for (int i = 0; i < num_sites_; ++i) {
+      state_[i][0] += 0.01 * rng_.NextGaussian();
+      state_[i][1] = 3.0 * rng_.NextGaussian();
+      (*locals)[i] = state_[i];
+    }
+  }
+  double max_step_norm() const override { return 20.0; }
+
+ private:
+  int num_sites_;
+  Rng rng_;
+  std::vector<Vector> state_;
+};
+
+void RunShapeStudy() {
+  PrintBanner("Ablation A: shape-sensitive monitoring",
+              "linear signal coord + loud irrelevant coord, N = 60, T = 1");
+  const long cycles = ScaledCycles(800);
+  const int n = 60;
+  const double threshold = 1.0;
+  const LinearFunction f(Vector{1.0, 0.0});
+
+  TablePrinter table({"configuration", "messages", "FPs", "FN cycles"});
+  {
+    AnisoSource source(n, 8);
+    GeometricMonitor gm(f, threshold, source.max_step_norm());
+    const RunResult r = Simulate(&source, &gm, cycles);
+    table.AddRow({"GM", TablePrinter::Int(r.metrics.total_messages()),
+                  TablePrinter::Int(r.metrics.false_positives()),
+                  TablePrinter::Int(r.metrics.false_negative_cycles())});
+  }
+  {
+    AnisoSource source(n, 8);
+    SgmOptions options;
+    SamplingGeometricMonitor sgm(f, threshold, source.max_step_norm(),
+                                 options);
+    const RunResult r = Simulate(&source, &sgm, cycles);
+    table.AddRow({"SGM", TablePrinter::Int(r.metrics.total_messages()),
+                  TablePrinter::Int(r.metrics.false_positives()),
+                  TablePrinter::Int(r.metrics.false_negative_cycles())});
+  }
+  Vector scales;
+  {
+    AnisoSource calibration(n, 8);
+    scales = WhitenedStream::EstimateScales(&calibration, 100);
+  }
+  {
+    AnisoSource inner(n, 8);
+    WhitenedStream source(&inner, scales);
+    const WhitenedFunction wf(
+        std::make_unique<LinearFunction>(Vector{1.0, 0.0}), scales);
+    GeometricMonitor gm(wf, threshold, source.max_step_norm());
+    const RunResult r = Simulate(&source, &gm, cycles);
+    table.AddRow({"GM + whitening",
+                  TablePrinter::Int(r.metrics.total_messages()),
+                  TablePrinter::Int(r.metrics.false_positives()),
+                  TablePrinter::Int(r.metrics.false_negative_cycles())});
+  }
+  {
+    AnisoSource inner(n, 8);
+    WhitenedStream source(&inner, scales);
+    const WhitenedFunction wf(
+        std::make_unique<LinearFunction>(Vector{1.0, 0.0}), scales);
+    SgmOptions options;
+    SamplingGeometricMonitor sgm(wf, threshold, source.max_step_norm(),
+                                 options);
+    const RunResult r = Simulate(&source, &sgm, cycles);
+    table.AddRow({"SGM + whitening",
+                  TablePrinter::Int(r.metrics.total_messages()),
+                  TablePrinter::Int(r.metrics.false_positives()),
+                  TablePrinter::Int(r.metrics.false_negative_cycles())});
+  }
+  table.Print();
+  std::printf("\nExpected: whitening removes nearly every FP for both "
+              "protocols (the loud coordinate stops inflating the "
+              "constraints), and composes with SGM.\n");
+}
+
+// ------------------------------------------------------------- part B ----
+
+/// Sites sketch a shared item stream (uniform over 50 items, then a 30 %
+/// hot item from mid-run); local vectors are the sketch counters.
+class SketchStreamSource final : public StreamSource {
+ public:
+  SketchStreamSource(int num_sites, int depth, int width, long shift_cycle,
+                     std::uint64_t seed)
+      : num_sites_(num_sites), shift_cycle_(shift_cycle), rng_(seed) {
+    for (int i = 0; i < num_sites; ++i) {
+      sketches_.emplace_back(depth, width, /*shared seed=*/42);
+    }
+  }
+
+  std::string name() const override { return "sketched_items"; }
+  int num_sites() const override { return num_sites_; }
+  std::size_t dim() const override {
+    return sketches_.front().counters().dim();
+  }
+  void Advance(std::vector<Vector>* locals) override {
+    ++cycle_;
+    locals->resize(num_sites_);
+    for (int i = 0; i < num_sites_; ++i) {
+      std::uint64_t item = rng_.NextBounded(50);
+      if (cycle_ > shift_cycle_ && rng_.NextBernoulli(0.3)) item = 7;
+      sketches_[i].Update(item);
+      (*locals)[i] = sketches_[i].counters();
+    }
+  }
+  // One ±1 update per row per cycle.
+  double max_step_norm() const override {
+    return std::sqrt(static_cast<double>(sketches_.front().depth()));
+  }
+
+ private:
+  int num_sites_;
+  long shift_cycle_;
+  Rng rng_;
+  std::vector<AmsSketch> sketches_;
+  long cycle_ = 0;
+};
+
+void RunSketchStudy() {
+  const int depth = 5, width = 64, n = 100;
+  const long cycles = ScaledCycles(1200);
+  const long shift = cycles / 2;
+  // F2 of the averaged sketch of a uniform 50-item stream of length t is
+  // ≈ t²/50; the post-shift hot item roughly doubles it. Threshold midway.
+  const double threshold =
+      1.6 * static_cast<double>(cycles) * static_cast<double>(cycles) / 50.0;
+
+  PrintBanner("Ablation B: sketch-based self-join monitoring",
+              "AMS 5x64, 100 sites, hot item appears mid-run");
+  const SketchSelfJoin f(depth, width);
+  TablePrinter table({"protocol", "messages", "full syncs", "detected",
+                      "FN cycles"});
+  for (bool sampling : {false, true}) {
+    SketchStreamSource source(n, depth, width, shift, 2026);
+    std::unique_ptr<ProtocolBase> protocol;
+    if (sampling) {
+      SgmOptions options;
+      protocol = std::make_unique<SamplingGeometricMonitor>(
+          f, threshold, source.max_step_norm(), options);
+    } else {
+      protocol = std::make_unique<GeometricMonitor>(f, threshold,
+                                                    source.max_step_norm());
+    }
+    const RunResult r = Simulate(&source, protocol.get(), cycles);
+    table.AddRow({sampling ? "SGM" : "GM",
+                  TablePrinter::Int(r.metrics.total_messages()),
+                  TablePrinter::Int(r.metrics.full_syncs()),
+                  protocol->BelievesAbove() ? "yes" : "no",
+                  TablePrinter::Int(r.metrics.false_negative_cycles())});
+  }
+  table.Print();
+  std::printf("\nExpected: both detect the concentration change (final "
+              "belief 'yes'); SGM with fewer messages.\n");
+}
+
+}  // namespace
+}  // namespace sgm
+
+int main() {
+  sgm::RunShapeStudy();
+  sgm::RunSketchStudy();
+  return 0;
+}

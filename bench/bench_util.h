@@ -1,0 +1,145 @@
+#ifndef SGM_BENCH_BENCH_UTIL_H_
+#define SGM_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+#include "data/jester_like.h"
+#include "data/reuters_like.h"
+#include "data/stream.h"
+#include "functions/monitored_function.h"
+#include "gm/bernoulli_gm.h"
+#include "gm/bgm.h"
+#include "gm/cvgm.h"
+#include "gm/cvsgm.h"
+#include "gm/gm.h"
+#include "gm/pgm.h"
+#include "gm/sgm.h"
+#include "sim/experiment.h"
+#include "sim/network.h"
+
+namespace sgm {
+namespace bench {
+
+/// Protocols the experiment drivers can instantiate by name.
+enum class ProtocolKind { kGm, kBgm, kPgm, kSgm, kMsgm, kBernoulli, kCvgm,
+                          kCvsgm };
+
+inline const char* KindName(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kGm: return "GM";
+    case ProtocolKind::kBgm: return "BGM";
+    case ProtocolKind::kPgm: return "PGM";
+    case ProtocolKind::kSgm: return "SGM";
+    case ProtocolKind::kMsgm: return "M-SGM";
+    case ProtocolKind::kBernoulli: return "Bernoulli";
+    case ProtocolKind::kCvgm: return "CVGM";
+    case ProtocolKind::kCvsgm: return "CVSGM";
+  }
+  return "?";
+}
+
+/// Builds a protocol with the drift-cap wired from the stream source.
+inline std::unique_ptr<Protocol> MakeProtocol(ProtocolKind kind,
+                                              const MonitoredFunction& f,
+                                              double threshold,
+                                              const StreamSource& source,
+                                              double delta = 0.1) {
+  const double step = source.max_step_norm();
+  std::unique_ptr<ProtocolBase> protocol;
+  switch (kind) {
+    case ProtocolKind::kGm:
+      protocol = std::make_unique<GeometricMonitor>(f, threshold, step);
+      break;
+    case ProtocolKind::kBgm:
+      protocol = std::make_unique<BalancedGeometricMonitor>(f, threshold, step);
+      break;
+    case ProtocolKind::kPgm:
+      protocol =
+          std::make_unique<PredictionGeometricMonitor>(f, threshold, step);
+      break;
+    case ProtocolKind::kSgm: {
+      SgmOptions options;
+      options.delta = delta;
+      protocol = std::make_unique<SamplingGeometricMonitor>(f, threshold, step,
+                                                            options);
+      break;
+    }
+    case ProtocolKind::kMsgm: {
+      SgmOptions options;
+      options.delta = delta;
+      options.num_trials = 0;  // Lemma 2(c) auto
+      protocol = std::make_unique<SamplingGeometricMonitor>(f, threshold, step,
+                                                            options);
+      break;
+    }
+    case ProtocolKind::kBernoulli:
+      protocol = MakeBernoulliMonitor(f, threshold, step, delta);
+      break;
+    case ProtocolKind::kCvgm:
+      protocol = std::make_unique<ConvexSafeZoneMonitor>(f, threshold, step);
+      break;
+    case ProtocolKind::kCvsgm: {
+      CvsgmOptions options;
+      options.delta = delta;
+      protocol =
+          std::make_unique<CvSamplingMonitor>(f, threshold, step, options);
+      break;
+    }
+  }
+  protocol->set_drift_norm_cap(source.max_drift_norm());
+  return protocol;
+}
+
+/// Runs `kind` on a fresh source from `make_source` for `cycles` cycles.
+inline RunResult RunOne(ProtocolKind kind,
+                        const std::function<std::unique_ptr<StreamSource>()>&
+                            make_source,
+                        const MonitoredFunction& f, double threshold,
+                        long cycles, double delta = 0.1) {
+  auto source = make_source();
+  auto protocol = MakeProtocol(kind, f, threshold, *source, delta);
+  return Simulate(source.get(), protocol.get(), cycles);
+}
+
+/// Standard workload factories (paper Section 6 data sets).
+inline std::function<std::unique_ptr<StreamSource>()> JesterFactory(
+    int num_sites, std::uint64_t seed = 11) {
+  return [num_sites, seed]() -> std::unique_ptr<StreamSource> {
+    JesterLikeConfig config;
+    config.num_sites = num_sites;
+    config.seed = seed;
+    return std::make_unique<JesterLikeGenerator>(config);
+  };
+}
+
+inline std::function<std::unique_ptr<StreamSource>()> ReutersFactory(
+    int num_sites, std::uint64_t seed = 7) {
+  return [num_sites, seed]() -> std::unique_ptr<StreamSource> {
+    ReutersLikeConfig config;
+    config.num_sites = num_sites;
+    config.seed = seed;
+    return std::make_unique<ReutersLikeGenerator>(config);
+  };
+}
+
+/// Default stream lengths (paper: ~8000 Reuters and ~4850 Jester updates per
+/// site; scaled down for the default quick run, SGM_BENCH_SCALE raises them).
+inline long ReutersCycles() { return ScaledCycles(2000); }
+inline long JesterCycles() { return ScaledCycles(1500); }
+
+/// Number of buckets of the Jester histograms (dimension d of its vectors).
+inline std::size_t JesterDim() { return JesterLikeConfig{}.num_buckets; }
+
+/// Reuters window length (χ² contingency total).
+inline double ReutersWindow() {
+  return static_cast<double>(ReutersLikeConfig{}.window);
+}
+
+}  // namespace bench
+}  // namespace sgm
+
+#endif  // SGM_BENCH_BENCH_UTIL_H_

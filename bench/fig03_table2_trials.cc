@@ -1,0 +1,52 @@
+// Figure 3 + Table 2: the number of sampling trials M of Lemma 2(c) versus
+// network scale for different δ, and the residual probability of failing to
+// track at least one instance of Estimator 1.
+
+#include <cstdio>
+
+#include "estimators/sampling.h"
+#include "sim/experiment.h"
+
+namespace sgm {
+namespace {
+
+void Run() {
+  PrintBanner("Figure 3", "M versus N for various values of delta");
+  {
+    TablePrinter table({"N", "M(d=0.05)", "M(d=0.1)", "M(d=0.2)"});
+    for (int n : {50, 100, 200, 500, 1000, 2000, 5000, 10000}) {
+      table.AddRow({TablePrinter::Int(n),
+                    TablePrinter::Int(NumTrials(0.05, n)),
+                    TablePrinter::Int(NumTrials(0.1, n)),
+                    TablePrinter::Int(NumTrials(0.2, n))});
+    }
+    table.Print();
+  }
+
+  PrintBanner("Table 2", "Practical values of M and tracking-failure "
+                         "probability (paper rows)");
+  {
+    TablePrinter table({"delta", "N", "M", "P(fail tracking)"});
+    const double deltas[] = {0.05, 0.05, 0.05, 0.1, 0.1, 0.1, 0.2, 0.2, 0.2};
+    const int sites[] = {100, 500, 1000, 100, 500, 1000, 100, 500, 1000};
+    for (int row = 0; row < 9; ++row) {
+      const int m = NumTrials(deltas[row], sites[row]);
+      table.AddRow(
+          {TablePrinter::Num(deltas[row]), TablePrinter::Int(sites[row]),
+           TablePrinter::Int(m),
+           TablePrinter::Num(
+               TrackingFailureProbability(deltas[row], sites[row], m))});
+    }
+    table.Print();
+  }
+  std::printf("\nExpected shape: M shrinks with N, failure column <= 0.01 "
+              "(paper Table 2 values: 4/3/2, 4/~2, 3/2/2).\n");
+}
+
+}  // namespace
+}  // namespace sgm
+
+int main() {
+  sgm::Run();
+  return 0;
+}

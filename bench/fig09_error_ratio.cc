@@ -1,0 +1,35 @@
+// Figure 9: ratio of the (un-simplified) Vector Bernstein estimation error
+// of the generic scheme over the McDiarmid error of the revised 1-d scheme,
+// as a function of δ. The revised scheme tracks roughly 2× more accurately
+// across the practical δ range.
+
+#include <cstdio>
+
+#include "estimators/tail_bounds.h"
+#include "sim/experiment.h"
+
+namespace sgm {
+namespace {
+
+void Run() {
+  PrintBanner("Figure 9",
+              "Error ratio: Vector Bernstein / McDiarmid vs delta");
+  TablePrinter table({"delta", "eps_bernstein/U", "eps_mcdiarmid/U", "ratio"});
+  for (double delta = 0.02; delta <= 0.351; delta += 0.03) {
+    table.AddRow({TablePrinter::Num(delta),
+                  TablePrinter::Num(BernsteinEpsilonFull(delta, 1.0)),
+                  TablePrinter::Num(McDiarmidEpsilon(delta, 1.0)),
+                  TablePrinter::Num(ErrorRatio(delta))});
+  }
+  table.Print();
+  std::printf("\nExpected shape: ratio ~1.7-2.2 across the delta range "
+              "(paper: 'roughly a factor of 2 or more').\n");
+}
+
+}  // namespace
+}  // namespace sgm
+
+int main() {
+  sgm::Run();
+  return 0;
+}

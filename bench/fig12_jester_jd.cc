@@ -1,0 +1,89 @@
+// Figure 12: Jester data set, Jeffrey-divergence monitoring (encoding cost
+// of the current global histogram against the last-synced one).
+//  (a) messages vs threshold (N = 500);
+//  (b) messages vs sites (T = 10);
+//  (c) SGM FP/FN sensitivity to δ.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "functions/jeffrey_divergence.h"
+
+namespace sgm {
+namespace {
+
+using bench::ProtocolKind;
+
+void Run() {
+  const long cycles = bench::JesterCycles();
+  const JeffreyDivergence jd{Vector(bench::JesterDim())};
+  const ProtocolKind kinds[] = {ProtocolKind::kGm, ProtocolKind::kBgm,
+                                ProtocolKind::kPgm, ProtocolKind::kSgm,
+                                ProtocolKind::kMsgm};
+
+  PrintBanner("Figure 12(a)",
+              "JD monitoring: total messages vs threshold (N = 500)");
+  {
+    TablePrinter table({"T", "GM", "BGM", "PGM", "SGM", "M-SGM"});
+    for (double threshold : {3.0, 6.0, 10.0, 20.0, 40.0}) {
+      std::vector<std::string> row = {TablePrinter::Num(threshold)};
+      for (ProtocolKind kind : kinds) {
+        const RunResult r = bench::RunOne(kind, bench::JesterFactory(500), jd,
+                                          threshold, cycles);
+        row.push_back(TablePrinter::Int(r.metrics.total_messages()));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+
+  PrintBanner("Figure 12(b)",
+              "JD monitoring: total messages vs sites (T = 10)");
+  {
+    TablePrinter table({"N", "GM", "BGM", "PGM", "SGM", "M-SGM"});
+    for (int n : {100, 250, 500, 750, 1000}) {
+      std::vector<std::string> row = {TablePrinter::Int(n)};
+      for (ProtocolKind kind : kinds) {
+        const RunResult r = bench::RunOne(kind, bench::JesterFactory(n), jd,
+                                          10.0, cycles);
+        row.push_back(TablePrinter::Int(r.metrics.total_messages()));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+
+  PrintBanner("Figure 12(c)",
+              "JD monitoring: sensitivity to delta (T = 10, N = 500)");
+  {
+    const RunResult gm = bench::RunOne(ProtocolKind::kGm,
+                                       bench::JesterFactory(500), jd, 10.0,
+                                       cycles);
+    std::printf("GM false positives (delta-independent): %ld\n\n",
+                gm.metrics.false_positives());
+    TablePrinter table({"delta", "SGM FPs", "SGM FN cycles", "FN rate"});
+    for (double delta : {0.05, 0.1, 0.2, 0.3}) {
+      const RunResult r = bench::RunOne(ProtocolKind::kSgm,
+                                        bench::JesterFactory(500), jd, 10.0,
+                                        cycles, delta);
+      table.AddRow({TablePrinter::Num(delta),
+                    TablePrinter::Int(r.metrics.false_positives()),
+                    TablePrinter::Int(r.metrics.false_negative_cycles()),
+                    TablePrinter::Num(
+                        static_cast<double>(
+                            r.metrics.false_negative_cycles()) /
+                        static_cast<double>(r.cycles))});
+    }
+    table.Print();
+  }
+  std::printf("\nExpected shapes: as Figure 11, with JD nearly FN-free "
+              "(paper Section 6.2).\n");
+}
+
+}  // namespace
+}  // namespace sgm
+
+int main() {
+  sgm::Run();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 14: SGM's drift-weighted sampling function versus the uniform
+// Bernoulli variant (same expected sample size, g = ln(1/δ)/√N) on the
+// three Jester workloads across network scales.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "functions/jeffrey_divergence.h"
+#include "functions/l2_norm.h"
+#include "functions/linf_distance.h"
+
+namespace sgm {
+namespace {
+
+using bench::ProtocolKind;
+
+void Run() {
+  const long cycles = bench::JesterCycles();
+  const LInfDistance linf{Vector(bench::JesterDim())};
+  const JeffreyDivergence jd{Vector(bench::JesterDim())};
+  const auto sj = L2Norm::SelfJoinSize();
+  struct Workload {
+    const char* label;
+    const MonitoredFunction* function;
+    double threshold;
+  };
+  const Workload workloads[] = {
+      {"Linf", &linf, 10.0}, {"JD", &jd, 10.0}, {"SJ", sj.get(), 2700.0}};
+
+  PrintBanner("Figure 14", "SGM vs Bernoulli sampling variant: messages vs N");
+  TablePrinter table({"N", "Linf-SGM", "Linf-Bern", "JD-SGM", "JD-Bern",
+                      "SJ-SGM", "SJ-Bern"});
+  for (int n : {100, 250, 500, 750, 1000}) {
+    std::vector<std::string> row = {TablePrinter::Int(n)};
+    for (const Workload& w : workloads) {
+      for (ProtocolKind kind :
+           {ProtocolKind::kSgm, ProtocolKind::kBernoulli}) {
+        const RunResult r = bench::RunOne(kind, bench::JesterFactory(n),
+                                          *w.function, w.threshold, cycles);
+        row.push_back(TablePrinter::Int(r.metrics.total_messages()));
+      }
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf("\nExpected shape: every Bernoulli column above its SGM "
+              "column (paper: 2-50x worse) — uniform sampling ignores which "
+              "sites actually drifted.\n");
+}
+
+}  // namespace
+}  // namespace sgm
+
+int main() {
+  sgm::Run();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 16: impact of the revised (CV) sampling on self-join-size / Jester.
+//  (a) messages vs N (incl. CVGM, CVSGM);
+//  (b) FP decisions vs δ with the CVSGM 1-d-resolved share;
+//  (c) transmitted bytes vs δ, SGM vs CVSGM.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "functions/l2_norm.h"
+
+namespace sgm {
+namespace {
+
+using bench::ProtocolKind;
+
+void Run() {
+  const long cycles = bench::JesterCycles();
+  const auto sj = L2Norm::SelfJoinSize();
+  const double threshold = 2700.0;
+
+  PrintBanner("Figure 16(a)",
+              "SJ + CV: total messages vs sites (T = 2700)");
+  {
+    const ProtocolKind kinds[] = {ProtocolKind::kGm, ProtocolKind::kBgm,
+                                  ProtocolKind::kPgm, ProtocolKind::kSgm,
+                                  ProtocolKind::kCvgm, ProtocolKind::kCvsgm};
+    TablePrinter table({"N", "GM", "BGM", "PGM", "SGM", "CVGM", "CVSGM"});
+    for (int n : {100, 250, 500, 750, 1000}) {
+      std::vector<std::string> row = {TablePrinter::Int(n)};
+      for (ProtocolKind kind : kinds) {
+        const RunResult r = bench::RunOne(kind, bench::JesterFactory(n), *sj,
+                                          threshold, cycles);
+        row.push_back(TablePrinter::Int(r.metrics.total_messages()));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+
+  PrintBanner("Figure 16(b)",
+              "SJ: FP decisions vs delta (N = 500), incl. 1-d resolutions");
+  {
+    TablePrinter table({"delta", "SGM FPs", "CVSGM FPs", "CVSGM 1-d Res",
+                        "1-d share"});
+    for (double delta : {0.05, 0.1, 0.2, 0.3}) {
+      const RunResult s = bench::RunOne(ProtocolKind::kSgm,
+                                        bench::JesterFactory(500), *sj,
+                                        threshold, cycles, delta);
+      const RunResult c = bench::RunOne(ProtocolKind::kCvsgm,
+                                        bench::JesterFactory(500), *sj,
+                                        threshold, cycles, delta);
+      const double share =
+          c.metrics.false_positives() > 0
+              ? static_cast<double>(c.metrics.one_d_resolutions()) /
+                    static_cast<double>(c.metrics.false_positives())
+              : 0.0;
+      table.AddRow({TablePrinter::Num(delta),
+                    TablePrinter::Int(s.metrics.false_positives()),
+                    TablePrinter::Int(c.metrics.false_positives()),
+                    TablePrinter::Int(c.metrics.one_d_resolutions()),
+                    TablePrinter::Num(share)});
+    }
+    table.Print();
+  }
+
+  PrintBanner("Figure 16(c)", "SJ: transmitted bytes vs delta (N = 500)");
+  {
+    TablePrinter table({"delta", "SGM bytes", "CVSGM bytes", "ratio"});
+    for (double delta : {0.05, 0.1, 0.2, 0.3}) {
+      const RunResult s = bench::RunOne(ProtocolKind::kSgm,
+                                        bench::JesterFactory(500), *sj,
+                                        threshold, cycles, delta);
+      const RunResult c = bench::RunOne(ProtocolKind::kCvsgm,
+                                        bench::JesterFactory(500), *sj,
+                                        threshold, cycles, delta);
+      table.AddRow({TablePrinter::Num(delta),
+                    TablePrinter::Num(s.metrics.total_bytes(), 6),
+                    TablePrinter::Num(c.metrics.total_bytes(), 6),
+                    TablePrinter::Num(s.metrics.total_bytes() /
+                                      c.metrics.total_bytes())});
+    }
+    table.Print();
+  }
+  std::printf("\nExpected shapes: CVGM's small-N advantage erodes at scale; "
+              "most CVSGM FPs resolved in 1-d (paper: 'nearly every FP'); "
+              "byte savings up to ~d-fold on resolved FPs.\n");
+}
+
+}  // namespace
+}  // namespace sgm
+
+int main() {
+  sgm::Run();
+  return 0;
+}

@@ -1,0 +1,146 @@
+// google-benchmark microbenchmarks of the library's hot kernels: the
+// per-site per-cycle operations every protocol executes (drift norms, ball
+// construction and threshold tests, sampling-probability evaluation,
+// Horvitz–Thompson estimation, signed distances) plus the heavier geometric
+// utilities (χ² certified enclosures, hull projection).
+
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "core/vector.h"
+#include "estimators/horvitz_thompson.h"
+#include "estimators/sampling.h"
+#include "functions/chi_square.h"
+#include "functions/jeffrey_divergence.h"
+#include "functions/l2_norm.h"
+#include "functions/linf_distance.h"
+#include "geometry/ball.h"
+#include "geometry/convex.h"
+#include "geometry/safe_zone.h"
+
+namespace sgm {
+namespace {
+
+Vector RandomVector(std::size_t dim, Rng* rng) {
+  Vector v(dim);
+  for (std::size_t j = 0; j < dim; ++j) v[j] = rng->NextDouble(-5.0, 5.0);
+  return v;
+}
+
+void BM_VectorNorm(benchmark::State& state) {
+  Rng rng(1);
+  const Vector v = RandomVector(state.range(0), &rng);
+  for (auto _ : state) benchmark::DoNotOptimize(v.Norm());
+}
+BENCHMARK(BM_VectorNorm)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_VectorAxpy(benchmark::State& state) {
+  Rng rng(2);
+  Vector x = RandomVector(state.range(0), &rng);
+  const Vector y = RandomVector(state.range(0), &rng);
+  for (auto _ : state) {
+    x.Axpy(0.001, y);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_VectorAxpy)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_LocalConstraintBall(benchmark::State& state) {
+  Rng rng(3);
+  const Vector e = RandomVector(16, &rng);
+  const Vector drift = RandomVector(16, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Ball::LocalConstraint(e, drift));
+  }
+}
+BENCHMARK(BM_LocalConstraintBall);
+
+void BM_LinfBallTest(benchmark::State& state) {
+  Rng rng(4);
+  const LInfDistance f{Vector(16)};
+  const Ball ball(RandomVector(16, &rng), 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.BallCrossesThreshold(ball, 10.0));
+  }
+}
+BENCHMARK(BM_LinfBallTest);
+
+void BM_SelfJoinBallTest(benchmark::State& state) {
+  Rng rng(5);
+  const auto f = L2Norm::SelfJoinSize();
+  const Ball ball(RandomVector(16, &rng), 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f->BallCrossesThreshold(ball, 120.0));
+  }
+}
+BENCHMARK(BM_SelfJoinBallTest);
+
+void BM_JdBallTest(benchmark::State& state) {
+  Rng rng(6);
+  Vector ref = RandomVector(16, &rng);
+  for (std::size_t j = 0; j < 16; ++j) ref[j] = std::abs(ref[j]) + 1.0;
+  const JeffreyDivergence f(ref);
+  Vector center = ref;
+  center[3] += 2.0;
+  const Ball ball(center, 1.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.BallCrossesThreshold(ball, 5.0));
+  }
+}
+BENCHMARK(BM_JdBallTest);
+
+void BM_ChiSquareBallTest(benchmark::State& state) {
+  const ChiSquare f(200.0);
+  const Ball ball(Vector{6.0, 10.0, 40.0}, 3.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.BallCrossesThreshold(ball, 0.5));
+  }
+}
+BENCHMARK(BM_ChiSquareBallTest);
+
+void BM_SamplingProbability(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SamplingProbability(0.1, 30.0, 500, 7.5));
+  }
+}
+BENCHMARK(BM_SamplingProbability);
+
+void BM_HtEstimate(benchmark::State& state) {
+  Rng rng(7);
+  const int sample = static_cast<int>(state.range(0));
+  std::vector<Vector> drifts;
+  for (int i = 0; i < sample; ++i) drifts.push_back(RandomVector(16, &rng));
+  const Vector e = RandomVector(16, &rng);
+  for (auto _ : state) {
+    HtVectorEstimator est(1000, 16);
+    for (const Vector& d : drifts) est.AddSample(d, 0.1);
+    benchmark::DoNotOptimize(est.Estimate(e));
+  }
+}
+BENCHMARK(BM_HtEstimate)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_SignedDistanceBallZone(benchmark::State& state) {
+  Rng rng(8);
+  const BallSafeZone zone(Ball(RandomVector(16, &rng), 5.0));
+  const Vector p = RandomVector(16, &rng);
+  for (auto _ : state) benchmark::DoNotOptimize(zone.SignedDistance(p));
+}
+BENCHMARK(BM_SignedDistanceBallZone);
+
+void BM_HullProjection(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<Vector> points;
+  for (int i = 0; i < state.range(0); ++i) {
+    points.push_back(RandomVector(4, &rng));
+  }
+  const Vector query = RandomVector(4, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ProjectOntoHull(points, query, 500, 1e-8));
+  }
+}
+BENCHMARK(BM_HullProjection)->Arg(10)->Arg(100);
+
+}  // namespace
+}  // namespace sgm
+
+BENCHMARK_MAIN();

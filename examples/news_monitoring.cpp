@@ -1,0 +1,93 @@
+// News-stream monitoring (the paper's running example and Reuters workload):
+// a federation of news outlets tracks whether a term has become strongly
+// associated with a category — χ² association score over windowed
+// (term, category) contingency counts — raising a detection whenever the
+// score crosses the threshold, at a fraction of GM's communication.
+
+#include <cstdio>
+
+#include "data/reuters_like.h"
+#include "functions/chi_square.h"
+#include "functions/mutual_information.h"
+#include "gm/gm.h"
+#include "gm/sgm.h"
+#include "sim/network.h"
+
+namespace {
+
+// A detection-log protocol wrapper would be overkill here: we simply run
+// cycle by cycle and report the coordinator's belief transitions.
+void RunWithDetections(sgm::StreamSource* stream, sgm::Protocol* protocol,
+                       long cycles) {
+  std::vector<sgm::Vector> locals;
+  stream->Advance(&locals);
+  sgm::Metrics metrics;
+  protocol->Initialize(locals, &metrics);
+
+  bool last_belief = protocol->BelievesAbove();
+  long detections = 0;
+  for (long t = 1; t <= cycles; ++t) {
+    stream->Advance(&locals);
+    protocol->OnCycle(locals, &metrics);
+    const bool belief = protocol->BelievesAbove();
+    if (belief != last_belief) {
+      std::printf("  cycle %5ld: association %s threshold (%s)\n", t,
+                  belief ? "ROSE ABOVE" : "fell below", protocol->name().c_str());
+      last_belief = belief;
+      ++detections;
+    }
+  }
+  metrics.Finalize();
+  std::printf("  -> %ld detections, %ld messages, %ld full syncs, "
+              "%ld false positives\n\n",
+              detections, metrics.total_messages(), metrics.full_syncs(),
+              metrics.false_positives());
+}
+
+}  // namespace
+
+int main() {
+  sgm::ReutersLikeConfig config;
+  config.num_sites = 75;
+  config.seed = 99;
+  const long cycles = 4000;
+
+  // The association query of the paper's Reuters experiments: normalized χ²
+  // of the (term, category) contingency table over each outlet's last 200
+  // stories, thresholded at 0.5 (moderate association).
+  const sgm::ChiSquare chi(static_cast<double>(config.window));
+  const double threshold = 0.5;
+
+  std::printf("== GM coordinator log ==\n");
+  {
+    sgm::ReutersLikeGenerator stream(config);
+    sgm::GeometricMonitor gm(chi, threshold, stream.max_step_norm());
+    gm.set_drift_norm_cap(stream.max_drift_norm());
+    RunWithDetections(&stream, &gm, cycles);
+  }
+
+  std::printf("== SGM coordinator log (delta = 0.1) ==\n");
+  {
+    sgm::ReutersLikeGenerator stream(config);
+    sgm::SgmOptions options;
+    sgm::SamplingGeometricMonitor monitor(chi, threshold,
+                                          stream.max_step_norm(), options);
+    monitor.set_drift_norm_cap(stream.max_drift_norm());
+    RunWithDetections(&stream, &monitor, cycles);
+  }
+
+  // The same infrastructure also tracks the running example's Mutual
+  // Information query — swap the function, keep everything else.
+  std::printf("== SGM on Mutual Information (running example) ==\n");
+  {
+    sgm::ReutersLikeGenerator stream(config);
+    const sgm::MutualInformation mi(static_cast<double>(config.window),
+                                    config.num_sites);
+    sgm::SgmOptions options;
+    sgm::SamplingGeometricMonitor monitor(mi, mi.ExampleThreshold(),
+                                          stream.max_step_norm(), options);
+    monitor.set_drift_norm_cap(stream.max_drift_norm());
+    RunWithDetections(&stream, &monitor, cycles);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: monitor a non-linear function of a distributed average with
+// the sampling-based geometric monitor (SGM), and compare its communication
+// cost against classic Geometric Monitoring (GM) on the same stream.
+//
+// The task: 200 sites each maintain a 4-dimensional measurement vector that
+// drifts over time; the coordinator must know at all times whether the
+// Euclidean norm of the global average exceeds T = 2.5 — without streaming
+// every update to the center.
+
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "functions/l2_norm.h"
+#include "gm/gm.h"
+#include "gm/sgm.h"
+#include "sim/network.h"
+
+int main() {
+  // 1. A workload: 200 sites with drifting local vectors. Any StreamSource
+  //    works here; real deployments would feed live per-site updates.
+  sgm::SyntheticDriftConfig config;
+  config.num_sites = 200;
+  config.dim = 4;
+  config.seed = 7;
+
+  // 2. The query: is ‖average‖ > 2.5? Any MonitoredFunction plugs in the
+  //    same way (L∞/Jeffrey distances, χ², variance, join sizes, ...).
+  const sgm::L2Norm norm;
+  const double threshold = 2.5;
+  const long cycles = 2000;
+
+  // 3. Baseline: Sharfman et al.'s Geometric Monitoring.
+  sgm::SyntheticDriftGenerator gm_stream(config);
+  sgm::GeometricMonitor gm(norm, threshold, gm_stream.max_step_norm());
+  const sgm::RunResult gm_run = sgm::Simulate(&gm_stream, &gm, cycles);
+
+  // 4. This library's contribution: SGM — only a √N-sized, drift-weighted
+  //    sample of sites monitors each cycle; alarms are vetted against a
+  //    Horvitz–Thompson estimate before anyone pays for a full sync.
+  sgm::SyntheticDriftGenerator sgm_stream(config);  // identical stream
+  sgm::SgmOptions options;
+  options.delta = 0.1;  // the single accuracy knob: FN tolerance
+  sgm::SamplingGeometricMonitor sampling_monitor(
+      norm, threshold, sgm_stream.max_step_norm(), options);
+  const sgm::RunResult sgm_run =
+      sgm::Simulate(&sgm_stream, &sampling_monitor, cycles);
+
+  std::printf("monitoring ||avg|| > %.2f over %d sites for %ld cycles\n\n",
+              threshold, config.num_sites, cycles);
+  std::printf("%-28s %12s %12s %6s %10s\n", "protocol", "messages", "bytes",
+              "FPs", "FN cycles");
+  std::printf("%-28s %12ld %12.0f %6ld %10ld\n", "GM (exact)",
+              gm_run.metrics.total_messages(), gm_run.metrics.total_bytes(),
+              gm_run.metrics.false_positives(),
+              gm_run.metrics.false_negative_cycles());
+  std::printf("%-28s %12ld %12.0f %6ld %10ld\n", "SGM (delta = 0.1)",
+              sgm_run.metrics.total_messages(), sgm_run.metrics.total_bytes(),
+              sgm_run.metrics.false_positives(),
+              sgm_run.metrics.false_negative_cycles());
+  std::printf("\nmessage reduction: %.1fx;  FN-cycle rate: %.4f "
+              "(guaranteed < delta = %.2f)\n",
+              static_cast<double>(gm_run.metrics.total_messages()) /
+                  static_cast<double>(sgm_run.metrics.total_messages()),
+              static_cast<double>(sgm_run.metrics.false_negative_cycles()) /
+                  static_cast<double>(sgm_run.cycles),
+              options.delta);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ratings-histogram drift monitoring (the paper's Jester workload): a large
+// recommendation platform watches how far the global rating histogram has
+// drifted — in Jeffrey divergence — from the snapshot shipped at the last
+// synchronization. Demonstrates the revised 1-d safe-zone scheme (CVSGM)
+// and its byte savings from shipping scalar signed distances instead of
+// d-dimensional histograms during false-positive resolution.
+
+#include <cstdio>
+
+#include "data/jester_like.h"
+#include "functions/jeffrey_divergence.h"
+#include "gm/cvsgm.h"
+#include "gm/gm.h"
+#include "gm/sgm.h"
+#include "sim/network.h"
+
+namespace {
+
+void Report(const char* label, const sgm::RunResult& r, int num_sites) {
+  std::printf("%-24s msgs %8ld  bytes %10.0f  full %4ld  cheap-resolve %5ld"
+              "  FP %4ld  FN-cycles %4ld  per-site %.4f\n",
+              label, r.metrics.total_messages(), r.metrics.total_bytes(),
+              r.metrics.full_syncs(),
+              r.metrics.partial_resolutions() + r.metrics.one_d_resolutions(),
+              r.metrics.false_positives(), r.metrics.false_negative_cycles(),
+              r.metrics.SiteMessagesPerUpdate(num_sites));
+}
+
+}  // namespace
+
+int main() {
+  sgm::JesterLikeConfig config;
+  config.num_sites = 500;
+  config.seed = 5;
+  const long cycles = 3000;
+
+  const sgm::JeffreyDivergence jd{sgm::Vector(config.num_buckets)};
+  const double threshold = 10.0;
+
+  std::printf("JD drift monitoring over %d sites, %zu-bucket histograms, "
+              "T = %.1f\n\n", config.num_sites, config.num_buckets, threshold);
+
+  {
+    sgm::JesterLikeGenerator stream(config);
+    sgm::GeometricMonitor gm(jd, threshold, stream.max_step_norm());
+    gm.set_drift_norm_cap(stream.max_drift_norm());
+    Report("GM", sgm::Simulate(&stream, &gm, cycles), config.num_sites);
+  }
+  {
+    sgm::JesterLikeGenerator stream(config);
+    sgm::SgmOptions options;
+    sgm::SamplingGeometricMonitor monitor(jd, threshold,
+                                          stream.max_step_norm(), options);
+    monitor.set_drift_norm_cap(stream.max_drift_norm());
+    Report("SGM", sgm::Simulate(&stream, &monitor, cycles), config.num_sites);
+  }
+  {
+    sgm::JesterLikeGenerator stream(config);
+    sgm::CvsgmOptions options;
+    sgm::CvSamplingMonitor monitor(jd, threshold, stream.max_step_norm(),
+                                   options);
+    monitor.set_drift_norm_cap(stream.max_drift_norm());
+    Report("CVSGM (1-d mapping)", sgm::Simulate(&stream, &monitor, cycles),
+           config.num_sites);
+  }
+
+  std::printf("\nCVSGM's cheap resolutions move one double per site instead "
+              "of a %zu-dimensional histogram — the Lemma-4 unidimensional "
+              "mapping at work.\n", config.num_buckets);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Sum-parameterized monitoring (Section 7): a sensor fleet tracks the
+// dispersion (standard deviation across histogram buckets) of the *total*
+// measurement histogram — a sum-parameterized query, since the fleet cares
+// about absolute volume, not the per-sensor average. Demonstrates the two
+// equivalent formulations the paper analyzes:
+//   * Adapted Vectors  — monitor f(N·v) against T (drifts scale by N);
+//   * Function Transformation — monitor f(v) against T / N^α (α = 1 for
+//     stdev), which Lemma 7 proves yields the identical tracking scheme.
+
+#include <cstdio>
+
+#include "data/jester_like.h"
+#include "functions/sum_parameterization.h"
+#include "functions/variance.h"
+#include "gm/gm.h"
+#include "gm/sgm.h"
+#include "sim/network.h"
+
+namespace {
+
+sgm::RunResult RunSgm(const sgm::MonitoredFunction& f, double threshold,
+                      const sgm::JesterLikeConfig& config, long cycles) {
+  sgm::JesterLikeGenerator stream(config);
+  sgm::SgmOptions options;
+  sgm::SamplingGeometricMonitor monitor(f, threshold, stream.max_step_norm(),
+                                        options);
+  monitor.set_drift_norm_cap(stream.max_drift_norm());
+  return sgm::Simulate(&stream, &monitor, cycles);
+}
+
+}  // namespace
+
+int main() {
+  sgm::JesterLikeConfig config;
+  config.num_sites = 400;
+  config.seed = 21;
+  const long cycles = 2500;
+  const double sum_threshold = 5000.0;  // on the fleet-total dispersion
+
+  const sgm::CoordinateDispersion stdev(false);
+  double degree = 0.0;
+  stdev.HomogeneityDegree(&degree);
+  std::printf("stdev is homogeneous of degree %.0f; RRG(N=%d) = %.0f "
+              "(Section 7.2)\n\n",
+              degree, config.num_sites,
+              sgm::RelativeRateOfGrowth(degree, config.num_sites));
+
+  // Adapted Vectors: wrap the function so inputs (and implicitly all drift
+  // balls) scale by N.
+  const sgm::ScaledInputFunction sum_stdev(
+      sgm::CoordinateDispersion::StdDev(),
+      static_cast<double>(config.num_sites));
+  const sgm::RunResult adapted =
+      RunSgm(sum_stdev, sum_threshold, config, cycles);
+
+  // Function Transformation: monitor the plain average-parameterized stdev
+  // against the transformed threshold T / N.
+  const double avg_threshold =
+      sgm::TransformThresholdForAverage(stdev, sum_threshold,
+                                        config.num_sites);
+  const sgm::RunResult transformed =
+      RunSgm(stdev, avg_threshold, config, cycles);
+
+  std::printf("%-32s %10s %6s %10s\n", "formulation", "messages", "FPs",
+              "FN cycles");
+  std::printf("%-32s %10ld %6ld %10ld\n", "adapted vectors f(N*v) <= T",
+              adapted.metrics.total_messages(),
+              adapted.metrics.false_positives(),
+              adapted.metrics.false_negative_cycles());
+  std::printf("%-32s %10ld %6ld %10ld\n", "transformed f(v) <= T/N",
+              transformed.metrics.total_messages(),
+              transformed.metrics.false_positives(),
+              transformed.metrics.false_negative_cycles());
+  std::printf("\nLemma 7: the two formulations are isometric — every "
+              "crossing decision matches, so the monitored-quantity "
+              "timelines coincide (counts above differ only through "
+              "independent sampling coin flips).\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+#ifndef SGM_CORE_CHECK_H_
+#define SGM_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Fatal invariant-checking macros in the RocksDB/Arrow tradition.
+///
+/// The library does not use exceptions (see DESIGN.md); recoverable errors
+/// travel through sgm::Status / sgm::Result, while programming errors and
+/// broken internal invariants abort via SGM_CHECK.
+
+/// Aborts the process with a diagnostic if `condition` is false.
+///
+/// Use for conditions that can only fail due to a bug in the library or in
+/// the caller's use of it, never for data-dependent runtime errors.
+#define SGM_CHECK(condition)                                                  \
+  do {                                                                        \
+    if (!(condition)) {                                                       \
+      std::fprintf(stderr, "SGM_CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #condition);                                     \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (false)
+
+/// SGM_CHECK with a printf-style explanatory message appended.
+#define SGM_CHECK_MSG(condition, ...)                                         \
+  do {                                                                        \
+    if (!(condition)) {                                                       \
+      std::fprintf(stderr, "SGM_CHECK failed at %s:%d: %s: ", __FILE__,       \
+                   __LINE__, #condition);                                     \
+      std::fprintf(stderr, __VA_ARGS__);                                      \
+      std::fprintf(stderr, "\n");                                             \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (false)
+
+/// Debug-only variant of SGM_CHECK; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define SGM_DCHECK(condition) \
+  do {                        \
+  } while (false)
+#else
+#define SGM_DCHECK(condition) SGM_CHECK(condition)
+#endif
+
+#endif  // SGM_CORE_CHECK_H_

@@ -1,0 +1,138 @@
+#include "core/vector.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sgm {
+
+Vector& Vector::operator+=(const Vector& rhs) {
+  SGM_CHECK(dim() == rhs.dim());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& rhs) {
+  SGM_CHECK(dim() == rhs.dim());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double scalar) {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Vector& Vector::operator/=(double scalar) {
+  SGM_CHECK(scalar != 0.0);
+  for (double& x : data_) x /= scalar;
+  return *this;
+}
+
+Vector& Vector::Axpy(double scalar, const Vector& rhs) {
+  SGM_CHECK(dim() == rhs.dim());
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scalar * rhs.data_[i];
+  }
+  return *this;
+}
+
+double Vector::Norm() const { return std::sqrt(SquaredNorm()); }
+
+double Vector::SquaredNorm() const {
+  double sum = 0.0;
+  for (double x : data_) sum += x * x;
+  return sum;
+}
+
+double Vector::L1Norm() const {
+  double sum = 0.0;
+  for (double x : data_) sum += std::abs(x);
+  return sum;
+}
+
+double Vector::LInfNorm() const {
+  double best = 0.0;
+  for (double x : data_) best = std::max(best, std::abs(x));
+  return best;
+}
+
+double Vector::Sum() const {
+  double sum = 0.0;
+  for (double x : data_) sum += x;
+  return sum;
+}
+
+double Vector::Dot(const Vector& rhs) const {
+  SGM_CHECK(dim() == rhs.dim());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    sum += data_[i] * rhs.data_[i];
+  }
+  return sum;
+}
+
+double Vector::DistanceTo(const Vector& rhs) const {
+  SGM_CHECK(dim() == rhs.dim());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double diff = data_[i] - rhs.data_[i];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+void Vector::SetZero() {
+  for (double& x : data_) x = 0.0;
+}
+
+std::string Vector::ToString() const {
+  std::string out = "[";
+  char buf[32];
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.6g", data_[i]);
+    if (i > 0) out += ", ";
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+Vector operator+(Vector lhs, const Vector& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+Vector operator-(Vector lhs, const Vector& rhs) {
+  lhs -= rhs;
+  return lhs;
+}
+
+Vector operator*(Vector lhs, double scalar) {
+  lhs *= scalar;
+  return lhs;
+}
+
+Vector operator*(double scalar, Vector rhs) {
+  rhs *= scalar;
+  return rhs;
+}
+
+Vector operator/(Vector lhs, double scalar) {
+  lhs /= scalar;
+  return lhs;
+}
+
+Vector Mean(const std::vector<Vector>& vectors) {
+  Vector sum = Sum(vectors);
+  sum /= static_cast<double>(vectors.size());
+  return sum;
+}
+
+Vector Sum(const std::vector<Vector>& vectors) {
+  SGM_CHECK(!vectors.empty());
+  Vector sum(vectors.front().dim());
+  for (const Vector& v : vectors) sum += v;
+  return sum;
+}
+
+}  // namespace sgm

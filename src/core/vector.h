@@ -1,0 +1,113 @@
+#ifndef SGM_CORE_VECTOR_H_
+#define SGM_CORE_VECTOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+
+namespace sgm {
+
+/// Dense d-dimensional measurement vector.
+///
+/// This is the fundamental data type of the geometric-monitoring library:
+/// every site maintains a local measurements vector v_i(t), the coordinator
+/// maintains the estimate vector e(t), and drift/deviation vectors are
+/// differences of these. The type is a thin, value-semantic wrapper over
+/// std::vector<double> with the linear-algebra operations the protocols need
+/// (L1/L2/Linf norms, axpy-style updates, dot products).
+///
+/// Dimension mismatches in arithmetic are programming errors and abort via
+/// SGM_CHECK (debug-friendly; the protocols never mix dimensionalities).
+class Vector {
+ public:
+  Vector() = default;
+
+  /// Zero vector of dimension `dim`.
+  explicit Vector(std::size_t dim) : data_(dim, 0.0) {}
+
+  /// Vector with all coordinates set to `fill`.
+  Vector(std::size_t dim, double fill) : data_(dim, fill) {}
+
+  /// From explicit coordinates, e.g. `Vector({1.0, 2.0, 3.0})`.
+  Vector(std::initializer_list<double> coords) : data_(coords) {}
+
+  /// From an existing buffer.
+  explicit Vector(std::vector<double> coords) : data_(std::move(coords)) {}
+
+  Vector(const Vector&) = default;
+  Vector& operator=(const Vector&) = default;
+  Vector(Vector&&) = default;
+  Vector& operator=(Vector&&) = default;
+
+  std::size_t dim() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double operator[](std::size_t i) const {
+    SGM_DCHECK(i < data_.size());
+    return data_[i];
+  }
+  double& operator[](std::size_t i) {
+    SGM_DCHECK(i < data_.size());
+    return data_[i];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+
+  /// In-place arithmetic. All binary forms SGM_CHECK equal dimensions.
+  Vector& operator+=(const Vector& rhs);
+  Vector& operator-=(const Vector& rhs);
+  Vector& operator*=(double scalar);
+  Vector& operator/=(double scalar);
+
+  /// Adds `scalar * rhs` to this vector (BLAS axpy).
+  Vector& Axpy(double scalar, const Vector& rhs);
+
+  /// Euclidean (L2) norm — the `‖y‖` of the paper (Table 1).
+  double Norm() const;
+  /// Squared Euclidean norm, avoids the sqrt.
+  double SquaredNorm() const;
+  /// Sum of absolute coordinate values.
+  double L1Norm() const;
+  /// Maximum absolute coordinate value.
+  double LInfNorm() const;
+  /// Sum of coordinates (histogram mass, contingency-table total, ...).
+  double Sum() const;
+
+  double Dot(const Vector& rhs) const;
+
+  /// Euclidean distance to `rhs`.
+  double DistanceTo(const Vector& rhs) const;
+
+  /// Sets all coordinates to zero, keeping the dimension.
+  void SetZero();
+
+  /// "[x0, x1, ...]" with limited precision, for logs and test output.
+  std::string ToString() const;
+
+  friend bool operator==(const Vector& a, const Vector& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  std::vector<double> data_;
+};
+
+/// Value-returning arithmetic helpers.
+Vector operator+(Vector lhs, const Vector& rhs);
+Vector operator-(Vector lhs, const Vector& rhs);
+Vector operator*(Vector lhs, double scalar);
+Vector operator*(double scalar, Vector rhs);
+Vector operator/(Vector lhs, double scalar);
+
+/// Arithmetic mean of `vectors`; SGM_CHECKs a non-empty, equal-dim input.
+Vector Mean(const std::vector<Vector>& vectors);
+
+/// Coordinate-wise sum of `vectors`; SGM_CHECKs a non-empty input.
+Vector Sum(const std::vector<Vector>& vectors);
+
+}  // namespace sgm
+
+#endif  // SGM_CORE_VECTOR_H_

@@ -1,0 +1,84 @@
+#ifndef SGM_DATA_CSV_STREAM_H_
+#define SGM_DATA_CSV_STREAM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/vector.h"
+#include "data/sliding_window.h"
+#include "data/stream.h"
+
+namespace sgm {
+
+/// Replays pre-recorded per-site vectors from a CSV file — the adapter for
+/// running the protocols on *real* traces (e.g. the original Jester or
+/// RCV1 data once locally available) instead of the synthetic stand-ins.
+///
+/// Format: one row per (cycle, site) pair,
+///     cycle,site,x0,x1,...,x{d-1}
+/// with a `#`-prefixed optional header. Cycles must be contiguous from 0
+/// and every cycle must cover every site exactly once; Load() validates
+/// and reports precise row numbers on violations. The replay repeats the
+/// final cycle once the trace is exhausted (so monitors can run past the
+/// end of the file).
+class CsvVectorStream final : public StreamSource {
+ public:
+  /// Parses `path`. Returns InvalidArgument/NotFound on malformed input.
+  static Result<CsvVectorStream> Load(const std::string& path);
+
+  /// Builds directly from in-memory frames (frames[t][i] = site i at t).
+  explicit CsvVectorStream(std::vector<std::vector<Vector>> frames,
+                           double max_step_norm = 0.0);
+
+  std::string name() const override { return "csv_vector_stream"; }
+  int num_sites() const override;
+  std::size_t dim() const override;
+  void Advance(std::vector<Vector>* local_vectors) override;
+  double max_step_norm() const override { return max_step_norm_; }
+
+  long num_cycles() const { return static_cast<long>(frames_.size()); }
+
+ private:
+  std::vector<std::vector<Vector>> frames_;
+  double max_step_norm_;
+  std::size_t next_ = 0;
+};
+
+/// Streams categorical events from CSV into per-site sliding-window count
+/// vectors — the shape of the paper's real workloads (ratings → histogram
+/// buckets, tagged documents → contingency cells).
+///
+/// Format: one event row per line,
+///     site,category
+/// where category ∈ [0, dim] (dim = the uncounted placeholder). Each
+/// Advance() consumes one event per site (events are dealt to sites in file
+/// order; a site with no remaining events replays its last state).
+class CsvEventStream final : public StreamSource {
+ public:
+  static Result<CsvEventStream> Load(const std::string& path, int num_sites,
+                                     std::size_t window, std::size_t dim);
+
+  std::string name() const override { return "csv_event_stream"; }
+  int num_sites() const override {
+    return static_cast<int>(windows_.size());
+  }
+  std::size_t dim() const override { return dim_; }
+  void Advance(std::vector<Vector>* local_vectors) override;
+  double max_step_norm() const override;
+  double max_drift_norm() const override;
+
+ private:
+  CsvEventStream(std::vector<std::vector<std::size_t>> events_per_site,
+                 std::size_t window, std::size_t dim);
+
+  std::vector<std::vector<std::size_t>> events_;  ///< per site, in order
+  std::vector<std::size_t> cursor_;
+  std::vector<SlidingCountWindow> windows_;
+  std::size_t window_size_;
+  std::size_t dim_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_DATA_CSV_STREAM_H_

@@ -1,0 +1,109 @@
+#include "data/jester_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sgm {
+
+JesterLikeGenerator::JesterLikeGenerator(const JesterLikeConfig& config)
+    : config_(config), regime_rng_(config.seed) {
+  SGM_CHECK(config.num_sites > 0);
+  SGM_CHECK(config.window > 0);
+  SGM_CHECK(config.num_buckets >= 2);
+  SGM_CHECK(config.mood_period > 0);
+  SGM_CHECK(config.shift_spacing > 0);
+
+  Rng root(config.seed ^ 0x5151515151ULL);
+  site_rngs_.reserve(config.num_sites);
+  site_offsets_.reserve(config.num_sites);
+  windows_.reserve(config.num_sites);
+  for (int i = 0; i < config.num_sites; ++i) {
+    site_rngs_.push_back(root.Fork());
+    // Offsets snap to bucket centers: a site's ratings concentrate in one
+    // bucket, so baseline windows are nearly static (quiet baseline; the
+    // realistic regime where per-site outliers, not ubiquitous churn,
+    // drive GM's false positives).
+    const double raw_offset = 2.5 * site_rngs_.back().NextGaussian();
+    const double width = 20.0 / static_cast<double>(config.num_buckets);
+    const double snapped =
+        (std::floor(raw_offset / width) + 0.5) * width;
+    site_offsets_.push_back(std::clamp(snapped, -8.0, 8.0));
+    windows_.emplace_back(config.window, config.num_buckets);
+  }
+  quirk_until_.assign(config.num_sites, -1);
+  quirk_offset_.assign(config.num_sites, 0.0);
+  next_shift_ = 1 + static_cast<long>(
+                        regime_rng_.NextExponential(1.0) *
+                        static_cast<double>(config.shift_spacing));
+
+  std::vector<Vector> scratch;
+  for (std::size_t k = 0; k < config.window; ++k) Advance(&scratch);
+}
+
+std::size_t JesterLikeGenerator::BucketOf(double rating) const {
+  const double clamped = std::clamp(rating, -10.0, 10.0 - 1e-9);
+  const double width = 20.0 / static_cast<double>(config_.num_buckets);
+  return static_cast<std::size_t>((clamped + 10.0) / width);
+}
+
+void JesterLikeGenerator::Advance(std::vector<Vector>* local_vectors) {
+  SGM_CHECK(local_vectors != nullptr);
+  local_vectors->resize(config_.num_sites);
+  ++cycle_;
+
+  if (cycle_ >= next_shift_) {
+    shift_level_ += config_.shift_magnitude *
+                    (regime_rng_.NextBernoulli(0.5) ? 1.0 : -1.0);
+    shift_level_ = std::clamp(shift_level_, -5.0, 5.0);
+    next_shift_ = cycle_ + 1 +
+                  static_cast<long>(regime_rng_.NextExponential(1.0) *
+                                    static_cast<double>(config_.shift_spacing));
+  }
+  const double phase = 2.0 * M_PI * static_cast<double>(cycle_) /
+                       static_cast<double>(config_.mood_period);
+  global_mood_ = config_.mood_amplitude * std::sin(phase) + shift_level_;
+
+  for (int i = 0; i < config_.num_sites; ++i) {
+    Rng& rng = site_rngs_[i];
+    if (quirk_until_[i] < cycle_ && rng.NextBernoulli(config_.quirk_rate)) {
+      const long until =
+          cycle_ + 1 +
+          static_cast<long>(rng.NextExponential(
+              1.0 / static_cast<double>(config_.quirk_length)));
+      const double offset = config_.quirk_magnitude *
+                            (rng.NextBernoulli(0.5) ? 1.0 : -1.0);
+      // Infect a contiguous cluster starting at the seeding site; members
+      // share the direction and duration (correlated drift).
+      const int cluster =
+          std::max(1, static_cast<int>(config_.quirk_cluster_fraction *
+                                       static_cast<double>(
+                                           config_.num_sites)));
+      for (int k = 0; k < cluster; ++k) {
+        const int member = (i + k) % config_.num_sites;
+        if (quirk_until_[member] < cycle_) {
+          quirk_until_[member] = until;
+          quirk_offset_[member] = offset;
+        }
+      }
+    }
+    const double quirk = (quirk_until_[i] >= cycle_) ? quirk_offset_[i] : 0.0;
+    const double rating = global_mood_ + site_offsets_[i] + quirk +
+                          config_.rating_noise * rng.NextGaussian();
+    windows_[i].Push(BucketOf(rating));
+    (*local_vectors)[i] = windows_[i].counts();
+  }
+}
+
+double JesterLikeGenerator::max_step_norm() const {
+  // One rating enters a bucket and one leaves another: ±1 in two buckets.
+  return std::sqrt(2.0);
+}
+
+double JesterLikeGenerator::max_drift_norm() const {
+  // Two window histograms of mass w each are at most √2·w apart in L2.
+  return std::sqrt(2.0) * static_cast<double>(config_.window);
+}
+
+}  // namespace sgm

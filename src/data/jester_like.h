@@ -1,0 +1,87 @@
+#ifndef SGM_DATA_JESTER_LIKE_H_
+#define SGM_DATA_JESTER_LIKE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/sliding_window.h"
+#include "data/stream.h"
+
+namespace sgm {
+
+/// Configuration of the Jester-style ratings workload.
+struct JesterLikeConfig {
+  int num_sites = 500;
+  /// Sliding window of ratings per site (paper: 100, one per joke).
+  std::size_t window = 100;
+  /// Number of equi-width histogram buckets over the rating range [-10, 10].
+  std::size_t num_buckets = 8;
+  /// Per-rating Gaussian spread around the site's current mood.
+  double rating_noise = 0.4;
+  /// Amplitude/period of the shared slow mood oscillation.
+  double mood_amplitude = 0.3;
+  int mood_period = 1500;
+  /// Expected spacing (cycles) of abrupt global mood shifts and their size.
+  int shift_spacing = 1500;
+  double shift_magnitude = 3.0;
+  /// Localized "quirk" episodes: each cycle a site may seed a quirk
+  /// (probability quirk_rate) that infects a contiguous *cluster* of sites
+  /// — quirk_cluster_fraction of the network — displacing their ratings by
+  /// a common ±quirk_magnitude for ~quirk_length cycles. A small cluster
+  /// barely moves the N-site average but drags its members' windows far
+  /// from the synced snapshots in a **common direction** — the correlated
+  /// per-site outlier behaviour that makes plain GM fire false positives at
+  /// rates growing with N (Section 1.2) and that balancing cannot cancel
+  /// cheaply (it must probe many opposite-drift sites to offset a cluster).
+  double quirk_rate = 0.00003;
+  int quirk_length = 50;
+  double quirk_magnitude = 9.0;
+  double quirk_cluster_fraction = 0.04;
+  std::uint64_t seed = 11;
+};
+
+/// Synthetic stand-in for the Jester ratings workload (see DESIGN.md §2).
+///
+/// Each site receives one rating in [-10, 10] per update cycle and
+/// maintains a windowed equi-width histogram of its last `window` ratings —
+/// the local vectors of the paper's L∞ / Jeffrey-divergence / self-join-size
+/// Jester experiments. Ratings follow per-site moods coupled to a shared
+/// global mood (slow oscillation plus occasional abrupt shifts), so the
+/// *global* histogram genuinely migrates across buckets: L∞/JD distances to
+/// the last-synced histogram grow until a true threshold crossing occurs,
+/// while per-site noise supplies the uncorrelated drift that makes GM's
+/// union-of-balls fire false positives at scale.
+class JesterLikeGenerator final : public StreamSource {
+ public:
+  explicit JesterLikeGenerator(const JesterLikeConfig& config);
+
+  std::string name() const override { return "jester_like"; }
+  int num_sites() const override { return config_.num_sites; }
+  std::size_t dim() const override { return config_.num_buckets; }
+  void Advance(std::vector<Vector>* local_vectors) override;
+  double max_step_norm() const override;
+  double max_drift_norm() const override;
+
+  /// Current shared mood (exposed for tests/calibration).
+  double global_mood() const { return global_mood_; }
+
+ private:
+  std::size_t BucketOf(double rating) const;
+
+  JesterLikeConfig config_;
+  Rng regime_rng_;
+  std::vector<Rng> site_rngs_;
+  std::vector<double> site_offsets_;
+  std::vector<SlidingCountWindow> windows_;
+  std::vector<long> quirk_until_;
+  std::vector<double> quirk_offset_;
+  double global_mood_ = 0.0;
+  double shift_level_ = 0.0;
+  long cycle_ = 0;
+  long next_shift_ = 0;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_DATA_JESTER_LIKE_H_

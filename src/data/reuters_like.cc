@@ -1,0 +1,107 @@
+#include "data/reuters_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sgm {
+
+ReutersLikeGenerator::ReutersLikeGenerator(const ReutersLikeConfig& config)
+    : config_(config), regime_rng_(config.seed) {
+  SGM_CHECK(config.num_sites > 0);
+  SGM_CHECK(config.window > 0);
+  SGM_CHECK(config.term_rate > 0.0 && config.term_rate < 1.0);
+  SGM_CHECK(config.category_rate > 0.0 && config.category_rate < 1.0);
+  SGM_CHECK(config.burst_spacing > 0);
+  SGM_CHECK(config.burst_length > 0);
+
+  site_rngs_.reserve(config.num_sites);
+  windows_.reserve(config.num_sites);
+  Rng root(config.seed ^ 0xabcdef1234567ULL);
+  for (int i = 0; i < config.num_sites; ++i) {
+    site_rngs_.push_back(root.Fork());
+    windows_.emplace_back(config.window, /*dim=*/3);
+  }
+  scoop_until_.assign(config.num_sites, -1);
+  next_burst_ = 1 + static_cast<long>(
+                        regime_rng_.NextExponential(1.0) *
+                        static_cast<double>(config.burst_spacing));
+
+  // Warm the windows up so the first monitored cycle sees full windows.
+  std::vector<Vector> scratch;
+  for (std::size_t k = 0; k < config.window; ++k) Advance(&scratch);
+}
+
+void ReutersLikeGenerator::AdvanceRelevance() {
+  ++cycle_;
+  if (cycle_ >= next_burst_ && burst_end_ < cycle_) {
+    burst_end_ = cycle_ + config_.burst_length;
+    next_burst_ = burst_end_ +
+                  1 +
+                  static_cast<long>(regime_rng_.NextExponential(1.0) *
+                                    static_cast<double>(config_.burst_spacing));
+  }
+  // Smooth rise/decay toward the burst plateau.
+  const double target = (cycle_ <= burst_end_) ? 1.0 : 0.0;
+  relevance_ += 0.04 * (target - relevance_);
+  relevance_ = std::clamp(relevance_, 0.0, 1.0);
+}
+
+void ReutersLikeGenerator::Advance(std::vector<Vector>* local_vectors) {
+  SGM_CHECK(local_vectors != nullptr);
+  local_vectors->resize(config_.num_sites);
+  AdvanceRelevance();
+
+  for (int i = 0; i < config_.num_sites; ++i) {
+    Rng& rng = site_rngs_[i];
+    if (scoop_until_[i] < cycle_ && rng.NextBernoulli(config_.scoop_rate)) {
+      scoop_until_[i] =
+          cycle_ + 1 +
+          static_cast<long>(rng.NextExponential(
+              1.0 / static_cast<double>(config_.scoop_length)));
+    }
+    const bool scooping = scoop_until_[i] >= cycle_;
+    // Per-site jitter keeps sites heterogeneous within the shared regime; a
+    // scooping outlet behaves as if fully bursting on its own.
+    const double rho =
+        scooping ? 1.0
+                 : std::clamp(relevance_ + 0.1 * rng.NextGaussian(), 0.0, 1.0);
+    const bool category =
+        rng.NextBernoulli(scooping ? std::min(0.9, 2.0 * config_.category_rate)
+                                   : config_.category_rate);
+    const double boost =
+        scooping ? config_.scoop_association : config_.association * rho;
+    const double p_term =
+        category ? std::min(0.95, config_.term_rate + boost)
+                 : config_.term_rate;
+    const bool term = rng.NextBernoulli(p_term);
+
+    std::size_t cell;
+    if (term && category) {
+      cell = 0;  // co-occurrence
+    } else if (term) {
+      cell = 1;  // term only
+    } else if (category) {
+      cell = 2;  // category only
+    } else {
+      cell = 3;  // neither: occupies a window slot, counts nowhere
+    }
+    windows_[i].Push(cell);
+    (*local_vectors)[i] = windows_[i].counts();
+  }
+}
+
+double ReutersLikeGenerator::max_step_norm() const {
+  // One story enters one cell and one leaves another: at most ±1 in two of
+  // the three counted dimensions per cycle.
+  return std::sqrt(2.0);
+}
+
+double ReutersLikeGenerator::max_drift_norm() const {
+  // Two count windows of total mass ≤ w differ by at most √2·w in L2
+  // (disjoint single-cell extremes), however far apart in time.
+  return std::sqrt(2.0) * static_cast<double>(config_.window);
+}
+
+}  // namespace sgm

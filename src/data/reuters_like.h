@@ -1,0 +1,80 @@
+#ifndef SGM_DATA_REUTERS_LIKE_H_
+#define SGM_DATA_REUTERS_LIKE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/sliding_window.h"
+#include "data/stream.h"
+
+namespace sgm {
+
+/// Configuration of the Reuters-style tagged-news workload.
+struct ReutersLikeConfig {
+  int num_sites = 75;
+  /// Sliding window of news stories per site (paper: 200, roughly a day).
+  std::size_t window = 200;
+  /// Baseline probability that a story carries the tracked term / category.
+  double term_rate = 0.04;
+  double category_rate = 0.20;
+  /// Maximum extra term∧category association injected at burst peak: at
+  /// relevance ρ, P(term | category) = term_rate + association·ρ.
+  double association = 0.50;
+  /// Expected burst spacing and duration, in update cycles.
+  int burst_spacing = 900;
+  int burst_length = 250;
+  /// Per-site idiosyncratic "scoop" episodes: a single outlet briefly runs
+  /// its own strongly-associated story series (probability per cycle, mean
+  /// duration). One scooping site drags its own 3-d window far from the
+  /// synced snapshot while leaving the N-site average essentially unmoved —
+  /// the per-site outlier behaviour behind GM's FP growth with N.
+  double scoop_rate = 0.00003;
+  int scoop_length = 120;
+  /// Term|category association during a scoop (≫ the burst association, so
+  /// a scooping outlet's own window crosses even the highest thresholds).
+  double scoop_association = 0.80;
+  std::uint64_t seed = 7;
+};
+
+/// Synthetic stand-in for the Reuters RCV1-v2 workload (see DESIGN.md §2).
+///
+/// Each site receives one tagged news story per update cycle and maintains a
+/// windowed 3-dimensional count vector [#(term∧cat), #(term∧¬cat),
+/// #(¬term∧cat)] — exactly the local vectors of the paper's Example 1 and
+/// of its χ²/MI Reuters experiments. A hidden global relevance process
+/// ρ(t) ∈ [0,1] (smooth bursts at random spacings, shared across sites with
+/// per-site jitter) modulates the term–category association, driving the χ²
+/// score through the paper's threshold range and giving all sites correlated
+/// drift — the regime in which plain GM produces mass false positives.
+class ReutersLikeGenerator final : public StreamSource {
+ public:
+  explicit ReutersLikeGenerator(const ReutersLikeConfig& config);
+
+  std::string name() const override { return "reuters_like"; }
+  int num_sites() const override { return config_.num_sites; }
+  std::size_t dim() const override { return 3; }
+  void Advance(std::vector<Vector>* local_vectors) override;
+  double max_step_norm() const override;
+  double max_drift_norm() const override;
+
+  /// Current hidden relevance level (exposed for tests/calibration).
+  double relevance() const { return relevance_; }
+
+ private:
+  void AdvanceRelevance();
+
+  ReutersLikeConfig config_;
+  Rng regime_rng_;
+  std::vector<Rng> site_rngs_;
+  std::vector<SlidingCountWindow> windows_;
+  std::vector<long> scoop_until_;
+  double relevance_ = 0.0;
+  long cycle_ = 0;
+  long next_burst_ = 0;
+  long burst_end_ = -1;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_DATA_REUTERS_LIKE_H_

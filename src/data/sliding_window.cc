@@ -1,0 +1,28 @@
+#include "data/sliding_window.h"
+
+#include "core/check.h"
+
+namespace sgm {
+
+SlidingCountWindow::SlidingCountWindow(std::size_t window_size,
+                                       std::size_t dim)
+    : slots_(window_size, dim), counts_(dim) {
+  SGM_CHECK(window_size > 0);
+  SGM_CHECK(dim > 0);
+}
+
+void SlidingCountWindow::Push(std::size_t category) {
+  SGM_CHECK_MSG(category <= dim(), "category %zu out of range (dim %zu)",
+                category, dim());
+  if (filled_ == slots_.size()) {
+    const std::size_t evicted = slots_[head_];
+    if (evicted < dim()) counts_[evicted] -= 1.0;
+  } else {
+    ++filled_;
+  }
+  slots_[head_] = category;
+  if (category < dim()) counts_[category] += 1.0;
+  head_ = (head_ + 1) % slots_.size();
+}
+
+}  // namespace sgm

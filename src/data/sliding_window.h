@@ -1,0 +1,45 @@
+#ifndef SGM_DATA_SLIDING_WINDOW_H_
+#define SGM_DATA_SLIDING_WINDOW_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/vector.h"
+
+namespace sgm {
+
+/// Count-sketch sliding window over categorical items.
+///
+/// Keeps the last `window_size` item categories and maintains the per-
+/// category count vector incrementally (O(1) per slide), which is what makes
+/// simulating thousands of cycles over hundreds of sites cheap. The special
+/// category `dim` (one past the last bucket) denotes "observed but not
+/// counted" (e.g. a news story with neither the tracked term nor category):
+/// it occupies a window slot but contributes to no count.
+class SlidingCountWindow {
+ public:
+  SlidingCountWindow(std::size_t window_size, std::size_t dim);
+
+  /// Appends an item of `category` ∈ [0, dim]; evicts the oldest item once
+  /// the window is full. Category == dim() is the uncounted placeholder.
+  void Push(std::size_t category);
+
+  /// Current per-category counts (dimension dim()).
+  const Vector& counts() const { return counts_; }
+
+  std::size_t window_size() const { return slots_.size(); }
+  std::size_t dim() const { return counts_.dim(); }
+  /// Number of items currently held (< window_size() until warmed up).
+  std::size_t size() const { return filled_; }
+  bool full() const { return filled_ == slots_.size(); }
+
+ private:
+  std::vector<std::size_t> slots_;
+  std::size_t head_ = 0;
+  std::size_t filled_ = 0;
+  Vector counts_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_DATA_SLIDING_WINDOW_H_

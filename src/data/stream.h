@@ -1,0 +1,49 @@
+#ifndef SGM_DATA_STREAM_H_
+#define SGM_DATA_STREAM_H_
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/vector.h"
+
+namespace sgm {
+
+/// A distributed stream workload: N sites, each maintaining a d-dimensional
+/// local measurements vector that evolves once per update cycle.
+///
+/// One Advance() call corresponds to one execution of the paper's monitoring
+/// phase ("update cycle": a window slide / epoch expiration at every site).
+/// Implementations own all per-site state (sliding windows, per-site RNG
+/// streams) so that a source is deterministic given its seed.
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  virtual std::string name() const = 0;
+  virtual int num_sites() const = 0;
+  virtual std::size_t dim() const = 0;
+
+  /// Advances one update cycle, rewriting `local_vectors` (resized to
+  /// num_sites() on first use) with the new v_i(t).
+  virtual void Advance(std::vector<Vector>* local_vectors) = 0;
+
+  /// Upper bound on the per-cycle L2 change of any single site's vector;
+  /// the U-policy of Section 3 accumulates this per cycle since the last
+  /// synchronization (Example 3's U = √d · #cycles pattern).
+  virtual double max_step_norm() const = 0;
+
+  /// A-priori upper bound on ‖Δv_i(t)‖ over any horizon — finite for
+  /// sliding-window streams (two disjoint window histograms are at most
+  /// √2·window apart), infinite for unbounded random walks. Protocols cap
+  /// U(t) here so the estimation error ε stops growing once the window has
+  /// fully turned over.
+  virtual double max_drift_norm() const {
+    return std::numeric_limits<double>::infinity();
+  }
+};
+
+}  // namespace sgm
+
+#endif  // SGM_DATA_STREAM_H_

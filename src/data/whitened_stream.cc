@@ -1,0 +1,70 @@
+#include "data/whitened_stream.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sgm {
+
+WhitenedStream::WhitenedStream(StreamSource* inner, Vector scales)
+    : inner_(inner), scales_(std::move(scales)) {
+  SGM_CHECK(inner != nullptr);
+  SGM_CHECK(scales_.dim() == inner->dim());
+  max_scale_ = scales_[0];
+  for (std::size_t j = 0; j < scales_.dim(); ++j) {
+    SGM_CHECK_MSG(scales_[j] > 0.0, "whitening scales must be positive");
+    max_scale_ = std::max(max_scale_, scales_[j]);
+  }
+}
+
+Vector WhitenedStream::EstimateScales(StreamSource* calibration,
+                                      int probe_cycles) {
+  SGM_CHECK(calibration != nullptr);
+  SGM_CHECK(probe_cycles >= 2);
+  const std::size_t dim = calibration->dim();
+
+  std::vector<Vector> previous, current;
+  calibration->Advance(&previous);
+  Vector sum(dim), sum_sq(dim);
+  long steps = 0;
+  for (int t = 1; t < probe_cycles; ++t) {
+    calibration->Advance(&current);
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      for (std::size_t j = 0; j < dim; ++j) {
+        const double step = current[i][j] - previous[i][j];
+        sum[j] += step;
+        sum_sq[j] += step * step;
+      }
+    }
+    steps += static_cast<long>(current.size());
+    previous = current;
+  }
+  SGM_CHECK(steps > 0);
+
+  Vector scales(dim, 1.0);
+  for (std::size_t j = 0; j < dim; ++j) {
+    const double mean = sum[j] / static_cast<double>(steps);
+    const double variance =
+        std::max(0.0, sum_sq[j] / static_cast<double>(steps) - mean * mean);
+    const double std_dev = std::sqrt(variance);
+    if (std_dev > 1e-12) scales[j] = 1.0 / std_dev;
+  }
+  return scales;
+}
+
+void WhitenedStream::Advance(std::vector<Vector>* local_vectors) {
+  inner_->Advance(local_vectors);
+  for (Vector& v : *local_vectors) {
+    for (std::size_t j = 0; j < v.dim(); ++j) v[j] *= scales_[j];
+  }
+}
+
+double WhitenedStream::max_step_norm() const {
+  // ‖D·step‖ ≤ max(scales)·‖step‖.
+  return max_scale_ * inner_->max_step_norm();
+}
+
+double WhitenedStream::max_drift_norm() const {
+  return max_scale_ * inner_->max_drift_norm();
+}
+
+}  // namespace sgm

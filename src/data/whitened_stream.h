@@ -1,0 +1,43 @@
+#ifndef SGM_DATA_WHITENED_STREAM_H_
+#define SGM_DATA_WHITENED_STREAM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+#include "data/stream.h"
+
+namespace sgm {
+
+/// Applies a diagonal whitening transform z = D·v to every site vector of a
+/// wrapped stream — the data half of shape-sensitive monitoring (pair with
+/// WhitenedFunction). Scales with large per-coordinate spreads get small
+/// D entries so each whitened coordinate drifts comparably, which is what
+/// makes spherical constraints shape-appropriate.
+class WhitenedStream final : public StreamSource {
+ public:
+  /// Does not own `inner`; `scales` entries must be positive.
+  WhitenedStream(StreamSource* inner, Vector scales);
+
+  /// Estimates whitening scales as 1/std of each coordinate's per-cycle
+  /// step, from `probe_cycles` cycles of a calibration stream (consumed!).
+  /// Degenerate (constant) coordinates get scale 1.
+  static Vector EstimateScales(StreamSource* calibration, int probe_cycles);
+
+  std::string name() const override { return inner_->name() + "_whitened"; }
+  int num_sites() const override { return inner_->num_sites(); }
+  std::size_t dim() const override { return inner_->dim(); }
+  void Advance(std::vector<Vector>* local_vectors) override;
+  double max_step_norm() const override;
+  double max_drift_norm() const override;
+
+ private:
+  StreamSource* inner_;
+  Vector scales_;
+  double max_scale_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_DATA_WHITENED_STREAM_H_

@@ -1,0 +1,59 @@
+#include "estimators/horvitz_thompson.h"
+
+#include "core/check.h"
+
+namespace sgm {
+
+HtVectorEstimator::HtVectorEstimator(int num_sites, std::size_t dim)
+    : num_sites_(num_sites), weighted_sum_(dim) {
+  SGM_CHECK(num_sites > 0);
+  SGM_CHECK(dim > 0);
+}
+
+void HtVectorEstimator::AddSample(const Vector& drift,
+                                  double inclusion_probability) {
+  SGM_CHECK_MSG(inclusion_probability > 0.0 && inclusion_probability <= 1.0,
+                "inclusion probability must lie in (0, 1]; got %f",
+                inclusion_probability);
+  weighted_sum_.Axpy(1.0 / inclusion_probability, drift);
+  ++sample_size_;
+}
+
+Vector HtVectorEstimator::Estimate(const Vector& e) const {
+  Vector estimate = e;
+  estimate.Axpy(1.0 / static_cast<double>(num_sites_), weighted_sum_);
+  return estimate;
+}
+
+Vector HtVectorEstimator::DriftEstimate() const {
+  return weighted_sum_ / static_cast<double>(num_sites_);
+}
+
+void HtVectorEstimator::Reset() {
+  weighted_sum_.SetZero();
+  sample_size_ = 0;
+}
+
+HtScalarEstimator::HtScalarEstimator(int num_sites) : num_sites_(num_sites) {
+  SGM_CHECK(num_sites > 0);
+}
+
+void HtScalarEstimator::AddSample(double signed_distance,
+                                  double inclusion_probability) {
+  SGM_CHECK_MSG(inclusion_probability > 0.0 && inclusion_probability <= 1.0,
+                "inclusion probability must lie in (0, 1]; got %f",
+                inclusion_probability);
+  weighted_sum_ += signed_distance / inclusion_probability;
+  ++sample_size_;
+}
+
+double HtScalarEstimator::Estimate() const {
+  return weighted_sum_ / static_cast<double>(num_sites_);
+}
+
+void HtScalarEstimator::Reset() {
+  weighted_sum_ = 0.0;
+  sample_size_ = 0;
+}
+
+}  // namespace sgm

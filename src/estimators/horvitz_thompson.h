@@ -1,0 +1,65 @@
+#ifndef SGM_ESTIMATORS_HORVITZ_THOMPSON_H_
+#define SGM_ESTIMATORS_HORVITZ_THOMPSON_H_
+
+#include <cstddef>
+
+#include "core/vector.h"
+
+namespace sgm {
+
+/// Horvitz–Thompson estimator of the global average vector (Estimator 1):
+///
+///   v̂ = e + Σ_{i∈K} Δv_i / g_i / N
+///
+/// Each sampled drift is inversely weighted by its inclusion probability, so
+/// the estimate is unbiased for any per-site probabilities 0 < g_i ≤ 1
+/// (Lemma 1(a)). With an empty sample the estimate degenerates to e itself,
+/// which the paper notes stays within the (ε, δ) guarantee.
+class HtVectorEstimator {
+ public:
+  /// `num_sites` is the population size N; `dim` the vector dimensionality.
+  HtVectorEstimator(int num_sites, std::size_t dim);
+
+  /// Adds a sampled site's drift Δv_i with inclusion probability g_i > 0.
+  void AddSample(const Vector& drift, double inclusion_probability);
+
+  /// v̂ given the last-synced global average e.
+  Vector Estimate(const Vector& e) const;
+
+  /// Σ Δv_i/g_i / N — the drift estimate Δv̂ alone.
+  Vector DriftEstimate() const;
+
+  int sample_size() const { return sample_size_; }
+  void Reset();
+
+ private:
+  int num_sites_;
+  int sample_size_ = 0;
+  Vector weighted_sum_;
+};
+
+/// Horvitz–Thompson estimator of the average signed distance (Estimator 5):
+///
+///   D̂_C = Σ_{i∈K} d_C(e + Δv_i) / (N · g_i^C)
+///
+/// The 1-d analogue used by the revised CVSGM scheme (Corollary 2 proves
+/// unbiasedness as the scalar special case of Lemma 1(a)).
+class HtScalarEstimator {
+ public:
+  explicit HtScalarEstimator(int num_sites);
+
+  void AddSample(double signed_distance, double inclusion_probability);
+
+  double Estimate() const;
+  int sample_size() const { return sample_size_; }
+  void Reset();
+
+ private:
+  int num_sites_;
+  int sample_size_ = 0;
+  double weighted_sum_ = 0.0;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_ESTIMATORS_HORVITZ_THOMPSON_H_

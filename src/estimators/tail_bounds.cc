@@ -1,0 +1,51 @@
+#include "estimators/tail_bounds.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sgm {
+
+namespace {
+
+double LogInverse(double delta) {
+  SGM_CHECK_MSG(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
+  return std::log(1.0 / delta);
+}
+
+}  // namespace
+
+double BernsteinSigma(double delta, double U) {
+  SGM_CHECK(U > 0.0);
+  return U / (2.0 * LogInverse(delta));
+}
+
+double BernsteinEpsilon(double delta, double U) {
+  const double L = LogInverse(delta);
+  return (1.0 + std::sqrt(L)) / (2.0 * L) * U;
+}
+
+double BernsteinEpsilonFull(double delta, double U) {
+  const double L = LogInverse(delta);
+  return (1.0 + 2.0 * std::sqrt(L)) / (2.0 * L) * U;
+}
+
+double McDiarmidEpsilon(double delta, double U) {
+  SGM_CHECK(U > 0.0);
+  const double L = LogInverse(delta);
+  return U / (std::sqrt(2.0) * std::sqrt(L));
+}
+
+double ErrorRatio(double delta) {
+  return BernsteinEpsilonFull(delta, 1.0) / McDiarmidEpsilon(delta, 1.0);
+}
+
+double McDiarmidTailProbability(double epsilon, double beta, int n) {
+  SGM_CHECK(epsilon >= 0.0);
+  SGM_CHECK(beta > 0.0);
+  SGM_CHECK(n > 0);
+  return std::exp(-2.0 * epsilon * epsilon /
+                  (static_cast<double>(n) * beta * beta));
+}
+
+}  // namespace sgm

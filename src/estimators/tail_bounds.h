@@ -1,0 +1,37 @@
+#ifndef SGM_ESTIMATORS_TAIL_BOUNDS_H_
+#define SGM_ESTIMATORS_TAIL_BOUNDS_H_
+
+namespace sgm {
+
+/// Multidimensional/scalar tail-probability machinery of Sections 2–4.
+///
+/// All bounds are parameterized by the application tolerance δ ∈ (0, e⁻¹)
+/// and the drift-norm cap U (‖Δv_i‖ ≤ U, Section 3 "Guidance for setting U").
+
+/// σ = U / (2·ln(1/δ)) — the standard-deviation bound of Inequality 3 with
+/// the paper's choice x = 1/2.
+double BernsteinSigma(double delta, double U);
+
+/// ε = (1 + √ln(1/δ)) / (2·ln(1/δ)) · U — the simplified Vector-Bernstein
+/// estimation error of Equation 4 (the value the protocols use; the paper's
+/// footnote 2 notes the full inequality yields a slightly higher ε).
+double BernsteinEpsilon(double delta, double U);
+
+/// ε = (1 + 2·√ln(1/δ)) / (2·ln(1/δ)) · U — the un-simplified Vector
+/// Bernstein error used for the Figure-9 error-ratio study.
+double BernsteinEpsilonFull(double delta, double U);
+
+/// ε_C = U / (√2 · √ln(1/δ)) — the McDiarmid error of the revised 1-d
+/// scheme (Equation 9). Satisfies ε_C ≤ ε for the δ range of interest.
+double McDiarmidEpsilon(double delta, double U);
+
+/// Figure 9's ratio: un-simplified Vector Bernstein over McDiarmid.
+double ErrorRatio(double delta);
+
+/// McDiarmid tail for an average of N terms with common bounded difference
+/// β: P[E[θ] − θ ≥ ε_C] ≤ exp(−2·ε_C²/(N·β²)) — Inequality 7 with β_i = β.
+double McDiarmidTailProbability(double epsilon, double beta, int n);
+
+}  // namespace sgm
+
+#endif  // SGM_ESTIMATORS_TAIL_BOUNDS_H_

@@ -1,0 +1,71 @@
+#include "functions/cosine_similarity.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sgm {
+
+CosineSimilarity::CosineSimilarity(std::size_t dim, double floor)
+    : dim_(dim), floor_(floor) {
+  SGM_CHECK_MSG(dim > 0 && dim % 2 == 0,
+                "cosine_similarity needs an even, positive dimension");
+  SGM_CHECK(floor > 0.0);
+}
+
+double CosineSimilarity::Value(const Vector& v) const {
+  SGM_CHECK(v.dim() == dim_);
+  const std::size_t half = dim_ / 2;
+  double dot = 0.0, xx = 0.0, yy = 0.0;
+  for (std::size_t j = 0; j < half; ++j) {
+    dot += v[j] * v[j + half];
+    xx += v[j] * v[j];
+    yy += v[j + half] * v[j + half];
+  }
+  const double denom =
+      std::sqrt(std::max(xx, floor_)) * std::sqrt(std::max(yy, floor_));
+  return dot / denom;
+}
+
+Vector CosineSimilarity::Gradient(const Vector& v) const {
+  SGM_CHECK(v.dim() == dim_);
+  const std::size_t half = dim_ / 2;
+  double dot = 0.0, xx = 0.0, yy = 0.0;
+  for (std::size_t j = 0; j < half; ++j) {
+    dot += v[j] * v[j + half];
+    xx += v[j] * v[j];
+    yy += v[j + half] * v[j + half];
+  }
+  const double nx = std::sqrt(std::max(xx, floor_));
+  const double ny = std::sqrt(std::max(yy, floor_));
+  const double f = dot / (nx * ny);
+
+  Vector grad(dim_);
+  // ∂f/∂x = y/(‖x‖‖y‖) − f·x/‖x‖² (zero through a floored norm).
+  const bool x_floored = xx < floor_;
+  const bool y_floored = yy < floor_;
+  for (std::size_t j = 0; j < half; ++j) {
+    grad[j] = v[j + half] / (nx * ny) -
+              (x_floored ? 0.0 : f * v[j] / (nx * nx));
+    grad[j + half] =
+        v[j] / (nx * ny) - (y_floored ? 0.0 : f * v[j + half] / (ny * ny));
+  }
+  return grad;
+}
+
+Interval CosineSimilarity::RangeOverBall(const Ball& ball) const {
+  Interval range = ProbeQuadraticRange(ball, /*random_probes=*/12,
+                                       /*safety_factor=*/2.0);
+  // Cosine similarity is globally bounded; tighten the enclosure with it.
+  range.lo = std::max(range.lo, -1.0);
+  range.hi = std::min(range.hi, 1.0);
+  return range;
+}
+
+bool CosineSimilarity::HomogeneityDegree(double* degree) const {
+  // Scale-invariant away from the norm floor.
+  *degree = 0.0;
+  return true;
+}
+
+}  // namespace sgm

@@ -1,0 +1,43 @@
+#ifndef SGM_FUNCTIONS_COSINE_SIMILARITY_H_
+#define SGM_FUNCTIONS_COSINE_SIMILARITY_H_
+
+#include <memory>
+#include <string>
+
+#include "functions/monitored_function.h"
+
+namespace sgm {
+
+/// Cosine similarity between the two halves of a concatenated vector
+/// v = [x ; y]:
+///   f(v) = x·y / (‖x‖·‖y‖)
+///
+/// The similarity measure of the GM outlier-detection application
+/// (Burdakis & Deligiannakis [13]): each monitored pair of sensors
+/// contributes x and y, and an alarm fires when their windows stop agreeing
+/// (f drops below T). Homogeneous of degree 0 (scale-invariant in each
+/// half, hence in v). Exact gradient; probed quadratic enclosure.
+class CosineSimilarity final : public MonitoredFunction {
+ public:
+  /// `dim` must be even; `floor` regularizes the norms away from zero.
+  explicit CosineSimilarity(std::size_t dim, double floor = 1e-6);
+
+  std::string name() const override { return "cosine_similarity"; }
+
+  double Value(const Vector& v) const override;
+  Vector Gradient(const Vector& v) const override;
+  Interval RangeOverBall(const Ball& ball) const override;
+  bool HomogeneityDegree(double* degree) const override;
+
+  std::unique_ptr<MonitoredFunction> Clone() const override {
+    return std::make_unique<CosineSimilarity>(*this);
+  }
+
+ private:
+  std::size_t dim_;
+  double floor_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_FUNCTIONS_COSINE_SIMILARITY_H_

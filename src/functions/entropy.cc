@@ -1,0 +1,52 @@
+#include "functions/entropy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sgm {
+
+Entropy::Entropy(double smoothing) : smoothing_(smoothing) {
+  SGM_CHECK_MSG(smoothing > 0.0, "entropy smoothing must be positive");
+}
+
+double Entropy::Smoothed(double x) const {
+  return std::max(x, 0.0) + smoothing_;
+}
+
+double Entropy::Value(const Vector& v) const {
+  SGM_CHECK(!v.empty());
+  double total = 0.0;
+  for (std::size_t j = 0; j < v.dim(); ++j) total += Smoothed(v[j]);
+  double entropy = 0.0;
+  for (std::size_t j = 0; j < v.dim(); ++j) {
+    const double p = Smoothed(v[j]) / total;
+    entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+Vector Entropy::Gradient(const Vector& v) const {
+  // With p_k = w_k/S: dH/dw_j = −(H + ln p_j)/S, zero at the uniform point.
+  double total = 0.0;
+  for (std::size_t j = 0; j < v.dim(); ++j) total += Smoothed(v[j]);
+  const double value = Value(v);
+  Vector grad(v.dim());
+  for (std::size_t j = 0; j < v.dim(); ++j) {
+    if (v[j] < 0.0) {
+      grad[j] = 0.0;  // clamped region: f constant in v_j
+      continue;
+    }
+    const double p = Smoothed(v[j]) / total;
+    grad[j] = -(value + std::log(p)) / total;
+  }
+  return grad;
+}
+
+Interval Entropy::RangeOverBall(const Ball& ball) const {
+  return ProbeQuadraticRange(ball, /*random_probes=*/12,
+                             /*safety_factor=*/2.0);
+}
+
+}  // namespace sgm

@@ -1,0 +1,48 @@
+#include "functions/inner_product.h"
+
+#include "core/check.h"
+
+namespace sgm {
+
+InnerProductJoin::InnerProductJoin(std::size_t dim) : dim_(dim) {
+  SGM_CHECK_MSG(dim > 0 && dim % 2 == 0,
+                "inner_product_join needs an even, positive dimension");
+}
+
+double InnerProductJoin::Value(const Vector& v) const {
+  SGM_CHECK(v.dim() == dim_);
+  const std::size_t half = dim_ / 2;
+  double sum = 0.0;
+  for (std::size_t j = 0; j < half; ++j) sum += v[j] * v[j + half];
+  return sum;
+}
+
+Vector InnerProductJoin::Gradient(const Vector& v) const {
+  SGM_CHECK(v.dim() == dim_);
+  const std::size_t half = dim_ / 2;
+  Vector grad(dim_);
+  for (std::size_t j = 0; j < half; ++j) {
+    grad[j] = v[j + half];
+    grad[j + half] = v[j];
+  }
+  return grad;
+}
+
+Interval InnerProductJoin::RangeOverBall(const Ball& ball) const {
+  // f(c + u) = f(c) + u·Qc + ½uᵀ(2Q)u/2 with Qc = Gradient(c)/1; the
+  // quadratic term is bounded by ½‖u‖² since the swap form has unit spectral
+  // radius on R^d (eigenvalues ±1 of the pairing matrix, halved twice).
+  const double center_value = Value(ball.center());
+  const double r = ball.radius();
+  const double linear = r * Gradient(ball.center()).Norm();
+  const double quadratic = 0.5 * r * r;
+  return Interval{center_value - linear - quadratic,
+                  center_value + linear + quadratic};
+}
+
+bool InnerProductJoin::HomogeneityDegree(double* degree) const {
+  *degree = 2.0;
+  return true;
+}
+
+}  // namespace sgm

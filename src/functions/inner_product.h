@@ -1,0 +1,42 @@
+#ifndef SGM_FUNCTIONS_INNER_PRODUCT_H_
+#define SGM_FUNCTIONS_INNER_PRODUCT_H_
+
+#include <memory>
+#include <string>
+
+#include "functions/monitored_function.h"
+
+namespace sgm {
+
+/// Binary-join size over a concatenated frequency vector v = [x ; y]:
+///   f(v) = x·y = Σ_j v_j · v_{j+d/2}.
+///
+/// Join-aggregate tracking is a flagship GM application ([12, 6]); the
+/// concatenation trick reduces it to a single global vector. f is the
+/// quadratic form ½·vᵀQv with Q the half-swap permutation (eigenvalues ±½ on
+/// paired coordinates), so over B(c, r):
+///   |f(c + u) − f(c)| ≤ r·‖Qc‖ + ½r²   (‖u‖ ≤ r, ‖Q‖₂ = ½·2 = 1·½ pairs)
+/// which yields a certified enclosure.
+class InnerProductJoin final : public MonitoredFunction {
+ public:
+  /// `dim` must be even: the first half joins against the second half.
+  explicit InnerProductJoin(std::size_t dim);
+
+  std::string name() const override { return "inner_product_join"; }
+
+  double Value(const Vector& v) const override;
+  Vector Gradient(const Vector& v) const override;
+  Interval RangeOverBall(const Ball& ball) const override;
+  bool HomogeneityDegree(double* degree) const override;
+
+  std::unique_ptr<MonitoredFunction> Clone() const override {
+    return std::make_unique<InnerProductJoin>(*this);
+  }
+
+ private:
+  std::size_t dim_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_FUNCTIONS_INNER_PRODUCT_H_

@@ -1,0 +1,75 @@
+#include "functions/jeffrey_divergence.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sgm {
+
+JeffreyDivergence::JeffreyDivergence(Vector reference, double smoothing)
+    : reference_(std::move(reference)), smoothing_(smoothing) {
+  SGM_CHECK(!reference_.empty());
+  SGM_CHECK_MSG(smoothing > 0.0, "JD smoothing must be positive");
+}
+
+double JeffreyDivergence::Smoothed(double x) const {
+  // Histogram counts are nonnegative by construction, but the geometric
+  // machinery probes arbitrary points of the input domain (ball extremes,
+  // gradient probes); clamp so the logarithms stay defined everywhere.
+  return std::max(x, 0.0) + smoothing_;
+}
+
+double JeffreyDivergence::Value(const Vector& v) const {
+  SGM_CHECK(v.dim() == reference_.dim());
+  double sum = 0.0;
+  for (std::size_t j = 0; j < v.dim(); ++j) {
+    const double p = Smoothed(v[j]);
+    const double q = Smoothed(reference_[j]);
+    sum += (p - q) * std::log(p / q);
+  }
+  return sum;
+}
+
+double JeffreyDivergence::PartialDerivative(double v_smoothed,
+                                            double r_smoothed) const {
+  return std::log(v_smoothed / r_smoothed) + 1.0 - r_smoothed / v_smoothed;
+}
+
+Vector JeffreyDivergence::Gradient(const Vector& v) const {
+  SGM_CHECK(v.dim() == reference_.dim());
+  Vector grad(v.dim());
+  for (std::size_t j = 0; j < v.dim(); ++j) {
+    // The clamp in Smoothed() makes f constant in v_j below zero.
+    if (v[j] < 0.0) {
+      grad[j] = 0.0;
+      continue;
+    }
+    grad[j] = PartialDerivative(Smoothed(v[j]), Smoothed(reference_[j]));
+  }
+  return grad;
+}
+
+double JeffreyDivergence::GradientNormBound(const Ball& ball) const {
+  // Per-coordinate certified bound: the partial derivative is monotone in
+  // v_j, so its magnitude over [c_j − ρ, c_j + ρ] peaks at an endpoint.
+  const Vector& c = ball.center();
+  const double r = ball.radius();
+  double sq = 0.0;
+  for (std::size_t j = 0; j < c.dim(); ++j) {
+    const double q = Smoothed(reference_[j]);
+    const double lo = Smoothed(c[j] - r);
+    const double hi = Smoothed(c[j] + r);
+    const double bound = std::max(std::abs(PartialDerivative(lo, q)),
+                                  std::abs(PartialDerivative(hi, q)));
+    sq += bound * bound;
+  }
+  return std::sqrt(sq);
+}
+
+void JeffreyDivergence::OnSync(const Vector& e) {
+  SGM_CHECK(e.dim() == reference_.dim());
+  reference_ = e;
+}
+
+}  // namespace sgm

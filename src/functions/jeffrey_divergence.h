@@ -1,0 +1,54 @@
+#ifndef SGM_FUNCTIONS_JEFFREY_DIVERGENCE_H_
+#define SGM_FUNCTIONS_JEFFREY_DIVERGENCE_H_
+
+#include <memory>
+#include <string>
+
+#include "functions/monitored_function.h"
+
+namespace sgm {
+
+/// Jeffrey divergence between the current histogram and the last-synced one:
+///   f(v) = Σ_j (v_j' − r_j') · ln(v_j' / r_j'),   x' = x + α (smoothing).
+///
+/// This is the symmetric KL-style divergence the paper's Jester JD workload
+/// tracks ("the cost of encoding the current global histogram ... to the one
+/// communicated during the last central data collection", citing Rubner et
+/// al. [43]). It operates on smoothed *count* histograms; α > 0 keeps every
+/// term finite. OnSync() re-anchors the reference r to the new e(t).
+///
+/// f is convex and separable, so a certified ball enclosure follows from a
+/// per-coordinate gradient bound: ∂f/∂v_j = ln(v_j'/r_j') + 1 − r_j'/v_j'
+/// is non-decreasing in v_j, hence its magnitude over B(c, ρ) is maximized at
+/// v_j = c_j ± ρ and L = ‖(max_j |∂_j|)_j‖₂ bounds ‖∇f‖ over the ball.
+class JeffreyDivergence final : public MonitoredFunction {
+ public:
+  /// `reference` is the anchor histogram; `smoothing` the additive α > 0.
+  explicit JeffreyDivergence(Vector reference, double smoothing = 0.5);
+
+  std::string name() const override { return "jeffrey_divergence"; }
+
+  double Value(const Vector& v) const override;
+  Vector Gradient(const Vector& v) const override;
+  double GradientNormBound(const Ball& ball) const override;
+  void OnSync(const Vector& e) override;
+
+  const Vector& reference() const { return reference_; }
+
+  std::unique_ptr<MonitoredFunction> Clone() const override {
+    return std::make_unique<JeffreyDivergence>(*this);
+  }
+
+ private:
+  /// Smoothed positive value for a (possibly slightly negative) count.
+  double Smoothed(double x) const;
+  /// ∂f/∂v_j as a function of the smoothed coordinate and reference.
+  double PartialDerivative(double v_smoothed, double r_smoothed) const;
+
+  Vector reference_;
+  double smoothing_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_FUNCTIONS_JEFFREY_DIVERGENCE_H_

@@ -1,0 +1,58 @@
+#include "functions/l2_norm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sgm {
+
+double L2Norm::Value(const Vector& v) const {
+  return squared_ ? v.SquaredNorm() : v.Norm();
+}
+
+Vector L2Norm::Gradient(const Vector& v) const {
+  Vector grad = v;
+  if (squared_) {
+    grad *= 2.0;
+    return grad;
+  }
+  const double norm = v.Norm();
+  if (norm > 0.0) grad /= norm;
+  return grad;
+}
+
+Interval L2Norm::RangeOverBall(const Ball& ball) const {
+  const double center_norm = ball.center().Norm();
+  const double lo = std::max(0.0, center_norm - ball.radius());
+  const double hi = center_norm + ball.radius();
+  if (squared_) return Interval{lo * lo, hi * hi};
+  return Interval{lo, hi};
+}
+
+double L2Norm::DistanceToSurface(const Vector& point, double threshold,
+                                 double /*search_radius*/) const {
+  // Surface {‖v‖ = s}; empty for negative thresholds (report +inf-ish cap).
+  const double s =
+      squared_ ? (threshold >= 0.0 ? std::sqrt(threshold) : -1.0) : threshold;
+  if (s < 0.0) return std::numeric_limits<double>::infinity();
+  return std::abs(point.Norm() - s);
+}
+
+std::unique_ptr<SafeZone> L2Norm::BuildSafeZone(const Vector& e,
+                                                double threshold,
+                                                bool above) const {
+  const double s =
+      squared_ ? (threshold >= 0.0 ? std::sqrt(threshold) : -1.0) : threshold;
+  if (!above && s >= 0.0) {
+    return std::make_unique<BallSafeZone>(Ball(Vector(e.dim()), s));
+  }
+  // Above the surface the admissible region {‖v‖ ≥ s} is not convex; fall
+  // back to the inscribed ball around e.
+  return MonitoredFunction::BuildSafeZone(e, threshold, above);
+}
+
+bool L2Norm::HomogeneityDegree(double* degree) const {
+  *degree = squared_ ? 2.0 : 1.0;
+  return true;
+}
+
+}  // namespace sgm

@@ -1,0 +1,53 @@
+#ifndef SGM_FUNCTIONS_L2_NORM_H_
+#define SGM_FUNCTIONS_L2_NORM_H_
+
+#include <memory>
+#include <string>
+
+#include "functions/monitored_function.h"
+
+namespace sgm {
+
+/// Euclidean-norm queries: f(v) = ‖v‖ or the self-join size f(v) = ‖v‖².
+///
+/// Self-join size tracking over the expected-count histogram vector is one
+/// of the three Jester workloads of the paper's Section 6 ("SJ", essentially
+/// the L2 norm — [19,12,6]). All geometric primitives are exact:
+/// over B(c, r) the norm ranges in [max(0, ‖c‖ − r), ‖c‖ + r], and the
+/// distance from p to {‖v‖ = s} is |‖p‖ − s|.
+class L2Norm final : public MonitoredFunction {
+ public:
+  /// `squared` = true yields the self-join size ‖v‖².
+  explicit L2Norm(bool squared = false) : squared_(squared) {}
+
+  /// Factory for the paper's SJ workload.
+  static std::unique_ptr<L2Norm> SelfJoinSize() {
+    return std::make_unique<L2Norm>(/*squared=*/true);
+  }
+
+  std::string name() const override {
+    return squared_ ? "self_join_size" : "l2_norm";
+  }
+
+  double Value(const Vector& v) const override;
+  Vector Gradient(const Vector& v) const override;
+  Interval RangeOverBall(const Ball& ball) const override;
+  double DistanceToSurface(const Vector& point, double threshold,
+                           double search_radius = 0.0) const override;
+  /// Below the threshold the admissible region {‖v‖ ≤ s} is itself a ball
+  /// around the origin — the exact (maximal possible) convex safe zone.
+  std::unique_ptr<SafeZone> BuildSafeZone(const Vector& e, double threshold,
+                                          bool above) const override;
+  bool HomogeneityDegree(double* degree) const override;
+
+  std::unique_ptr<MonitoredFunction> Clone() const override {
+    return std::make_unique<L2Norm>(*this);
+  }
+
+ private:
+  bool squared_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_FUNCTIONS_L2_NORM_H_

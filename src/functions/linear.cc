@@ -1,0 +1,53 @@
+#include "functions/linear.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sgm {
+
+LinearFunction::LinearFunction(Vector weights, double bias)
+    : weights_(std::move(weights)), bias_(bias) {
+  SGM_CHECK(!weights_.empty());
+}
+
+std::unique_ptr<LinearFunction> LinearFunction::CoordinateSum(
+    std::size_t dim) {
+  return std::make_unique<LinearFunction>(Vector(dim, 1.0));
+}
+
+double LinearFunction::Value(const Vector& v) const {
+  return weights_.Dot(v) + bias_;
+}
+
+Vector LinearFunction::Gradient(const Vector& /*v*/) const { return weights_; }
+
+Interval LinearFunction::RangeOverBall(const Ball& ball) const {
+  const double center_value = Value(ball.center());
+  const double spread = ball.radius() * weights_.Norm();
+  return Interval{center_value - spread, center_value + spread};
+}
+
+double LinearFunction::DistanceToSurface(const Vector& point, double threshold,
+                                         double /*search_radius*/) const {
+  return std::abs(Value(point) - threshold) / weights_.Norm();
+}
+
+std::unique_ptr<SafeZone> LinearFunction::BuildSafeZone(
+    const Vector& /*e*/, double threshold, bool above) const {
+  // Below: {a·v ≤ T − b}. Above: {−a·v ≤ b − T}. Both exact halfspaces.
+  if (!above) {
+    return std::make_unique<HalfspaceSafeZone>(
+        Halfspace(weights_, threshold - bias_));
+  }
+  return std::make_unique<HalfspaceSafeZone>(
+      Halfspace(weights_ * -1.0, bias_ - threshold));
+}
+
+bool LinearFunction::HomogeneityDegree(double* degree) const {
+  if (bias_ != 0.0) return false;
+  *degree = 1.0;
+  return true;
+}
+
+}  // namespace sgm

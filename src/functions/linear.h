@@ -1,0 +1,48 @@
+#ifndef SGM_FUNCTIONS_LINEAR_H_
+#define SGM_FUNCTIONS_LINEAR_H_
+
+#include <memory>
+#include <string>
+
+#include "functions/monitored_function.h"
+
+namespace sgm {
+
+/// Affine query f(v) = a·v + b — thresholded sums/counts ([9, 10]).
+///
+/// Linear queries are the degenerate case where geometric monitoring reduces
+/// to the classical distributed-threshold schemes; they are included both as
+/// the simplest sanity workload and because every geometric primitive is
+/// exact (ranges f(c) ± r‖a‖; surface distance |f(p) − T|/‖a‖).
+class LinearFunction final : public MonitoredFunction {
+ public:
+  LinearFunction(Vector weights, double bias = 0.0);
+
+  /// f(v) = Σ_j v_j: the thresholded-count query.
+  static std::unique_ptr<LinearFunction> CoordinateSum(std::size_t dim);
+
+  std::string name() const override { return "linear"; }
+
+  double Value(const Vector& v) const override;
+  Vector Gradient(const Vector& v) const override;
+  Interval RangeOverBall(const Ball& ball) const override;
+  double DistanceToSurface(const Vector& point, double threshold,
+                           double search_radius = 0.0) const override;
+  /// The admissible region {a·v + b ≤ T} (or ≥) is itself a halfspace —
+  /// the exact convex safe zone on either side of the surface.
+  std::unique_ptr<SafeZone> BuildSafeZone(const Vector& e, double threshold,
+                                          bool above) const override;
+  bool HomogeneityDegree(double* degree) const override;
+
+  std::unique_ptr<MonitoredFunction> Clone() const override {
+    return std::make_unique<LinearFunction>(*this);
+  }
+
+ private:
+  Vector weights_;
+  double bias_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_FUNCTIONS_LINEAR_H_

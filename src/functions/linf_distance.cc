@@ -1,0 +1,94 @@
+#include "functions/linf_distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sgm {
+
+LInfDistance::LInfDistance(Vector reference)
+    : reference_(std::move(reference)) {
+  SGM_CHECK(!reference_.empty());
+}
+
+double LInfDistance::Value(const Vector& v) const {
+  return (v - reference_).LInfNorm();
+}
+
+Vector LInfDistance::Gradient(const Vector& v) const {
+  // Subgradient: unit vector on (one) maximizing coordinate.
+  Vector grad(v.dim());
+  std::size_t arg = 0;
+  double best = -1.0;
+  for (std::size_t j = 0; j < v.dim(); ++j) {
+    const double a = std::abs(v[j] - reference_[j]);
+    if (a > best) {
+      best = a;
+      arg = j;
+    }
+  }
+  grad[arg] = (v[arg] >= reference_[arg]) ? 1.0 : -1.0;
+  return grad;
+}
+
+double LInfDistance::DistanceToBox(const Vector& point, double t) const {
+  double sq = 0.0;
+  for (std::size_t j = 0; j < point.dim(); ++j) {
+    const double excess = std::abs(point[j] - reference_[j]) - t;
+    if (excess > 0.0) sq += excess * excess;
+  }
+  return std::sqrt(sq);
+}
+
+Interval LInfDistance::RangeOverBall(const Ball& ball) const {
+  const double center_value = Value(ball.center());
+  const double r = ball.radius();
+  const double hi = center_value + r;
+
+  // min over the ball: smallest t with dist(center, Box(ref, t)) ≤ r.
+  // DistanceToBox is non-increasing in t, so bisect on [lo_bound, center].
+  // The returned lower endpoint is always the certified side of the bisection
+  // bracket, preserving the enclosure contract.
+  double lo = std::max(0.0, center_value - r);
+  if (DistanceToBox(ball.center(), lo) > r) {
+    double hi_t = center_value;
+    for (int iter = 0; iter < 60; ++iter) {
+      const double mid = 0.5 * (lo + hi_t);
+      if (DistanceToBox(ball.center(), mid) <= r) {
+        hi_t = mid;
+      } else {
+        lo = mid;
+      }
+    }
+  }
+  return Interval{lo, hi};
+}
+
+double LInfDistance::DistanceToSurface(const Vector& point, double threshold,
+                                       double /*search_radius*/) const {
+  if (threshold < 0.0) return std::numeric_limits<double>::infinity();
+  const double value = Value(point);
+  if (value > threshold) {
+    // Outside the box: closed-form distance to the box of half-width T.
+    return DistanceToBox(point, threshold);
+  }
+  // Inside: cheapest exit pushes the largest coordinate to the T face.
+  return threshold - value;
+}
+
+std::unique_ptr<SafeZone> LInfDistance::BuildSafeZone(const Vector& e,
+                                                      double threshold,
+                                                      bool above) const {
+  if (!above && threshold >= 0.0) {
+    return std::make_unique<BoxSafeZone>(reference_, threshold);
+  }
+  return MonitoredFunction::BuildSafeZone(e, threshold, above);
+}
+
+void LInfDistance::OnSync(const Vector& e) {
+  SGM_CHECK(e.dim() == reference_.dim());
+  reference_ = e;
+}
+
+}  // namespace sgm

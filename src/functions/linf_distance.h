@@ -1,0 +1,56 @@
+#ifndef SGM_FUNCTIONS_LINF_DISTANCE_H_
+#define SGM_FUNCTIONS_LINF_DISTANCE_H_
+
+#include <memory>
+#include <string>
+
+#include "functions/monitored_function.h"
+
+namespace sgm {
+
+/// f(v) = ‖v − ref‖_∞ — maximum per-bucket deviation from a reference
+/// histogram.
+///
+/// The paper's Jester L∞ workload measures the distance of the current
+/// global histogram from the one shipped at the last central data
+/// collection, so OnSync() re-anchors `ref` to the freshly-computed e(t).
+/// All geometric primitives are exact:
+///  * max over B(c,r) is ‖c − ref‖_∞ + r (push one coordinate by r);
+///  * min over B(c,r) is found by bisection on t through the closed-form
+///    distance from c to the box {‖x − ref‖_∞ ≤ t};
+///  * point-to-surface distance has a closed form on both sides.
+class LInfDistance final : public MonitoredFunction {
+ public:
+  /// Starts anchored at `reference` (commonly the zero vector before the
+  /// first synchronization).
+  explicit LInfDistance(Vector reference);
+
+  std::string name() const override { return "linf_distance"; }
+
+  double Value(const Vector& v) const override;
+  Vector Gradient(const Vector& v) const override;
+  Interval RangeOverBall(const Ball& ball) const override;
+  double DistanceToSurface(const Vector& point, double threshold,
+                           double search_radius = 0.0) const override;
+  /// Below the threshold the admissible region {‖v − ref‖_∞ ≤ T} is a box
+  /// — the exact convex safe zone, with closed-form signed distance.
+  std::unique_ptr<SafeZone> BuildSafeZone(const Vector& e, double threshold,
+                                          bool above) const override;
+  void OnSync(const Vector& e) override;
+
+  const Vector& reference() const { return reference_; }
+
+  std::unique_ptr<MonitoredFunction> Clone() const override {
+    return std::make_unique<LInfDistance>(*this);
+  }
+
+ private:
+  /// Euclidean distance from `point` to the box {‖x − ref‖_∞ ≤ t}.
+  double DistanceToBox(const Vector& point, double t) const;
+
+  Vector reference_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_FUNCTIONS_LINF_DISTANCE_H_

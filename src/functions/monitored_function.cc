@@ -1,0 +1,173 @@
+#include "functions/monitored_function.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sgm {
+
+Vector MonitoredFunction::Gradient(const Vector& v) const {
+  // Central differences with per-coordinate scaled step.
+  Vector grad(v.dim());
+  Vector probe = v;
+  for (std::size_t j = 0; j < v.dim(); ++j) {
+    const double h = 1e-6 * (1.0 + std::abs(v[j]));
+    const double saved = probe[j];
+    probe[j] = saved + h;
+    const double f_plus = Value(probe);
+    probe[j] = saved - h;
+    const double f_minus = Value(probe);
+    probe[j] = saved;
+    grad[j] = (f_plus - f_minus) / (2.0 * h);
+  }
+  return grad;
+}
+
+double MonitoredFunction::ProbeGradientNormBound(const Ball& ball,
+                                                 int random_probes,
+                                                 double safety_factor) const {
+  const Vector& c = ball.center();
+  const double r = ball.radius();
+  double bound = Gradient(c).Norm();
+
+  Vector probe = c;
+  for (std::size_t j = 0; j < c.dim(); ++j) {
+    const double saved = probe[j];
+    probe[j] = saved + r;
+    bound = std::max(bound, Gradient(probe).Norm());
+    probe[j] = saved - r;
+    bound = std::max(bound, Gradient(probe).Norm());
+    probe[j] = saved;
+  }
+
+  // Deterministic per-ball probe seed keeps results reproducible.
+  std::uint64_t seed = 0x5bd1e995u;
+  for (std::size_t j = 0; j < c.dim(); ++j) {
+    seed = seed * 6364136223846793005ULL +
+           static_cast<std::uint64_t>(c[j] * 1e6) + 1442695040888963407ULL;
+  }
+  Rng rng(seed);
+  for (int p = 0; p < random_probes; ++p) {
+    Vector direction(c.dim());
+    for (std::size_t j = 0; j < c.dim(); ++j) {
+      direction[j] = rng.NextGaussian();
+    }
+    const double norm = direction.Norm();
+    if (norm == 0.0) continue;
+    Vector x = c;
+    x.Axpy(r / norm, direction);
+    bound = std::max(bound, Gradient(x).Norm());
+  }
+  return bound * safety_factor;
+}
+
+Interval MonitoredFunction::ProbeQuadraticRange(const Ball& ball,
+                                                int random_probes,
+                                                double safety_factor) const {
+  const Vector& c = ball.center();
+  const double r = ball.radius();
+  const double center_value = Value(c);
+  if (r == 0.0) return Interval{center_value, center_value};
+  const Vector center_grad = Gradient(c);
+
+  double curvature = 0.0;
+  auto probe = [&](const Vector& x) {
+    const double distance = x.DistanceTo(c);
+    if (distance <= 0.0) return;
+    const double secant = (Gradient(x) - center_grad).Norm() / distance;
+    curvature = std::max(curvature, secant);
+  };
+
+  Vector x = c;
+  for (std::size_t j = 0; j < c.dim(); ++j) {
+    const double saved = x[j];
+    x[j] = saved + r;
+    probe(x);
+    x[j] = saved - r;
+    probe(x);
+    x[j] = saved;
+  }
+  std::uint64_t seed = 0x2545f491u;
+  for (std::size_t j = 0; j < c.dim(); ++j) {
+    seed = seed * 6364136223846793005ULL +
+           static_cast<std::uint64_t>(c[j] * 1e6) + 1442695040888963407ULL;
+  }
+  Rng rng(seed);
+  for (int p = 0; p < random_probes; ++p) {
+    Vector direction(c.dim());
+    for (std::size_t j = 0; j < c.dim(); ++j) {
+      direction[j] = rng.NextGaussian();
+    }
+    const double norm = direction.Norm();
+    if (norm == 0.0) continue;
+    Vector point = c;
+    point.Axpy(r / norm, direction);
+    probe(point);
+  }
+
+  const double spread = r * center_grad.Norm() +
+                        0.5 * r * r * curvature * safety_factor;
+  return Interval{center_value - spread, center_value + spread};
+}
+
+double MonitoredFunction::GradientNormBound(const Ball& ball) const {
+  return ProbeGradientNormBound(ball, /*random_probes=*/8,
+                                /*safety_factor=*/1.5);
+}
+
+Interval MonitoredFunction::RangeOverBall(const Ball& ball) const {
+  const double center_value = Value(ball.center());
+  const double spread = ball.radius() * GradientNormBound(ball);
+  return Interval{center_value - spread, center_value + spread};
+}
+
+bool MonitoredFunction::BallCrossesThreshold(const Ball& ball,
+                                             double threshold) const {
+  return RangeOverBall(ball).Straddles(threshold);
+}
+
+double MonitoredFunction::DistanceToSurface(const Vector& point,
+                                            double threshold,
+                                            double search_radius) const {
+  const double value_gap = std::abs(Value(point) - threshold);
+  if (value_gap == 0.0) return 0.0;
+
+  // Initial radius guess from the local slope, then exponential expansion up
+  // to the cap, then bisection between the last safe and first crossing radii.
+  const double slope = Gradient(point).Norm();
+  double lo = 0.0;
+  double hi = std::max(1e-9, value_gap / (slope + 1e-12));
+  const double cap =
+      search_radius > 0.0 ? search_radius : std::max(1e3, hi * 1e6);
+
+  int expansions = 0;
+  while (!RangeOverBall(Ball(point, hi)).Straddles(threshold)) {
+    lo = hi;
+    hi *= 2.0;
+    if (hi >= cap || ++expansions > 200) return std::min(hi, cap);
+  }
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (RangeOverBall(Ball(point, mid)).Straddles(threshold)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return lo;
+}
+
+void MonitoredFunction::OnSync(const Vector& /*e*/) {}
+
+std::unique_ptr<SafeZone> MonitoredFunction::BuildSafeZone(
+    const Vector& e, double threshold, bool /*above*/) const {
+  return std::make_unique<BallSafeZone>(
+      Ball(e, DistanceToSurface(e, threshold)));
+}
+
+bool MonitoredFunction::HomogeneityDegree(double* /*degree*/) const {
+  return false;
+}
+
+}  // namespace sgm

@@ -1,0 +1,121 @@
+#ifndef SGM_FUNCTIONS_MONITORED_FUNCTION_H_
+#define SGM_FUNCTIONS_MONITORED_FUNCTION_H_
+
+#include <memory>
+#include <string>
+
+#include "core/rng.h"
+#include "core/vector.h"
+#include "geometry/ball.h"
+#include "geometry/safe_zone.h"
+
+namespace sgm {
+
+/// Closed interval [lo, hi] used as a range enclosure of f over a region.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool Straddles(double threshold) const {
+    return lo <= threshold && threshold <= hi;
+  }
+};
+
+/// A (generally non-linear) function f : R^d → R tracked against a threshold.
+///
+/// This is the query abstraction of the whole library. Geometric monitoring
+/// tracks whether f(v(t)) ≤ T for the global average vector v(t); the local
+/// test every protocol performs is "does my constraint ball intersect the
+/// threshold surface {f = T}?", which this interface exposes as
+/// BallCrossesThreshold().
+///
+/// ### Conservativeness contract
+/// RangeOverBall() must return an *enclosure*: `lo ≤ min_B f` and
+/// `hi ≥ max_B f`. Consequently BallCrossesThreshold() may report a crossing
+/// that does not exist (costing a false-positive synchronization, which GM
+/// tolerates by design) but never misses a true crossing — the property the
+/// GM correctness argument needs. Subclasses with closed-form extrema
+/// override RangeOverBall() with exact bounds; the default implementation
+/// uses a certified-by-construction Lipschitz bound f(c) ± r·L where L is
+/// GradientNormBound() over the ball.
+///
+/// ### References
+/// Functions whose definition involves the last centrally-collected state
+/// (e.g. L∞/Jeffrey distance *to the histogram shipped at the previous
+/// synchronization*) override OnSync() to re-anchor themselves. Protocols
+/// must therefore own a private Clone() of the function they track.
+class MonitoredFunction {
+ public:
+  virtual ~MonitoredFunction() = default;
+
+  virtual std::string name() const = 0;
+
+  /// f(v).
+  virtual double Value(const Vector& v) const = 0;
+
+  /// ∇f(v); default central finite differences (exact overrides preferred).
+  virtual Vector Gradient(const Vector& v) const;
+
+  /// Enclosure of f over the closed ball (see conservativeness contract).
+  virtual Interval RangeOverBall(const Ball& ball) const;
+
+  /// Upper bound on sup_{x∈ball} ‖∇f(x)‖ used by the default
+  /// RangeOverBall(). The default estimates the bound by probing gradients at
+  /// the center, the axis-extreme points and random boundary points, padded
+  /// by a 1.5× safety factor; override with a certified analytic bound where
+  /// one exists.
+  virtual double GradientNormBound(const Ball& ball) const;
+
+  /// True when the ball (possibly) intersects the threshold surface {f = T}.
+  /// Conservative per the enclosure contract.
+  virtual bool BallCrossesThreshold(const Ball& ball, double threshold) const;
+
+  /// Lower bound on the Euclidean distance from `point` to {f = T}
+  /// (the ε_T of Figure 5, and the safe-zone radius of Section 6.6).
+  /// The default binary-searches the largest ball around `point` whose
+  /// RangeOverBall() enclosure stays on one side of T; exact overrides exist
+  /// for norms. `search_radius` caps the search.
+  virtual double DistanceToSurface(const Vector& point, double threshold,
+                                   double search_radius = 0.0) const;
+
+  /// Re-anchors reference-based functions to the freshly-synced global
+  /// average `e`; no-op by default.
+  virtual void OnSync(const Vector& e);
+
+  /// Builds the best available convex safe zone (Section 4): a convex
+  /// subset of the admissible region on `e`'s side of the threshold
+  /// surface, containing `e`. The default is the maximal inscribed ball
+  /// B(e, DistanceToSurface(e, T)); functions whose admissible region is
+  /// itself convex override with the exact region (the CV literature's
+  /// point that zone quality is function-specific). `above` tells which
+  /// side of the surface is currently admissible.
+  virtual std::unique_ptr<SafeZone> BuildSafeZone(const Vector& e,
+                                                  double threshold,
+                                                  bool above) const;
+
+  /// Degree α when f is homogeneous (f(k·v) = k^α f(v)), used by the
+  /// Section-7 sum-parameterization transforms. Returns false when f is not
+  /// homogeneous.
+  virtual bool HomogeneityDegree(double* degree) const;
+
+  /// Deep copy (protocols anchor private references via OnSync).
+  virtual std::unique_ptr<MonitoredFunction> Clone() const = 0;
+
+ protected:
+  /// Shared helper for the default GradientNormBound() probing.
+  double ProbeGradientNormBound(const Ball& ball, int random_probes,
+                                double safety_factor) const;
+
+  /// Second-order enclosure for smooth functions:
+  ///   f(c) ± (r·‖∇f(c)‖ + ½·r²·H)
+  /// with H a curvature bound probed as max ‖∇f(x) − ∇f(c)‖ / ‖x − c‖ over
+  /// axis and random ball points, padded by `safety_factor`. Far tighter
+  /// than the Lipschitz enclosure where the gradient vanishes (e.g. χ² near
+  /// independence), at the cost of extra gradient evaluations.
+  Interval ProbeQuadraticRange(const Ball& ball, int random_probes,
+                               double safety_factor) const;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_FUNCTIONS_MONITORED_FUNCTION_H_

@@ -1,0 +1,52 @@
+#include "functions/mutual_information.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sgm {
+
+MutualInformation::MutualInformation(double window, int num_sites,
+                                     double smoothing)
+    : window_(window), num_sites_(num_sites), smoothing_(smoothing) {
+  SGM_CHECK(window > 0.0);
+  SGM_CHECK(num_sites > 0);
+  SGM_CHECK(smoothing > 0.0);
+}
+
+double MutualInformation::Value(const Vector& v) const {
+  SGM_CHECK_MSG(v.dim() == 3, "mutual_information expects [v1, v2, v3]");
+  const double v1 = std::max(v[0], 0.0) + smoothing_;
+  const double v2 = std::max(v[1], 0.0) + smoothing_;
+  const double v3 = std::max(v[2], 0.0) + smoothing_;
+  return std::log(v1 * window_ * static_cast<double>(num_sites_) /
+                  ((v1 + v3) * (v1 + v2)));
+}
+
+Vector MutualInformation::Gradient(const Vector& v) const {
+  SGM_CHECK(v.dim() == 3);
+  Vector grad(3);
+  const bool clamped1 = v[0] < 0.0;
+  const bool clamped2 = v[1] < 0.0;
+  const bool clamped3 = v[2] < 0.0;
+  const double v1 = std::max(v[0], 0.0) + smoothing_;
+  const double v2 = std::max(v[1], 0.0) + smoothing_;
+  const double v3 = std::max(v[2], 0.0) + smoothing_;
+  // f = ln v1 − ln(v1+v3) − ln(v1+v2) + const.
+  grad[0] = clamped1 ? 0.0 : 1.0 / v1 - 1.0 / (v1 + v3) - 1.0 / (v1 + v2);
+  grad[1] = clamped2 ? 0.0 : -1.0 / (v1 + v2);
+  grad[2] = clamped3 ? 0.0 : -1.0 / (v1 + v3);
+  return grad;
+}
+
+double MutualInformation::GradientNormBound(const Ball& ball) const {
+  return ProbeGradientNormBound(ball, /*random_probes=*/16,
+                                /*safety_factor=*/2.0);
+}
+
+double MutualInformation::ExampleThreshold(double margin) const {
+  return std::log(static_cast<double>(num_sites_)) + margin;
+}
+
+}  // namespace sgm

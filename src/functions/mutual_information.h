@@ -1,0 +1,45 @@
+#ifndef SGM_FUNCTIONS_MUTUAL_INFORMATION_H_
+#define SGM_FUNCTIONS_MUTUAL_INFORMATION_H_
+
+#include <memory>
+#include <string>
+
+#include "functions/monitored_function.h"
+
+namespace sgm {
+
+/// Mutual-information relevance score of the paper's running example
+/// (Example 1):
+///
+///   f(v) = log( v¹·w·N / ((v¹ + v³)(v¹ + v²)) )
+///
+/// over the 3-dimensional averaged count vector v = [co-occurrences,
+/// term-only, category-only] within windows of w observations per site,
+/// tracked against T = log(N) + margin. Inputs are smoothed so the logarithm
+/// stays defined at empty windows.
+class MutualInformation final : public MonitoredFunction {
+ public:
+  MutualInformation(double window, int num_sites, double smoothing = 0.1);
+
+  std::string name() const override { return "mutual_information"; }
+
+  double Value(const Vector& v) const override;
+  Vector Gradient(const Vector& v) const override;
+  double GradientNormBound(const Ball& ball) const override;
+
+  /// The natural threshold of the running example, log(N) + margin.
+  double ExampleThreshold(double margin = 0.01) const;
+
+  std::unique_ptr<MonitoredFunction> Clone() const override {
+    return std::make_unique<MutualInformation>(*this);
+  }
+
+ private:
+  double window_;
+  int num_sites_;
+  double smoothing_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_FUNCTIONS_MUTUAL_INFORMATION_H_

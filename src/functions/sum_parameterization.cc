@@ -1,0 +1,69 @@
+#include "functions/sum_parameterization.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sgm {
+
+ScaledInputFunction::ScaledInputFunction(
+    std::unique_ptr<MonitoredFunction> inner, double scale)
+    : inner_(std::move(inner)), scale_(scale) {
+  SGM_CHECK(inner_ != nullptr);
+  SGM_CHECK_MSG(scale > 0.0, "input scale must be positive");
+}
+
+ScaledInputFunction::ScaledInputFunction(const ScaledInputFunction& other)
+    : inner_(other.inner_->Clone()), scale_(other.scale_) {}
+
+std::string ScaledInputFunction::name() const {
+  return inner_->name() + "_sum";
+}
+
+double ScaledInputFunction::Value(const Vector& v) const {
+  return inner_->Value(v * scale_);
+}
+
+Vector ScaledInputFunction::Gradient(const Vector& v) const {
+  return inner_->Gradient(v * scale_) * scale_;
+}
+
+Interval ScaledInputFunction::RangeOverBall(const Ball& ball) const {
+  // The image of B(c, r) under x ↦ s·x is B(s·c, s·r): the adapted-vectors
+  // geometry (balls scaled by N) falls out exactly (Lemma 7).
+  return inner_->RangeOverBall(
+      Ball(ball.center() * scale_, ball.radius() * scale_));
+}
+
+double ScaledInputFunction::DistanceToSurface(const Vector& point,
+                                              double threshold,
+                                              double search_radius) const {
+  // Lemma 6(b): distances in the average-parameterized domain are N times
+  // shorter than in the sum domain.
+  return inner_->DistanceToSurface(point * scale_, threshold,
+                                   search_radius * scale_) /
+         scale_;
+}
+
+void ScaledInputFunction::OnSync(const Vector& e) {
+  inner_->OnSync(e * scale_);
+}
+
+bool ScaledInputFunction::HomogeneityDegree(double* degree) const {
+  return inner_->HomogeneityDegree(degree);
+}
+
+double TransformThresholdForAverage(const MonitoredFunction& function,
+                                    double sum_threshold, int num_sites) {
+  double degree = 0.0;
+  SGM_CHECK_MSG(function.HomogeneityDegree(&degree),
+                "function transformation requires a homogeneous function");
+  return sum_threshold /
+         std::pow(static_cast<double>(num_sites), degree);
+}
+
+double RelativeRateOfGrowth(double degree, int num_sites) {
+  return std::pow(static_cast<double>(num_sites), degree);
+}
+
+}  // namespace sgm

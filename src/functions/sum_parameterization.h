@@ -1,0 +1,61 @@
+#ifndef SGM_FUNCTIONS_SUM_PARAMETERIZATION_H_
+#define SGM_FUNCTIONS_SUM_PARAMETERIZATION_H_
+
+#include <memory>
+#include <string>
+
+#include "functions/monitored_function.h"
+
+namespace sgm {
+
+/// Sum-parameterized monitoring (Section 7): tracks f(v_sum) = f(N·v) by
+/// composing a scaling of the input domain with the wrapped function.
+///
+/// This is the *Adapted Vectors* approach of Section 7.1 expressed as a
+/// function wrapper: evaluating the wrapped f on N-times-scaled inputs is
+/// isometric (Lemma 7) to scaling every drift vector and constraint ball by
+/// N, so protocols can monitor sum queries without special-casing — the
+/// larger effective balls (and hence the extra false positives the paper
+/// analyzes) emerge from RangeOverBall() of the scaled geometry.
+class ScaledInputFunction final : public MonitoredFunction {
+ public:
+  /// Monitors inner(scale · v); scale = N for sum-parameterization.
+  ScaledInputFunction(std::unique_ptr<MonitoredFunction> inner, double scale);
+
+  ScaledInputFunction(const ScaledInputFunction& other);
+  ScaledInputFunction& operator=(const ScaledInputFunction&) = delete;
+
+  std::string name() const override;
+  double Value(const Vector& v) const override;
+  Vector Gradient(const Vector& v) const override;
+  Interval RangeOverBall(const Ball& ball) const override;
+  double DistanceToSurface(const Vector& point, double threshold,
+                           double search_radius = 0.0) const override;
+  void OnSync(const Vector& e) override;
+  bool HomogeneityDegree(double* degree) const override;
+
+  double scale() const { return scale_; }
+
+  std::unique_ptr<MonitoredFunction> Clone() const override {
+    return std::make_unique<ScaledInputFunction>(*this);
+  }
+
+ private:
+  std::unique_ptr<MonitoredFunction> inner_;
+  double scale_;
+};
+
+/// The *Function Transformation* approach of Section 7.3 for homogeneous
+/// functions: f(N·v) ≤ T  ⇔  f(v) ≤ T / N^α. Returns the transformed
+/// threshold; the monitored function stays f itself (average input, no drift
+/// scaling). SGM_CHECKs that `function` reports a homogeneity degree.
+double TransformThresholdForAverage(const MonitoredFunction& function,
+                                    double sum_threshold, int num_sites);
+
+/// Relative Rate of Growth RRG = lim ‖v‖→∞ |f(N·v)/f(v)| for a homogeneous
+/// function of degree α: N^α (Section 7.2).
+double RelativeRateOfGrowth(double degree, int num_sites);
+
+}  // namespace sgm
+
+#endif  // SGM_FUNCTIONS_SUM_PARAMETERIZATION_H_

@@ -1,0 +1,75 @@
+#include "functions/variance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+
+namespace sgm {
+
+double CoordinateDispersion::ProjectedNorm(const Vector& v) {
+  const double mean = v.Sum() / static_cast<double>(v.dim());
+  double sq = 0.0;
+  for (std::size_t j = 0; j < v.dim(); ++j) {
+    const double centered = v[j] - mean;
+    sq += centered * centered;
+  }
+  return std::sqrt(sq);
+}
+
+double CoordinateDispersion::Value(const Vector& v) const {
+  SGM_CHECK(!v.empty());
+  const double pn = ProjectedNorm(v);
+  const double d = static_cast<double>(v.dim());
+  return squared_ ? pn * pn / d : pn / std::sqrt(d);
+}
+
+Vector CoordinateDispersion::Gradient(const Vector& v) const {
+  const double d = static_cast<double>(v.dim());
+  const double mean = v.Sum() / d;
+  Vector centered = v;
+  for (std::size_t j = 0; j < v.dim(); ++j) centered[j] -= mean;
+  if (squared_) {
+    centered *= 2.0 / d;
+    return centered;
+  }
+  const double pn = centered.Norm();
+  if (pn > 0.0) centered *= 1.0 / (std::sqrt(d) * pn);
+  return centered;
+}
+
+Interval CoordinateDispersion::RangeOverBall(const Ball& ball) const {
+  // stdev is the seminorm ‖P·‖/√d, which is (1/√d)-Lipschitz in L2 and whose
+  // extremes over a ball are attained along ±P·c (or any range(P) direction
+  // when P·c = 0): exact enclosure.
+  const double d = static_cast<double>(ball.center().dim());
+  const double center_sd = ProjectedNorm(ball.center()) / std::sqrt(d);
+  const double spread = ball.radius() / std::sqrt(d);
+  const double lo_sd = std::max(0.0, center_sd - spread);
+  const double hi_sd = center_sd + spread;
+  if (squared_) return Interval{lo_sd * lo_sd, hi_sd * hi_sd};
+  return Interval{lo_sd, hi_sd};
+}
+
+double CoordinateDispersion::DistanceToSurface(const Vector& point,
+                                               double threshold,
+                                               double /*search_radius*/) const {
+  const double target_sd =
+      squared_ ? (threshold >= 0.0 ? std::sqrt(threshold)
+                                   : -1.0)
+               : threshold;
+  if (target_sd < 0.0) return std::numeric_limits<double>::infinity();
+  const double d = static_cast<double>(point.dim());
+  const double point_sd = ProjectedNorm(point) / std::sqrt(d);
+  // Only displacement inside range(P) changes the value; the cheapest move
+  // to the surface is radial in that subspace.
+  return std::sqrt(d) * std::abs(point_sd - target_sd);
+}
+
+bool CoordinateDispersion::HomogeneityDegree(double* degree) const {
+  *degree = squared_ ? 2.0 : 1.0;
+  return true;
+}
+
+}  // namespace sgm

@@ -1,0 +1,57 @@
+#ifndef SGM_FUNCTIONS_VARIANCE_H_
+#define SGM_FUNCTIONS_VARIANCE_H_
+
+#include <memory>
+#include <string>
+
+#include "functions/monitored_function.h"
+
+namespace sgm {
+
+/// Cross-coordinate dispersion of the monitored vector:
+///   stdev(v) = ‖P v‖ / √d,  variance(v) = ‖P v‖² / d,
+/// with P = I − (1/d)·11ᵀ the mean-removing orthogonal projection.
+///
+/// This is the function pair of the paper's Section 7.4 sum-vs-average
+/// study: stdev is homogeneous of degree 1 and variance of degree 2, so
+/// sum-parameterization scales them linearly / quadratically with N.
+/// stdev is a seminorm, giving exact ball enclosures
+/// [max(0, f(c) − r/√d), f(c) + r/√d] and the exact surface distance
+/// √d·|f(p) − T| (movement within range(P) is what changes f).
+class CoordinateDispersion final : public MonitoredFunction {
+ public:
+  /// `squared` = true yields the variance, false the standard deviation.
+  explicit CoordinateDispersion(bool squared = false) : squared_(squared) {}
+
+  static std::unique_ptr<CoordinateDispersion> StdDev() {
+    return std::make_unique<CoordinateDispersion>(false);
+  }
+  static std::unique_ptr<CoordinateDispersion> Variance() {
+    return std::make_unique<CoordinateDispersion>(true);
+  }
+
+  std::string name() const override {
+    return squared_ ? "variance" : "stdev";
+  }
+
+  double Value(const Vector& v) const override;
+  Vector Gradient(const Vector& v) const override;
+  Interval RangeOverBall(const Ball& ball) const override;
+  double DistanceToSurface(const Vector& point, double threshold,
+                           double search_radius = 0.0) const override;
+  bool HomogeneityDegree(double* degree) const override;
+
+  std::unique_ptr<MonitoredFunction> Clone() const override {
+    return std::make_unique<CoordinateDispersion>(*this);
+  }
+
+ private:
+  /// ‖P v‖: norm of the mean-removed vector.
+  static double ProjectedNorm(const Vector& v);
+
+  bool squared_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_FUNCTIONS_VARIANCE_H_

@@ -1,0 +1,47 @@
+#include "functions/whitened_function.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace sgm {
+
+WhitenedFunction::WhitenedFunction(std::unique_ptr<MonitoredFunction> inner,
+                                   Vector scales)
+    : inner_(std::move(inner)), scales_(std::move(scales)) {
+  SGM_CHECK(inner_ != nullptr);
+  SGM_CHECK(!scales_.empty());
+  min_scale_ = scales_[0];
+  for (std::size_t j = 0; j < scales_.dim(); ++j) {
+    SGM_CHECK_MSG(scales_[j] > 0.0, "whitening scales must be positive");
+    min_scale_ = std::min(min_scale_, scales_[j]);
+  }
+}
+
+WhitenedFunction::WhitenedFunction(const WhitenedFunction& other)
+    : inner_(other.inner_->Clone()),
+      scales_(other.scales_),
+      min_scale_(other.min_scale_) {}
+
+Vector WhitenedFunction::Unwhiten(const Vector& z) const {
+  SGM_CHECK(z.dim() == scales_.dim());
+  Vector v = z;
+  for (std::size_t j = 0; j < v.dim(); ++j) v[j] /= scales_[j];
+  return v;
+}
+
+double WhitenedFunction::Value(const Vector& z) const {
+  return inner_->Value(Unwhiten(z));
+}
+
+Vector WhitenedFunction::Gradient(const Vector& z) const {
+  Vector grad = inner_->Gradient(Unwhiten(z));
+  for (std::size_t j = 0; j < grad.dim(); ++j) grad[j] /= scales_[j];
+  return grad;
+}
+
+void WhitenedFunction::OnSync(const Vector& z) {
+  inner_->OnSync(Unwhiten(z));
+}
+
+}  // namespace sgm

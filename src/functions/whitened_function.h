@@ -1,0 +1,59 @@
+#ifndef SGM_FUNCTIONS_WHITENED_FUNCTION_H_
+#define SGM_FUNCTIONS_WHITENED_FUNCTION_H_
+
+#include <memory>
+#include <string>
+
+#include "functions/monitored_function.h"
+
+namespace sgm {
+
+/// Shape-sensitive monitoring à la Sharfman et al. [21], diagonal form:
+/// monitor in *whitened* coordinates z = D·v (D = diag(scales) > 0), where
+/// per-coordinate data spreads are equalized so the spherical local
+/// constraints fit the actual drift distribution. The monitored value is
+/// unchanged — Value(z) = f(D⁻¹z) — only the geometry (balls, distances)
+/// lives in z-space.
+///
+/// Geometry happens natively in z-space through the base class's certified
+/// probing enclosures over the *whitened* gradient ∇f_w = D⁻¹·∇f(D⁻¹z) —
+/// this is the whole point: a direction the function ignores but the data
+/// churns in gets a small D entry, the whitened gradient (and hence every
+/// ball spread) shrinks along it, and the spherical tests stop paying for
+/// irrelevant drift. (Delegating to the inner function over the covering
+/// ball of the preimage ellipsoid would re-inflate exactly that axis.)
+///
+/// Pair with WhitenedStream (data/whitened_stream.h), which applies the
+/// same D to the site vectors.
+class WhitenedFunction final : public MonitoredFunction {
+ public:
+  /// `scales` are D's diagonal entries (all > 0), matching the inner
+  /// function's dimensionality.
+  WhitenedFunction(std::unique_ptr<MonitoredFunction> inner, Vector scales);
+
+  WhitenedFunction(const WhitenedFunction& other);
+  WhitenedFunction& operator=(const WhitenedFunction&) = delete;
+
+  std::string name() const override { return inner_->name() + "_whitened"; }
+
+  double Value(const Vector& z) const override;
+  Vector Gradient(const Vector& z) const override;
+  void OnSync(const Vector& z) override;
+
+  std::unique_ptr<MonitoredFunction> Clone() const override {
+    return std::make_unique<WhitenedFunction>(*this);
+  }
+
+  const Vector& scales() const { return scales_; }
+
+ private:
+  Vector Unwhiten(const Vector& z) const;
+
+  std::unique_ptr<MonitoredFunction> inner_;
+  Vector scales_;
+  double min_scale_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_FUNCTIONS_WHITENED_FUNCTION_H_

@@ -1,0 +1,48 @@
+#include "geometry/ball.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/check.h"
+
+namespace sgm {
+
+Ball::Ball(Vector center, double radius)
+    : center_(std::move(center)), radius_(radius) {
+  SGM_CHECK_MSG(radius >= 0.0, "negative ball radius %f", radius);
+}
+
+bool Ball::Contains(const Vector& point) const {
+  return center_.DistanceTo(point) <= radius_ + 1e-12;
+}
+
+bool Ball::Contains(const Ball& other) const {
+  return center_.DistanceTo(other.center_) + other.radius_ <= radius_ + 1e-12;
+}
+
+double Ball::DistanceTo(const Vector& point) const {
+  return std::max(0.0, center_.DistanceTo(point) - radius_);
+}
+
+double Ball::SignedDistanceTo(const Vector& point) const {
+  return center_.DistanceTo(point) - radius_;
+}
+
+bool Ball::Intersects(const Ball& other) const {
+  return center_.DistanceTo(other.center_) <= radius_ + other.radius_ + 1e-12;
+}
+
+Ball Ball::LocalConstraint(const Vector& e, const Vector& drift) {
+  SGM_CHECK(e.dim() == drift.dim());
+  Vector center = e;
+  center.Axpy(0.5, drift);
+  return Ball(std::move(center), 0.5 * drift.Norm());
+}
+
+std::string Ball::ToString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", radius_);
+  return "B(" + center_.ToString() + ", " + buf + ")";
+}
+
+}  // namespace sgm

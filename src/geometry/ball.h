@@ -1,0 +1,55 @@
+#ifndef SGM_GEOMETRY_BALL_H_
+#define SGM_GEOMETRY_BALL_H_
+
+#include <string>
+
+#include "core/vector.h"
+
+namespace sgm {
+
+/// Closed Euclidean ball B(c, ρ) — the local-constraint shape of GM.
+///
+/// Sharfman et al.'s construction has every site inscribe the hypersphere
+/// B(e + Δv_i/2, ‖Δv_i‖/2); this type represents such constraints and the
+/// ε-ball B(v̂, ε) the coordinator checks during a partial synchronization.
+class Ball {
+ public:
+  Ball() : radius_(0.0) {}
+  Ball(Vector center, double radius);
+
+  const Vector& center() const { return center_; }
+  double radius() const { return radius_; }
+  std::size_t dim() const { return center_.dim(); }
+
+  /// True when `point` lies in the closed ball.
+  bool Contains(const Vector& point) const;
+
+  /// True when `other` is fully contained in this ball.
+  bool Contains(const Ball& other) const;
+
+  /// Euclidean distance from `point` to the ball (0 inside).
+  double DistanceTo(const Vector& point) const;
+
+  /// Signed distance from `point` to the sphere boundary:
+  /// negative inside, zero on the boundary, positive outside.
+  double SignedDistanceTo(const Vector& point) const;
+
+  /// True when the two closed balls share at least one point.
+  bool Intersects(const Ball& other) const;
+
+  /// The GM local constraint for drift vector `drift` around estimate `e`:
+  /// B(e + drift/2, ‖drift‖/2). Its defining property (used throughout the
+  /// paper) is that the union of these balls over all sites covers
+  /// Conv(e + Δv_1, ..., e + Δv_N).
+  static Ball LocalConstraint(const Vector& e, const Vector& drift);
+
+  std::string ToString() const;
+
+ private:
+  Vector center_;
+  double radius_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_GEOMETRY_BALL_H_

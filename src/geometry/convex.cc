@@ -1,0 +1,114 @@
+#include "geometry/convex.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sgm {
+
+HullProjection ProjectOntoHull(const std::vector<Vector>& points,
+                               const Vector& query, int max_iters,
+                               double tol) {
+  SGM_CHECK(!points.empty());
+  const std::size_t n = points.size();
+
+  HullProjection result;
+  result.barycentric.assign(n, 0.0);
+
+  // Warm start from the input point nearest to the query.
+  std::size_t best = 0;
+  double best_dist = points[0].DistanceTo(query);
+  for (std::size_t i = 1; i < n; ++i) {
+    const double d = points[i].DistanceTo(query);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  result.barycentric[best] = 1.0;
+  Vector x = points[best];
+
+  // Away-step Frank–Wolfe on f(x) = ½‖x − query‖². Plain FW zig-zags and
+  // converges only at O(1/k) for interior optima; the away step (moving mass
+  // off the worst active vertex) restores linear convergence on polytopes,
+  // which the hull-membership tests and the Figure-2 volume study need.
+  std::vector<double>& w = result.barycentric;
+  for (int iter = 0; iter < max_iters; ++iter) {
+    // The away-step weight updates multiply all weights by (1 ± γ); rebuild
+    // x from the barycentric representation periodically so floating-point
+    // drift between the two cannot stall convergence.
+    if (iter > 0 && iter % 64 == 0) {
+      double total = 0.0;
+      for (double weight : w) total += weight;
+      if (total > 0.0) {
+        x.SetZero();
+        for (std::size_t i = 0; i < n; ++i) {
+          w[i] /= total;
+          x.Axpy(w[i], points[i]);
+        }
+      }
+    }
+    const Vector grad = x - query;  // ∇f(x)
+
+    // FW vertex: argmin grad·p over all vertices.
+    std::size_t s = 0;
+    double s_val = grad.Dot(points[0]);
+    // Away vertex: argmax grad·p over the active set.
+    std::size_t a = n;  // sentinel
+    double a_val = -1e300;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double val = grad.Dot(points[i]);
+      if (val < s_val) {
+        s_val = val;
+        s = i;
+      }
+      if (w[i] > 0.0 && val > a_val) {
+        a_val = val;
+        a = i;
+      }
+    }
+    const double x_val = grad.Dot(x);
+    const double fw_gap = x_val - s_val;
+    if (fw_gap <= tol) break;
+    const double away_gap = (a < n) ? (a_val - x_val) : -1.0;
+
+    if (fw_gap >= away_gap) {
+      // Classic FW step toward vertex s.
+      const Vector direction = points[s] - x;
+      const double denom = direction.SquaredNorm();
+      if (denom <= 0.0) break;
+      const double step = std::clamp(fw_gap / denom, 0.0, 1.0);
+      x.Axpy(step, direction);
+      for (double& weight : w) weight *= (1.0 - step);
+      w[s] += step;
+      if (step >= 1.0) break;
+    } else {
+      // Away step: move away from the worst active vertex a.
+      const Vector direction = x - points[a];
+      const double denom = direction.SquaredNorm();
+      if (denom <= 0.0) break;
+      const double max_step = (w[a] < 1.0) ? w[a] / (1.0 - w[a]) : 1e300;
+      const double step = std::clamp(away_gap / denom, 0.0, max_step);
+      x.Axpy(step, direction);
+      for (double& weight : w) weight *= (1.0 + step);
+      w[a] -= step;
+      if (w[a] < 1e-15) w[a] = 0.0;
+    }
+  }
+
+  result.nearest = std::move(x);
+  result.distance = result.nearest.DistanceTo(query);
+  return result;
+}
+
+bool HullContains(const std::vector<Vector>& points, const Vector& query,
+                  double tol) {
+  return ProjectOntoHull(points, query).distance <= tol;
+}
+
+double DistanceToHull(const std::vector<Vector>& points, const Vector& query) {
+  return ProjectOntoHull(points, query).distance;
+}
+
+}  // namespace sgm

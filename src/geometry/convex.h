@@ -1,0 +1,42 @@
+#ifndef SGM_GEOMETRY_CONVEX_H_
+#define SGM_GEOMETRY_CONVEX_H_
+
+#include <vector>
+
+#include "core/vector.h"
+
+namespace sgm {
+
+/// Result of projecting a query point onto a convex hull.
+struct HullProjection {
+  double distance = 0.0;           ///< ‖query − nearest hull point‖
+  Vector nearest;                  ///< nearest point of the hull
+  std::vector<double> barycentric; ///< convex weights over the input points
+};
+
+/// Projects `query` onto Conv(points) with the Frank–Wolfe algorithm.
+///
+/// The library uses this to *verify* the geometric lemmas (e.g. Lemma 1(c):
+/// the HT estimate lies in the convex hull of the inflated sampled drifts;
+/// Lemma 2(a): the hull is covered by the half-drift balls) and to measure
+/// hull growth for the Figure-2 study. It is not on any protocol fast path,
+/// so a simple projection-free first-order method is the right tool: each
+/// iteration costs one pass over the points and the distance estimate
+/// converges at O(1/k).
+///
+/// `max_iters` bounds the Frank–Wolfe iterations; `tol` is the duality-gap
+/// stopping threshold on the squared distance.
+HullProjection ProjectOntoHull(const std::vector<Vector>& points,
+                               const Vector& query, int max_iters = 8000,
+                               double tol = 1e-10);
+
+/// True when `query` lies within `tol` of Conv(points).
+bool HullContains(const std::vector<Vector>& points, const Vector& query,
+                  double tol = 1e-6);
+
+/// Exact squared distance from `query` to Conv(points); convenience wrapper.
+double DistanceToHull(const std::vector<Vector>& points, const Vector& query);
+
+}  // namespace sgm
+
+#endif  // SGM_GEOMETRY_CONVEX_H_

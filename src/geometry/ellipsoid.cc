@@ -1,0 +1,91 @@
+#include "geometry/ellipsoid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/check.h"
+
+namespace sgm {
+
+Ellipsoid::Ellipsoid(Vector center, Vector semi_axes)
+    : center_(std::move(center)), semi_axes_(std::move(semi_axes)) {
+  SGM_CHECK(center_.dim() == semi_axes_.dim());
+  SGM_CHECK(!center_.empty());
+  for (std::size_t j = 0; j < semi_axes_.dim(); ++j) {
+    SGM_CHECK_MSG(semi_axes_[j] > 0.0, "semi-axes must be positive");
+  }
+}
+
+double Ellipsoid::LevelValue(const Vector& point) const {
+  SGM_CHECK(point.dim() == dim());
+  double level = 0.0;
+  for (std::size_t j = 0; j < dim(); ++j) {
+    const double scaled = (point[j] - center_[j]) / semi_axes_[j];
+    level += scaled * scaled;
+  }
+  return level;
+}
+
+Vector Ellipsoid::Project(const Vector& point) const {
+  SGM_CHECK(point.dim() == dim());
+  // Solve the secular equation Σ (a_j·y_j/(a_j² + t))² = 1 for t; the
+  // nearest boundary point is x_j = c_j + a_j²·y_j/(a_j² + t).
+  Vector y(dim());
+  double min_axis_sq = semi_axes_[0] * semi_axes_[0];
+  for (std::size_t j = 0; j < dim(); ++j) {
+    y[j] = point[j] - center_[j];
+    // Perturb exact-zero components off the degenerate manifold; the
+    // induced projection error is ~1e-12·a_j.
+    if (y[j] == 0.0) y[j] = 1e-12 * semi_axes_[j];
+    min_axis_sq = std::min(min_axis_sq, semi_axes_[j] * semi_axes_[j]);
+  }
+
+  auto secular = [&](double t) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < dim(); ++j) {
+      const double a_sq = semi_axes_[j] * semi_axes_[j];
+      const double term = semi_axes_[j] * y[j] / (a_sq + t);
+      sum += term * term;
+    }
+    return sum;
+  };
+
+  // The secular function decreases monotonically on (−min_axis², ∞) from
+  // +∞ to 0; bracket the unique root.
+  double lo = -min_axis_sq * (1.0 - 1e-12);
+  double hi = 0.0;
+  for (std::size_t j = 0; j < dim(); ++j) {
+    hi += semi_axes_[j] * semi_axes_[j] * y[j] * y[j];
+  }
+  hi = std::sqrt(hi);  // F(‖a∘y‖) ≤ 1 since a² + t ≥ t
+  hi = std::max(hi, lo + 1.0);
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (secular(mid) > 1.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double t = 0.5 * (lo + hi);
+
+  Vector projection(dim());
+  for (std::size_t j = 0; j < dim(); ++j) {
+    const double a_sq = semi_axes_[j] * semi_axes_[j];
+    projection[j] = center_[j] + a_sq * y[j] / (a_sq + t);
+  }
+  return projection;
+}
+
+double Ellipsoid::SignedDistance(const Vector& point) const {
+  const double distance = point.DistanceTo(Project(point));
+  return LevelValue(point) <= 1.0 ? -distance : distance;
+}
+
+std::string Ellipsoid::ToString() const {
+  return "Ellipsoid(c=" + center_.ToString() + ", a=" +
+         semi_axes_.ToString() + ")";
+}
+
+}  // namespace sgm

@@ -1,0 +1,71 @@
+#ifndef SGM_GEOMETRY_ELLIPSOID_H_
+#define SGM_GEOMETRY_ELLIPSOID_H_
+
+#include <string>
+
+#include "core/vector.h"
+#include "geometry/safe_zone.h"
+
+namespace sgm {
+
+/// Axis-aligned ellipsoid { x : Σ_j ((x_j − c_j)/a_j)² ≤ 1 } — the
+/// constraint shape of shape-sensitive geometric monitoring [21]: a ball in
+/// whitened coordinates is an ellipsoid in the original ones.
+///
+/// The Euclidean point-to-boundary distance has no closed form; this
+/// implementation solves the classic secular equation
+///   Σ_j (a_j·y_j / (a_j² + t))² = 1
+/// for the Lagrange multiplier t by bisection (y = point − center), giving
+/// the exact projection onto the boundary to ~1e-12 relative accuracy —
+/// exactness is what Lemma 4's signed-distance machinery needs.
+class Ellipsoid {
+ public:
+  /// `semi_axes` must all be positive and match the center's dimension.
+  Ellipsoid(Vector center, Vector semi_axes);
+
+  const Vector& center() const { return center_; }
+  const Vector& semi_axes() const { return semi_axes_; }
+  std::size_t dim() const { return center_.dim(); }
+
+  /// Σ ((x_j − c_j)/a_j)², the level value (≤ 1 inside).
+  double LevelValue(const Vector& point) const;
+
+  bool Contains(const Vector& point) const {
+    return LevelValue(point) <= 1.0 + 1e-12;
+  }
+
+  /// Exact Euclidean signed distance to the boundary: negative inside.
+  double SignedDistance(const Vector& point) const;
+
+  /// The boundary point nearest to `point`.
+  Vector Project(const Vector& point) const;
+
+  std::string ToString() const;
+
+ private:
+  Vector center_;
+  Vector semi_axes_;
+};
+
+/// Ellipsoidal convex safe zone (Section 4 with a shape-adapted C).
+class EllipsoidSafeZone final : public SafeZone {
+ public:
+  explicit EllipsoidSafeZone(Ellipsoid ellipsoid)
+      : ellipsoid_(std::move(ellipsoid)) {}
+
+  double SignedDistance(const Vector& point) const override {
+    return ellipsoid_.SignedDistance(point);
+  }
+
+  const Ellipsoid& ellipsoid() const { return ellipsoid_; }
+  std::string ToString() const override {
+    return "SafeZone" + ellipsoid_.ToString();
+  }
+
+ private:
+  Ellipsoid ellipsoid_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_GEOMETRY_ELLIPSOID_H_

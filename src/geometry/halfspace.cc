@@ -1,0 +1,39 @@
+#include "geometry/halfspace.h"
+
+#include <cstdio>
+
+#include "core/check.h"
+
+namespace sgm {
+
+Halfspace::Halfspace(Vector normal, double offset)
+    : normal_(std::move(normal)), offset_(offset) {
+  const double norm = normal_.Norm();
+  SGM_CHECK_MSG(norm > 0.0, "halfspace requires a nonzero normal");
+  normal_ /= norm;
+  offset_ /= norm;
+}
+
+bool Halfspace::Contains(const Vector& point) const {
+  return SignedDistance(point) <= 1e-12;
+}
+
+double Halfspace::SignedDistance(const Vector& point) const {
+  return normal_.Dot(point) - offset_;
+}
+
+Halfspace Halfspace::Supporting(const Vector& inside, const Vector& boundary) {
+  Vector direction = boundary - inside;
+  SGM_CHECK_MSG(direction.Norm() > 0.0,
+                "supporting halfspace needs distinct points");
+  const double offset = direction.Dot(boundary);
+  return Halfspace(std::move(direction), offset);
+}
+
+std::string Halfspace::ToString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", offset_);
+  return "H(n=" + normal_.ToString() + ", b=" + buf + ")";
+}
+
+}  // namespace sgm

@@ -1,0 +1,45 @@
+#ifndef SGM_GEOMETRY_HALFSPACE_H_
+#define SGM_GEOMETRY_HALFSPACE_H_
+
+#include <string>
+
+#include "core/vector.h"
+
+namespace sgm {
+
+/// Closed halfspace { x : n·x ≤ b } with ‖n‖ = 1.
+///
+/// Halfspaces are one of the convex safe-zone shapes of Section 4 (the
+/// infinite-plane zone of Figure 6(f)); the normalized normal makes the
+/// signed distance of Lemma 4 a single dot product.
+class Halfspace {
+ public:
+  /// Constructs from a (not necessarily unit) normal and offset; the pair is
+  /// normalized so that ‖normal‖ = 1. SGM_CHECKs a nonzero normal.
+  Halfspace(Vector normal, double offset);
+
+  const Vector& normal() const { return normal_; }
+  double offset() const { return offset_; }
+  std::size_t dim() const { return normal_.dim(); }
+
+  /// True when `point` satisfies n·x ≤ b.
+  bool Contains(const Vector& point) const;
+
+  /// Signed distance d_C(point): negative strictly inside, positive outside.
+  double SignedDistance(const Vector& point) const;
+
+  /// Halfspace containing `inside` whose boundary passes through `boundary`
+  /// with outward direction `boundary - inside` — a supporting construction
+  /// for safe zones around a reference point.
+  static Halfspace Supporting(const Vector& inside, const Vector& boundary);
+
+  std::string ToString() const;
+
+ private:
+  Vector normal_;
+  double offset_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_GEOMETRY_HALFSPACE_H_

@@ -1,0 +1,50 @@
+#include "geometry/safe_zone.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/check.h"
+
+namespace sgm {
+
+BoxSafeZone::BoxSafeZone(Vector center, double half_width)
+    : center_(std::move(center)), half_width_(half_width) {
+  SGM_CHECK_MSG(half_width >= 0.0, "negative box half-width");
+}
+
+double BoxSafeZone::SignedDistance(const Vector& point) const {
+  SGM_CHECK(point.dim() == center_.dim());
+  double linf = 0.0;
+  double outside_sq = 0.0;
+  for (std::size_t j = 0; j < point.dim(); ++j) {
+    const double dev = std::abs(point[j] - center_[j]);
+    linf = std::max(linf, dev);
+    const double excess = dev - half_width_;
+    if (excess > 0.0) outside_sq += excess * excess;
+  }
+  if (outside_sq > 0.0) return std::sqrt(outside_sq);
+  return linf - half_width_;
+}
+
+std::string BoxSafeZone::ToString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", half_width_);
+  return "SafeZoneBox(center=" + center_.ToString() + ", r=" + buf + ")";
+}
+
+SignedDistanceSummary SummarizeSignedDistances(
+    const SafeZone& zone, const std::vector<Vector>& points) {
+  SignedDistanceSummary summary;
+  for (const Vector& p : points) {
+    const double distance = zone.SignedDistance(p);
+    summary.sum += distance;
+    if (distance > 0.0) ++summary.positive;
+  }
+  if (!points.empty()) {
+    summary.average = summary.sum / static_cast<double>(points.size());
+  }
+  return summary;
+}
+
+}  // namespace sgm

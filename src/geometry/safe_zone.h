@@ -1,0 +1,106 @@
+#ifndef SGM_GEOMETRY_SAFE_ZONE_H_
+#define SGM_GEOMETRY_SAFE_ZONE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/vector.h"
+#include "geometry/ball.h"
+#include "geometry/halfspace.h"
+
+namespace sgm {
+
+/// A convex subset C of the admissible input-domain region (Section 4).
+///
+/// The convex safe-zone (CV) approach of Lazerson et al. [14,27] has every
+/// site check whether its drift vector e + Δv_i stays inside C; by convexity
+/// the global average then cannot leave C. Lemma 4 of the paper additionally
+/// maps the whole monitoring task to one dimension through the *signed
+/// distance* d_C: negative inside C, zero on the boundary ∂C, positive
+/// outside. Implementations must return the exact Euclidean signed distance,
+/// because Corollary 1 (mean of signed distances < 0 ⇒ average in C) relies
+/// on it.
+class SafeZone {
+ public:
+  virtual ~SafeZone() = default;
+
+  /// Signed distance d_C(point) per Section 4.1.
+  virtual double SignedDistance(const Vector& point) const = 0;
+
+  /// True when `point` ∈ C, i.e. d_C(point) ≤ 0.
+  bool Contains(const Vector& point) const {
+    return SignedDistance(point) <= 1e-12;
+  }
+
+  virtual std::string ToString() const = 0;
+};
+
+/// Hyperball safe zone (the "maximal non-intersecting hypersphere" the
+/// paper's Section 6.6 experiments use; cf. Figure 6(g)).
+class BallSafeZone final : public SafeZone {
+ public:
+  explicit BallSafeZone(Ball ball) : ball_(std::move(ball)) {}
+
+  double SignedDistance(const Vector& point) const override {
+    return ball_.SignedDistanceTo(point);
+  }
+
+  const Ball& ball() const { return ball_; }
+  std::string ToString() const override { return "SafeZone" + ball_.ToString(); }
+
+ private:
+  Ball ball_;
+};
+
+/// Halfspace safe zone (the infinite-plane zone of Figure 6(f)).
+class HalfspaceSafeZone final : public SafeZone {
+ public:
+  explicit HalfspaceSafeZone(Halfspace halfspace)
+      : halfspace_(std::move(halfspace)) {}
+
+  double SignedDistance(const Vector& point) const override {
+    return halfspace_.SignedDistance(point);
+  }
+
+  const Halfspace& halfspace() const { return halfspace_; }
+  std::string ToString() const override {
+    return "SafeZone" + halfspace_.ToString();
+  }
+
+ private:
+  Halfspace halfspace_;
+};
+
+/// Axis-aligned box safe zone { x : ‖x − center‖_∞ ≤ half_width } — the
+/// exact admissible region of L∞-distance queries, with closed-form signed
+/// distance: Euclidean distance to the box outside, −(half_width − ‖x −
+/// center‖_∞) inside.
+class BoxSafeZone final : public SafeZone {
+ public:
+  BoxSafeZone(Vector center, double half_width);
+
+  double SignedDistance(const Vector& point) const override;
+
+  const Vector& center() const { return center_; }
+  double half_width() const { return half_width_; }
+  std::string ToString() const override;
+
+ private:
+  Vector center_;
+  double half_width_;
+};
+
+/// Statistics of site signed distances used by Corollary 1 / Estimator 5.
+struct SignedDistanceSummary {
+  double sum = 0.0;      ///< Σ d_C(e + Δv_i)
+  double average = 0.0;  ///< D_C = Σ d_C / N
+  int positive = 0;      ///< number of sites strictly outside C
+};
+
+/// Computes Σ/avg/count of the signed distances of `points` from `zone`.
+SignedDistanceSummary SummarizeSignedDistances(
+    const SafeZone& zone, const std::vector<Vector>& points);
+
+}  // namespace sgm
+
+#endif  // SGM_GEOMETRY_SAFE_ZONE_H_

@@ -1,0 +1,43 @@
+#include "geometry/volume.h"
+
+#include "core/check.h"
+#include "geometry/convex.h"
+
+namespace sgm {
+
+Vector SampleBox(const BoxDomain& domain, Rng* rng) {
+  Vector point(domain.dim);
+  for (std::size_t j = 0; j < domain.dim; ++j) {
+    point[j] = rng->NextDouble(domain.lo, domain.hi);
+  }
+  return point;
+}
+
+double UnionOfBallsCoverage(const std::vector<Ball>& balls,
+                            const BoxDomain& domain, int samples, Rng* rng) {
+  SGM_CHECK(samples > 0);
+  int hits = 0;
+  for (int s = 0; s < samples; ++s) {
+    const Vector point = SampleBox(domain, rng);
+    for (const Ball& ball : balls) {
+      if (ball.Contains(point)) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+double ConvexHullCoverage(const std::vector<Vector>& points,
+                          const BoxDomain& domain, int samples, Rng* rng) {
+  SGM_CHECK(samples > 0);
+  int hits = 0;
+  for (int s = 0; s < samples; ++s) {
+    const Vector point = SampleBox(domain, rng);
+    if (HullContains(points, point, 1e-4)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+}  // namespace sgm

@@ -1,0 +1,35 @@
+#ifndef SGM_GEOMETRY_VOLUME_H_
+#define SGM_GEOMETRY_VOLUME_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "core/vector.h"
+#include "geometry/ball.h"
+
+namespace sgm {
+
+/// Axis-aligned box [lo, hi]^d used as a Monte-Carlo sampling domain.
+struct BoxDomain {
+  std::size_t dim = 3;
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Monte-Carlo estimate of the fraction of `domain` covered by the union of
+/// `balls`. Reproduces the quantitative claim behind Figure 2: as N grows,
+/// the union of GM local-constraint balls covers ever more of the input box.
+double UnionOfBallsCoverage(const std::vector<Ball>& balls,
+                            const BoxDomain& domain, int samples, Rng* rng);
+
+/// Monte-Carlo estimate of the fraction of `domain` covered by the convex
+/// hull of `points` (membership decided by Frank–Wolfe projection).
+double ConvexHullCoverage(const std::vector<Vector>& points,
+                          const BoxDomain& domain, int samples, Rng* rng);
+
+/// Uniform sample from `domain`.
+Vector SampleBox(const BoxDomain& domain, Rng* rng);
+
+}  // namespace sgm
+
+#endif  // SGM_GEOMETRY_VOLUME_H_

@@ -1,0 +1,17 @@
+#include "gm/bernoulli_gm.h"
+
+namespace sgm {
+
+std::unique_ptr<SamplingGeometricMonitor> MakeBernoulliMonitor(
+    const MonitoredFunction& function, double threshold, double max_step_norm,
+    double delta, std::uint64_t seed) {
+  SgmOptions options;
+  options.delta = delta;
+  options.num_trials = 1;
+  options.mode = SamplingMode::kUniform;
+  options.seed = seed;
+  return std::make_unique<SamplingGeometricMonitor>(function, threshold,
+                                                    max_step_norm, options);
+}
+
+}  // namespace sgm

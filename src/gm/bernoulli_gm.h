@@ -1,0 +1,21 @@
+#ifndef SGM_GM_BERNOULLI_GM_H_
+#define SGM_GM_BERNOULLI_GM_H_
+
+#include <memory>
+
+#include "gm/sgm.h"
+
+namespace sgm {
+
+/// The Section-6.5 Bernoulli sampling variant: the SGM machinery (un-scaled
+/// balls, partial synchronizations, HT estimation) with *uniform* per-site
+/// probability g = ln(1/δ)/√N — the same expected sample size as SGM but
+/// blind to drift magnitudes, so sites with large, threshold-pushing drifts
+/// are no likelier to be monitored than quiet ones.
+std::unique_ptr<SamplingGeometricMonitor> MakeBernoulliMonitor(
+    const MonitoredFunction& function, double threshold, double max_step_norm,
+    double delta, std::uint64_t seed = 2024);
+
+}  // namespace sgm
+
+#endif  // SGM_GM_BERNOULLI_GM_H_

@@ -1,0 +1,50 @@
+#ifndef SGM_GM_BGM_H_
+#define SGM_GM_BGM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "sim/protocol.h"
+
+namespace sgm {
+
+/// GM with the balancing optimization of Sharfman et al. — the paper's
+/// "BGM" competitor.
+///
+/// On a local violation the coordinator tries to avoid a full
+/// synchronization by *balancing*: it collects the drift vectors of the
+/// violating sites plus progressively more randomly-probed sites, and checks
+/// whether the ball of the group's average drift, B(e + Δ̄/2, ‖Δ̄‖/2), is
+/// clear of the threshold surface. Success means the probed group's
+/// contribution to the convex hull is jointly safe; the coordinator ships
+/// each group member a slack vector that re-centers its effective drift at
+/// the group average (slacks sum to zero, so the global average is
+/// untouched). If every site ends up probed the attempt degenerates into a
+/// full synchronization. As the paper stresses, balancing is a heuristic:
+/// when many sites drift in a common direction it probes nearly everyone
+/// and saves nothing.
+class BalancedGeometricMonitor : public ProtocolBase {
+ public:
+  BalancedGeometricMonitor(const MonitoredFunction& function, double threshold,
+                           double max_step_norm, std::uint64_t seed = 1234);
+
+  std::string name() const override { return "BGM"; }
+
+ protected:
+  CycleOutcome MonitorCycle(const std::vector<Vector>& local_vectors,
+                            Metrics* metrics) override;
+  void AfterSync(const std::vector<Vector>& local_vectors,
+                 Metrics* metrics) override;
+
+ private:
+  /// Effective drift including any slack assigned in earlier balances.
+  Vector EffectiveDrift(int site, const std::vector<Vector>& local_vectors) const;
+
+  Rng rng_;
+  std::vector<Vector> slacks_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_GM_BGM_H_

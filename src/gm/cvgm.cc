@@ -1,0 +1,53 @@
+#include "gm/cvgm.h"
+
+#include "core/check.h"
+#include "geometry/ball.h"
+
+namespace sgm {
+
+ConvexSafeZoneMonitor::ConvexSafeZoneMonitor(const MonitoredFunction& function,
+                                             double threshold,
+                                             double max_step_norm,
+                                             const CvOptions& options)
+    : ProtocolBase(function, threshold, max_step_norm), options_(options) {
+  SGM_CHECK_MSG(options.zone_shrink > 0.0 && options.zone_shrink <= 1.0,
+                "zone_shrink must lie in (0, 1]");
+}
+
+void ConvexSafeZoneMonitor::RebuildZone() {
+  if (options_.zone_shrink >= 1.0) {
+    // The function's best convex safe zone: the exact admissible region
+    // when it is convex (L∞ box, L2 ball), the maximal inscribed
+    // hypersphere around e otherwise.
+    zone_ = function_->BuildSafeZone(e_, threshold_, believes_above_);
+    return;
+  }
+  // Shrunken inscribed hypersphere (ablation of the zone-radius choice).
+  const double radius =
+      options_.zone_shrink * function_->DistanceToSurface(e_, threshold_);
+  zone_ = std::make_unique<BallSafeZone>(Ball(e_, radius));
+}
+
+void ConvexSafeZoneMonitor::AfterSync(
+    const std::vector<Vector>& /*local_vectors*/, Metrics* /*metrics*/) {
+  RebuildZone();
+}
+
+CycleOutcome ConvexSafeZoneMonitor::MonitorCycle(
+    const std::vector<Vector>& local_vectors, Metrics* metrics) {
+  CycleOutcome outcome;
+  for (int i = 0; i < num_sites_; ++i) {
+    const Vector position = e_ + Drift(i, local_vectors);
+    if (!zone_->Contains(position)) {
+      outcome.local_alarm = true;
+      break;
+    }
+  }
+  if (outcome.local_alarm) {
+    FullSync(local_vectors, metrics, /*already_collected=*/0);
+    outcome.full_sync = true;
+  }
+  return outcome;
+}
+
+}  // namespace sgm

@@ -1,0 +1,55 @@
+#ifndef SGM_GM_CVGM_H_
+#define SGM_GM_CVGM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geometry/safe_zone.h"
+#include "sim/protocol.h"
+
+namespace sgm {
+
+/// Options shared by the convex-safe-zone protocols.
+struct CvOptions {
+  /// Fraction of the e-to-surface distance used as the safe-zone ball
+  /// radius; < 1 leaves a guard band between ∂C and the threshold surface.
+  double zone_shrink = 1.0;
+};
+
+/// Convex safe-zone monitoring (Lazerson et al. [14, 27]) — the paper's
+/// "CVGM" competitor (Section 4, introductory part).
+///
+/// After every synchronization the coordinator computes a convex subset C
+/// of the admissible region — here, as in the paper's Section 6.6
+/// experiments, the maximal non-intersecting hypersphere around e — and
+/// broadcasts it. Each site then merely checks e + Δv_i ∈ C: by convexity
+/// the exact convex hull (not a ball superset) stays inside C while all its
+/// vertices do, so CVGM beats GM on false positives at small N. It still
+/// monitors an N-vertex hull, so the paper shows (and fig15/16/17 here
+/// reproduce) that its advantage collapses at high network scales.
+class ConvexSafeZoneMonitor : public ProtocolBase {
+ public:
+  ConvexSafeZoneMonitor(const MonitoredFunction& function, double threshold,
+                        double max_step_norm, const CvOptions& options = {});
+
+  std::string name() const override { return "CVGM"; }
+
+  const SafeZone* zone() const { return zone_.get(); }
+
+ protected:
+  CycleOutcome MonitorCycle(const std::vector<Vector>& local_vectors,
+                            Metrics* metrics) override;
+  void AfterSync(const std::vector<Vector>& local_vectors,
+                 Metrics* metrics) override;
+
+  /// Rebuilds the maximal-ball safe zone around the current e.
+  void RebuildZone();
+
+  CvOptions options_;
+  std::unique_ptr<SafeZone> zone_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_GM_CVGM_H_

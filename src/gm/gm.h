@@ -1,0 +1,38 @@
+#ifndef SGM_GM_GM_H_
+#define SGM_GM_GM_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/protocol.h"
+
+namespace sgm {
+
+/// Baseline Geometric Monitoring of Sharfman, Schuster & Keren (SIGMOD'06)
+/// — the paper's "GM" competitor (Section 1.1).
+///
+/// Every site inscribes the local constraint B(e + Δv_i/2, ‖Δv_i‖/2); the
+/// union of these balls covers the convex hull of the translated drifts and
+/// therefore the true global average. Any ball that intersects the threshold
+/// surface raises a local violation, which triggers a full synchronization
+/// (cost N + 1 messages under the broadcast model). GM is exact — given
+/// conservative ball tests it can produce false positives but never false
+/// negatives.
+class GeometricMonitor : public ProtocolBase {
+ public:
+  GeometricMonitor(const MonitoredFunction& function, double threshold,
+                   double max_step_norm);
+
+  std::string name() const override { return "GM"; }
+
+ protected:
+  CycleOutcome MonitorCycle(const std::vector<Vector>& local_vectors,
+                            Metrics* metrics) override;
+
+  /// True when site `i`'s local-constraint ball crosses the surface.
+  bool SiteViolates(int site, const std::vector<Vector>& local_vectors) const;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_GM_GM_H_

@@ -1,0 +1,61 @@
+#ifndef SGM_GM_PGM_H_
+#define SGM_GM_PGM_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "predict/model.h"
+#include "sim/protocol.h"
+
+namespace sgm {
+
+/// Prediction-based Geometric Monitoring (Giatrakos et al., SIGMOD'12 /
+/// TODS'14) — the paper's "PGM" competitor.
+///
+/// At each synchronization every site fits a motion model on its recent
+/// history (default: the CAA-style AdaptiveModel choosing among static /
+/// velocity / velocity–acceleration — the configuration the paper reports)
+/// and ships the parameters with its sync vector. Between synchronizations
+/// both tiers extrapolate a *moving* estimate e_pred(t) = avg of per-site
+/// predictions, and each site monitors the ball of its deviation from its
+/// own prediction Δp_i(t) = v_i(t) − pred_i(t) around e_pred(t); since
+/// predictions average to e_pred, the union of those balls covers the true
+/// global average. Good predictions keep Δp_i tiny; one badly-predicted
+/// site triggers violations — why PGM degrades toward GM as N grows
+/// (Section 6's observation).
+class PredictionGeometricMonitor : public ProtocolBase {
+ public:
+  /// `history` is the fitting window (the paper varies 3–10 measurements);
+  /// `model` is the per-site predictor prototype (cloned per site; default
+  /// CAA-style AdaptiveModel).
+  PredictionGeometricMonitor(const MonitoredFunction& function,
+                             double threshold, double max_step_norm,
+                             int history = 6,
+                             std::unique_ptr<PredictionModel> model = nullptr);
+
+  std::string name() const override { return "PGM"; }
+
+  /// Prediction-based belief: side of f(e_pred(t)).
+  bool BelievesAbove() const override;
+
+ protected:
+  CycleOutcome MonitorCycle(const std::vector<Vector>& local_vectors,
+                            Metrics* metrics) override;
+  void AfterSync(const std::vector<Vector>& local_vectors,
+                 Metrics* metrics) override;
+
+ private:
+  Vector PredictedEstimate() const;
+  void PushHistory(const std::vector<Vector>& local_vectors);
+
+  int history_;
+  std::unique_ptr<PredictionModel> prototype_;
+  std::deque<std::vector<Vector>> recent_;        ///< per-cycle snapshots
+  std::vector<std::unique_ptr<PredictionModel>> site_models_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_GM_PGM_H_

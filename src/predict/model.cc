@@ -1,0 +1,163 @@
+#include "predict/model.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/check.h"
+
+namespace sgm {
+
+namespace {
+
+/// All models anchor at the sync-time value so pred(0) = v(0) exactly —
+/// deviations-from-prediction start at zero after every synchronization,
+/// which the prediction-based drift construction requires.
+const Vector& AnchorOf(const std::vector<Vector>& history) {
+  SGM_CHECK(!history.empty());
+  return history.back();
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- static --
+
+void StaticModel::Fit(const std::vector<Vector>& history) {
+  anchor_ = AnchorOf(history);
+}
+
+Vector StaticModel::Predict(long /*k*/) const { return anchor_; }
+
+// --------------------------------------------------------------- velocity --
+
+void VelocityModel::Fit(const std::vector<Vector>& history) {
+  anchor_ = AnchorOf(history);
+  velocity_ = Vector(anchor_.dim());
+  const long h = static_cast<long>(history.size());
+  if (h < 2) return;
+  // Least squares through the anchor: minimize Σ_t ‖y_t − u·t‖² with
+  // t = −(h−1)..0 and y_t = v_t − v(0):  u = Σ t·y_t / Σ t².
+  double t_sq = 0.0;
+  Vector t_y(anchor_.dim());
+  for (long i = 0; i < h; ++i) {
+    const double t = static_cast<double>(i - (h - 1));
+    t_sq += t * t;
+    t_y.Axpy(t, history[i] - anchor_);
+  }
+  if (t_sq > 0.0) velocity_ = t_y / t_sq;
+}
+
+Vector VelocityModel::Predict(long k) const {
+  Vector pred = anchor_;
+  pred.Axpy(static_cast<double>(k), velocity_);
+  return pred;
+}
+
+// --------------------------------------------------- velocity-acceleration --
+
+void VelocityAccelerationModel::Fit(const std::vector<Vector>& history) {
+  anchor_ = AnchorOf(history);
+  velocity_ = Vector(anchor_.dim());
+  acceleration_ = Vector(anchor_.dim());
+  const long h = static_cast<long>(history.size());
+  if (h < 3) {
+    // Quadratic underdetermined: fall back to the velocity fit.
+    VelocityModel fallback;
+    fallback.Fit(history);
+    velocity_ = fallback.Predict(1) - anchor_;
+    return;
+  }
+  // Least squares through the anchor with basis (t, ½t²):
+  //   [Σt²     Σ½t³ ] [u]   [Σ t·y ]
+  //   [Σ½t³   Σ¼t⁴ ] [a] = [Σ ½t²·y]   per coordinate.
+  double s11 = 0.0, s12 = 0.0, s22 = 0.0;
+  Vector b1(anchor_.dim()), b2(anchor_.dim());
+  for (long i = 0; i < h; ++i) {
+    const double t = static_cast<double>(i - (h - 1));
+    const double q = 0.5 * t * t;
+    s11 += t * t;
+    s12 += t * q;
+    s22 += q * q;
+    const Vector y = history[i] - anchor_;
+    b1.Axpy(t, y);
+    b2.Axpy(q, y);
+  }
+  const double det = s11 * s22 - s12 * s12;
+  if (std::abs(det) < 1e-12) {
+    if (s11 > 0.0) velocity_ = b1 / s11;
+    return;
+  }
+  for (std::size_t j = 0; j < anchor_.dim(); ++j) {
+    velocity_[j] = (s22 * b1[j] - s12 * b2[j]) / det;
+    acceleration_[j] = (s11 * b2[j] - s12 * b1[j]) / det;
+  }
+}
+
+Vector VelocityAccelerationModel::Predict(long k) const {
+  const double t = static_cast<double>(k);
+  Vector pred = anchor_;
+  pred.Axpy(t, velocity_);
+  pred.Axpy(0.5 * t * t, acceleration_);
+  return pred;
+}
+
+// --------------------------------------------------------------- adaptive --
+
+AdaptiveModel::AdaptiveModel() {
+  candidates_.push_back(std::make_unique<StaticModel>());
+  candidates_.push_back(std::make_unique<VelocityModel>());
+  candidates_.push_back(std::make_unique<VelocityAccelerationModel>());
+}
+
+AdaptiveModel::AdaptiveModel(
+    std::vector<std::unique_ptr<PredictionModel>> candidates)
+    : candidates_(std::move(candidates)) {
+  SGM_CHECK(!candidates_.empty());
+}
+
+AdaptiveModel::AdaptiveModel(const AdaptiveModel& other)
+    : selected_(other.selected_), selected_name_(other.selected_name_) {
+  candidates_.reserve(other.candidates_.size());
+  for (const auto& candidate : other.candidates_) {
+    candidates_.push_back(candidate->Clone());
+  }
+}
+
+void AdaptiveModel::Fit(const std::vector<Vector>& history) {
+  SGM_CHECK(!history.empty());
+  const long h = static_cast<long>(history.size());
+  const long holdout = std::max<long>(1, h / 3);
+
+  if (h - holdout >= 1) {
+    // Back-test: fit on the prefix, score on the held-out tail.
+    const std::vector<Vector> prefix(history.begin(),
+                                     history.end() - holdout);
+    double best_error = std::numeric_limits<double>::infinity();
+    for (std::size_t m = 0; m < candidates_.size(); ++m) {
+      candidates_[m]->Fit(prefix);
+      double error = 0.0;
+      for (long k = 1; k <= holdout; ++k) {
+        const Vector& actual = history[h - holdout + k - 1];
+        error += candidates_[m]->Predict(k).DistanceTo(actual);
+      }
+      if (error < best_error) {
+        best_error = error;
+        selected_ = static_cast<int>(m);
+      }
+    }
+  } else {
+    selected_ = 0;
+  }
+  candidates_[selected_]->Fit(history);
+  selected_name_ = candidates_[selected_]->name();
+}
+
+Vector AdaptiveModel::Predict(long k) const {
+  return candidates_[selected_]->Predict(k);
+}
+
+std::size_t AdaptiveModel::ParameterDoubles() const {
+  // Selected model's parameters plus one double naming the selection.
+  return candidates_[selected_]->ParameterDoubles() + 1;
+}
+
+}  // namespace sgm

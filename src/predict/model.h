@@ -1,0 +1,127 @@
+#ifndef SGM_PREDICT_MODEL_H_
+#define SGM_PREDICT_MODEL_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/vector.h"
+
+namespace sgm {
+
+/// Per-site motion model of prediction-based geometric monitoring
+/// (Giatrakos et al. [18, 19]): fitted on a site's recent measurement
+/// history at synchronization time, then extrapolated identically by the
+/// site and the coordinator (both know the fitted parameters, so no
+/// communication is needed between syncs).
+///
+/// A model is fitted from the last h vectors (oldest first) and queried as
+/// pred(k) — the predicted vector k cycles after the fit. Model parameters
+/// ship with the sync vector; ParameterDoubles() reports that payload.
+class PredictionModel {
+ public:
+  virtual ~PredictionModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Fits on `history` (oldest → newest; at least one vector; the last
+  /// entry is the value at the synchronization instant k = 0).
+  virtual void Fit(const std::vector<Vector>& history) = 0;
+
+  /// The predicted vector k ≥ 0 cycles after the fit.
+  virtual Vector Predict(long k) const = 0;
+
+  /// Parameter payload size in doubles (piggybacked on sync messages).
+  virtual std::size_t ParameterDoubles() const = 0;
+
+  virtual std::unique_ptr<PredictionModel> Clone() const = 0;
+};
+
+/// Static model: pred(k) = v(0). Degenerates PGM to plain GM; the baseline
+/// every other model must beat to be worth its payload.
+class StaticModel final : public PredictionModel {
+ public:
+  std::string name() const override { return "static"; }
+  void Fit(const std::vector<Vector>& history) override;
+  Vector Predict(long k) const override;
+  std::size_t ParameterDoubles() const override { return 0; }
+  std::unique_ptr<PredictionModel> Clone() const override {
+    return std::make_unique<StaticModel>(*this);
+  }
+
+ private:
+  Vector anchor_;
+};
+
+/// Linear-growth model: pred(k) = v(0) + u·k with the velocity u fitted by
+/// least squares over the history window.
+class VelocityModel final : public PredictionModel {
+ public:
+  std::string name() const override { return "velocity"; }
+  void Fit(const std::vector<Vector>& history) override;
+  Vector Predict(long k) const override;
+  std::size_t ParameterDoubles() const override { return anchor_.dim(); }
+  std::unique_ptr<PredictionModel> Clone() const override {
+    return std::make_unique<VelocityModel>(*this);
+  }
+
+ private:
+  Vector anchor_;
+  Vector velocity_;
+};
+
+/// Velocity–acceleration model: pred(k) = v(0) + u·k + ½a·k², fitted by
+/// least-squares quadratic regression per coordinate — the predictor behind
+/// the paper's PGM configuration.
+class VelocityAccelerationModel final : public PredictionModel {
+ public:
+  std::string name() const override { return "velocity_acceleration"; }
+  void Fit(const std::vector<Vector>& history) override;
+  Vector Predict(long k) const override;
+  std::size_t ParameterDoubles() const override {
+    return 2 * anchor_.dim();
+  }
+  std::unique_ptr<PredictionModel> Clone() const override {
+    return std::make_unique<VelocityAccelerationModel>(*this);
+  }
+
+ private:
+  Vector anchor_;
+  Vector velocity_;
+  Vector acceleration_;
+};
+
+/// CAA-style adaptive selection ([18, 19]'s "choose adapted alternative"):
+/// fits every candidate model, back-tests each on the held-out tail of the
+/// history, and delegates to the lowest-error one.
+class AdaptiveModel final : public PredictionModel {
+ public:
+  /// Default candidate set: static, velocity, velocity–acceleration.
+  AdaptiveModel();
+  explicit AdaptiveModel(
+      std::vector<std::unique_ptr<PredictionModel>> candidates);
+
+  AdaptiveModel(const AdaptiveModel& other);
+  AdaptiveModel& operator=(const AdaptiveModel&) = delete;
+
+  std::string name() const override { return "adaptive"; }
+  void Fit(const std::vector<Vector>& history) override;
+  Vector Predict(long k) const override;
+  std::size_t ParameterDoubles() const override;
+  std::unique_ptr<PredictionModel> Clone() const override {
+    return std::make_unique<AdaptiveModel>(*this);
+  }
+
+  /// Which candidate the last Fit() selected (for tests/diagnostics).
+  const std::string& selected() const { return selected_name_; }
+
+ private:
+  std::vector<std::unique_ptr<PredictionModel>> candidates_;
+  int selected_ = 0;
+  std::string selected_name_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_PREDICT_MODEL_H_

@@ -1,0 +1,184 @@
+#include "runtime/coordinator_node.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "estimators/horvitz_thompson.h"
+#include "estimators/tail_bounds.h"
+#include "geometry/ball.h"
+
+namespace sgm {
+
+CoordinatorNode::CoordinatorNode(int num_sites,
+                                 const MonitoredFunction& function,
+                                 const RuntimeConfig& config,
+                                 Transport* transport)
+    : num_sites_(num_sites),
+      function_(function.Clone()),
+      config_(config),
+      transport_(transport) {
+  SGM_CHECK(num_sites > 0);
+  SGM_CHECK(transport != nullptr);
+}
+
+double CoordinatorNode::CurrentU() const {
+  const double accumulated =
+      config_.max_step_norm *
+      static_cast<double>(std::max<long>(1, cycles_since_sync_));
+  const double threshold_scale =
+      config_.u_threshold_factor *
+      std::max(epsilon_t_, config_.max_step_norm);
+  return std::min({accumulated, config_.drift_norm_cap, threshold_scale});
+}
+
+void CoordinatorNode::Start() { RequestFullState(); }
+
+void CoordinatorNode::BeginCycle() {
+  if (phase_ == Phase::kIdle) {
+    alarm_this_cycle_ = false;
+    ++cycles_since_sync_;
+    if (retry_full_in_ > 0 && --retry_full_in_ == 0) {
+      retry_full_in_ = -1;
+      RequestFullState();
+    }
+  }
+}
+
+void CoordinatorNode::RequestFullState() {
+  phase_ = Phase::kCollecting;
+  collected_.assign(num_sites_, Vector());
+  received_.assign(num_sites_, false);
+  received_count_ = 0;
+  RuntimeMessage request;
+  request.type = RuntimeMessage::Type::kFullStateRequest;
+  request.from = kCoordinatorId;
+  request.to = kBroadcastId;
+  transport_->Send(request);
+}
+
+void CoordinatorNode::FinishFullSync() {
+  e_ = Mean(collected_);
+  function_->OnSync(e_);
+  believes_above_ = function_->Value(e_) > config_.threshold;
+  epsilon_t_ = function_->DistanceToSurface(e_, config_.threshold);
+  cycles_since_sync_ = 0;
+  ++full_syncs_;
+  phase_ = Phase::kIdle;
+
+  RuntimeMessage estimate;
+  estimate.type = RuntimeMessage::Type::kNewEstimate;
+  estimate.from = kCoordinatorId;
+  estimate.to = kBroadcastId;
+  estimate.payload = e_;
+  estimate.scalar = epsilon_t_;
+  transport_->Send(estimate);
+}
+
+void CoordinatorNode::ResolvePartial(const Vector& v_hat) {
+  ++partial_resolutions_;
+  phase_ = Phase::kIdle;
+  // Certified cooldown (see SgmOptions::certified_cooldown): the average
+  // cannot cross for (D − ε)/max_step cycles.
+  const double U = CurrentU();
+  const double epsilon = std::min(BernsteinEpsilon(config_.delta, U),
+                                  0.5 * epsilon_t_);
+  const double room =
+      function_->DistanceToSurface(v_hat, config_.threshold) - epsilon;
+  const long mute = std::max<long>(
+      0, static_cast<long>(std::floor(room / config_.max_step_norm)));
+
+  RuntimeMessage resolved;
+  resolved.type = RuntimeMessage::Type::kResolved;
+  resolved.from = kCoordinatorId;
+  resolved.to = kBroadcastId;
+  resolved.scalar = static_cast<double>(mute);
+  transport_->Send(resolved);
+}
+
+void CoordinatorNode::OnMessage(const RuntimeMessage& message) {
+  switch (message.type) {
+    case RuntimeMessage::Type::kLocalViolation: {
+      if (phase_ != Phase::kIdle || alarm_this_cycle_) return;  // coalesce
+      alarm_this_cycle_ = true;
+      phase_ = Phase::kProbing;
+      probe_weighted_sum_ = Vector(e_.dim());
+      probe_reports_ = 0;
+      RuntimeMessage probe;
+      probe.type = RuntimeMessage::Type::kProbeRequest;
+      probe.from = kCoordinatorId;
+      probe.to = kBroadcastId;
+      transport_->Send(probe);
+      return;
+    }
+    case RuntimeMessage::Type::kDriftReport: {
+      if (phase_ != Phase::kProbing) return;
+      SGM_CHECK_MSG(message.scalar > 0.0,
+                    "drift report with non-positive inclusion probability");
+      probe_weighted_sum_.Axpy(1.0 / message.scalar, message.payload);
+      ++probe_reports_;
+      return;
+    }
+    case RuntimeMessage::Type::kStateReport: {
+      if (phase_ != Phase::kCollecting) return;
+      SGM_CHECK(message.from >= 0 && message.from < num_sites_);
+      if (last_known_.empty()) last_known_.assign(num_sites_, Vector());
+      last_known_[message.from] = message.payload;
+      if (!received_[message.from]) {
+        received_[message.from] = true;
+        collected_[message.from] = message.payload;
+        ++received_count_;
+      }
+      if (received_count_ == num_sites_) FinishFullSync();
+      return;
+    }
+    default:
+      return;  // coordinator-originated types are not addressed to us
+  }
+}
+
+void CoordinatorNode::OnQuiescent() {
+  if (phase_ == Phase::kCollecting) {
+    // The transport has drained but reports are missing: lost messages or
+    // dead sites. Degrade gracefully — fall back to each absent site's
+    // last-known vector rather than deadlocking the whole deployment.
+    // (Requires at least one ever-responsive site; the initializing sync
+    // over a fully-dead network is a deployment error.)
+    if (received_count_ == 0 && last_known_.empty()) return;
+    bool fell_back = false;
+    for (int i = 0; i < num_sites_; ++i) {
+      if (received_[i]) continue;
+      if (last_known_.empty() || last_known_[i].empty()) {
+        return;  // no fallback available for this site: keep waiting
+      }
+      collected_[i] = last_known_[i];
+      fell_back = true;
+    }
+    if (fell_back) {
+      ++degraded_syncs_;
+      retry_full_in_ = 5;  // re-establish a consistent anchor soon
+    }
+    FinishFullSync();
+    return;
+  }
+  if (phase_ != Phase::kProbing) return;
+  // All first-trial drift reports for this alarm have arrived: form the HT
+  // estimate and vet the alarm (Section 2.2's partial synchronization).
+  Vector v_hat = e_;
+  v_hat.Axpy(1.0 / static_cast<double>(num_sites_), probe_weighted_sum_);
+
+  const double U = CurrentU();
+  const double epsilon = std::min(BernsteinEpsilon(config_.delta, U),
+                                  0.5 * epsilon_t_);
+  const bool estimate_switched =
+      (function_->Value(v_hat) > config_.threshold) != believes_above_;
+  const bool ball_crosses = function_->BallCrossesThreshold(
+      Ball(v_hat, epsilon), config_.threshold);
+  if (estimate_switched || ball_crosses) {
+    RequestFullState();
+  } else {
+    ResolvePartial(v_hat);
+  }
+}
+
+}  // namespace sgm

@@ -1,0 +1,99 @@
+#ifndef SGM_RUNTIME_COORDINATOR_NODE_H_
+#define SGM_RUNTIME_COORDINATOR_NODE_H_
+
+#include <memory>
+#include <vector>
+
+#include "functions/monitored_function.h"
+#include "runtime/message.h"
+#include "runtime/site_node.h"  // RuntimeConfig
+#include "runtime/transport.h"
+
+namespace sgm {
+
+/// The top-tier node of the SGM runtime: collects violations, runs the
+/// partial-synchronization vetting over drift reports, escalates to full
+/// synchronizations, and broadcasts fresh estimates.
+///
+/// Driven entirely by messages plus one BeginCycle() tick; holds no site
+/// data beyond what the protocol legitimately ships.
+class CoordinatorNode {
+ public:
+  CoordinatorNode(int num_sites, const MonitoredFunction& function,
+                  const RuntimeConfig& config, Transport* transport);
+
+  /// Kicks off the initialization synchronization (first full state
+  /// collection); call once after all sites hold their first vectors.
+  void Start();
+
+  /// Marks the beginning of an update cycle (resets per-cycle alarm state).
+  void BeginCycle();
+
+  /// Handles a site message; may emit probe/state requests, resolutions or
+  /// new estimates.
+  void OnMessage(const RuntimeMessage& message);
+
+  /// Called by the driver when the transport has drained: an in-flight
+  /// probe is then complete (every first-trial report has arrived) and the
+  /// partial-synchronization decision is taken.
+  void OnQuiescent();
+
+  /// The continuous query answer: is f(v(t)) above the threshold?
+  bool BelievesAbove() const { return believes_above_; }
+  const Vector& estimate() const { return e_; }
+  double epsilon_T() const { return epsilon_t_; }
+
+  long full_syncs() const { return full_syncs_; }
+  long partial_resolutions() const { return partial_resolutions_; }
+
+  /// Full synchronizations completed with one or more site reports missing
+  /// (lost messages / dead sites), using each absent site's last-known
+  /// vector instead. Nonzero values mean the estimate e carries staleness —
+  /// surface this in deployment health metrics.
+  long degraded_syncs() const { return degraded_syncs_; }
+
+ private:
+  enum class Phase { kIdle, kProbing, kCollecting };
+
+  double CurrentU() const;
+  void RequestFullState();
+  void FinishFullSync();
+  void ResolvePartial(const Vector& v_hat);
+
+  int num_sites_;
+  std::unique_ptr<MonitoredFunction> function_;
+  RuntimeConfig config_;
+  Transport* transport_;
+
+  Phase phase_ = Phase::kIdle;
+  bool alarm_this_cycle_ = false;
+  Vector e_;
+  bool believes_above_ = false;
+  double epsilon_t_ = 0.0;
+  long cycles_since_sync_ = 0;
+  long full_syncs_ = 0;
+  long partial_resolutions_ = 0;
+  long degraded_syncs_ = 0;
+  /// After a degraded sync the estimate mixes stale vectors while sites
+  /// re-anchored to fresh ones — an inconsistency that could silently mask
+  /// crossings. A follow-up full sync is scheduled this many cycles out and
+  /// repeats until one completes cleanly.
+  long retry_full_in_ = -1;
+
+  /// Last vector each site ever reported (fallback for lost reports).
+  std::vector<Vector> last_known_;
+
+  // Partial-sync probe state: HT accumulation over first-trial reports.
+  Vector probe_weighted_sum_;
+  int probe_reports_ = 0;
+  int probe_deadline_round_ = 0;
+
+  // Full-sync collection state.
+  std::vector<Vector> collected_;
+  std::vector<bool> received_;
+  int received_count_ = 0;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_RUNTIME_COORDINATOR_NODE_H_

@@ -1,0 +1,58 @@
+#include "runtime/driver.h"
+
+#include "core/check.h"
+
+namespace sgm {
+
+RuntimeDriver::RuntimeDriver(int num_sites, const MonitoredFunction& function,
+                             const RuntimeConfig& config) {
+  SGM_CHECK(num_sites > 0);
+  coordinator_ =
+      std::make_unique<CoordinatorNode>(num_sites, function, config, &bus_);
+  sites_.reserve(num_sites);
+  for (int i = 0; i < num_sites; ++i) {
+    sites_.push_back(
+        std::make_unique<SiteNode>(i, num_sites, function, config, &bus_));
+  }
+}
+
+void RuntimeDriver::RouteToQuiescence() {
+  for (;;) {
+    while (!bus_.empty()) {
+      const RuntimeMessage message = bus_.Pop();
+      if (message.to == kCoordinatorId) {
+        coordinator_->OnMessage(message);
+      } else if (message.to == kBroadcastId) {
+        for (auto& site : sites_) site->OnMessage(message);
+      } else {
+        SGM_CHECK(message.to >= 0 &&
+                  message.to < static_cast<int>(sites_.size()));
+        sites_[message.to]->OnMessage(message);
+      }
+    }
+    // Bus drained: give the coordinator its quiescence callback; if that
+    // produced new traffic, keep routing.
+    coordinator_->OnQuiescent();
+    if (bus_.empty()) return;
+  }
+}
+
+void RuntimeDriver::Initialize(const std::vector<Vector>& local_vectors) {
+  SGM_CHECK(static_cast<int>(local_vectors.size()) == num_sites());
+  for (int i = 0; i < num_sites(); ++i) {
+    sites_[i]->Observe(local_vectors[i]);
+  }
+  coordinator_->Start();
+  RouteToQuiescence();
+}
+
+void RuntimeDriver::Tick(const std::vector<Vector>& local_vectors) {
+  SGM_CHECK(static_cast<int>(local_vectors.size()) == num_sites());
+  coordinator_->BeginCycle();
+  for (int i = 0; i < num_sites(); ++i) {
+    sites_[i]->Observe(local_vectors[i]);
+  }
+  RouteToQuiescence();
+}
+
+}  // namespace sgm

@@ -1,0 +1,45 @@
+#ifndef SGM_RUNTIME_DRIVER_H_
+#define SGM_RUNTIME_DRIVER_H_
+
+#include <memory>
+#include <vector>
+
+#include "runtime/coordinator_node.h"
+#include "runtime/site_node.h"
+#include "runtime/transport.h"
+
+namespace sgm {
+
+/// Synchronous single-process driver wiring N SiteNodes and one
+/// CoordinatorNode over an InMemoryBus — the reference deployment and the
+/// harness the runtime tests/examples use. Real deployments replace this
+/// with their own event loop and transport; the nodes are loop-agnostic.
+class RuntimeDriver {
+ public:
+  RuntimeDriver(int num_sites, const MonitoredFunction& function,
+                const RuntimeConfig& config);
+
+  /// Runs the initialization synchronization from the sites' first vectors.
+  void Initialize(const std::vector<Vector>& local_vectors);
+
+  /// Executes one full update cycle: every site observes its new vector,
+  /// then messages are routed to quiescence.
+  void Tick(const std::vector<Vector>& local_vectors);
+
+  const CoordinatorNode& coordinator() const { return *coordinator_; }
+  const InMemoryBus& bus() const { return bus_; }
+  SiteNode& site(int id) { return *sites_[id]; }
+  int num_sites() const { return static_cast<int>(sites_.size()); }
+
+ private:
+  /// Delivers queued messages (and quiescence callbacks) to a fixed point.
+  void RouteToQuiescence();
+
+  InMemoryBus bus_;
+  std::unique_ptr<CoordinatorNode> coordinator_;
+  std::vector<std::unique_ptr<SiteNode>> sites_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_RUNTIME_DRIVER_H_

@@ -1,0 +1,72 @@
+#ifndef SGM_RUNTIME_MESSAGE_H_
+#define SGM_RUNTIME_MESSAGE_H_
+
+#include <string>
+
+#include "core/vector.h"
+
+namespace sgm {
+
+/// Sender/receiver id of the coordinator (sites are numbered 0..N-1).
+inline constexpr int kCoordinatorId = -1;
+/// Receiver id meaning "broadcast to every site".
+inline constexpr int kBroadcastId = -2;
+
+/// Wire-level message kinds of the SGM runtime protocol.
+///
+/// The protocol per update cycle (Section 2.2's algorithmic sketch, made
+/// explicit):
+///   site → coordinator   kLocalViolation    (a sampled ball crossed)
+///   coord → broadcast    kProbeRequest      (partial sync: first-trial
+///                                            members, report your drift)
+///   site → coordinator   kDriftReport       (Δv_i and its g_i)
+///   coord → broadcast    kResolved          (FP dismissed; optional
+///                                            certified-mute length rides in
+///                                            `scalar`)
+///   coord → broadcast    kFullStateRequest  (full sync: everyone reports)
+///   site → coordinator   kStateReport       (v_i)
+///   coord → broadcast    kNewEstimate       (the fresh e(t); re-anchor)
+struct RuntimeMessage {
+  enum class Type {
+    kLocalViolation,
+    kProbeRequest,
+    kDriftReport,
+    kResolved,
+    kFullStateRequest,
+    kStateReport,
+    kNewEstimate,
+  };
+
+  Type type;
+  int from = kCoordinatorId;
+  int to = kCoordinatorId;
+  /// Vector payload (drift, state, estimate); empty when not applicable.
+  Vector payload;
+  /// Scalar payload: inclusion probability g_i on kDriftReport, mute length
+  /// on kResolved.
+  double scalar = 0.0;
+
+  /// Payload size in doubles for communication accounting.
+  std::size_t PayloadDoubles() const {
+    switch (type) {
+      case Type::kDriftReport:
+        return payload.dim() + 1;  // drift + g_i
+      case Type::kStateReport:
+      case Type::kNewEstimate:
+        return payload.dim();
+      case Type::kResolved:
+        return 1;
+      case Type::kLocalViolation:
+      case Type::kProbeRequest:
+      case Type::kFullStateRequest:
+        return 0;
+    }
+    return 0;
+  }
+
+  static const char* TypeName(Type type);
+};
+
+}  // namespace sgm
+
+#endif  // SGM_RUNTIME_MESSAGE_H_

@@ -1,0 +1,89 @@
+#include "runtime/serialization.h"
+
+#include <cstring>
+
+namespace sgm {
+
+namespace {
+
+template <typename T>
+void Append(std::vector<std::uint8_t>* out, T value) {
+  const std::size_t offset = out->size();
+  out->resize(offset + sizeof(T));
+  std::memcpy(out->data() + offset, &value, sizeof(T));
+}
+
+template <typename T>
+bool Read(const std::vector<std::uint8_t>& in, std::size_t* offset, T* out) {
+  if (*offset + sizeof(T) > in.size()) return false;
+  std::memcpy(out, in.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+constexpr std::uint8_t kMaxTypeValue =
+    static_cast<std::uint8_t>(RuntimeMessage::Type::kNewEstimate);
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeMessage(const RuntimeMessage& message) {
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + 4 + 4 + 8 + 4 + 8 * message.payload.dim());
+  Append<std::uint8_t>(&out, static_cast<std::uint8_t>(message.type));
+  Append<std::int32_t>(&out, message.from);
+  Append<std::int32_t>(&out, message.to);
+  Append<double>(&out, message.scalar);
+  Append<std::uint32_t>(&out,
+                        static_cast<std::uint32_t>(message.payload.dim()));
+  for (std::size_t j = 0; j < message.payload.dim(); ++j) {
+    Append<double>(&out, message.payload[j]);
+  }
+  return out;
+}
+
+Result<RuntimeMessage> DecodeMessage(
+    const std::vector<std::uint8_t>& buffer) {
+  std::size_t offset = 0;
+  std::uint8_t type = 0;
+  std::int32_t from = 0, to = 0;
+  double scalar = 0.0;
+  std::uint32_t dim = 0;
+
+  if (!Read(buffer, &offset, &type)) {
+    return Status::InvalidArgument("truncated message: missing type");
+  }
+  if (type > kMaxTypeValue) {
+    return Status::InvalidArgument("unknown message type " +
+                                   std::to_string(type));
+  }
+  if (!Read(buffer, &offset, &from) || !Read(buffer, &offset, &to) ||
+      !Read(buffer, &offset, &scalar) || !Read(buffer, &offset, &dim)) {
+    return Status::InvalidArgument("truncated message header");
+  }
+  if (dim > kMaxWireDimension) {
+    return Status::OutOfRange("payload dimension " + std::to_string(dim) +
+                              " exceeds the wire limit");
+  }
+  if (offset + static_cast<std::size_t>(dim) * sizeof(double) !=
+      buffer.size()) {
+    return Status::InvalidArgument(
+        "payload length mismatch: header says " + std::to_string(dim) +
+        " doubles");
+  }
+
+  RuntimeMessage message;
+  message.type = static_cast<RuntimeMessage::Type>(type);
+  message.from = from;
+  message.to = to;
+  message.scalar = scalar;
+  Vector payload(dim);
+  for (std::uint32_t j = 0; j < dim; ++j) {
+    double value = 0.0;
+    Read(buffer, &offset, &value);
+    payload[j] = value;
+  }
+  message.payload = std::move(payload);
+  return message;
+}
+
+}  // namespace sgm

@@ -1,0 +1,37 @@
+#ifndef SGM_RUNTIME_SERIALIZATION_H_
+#define SGM_RUNTIME_SERIALIZATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "runtime/message.h"
+
+namespace sgm {
+
+/// Binary wire format for RuntimeMessages, for transports that cross
+/// process/machine boundaries. Little-endian, fixed layout:
+///
+///   u8   type
+///   i32  from
+///   i32  to
+///   f64  scalar
+///   u32  payload dimension d
+///   f64  payload[0..d)
+///
+/// Encode never fails; Decode validates length, type range and dimension
+/// bounds and returns precise errors (a transport must never crash the
+/// coordinator with a truncated datagram).
+std::vector<std::uint8_t> EncodeMessage(const RuntimeMessage& message);
+
+/// Parses a buffer produced by EncodeMessage (or a hostile imitation).
+Result<RuntimeMessage> DecodeMessage(const std::vector<std::uint8_t>& buffer);
+
+/// Upper bound on accepted payload dimensionality (sanity guard against
+/// corrupted length fields allocating gigabytes).
+inline constexpr std::uint32_t kMaxWireDimension = 1u << 20;
+
+}  // namespace sgm
+
+#endif  // SGM_RUNTIME_SERIALIZATION_H_

@@ -1,0 +1,112 @@
+#include "runtime/site_node.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "estimators/sampling.h"
+#include "geometry/ball.h"
+
+namespace sgm {
+
+SiteNode::SiteNode(int id, int num_sites, const MonitoredFunction& function,
+                   const RuntimeConfig& config, Transport* transport)
+    : id_(id),
+      num_sites_(num_sites),
+      function_(function.Clone()),
+      config_(config),
+      transport_(transport),
+      rng_(config.seed + 0x9e37u * static_cast<std::uint64_t>(id + 1)) {
+  SGM_CHECK(id >= 0 && id < num_sites);
+  SGM_CHECK(transport != nullptr);
+  SGM_CHECK(config.num_trials >= 1);
+  SGM_CHECK(config.max_step_norm > 0.0);
+}
+
+Vector SiteNode::Drift() const { return local_ - synced_local_; }
+
+double SiteNode::CurrentU() const {
+  const double accumulated =
+      config_.max_step_norm *
+      static_cast<double>(std::max<long>(1, cycles_since_sync_));
+  const double threshold_scale =
+      config_.u_threshold_factor *
+      std::max(epsilon_t_, config_.max_step_norm);
+  return std::min({accumulated, config_.drift_norm_cap, threshold_scale});
+}
+
+void SiteNode::Observe(const Vector& local_vector) {
+  local_ = local_vector;
+  in_first_trial_ = false;
+  if (!initialized_) return;  // waiting for the first kNewEstimate
+  ++cycles_since_sync_;
+  if (mute_remaining_ > 0) {
+    --mute_remaining_;
+    return;
+  }
+
+  // Monitoring phase: M independent self-sampling trials; any hit arms the
+  // un-scaled GM ball test (Lemma 2).
+  const Vector drift = Drift();
+  inclusion_probability_ = SamplingProbability(config_.delta, CurrentU(),
+                                               num_sites_, drift.Norm());
+  bool sampled_any = false;
+  for (int trial = 0; trial < config_.num_trials; ++trial) {
+    const bool sampled = rng_.NextBernoulli(inclusion_probability_);
+    if (trial == 0) in_first_trial_ = sampled;
+    sampled_any = sampled_any || sampled;
+  }
+  if (!sampled_any) return;
+
+  const Ball constraint = Ball::LocalConstraint(e_, drift);
+  if (function_->BallCrossesThreshold(constraint, config_.threshold)) {
+    RuntimeMessage alarm;
+    alarm.type = RuntimeMessage::Type::kLocalViolation;
+    alarm.from = id_;
+    alarm.to = kCoordinatorId;
+    transport_->Send(alarm);
+  }
+}
+
+void SiteNode::OnMessage(const RuntimeMessage& message) {
+  switch (message.type) {
+    case RuntimeMessage::Type::kProbeRequest: {
+      if (!in_first_trial_) return;  // the coordinator probes trial 1 only
+      RuntimeMessage report;
+      report.type = RuntimeMessage::Type::kDriftReport;
+      report.from = id_;
+      report.to = kCoordinatorId;
+      report.payload = Drift();
+      report.scalar = inclusion_probability_;
+      transport_->Send(report);
+      return;
+    }
+    case RuntimeMessage::Type::kFullStateRequest: {
+      RuntimeMessage report;
+      report.type = RuntimeMessage::Type::kStateReport;
+      report.from = id_;
+      report.to = kCoordinatorId;
+      report.payload = local_;
+      transport_->Send(report);
+      return;
+    }
+    case RuntimeMessage::Type::kNewEstimate: {
+      e_ = message.payload;
+      epsilon_t_ = message.scalar;
+      synced_local_ = local_;
+      function_->OnSync(e_);
+      cycles_since_sync_ = 0;
+      mute_remaining_ = 0;
+      initialized_ = true;
+      return;
+    }
+    case RuntimeMessage::Type::kResolved: {
+      mute_remaining_ = static_cast<long>(message.scalar);
+      return;
+    }
+    default:
+      // Site-originated types are never addressed to sites.
+      return;
+  }
+}
+
+}  // namespace sgm

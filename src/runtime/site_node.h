@@ -1,0 +1,84 @@
+#ifndef SGM_RUNTIME_SITE_NODE_H_
+#define SGM_RUNTIME_SITE_NODE_H_
+
+#include <memory>
+
+#include "core/rng.h"
+#include "functions/monitored_function.h"
+#include "runtime/message.h"
+#include "runtime/transport.h"
+
+namespace sgm {
+
+/// Configuration shared by all nodes of one monitoring deployment.
+struct RuntimeConfig {
+  double threshold = 0.0;
+  double delta = 0.1;
+  /// Sampling trials per cycle (M of Lemma 2); ≥ 1 here (no auto mode —
+  /// deployments pick M from estimators/sampling.h's NumTrials()).
+  int num_trials = 1;
+  /// Per-cycle drift-step bound (feeds the U policy, Example 3's pattern).
+  double max_step_norm = 1.0;
+  /// A-priori ‖Δv_i‖ cap (√2·window for sliding windows; +inf if unknown).
+  double drift_norm_cap = 1e18;
+  /// β of the U ≤ β·ε_T ceiling (see sim/protocol.h's CurrentU).
+  double u_threshold_factor = 6.0;
+  std::uint64_t seed = 99;
+};
+
+/// The bottom-tier participant of the SGM runtime: owns one local
+/// measurements vector, performs its own sampling coin-flips and ball
+/// tests, and speaks the RuntimeMessage protocol.
+///
+/// Unlike the simulator protocols (which hold all N vectors in one object
+/// for experimentation), a SiteNode sees *only its own data* plus the
+/// coordinator's broadcasts — this is the embeddable deployment shape.
+///
+/// Usage per update cycle:
+///   site.Observe(new_local_vector);   // after the local window slid
+///   ... transport delivers; site.OnMessage(...) for each inbound ...
+class SiteNode {
+ public:
+  /// `id` ∈ [0, N); the function is cloned (reference-anchored functions
+  /// re-anchor on every kNewEstimate).
+  SiteNode(int id, int num_sites, const MonitoredFunction& function,
+           const RuntimeConfig& config, Transport* transport);
+
+  /// Feeds this cycle's local measurements vector and runs the monitoring
+  /// phase (sampling + local ball test); may emit kLocalViolation.
+  void Observe(const Vector& local_vector);
+
+  /// Handles a coordinator message (probe/state requests, new estimates,
+  /// resolutions); may emit reports.
+  void OnMessage(const RuntimeMessage& message);
+
+  int id() const { return id_; }
+  /// True when this site was included in the first trial this cycle.
+  bool in_first_trial() const { return in_first_trial_; }
+  long cycles_since_sync() const { return cycles_since_sync_; }
+
+ private:
+  double CurrentU() const;
+  Vector Drift() const;
+
+  int id_;
+  int num_sites_;
+  std::unique_ptr<MonitoredFunction> function_;
+  RuntimeConfig config_;
+  Transport* transport_;
+  Rng rng_;
+
+  Vector local_;         ///< v_i(t)
+  Vector synced_local_;  ///< v_i(t_s)
+  Vector e_;             ///< coordinator's last broadcast estimate
+  double epsilon_t_ = 0.0;
+  double inclusion_probability_ = 0.0;
+  bool in_first_trial_ = false;
+  long cycles_since_sync_ = 0;
+  long mute_remaining_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_RUNTIME_SITE_NODE_H_

@@ -1,0 +1,41 @@
+#include "runtime/transport.h"
+
+#include "core/check.h"
+
+namespace sgm {
+
+const char* RuntimeMessage::TypeName(Type type) {
+  switch (type) {
+    case Type::kLocalViolation:
+      return "LocalViolation";
+    case Type::kProbeRequest:
+      return "ProbeRequest";
+    case Type::kDriftReport:
+      return "DriftReport";
+    case Type::kResolved:
+      return "Resolved";
+    case Type::kFullStateRequest:
+      return "FullStateRequest";
+    case Type::kStateReport:
+      return "StateReport";
+    case Type::kNewEstimate:
+      return "NewEstimate";
+  }
+  return "Unknown";
+}
+
+void InMemoryBus::Send(const RuntimeMessage& message) {
+  queue_.push_back(message);
+  ++messages_sent_;
+  if (message.from != kCoordinatorId) ++site_messages_sent_;
+  bytes_sent_ += 16.0 + 8.0 * static_cast<double>(message.PayloadDoubles());
+}
+
+RuntimeMessage InMemoryBus::Pop() {
+  SGM_CHECK(!queue_.empty());
+  RuntimeMessage message = queue_.front();
+  queue_.pop_front();
+  return message;
+}
+
+}  // namespace sgm

@@ -1,0 +1,47 @@
+#ifndef SGM_RUNTIME_TRANSPORT_H_
+#define SGM_RUNTIME_TRANSPORT_H_
+
+#include <deque>
+#include <functional>
+
+#include "runtime/message.h"
+
+namespace sgm {
+
+/// Message-delivery abstraction of the runtime: implementations route
+/// RuntimeMessages between the coordinator and sites. The library ships an
+/// in-memory bus; deployments substitute sockets/RPC.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Enqueues a message for delivery. `to == kBroadcastId` fans out to all
+  /// sites but is accounted as a single transmission (the broadcast cost
+  /// model of the paper).
+  virtual void Send(const RuntimeMessage& message) = 0;
+};
+
+/// Deterministic in-memory bus: FIFO queue drained by the runtime driver.
+/// Tracks the same message/byte accounting conventions as sim::Metrics.
+class InMemoryBus final : public Transport {
+ public:
+  void Send(const RuntimeMessage& message) override;
+
+  bool empty() const { return queue_.empty(); }
+  /// Pops the oldest undelivered message.
+  RuntimeMessage Pop();
+
+  long messages_sent() const { return messages_sent_; }
+  long site_messages_sent() const { return site_messages_sent_; }
+  double bytes_sent() const { return bytes_sent_; }
+
+ private:
+  std::deque<RuntimeMessage> queue_;
+  long messages_sent_ = 0;
+  long site_messages_sent_ = 0;
+  double bytes_sent_ = 0.0;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_RUNTIME_TRANSPORT_H_

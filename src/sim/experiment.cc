@@ -1,0 +1,76 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/check.h"
+
+namespace sgm {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SGM_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  SGM_CHECK_MSG(cells.size() == headers_.size(),
+                "row has %zu cells, table has %zu columns", cells.size(),
+                headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::Int(long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%ld", value);
+  return buf;
+}
+
+void TablePrinter::Print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%s%-*s", c == 0 ? "" : "  ", static_cast<int>(widths[c]),
+                  cells[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  for (std::size_t i = 0; i + 2 < total; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+double BenchScale() {
+  const char* env = std::getenv("SGM_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+long ScaledCycles(long base) {
+  return std::max<long>(1, std::lround(static_cast<double>(base) *
+                                       BenchScale()));
+}
+
+void PrintBanner(const std::string& title, const std::string& detail) {
+  std::printf("\n== %s ==\n", title.c_str());
+  if (!detail.empty()) std::printf("%s\n", detail.c_str());
+}
+
+}  // namespace sgm

@@ -1,0 +1,44 @@
+#ifndef SGM_SIM_EXPERIMENT_H_
+#define SGM_SIM_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+namespace sgm {
+
+/// Fixed-width console table used by all bench binaries so the reproduced
+/// figures/tables print as aligned, diff-friendly rows.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; cell count must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats helpers for uniform numeric rendering.
+  static std::string Num(double value, int precision = 3);
+  static std::string Int(long value);
+
+  /// Prints the table (headers, separator, rows) to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Global scale factor for experiment sizes, read from the SGM_BENCH_SCALE
+/// environment variable (default 1.0). Benches multiply their cycle counts
+/// by this, so `SGM_BENCH_SCALE=4` runs paper-scale streams while the
+/// default keeps the full suite fast on one core.
+double BenchScale();
+
+/// max(1, round(base * BenchScale())) convenience.
+long ScaledCycles(long base);
+
+/// Prints a figure/table banner ("== Figure 10(a) ... ==").
+void PrintBanner(const std::string& title, const std::string& detail);
+
+}  // namespace sgm
+
+#endif  // SGM_SIM_EXPERIMENT_H_

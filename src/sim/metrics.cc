@@ -1,0 +1,96 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/check.h"
+
+namespace sgm {
+
+void Metrics::AddSiteMessages(long count, std::size_t doubles_each) {
+  SGM_CHECK(count >= 0);
+  site_messages_ += count;
+  bytes_ += static_cast<double>(count) *
+            (kHeaderBytes + kBytesPerDouble * static_cast<double>(doubles_each));
+}
+
+void Metrics::AddBroadcast(std::size_t doubles) {
+  coordinator_messages_ += 1;
+  bytes_ += kHeaderBytes + kBytesPerDouble * static_cast<double>(doubles);
+}
+
+void Metrics::AddCoordinatorUnicast(std::size_t doubles) {
+  coordinator_messages_ += 1;
+  bytes_ += kHeaderBytes + kBytesPerDouble * static_cast<double>(doubles);
+}
+
+void Metrics::AddPiggybackPayload(long count, std::size_t doubles_each) {
+  SGM_CHECK(count >= 0);
+  bytes_ += static_cast<double>(count) * kBytesPerDouble *
+            static_cast<double>(doubles_each);
+}
+
+void Metrics::OnFullSync(bool was_true_crossing) {
+  ++full_syncs_;
+  if (!was_true_crossing) ++false_positives_;
+}
+
+void Metrics::OnPartialResolution() { ++partial_resolutions_; }
+
+void Metrics::OnOneDResolution() {
+  ++one_d_resolutions_;
+  ++false_positives_;
+}
+
+void Metrics::OnLocalAlarm() { ++local_alarm_cycles_; }
+
+void Metrics::OnCycle(bool undetected_crossing) {
+  ++cycles_;
+  if (undetected_crossing) {
+    ++fn_cycles_;
+    ++current_fn_run_;
+  } else if (current_fn_run_ > 0) {
+    fn_run_lengths_.push_back(current_fn_run_);
+    current_fn_run_ = 0;
+  }
+}
+
+void Metrics::Finalize() {
+  if (current_fn_run_ > 0) {
+    fn_run_lengths_.push_back(current_fn_run_);
+    current_fn_run_ = 0;
+  }
+}
+
+long Metrics::FnDurationMode() const {
+  if (fn_run_lengths_.empty()) return 0;
+  std::map<long, long> counts;
+  for (long run : fn_run_lengths_) ++counts[run];
+  long best_run = 0;
+  long best_count = 0;
+  for (const auto& [run, count] : counts) {
+    if (count > best_count) {  // map order breaks ties toward smaller runs
+      best_count = count;
+      best_run = run;
+    }
+  }
+  return best_run;
+}
+
+double Metrics::FnDurationMedian() const {
+  if (fn_run_lengths_.empty()) return 0.0;
+  std::vector<long> sorted = fn_run_lengths_;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  if (n % 2 == 1) return static_cast<double>(sorted[n / 2]);
+  return 0.5 * static_cast<double>(sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+double Metrics::SiteMessagesPerUpdate(int num_sites) const {
+  SGM_CHECK(num_sites > 0);
+  if (cycles_ == 0) return 0.0;
+  return static_cast<double>(site_messages_) /
+         (static_cast<double>(num_sites) * static_cast<double>(cycles_));
+}
+
+}  // namespace sgm

@@ -1,0 +1,111 @@
+#ifndef SGM_SIM_METRICS_H_
+#define SGM_SIM_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sgm {
+
+/// Communication- and accuracy-accounting for one protocol run.
+///
+/// Conventions (matching Section 1.2's cost model):
+///  * a site→coordinator message and a coordinator→site unicast each count 1;
+///  * a coordinator broadcast counts 1 message total (the paper's
+///    "N + 1 messages per FP, assuming broadcast capability");
+///  * bytes = 16-byte header + 8 bytes per double of payload;
+///  * per-site cost (Figure 13) divides site-originated messages only by
+///    N · cycles — broadcasts cost the coordinator, not the battery-powered
+///    sites.
+///
+/// False positives/negatives are classified against the ground-truth oracle:
+/// a *false positive* is a central decision (full synchronization, or
+/// CVSGM's 1-d preliminary resolution) triggered while f(v(t)) had not
+/// actually switched sides; a *false-negative cycle* is an update cycle in
+/// which the true function value sits on the opposite side of the threshold
+/// from the coordinator's belief with no synchronization correcting it.
+/// Consecutive FN cycles form an FN *run*, whose Mode/Median lengths Tables
+/// 3–4 report.
+class Metrics {
+ public:
+  static constexpr double kHeaderBytes = 16.0;
+  static constexpr double kBytesPerDouble = 8.0;
+
+  /// Records `count` site→coordinator messages of `doubles_each` payload.
+  void AddSiteMessages(long count, std::size_t doubles_each);
+
+  /// Records a coordinator broadcast with `doubles` payload.
+  void AddBroadcast(std::size_t doubles);
+
+  /// Records a coordinator→site unicast with `doubles` payload.
+  void AddCoordinatorUnicast(std::size_t doubles);
+
+  /// Records payload piggybacked on already-counted messages (e.g. PGM's
+  /// prediction-model coefficients riding along sync vectors): bytes only,
+  /// no message count.
+  void AddPiggybackPayload(long count, std::size_t doubles_each);
+
+  /// A full synchronization completed (new e computed & shipped).
+  void OnFullSync(bool was_true_crossing);
+
+  /// An alarm resolved by the partial (sample-only) probe — no full sync.
+  void OnPartialResolution();
+
+  /// A CVSGM alarm resolved by the all-sites 1-d signed-distance check
+  /// (Lemma 4): a false positive whose resolution shipped scalars only.
+  void OnOneDResolution();
+
+  /// A cycle in which at least one monitored site raised a local alarm.
+  void OnLocalAlarm();
+
+  /// Per-cycle ground-truth bookkeeping (see class comment).
+  void OnCycle(bool undetected_crossing);
+
+  /// Flushes a trailing FN run; call once after the simulation loop.
+  void Finalize();
+
+  long site_messages() const { return site_messages_; }
+  long coordinator_messages() const { return coordinator_messages_; }
+  long total_messages() const { return site_messages_ + coordinator_messages_; }
+  double total_bytes() const { return bytes_; }
+
+  long full_syncs() const { return full_syncs_; }
+  long false_positives() const { return false_positives_; }
+  long one_d_resolutions() const { return one_d_resolutions_; }
+  long partial_resolutions() const { return partial_resolutions_; }
+  long local_alarm_cycles() const { return local_alarm_cycles_; }
+
+  long cycles() const { return cycles_; }
+  long false_negative_cycles() const { return fn_cycles_; }
+  long false_negative_runs() const {
+    return static_cast<long>(fn_run_lengths_.size());
+  }
+  const std::vector<long>& fn_run_lengths() const { return fn_run_lengths_; }
+
+  /// Most frequent FN run length (0 when no FN occurred; smallest wins ties).
+  long FnDurationMode() const;
+  /// Median FN run length (0 when no FN occurred).
+  double FnDurationMedian() const;
+
+  /// Average messages transmitted *by each site per data update* (Fig. 13).
+  double SiteMessagesPerUpdate(int num_sites) const;
+
+ private:
+  long site_messages_ = 0;
+  long coordinator_messages_ = 0;
+  double bytes_ = 0.0;
+
+  long full_syncs_ = 0;
+  long false_positives_ = 0;
+  long one_d_resolutions_ = 0;
+  long partial_resolutions_ = 0;
+  long local_alarm_cycles_ = 0;
+
+  long cycles_ = 0;
+  long fn_cycles_ = 0;
+  long current_fn_run_ = 0;
+  std::vector<long> fn_run_lengths_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_SIM_METRICS_H_

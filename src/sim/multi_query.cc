@@ -1,0 +1,87 @@
+#include "sim/multi_query.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace sgm {
+
+MultiQueryRunner::MultiQueryRunner(StreamSource* source) : source_(source) {
+  SGM_CHECK(source != nullptr);
+}
+
+void MultiQueryRunner::AddQuery(std::string label,
+                                std::unique_ptr<Protocol> protocol) {
+  SGM_CHECK(protocol != nullptr);
+  QueryResult result;
+  result.label = std::move(label);
+  results_.push_back(std::move(result));
+  protocols_.push_back(std::move(protocol));
+}
+
+const std::vector<MultiQueryRunner::QueryResult>& MultiQueryRunner::Run(
+    long cycles) {
+  SGM_CHECK_MSG(!protocols_.empty(), "no queries registered");
+  SGM_CHECK(cycles > 0);
+
+  std::vector<Vector> locals;
+  source_->Advance(&locals);
+  for (std::size_t q = 0; q < protocols_.size(); ++q) {
+    protocols_[q]->Initialize(locals, &results_[q].run.metrics);
+  }
+  // Initialization batches perfectly: one collection serves all queries.
+  long previous_total = 0;
+  {
+    long heaviest = 0;
+    for (const auto& result : results_) {
+      heaviest = std::max(heaviest, result.run.metrics.total_messages());
+      previous_total += result.run.metrics.total_messages();
+    }
+    batched_messages_ = heaviest;
+  }
+
+  std::vector<long> last_totals(protocols_.size());
+  for (std::size_t q = 0; q < protocols_.size(); ++q) {
+    last_totals[q] = results_[q].run.metrics.total_messages();
+  }
+
+  Vector mean(locals.front().dim());
+  for (long t = 0; t < cycles; ++t) {
+    source_->Advance(&locals);
+    mean.SetZero();
+    for (const Vector& v : locals) mean += v;
+    mean /= static_cast<double>(locals.size());
+
+    long heaviest_delta = 0;
+    for (std::size_t q = 0; q < protocols_.size(); ++q) {
+      Protocol* protocol = protocols_[q].get();
+      Metrics* metrics = &results_[q].run.metrics;
+      protocol->OnCycle(locals, metrics);
+
+      const bool true_above =
+          protocol->function().Value(mean) > protocol->threshold();
+      if (true_above) ++results_[q].run.true_crossing_cycles;
+      metrics->OnCycle(true_above != protocol->BelievesAbove());
+
+      const long delta = metrics->total_messages() - last_totals[q];
+      last_totals[q] = metrics->total_messages();
+      heaviest_delta = std::max(heaviest_delta, delta);
+    }
+    batched_messages_ += heaviest_delta;
+  }
+  for (std::size_t q = 0; q < protocols_.size(); ++q) {
+    results_[q].run.metrics.Finalize();
+    results_[q].run.cycles = cycles;
+  }
+  return results_;
+}
+
+long MultiQueryRunner::TotalMessages() const {
+  long total = 0;
+  for (const auto& result : results_) {
+    total += result.run.metrics.total_messages();
+  }
+  return total;
+}
+
+}  // namespace sgm

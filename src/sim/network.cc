@@ -1,0 +1,47 @@
+#include "sim/network.h"
+
+#include "core/check.h"
+
+namespace sgm {
+
+Network::Network(StreamSource* source, Protocol* protocol)
+    : source_(source), protocol_(protocol) {
+  SGM_CHECK(source != nullptr);
+  SGM_CHECK(protocol != nullptr);
+}
+
+RunResult Network::Run(long cycles) {
+  SGM_CHECK(cycles > 0);
+  RunResult result;
+
+  std::vector<Vector> locals;
+  source_->Advance(&locals);
+  protocol_->Initialize(locals, &result.metrics);
+
+  Vector mean(locals.front().dim());
+  for (long t = 0; t < cycles; ++t) {
+    source_->Advance(&locals);
+    protocol_->OnCycle(locals, &result.metrics);
+
+    // Ground truth on the exact global average, through the protocol's own
+    // (possibly re-anchored) function instance.
+    mean.SetZero();
+    for (const Vector& v : locals) mean += v;
+    mean /= static_cast<double>(locals.size());
+    const bool true_above =
+        protocol_->function().Value(mean) > protocol_->threshold();
+    if (true_above) ++result.true_crossing_cycles;
+
+    const bool undetected = (true_above != protocol_->BelievesAbove());
+    result.metrics.OnCycle(undetected);
+  }
+  result.metrics.Finalize();
+  result.cycles = cycles;
+  return result;
+}
+
+RunResult Simulate(StreamSource* source, Protocol* protocol, long cycles) {
+  return Network(source, protocol).Run(cycles);
+}
+
+}  // namespace sgm

@@ -1,0 +1,46 @@
+#ifndef SGM_SIM_NETWORK_H_
+#define SGM_SIM_NETWORK_H_
+
+#include <memory>
+
+#include "data/stream.h"
+#include "sim/metrics.h"
+#include "sim/protocol.h"
+
+namespace sgm {
+
+/// Outcome of a simulated monitoring run.
+struct RunResult {
+  Metrics metrics;
+  long cycles = 0;
+  long true_crossing_cycles = 0;  ///< cycles with f(v(t)) above T (oracle)
+};
+
+/// Two-tier star-topology simulator: drives a StreamSource through update
+/// cycles, hands every cycle to the protocol, and classifies the protocol's
+/// belief against the exact ground truth.
+///
+/// The oracle evaluates the protocol's *own* function instance (so
+/// reference-anchored queries are judged against the reference that protocol
+/// actually shipped) on the exact mean of all N local vectors — protocol
+/// approximations never contaminate FP/FN classification.
+class Network {
+ public:
+  /// Neither pointer is owned; both must outlive the Network.
+  Network(StreamSource* source, Protocol* protocol);
+
+  /// Runs `cycles` update cycles (after the initialization sync) and returns
+  /// the finalized metrics.
+  RunResult Run(long cycles);
+
+ private:
+  StreamSource* source_;
+  Protocol* protocol_;
+};
+
+/// Convenience: builds the network, runs, returns the result.
+RunResult Simulate(StreamSource* source, Protocol* protocol, long cycles);
+
+}  // namespace sgm
+
+#endif  // SGM_SIM_NETWORK_H_

@@ -1,0 +1,69 @@
+#ifndef SGM_SKETCH_AMS_SKETCH_H_
+#define SGM_SKETCH_AMS_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/vector.h"
+
+namespace sgm {
+
+/// AMS (Alon–Matias–Szegedy) sketch over an item domain — the synopsis
+/// behind sketch-based geometric monitoring (Garofalakis, Keren & Samoladas,
+/// VLDB'13 — the paper's reference [12]).
+///
+/// The sketch is a depth×width array of counters; item `i` with weight `w`
+/// adds `w·ξ_{r}(i)` to counter (r, h_r(i)) for each row r, where ξ ∈ {±1}
+/// is four-wise independent. Crucially, the sketch is a *linear* projection
+/// of the frequency vector: the sketch of a union of streams equals the sum
+/// of per-stream sketches, which is exactly what lets GM/SGM monitor
+/// sketch-based join/self-join estimates as functions of the *average*
+/// sketch vector across sites.
+///
+/// All sites of a deployment must share the same SketchSeed so their
+/// projections agree coordinate-by-coordinate.
+class AmsSketch {
+ public:
+  /// `depth` independent rows (median), `width` counters per row (means);
+  /// `seed` fixes the hash functions — identical across sites.
+  AmsSketch(int depth, int width, std::uint64_t seed);
+
+  /// Adds `weight` occurrences of `item`.
+  void Update(std::uint64_t item, double weight = 1.0);
+
+  /// The flattened depth·width counter vector — the local measurements
+  /// vector a monitoring site ships into GM/SGM.
+  const Vector& counters() const { return counters_; }
+
+  /// Self-join size (second frequency moment F₂) estimate: median over rows
+  /// of the sum of squared counters.
+  double SelfJoinEstimate() const;
+
+  /// Join size estimate between this sketch and `other` (same geometry and
+  /// seed): median over rows of the row inner products.
+  double JoinEstimate(const AmsSketch& other) const;
+
+  int depth() const { return depth_; }
+  int width() const { return width_; }
+
+  /// Estimates F₂ directly from a flattened counter vector with the given
+  /// geometry — the MonitoredFunction-facing entry point (see
+  /// SketchSelfJoin below).
+  static double SelfJoinFromCounters(const Vector& counters, int depth,
+                                     int width);
+
+ private:
+  /// Four-wise-independent ±1 sign for (row, item).
+  double Sign(int row, std::uint64_t item) const;
+  /// Bucket index for (row, item).
+  int Bucket(int row, std::uint64_t item) const;
+
+  int depth_;
+  int width_;
+  std::vector<std::uint64_t> row_seeds_;
+  Vector counters_;  // row-major depth×width
+};
+
+}  // namespace sgm
+
+#endif  // SGM_SKETCH_AMS_SKETCH_H_

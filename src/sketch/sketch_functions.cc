@@ -1,0 +1,80 @@
+#include "sketch/sketch_functions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/check.h"
+#include "sketch/ams_sketch.h"
+
+namespace sgm {
+
+SketchSelfJoin::SketchSelfJoin(int depth, int width)
+    : depth_(depth), width_(width) {
+  SGM_CHECK_MSG(depth > 0 && width > 0, "sketch depth/width must be positive");
+}
+
+double SketchSelfJoin::Value(const Vector& v) const {
+  return AmsSketch::SelfJoinFromCounters(v, depth_, width_);
+}
+
+int SketchSelfJoin::MedianRow(const Vector& v) const {
+  std::vector<double> estimates(depth_);
+  for (int r = 0; r < depth_; ++r) {
+    double sum = 0.0;
+    for (int c = 0; c < width_; ++c) {
+      const double x = v[static_cast<std::size_t>(r) * width_ + c];
+      sum += x * x;
+    }
+    estimates[r] = sum;
+  }
+  std::vector<int> order(depth_);
+  std::iota(order.begin(), order.end(), 0);
+  std::nth_element(order.begin(), order.begin() + depth_ / 2, order.end(),
+                   [&](int a, int b) { return estimates[a] < estimates[b]; });
+  return order[depth_ / 2];
+}
+
+Vector SketchSelfJoin::Gradient(const Vector& v) const {
+  // Subgradient: 2·v on the median row's counters, zero elsewhere.
+  SGM_CHECK(v.dim() ==
+            static_cast<std::size_t>(depth_) * static_cast<std::size_t>(width_));
+  Vector grad(v.dim());
+  const int median = MedianRow(v);
+  for (int c = 0; c < width_; ++c) {
+    const std::size_t index = static_cast<std::size_t>(median) * width_ + c;
+    grad[index] = 2.0 * v[index];
+  }
+  return grad;
+}
+
+Interval SketchSelfJoin::RangeOverBall(const Ball& ball) const {
+  const Vector& center = ball.center();
+  SGM_CHECK(center.dim() == static_cast<std::size_t>(depth_) *
+                                static_cast<std::size_t>(width_));
+  const double radius = ball.radius();
+  std::vector<double> lows(depth_), highs(depth_);
+  for (int r = 0; r < depth_; ++r) {
+    double sq = 0.0;
+    for (int c = 0; c < width_; ++c) {
+      const double x = center[static_cast<std::size_t>(r) * width_ + c];
+      sq += x * x;
+    }
+    const double row_norm = std::sqrt(sq);
+    const double lo = std::max(0.0, row_norm - radius);
+    const double hi = row_norm + radius;
+    lows[r] = lo * lo;
+    highs[r] = hi * hi;
+  }
+  std::nth_element(lows.begin(), lows.begin() + depth_ / 2, lows.end());
+  std::nth_element(highs.begin(), highs.begin() + depth_ / 2, highs.end());
+  return Interval{lows[depth_ / 2], highs[depth_ / 2]};
+}
+
+bool SketchSelfJoin::HomogeneityDegree(double* degree) const {
+  *degree = 2.0;
+  return true;
+}
+
+}  // namespace sgm

@@ -1,0 +1,50 @@
+#ifndef SGM_SKETCH_SKETCH_FUNCTIONS_H_
+#define SGM_SKETCH_SKETCH_FUNCTIONS_H_
+
+#include <memory>
+#include <string>
+
+#include "functions/monitored_function.h"
+
+namespace sgm {
+
+/// Self-join (F₂) estimate over an averaged AMS-sketch vector:
+///   f(v) = median over rows r of Σ_c v[r,c]²
+///
+/// The monitored function of sketch-based geometric monitoring [12]: sites
+/// sketch their local streams with a shared-seed AmsSketch, the sketch is a
+/// linear projection, so the average sketch vector is the sketch of the
+/// averaged stream and f estimates its self-join size. Homogeneous of
+/// degree 2, so Section 7's sum transformation (T/N²) covers union-stream
+/// semantics.
+///
+/// Geometry: the median is monotone in every row estimate, so the enclosure
+/// [median_r(lo_r), median_r(hi_r)] over per-row norm bounds
+/// lo_r = max(0, ‖v_r‖ − ρ)², hi_r = (‖v_r‖ + ρ)² is conservative (each row
+/// is granted the whole ball radius).
+class SketchSelfJoin final : public MonitoredFunction {
+ public:
+  SketchSelfJoin(int depth, int width);
+
+  std::string name() const override { return "sketch_self_join"; }
+
+  double Value(const Vector& v) const override;
+  Vector Gradient(const Vector& v) const override;
+  Interval RangeOverBall(const Ball& ball) const override;
+  bool HomogeneityDegree(double* degree) const override;
+
+  std::unique_ptr<MonitoredFunction> Clone() const override {
+    return std::make_unique<SketchSelfJoin>(*this);
+  }
+
+ private:
+  /// Index of the median row by sum-of-squares at `v`.
+  int MedianRow(const Vector& v) const;
+
+  int depth_;
+  int width_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_SKETCH_SKETCH_FUNCTIONS_H_

@@ -1,0 +1,90 @@
+#include "geometry/ball.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace sgm {
+namespace {
+
+TEST(BallTest, ContainsPoint) {
+  Ball b(Vector{0.0, 0.0}, 1.0);
+  EXPECT_TRUE(b.Contains(Vector{0.0, 0.0}));
+  EXPECT_TRUE(b.Contains(Vector{1.0, 0.0}));  // boundary
+  EXPECT_FALSE(b.Contains(Vector{1.01, 0.0}));
+}
+
+TEST(BallTest, ContainsBall) {
+  Ball outer(Vector{0.0, 0.0}, 2.0);
+  Ball inner(Vector{0.5, 0.0}, 1.0);
+  Ball crossing(Vector{1.5, 0.0}, 1.0);
+  EXPECT_TRUE(outer.Contains(inner));
+  EXPECT_FALSE(outer.Contains(crossing));
+}
+
+TEST(BallTest, DistanceToPoint) {
+  Ball b(Vector{0.0, 0.0}, 1.0);
+  EXPECT_DOUBLE_EQ(b.DistanceTo(Vector{3.0, 0.0}), 2.0);
+  EXPECT_DOUBLE_EQ(b.DistanceTo(Vector{0.5, 0.0}), 0.0);
+}
+
+TEST(BallTest, SignedDistance) {
+  Ball b(Vector{0.0, 0.0}, 2.0);
+  EXPECT_DOUBLE_EQ(b.SignedDistanceTo(Vector{0.0, 0.0}), -2.0);
+  EXPECT_DOUBLE_EQ(b.SignedDistanceTo(Vector{2.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(b.SignedDistanceTo(Vector{5.0, 0.0}), 3.0);
+}
+
+TEST(BallTest, Intersects) {
+  Ball a(Vector{0.0, 0.0}, 1.0);
+  EXPECT_TRUE(a.Intersects(Ball(Vector{1.5, 0.0}, 1.0)));
+  EXPECT_TRUE(a.Intersects(Ball(Vector{2.0, 0.0}, 1.0)));  // touching
+  EXPECT_FALSE(a.Intersects(Ball(Vector{3.0, 0.0}, 1.0)));
+}
+
+TEST(BallTest, LocalConstraintGeometry) {
+  // B(e + Δ/2, ‖Δ‖/2) must pass through both e and e + Δ.
+  const Vector e{1.0, 2.0, 3.0};
+  const Vector drift{2.0, 0.0, -2.0};
+  const Ball constraint = Ball::LocalConstraint(e, drift);
+  EXPECT_NEAR(constraint.radius(), drift.Norm() / 2.0, 1e-12);
+  EXPECT_NEAR(constraint.center().DistanceTo(e), constraint.radius(), 1e-12);
+  EXPECT_NEAR(constraint.center().DistanceTo(e + drift), constraint.radius(),
+              1e-12);
+}
+
+TEST(BallTest, LocalConstraintZeroDrift) {
+  const Vector e{1.0, 1.0};
+  const Ball constraint = Ball::LocalConstraint(e, Vector{0.0, 0.0});
+  EXPECT_EQ(constraint.radius(), 0.0);
+  EXPECT_TRUE(constraint.Contains(e));
+}
+
+// Sharfman et al.'s covering lemma specialized to one site: every convex
+// combination of e and e + Δ lies inside the local-constraint ball.
+TEST(BallTest, LocalConstraintCoversSegment) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vector e(4), drift(4);
+    for (int j = 0; j < 4; ++j) {
+      e[j] = rng.NextDouble(-5.0, 5.0);
+      drift[j] = rng.NextDouble(-3.0, 3.0);
+    }
+    const Ball constraint = Ball::LocalConstraint(e, drift);
+    for (double lambda : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      Vector point = e;
+      point.Axpy(lambda, drift);
+      EXPECT_TRUE(constraint.Contains(point)) << "lambda=" << lambda;
+    }
+  }
+}
+
+TEST(BallTest, ToStringMentionsRadius) {
+  Ball b(Vector{1.0}, 2.5);
+  EXPECT_NE(b.ToString().find("2.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sgm

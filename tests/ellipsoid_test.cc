@@ -1,0 +1,110 @@
+#include "geometry/ellipsoid.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace sgm {
+namespace {
+
+TEST(EllipsoidTest, SphereSpecialCase) {
+  // Equal semi-axes reduce to a ball. Exactly at the center the secular
+  // solve hits a floating-point cancellation (t → −a²), costing ~1e-4 of
+  // accuracy; off-center points are ~1e-8 exact.
+  Ellipsoid e(Vector{1.0, 2.0}, Vector{3.0, 3.0});
+  EXPECT_NEAR(e.SignedDistance(Vector{1.0, 2.0}), -3.0, 1e-3);
+  EXPECT_NEAR(e.SignedDistance(Vector{5.0, 2.0}), 1.0, 1e-8);
+  EXPECT_NEAR(e.SignedDistance(Vector{4.0, 2.0}), 0.0, 1e-8);
+}
+
+TEST(EllipsoidTest, AxisPointsExact) {
+  Ellipsoid e(Vector{0.0, 0.0}, Vector{4.0, 1.0});
+  // Along the major axis: boundary at x = 4.
+  EXPECT_NEAR(e.SignedDistance(Vector{6.0, 0.0}), 2.0, 1e-8);
+  // Along the minor axis: boundary at y = 1.
+  EXPECT_NEAR(e.SignedDistance(Vector{0.0, 3.0}), 2.0, 1e-8);
+}
+
+TEST(EllipsoidTest, ContainsAgreesWithLevel) {
+  Ellipsoid e(Vector{0.0, 0.0, 0.0}, Vector{2.0, 1.0, 0.5});
+  EXPECT_TRUE(e.Contains(Vector{1.0, 0.5, 0.0}));
+  EXPECT_FALSE(e.Contains(Vector{2.0, 1.0, 0.5}));
+  EXPECT_TRUE(e.Contains(Vector{2.0, 0.0, 0.0}));  // on the boundary
+}
+
+TEST(EllipsoidTest, ProjectionLandsOnBoundary) {
+  Ellipsoid e(Vector{1.0, -1.0, 0.0}, Vector{3.0, 0.7, 1.5});
+  Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    Vector p(3);
+    for (int j = 0; j < 3; ++j) p[j] = rng.NextDouble(-6.0, 6.0);
+    const Vector projection = e.Project(p);
+    EXPECT_NEAR(e.LevelValue(projection), 1.0, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(EllipsoidTest, ProjectionIsNearestBoundaryPoint) {
+  // The secular-equation projection must beat random boundary samples.
+  Ellipsoid e(Vector{0.0, 0.0}, Vector{5.0, 1.0});
+  Rng rng(33);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vector p(2);
+    p[0] = rng.NextDouble(-8.0, 8.0);
+    p[1] = rng.NextDouble(-4.0, 4.0);
+    const double distance = std::abs(e.SignedDistance(p));
+    for (int s = 0; s < 100; ++s) {
+      const double angle = rng.NextDouble(0.0, 2.0 * M_PI);
+      const Vector boundary{5.0 * std::cos(angle), 1.0 * std::sin(angle)};
+      EXPECT_LE(distance, p.DistanceTo(boundary) + 1e-6)
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(EllipsoidTest, DegenerateAxisComponentHandled) {
+  // Interior point with zero component on the short axis: the classic
+  // secular-equation edge case.
+  Ellipsoid e(Vector{0.0, 0.0}, Vector{4.0, 1.0});
+  const double sd = e.SignedDistance(Vector{0.5, 0.0});
+  EXPECT_LT(sd, 0.0);
+  EXPECT_GT(sd, -1.01);  // the short axis is ≤ 1 away
+}
+
+TEST(EllipsoidSafeZoneTest, SignedDistanceDelegates) {
+  EllipsoidSafeZone zone(
+      Ellipsoid(Vector{0.0, 0.0}, Vector{2.0, 1.0}));
+  EXPECT_TRUE(zone.Contains(Vector{1.0, 0.0}));
+  EXPECT_FALSE(zone.Contains(Vector{0.0, 2.0}));
+  EXPECT_LT(zone.SignedDistance(Vector{0.0, 0.0}), 0.0);
+  EXPECT_FALSE(zone.ToString().empty());
+}
+
+// Lemma-4 compatibility: negative mean signed distance implies the mean is
+// inside — exercised with the ellipsoidal zone.
+TEST(EllipsoidSafeZoneTest, Lemma4HoldsForEllipsoids) {
+  EllipsoidSafeZone zone(
+      Ellipsoid(Vector{0.0, 0.0, 0.0}, Vector{2.0, 1.5, 3.0}));
+  Rng rng(35);
+  int exercised = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<Vector> points;
+    const int n = 3 + static_cast<int>(rng.NextBounded(6));
+    for (int i = 0; i < n; ++i) {
+      Vector p(3);
+      for (int j = 0; j < 3; ++j) p[j] = rng.NextDouble(-1.6, 1.6);
+      points.push_back(p);
+    }
+    const SignedDistanceSummary summary =
+        SummarizeSignedDistances(zone, points);
+    if (summary.average < 0.0) {
+      ++exercised;
+      EXPECT_TRUE(zone.Contains(Mean(points))) << "trial " << trial;
+    }
+  }
+  EXPECT_GT(exercised, 30);
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,52 @@
+#include "sim/experiment.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace sgm {
+namespace {
+
+TEST(TablePrinterTest, FormatsNumbers) {
+  EXPECT_EQ(TablePrinter::Num(1.5), "1.5");
+  EXPECT_EQ(TablePrinter::Num(0.123456, 3), "0.123");
+  EXPECT_EQ(TablePrinter::Int(42), "42");
+  EXPECT_EQ(TablePrinter::Int(-7), "-7");
+}
+
+TEST(TablePrinterTest, AcceptsMatchingRows) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"333", "4"});
+  table.Print();  // must not crash; output inspected in bench logs
+}
+
+TEST(ScaledCyclesTest, DefaultIsIdentity) {
+  unsetenv("SGM_BENCH_SCALE");
+  EXPECT_EQ(ScaledCycles(100), 100);
+  EXPECT_DOUBLE_EQ(BenchScale(), 1.0);
+}
+
+TEST(ScaledCyclesTest, EnvironmentScales) {
+  setenv("SGM_BENCH_SCALE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(BenchScale(), 2.5);
+  EXPECT_EQ(ScaledCycles(100), 250);
+  unsetenv("SGM_BENCH_SCALE");
+}
+
+TEST(ScaledCyclesTest, GarbageEnvironmentFallsBack) {
+  setenv("SGM_BENCH_SCALE", "banana", 1);
+  EXPECT_DOUBLE_EQ(BenchScale(), 1.0);
+  setenv("SGM_BENCH_SCALE", "-3", 1);
+  EXPECT_DOUBLE_EQ(BenchScale(), 1.0);
+  unsetenv("SGM_BENCH_SCALE");
+}
+
+TEST(ScaledCyclesTest, NeverBelowOne) {
+  setenv("SGM_BENCH_SCALE", "0.0001", 1);
+  EXPECT_GE(ScaledCycles(100), 1);
+  unsetenv("SGM_BENCH_SCALE");
+}
+
+}  // namespace
+}  // namespace sgm

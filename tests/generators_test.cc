@@ -1,0 +1,235 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/jester_like.h"
+#include "data/reuters_like.h"
+#include "data/synthetic.h"
+
+namespace sgm {
+namespace {
+
+template <typename Generator, typename Config>
+void ExpectDeterministic(const Config& config) {
+  Generator a(config), b(config);
+  std::vector<Vector> va, vb;
+  for (int t = 0; t < 20; ++t) {
+    a.Advance(&va);
+    b.Advance(&vb);
+    ASSERT_EQ(va.size(), vb.size());
+    for (std::size_t i = 0; i < va.size(); ++i) {
+      ASSERT_EQ(va[i], vb[i]) << "site " << i << " cycle " << t;
+    }
+  }
+}
+
+template <typename Generator>
+void ExpectStepNormRespected(Generator* gen, int cycles) {
+  std::vector<Vector> prev, cur;
+  gen->Advance(&prev);
+  const double bound = gen->max_step_norm() + 1e-9;
+  for (int t = 0; t < cycles; ++t) {
+    gen->Advance(&cur);
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      EXPECT_LE(cur[i].DistanceTo(prev[i]), bound)
+          << "site " << i << " cycle " << t;
+    }
+    prev = cur;
+  }
+}
+
+// ------------------------------------------------------------- synthetic --
+
+TEST(SyntheticTest, DimensionsAndSites) {
+  SyntheticDriftConfig config;
+  config.num_sites = 7;
+  config.dim = 5;
+  SyntheticDriftGenerator gen(config);
+  std::vector<Vector> locals;
+  gen.Advance(&locals);
+  ASSERT_EQ(locals.size(), 7u);
+  EXPECT_EQ(locals[0].dim(), 5u);
+}
+
+TEST(SyntheticTest, Deterministic) {
+  SyntheticDriftConfig config;
+  config.num_sites = 5;
+  ExpectDeterministic<SyntheticDriftGenerator>(config);
+}
+
+TEST(SyntheticTest, SeedChangesStream) {
+  SyntheticDriftConfig a_config, b_config;
+  b_config.seed = 999;
+  SyntheticDriftGenerator a(a_config), b(b_config);
+  std::vector<Vector> va, vb;
+  a.Advance(&va);
+  b.Advance(&vb);
+  EXPECT_NE(va[0], vb[0]);
+}
+
+TEST(SyntheticTest, StepNormRespected) {
+  SyntheticDriftConfig config;
+  config.num_sites = 10;
+  SyntheticDriftGenerator gen(config);
+  ExpectStepNormRespected(&gen, 100);
+}
+
+TEST(SyntheticTest, GlobalOscillationMovesAverage) {
+  SyntheticDriftConfig config;
+  config.num_sites = 50;
+  config.global_period = 100;
+  config.step_norm = 0.05;
+  SyntheticDriftGenerator gen(config);
+  std::vector<Vector> locals;
+  double lo = 1e9, hi = -1e9;
+  for (int t = 0; t < 200; ++t) {
+    gen.Advance(&locals);
+    const double mean0 = Mean(locals)[0];
+    lo = std::min(lo, mean0);
+    hi = std::max(hi, mean0);
+  }
+  EXPECT_GT(hi - lo, 0.5);  // shared drift is visible in the global average
+}
+
+// --------------------------------------------------------------- reuters --
+
+TEST(ReutersTest, VectorShape) {
+  ReutersLikeConfig config;
+  config.num_sites = 10;
+  config.window = 50;
+  ReutersLikeGenerator gen(config);
+  std::vector<Vector> locals;
+  gen.Advance(&locals);
+  ASSERT_EQ(locals.size(), 10u);
+  EXPECT_EQ(locals[0].dim(), 3u);
+}
+
+TEST(ReutersTest, CountsWithinWindow) {
+  ReutersLikeConfig config;
+  config.num_sites = 5;
+  config.window = 40;
+  ReutersLikeGenerator gen(config);
+  std::vector<Vector> locals;
+  for (int t = 0; t < 100; ++t) {
+    gen.Advance(&locals);
+    for (const Vector& v : locals) {
+      EXPECT_GE(v[0], 0.0);
+      EXPECT_LE(v.Sum(), 40.0);
+    }
+  }
+}
+
+TEST(ReutersTest, Deterministic) {
+  ReutersLikeConfig config;
+  config.num_sites = 4;
+  config.window = 30;
+  ExpectDeterministic<ReutersLikeGenerator>(config);
+}
+
+TEST(ReutersTest, StepNormRespected) {
+  ReutersLikeConfig config;
+  config.num_sites = 6;
+  config.window = 30;
+  ReutersLikeGenerator gen(config);
+  ExpectStepNormRespected(&gen, 200);
+}
+
+TEST(ReutersTest, RelevanceStaysInUnitInterval) {
+  ReutersLikeConfig config;
+  config.num_sites = 3;
+  config.window = 20;
+  config.burst_spacing = 50;
+  config.burst_length = 30;
+  ReutersLikeGenerator gen(config);
+  std::vector<Vector> locals;
+  bool saw_high = false;
+  for (int t = 0; t < 600; ++t) {
+    gen.Advance(&locals);
+    EXPECT_GE(gen.relevance(), 0.0);
+    EXPECT_LE(gen.relevance(), 1.0);
+    if (gen.relevance() > 0.8) saw_high = true;
+  }
+  EXPECT_TRUE(saw_high);  // bursts actually occur
+}
+
+TEST(ReutersTest, BurstsRaiseCooccurrence) {
+  ReutersLikeConfig config;
+  config.num_sites = 40;
+  config.window = 100;
+  config.burst_spacing = 10;  // burst almost immediately and often
+  config.burst_length = 400;
+  ReutersLikeGenerator burst_gen(config);
+
+  ReutersLikeConfig calm = config;
+  calm.burst_spacing = 1000000;  // effectively never bursts
+  calm.burst_length = 1;
+  ReutersLikeGenerator calm_gen(calm);
+
+  std::vector<Vector> locals;
+  double burst_cooc = 0.0, calm_cooc = 0.0;
+  for (int t = 0; t < 400; ++t) {
+    burst_gen.Advance(&locals);
+    burst_cooc += Mean(locals)[0];
+    calm_gen.Advance(&locals);
+    calm_cooc += Mean(locals)[0];
+  }
+  EXPECT_GT(burst_cooc, calm_cooc * 1.2);
+}
+
+// ---------------------------------------------------------------- jester --
+
+TEST(JesterTest, VectorShape) {
+  JesterLikeConfig config;
+  config.num_sites = 8;
+  config.window = 50;
+  config.num_buckets = 12;
+  JesterLikeGenerator gen(config);
+  std::vector<Vector> locals;
+  gen.Advance(&locals);
+  ASSERT_EQ(locals.size(), 8u);
+  EXPECT_EQ(locals[0].dim(), 12u);
+}
+
+TEST(JesterTest, HistogramMassEqualsWindowWhenWarm) {
+  JesterLikeConfig config;
+  config.num_sites = 5;
+  config.window = 60;
+  JesterLikeGenerator gen(config);  // constructor warms windows up
+  std::vector<Vector> locals;
+  gen.Advance(&locals);
+  for (const Vector& v : locals) EXPECT_DOUBLE_EQ(v.Sum(), 60.0);
+}
+
+TEST(JesterTest, Deterministic) {
+  JesterLikeConfig config;
+  config.num_sites = 4;
+  config.window = 30;
+  ExpectDeterministic<JesterLikeGenerator>(config);
+}
+
+TEST(JesterTest, StepNormRespected) {
+  JesterLikeConfig config;
+  config.num_sites = 6;
+  config.window = 40;
+  JesterLikeGenerator gen(config);
+  ExpectStepNormRespected(&gen, 200);
+}
+
+TEST(JesterTest, MoodShiftsMigrateHistogram) {
+  JesterLikeConfig config;
+  config.num_sites = 30;
+  config.window = 60;
+  config.mood_period = 200;
+  config.mood_amplitude = 6.0;
+  JesterLikeGenerator gen(config);
+  std::vector<Vector> locals;
+  gen.Advance(&locals);
+  const Vector initial = Mean(locals);
+  // Run half a mood period: the average histogram must move substantially.
+  for (int t = 0; t < 100; ++t) gen.Advance(&locals);
+  const Vector later = Mean(locals);
+  EXPECT_GT(initial.DistanceTo(later), 2.0);
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,198 @@
+// Behavioural tests of the three competitor protocols: GM, BGM, PGM.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "functions/l2_norm.h"
+#include "functions/linear.h"
+#include "gm/bgm.h"
+#include "gm/gm.h"
+#include "gm/pgm.h"
+#include "sim/network.h"
+#include "test_util.h"
+
+namespace sgm {
+namespace {
+
+// --------------------------------------------------------------------- GM --
+
+TEST(GmTest, QuietStreamNeverSyncs) {
+  // Sites stay put: no drift, no alarms, only the init sync messages.
+  std::vector<std::vector<Vector>> frames(
+      5, {Vector{1.0, 0.0}, Vector{0.0, 1.0}});
+  ScriptedSource source(std::move(frames), 1.0);
+  L2Norm f(false);
+  GeometricMonitor gm(f, 10.0, source.max_step_norm());
+  const RunResult result = Simulate(&source, &gm, 4);
+  EXPECT_EQ(result.metrics.full_syncs(), 0);
+  EXPECT_EQ(result.metrics.total_messages(), 3);  // N + 1 at init
+}
+
+TEST(GmTest, DetectsTrueCrossing) {
+  // Both sites jump outward: ‖mean‖ goes 1 → 5, crossing T = 3.
+  std::vector<std::vector<Vector>> frames;
+  frames.push_back({Vector{1.0, 0.0}, Vector{1.0, 0.0}});
+  frames.push_back({Vector{5.0, 0.0}, Vector{5.0, 0.0}});
+  ScriptedSource source(std::move(frames), 10.0);
+  L2Norm f(false);
+  GeometricMonitor gm(f, 3.0, source.max_step_norm());
+  const RunResult result = Simulate(&source, &gm, 3);
+  EXPECT_GE(result.metrics.full_syncs(), 1);
+  EXPECT_TRUE(gm.BelievesAbove());
+  EXPECT_EQ(result.metrics.false_negative_cycles(), 0);
+}
+
+TEST(GmTest, SymmetricDriftCausesFalsePositive) {
+  // Sites drift in opposite directions: the average never moves, but each
+  // local ball reaches the surface — the classic GM FP.
+  std::vector<std::vector<Vector>> frames;
+  frames.push_back({Vector{1.0, 0.0}, Vector{1.0, 0.0}});
+  frames.push_back({Vector{4.0, 0.0}, Vector{-2.0, 0.0}});
+  ScriptedSource source(std::move(frames), 10.0);
+  L2Norm f(false);
+  GeometricMonitor gm(f, 2.5, source.max_step_norm());
+  const RunResult result = Simulate(&source, &gm, 2);
+  EXPECT_GE(result.metrics.false_positives(), 1);
+  EXPECT_FALSE(gm.BelievesAbove());
+}
+
+// GM with exact enclosures must be FN-free on a stochastic workload.
+TEST(GmTest, NoFalseNegativesOnSyntheticStream) {
+  SyntheticDriftConfig config;
+  config.num_sites = 20;
+  config.dim = 3;
+  config.seed = 77;
+  SyntheticDriftGenerator source(config);
+  L2Norm f(false);
+  GeometricMonitor gm(f, 1.2, source.max_step_norm());
+  const RunResult result = Simulate(&source, &gm, 400);
+  EXPECT_EQ(result.metrics.false_negative_cycles(), 0);
+  EXPECT_GT(result.true_crossing_cycles, 0);  // threshold actually active
+}
+
+// -------------------------------------------------------------------- BGM --
+
+TEST(BgmTest, OppositeDriftsBalanceWithoutFullSync) {
+  // One site violates, the other holds the exact opposite drift: balancing
+  // must cancel them and avoid the full synchronization.
+  std::vector<std::vector<Vector>> frames;
+  frames.push_back({Vector{1.0, 0.0}, Vector{1.0, 0.0}});
+  frames.push_back({Vector{4.0, 0.0}, Vector{-2.0, 0.0}});
+  ScriptedSource source(std::move(frames), 10.0);
+  L2Norm f(false);
+  BalancedGeometricMonitor bgm(f, 2.5, source.max_step_norm());
+  const RunResult result = Simulate(&source, &bgm, 2);
+  EXPECT_EQ(result.metrics.full_syncs(), 0);
+  EXPECT_GE(result.metrics.partial_resolutions(), 1);
+  EXPECT_EQ(result.metrics.false_negative_cycles(), 0);
+}
+
+TEST(BgmTest, CommonDirectionDriftForcesFullSync) {
+  // Both sites push the same way (a true crossing): balancing cannot help.
+  std::vector<std::vector<Vector>> frames;
+  frames.push_back({Vector{1.0, 0.0}, Vector{1.0, 0.0}});
+  frames.push_back({Vector{5.0, 0.0}, Vector{5.0, 0.0}});
+  ScriptedSource source(std::move(frames), 10.0);
+  L2Norm f(false);
+  BalancedGeometricMonitor bgm(f, 3.0, source.max_step_norm());
+  const RunResult result = Simulate(&source, &bgm, 2);
+  EXPECT_GE(result.metrics.full_syncs(), 1);
+  EXPECT_TRUE(bgm.BelievesAbove());
+}
+
+TEST(BgmTest, NeverWorseThanContinuousCollection) {
+  SyntheticDriftConfig config;
+  config.num_sites = 15;
+  config.dim = 3;
+  config.seed = 31;
+  SyntheticDriftGenerator source(config);
+  L2Norm f(false);
+  BalancedGeometricMonitor bgm(f, 2.5, source.max_step_norm());
+  const long cycles = 200;
+  const RunResult result = Simulate(&source, &bgm, cycles);
+  EXPECT_EQ(result.metrics.false_negative_cycles(), 0);
+  // Sanity ceiling: balancing may probe every site each cycle, but not more
+  // than ~2 vector messages per site-cycle.
+  EXPECT_LE(result.metrics.site_messages(),
+            2 * config.num_sites * (cycles + 1));
+}
+
+// -------------------------------------------------------------------- PGM --
+
+TEST(PgmTest, PerfectLinearMotionNeedsNoSync) {
+  // All sites move with constant velocity: after the initial model fit the
+  // velocity predictor is exact, deviations stay zero, no alarms fire.
+  std::vector<std::vector<Vector>> frames;
+  for (int t = 0; t < 40; ++t) {
+    const double x = 0.1 * t;
+    frames.push_back({Vector{1.0 + x, 0.0}, Vector{1.0 - x, 0.0}});
+  }
+  ScriptedSource source(std::move(frames), 10.0);
+  L2Norm f(false);
+  PredictionGeometricMonitor pgm(f, 50.0, source.max_step_norm(),
+                                 /*history=*/4);
+  // Warm the predictor: first sync sees only one frame (zero velocity), so
+  // allow an early re-sync, then demand silence.
+  const RunResult result = Simulate(&source, &pgm, 30);
+  EXPECT_LE(result.metrics.full_syncs(), 2);
+}
+
+TEST(PgmTest, PredictionBeliefTracksMovingEstimate) {
+  // Shared constant velocity carries the average across T without any site
+  // deviating from its prediction; PGM's belief must follow e_pred.
+  std::vector<std::vector<Vector>> frames;
+  for (int t = 0; t < 60; ++t) {
+    const double x = 1.0 + 0.2 * t;
+    frames.push_back({Vector{x, 0.0}, Vector{x, 0.0}});
+  }
+  ScriptedSource source(std::move(frames), 10.0);
+  L2Norm f(false);
+  PredictionGeometricMonitor pgm(f, 4.0, source.max_step_norm(),
+                                 /*history=*/4);
+  const RunResult result = Simulate(&source, &pgm, 50);
+  EXPECT_TRUE(pgm.BelievesAbove());
+  // The prediction-based belief keeps FN cycles rare even with few syncs.
+  EXPECT_LE(result.metrics.false_negative_cycles(), 10);
+}
+
+TEST(PgmTest, StaticModelDegeneratesToGm) {
+  // With the static predictor, e_pred = e and deviations = drifts: PGM's
+  // decisions (and costs) must coincide with plain GM's on any stream.
+  SyntheticDriftConfig config;
+  config.num_sites = 25;
+  config.dim = 3;
+  config.seed = 99;
+  const L2Norm f;
+  const double T = 2.4;
+
+  SyntheticDriftGenerator s1(config), s2(config);
+  GeometricMonitor gm(f, T, s1.max_step_norm());
+  PredictionGeometricMonitor pgm(f, T, s2.max_step_norm(), /*history=*/5,
+                                 std::make_unique<StaticModel>());
+  const RunResult r_gm = Simulate(&s1, &gm, 250);
+  const RunResult r_pgm = Simulate(&s2, &pgm, 250);
+  EXPECT_EQ(r_gm.metrics.total_messages(), r_pgm.metrics.total_messages());
+  EXPECT_EQ(r_gm.metrics.full_syncs(), r_pgm.metrics.full_syncs());
+  EXPECT_EQ(r_gm.metrics.false_positives(), r_pgm.metrics.false_positives());
+}
+
+TEST(PgmTest, UnpredictableSiteForcesSyncs) {
+  // One erratic site oscillates across the threshold region: no velocity/
+  // acceleration fit can track it, so PGM must keep syncing.
+  std::vector<std::vector<Vector>> frames;
+  for (int t = 0; t < 30; ++t) {
+    const double jitter = (t % 2 == 1) ? 2.0 : 0.0;
+    frames.push_back({Vector{1.0 + jitter, 0.0}, Vector{1.0, 0.0}});
+  }
+  ScriptedSource source(std::move(frames), 10.0);
+  L2Norm f(false);
+  PredictionGeometricMonitor pgm(f, 1.9, source.max_step_norm(),
+                                 /*history=*/4);
+  const RunResult result = Simulate(&source, &pgm, 25);
+  EXPECT_GE(result.metrics.full_syncs(), 3);
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,51 @@
+#include "geometry/halfspace.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sgm {
+namespace {
+
+TEST(HalfspaceTest, NormalizesInput) {
+  Halfspace h(Vector{3.0, 4.0}, 10.0);
+  EXPECT_NEAR(h.normal().Norm(), 1.0, 1e-12);
+  EXPECT_NEAR(h.offset(), 2.0, 1e-12);
+}
+
+TEST(HalfspaceTest, ContainsRespectsInequality) {
+  Halfspace h(Vector{1.0, 0.0}, 1.0);  // x ≤ 1
+  EXPECT_TRUE(h.Contains(Vector{0.0, 5.0}));
+  EXPECT_TRUE(h.Contains(Vector{1.0, -2.0}));  // boundary
+  EXPECT_FALSE(h.Contains(Vector{1.5, 0.0}));
+}
+
+TEST(HalfspaceTest, SignedDistanceIsEuclidean) {
+  Halfspace h(Vector{0.0, 2.0}, 4.0);  // y ≤ 2 after normalization
+  EXPECT_NEAR(h.SignedDistance(Vector{7.0, 5.0}), 3.0, 1e-12);
+  EXPECT_NEAR(h.SignedDistance(Vector{-1.0, 0.0}), -2.0, 1e-12);
+  EXPECT_NEAR(h.SignedDistance(Vector{0.0, 2.0}), 0.0, 1e-12);
+}
+
+TEST(HalfspaceTest, SupportingSeparates) {
+  const Vector inside{0.0, 0.0};
+  const Vector boundary{2.0, 0.0};
+  Halfspace h = Halfspace::Supporting(inside, boundary);
+  EXPECT_TRUE(h.Contains(inside));
+  EXPECT_NEAR(h.SignedDistance(boundary), 0.0, 1e-12);
+  EXPECT_FALSE(h.Contains(Vector{3.0, 0.0}));
+}
+
+TEST(HalfspaceTest, SignedDistanceMatchesProjection) {
+  // |signed distance| equals the distance to the projected boundary point.
+  Halfspace h(Vector{1.0, 1.0}, 2.0);
+  const Vector p{3.0, 3.0};
+  const double sd = h.SignedDistance(p);
+  Vector projected = p;
+  projected.Axpy(-sd, h.normal());
+  EXPECT_NEAR(h.SignedDistance(projected), 0.0, 1e-12);
+  EXPECT_NEAR(p.DistanceTo(projected), std::abs(sd), 1e-12);
+}
+
+}  // namespace
+}  // namespace sgm

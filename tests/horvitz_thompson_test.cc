@@ -1,0 +1,161 @@
+#include "estimators/horvitz_thompson.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "estimators/sampling.h"
+
+namespace sgm {
+namespace {
+
+TEST(HtVectorTest, EmptySampleReturnsE) {
+  HtVectorEstimator est(100, 3);
+  const Vector e{1.0, 2.0, 3.0};
+  EXPECT_EQ(est.Estimate(e), e);
+  EXPECT_EQ(est.sample_size(), 0);
+}
+
+TEST(HtVectorTest, SingleFullProbabilitySample) {
+  // One site, g = 1: v̂ = e + Δv/N exactly.
+  HtVectorEstimator est(10, 2);
+  est.AddSample(Vector{10.0, -20.0}, 1.0);
+  const Vector v_hat = est.Estimate(Vector{0.0, 0.0});
+  EXPECT_EQ(v_hat, (Vector{1.0, -2.0}));
+}
+
+TEST(HtVectorTest, InverseProbabilityWeighting) {
+  HtVectorEstimator est(10, 1);
+  est.AddSample(Vector{2.0}, 0.5);  // weighted to 4.0
+  EXPECT_DOUBLE_EQ(est.Estimate(Vector{0.0})[0], 0.4);
+}
+
+TEST(HtVectorTest, ResetClears) {
+  HtVectorEstimator est(10, 1);
+  est.AddSample(Vector{5.0}, 1.0);
+  est.Reset();
+  EXPECT_EQ(est.sample_size(), 0);
+  EXPECT_DOUBLE_EQ(est.Estimate(Vector{0.0})[0], 0.0);
+}
+
+TEST(HtScalarTest, BasicWeighting) {
+  HtScalarEstimator est(4);
+  est.AddSample(-2.0, 0.5);
+  est.AddSample(1.0, 1.0);
+  // (−4 + 1) / 4 = −0.75.
+  EXPECT_DOUBLE_EQ(est.Estimate(), -0.75);
+  EXPECT_EQ(est.sample_size(), 2);
+}
+
+TEST(HtScalarTest, EmptyIsZero) {
+  HtScalarEstimator est(4);
+  EXPECT_EQ(est.Estimate(), 0.0);
+}
+
+// Lemma 1(a) statistically: over many independent sampling draws with the
+// paper's g_i, the mean of v̂ converges to the true global average.
+TEST(HtVectorTest, UnbiasednessUnderPaperSampling) {
+  const int num_sites = 200;
+  const std::size_t dim = 3;
+  const double delta = 0.1, U = 12.0;
+  Rng data_rng(5);
+
+  // Fixed population of drifts.
+  std::vector<Vector> drifts;
+  Vector true_drift_mean(dim);
+  for (int i = 0; i < num_sites; ++i) {
+    Vector d(dim);
+    for (std::size_t j = 0; j < dim; ++j) d[j] = data_rng.NextDouble(-3.0, 3.0);
+    drifts.push_back(d);
+    true_drift_mean += d;
+  }
+  true_drift_mean /= num_sites;
+
+  Rng coin_rng(6);
+  const int rounds = 4000;
+  Vector mean_estimate(dim);
+  for (int r = 0; r < rounds; ++r) {
+    HtVectorEstimator est(num_sites, dim);
+    for (int i = 0; i < num_sites; ++i) {
+      const double g = SamplingProbability(delta, U, num_sites,
+                                           drifts[i].Norm());
+      if (coin_rng.NextBernoulli(g)) est.AddSample(drifts[i], g);
+    }
+    mean_estimate += est.DriftEstimate();
+  }
+  mean_estimate /= rounds;
+  for (std::size_t j = 0; j < dim; ++j) {
+    EXPECT_NEAR(mean_estimate[j], true_drift_mean[j], 0.05) << "dim " << j;
+  }
+}
+
+// Scalar counterpart (Corollary 2): D̂_C is unbiased for D_C.
+TEST(HtScalarTest, UnbiasednessUnderCvSampling) {
+  const int num_sites = 200;
+  const double delta = 0.1, U = 9.0;
+  Rng data_rng(7);
+  std::vector<double> distances;
+  double true_mean = 0.0;
+  for (int i = 0; i < num_sites; ++i) {
+    const double d = data_rng.NextDouble(-4.0, 2.0);
+    distances.push_back(d);
+    true_mean += d;
+  }
+  true_mean /= num_sites;
+
+  Rng coin_rng(8);
+  const int rounds = 6000;
+  double mean_estimate = 0.0;
+  for (int r = 0; r < rounds; ++r) {
+    HtScalarEstimator est(num_sites);
+    for (int i = 0; i < num_sites; ++i) {
+      const double g = SamplingProbabilityCV(delta, U, num_sites, distances[i]);
+      if (coin_rng.NextBernoulli(g)) est.AddSample(distances[i], g);
+    }
+    mean_estimate += est.Estimate();
+  }
+  mean_estimate /= rounds;
+  EXPECT_NEAR(mean_estimate, true_mean, 0.06);
+}
+
+// The empirical estimation error should respect the (ε, δ) guarantee:
+// ‖v̂ − v‖ ≤ ε in (well over) a 1 − δ fraction of draws.
+TEST(HtVectorTest, EpsilonDeltaGuaranteeEmpirically) {
+  const int num_sites = 400;
+  const std::size_t dim = 4;
+  const double delta = 0.1;
+  Rng data_rng(9);
+
+  std::vector<Vector> drifts;
+  Vector truth(dim);
+  double max_norm = 0.0;
+  for (int i = 0; i < num_sites; ++i) {
+    Vector d(dim);
+    for (std::size_t j = 0; j < dim; ++j) d[j] = data_rng.NextDouble(-2.0, 2.0);
+    drifts.push_back(d);
+    truth += d;
+    max_norm = std::max(max_norm, d.Norm());
+  }
+  truth /= num_sites;
+  const double U = max_norm * 1.01;  // a valid drift cap
+  const double epsilon = (1.0 + std::sqrt(std::log(1.0 / delta))) /
+                         (2.0 * std::log(1.0 / delta)) * U;
+
+  Rng coin_rng(10);
+  const int rounds = 2000;
+  int violations = 0;
+  for (int r = 0; r < rounds; ++r) {
+    HtVectorEstimator est(num_sites, dim);
+    for (int i = 0; i < num_sites; ++i) {
+      const double g = SamplingProbability(delta, U, num_sites,
+                                           drifts[i].Norm());
+      if (coin_rng.NextBernoulli(g)) est.AddSample(drifts[i], g);
+    }
+    if (est.DriftEstimate().DistanceTo(truth) > epsilon) ++violations;
+  }
+  EXPECT_LE(static_cast<double>(violations) / rounds, delta);
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,164 @@
+// End-to-end miniatures of the paper's experiments: every protocol on the
+// two synthetic dataset stand-ins, checking the qualitative orderings the
+// paper's evaluation establishes.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/jester_like.h"
+#include "data/reuters_like.h"
+#include "functions/chi_square.h"
+#include "functions/jeffrey_divergence.h"
+#include "functions/l2_norm.h"
+#include "functions/linf_distance.h"
+#include "gm/bgm.h"
+#include "gm/cvsgm.h"
+#include "gm/gm.h"
+#include "gm/pgm.h"
+#include "gm/sgm.h"
+#include "sim/network.h"
+
+namespace sgm {
+namespace {
+
+JesterLikeConfig SmallJester(int num_sites) {
+  JesterLikeConfig config;
+  config.num_sites = num_sites;
+  config.window = 60;
+  config.num_buckets = 12;
+  config.seed = 2468;
+  return config;
+}
+
+TEST(IntegrationTest, JesterLinfAllProtocolsRun) {
+  const int n = 80;
+  const long cycles = 300;
+  const double T = 2.5;
+  const LInfDistance f(Vector(12));
+
+  std::vector<std::unique_ptr<Protocol>> protocols;
+  {
+    JesterLikeGenerator probe(SmallJester(n));
+    const double step = probe.max_step_norm();
+    protocols.push_back(std::make_unique<GeometricMonitor>(f, T, step));
+    protocols.push_back(std::make_unique<BalancedGeometricMonitor>(f, T, step));
+    protocols.push_back(
+        std::make_unique<PredictionGeometricMonitor>(f, T, step));
+    SgmOptions sgm_options;
+    protocols.push_back(
+        std::make_unique<SamplingGeometricMonitor>(f, T, step, sgm_options));
+    CvsgmOptions cv_options;
+    protocols.push_back(
+        std::make_unique<CvSamplingMonitor>(f, T, step, cv_options));
+  }
+
+  for (auto& protocol : protocols) {
+    JesterLikeGenerator source(SmallJester(n));
+    const RunResult result = Simulate(&source, protocol.get(), cycles);
+    EXPECT_EQ(result.cycles, cycles) << protocol->name();
+    EXPECT_GT(result.metrics.total_messages(), 0) << protocol->name();
+    // Sanity ceiling: nothing should massively exceed continuous collection.
+    EXPECT_LE(result.metrics.site_messages(), 3 * n * (cycles + 1))
+        << protocol->name();
+  }
+}
+
+TEST(IntegrationTest, SgmBeatsGmOnJesterLinf) {
+  const int n = 200;
+  const long cycles = 400;
+  const double T = 2.0;
+  const LInfDistance f(Vector(12));
+
+  JesterLikeGenerator s1(SmallJester(n)), s2(SmallJester(n));
+  GeometricMonitor gm(f, T, s1.max_step_norm());
+  SgmOptions options;
+  SamplingGeometricMonitor sgm(f, T, s2.max_step_norm(), options);
+  const RunResult r_gm = Simulate(&s1, &gm, cycles);
+  const RunResult r_sgm = Simulate(&s2, &sgm, cycles);
+
+  EXPECT_LT(r_sgm.metrics.total_messages(), r_gm.metrics.total_messages());
+  EXPECT_LT(r_sgm.metrics.SiteMessagesPerUpdate(n),
+            r_gm.metrics.SiteMessagesPerUpdate(n));
+  EXPECT_EQ(r_gm.metrics.false_negative_cycles(), 0);  // GM is exact
+}
+
+TEST(IntegrationTest, ReutersChiSquareSgmBeatsGm) {
+  ReutersLikeConfig config;
+  config.num_sites = 50;
+  config.window = 100;
+  config.seed = 1357;
+  const long cycles = 500;
+  const ChiSquare f(100.0);
+  const double T = 1.0;
+
+  ReutersLikeGenerator s1(config), s2(config);
+  GeometricMonitor gm(f, T, s1.max_step_norm());
+  SgmOptions options;
+  SamplingGeometricMonitor sgm(f, T, s2.max_step_norm(), options);
+  const RunResult r_gm = Simulate(&s1, &gm, cycles);
+  const RunResult r_sgm = Simulate(&s2, &sgm, cycles);
+  EXPECT_LE(r_sgm.metrics.total_messages(), r_gm.metrics.total_messages());
+}
+
+TEST(IntegrationTest, SgmPerSiteCostRoughlyFlatInN) {
+  // Fig-13 shape: GM's per-site cost grows toward 1 msg/update with N while
+  // SGM's stays low. Compare the growth factors between two scales.
+  const LInfDistance f(Vector(12));
+  const double T = 2.0;
+  const long cycles = 300;
+
+  auto per_site = [&](int n, bool sampling) {
+    JesterLikeGenerator source(SmallJester(n));
+    std::unique_ptr<Protocol> protocol;
+    if (sampling) {
+      SgmOptions options;
+      protocol = std::make_unique<SamplingGeometricMonitor>(
+          f, T, source.max_step_norm(), options);
+    } else {
+      protocol = std::make_unique<GeometricMonitor>(f, T,
+                                                    source.max_step_norm());
+    }
+    return Simulate(&source, protocol.get(), cycles)
+        .metrics.SiteMessagesPerUpdate(n);
+  };
+
+  const double gm_small = per_site(50, false);
+  const double gm_large = per_site(250, false);
+  const double sgm_large = per_site(250, true);
+  EXPECT_LT(sgm_large, gm_large);
+  EXPECT_LT(sgm_large, std::max(gm_small, 0.02));
+}
+
+TEST(IntegrationTest, RunsAreReproducible) {
+  const ChiSquare f(100.0);
+  ReutersLikeConfig config;
+  config.num_sites = 30;
+  config.window = 80;
+
+  auto run_once = [&]() {
+    ReutersLikeGenerator source(config);
+    SgmOptions options;
+    SamplingGeometricMonitor sgm(f, 1.0, source.max_step_norm(), options);
+    const RunResult r = Simulate(&source, &sgm, 300);
+    return std::make_pair(r.metrics.total_messages(),
+                          r.metrics.false_negative_cycles());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(IntegrationTest, JesterJdWorkloadExercisesSyncs) {
+  JesterLikeConfig config = SmallJester(60);
+  JesterLikeGenerator source(config);
+  const JeffreyDivergence f(Vector(12, 5.0));
+  SgmOptions options;
+  SamplingGeometricMonitor sgm(f, 4.0, source.max_step_norm(), options);
+  const RunResult result = Simulate(&source, &sgm, 400);
+  // The JD workload must neither be trivially silent nor sync every cycle.
+  EXPECT_GT(result.metrics.full_syncs() + result.metrics.partial_resolutions(),
+            0);
+  EXPECT_LT(result.metrics.full_syncs(), result.cycles);
+}
+
+}  // namespace
+}  // namespace sgm

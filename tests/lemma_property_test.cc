@@ -1,0 +1,260 @@
+// Randomized property tests of the paper's geometric lemmas themselves:
+// the covering lemma of [5], Lemma 1(c), Lemma 2(a)/(b), and Lemma 4 /
+// Corollary 1. These validate the math the protocols rely on, independently
+// of any protocol code.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "estimators/horvitz_thompson.h"
+#include "estimators/sampling.h"
+#include "geometry/ball.h"
+#include "geometry/convex.h"
+#include "geometry/safe_zone.h"
+
+namespace sgm {
+namespace {
+
+Vector RandomVector(std::size_t dim, double lo, double hi, Rng* rng) {
+  Vector v(dim);
+  for (std::size_t j = 0; j < dim; ++j) v[j] = rng->NextDouble(lo, hi);
+  return v;
+}
+
+// Sharfman et al.'s covering lemma: the convex hull of {e + Δv_i} is inside
+// the union of the balls B(e + Δv_i/2, ‖Δv_i‖/2). Verified on random hull
+// points drawn as random convex combinations.
+TEST(CoveringLemmaTest, HullInsideUnionOfBalls) {
+  Rng rng(42);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t dim = 2 + trial % 4;
+    const int n = 3 + static_cast<int>(rng.NextBounded(8));
+    const Vector e = RandomVector(dim, -2.0, 2.0, &rng);
+
+    std::vector<Vector> drifts;
+    std::vector<Ball> balls;
+    for (int i = 0; i < n; ++i) {
+      drifts.push_back(RandomVector(dim, -3.0, 3.0, &rng));
+      balls.push_back(Ball::LocalConstraint(e, drifts.back()));
+    }
+
+    for (int s = 0; s < 50; ++s) {
+      // Random convex combination of the translated drifts.
+      std::vector<double> w(n);
+      double total = 0.0;
+      for (int i = 0; i < n; ++i) {
+        w[i] = rng.NextExponential(1.0);
+        total += w[i];
+      }
+      Vector point = e;
+      for (int i = 0; i < n; ++i) point.Axpy(w[i] / total, drifts[i]);
+
+      bool covered = false;
+      for (const Ball& ball : balls) {
+        if (ball.Contains(point)) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered) << "trial " << trial << " sample " << s;
+    }
+  }
+}
+
+// Lemma 1(c): the HT estimate lies in Conv({e + Δv_i/g_i : i ∈ K}).
+TEST(Lemma1Test, EstimateInInflatedSampleHull) {
+  Rng rng(43);
+  const int num_sites = 60;
+  const std::size_t dim = 3;
+  const double delta = 0.1;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vector e = RandomVector(dim, -1.0, 1.0, &rng);
+    std::vector<Vector> drifts;
+    double U = 0.0;
+    for (int i = 0; i < num_sites; ++i) {
+      drifts.push_back(RandomVector(dim, -2.0, 2.0, &rng));
+      U = std::max(U, drifts.back().Norm());
+    }
+    U *= 1.01;
+
+    HtVectorEstimator est(num_sites, dim);
+    std::vector<Vector> inflated_vertices;
+    for (int i = 0; i < num_sites; ++i) {
+      const double g = SamplingProbability(delta, U, num_sites,
+                                           drifts[i].Norm());
+      if (rng.NextBernoulli(g)) {
+        est.AddSample(drifts[i], g);
+        Vector vertex = e;
+        vertex.Axpy(1.0 / g, drifts[i]);
+        inflated_vertices.push_back(vertex);
+      }
+    }
+    if (inflated_vertices.empty()) continue;
+    // e itself is a hull vertex too (sites outside K contribute Δ'v = 0).
+    inflated_vertices.push_back(e);
+    EXPECT_TRUE(HullContains(inflated_vertices, est.Estimate(e), 1e-5))
+        << "trial " << trial;
+  }
+}
+
+// Lemma 2(a): v̂ lies in the union of the |K|/(N·g_i)-scaled balls of the
+// sampled sites.
+TEST(Lemma2Test, EstimateInScaledSampleBalls) {
+  Rng rng(44);
+  const int num_sites = 80;
+  const std::size_t dim = 3;
+  const double delta = 0.1;
+  int verified = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Vector e = RandomVector(dim, -1.0, 1.0, &rng);
+    std::vector<Vector> drifts;
+    double U = 0.0;
+    for (int i = 0; i < num_sites; ++i) {
+      drifts.push_back(RandomVector(dim, -2.0, 2.0, &rng));
+      U = std::max(U, drifts.back().Norm());
+    }
+    U *= 1.01;
+
+    HtVectorEstimator est(num_sites, dim);
+    std::vector<int> sample;
+    std::vector<double> sample_g;
+    for (int i = 0; i < num_sites; ++i) {
+      const double g = SamplingProbability(delta, U, num_sites,
+                                           drifts[i].Norm());
+      if (rng.NextBernoulli(g)) {
+        est.AddSample(drifts[i], g);
+        sample.push_back(i);
+        sample_g.push_back(g);
+      }
+    }
+    if (sample.empty()) continue;
+    ++verified;
+    const Vector v_hat = est.Estimate(e);
+    const double k = static_cast<double>(sample.size());
+
+    bool covered = false;
+    for (std::size_t s = 0; s < sample.size(); ++s) {
+      const double scale = k / (num_sites * sample_g[s]);
+      Vector center = e;
+      center.Axpy(0.5 * scale, drifts[sample[s]]);
+      const Ball scaled(center, 0.5 * scale * drifts[sample[s]].Norm());
+      if (scaled.Contains(v_hat)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "trial " << trial;
+  }
+  EXPECT_GT(verified, 10);
+}
+
+// Lemma 2(b): E[|K|/(N·g_i) | i ∈ K] ≈ 1 — estimated over repeated draws.
+TEST(Lemma2Test, ExpectedScaleNearOne) {
+  Rng rng(45);
+  const int num_sites = 200;
+  const double delta = 0.1;
+  std::vector<double> norms;
+  double U = 0.0;
+  for (int i = 0; i < num_sites; ++i) {
+    norms.push_back(rng.NextDouble(0.1, 3.0));
+    U = std::max(U, norms.back());
+  }
+  U *= 1.01;
+
+  double accum = 0.0;
+  long count = 0;
+  for (int round = 0; round < 3000; ++round) {
+    std::vector<int> sample;
+    for (int i = 0; i < num_sites; ++i) {
+      const double g = SamplingProbability(delta, U, num_sites, norms[i]);
+      if (rng.NextBernoulli(g)) sample.push_back(i);
+    }
+    for (int i : sample) {
+      const double g = SamplingProbability(delta, U, num_sites, norms[i]);
+      accum += static_cast<double>(sample.size()) / (num_sites * g);
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 0);
+  EXPECT_NEAR(accum / static_cast<double>(count), 1.0, 0.1);
+}
+
+// Lemma 4 / Corollary 1 for ball and halfspace zones: when the average of
+// signed distances is negative, the average point is inside C.
+TEST(Lemma4Test, NegativeMeanDistanceImpliesAverageInside) {
+  Rng rng(46);
+  int negative_cases = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::size_t dim = 2 + trial % 3;
+    const int n = 3 + static_cast<int>(rng.NextBounded(10));
+
+    std::unique_ptr<SafeZone> zone;
+    if (trial % 2 == 0) {
+      zone = std::make_unique<BallSafeZone>(
+          Ball(RandomVector(dim, -1.0, 1.0, &rng), rng.NextDouble(0.5, 3.0)));
+    } else {
+      zone = std::make_unique<HalfspaceSafeZone>(
+          Halfspace(RandomVector(dim, -1.0, 1.0, &rng) + Vector(dim, 0.1),
+                    rng.NextDouble(-1.0, 2.0)));
+    }
+
+    std::vector<Vector> points;
+    for (int i = 0; i < n; ++i) {
+      points.push_back(RandomVector(dim, -4.0, 4.0, &rng));
+    }
+    const SignedDistanceSummary summary =
+        SummarizeSignedDistances(*zone, points);
+    if (summary.average < 0.0) {
+      ++negative_cases;
+      EXPECT_TRUE(zone->Contains(Mean(points)))
+          << "trial " << trial << " avg distance " << summary.average;
+    }
+  }
+  EXPECT_GT(negative_cases, 50);  // the property was actually exercised
+}
+
+// Contrapositive sanity: when the average point is OUTSIDE C the signed
+// distance sum must be positive (Lemma 4 restated).
+TEST(Lemma4Test, AverageOutsideImpliesPositiveSum) {
+  Rng rng(47);
+  int outside_cases = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    BallSafeZone zone(
+        Ball(RandomVector(3, -1.0, 1.0, &rng), rng.NextDouble(0.5, 2.0)));
+    std::vector<Vector> points;
+    const int n = 3 + static_cast<int>(rng.NextBounded(8));
+    for (int i = 0; i < n; ++i) {
+      points.push_back(RandomVector(3, -5.0, 5.0, &rng));
+    }
+    if (!zone.Contains(Mean(points))) {
+      ++outside_cases;
+      EXPECT_GT(SummarizeSignedDistances(zone, points).sum, 0.0)
+          << "trial " << trial;
+    }
+  }
+  EXPECT_GT(outside_cases, 50);
+}
+
+// Inequality 6: |d_C(e + Δv)| ≤ ‖Δv‖ when e ∈ C — the bound that lets the
+// same U cap both schemes.
+TEST(Inequality6Test, SignedDistanceBoundedByDriftNorm) {
+  Rng rng(48);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t dim = 3;
+    const Vector center = RandomVector(dim, -1.0, 1.0, &rng);
+    const double radius = rng.NextDouble(0.5, 3.0);
+    BallSafeZone zone(Ball(center, radius));
+    // e on the zone boundary-to-center segment (inside C).
+    Vector e = center;
+    const Vector drift = RandomVector(dim, -2.0, 2.0, &rng);
+    const double d_e = zone.SignedDistance(e);
+    const double d_moved = zone.SignedDistance(e + drift);
+    // 1-Lipschitzness of the signed distance: |d(e+Δ) − d(e)| ≤ ‖Δ‖.
+    EXPECT_LE(std::abs(d_moved - d_e), drift.Norm() + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,114 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace sgm {
+namespace {
+
+TEST(MetricsTest, MessageCounting) {
+  Metrics m;
+  m.AddSiteMessages(5, 3);
+  m.AddBroadcast(3);
+  m.AddCoordinatorUnicast(0);
+  EXPECT_EQ(m.site_messages(), 5);
+  EXPECT_EQ(m.coordinator_messages(), 2);
+  EXPECT_EQ(m.total_messages(), 7);
+}
+
+TEST(MetricsTest, ByteAccounting) {
+  Metrics m;
+  m.AddSiteMessages(2, 4);  // 2 * (16 + 32)
+  EXPECT_DOUBLE_EQ(m.total_bytes(), 96.0);
+  m.AddBroadcast(1);  // + 24
+  EXPECT_DOUBLE_EQ(m.total_bytes(), 120.0);
+  m.AddPiggybackPayload(3, 2);  // + 48, no messages
+  EXPECT_DOUBLE_EQ(m.total_bytes(), 168.0);
+  EXPECT_EQ(m.total_messages(), 3);
+}
+
+TEST(MetricsTest, FullSyncClassification) {
+  Metrics m;
+  m.OnFullSync(/*was_true_crossing=*/true);
+  m.OnFullSync(/*was_true_crossing=*/false);
+  m.OnFullSync(/*was_true_crossing=*/false);
+  EXPECT_EQ(m.full_syncs(), 3);
+  EXPECT_EQ(m.false_positives(), 2);
+}
+
+TEST(MetricsTest, OneDResolutionIsFalsePositive) {
+  Metrics m;
+  m.OnOneDResolution();
+  EXPECT_EQ(m.one_d_resolutions(), 1);
+  EXPECT_EQ(m.false_positives(), 1);
+  EXPECT_EQ(m.full_syncs(), 0);
+}
+
+TEST(MetricsTest, FnRunTracking) {
+  Metrics m;
+  // Runs: length 2, then 1.
+  m.OnCycle(false);
+  m.OnCycle(true);
+  m.OnCycle(true);
+  m.OnCycle(false);
+  m.OnCycle(true);
+  m.OnCycle(false);
+  m.Finalize();
+  EXPECT_EQ(m.cycles(), 6);
+  EXPECT_EQ(m.false_negative_cycles(), 3);
+  EXPECT_EQ(m.false_negative_runs(), 2);
+  EXPECT_EQ(m.FnDurationMode(), 1);           // ties break small, {2,1}
+  EXPECT_DOUBLE_EQ(m.FnDurationMedian(), 1.5);
+}
+
+TEST(MetricsTest, FinalizeFlushesTrailingRun) {
+  Metrics m;
+  m.OnCycle(true);
+  m.OnCycle(true);
+  m.Finalize();
+  EXPECT_EQ(m.false_negative_runs(), 1);
+  EXPECT_EQ(m.FnDurationMode(), 2);
+  EXPECT_DOUBLE_EQ(m.FnDurationMedian(), 2.0);
+}
+
+TEST(MetricsTest, NoFnGivesZeroStats) {
+  Metrics m;
+  m.OnCycle(false);
+  m.Finalize();
+  EXPECT_EQ(m.FnDurationMode(), 0);
+  EXPECT_EQ(m.FnDurationMedian(), 0.0);
+}
+
+TEST(MetricsTest, ModePrefersFrequent) {
+  Metrics m;
+  // Runs of lengths 3, 1, 1.
+  m.OnCycle(true);
+  m.OnCycle(true);
+  m.OnCycle(true);
+  m.OnCycle(false);
+  m.OnCycle(true);
+  m.OnCycle(false);
+  m.OnCycle(true);
+  m.Finalize();
+  EXPECT_EQ(m.FnDurationMode(), 1);
+  EXPECT_DOUBLE_EQ(m.FnDurationMedian(), 1.0);
+}
+
+TEST(MetricsTest, SiteMessagesPerUpdate) {
+  Metrics m;
+  m.AddSiteMessages(200, 1);
+  for (int i = 0; i < 10; ++i) m.OnCycle(false);
+  // 200 site messages over 10 cycles and 20 sites: 1 per site-update.
+  EXPECT_DOUBLE_EQ(m.SiteMessagesPerUpdate(20), 1.0);
+}
+
+TEST(MetricsTest, PartialAndAlarmCounters) {
+  Metrics m;
+  m.OnPartialResolution();
+  m.OnPartialResolution();
+  m.OnLocalAlarm();
+  EXPECT_EQ(m.partial_resolutions(), 2);
+  EXPECT_EQ(m.local_alarm_cycles(), 1);
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,120 @@
+#include "sim/multi_query.h"
+
+#include <gtest/gtest.h>
+
+#include "data/jester_like.h"
+#include "functions/jeffrey_divergence.h"
+#include "functions/l2_norm.h"
+#include "functions/linf_distance.h"
+#include "gm/sgm.h"
+
+namespace sgm {
+namespace {
+
+JesterLikeConfig SmallConfig() {
+  JesterLikeConfig config;
+  config.num_sites = 50;
+  config.window = 40;
+  config.seed = 777;
+  return config;
+}
+
+std::unique_ptr<Protocol> MakeSgm(const MonitoredFunction& f,
+                                  double threshold, double step,
+                                  double cap) {
+  SgmOptions options;
+  auto protocol =
+      std::make_unique<SamplingGeometricMonitor>(f, threshold, step, options);
+  protocol->set_drift_norm_cap(cap);
+  return protocol;
+}
+
+TEST(MultiQueryTest, RunsAllQueriesOverSharedStream) {
+  JesterLikeGenerator source(SmallConfig());
+  const double step = source.max_step_norm();
+  const double cap = source.max_drift_norm();
+  const std::size_t dim = SmallConfig().num_buckets;
+
+  MultiQueryRunner runner(&source);
+  const LInfDistance linf{Vector(dim)};
+  const JeffreyDivergence jd{Vector(dim)};
+  const auto sj = L2Norm::SelfJoinSize();
+  runner.AddQuery("linf", MakeSgm(linf, 8.0, step, cap));
+  runner.AddQuery("jd", MakeSgm(jd, 10.0, step, cap));
+  runner.AddQuery("sj", MakeSgm(*sj, 2700.0, step, cap));
+
+  const auto& results = runner.Run(300);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& result : results) {
+    EXPECT_EQ(result.run.cycles, 300) << result.label;
+    EXPECT_GT(result.run.metrics.total_messages(), 0) << result.label;
+  }
+}
+
+TEST(MultiQueryTest, MatchesStandaloneRuns) {
+  // Each query's metrics must be identical to running it alone on the same
+  // stream (queries are independent; the runner only shares the data).
+  const std::size_t dim = SmallConfig().num_buckets;
+  const LInfDistance linf{Vector(dim)};
+
+  long standalone;
+  {
+    JesterLikeGenerator source(SmallConfig());
+    SgmOptions options;
+    SamplingGeometricMonitor sgm(linf, 8.0, source.max_step_norm(), options);
+    sgm.set_drift_norm_cap(source.max_drift_norm());
+    standalone = Simulate(&source, &sgm, 300).metrics.total_messages();
+  }
+  {
+    JesterLikeGenerator source(SmallConfig());
+    MultiQueryRunner runner(&source);
+    runner.AddQuery("linf", MakeSgm(linf, 8.0, source.max_step_norm(),
+                                    source.max_drift_norm()));
+    const auto& results = runner.Run(300);
+    EXPECT_EQ(results[0].run.metrics.total_messages(), standalone);
+  }
+}
+
+TEST(MultiQueryTest, BatchedBoundBetweenHeaviestAndTotal) {
+  JesterLikeGenerator source(SmallConfig());
+  const double step = source.max_step_norm();
+  const double cap = source.max_drift_norm();
+  const std::size_t dim = SmallConfig().num_buckets;
+  const LInfDistance linf{Vector(dim)};
+  const JeffreyDivergence jd{Vector(dim)};
+
+  MultiQueryRunner runner(&source);
+  runner.AddQuery("linf", MakeSgm(linf, 8.0, step, cap));
+  runner.AddQuery("jd", MakeSgm(jd, 10.0, step, cap));
+  runner.Run(400);
+
+  long heaviest = 0;
+  for (const auto& result : runner.results()) {
+    heaviest =
+        std::max(heaviest, result.run.metrics.total_messages());
+  }
+  EXPECT_GE(runner.BatchedMessages(), heaviest);
+  EXPECT_LE(runner.BatchedMessages(), runner.TotalMessages());
+}
+
+TEST(MultiQueryTest, OracleTracksEachQuerySeparately) {
+  JesterLikeGenerator source(SmallConfig());
+  const std::size_t dim = SmallConfig().num_buckets;
+  const LInfDistance linf{Vector(dim)};
+
+  MultiQueryRunner runner(&source);
+  // A threshold low enough to be crossed and one absurdly high.
+  runner.AddQuery("tight", MakeSgm(linf, 3.0, source.max_step_norm(),
+                                   source.max_drift_norm()));
+  runner.AddQuery("loose", MakeSgm(linf, 500.0, source.max_step_norm(),
+                                   source.max_drift_norm()));
+  const auto& results = runner.Run(600);
+  EXPECT_GT(results[0].run.metrics.full_syncs() +
+                results[0].run.metrics.partial_resolutions(),
+            0);
+  EXPECT_EQ(results[1].run.true_crossing_cycles, 0);
+  EXPECT_EQ(results[1].run.metrics.false_negative_cycles(), 0);
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,102 @@
+// Tests of the simulation driver itself (sim/network.h): oracle accounting,
+// lifecycle, and the base-class default machinery of MonitoredFunction
+// exercised through a minimal custom function.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "functions/monitored_function.h"
+#include "gm/gm.h"
+#include "sim/network.h"
+#include "test_util.h"
+
+namespace sgm {
+namespace {
+
+TEST(IntervalTest, Straddles) {
+  const Interval range{1.0, 3.0};
+  EXPECT_TRUE(range.Straddles(2.0));
+  EXPECT_TRUE(range.Straddles(1.0));
+  EXPECT_TRUE(range.Straddles(3.0));
+  EXPECT_FALSE(range.Straddles(0.99));
+  EXPECT_FALSE(range.Straddles(3.01));
+}
+
+// A deliberately minimal function that overrides nothing optional: the
+// default finite-difference gradient, probing enclosure, and bisection
+// surface distance must all be serviceable.
+class MinimalQuadratic final : public MonitoredFunction {
+ public:
+  std::string name() const override { return "minimal_quadratic"; }
+  double Value(const Vector& v) const override {
+    return v.SquaredNorm() - v[0];
+  }
+  std::unique_ptr<MonitoredFunction> Clone() const override {
+    return std::make_unique<MinimalQuadratic>(*this);
+  }
+};
+
+TEST(MonitoredFunctionDefaultsTest, NumericGradientAccurate) {
+  const MinimalQuadratic f;
+  const Vector v{1.5, -2.0};
+  const Vector grad = f.Gradient(v);
+  EXPECT_NEAR(grad[0], 2.0 * 1.5 - 1.0, 1e-5);
+  EXPECT_NEAR(grad[1], -4.0, 1e-5);
+}
+
+TEST(MonitoredFunctionDefaultsTest, DefaultEnclosureCoversSamples) {
+  const MinimalQuadratic f;
+  const Ball ball(Vector{1.0, 1.0}, 0.7);
+  const Interval range = f.RangeOverBall(ball);
+  // Corners of an inscribed square are inside the ball.
+  const double r = 0.7 / std::sqrt(2.0);
+  for (const Vector& p :
+       {Vector{1.0 + r, 1.0 + r}, Vector{1.0 - r, 1.0 + r},
+        Vector{1.0 + r, 1.0 - r}, Vector{1.0 - r, 1.0 - r}}) {
+    const double value = f.Value(p);
+    EXPECT_GE(value, range.lo - 1e-9);
+    EXPECT_LE(value, range.hi + 1e-9);
+  }
+}
+
+TEST(MonitoredFunctionDefaultsTest, DefaultSurfaceDistancePositiveAndSafe) {
+  const MinimalQuadratic f;
+  const Vector p{0.5, 0.0};  // f = -0.25
+  const double distance = f.DistanceToSurface(p, 2.0);
+  EXPECT_GT(distance, 0.0);
+  // Walking less than `distance` in any axis direction must not cross.
+  for (const Vector& step : {Vector{distance * 0.9, 0.0},
+                             Vector{-distance * 0.9, 0.0},
+                             Vector{0.0, distance * 0.9}}) {
+    EXPECT_LT(f.Value(p + step), 2.0);
+  }
+}
+
+TEST(NetworkTest, CountsTrueCrossingCycles) {
+  // 1 quiet cycle below, then 3 above: the oracle must count exactly 3.
+  std::vector<std::vector<Vector>> frames;
+  frames.push_back({Vector{1.0, 0.0}});
+  frames.push_back({Vector{1.0, 0.0}});
+  for (int t = 0; t < 3; ++t) frames.push_back({Vector{5.0, 0.0}});
+  ScriptedSource source(std::move(frames), 10.0);
+  const MinimalQuadratic f;  // f(v) = ‖v‖² − v0: 0 at (1,0), 20 at (5,0)
+  GeometricMonitor gm(f, 10.0, source.max_step_norm());
+  const RunResult result = Simulate(&source, &gm, 4);
+  EXPECT_EQ(result.true_crossing_cycles, 3);
+  EXPECT_EQ(result.cycles, 4);
+}
+
+TEST(NetworkTest, SimulateMatchesExplicitNetwork) {
+  std::vector<std::vector<Vector>> frames(6, {Vector{1.0, 0.0}});
+  const MinimalQuadratic f;
+  ScriptedSource s1(frames, 1.0), s2(frames, 1.0);
+  GeometricMonitor gm1(f, 10.0, 1.0), gm2(f, 10.0, 1.0);
+  const RunResult a = Simulate(&s1, &gm1, 5);
+  const RunResult b = Network(&s2, &gm2).Run(5);
+  EXPECT_EQ(a.metrics.total_messages(), b.metrics.total_messages());
+  EXPECT_EQ(a.true_crossing_cycles, b.true_crossing_cycles);
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,137 @@
+// Tests of the prediction-model substrate (predict/model.h): fit quality on
+// synthetic trajectories, the pred(0) = v(0) anchoring invariant, and the
+// CAA-style adaptive selection.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "predict/model.h"
+
+namespace sgm {
+namespace {
+
+std::vector<Vector> LinearTrajectory(int h, const Vector& start,
+                                     const Vector& slope) {
+  std::vector<Vector> history;
+  for (int t = 0; t < h; ++t) {
+    Vector v = start;
+    v.Axpy(static_cast<double>(t), slope);
+    history.push_back(v);
+  }
+  return history;
+}
+
+std::vector<Vector> QuadraticTrajectory(int h, double accel) {
+  std::vector<Vector> history;
+  for (int t = 0; t < h; ++t) {
+    const double x = 0.5 * accel * t * t;
+    history.push_back(Vector{x, -x});
+  }
+  return history;
+}
+
+// Anchoring invariant: every model predicts exactly v(0) at k = 0 — the
+// deviation-from-prediction construction needs zero drift right after sync.
+TEST(PredictionModelTest, AllModelsAnchorAtSyncValue) {
+  Rng rng(4);
+  std::vector<Vector> history;
+  for (int t = 0; t < 7; ++t) {
+    history.push_back(Vector{rng.NextDouble(-3, 3), rng.NextDouble(-3, 3)});
+  }
+  StaticModel s;
+  VelocityModel v;
+  VelocityAccelerationModel va;
+  AdaptiveModel a;
+  for (PredictionModel* model :
+       std::initializer_list<PredictionModel*>{&s, &v, &va, &a}) {
+    model->Fit(history);
+    EXPECT_EQ(model->Predict(0), history.back()) << model->name();
+  }
+}
+
+TEST(PredictionModelTest, StaticPredictsConstant) {
+  StaticModel model;
+  model.Fit(LinearTrajectory(5, Vector{1.0, 2.0}, Vector{1.0, 0.0}));
+  EXPECT_EQ(model.Predict(10), (Vector{5.0, 2.0}));  // last value, held
+  EXPECT_EQ(model.ParameterDoubles(), 0u);
+}
+
+TEST(PredictionModelTest, VelocityRecoversLinearMotion) {
+  VelocityModel model;
+  model.Fit(LinearTrajectory(6, Vector{0.0, 1.0}, Vector{0.5, -0.25}));
+  const Vector pred = model.Predict(4);
+  EXPECT_NEAR(pred[0], 2.5 + 0.5 * 4, 1e-9);
+  EXPECT_NEAR(pred[1], -0.25 + (-0.25) * 4, 1e-9);
+}
+
+TEST(PredictionModelTest, VelocityHandlesSingletonHistory) {
+  VelocityModel model;
+  model.Fit({Vector{3.0}});
+  EXPECT_EQ(model.Predict(5), (Vector{3.0}));
+}
+
+TEST(PredictionModelTest, VaRecoversQuadraticMotion) {
+  VelocityAccelerationModel model;
+  model.Fit(QuadraticTrajectory(8, 0.3));
+  // Trajectory: x(t) = 0.15 t² with the fit anchored at t = 7.
+  const double expected = 0.15 * 11.0 * 11.0;
+  EXPECT_NEAR(model.Predict(4)[0], expected, 1e-6);
+  EXPECT_NEAR(model.Predict(4)[1], -expected, 1e-6);
+}
+
+TEST(PredictionModelTest, VaFallsBackOnShortHistory) {
+  VelocityAccelerationModel model;
+  model.Fit(LinearTrajectory(2, Vector{0.0}, Vector{1.0}));
+  EXPECT_NEAR(model.Predict(3)[0], 4.0, 1e-9);  // linear extrapolation
+}
+
+TEST(AdaptiveModelTest, PicksStaticForConstantSignal) {
+  AdaptiveModel model;
+  model.Fit(std::vector<Vector>(8, Vector{2.0, 2.0}));
+  // All models are exact on a constant; the tie goes to the first (static,
+  // cheapest payload).
+  EXPECT_EQ(model.selected(), "static");
+}
+
+TEST(AdaptiveModelTest, PicksVelocityForLinearSignal) {
+  AdaptiveModel model;
+  model.Fit(LinearTrajectory(9, Vector{0.0}, Vector{1.0}));
+  EXPECT_NE(model.selected(), "static");
+  EXPECT_NEAR(model.Predict(3)[0], 11.0, 1e-6);
+}
+
+TEST(AdaptiveModelTest, PicksQuadraticForAcceleratingSignal) {
+  AdaptiveModel model;
+  model.Fit(QuadraticTrajectory(9, 1.0));
+  EXPECT_EQ(model.selected(), "velocity_acceleration");
+}
+
+TEST(AdaptiveModelTest, NoisySignalPrefersSimplerModel) {
+  // Pure noise: extrapolating fitted slopes hurts; the back-test should
+  // favor the static model most of the time.
+  Rng rng(12);
+  int static_wins = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Vector> history;
+    for (int t = 0; t < 9; ++t) {
+      history.push_back(Vector{rng.NextGaussian()});
+    }
+    AdaptiveModel model;
+    model.Fit(history);
+    if (model.selected() == "static") ++static_wins;
+  }
+  EXPECT_GT(static_wins, 10);
+}
+
+TEST(AdaptiveModelTest, CloneKeepsSelection) {
+  AdaptiveModel model;
+  model.Fit(LinearTrajectory(9, Vector{0.0}, Vector{2.0}));
+  auto clone = model.Clone();
+  EXPECT_EQ(clone->Predict(2), model.Predict(2));
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,137 @@
+#include "sim/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "functions/l2_norm.h"
+#include "functions/linear.h"
+#include "functions/linf_distance.h"
+
+namespace sgm {
+namespace {
+
+// Minimal concrete protocol: never alarms on its own; exposes the protected
+// machinery for direct testing.
+class PassiveProtocol : public ProtocolBase {
+ public:
+  using ProtocolBase::CurrentU;
+  using ProtocolBase::Drift;
+  using ProtocolBase::FullSync;
+
+  PassiveProtocol(const MonitoredFunction& f, double threshold,
+                  double max_step_norm)
+      : ProtocolBase(f, threshold, max_step_norm) {}
+
+  std::string name() const override { return "passive"; }
+
+ protected:
+  CycleOutcome MonitorCycle(const std::vector<Vector>&, Metrics*) override {
+    return {};
+  }
+};
+
+std::vector<Vector> TwoSites(double a, double b) {
+  return {Vector{a}, Vector{b}};
+}
+
+TEST(ProtocolBaseTest, InitializeComputesMeanAndAccountsMessages) {
+  LinearFunction f(Vector{1.0});
+  PassiveProtocol p(f, 10.0, 1.0);
+  Metrics m;
+  p.Initialize(TwoSites(2.0, 4.0), &m);
+  EXPECT_EQ(p.estimate(), (Vector{3.0}));
+  EXPECT_EQ(p.num_sites(), 2);
+  EXPECT_EQ(m.site_messages(), 2);          // both vectors shipped
+  EXPECT_EQ(m.coordinator_messages(), 1);   // e broadcast
+  EXPECT_FALSE(p.BelievesAbove());
+}
+
+TEST(ProtocolBaseTest, BeliefAboveWhenInitialValueExceedsThreshold) {
+  LinearFunction f(Vector{1.0});
+  PassiveProtocol p(f, 1.0, 1.0);
+  Metrics m;
+  p.Initialize(TwoSites(2.0, 4.0), &m);
+  EXPECT_TRUE(p.BelievesAbove());
+}
+
+TEST(ProtocolBaseTest, DriftComputedAgainstSyncSnapshot) {
+  LinearFunction f(Vector{1.0});
+  PassiveProtocol p(f, 10.0, 1.0);
+  Metrics m;
+  p.Initialize(TwoSites(2.0, 4.0), &m);
+  const auto moved = TwoSites(3.0, 3.5);
+  EXPECT_EQ(p.Drift(0, moved), (Vector{1.0}));
+  EXPECT_EQ(p.Drift(1, moved), (Vector{-0.5}));
+}
+
+TEST(ProtocolBaseTest, UPolicyGrowsWithCyclesSinceSync) {
+  LinearFunction f(Vector{1.0});
+  PassiveProtocol p(f, 10.0, 0.5);
+  Metrics m;
+  p.Initialize(TwoSites(0.0, 0.0), &m);
+  EXPECT_DOUBLE_EQ(p.CurrentU(), 0.5);  // clamped at one step right after sync
+  p.OnCycle(TwoSites(0.1, 0.1), &m);
+  EXPECT_DOUBLE_EQ(p.CurrentU(), 0.5);
+  p.OnCycle(TwoSites(0.2, 0.2), &m);
+  p.OnCycle(TwoSites(0.3, 0.3), &m);
+  EXPECT_DOUBLE_EQ(p.CurrentU(), 1.5);  // 3 cycles * 0.5
+}
+
+TEST(ProtocolBaseTest, FullSyncResetsClockAndUpdatesBelief) {
+  LinearFunction f(Vector{1.0});
+  PassiveProtocol p(f, 5.0, 1.0);
+  Metrics m;
+  p.Initialize(TwoSites(0.0, 0.0), &m);
+  p.OnCycle(TwoSites(5.0, 9.0), &m);
+  EXPECT_FALSE(p.BelievesAbove());  // passive: no alarm raised
+
+  const bool crossing = p.FullSync(TwoSites(5.0, 9.0), &m, 0);
+  EXPECT_TRUE(crossing);            // average 7 > 5, belief was "below"
+  EXPECT_TRUE(p.BelievesAbove());
+  EXPECT_EQ(p.cycles_since_sync(), 0);
+  EXPECT_EQ(p.estimate(), (Vector{7.0}));
+  EXPECT_EQ(m.full_syncs(), 1);
+  EXPECT_EQ(m.false_positives(), 0);
+}
+
+TEST(ProtocolBaseTest, FullSyncClassifiesFalsePositive) {
+  LinearFunction f(Vector{1.0});
+  PassiveProtocol p(f, 5.0, 1.0);
+  Metrics m;
+  p.Initialize(TwoSites(0.0, 0.0), &m);
+  p.OnCycle(TwoSites(1.0, 2.0), &m);
+  p.FullSync(TwoSites(1.0, 2.0), &m, 0);  // avg 1.5, still below 5
+  EXPECT_EQ(m.false_positives(), 1);
+}
+
+TEST(ProtocolBaseTest, AlreadyCollectedReducesSyncMessages) {
+  LinearFunction f(Vector{1.0});
+  PassiveProtocol p(f, 5.0, 1.0);
+  Metrics m;
+  p.Initialize(TwoSites(0.0, 0.0), &m);
+  const long before = m.site_messages();
+  p.FullSync(TwoSites(0.0, 0.0), &m, /*already_collected=*/1);
+  EXPECT_EQ(m.site_messages() - before, 1);  // only the missing site ships
+}
+
+TEST(ProtocolBaseTest, ReferenceFunctionReanchoredOnSync) {
+  LInfDistance f(Vector{0.0});
+  PassiveProtocol p(f, 3.0, 1.0);
+  Metrics m;
+  p.Initialize(TwoSites(2.0, 4.0), &m);  // e = 3, function ref := 3
+  EXPECT_DOUBLE_EQ(p.function().Value(Vector{3.0}), 0.0);
+  p.FullSync(TwoSites(8.0, 10.0), &m, 0);  // e = 9
+  EXPECT_DOUBLE_EQ(p.function().Value(Vector{9.0}), 0.0);
+  EXPECT_DOUBLE_EQ(p.function().Value(Vector{3.0}), 6.0);
+}
+
+TEST(ProtocolBaseTest, CloneLeavesPrototypeUntouched) {
+  LInfDistance prototype(Vector{0.0});
+  PassiveProtocol p(prototype, 3.0, 1.0);
+  Metrics m;
+  p.Initialize(TwoSites(2.0, 4.0), &m);
+  // The protocol re-anchored its own clone; the prototype stays at ref 0.
+  EXPECT_DOUBLE_EQ(prototype.Value(Vector{3.0}), 3.0);
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,181 @@
+// Cross-protocol property matrix: the same invariants checked against every
+// protocol implementation via parameterized tests.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/jester_like.h"
+#include "functions/linf_distance.h"
+#include "gm/bernoulli_gm.h"
+#include "gm/bgm.h"
+#include "gm/cvgm.h"
+#include "gm/cvsgm.h"
+#include "gm/gm.h"
+#include "gm/pgm.h"
+#include "gm/sgm.h"
+#include "sim/network.h"
+#include "test_util.h"
+
+namespace sgm {
+namespace {
+
+enum class Kind { kGm, kBgm, kPgm, kSgm, kMsgm, kBernoulli, kCvgm, kCvsgm };
+
+std::string KindLabel(Kind kind) {
+  switch (kind) {
+    case Kind::kGm: return "GM";
+    case Kind::kBgm: return "BGM";
+    case Kind::kPgm: return "PGM";
+    case Kind::kSgm: return "SGM";
+    case Kind::kMsgm: return "MSGM";
+    case Kind::kBernoulli: return "Bernoulli";
+    case Kind::kCvgm: return "CVGM";
+    case Kind::kCvsgm: return "CVSGM";
+  }
+  return "?";
+}
+
+std::unique_ptr<ProtocolBase> Make(Kind kind, const MonitoredFunction& f,
+                                   double threshold, double step) {
+  switch (kind) {
+    case Kind::kGm:
+      return std::make_unique<GeometricMonitor>(f, threshold, step);
+    case Kind::kBgm:
+      return std::make_unique<BalancedGeometricMonitor>(f, threshold, step);
+    case Kind::kPgm:
+      return std::make_unique<PredictionGeometricMonitor>(f, threshold, step);
+    case Kind::kSgm: {
+      SgmOptions options;
+      return std::make_unique<SamplingGeometricMonitor>(f, threshold, step,
+                                                        options);
+    }
+    case Kind::kMsgm: {
+      SgmOptions options;
+      options.num_trials = 3;
+      return std::make_unique<SamplingGeometricMonitor>(f, threshold, step,
+                                                        options);
+    }
+    case Kind::kBernoulli:
+      return MakeBernoulliMonitor(f, threshold, step, 0.1);
+    case Kind::kCvgm:
+      return std::make_unique<ConvexSafeZoneMonitor>(f, threshold, step);
+    case Kind::kCvsgm: {
+      CvsgmOptions options;
+      return std::make_unique<CvSamplingMonitor>(f, threshold, step, options);
+    }
+  }
+  return nullptr;
+}
+
+JesterLikeConfig Workload(int n = 60) {
+  JesterLikeConfig config;
+  config.num_sites = n;
+  config.window = 50;
+  config.seed = 1212;
+  return config;
+}
+
+class ProtocolMatrixTest : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(ProtocolMatrixTest, DeterministicAcrossRuns) {
+  const LInfDistance f{Vector(Workload().num_buckets)};
+  long totals[2];
+  for (int run = 0; run < 2; ++run) {
+    JesterLikeGenerator source(Workload());
+    auto protocol = Make(GetParam(), f, 8.0, source.max_step_norm());
+    protocol->set_drift_norm_cap(source.max_drift_norm());
+    totals[run] = Simulate(&source, protocol.get(), 300)
+                      .metrics.total_messages();
+  }
+  EXPECT_EQ(totals[0], totals[1]);
+}
+
+TEST_P(ProtocolMatrixTest, QuietStreamCostsInitOnly) {
+  std::vector<std::vector<Vector>> frames(
+      12, {Vector{1.0, 0.0}, Vector{0.5, 0.5}, Vector{0.0, 1.0}});
+  ScriptedSource source(std::move(frames), 1.0);
+  const LInfDistance f{Vector(2)};
+  auto protocol = Make(GetParam(), f, 50.0, source.max_step_norm());
+  const RunResult r = Simulate(&source, protocol.get(), 10);
+  EXPECT_EQ(r.metrics.full_syncs(), 0) << KindLabel(GetParam());
+  // Init: N site messages + 1 broadcast (plus nothing else).
+  EXPECT_EQ(r.metrics.site_messages(), 3);
+  EXPECT_EQ(r.metrics.coordinator_messages(), 1);
+}
+
+TEST_P(ProtocolMatrixTest, BeliefConsistentAfterFullSync) {
+  JesterLikeGenerator source(Workload());
+  const LInfDistance f{Vector(Workload().num_buckets)};
+  auto protocol = Make(GetParam(), f, 4.0, source.max_step_norm());
+  protocol->set_drift_norm_cap(source.max_drift_norm());
+
+  std::vector<Vector> locals;
+  source.Advance(&locals);
+  Metrics metrics;
+  protocol->Initialize(locals, &metrics);
+  for (int t = 0; t < 200; ++t) {
+    source.Advance(&locals);
+    const CycleOutcome outcome = protocol->OnCycle(locals, &metrics);
+    if (outcome.full_sync) {
+      // Right after a full synchronization the coordinator's belief must
+      // equal the oracle's side for the freshly-anchored function.
+      const bool true_above =
+          protocol->function().Value(Mean(locals)) > protocol->threshold();
+      EXPECT_EQ(protocol->BelievesAbove(), true_above)
+          << KindLabel(GetParam()) << " cycle " << t;
+    }
+  }
+}
+
+TEST_P(ProtocolMatrixTest, MessageAccountingNonNegativeAndConsistent) {
+  JesterLikeGenerator source(Workload(40));
+  const LInfDistance f{Vector(Workload().num_buckets)};
+  auto protocol = Make(GetParam(), f, 6.0, source.max_step_norm());
+  protocol->set_drift_norm_cap(source.max_drift_norm());
+  const RunResult r = Simulate(&source, protocol.get(), 250);
+  EXPECT_GE(r.metrics.site_messages(), 40);  // at least the init collection
+  EXPECT_GE(r.metrics.coordinator_messages(), 1);
+  EXPECT_GT(r.metrics.total_bytes(), 0.0);
+  EXPECT_EQ(r.metrics.total_messages(),
+            r.metrics.site_messages() + r.metrics.coordinator_messages());
+  // Bytes at least header-size times messages.
+  EXPECT_GE(r.metrics.total_bytes(),
+            16.0 * static_cast<double>(r.metrics.total_messages()));
+}
+
+TEST_P(ProtocolMatrixTest, FnRateWithinTolerance) {
+  JesterLikeGenerator source(Workload(80));
+  const LInfDistance f{Vector(Workload().num_buckets)};
+  auto protocol = Make(GetParam(), f, 5.0, source.max_step_norm());
+  protocol->set_drift_norm_cap(source.max_drift_norm());
+  const RunResult r = Simulate(&source, protocol.get(), 600);
+  const double fn_rate =
+      static_cast<double>(r.metrics.false_negative_cycles()) /
+      static_cast<double>(r.cycles);
+  switch (GetParam()) {
+    case Kind::kGm:
+    case Kind::kBgm:
+    case Kind::kCvgm:
+      // Exact protocols: zero false negatives by construction.
+      EXPECT_EQ(r.metrics.false_negative_cycles(), 0) << KindLabel(GetParam());
+      break;
+    default:
+      // Approximate protocols: within the configured tolerance δ = 0.1.
+      EXPECT_LE(fn_rate, 0.1) << KindLabel(GetParam());
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ProtocolMatrixTest,
+                         ::testing::Values(Kind::kGm, Kind::kBgm, Kind::kPgm,
+                                           Kind::kSgm, Kind::kMsgm,
+                                           Kind::kBernoulli, Kind::kCvgm,
+                                           Kind::kCvsgm),
+                         [](const ::testing::TestParamInfo<Kind>& info) {
+                           return KindLabel(info.param);
+                         });
+
+}  // namespace
+}  // namespace sgm

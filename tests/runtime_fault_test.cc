@@ -1,0 +1,154 @@
+// Fault-tolerance tests of the runtime: lossy transports, dead sites, and
+// the coordinator's degraded-sync fallback.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "functions/l2_norm.h"
+#include "runtime/coordinator_node.h"
+#include "runtime/site_node.h"
+#include "runtime/transport.h"
+
+namespace sgm {
+namespace {
+
+/// A driver variant that can drop site→coordinator messages (by site id)
+/// and randomly (by probability), modeling flaky links and dead sites.
+class FaultyHarness {
+ public:
+  FaultyHarness(int num_sites, const MonitoredFunction& function,
+                const RuntimeConfig& config)
+      : drop_rng_(1234) {
+    coordinator_ = std::make_unique<CoordinatorNode>(num_sites, function,
+                                                     config, &bus_);
+    for (int i = 0; i < num_sites; ++i) {
+      sites_.push_back(
+          std::make_unique<SiteNode>(i, num_sites, function, config, &bus_));
+    }
+  }
+
+  void KillSite(int id) { dead_.insert(dead_.end(), id); }
+  void set_loss_rate(double rate) { loss_rate_ = rate; }
+
+  void Initialize(const std::vector<Vector>& locals) {
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+      sites_[i]->Observe(locals[i]);
+    }
+    coordinator_->Start();
+    Route();
+  }
+
+  void Tick(const std::vector<Vector>& locals) {
+    coordinator_->BeginCycle();
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+      sites_[i]->Observe(locals[i]);
+    }
+    Route();
+  }
+
+  const CoordinatorNode& coordinator() const { return *coordinator_; }
+
+ private:
+  bool Dropped(const RuntimeMessage& message) {
+    if (message.from >= 0) {
+      for (int dead : dead_) {
+        if (message.from == dead) return true;  // dead site never transmits
+      }
+      if (loss_rate_ > 0.0 && drop_rng_.NextBernoulli(loss_rate_)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Route() {
+    for (;;) {
+      while (!bus_.empty()) {
+        const RuntimeMessage message = bus_.Pop();
+        if (Dropped(message)) continue;
+        if (message.to == kCoordinatorId) {
+          coordinator_->OnMessage(message);
+        } else if (message.to == kBroadcastId) {
+          for (auto& site : sites_) site->OnMessage(message);
+        } else {
+          sites_[message.to]->OnMessage(message);
+        }
+      }
+      coordinator_->OnQuiescent();
+      if (bus_.empty()) return;
+    }
+  }
+
+  InMemoryBus bus_;
+  std::unique_ptr<CoordinatorNode> coordinator_;
+  std::vector<std::unique_ptr<SiteNode>> sites_;
+  std::vector<int> dead_;
+  double loss_rate_ = 0.0;
+  Rng drop_rng_;
+};
+
+RuntimeConfig Config(double threshold, double step = 10.0) {
+  RuntimeConfig config;
+  config.threshold = threshold;
+  config.max_step_norm = step;
+  return config;
+}
+
+TEST(RuntimeFaultTest, DeadSiteDegradesButCompletesSync) {
+  const L2Norm norm;
+  FaultyHarness harness(4, norm, Config(3.0));
+  // Healthy initialization (everyone reports once)...
+  harness.Initialize({Vector{1.0, 0.0}, Vector{1.0, 0.0}, Vector{1.0, 0.0},
+                      Vector{1.0, 0.0}});
+  EXPECT_EQ(harness.coordinator().full_syncs(), 1);
+  EXPECT_EQ(harness.coordinator().degraded_syncs(), 0);
+
+  // ...then site 3 dies and a true crossing forces a full sync: the
+  // coordinator must complete it from site 3's last-known vector.
+  harness.KillSite(3);
+  for (int t = 0; t < 6 && !harness.coordinator().BelievesAbove(); ++t) {
+    harness.Tick({Vector{6.0, 0.0}, Vector{6.0, 0.0}, Vector{6.0, 0.0},
+                  Vector{6.0, 0.0}});
+  }
+  EXPECT_TRUE(harness.coordinator().BelievesAbove());
+  EXPECT_GE(harness.coordinator().degraded_syncs(), 1);
+  // Estimate uses (6+6+6+1)/4 for the first degraded sync.
+  EXPECT_GT(harness.coordinator().estimate()[0], 3.0);
+}
+
+TEST(RuntimeFaultTest, LossySyncStillConverges) {
+  const L2Norm norm;
+  FaultyHarness harness(20, norm, Config(3.0));
+  std::vector<Vector> locals(20, Vector{1.0, 0.0});
+  harness.Initialize(locals);
+
+  harness.set_loss_rate(0.3);
+  for (auto& v : locals) v = Vector{5.0, 0.0};
+  for (int t = 0; t < 20 && !harness.coordinator().BelievesAbove(); ++t) {
+    harness.Tick(locals);
+  }
+  EXPECT_TRUE(harness.coordinator().BelievesAbove());
+}
+
+TEST(RuntimeFaultTest, LostViolationOnlyDelaysDetection) {
+  // Even when the very first violation messages are dropped, later cycles
+  // re-raise the alarm (sites re-sample each cycle) and detection lands.
+  const L2Norm norm;
+  FaultyHarness harness(10, norm, Config(2.5));
+  std::vector<Vector> locals(10, Vector{1.0, 0.0});
+  harness.Initialize(locals);
+
+  harness.set_loss_rate(0.8);  // brutal
+  for (auto& v : locals) v = Vector{6.0, 0.0};
+  bool detected = false;
+  for (int t = 0; t < 200 && !detected; ++t) {
+    harness.Tick(locals);
+    detected = harness.coordinator().BelievesAbove();
+  }
+  EXPECT_TRUE(detected);
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,199 @@
+// Tests of the message-passing runtime (src/runtime): protocol flow,
+// accounting, belief correctness, cooldown propagation, and behavioural
+// agreement with the simulator-side SGM on the same workloads.
+
+#include <gtest/gtest.h>
+
+#include "data/jester_like.h"
+#include "functions/l2_norm.h"
+#include "functions/linf_distance.h"
+#include "gm/sgm.h"
+#include "runtime/driver.h"
+#include "sim/network.h"
+
+namespace sgm {
+namespace {
+
+RuntimeConfig BasicConfig(double threshold, double step = 1.0) {
+  RuntimeConfig config;
+  config.threshold = threshold;
+  config.max_step_norm = step;
+  return config;
+}
+
+TEST(RuntimeTest, InitializationSynchronizes) {
+  const L2Norm norm;
+  RuntimeDriver driver(3, norm, BasicConfig(10.0));
+  driver.Initialize({Vector{1.0, 0.0}, Vector{2.0, 0.0}, Vector{3.0, 0.0}});
+  EXPECT_EQ(driver.coordinator().estimate(), (Vector{2.0, 0.0}));
+  EXPECT_FALSE(driver.coordinator().BelievesAbove());
+  EXPECT_EQ(driver.coordinator().full_syncs(), 1);
+  // Init cost: 1 state request + 3 reports + 1 estimate broadcast.
+  EXPECT_EQ(driver.bus().messages_sent(), 5);
+  EXPECT_EQ(driver.bus().site_messages_sent(), 3);
+}
+
+TEST(RuntimeTest, EpsilonTBroadcastMatchesSurfaceDistance) {
+  const L2Norm norm;
+  RuntimeDriver driver(2, norm, BasicConfig(7.0));
+  driver.Initialize({Vector{3.0, 0.0}, Vector{1.0, 0.0}});
+  // e = (2, 0); surface ‖v‖ = 7 → ε_T = 5.
+  EXPECT_NEAR(driver.coordinator().epsilon_T(), 5.0, 1e-9);
+}
+
+TEST(RuntimeTest, QuietCyclesCostNothing) {
+  const L2Norm norm;
+  RuntimeDriver driver(4, norm, BasicConfig(100.0));
+  const std::vector<Vector> locals(4, Vector{1.0, 1.0});
+  driver.Initialize(locals);
+  const long after_init = driver.bus().messages_sent();
+  for (int t = 0; t < 20; ++t) driver.Tick(locals);
+  EXPECT_EQ(driver.bus().messages_sent(), after_init);
+}
+
+TEST(RuntimeTest, TrueCrossingFlipsBelief) {
+  const L2Norm norm;
+  RuntimeConfig config = BasicConfig(3.0, /*step=*/10.0);
+  RuntimeDriver driver(2, norm, config);
+  driver.Initialize({Vector{1.0, 0.0}, Vector{1.0, 0.0}});
+  EXPECT_FALSE(driver.coordinator().BelievesAbove());
+
+  // Both sites jump outward; with drifts this large the sampling
+  // probabilities clamp to ~1 and the alarm cascades to a full sync.
+  for (int t = 0; t < 5; ++t) {
+    driver.Tick({Vector{6.0, 0.0}, Vector{6.0, 0.0}});
+    if (driver.coordinator().BelievesAbove()) break;
+  }
+  EXPECT_TRUE(driver.coordinator().BelievesAbove());
+  EXPECT_GE(driver.coordinator().full_syncs(), 2);  // init + crossing
+}
+
+TEST(RuntimeTest, PartialResolutionAvoidsFullSync) {
+  const L2Norm norm;
+  RuntimeConfig config = BasicConfig(6.0, /*step=*/10.0);
+  config.seed = 3;
+  // Keep U tight so a single-site Horvitz–Thompson sample stays
+  // informative: the inverse-probability weight of a lone report is
+  // U/(ln(1/δ)·√N), so a large U would inflate v̂ toward the surface and
+  // conservatively escalate.
+  config.u_threshold_factor = 2.0;
+  const int n = 40;
+  RuntimeDriver driver(n, norm, config);
+  std::vector<Vector> locals(n, Vector{1.0, 0.0});
+  driver.Initialize(locals);
+
+  // One outlier site swings far (its ball reaches past T = 6) while the
+  // 40-site average barely moves: some cycle will sample it, alarm, and the
+  // HT-vetted probe must dismiss the alarm.
+  locals[0] = Vector{6.5, 0.0};
+  long partials = 0;
+  for (int t = 0; t < 40 && partials == 0; ++t) {
+    driver.Tick(locals);
+    partials = driver.coordinator().partial_resolutions();
+  }
+  EXPECT_GE(partials, 1);
+  EXPECT_EQ(driver.coordinator().full_syncs(), 1);  // init only
+  EXPECT_FALSE(driver.coordinator().BelievesAbove());
+}
+
+TEST(RuntimeTest, CooldownSuppressesRepeatAlarms) {
+  const L2Norm norm;
+  RuntimeConfig config = BasicConfig(6.0, /*step=*/0.5);
+  config.seed = 3;
+  const int n = 40;
+  RuntimeDriver driver(n, norm, config);
+  std::vector<Vector> locals(n, Vector{1.0, 0.0});
+  driver.Initialize(locals);
+
+  locals[0] = Vector{3.5, 0.0};  // persistent outlier, harmless average
+  long first_partial_cycle = -1;
+  long second_partial_cycle = -1;
+  for (int t = 1; t <= 200; ++t) {
+    driver.Tick(locals);
+    const long partials = driver.coordinator().partial_resolutions();
+    if (partials >= 1 && first_partial_cycle < 0) first_partial_cycle = t;
+    if (partials >= 2 && second_partial_cycle < 0) {
+      second_partial_cycle = t;
+      break;
+    }
+  }
+  if (first_partial_cycle >= 0 && second_partial_cycle >= 0) {
+    // With step 0.5 and several units of room, the certified mute spans
+    // multiple cycles: repeat alarms cannot be adjacent.
+    EXPECT_GT(second_partial_cycle - first_partial_cycle, 1);
+  }
+}
+
+TEST(RuntimeTest, AgreesWithSimulatorOnWorkloadScale) {
+  // The runtime and the simulator implement the same protocol; on the same
+  // Jester workload their communication costs must land in the same
+  // ballpark (sampling RNG streams differ, so exact equality is not
+  // expected) and both must track the truth.
+  JesterLikeConfig jester;
+  jester.num_sites = 120;
+  jester.window = 60;
+  jester.seed = 31415;
+  const double threshold = 8.0;
+  const long cycles = 500;
+  const LInfDistance f{Vector(jester.num_buckets)};
+
+  // Simulator side.
+  JesterLikeGenerator sim_source(jester);
+  SgmOptions options;
+  options.escalate_after_consecutive_alarms = 0;  // runtime has no analogue
+  options.escalate_probe_fraction = 0.0;
+  SamplingGeometricMonitor sim_sgm(f, threshold, sim_source.max_step_norm(),
+                                   options);
+  sim_sgm.set_drift_norm_cap(sim_source.max_drift_norm());
+  const RunResult sim_run = Simulate(&sim_source, &sim_sgm, cycles);
+
+  // Runtime side.
+  JesterLikeGenerator rt_source(jester);
+  RuntimeConfig config;
+  config.threshold = threshold;
+  config.max_step_norm = rt_source.max_step_norm();
+  config.drift_norm_cap = rt_source.max_drift_norm();
+  RuntimeDriver driver(jester.num_sites, f, config);
+  std::vector<Vector> locals;
+  rt_source.Advance(&locals);
+  driver.Initialize(locals);
+  for (long t = 0; t < cycles; ++t) {
+    rt_source.Advance(&locals);
+    driver.Tick(locals);
+  }
+
+  const double sim_msgs =
+      static_cast<double>(sim_run.metrics.total_messages());
+  const double rt_msgs = static_cast<double>(driver.bus().messages_sent());
+  EXPECT_LT(rt_msgs, 5.0 * sim_msgs + 200.0);
+  EXPECT_LT(sim_msgs, 5.0 * rt_msgs + 200.0);
+
+  // Belief correctness at the end: within one cycle of truth or currently
+  // in an undetected-but-rare state; assert agreement with the simulator's
+  // oracle-checked behaviour by checking FN cycles were rare there.
+  EXPECT_LE(sim_run.metrics.false_negative_cycles(), cycles / 10);
+}
+
+TEST(RuntimeTest, SiteFirstTrialFlagConsistent) {
+  const L2Norm norm;
+  RuntimeConfig config = BasicConfig(5.0);
+  RuntimeDriver driver(5, norm, config);
+  std::vector<Vector> locals(5, Vector{1.0, 0.0});
+  driver.Initialize(locals);
+  driver.Tick(locals);
+  // Zero drift ⇒ zero sampling probability ⇒ nobody in the first trial.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(driver.site(i).in_first_trial());
+  }
+}
+
+TEST(RuntimeTest, MessageTypeNamesExist) {
+  EXPECT_STREQ(RuntimeMessage::TypeName(
+                   RuntimeMessage::Type::kLocalViolation),
+               "LocalViolation");
+  EXPECT_STREQ(RuntimeMessage::TypeName(RuntimeMessage::Type::kNewEstimate),
+               "NewEstimate");
+}
+
+}  // namespace
+}  // namespace sgm

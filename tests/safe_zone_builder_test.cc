@@ -1,0 +1,134 @@
+// Tests of MonitoredFunction::BuildSafeZone — the function-aware convex
+// safe-zone construction used by CVGM/CVSGM (Section 4 / Example 5).
+// Core invariants: the zone must contain the anchor e, lie entirely inside
+// the admissible region (so that CV monitoring can never mask a crossing),
+// and be exact for functions whose admissible region is itself convex.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "functions/chi_square.h"
+#include "functions/jeffrey_divergence.h"
+#include "functions/l2_norm.h"
+#include "functions/linear.h"
+#include "functions/linf_distance.h"
+#include "geometry/safe_zone.h"
+
+namespace sgm {
+namespace {
+
+Vector RandomNear(const SafeZone& zone, const Vector& anchor, double spread,
+                  Rng* rng) {
+  Vector p = anchor;
+  for (std::size_t j = 0; j < p.dim(); ++j) {
+    p[j] += rng->NextDouble(-spread, spread);
+  }
+  (void)zone;
+  return p;
+}
+
+// Generic invariant: every point of the zone is admissible (f on e's side).
+template <typename Function>
+void ExpectZoneInsideAdmissible(const Function& f, const Vector& e,
+                                double threshold, std::uint64_t seed) {
+  const bool above = f.Value(e) > threshold;
+  const auto zone = f.BuildSafeZone(e, threshold, above);
+  ASSERT_NE(zone, nullptr);
+  EXPECT_TRUE(zone->Contains(e))
+      << "zone must contain the anchor; d_C(e) = " << zone->SignedDistance(e);
+
+  Rng rng(seed);
+  // Sample at the zone's own scale so interior hits actually occur.
+  const double spread =
+      2.0 * std::abs(zone->SignedDistance(e)) + 0.1;
+  int inside_checked = 0;
+  for (int trial = 0; trial < 400 && inside_checked < 80; ++trial) {
+    const Vector p = RandomNear(*zone, e, spread, &rng);
+    if (!zone->Contains(p)) continue;
+    ++inside_checked;
+    EXPECT_EQ(f.Value(p) > threshold, above)
+        << "zone point " << p.ToString() << " crossed the surface";
+  }
+  EXPECT_GT(inside_checked, 0);
+}
+
+TEST(SafeZoneBuilderTest, L2BelowUsesExactBall) {
+  const L2Norm norm;
+  const auto zone = norm.BuildSafeZone(Vector{1.0, 0.0}, 5.0, false);
+  auto* ball_zone = dynamic_cast<BallSafeZone*>(zone.get());
+  ASSERT_NE(ball_zone, nullptr);
+  EXPECT_DOUBLE_EQ(ball_zone->ball().radius(), 5.0);
+  EXPECT_DOUBLE_EQ(ball_zone->ball().center().Norm(), 0.0);
+}
+
+TEST(SafeZoneBuilderTest, SelfJoinBelowUsesSqrtRadius) {
+  const auto sj = L2Norm::SelfJoinSize();
+  const auto zone = sj->BuildSafeZone(Vector{1.0, 0.0}, 25.0, false);
+  auto* ball_zone = dynamic_cast<BallSafeZone*>(zone.get());
+  ASSERT_NE(ball_zone, nullptr);
+  EXPECT_DOUBLE_EQ(ball_zone->ball().radius(), 5.0);
+}
+
+TEST(SafeZoneBuilderTest, L2AboveFallsBackToInscribedBall) {
+  const L2Norm norm;
+  const Vector e{10.0, 0.0};
+  const auto zone = norm.BuildSafeZone(e, 5.0, true);
+  // Inscribed ball around e: radius = distance to the sphere = 5.
+  EXPECT_NEAR(zone->SignedDistance(e), -5.0, 1e-9);
+}
+
+TEST(SafeZoneBuilderTest, LinfBelowUsesBox) {
+  const LInfDistance f(Vector{1.0, 2.0});
+  const auto zone = f.BuildSafeZone(Vector{1.5, 2.0}, 4.0, false);
+  auto* box = dynamic_cast<BoxSafeZone*>(zone.get());
+  ASSERT_NE(box, nullptr);
+  EXPECT_DOUBLE_EQ(box->half_width(), 4.0);
+  EXPECT_EQ(box->center(), (Vector{1.0, 2.0}));  // anchored at the reference
+}
+
+TEST(SafeZoneBuilderTest, LinearUsesExactHalfspaceBothSides) {
+  const LinearFunction f(Vector{2.0, 0.0}, 1.0);  // f = 2x + 1
+  // Below T = 5: {x ≤ 2}.
+  const auto below = f.BuildSafeZone(Vector{0.0, 0.0}, 5.0, false);
+  EXPECT_TRUE(below->Contains(Vector{1.9, 100.0}));
+  EXPECT_FALSE(below->Contains(Vector{2.1, 0.0}));
+  EXPECT_NEAR(below->SignedDistance(Vector{3.0, 0.0}), 1.0, 1e-12);
+  // Above T = 5: {x ≥ 2}.
+  const auto above = f.BuildSafeZone(Vector{5.0, 0.0}, 5.0, true);
+  EXPECT_TRUE(above->Contains(Vector{2.5, -7.0}));
+  EXPECT_FALSE(above->Contains(Vector{1.5, 0.0}));
+}
+
+TEST(SafeZoneBuilderTest, ZonesStayAdmissible) {
+  ExpectZoneInsideAdmissible(L2Norm(), Vector{1.0, 1.0, 0.0}, 4.0, 1);
+  ExpectZoneInsideAdmissible(L2Norm(true), Vector{1.0, 1.0, 0.0}, 30.0, 2);
+  ExpectZoneInsideAdmissible(LInfDistance(Vector{0.0, 0.0, 0.0}),
+                             Vector{0.5, -0.5, 0.0}, 3.0, 3);
+  ExpectZoneInsideAdmissible(JeffreyDivergence(Vector{5.0, 5.0, 5.0}),
+                             Vector{5.0, 5.0, 5.0}, 2.0, 4);
+  ExpectZoneInsideAdmissible(ChiSquare(100.0), Vector{3.0, 8.0, 20.0}, 0.5,
+                             5);
+}
+
+// Exactness advantage: for L∞ below-threshold, the box zone contains every
+// admissible point, whereas the inscribed ball misses most of the box.
+TEST(SafeZoneBuilderTest, BoxZoneBeatsInscribedBall) {
+  const LInfDistance f(Vector{0.0, 0.0, 0.0});
+  const Vector e(3);  // at the reference
+  const double threshold = 2.0;
+  const auto exact = f.BuildSafeZone(e, threshold, false);
+  const auto fallback =
+      f.MonitoredFunction::BuildSafeZone(e, threshold, false);
+
+  // A box corner: admissible, inside the exact zone, outside the ball.
+  const Vector corner{1.9, 1.9, 1.9};
+  EXPECT_LT(f.Value(corner), threshold);
+  EXPECT_TRUE(exact->Contains(corner));
+  EXPECT_FALSE(fallback->Contains(corner));
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,108 @@
+#include "geometry/safe_zone.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace sgm {
+namespace {
+
+TEST(SafeZoneTest, BallZoneSignedDistance) {
+  BallSafeZone zone(Ball(Vector{0.0, 0.0}, 3.0));
+  EXPECT_DOUBLE_EQ(zone.SignedDistance(Vector{0.0, 0.0}), -3.0);
+  EXPECT_DOUBLE_EQ(zone.SignedDistance(Vector{3.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(zone.SignedDistance(Vector{4.0, 0.0}), 1.0);
+  EXPECT_TRUE(zone.Contains(Vector{1.0, 1.0}));
+  EXPECT_FALSE(zone.Contains(Vector{3.0, 3.0}));
+}
+
+TEST(SafeZoneTest, HalfspaceZoneSignedDistance) {
+  HalfspaceSafeZone zone(Halfspace(Vector{1.0, 0.0}, 2.0));
+  EXPECT_DOUBLE_EQ(zone.SignedDistance(Vector{0.0, 9.0}), -2.0);
+  EXPECT_DOUBLE_EQ(zone.SignedDistance(Vector{5.0, 0.0}), 3.0);
+  EXPECT_TRUE(zone.Contains(Vector{2.0, -1.0}));
+}
+
+TEST(SafeZoneTest, SummaryAggregates) {
+  BallSafeZone zone(Ball(Vector{0.0}, 1.0));
+  std::vector<Vector> points = {Vector{0.0},    // d = -1
+                                Vector{2.0},    // d = +1
+                                Vector{0.5}};   // d = -0.5
+  const SignedDistanceSummary s = SummarizeSignedDistances(zone, points);
+  EXPECT_DOUBLE_EQ(s.sum, -0.5);
+  EXPECT_NEAR(s.average, -0.5 / 3.0, 1e-12);
+  EXPECT_EQ(s.positive, 1);
+}
+
+TEST(SafeZoneTest, SummaryEmptyInput) {
+  BallSafeZone zone(Ball(Vector{0.0}, 1.0));
+  const SignedDistanceSummary s = SummarizeSignedDistances(zone, {});
+  EXPECT_EQ(s.sum, 0.0);
+  EXPECT_EQ(s.average, 0.0);
+  EXPECT_EQ(s.positive, 0);
+}
+
+TEST(BoxSafeZoneTest, SignedDistanceInside) {
+  BoxSafeZone zone(Vector{0.0, 0.0}, 3.0);
+  // Center: nearest face is 3 away.
+  EXPECT_DOUBLE_EQ(zone.SignedDistance(Vector{0.0, 0.0}), -3.0);
+  // Near a face: distance to that face.
+  EXPECT_DOUBLE_EQ(zone.SignedDistance(Vector{2.0, 1.0}), -1.0);
+  // On the boundary.
+  EXPECT_DOUBLE_EQ(zone.SignedDistance(Vector{3.0, 0.0}), 0.0);
+}
+
+TEST(BoxSafeZoneTest, SignedDistanceOutside) {
+  BoxSafeZone zone(Vector{0.0, 0.0}, 3.0);
+  // Face-adjacent exterior: axis distance.
+  EXPECT_DOUBLE_EQ(zone.SignedDistance(Vector{5.0, 0.0}), 2.0);
+  // Corner-adjacent exterior: Euclidean distance to the corner.
+  EXPECT_NEAR(zone.SignedDistance(Vector{4.0, 4.0}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(BoxSafeZoneTest, OffsetCenter) {
+  BoxSafeZone zone(Vector{10.0, -5.0}, 2.0);
+  EXPECT_TRUE(zone.Contains(Vector{11.0, -4.0}));
+  EXPECT_FALSE(zone.Contains(Vector{13.0, -5.0}));
+}
+
+// Lemma 4 requires exact (or conservative) Euclidean signed distances; the
+// box zone's closed form must match a brute-force boundary search.
+TEST(BoxSafeZoneTest, MatchesBruteForceDistance) {
+  BoxSafeZone zone(Vector{0.0, 0.0, 0.0}, 2.0);
+  Rng rng(55);
+  for (int trial = 0; trial < 200; ++trial) {
+    Vector p(3);
+    for (int j = 0; j < 3; ++j) p[j] = rng.NextDouble(-5.0, 5.0);
+    // Brute force: distance to the box is distance to the clamped point.
+    Vector clamped = p;
+    for (int j = 0; j < 3; ++j) {
+      clamped[j] = std::clamp(clamped[j], -2.0, 2.0);
+    }
+    const double outside = p.DistanceTo(clamped);
+    const double sd = zone.SignedDistance(p);
+    if (outside > 0.0) {
+      EXPECT_NEAR(sd, outside, 1e-12);
+    } else {
+      // Inside: distance to the nearest face.
+      double nearest = 1e9;
+      for (int j = 0; j < 3; ++j) {
+        nearest = std::min(nearest, 2.0 - std::abs(p[j]));
+      }
+      EXPECT_NEAR(sd, -nearest, 1e-12);
+    }
+  }
+}
+
+TEST(SafeZoneTest, ToStringNonEmpty) {
+  BallSafeZone ball_zone(Ball(Vector{0.0}, 1.0));
+  HalfspaceSafeZone half_zone(Halfspace(Vector{1.0}, 0.0));
+  EXPECT_FALSE(ball_zone.ToString().empty());
+  EXPECT_FALSE(half_zone.ToString().empty());
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,113 @@
+#include "runtime/serialization.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace sgm {
+namespace {
+
+RuntimeMessage SampleMessage() {
+  RuntimeMessage m;
+  m.type = RuntimeMessage::Type::kDriftReport;
+  m.from = 17;
+  m.to = kCoordinatorId;
+  m.scalar = 0.125;
+  m.payload = Vector{1.5, -2.25, 0.0, 1e-9};
+  return m;
+}
+
+TEST(SerializationTest, RoundTripPreservesEverything) {
+  const RuntimeMessage original = SampleMessage();
+  const auto wire = EncodeMessage(original);
+  auto decoded = DecodeMessage(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const RuntimeMessage& m = decoded.ValueOrDie();
+  EXPECT_EQ(m.type, original.type);
+  EXPECT_EQ(m.from, original.from);
+  EXPECT_EQ(m.to, original.to);
+  EXPECT_EQ(m.scalar, original.scalar);
+  EXPECT_EQ(m.payload, original.payload);
+}
+
+TEST(SerializationTest, RoundTripAllTypes) {
+  using Type = RuntimeMessage::Type;
+  for (Type type : {Type::kLocalViolation, Type::kProbeRequest,
+                    Type::kDriftReport, Type::kResolved,
+                    Type::kFullStateRequest, Type::kStateReport,
+                    Type::kNewEstimate}) {
+    RuntimeMessage m;
+    m.type = type;
+    m.from = 3;
+    m.to = kBroadcastId;
+    const auto wire = EncodeMessage(m);
+    auto decoded = DecodeMessage(wire);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.ValueOrDie().type, type);
+  }
+}
+
+TEST(SerializationTest, EmptyPayloadRoundTrips) {
+  RuntimeMessage m;
+  m.type = RuntimeMessage::Type::kProbeRequest;
+  auto decoded = DecodeMessage(EncodeMessage(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.ValueOrDie().payload.dim(), 0u);
+}
+
+TEST(SerializationTest, RejectsEmptyBuffer) {
+  EXPECT_FALSE(DecodeMessage({}).ok());
+}
+
+TEST(SerializationTest, RejectsUnknownType) {
+  auto wire = EncodeMessage(SampleMessage());
+  wire[0] = 200;
+  auto decoded = DecodeMessage(wire);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializationTest, RejectsTruncation) {
+  const auto wire = EncodeMessage(SampleMessage());
+  // Every strict prefix must be rejected, not crash.
+  for (std::size_t keep = 0; keep < wire.size(); ++keep) {
+    const std::vector<std::uint8_t> prefix(wire.begin(),
+                                           wire.begin() + keep);
+    EXPECT_FALSE(DecodeMessage(prefix).ok()) << "prefix length " << keep;
+  }
+}
+
+TEST(SerializationTest, RejectsTrailingGarbage) {
+  auto wire = EncodeMessage(SampleMessage());
+  wire.push_back(0xAB);
+  EXPECT_FALSE(DecodeMessage(wire).ok());
+}
+
+TEST(SerializationTest, RejectsHugeDimension) {
+  RuntimeMessage m;
+  m.type = RuntimeMessage::Type::kStateReport;
+  auto wire = EncodeMessage(m);
+  // Overwrite the dimension field (offset 1+4+4+8 = 17) with a huge value.
+  const std::uint32_t huge = kMaxWireDimension + 1;
+  std::memcpy(wire.data() + 17, &huge, sizeof(huge));
+  auto decoded = DecodeMessage(wire);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerializationTest, RandomGarbageNeverCrashes) {
+  Rng rng(404);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> garbage(rng.NextBounded(64));
+    for (auto& byte : garbage) {
+      byte = static_cast<std::uint8_t>(rng.NextBounded(256));
+    }
+    // Must either parse or fail cleanly; any crash fails the test run.
+    (void)DecodeMessage(garbage);
+  }
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,234 @@
+// Behavioural tests of SGM / M-SGM / the Bernoulli variant.
+
+#include <gtest/gtest.h>
+
+#include "data/jester_like.h"
+#include "data/synthetic.h"
+#include "functions/l2_norm.h"
+#include "functions/linf_distance.h"
+#include "gm/bernoulli_gm.h"
+#include "gm/gm.h"
+#include "gm/sgm.h"
+#include "sim/network.h"
+#include "test_util.h"
+
+namespace sgm {
+namespace {
+
+SgmOptions DefaultOptions(double delta = 0.1, int trials = 1) {
+  SgmOptions options;
+  options.delta = delta;
+  options.num_trials = trials;
+  return options;
+}
+
+TEST(SgmTest, NamesFollowConfiguration) {
+  L2Norm f(false);
+  SamplingGeometricMonitor sgm(f, 5.0, 1.0, DefaultOptions(0.1, 1));
+  SamplingGeometricMonitor msgm(f, 5.0, 1.0, DefaultOptions(0.1, 3));
+  auto bern = MakeBernoulliMonitor(f, 5.0, 1.0, 0.1);
+  EXPECT_EQ(bern->name(), "Bernoulli");
+  // SGM/M-SGM names resolve after initialization.
+  std::vector<std::vector<Vector>> frames(2, {Vector{1.0}, Vector{1.0}});
+  ScriptedSource s1(frames, 1.0), s2(frames, 1.0);
+  Simulate(&s1, &sgm, 1);
+  Simulate(&s2, &msgm, 1);
+  EXPECT_EQ(sgm.name(), "SGM");
+  EXPECT_EQ(msgm.name(), "M-SGM");
+}
+
+TEST(SgmTest, AutoTrialsUseLemmaFormula) {
+  SyntheticDriftConfig config;
+  config.num_sites = 500;
+  config.dim = 2;
+  SyntheticDriftGenerator source(config);
+  L2Norm f(false);
+  SamplingGeometricMonitor sgm(f, 100.0, source.max_step_norm(),
+                               DefaultOptions(0.05, /*trials=*/0));
+  Simulate(&source, &sgm, 2);
+  EXPECT_EQ(sgm.effective_trials(), 3);  // Table 2: δ=0.05, N=500 → 3
+}
+
+TEST(SgmTest, QuietStreamOnlyInitCost) {
+  std::vector<std::vector<Vector>> frames(
+      10, {Vector{1.0, 0.0}, Vector{0.0, 1.0}, Vector{0.5, 0.5}});
+  ScriptedSource source(std::move(frames), 1.0);
+  L2Norm f(false);
+  SamplingGeometricMonitor sgm(f, 10.0, source.max_step_norm(),
+                               DefaultOptions());
+  const RunResult result = Simulate(&source, &sgm, 9);
+  EXPECT_EQ(result.metrics.total_messages(), 4);  // N + 1 init only
+  EXPECT_EQ(result.metrics.full_syncs(), 0);
+}
+
+// Requirement 1 consequence: on the same stream with the same constraints,
+// a cycle in which SGM raises a local alarm is a cycle in which GM would
+// have alarmed too (SGM's monitored balls are a subset of GM's).
+TEST(SgmTest, AlarmsAreSubsetOfGmAlarms) {
+  SyntheticDriftConfig config;
+  config.num_sites = 60;
+  config.dim = 3;
+  config.seed = 404;
+  SyntheticDriftGenerator gm_source(config);
+  SyntheticDriftGenerator sgm_source(config);  // identical stream
+
+  L2Norm f(false);
+  const double T = 2.5;
+  GeometricMonitor gm(f, T, gm_source.max_step_norm());
+  SamplingGeometricMonitor sgm(f, T, sgm_source.max_step_norm(),
+                               DefaultOptions());
+
+  std::vector<Vector> gm_locals, sgm_locals;
+  gm_source.Advance(&gm_locals);
+  sgm_source.Advance(&sgm_locals);
+  Metrics gm_metrics, sgm_metrics;
+  gm.Initialize(gm_locals, &gm_metrics);
+  sgm.Initialize(sgm_locals, &sgm_metrics);
+
+  int sgm_alarms = 0, gm_missing = 0;
+  for (int t = 0; t < 300; ++t) {
+    gm_source.Advance(&gm_locals);
+    sgm_source.Advance(&sgm_locals);
+    const CycleOutcome gm_out = gm.OnCycle(gm_locals, &gm_metrics);
+    const CycleOutcome sgm_out = sgm.OnCycle(sgm_locals, &sgm_metrics);
+    if (sgm_out.local_alarm) {
+      ++sgm_alarms;
+      // Protocols may be out of phase after their first differing sync; only
+      // compare while their sync clocks agree.
+      if (gm.cycles_since_sync() == sgm.cycles_since_sync() &&
+          !gm_out.local_alarm) {
+        ++gm_missing;
+      }
+    }
+  }
+  EXPECT_EQ(gm_missing, 0);
+  (void)sgm_alarms;
+}
+
+// The headline scalability claim, in miniature: at a few hundred sites on a
+// windowed (bounded-drift) workload, SGM transmits several times fewer
+// messages than GM. (The paper reports one-to-two orders of magnitude on the
+// full-scale Jester runs; see bench/fig11_jester_linf.)
+TEST(SgmTest, BeatsGmOnMessagesAtScale) {
+  JesterLikeConfig config;
+  config.num_sites = 300;
+  config.window = 60;
+  config.num_buckets = 12;
+  config.seed = 11;
+
+  LInfDistance f(Vector(12));
+  const double T = 2.0;
+
+  JesterLikeGenerator gm_source(config);
+  GeometricMonitor gm(f, T, gm_source.max_step_norm());
+  gm.set_drift_norm_cap(gm_source.max_drift_norm());
+  const RunResult gm_result = Simulate(&gm_source, &gm, 400);
+
+  JesterLikeGenerator sgm_source(config);
+  SamplingGeometricMonitor sgm(f, T, sgm_source.max_step_norm(),
+                               DefaultOptions());
+  sgm.set_drift_norm_cap(sgm_source.max_drift_norm());
+  const RunResult sgm_result = Simulate(&sgm_source, &sgm, 400);
+
+  EXPECT_GT(gm_result.metrics.total_messages(),
+            3 * sgm_result.metrics.total_messages());
+}
+
+// Requirement 3: the realized FN cycle rate stays below δ.
+class SgmFnRateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SgmFnRateTest, FnRateBelowDelta) {
+  const double delta = GetParam();
+  SyntheticDriftConfig config;
+  config.num_sites = 200;
+  config.dim = 3;
+  config.seed = 500 + static_cast<std::uint64_t>(delta * 100);
+  SyntheticDriftGenerator source(config);
+  L2Norm f(false);
+  SamplingGeometricMonitor sgm(f, 2.6, source.max_step_norm(),
+                               DefaultOptions(delta));
+  const RunResult result = Simulate(&source, &sgm, 600);
+  const double fn_rate = static_cast<double>(
+                             result.metrics.false_negative_cycles()) /
+                         static_cast<double>(result.cycles);
+  EXPECT_LE(fn_rate, delta) << "delta=" << delta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, SgmFnRateTest,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.3));
+
+TEST(SgmTest, PartialResolutionCheaperThanFullSync) {
+  // Count messages in a partially-resolved alarm: ~|K| + 2 ≪ N + 1.
+  SyntheticDriftConfig config;
+  config.num_sites = 400;
+  config.dim = 3;
+  config.seed = 21;
+  SyntheticDriftGenerator source(config);
+  L2Norm f(false);
+  SamplingGeometricMonitor sgm(f, 2.6, source.max_step_norm(),
+                               DefaultOptions());
+  const RunResult result = Simulate(&source, &sgm, 400);
+  if (result.metrics.partial_resolutions() > 0) {
+    // Messages per alarm-handling event must average well below N + 1.
+    const double events = static_cast<double>(
+        result.metrics.partial_resolutions() + result.metrics.full_syncs());
+    const double msgs_per_event =
+        static_cast<double>(result.metrics.total_messages()) / events;
+    EXPECT_LT(msgs_per_event, config.num_sites);
+  }
+}
+
+TEST(SgmTest, MSgmMessagesComparableToSgm) {
+  // Lemma 2(c)'s point: extra trials cannot grow constraints, so M-SGM's
+  // communication stays in the same ballpark as SGM's.
+  SyntheticDriftConfig config;
+  config.num_sites = 250;
+  config.dim = 3;
+  config.seed = 33;
+  L2Norm f(false);
+  const double T = 2.7;
+
+  SyntheticDriftGenerator s1(config), s2(config);
+  SamplingGeometricMonitor sgm(f, T, s1.max_step_norm(), DefaultOptions());
+  SamplingGeometricMonitor msgm(f, T, s2.max_step_norm(),
+                                DefaultOptions(0.1, /*trials=*/0));
+  const RunResult r1 = Simulate(&s1, &sgm, 300);
+  const RunResult r2 = Simulate(&s2, &msgm, 300);
+  EXPECT_LT(r2.metrics.total_messages(),
+            4 * r1.metrics.total_messages() + 100);
+}
+
+TEST(BernoulliTest, WorseThanDriftWeightedSampling) {
+  // Section 6.5: uniform sampling misses the big-drift sites and pays for it.
+  SyntheticDriftConfig config;
+  config.num_sites = 300;
+  config.dim = 3;
+  config.seed = 55;
+  L2Norm f(false);
+  const double T = 2.7;
+
+  SyntheticDriftGenerator s1(config), s2(config);
+  SamplingGeometricMonitor sgm(f, T, s1.max_step_norm(), DefaultOptions());
+  auto bern = MakeBernoulliMonitor(f, T, s2.max_step_norm(), 0.1);
+  const RunResult r_sgm = Simulate(&s1, &sgm, 400);
+  const RunResult r_bern = Simulate(&s2, bern.get(), 400);
+  EXPECT_GE(r_bern.metrics.total_messages(), r_sgm.metrics.total_messages());
+}
+
+TEST(SgmTest, DeterministicGivenSeeds) {
+  SyntheticDriftConfig config;
+  config.num_sites = 100;
+  config.dim = 3;
+  L2Norm f(false);
+  long messages[2];
+  for (int run = 0; run < 2; ++run) {
+    SyntheticDriftGenerator source(config);
+    SamplingGeometricMonitor sgm(f, 2.6, source.max_step_norm(),
+                                 DefaultOptions());
+    messages[run] = Simulate(&source, &sgm, 200).metrics.total_messages();
+  }
+  EXPECT_EQ(messages[0], messages[1]);
+}
+
+}  // namespace
+}  // namespace sgm

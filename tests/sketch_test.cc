@@ -1,0 +1,146 @@
+// Tests of the AMS sketch substrate and the sketch-based self-join monitor
+// (the [12] application: sketch-based geometric monitoring).
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "sketch/ams_sketch.h"
+#include "sketch/sketch_functions.h"
+
+namespace sgm {
+namespace {
+
+double ExactF2(const std::map<std::uint64_t, double>& frequencies) {
+  double sum = 0.0;
+  for (const auto& [item, f] : frequencies) sum += f * f;
+  return sum;
+}
+
+TEST(AmsSketchTest, LinearInUpdates) {
+  AmsSketch a(5, 64, 77), b(5, 64, 77), combined(5, 64, 77);
+  a.Update(1, 2.0);
+  a.Update(9, -1.0);
+  b.Update(1, 3.0);
+  b.Update(4, 5.0);
+  combined.Update(1, 5.0);
+  combined.Update(9, -1.0);
+  combined.Update(4, 5.0);
+  EXPECT_EQ(a.counters() + b.counters(), combined.counters());
+}
+
+TEST(AmsSketchTest, SharedSeedsAgreeAcrossInstances) {
+  AmsSketch a(4, 32, 123), b(4, 32, 123);
+  a.Update(42);
+  b.Update(42);
+  EXPECT_EQ(a.counters(), b.counters());
+}
+
+TEST(AmsSketchTest, DifferentSeedsDiffer) {
+  AmsSketch a(4, 32, 1), b(4, 32, 2);
+  a.Update(42);
+  b.Update(42);
+  EXPECT_NE(a.counters(), b.counters());
+}
+
+TEST(AmsSketchTest, SelfJoinEstimateNearExact) {
+  // Zipf-ish frequency vector; a 7x256 sketch should estimate F2 within
+  // ~20 %.
+  AmsSketch sketch(7, 256, 99);
+  std::map<std::uint64_t, double> frequencies;
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t item = rng.NextBounded(200) + 1;
+    const std::uint64_t heavy = rng.NextBounded(10) + 1;
+    const std::uint64_t chosen = rng.NextBernoulli(0.5) ? heavy : item;
+    sketch.Update(chosen);
+    frequencies[chosen] += 1.0;
+  }
+  const double exact = ExactF2(frequencies);
+  EXPECT_NEAR(sketch.SelfJoinEstimate(), exact, 0.2 * exact);
+}
+
+TEST(AmsSketchTest, JoinEstimateNearExact) {
+  AmsSketch a(7, 256, 321), b(7, 256, 321);
+  std::map<std::uint64_t, double> fa, fb;
+  Rng rng(6);
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t item = rng.NextBounded(50);
+    a.Update(item);
+    fa[item] += 1.0;
+    const std::uint64_t other = rng.NextBounded(50);
+    b.Update(other);
+    fb[other] += 1.0;
+  }
+  double exact = 0.0;
+  for (const auto& [item, f] : fa) {
+    auto it = fb.find(item);
+    if (it != fb.end()) exact += f * it->second;
+  }
+  EXPECT_NEAR(a.JoinEstimate(b), exact, 0.25 * exact);
+}
+
+TEST(AmsSketchTest, CountersMatchStaticEstimator) {
+  AmsSketch sketch(5, 64, 7);
+  for (int i = 0; i < 100; ++i) sketch.Update(i % 13);
+  EXPECT_DOUBLE_EQ(
+      AmsSketch::SelfJoinFromCounters(sketch.counters(), 5, 64),
+      sketch.SelfJoinEstimate());
+}
+
+// ------------------------------------------------------- SketchSelfJoin --
+
+TEST(SketchSelfJoinTest, ValueMatchesSketchEstimate) {
+  AmsSketch sketch(5, 32, 11);
+  for (int i = 0; i < 500; ++i) sketch.Update(i % 17);
+  const SketchSelfJoin f(5, 32);
+  EXPECT_DOUBLE_EQ(f.Value(sketch.counters()), sketch.SelfJoinEstimate());
+}
+
+TEST(SketchSelfJoinTest, Homogeneity) {
+  const SketchSelfJoin f(3, 8);
+  double degree = 0.0;
+  EXPECT_TRUE(f.HomogeneityDegree(&degree));
+  EXPECT_EQ(degree, 2.0);
+  Rng rng(8);
+  Vector v(24);
+  for (int j = 0; j < 24; ++j) v[j] = rng.NextDouble(-2.0, 2.0);
+  EXPECT_NEAR(f.Value(v * 3.0), 9.0 * f.Value(v), 1e-9);
+}
+
+TEST(SketchSelfJoinTest, EnclosureCoversBallSamples) {
+  const SketchSelfJoin f(3, 8);
+  Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    Vector c(24);
+    for (int j = 0; j < 24; ++j) c[j] = rng.NextDouble(-3.0, 3.0);
+    const Ball ball(c, rng.NextDouble(0.1, 2.0));
+    const Interval range = f.RangeOverBall(ball);
+    for (int s = 0; s < 25; ++s) {
+      Vector direction(24);
+      for (int j = 0; j < 24; ++j) direction[j] = rng.NextGaussian();
+      Vector p = c;
+      p.Axpy(ball.radius() * rng.NextDouble() / direction.Norm(), direction);
+      const double value = f.Value(p);
+      EXPECT_GE(value, range.lo - 1e-7) << "trial " << trial;
+      EXPECT_LE(value, range.hi + 1e-7) << "trial " << trial;
+    }
+  }
+}
+
+TEST(SketchSelfJoinTest, GradientIsValidSubgradientDirection) {
+  const SketchSelfJoin f(3, 4);
+  Rng rng(10);
+  Vector v(12);
+  for (int j = 0; j < 12; ++j) v[j] = rng.NextDouble(-2.0, 2.0);
+  const Vector grad = f.Gradient(v);
+  // Moving along the (sub)gradient must not decrease f locally.
+  Vector moved = v;
+  moved.Axpy(1e-4 / (grad.Norm() + 1e-12), grad);
+  EXPECT_GE(f.Value(moved), f.Value(v) - 1e-9);
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,70 @@
+#include "data/sliding_window.h"
+
+#include <gtest/gtest.h>
+
+namespace sgm {
+namespace {
+
+TEST(SlidingWindowTest, CountsAccumulate) {
+  SlidingCountWindow w(5, 3);
+  w.Push(0);
+  w.Push(0);
+  w.Push(2);
+  EXPECT_EQ(w.counts(), (Vector{2.0, 0.0, 1.0}));
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_FALSE(w.full());
+}
+
+TEST(SlidingWindowTest, EvictionAtCapacity) {
+  SlidingCountWindow w(3, 2);
+  w.Push(0);
+  w.Push(0);
+  w.Push(1);
+  EXPECT_TRUE(w.full());
+  w.Push(1);  // evicts the first 0
+  EXPECT_EQ(w.counts(), (Vector{1.0, 2.0}));
+  w.Push(1);  // evicts the second 0
+  EXPECT_EQ(w.counts(), (Vector{0.0, 3.0}));
+}
+
+TEST(SlidingWindowTest, UncountedCategoryHoldsSlot) {
+  SlidingCountWindow w(2, 2);
+  w.Push(0);
+  w.Push(2);  // placeholder: occupies a slot, counts nowhere
+  EXPECT_EQ(w.counts(), (Vector{1.0, 0.0}));
+  w.Push(2);  // evicts the 0
+  EXPECT_EQ(w.counts(), (Vector{0.0, 0.0}));
+  EXPECT_TRUE(w.full());
+}
+
+TEST(SlidingWindowTest, MatchesNaiveRecount) {
+  const std::size_t window = 7, dim = 4;
+  SlidingCountWindow w(window, dim);
+  std::vector<std::size_t> history;
+  std::uint64_t x = 88172645463325252ULL;
+  for (int step = 0; step < 500; ++step) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const std::size_t category = x % (dim + 1);
+    w.Push(category);
+    history.push_back(category);
+
+    Vector expected(dim);
+    const std::size_t start =
+        history.size() > window ? history.size() - window : 0;
+    for (std::size_t k = start; k < history.size(); ++k) {
+      if (history[k] < dim) expected[history[k]] += 1.0;
+    }
+    ASSERT_EQ(w.counts(), expected) << "step " << step;
+  }
+}
+
+TEST(SlidingWindowTest, CountsSumBoundedByWindow) {
+  SlidingCountWindow w(10, 3);
+  for (int i = 0; i < 100; ++i) w.Push(i % 3);
+  EXPECT_LE(w.counts().Sum(), 10.0);
+}
+
+}  // namespace
+}  // namespace sgm

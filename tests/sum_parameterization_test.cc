@@ -1,0 +1,125 @@
+// Section-7 machinery: the Adapted Vectors wrapper, the Function
+// Transformation, and the Lemma 6/7 equivalences between them.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "functions/l2_norm.h"
+#include "functions/sum_parameterization.h"
+#include "functions/variance.h"
+
+namespace sgm {
+namespace {
+
+TEST(ScaledInputTest, ValueScalesInput) {
+  ScaledInputFunction f(std::make_unique<L2Norm>(false), 10.0);
+  EXPECT_DOUBLE_EQ(f.Value(Vector{3.0, 4.0}), 50.0);
+  EXPECT_EQ(f.name(), "l2_norm_sum");
+}
+
+TEST(ScaledInputTest, GradientChainRule) {
+  ScaledInputFunction f(L2Norm::SelfJoinSize(), 5.0);
+  // f(v) = ‖5v‖² = 25‖v‖², ∇ = 50 v.
+  const Vector grad = f.Gradient(Vector{1.0, 2.0});
+  EXPECT_NEAR(grad[0], 50.0, 1e-9);
+  EXPECT_NEAR(grad[1], 100.0, 1e-9);
+}
+
+TEST(ScaledInputTest, RangeMatchesScaledBall) {
+  ScaledInputFunction f(std::make_unique<L2Norm>(false), 4.0);
+  const Interval range = f.RangeOverBall(Ball(Vector{1.0, 0.0}, 0.5));
+  // Inner ball B(4·c, 4·r): norm in [4−2, 4+2].
+  EXPECT_DOUBLE_EQ(range.lo, 2.0);
+  EXPECT_DOUBLE_EQ(range.hi, 6.0);
+}
+
+// Lemma 6(b): surface distances in the average domain are N× shorter.
+TEST(ScaledInputTest, SurfaceDistanceLemma6) {
+  const int n = 20;
+  L2Norm inner(false);
+  ScaledInputFunction f(std::make_unique<L2Norm>(false), n);
+  const Vector p{3.0, 4.0};
+  const double T = 80.0;
+  EXPECT_NEAR(f.DistanceToSurface(p, T),
+              inner.DistanceToSurface(p * double(n), T) / n, 1e-9);
+}
+
+TEST(ScaledInputTest, CloneIsDeep) {
+  ScaledInputFunction f(std::make_unique<L2Norm>(false), 3.0);
+  auto clone = f.Clone();
+  EXPECT_DOUBLE_EQ(clone->Value(Vector{1.0, 0.0}), 3.0);
+}
+
+TEST(ScaledInputTest, HomogeneityForwarded) {
+  ScaledInputFunction f(CoordinateDispersion::Variance(), 8.0);
+  double degree = 0.0;
+  EXPECT_TRUE(f.HomogeneityDegree(&degree));
+  EXPECT_EQ(degree, 2.0);
+}
+
+TEST(TransformTest, ThresholdDivision) {
+  CoordinateDispersion stdev(false);     // degree 1
+  CoordinateDispersion variance(true);   // degree 2
+  EXPECT_DOUBLE_EQ(TransformThresholdForAverage(stdev, 100.0, 10), 10.0);
+  EXPECT_DOUBLE_EQ(TransformThresholdForAverage(variance, 100.0, 10), 1.0);
+}
+
+TEST(TransformTest, RelativeRateOfGrowth) {
+  EXPECT_DOUBLE_EQ(RelativeRateOfGrowth(0.0, 500), 1.0);
+  EXPECT_DOUBLE_EQ(RelativeRateOfGrowth(1.0, 500), 500.0);
+  EXPECT_DOUBLE_EQ(RelativeRateOfGrowth(2.0, 10), 100.0);
+}
+
+// Lemma 7 equivalence (decision level): for homogeneous f, the sum task
+// f(N·v) ≶ T and the transformed average task f(v) ≶ T/N^α must agree on
+// every point and on every ball-crossing decision.
+class Lemma7Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma7Test, DecisionsAgree) {
+  const int n = GetParam();
+  CoordinateDispersion stdev(false);
+  ScaledInputFunction sum_task(CoordinateDispersion::StdDev(), n);
+  const double T_sum = 12.0;
+  const double T_avg = TransformThresholdForAverage(stdev, T_sum, n);
+
+  Rng rng(77 + n);
+  for (int trial = 0; trial < 60; ++trial) {
+    Vector v(4);
+    for (int j = 0; j < 4; ++j) v[j] = rng.NextDouble(-3.0, 3.0);
+    EXPECT_EQ(sum_task.Value(v) > T_sum, stdev.Value(v) > T_avg)
+        << "point decision, trial " << trial;
+
+    const Ball ball(v, rng.NextDouble(0.01, 1.0));
+    EXPECT_EQ(sum_task.BallCrossesThreshold(ball, T_sum),
+              stdev.BallCrossesThreshold(ball, T_avg))
+        << "ball decision, trial " << trial;
+  }
+}
+
+// Lemma 6(a)/(b) numerically: points on the transformed surface map 1:1 to
+// the sum surface under x ↦ N·x, and distances scale by N.
+TEST_P(Lemma7Test, SurfaceBijection) {
+  const int n = GetParam();
+  L2Norm norm(false);
+  const double T_sum = 40.0;
+  const double T_avg = T_sum / n;  // degree-1 homogeneous
+  Rng rng(13 * n);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vector direction(3);
+    for (int j = 0; j < 3; ++j) direction[j] = rng.NextGaussian();
+    direction *= T_avg / direction.Norm();  // on the average surface
+    EXPECT_NEAR(norm.Value(direction * double(n)), T_sum, 1e-9);
+
+    Vector probe(3);
+    for (int j = 0; j < 3; ++j) probe[j] = rng.NextDouble(-5.0, 5.0);
+    EXPECT_NEAR(norm.DistanceToSurface(probe * double(n), T_sum),
+                n * norm.DistanceToSurface(probe, T_avg), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Lemma7Test, ::testing::Values(2, 10, 100));
+
+}  // namespace
+}  // namespace sgm

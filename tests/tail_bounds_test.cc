@@ -1,0 +1,91 @@
+#include "estimators/tail_bounds.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sgm {
+namespace {
+
+TEST(TailBoundsTest, SigmaFormula) {
+  // σ = U / (2 ln(1/δ)).
+  EXPECT_NEAR(BernsteinSigma(std::exp(-1.0), 10.0), 5.0, 1e-12);
+}
+
+TEST(TailBoundsTest, EpsilonMatchesExample3) {
+  // Paper Example 3: U = 17.3, δ = 0.05 → ε ≈ 7.89.
+  EXPECT_NEAR(BernsteinEpsilon(0.05, 17.3), 7.89, 0.02);
+}
+
+TEST(TailBoundsTest, EpsilonTableValues) {
+  // Example-3 table: δ = 0.1 → ε = 9.5; δ = 0.05 → ε = 7.89 (U = 17.3).
+  EXPECT_NEAR(BernsteinEpsilon(0.1, 17.3), 9.5, 0.05);
+  EXPECT_NEAR(BernsteinEpsilon(0.05, 17.3), 7.89, 0.02);
+}
+
+TEST(TailBoundsTest, EpsilonDecreasesWithSmallerDelta) {
+  // Smaller δ (stricter) → smaller ε but larger sample (paper trade-off).
+  EXPECT_LT(BernsteinEpsilon(0.05, 1.0), BernsteinEpsilon(0.1, 1.0));
+  EXPECT_LT(BernsteinEpsilon(0.1, 1.0), BernsteinEpsilon(0.3, 1.0));
+}
+
+TEST(TailBoundsTest, EpsilonIsFractionOfUBelowInvE) {
+  // (1+√ln(1/δ))/(2 ln(1/δ)) < 1 for δ < e⁻¹ (Section 3's claim).
+  for (double delta : {0.05, 0.1, 0.2, 0.3, 0.36}) {
+    EXPECT_LT(BernsteinEpsilon(delta, 1.0), 1.0) << "delta=" << delta;
+  }
+}
+
+TEST(TailBoundsTest, EpsilonScalesWithU) {
+  EXPECT_NEAR(BernsteinEpsilon(0.1, 20.0), 2.0 * BernsteinEpsilon(0.1, 10.0),
+              1e-12);
+}
+
+TEST(TailBoundsTest, McDiarmidTighterThanBernstein) {
+  // ε_C ≤ ε for the δ range the paper uses (Equation 9's key property).
+  for (double delta : {0.01, 0.05, 0.1, 0.2, 0.3}) {
+    EXPECT_LE(McDiarmidEpsilon(delta, 5.0), BernsteinEpsilon(delta, 5.0))
+        << "delta=" << delta;
+  }
+}
+
+TEST(TailBoundsTest, ErrorRatioNearTwo) {
+  // Figure 9: for practical δ the (un-simplified) ratio is roughly 2+.
+  for (double delta : {0.05, 0.1, 0.2, 0.3}) {
+    const double ratio = ErrorRatio(delta);
+    EXPECT_GT(ratio, 1.5) << "delta=" << delta;
+    EXPECT_LT(ratio, 3.5) << "delta=" << delta;
+  }
+}
+
+TEST(TailBoundsTest, FullBernsteinDominatesSimplified) {
+  for (double delta : {0.05, 0.1, 0.3}) {
+    EXPECT_GT(BernsteinEpsilonFull(delta, 1.0), BernsteinEpsilon(delta, 1.0));
+  }
+}
+
+TEST(TailBoundsTest, McDiarmidTailFormula) {
+  // exp(−2ε²/(Nβ²)).
+  EXPECT_NEAR(McDiarmidTailProbability(1.0, 1.0, 2), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(McDiarmidTailProbability(0.0, 1.0, 5), 1.0, 1e-12);
+}
+
+TEST(TailBoundsTest, McDiarmidTailMonotonicity) {
+  EXPECT_LT(McDiarmidTailProbability(2.0, 1.0, 10),
+            McDiarmidTailProbability(1.0, 1.0, 10));
+  EXPECT_LT(McDiarmidTailProbability(1.0, 1.0, 10),
+            McDiarmidTailProbability(1.0, 1.0, 20));
+}
+
+// Solving the McDiarmid tail for ε at probability δ with β = U/(ln(1/δ)√N)
+// recovers ε_C = U/√(2 ln(1/δ)) — consistency between the two modules.
+TEST(TailBoundsTest, McDiarmidEpsilonSolvesTail) {
+  const double delta = 0.1, U = 7.0;
+  const int n = 400;
+  const double beta = U / (std::log(1.0 / delta) * std::sqrt(double(n)));
+  const double eps_c = McDiarmidEpsilon(delta, U);
+  EXPECT_NEAR(McDiarmidTailProbability(eps_c, beta, n), delta, 1e-9);
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,118 @@
+#include "core/vector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sgm {
+namespace {
+
+TEST(VectorTest, DefaultIsEmpty) {
+  Vector v;
+  EXPECT_EQ(v.dim(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(VectorTest, ZeroConstruction) {
+  Vector v(4);
+  EXPECT_EQ(v.dim(), 4u);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(v[j], 0.0);
+}
+
+TEST(VectorTest, FillConstruction) {
+  Vector v(3, 2.5);
+  EXPECT_EQ(v.Sum(), 7.5);
+}
+
+TEST(VectorTest, InitializerList) {
+  Vector v{1.0, -2.0, 3.0};
+  EXPECT_EQ(v.dim(), 3u);
+  EXPECT_EQ(v[1], -2.0);
+}
+
+TEST(VectorTest, AdditionSubtraction) {
+  Vector a{1.0, 2.0};
+  Vector b{3.0, -1.0};
+  Vector sum = a + b;
+  EXPECT_EQ(sum, (Vector{4.0, 1.0}));
+  Vector diff = a - b;
+  EXPECT_EQ(diff, (Vector{-2.0, 3.0}));
+}
+
+TEST(VectorTest, ScalarOps) {
+  Vector v{2.0, -4.0};
+  EXPECT_EQ(v * 0.5, (Vector{1.0, -2.0}));
+  EXPECT_EQ(0.5 * v, (Vector{1.0, -2.0}));
+  EXPECT_EQ(v / 2.0, (Vector{1.0, -2.0}));
+}
+
+TEST(VectorTest, Axpy) {
+  Vector v{1.0, 1.0};
+  v.Axpy(2.0, Vector{1.0, -1.0});
+  EXPECT_EQ(v, (Vector{3.0, -1.0}));
+}
+
+TEST(VectorTest, Norms) {
+  Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(v.L1Norm(), 7.0);
+  EXPECT_DOUBLE_EQ(v.LInfNorm(), 4.0);
+}
+
+TEST(VectorTest, DotAndDistance) {
+  Vector a{1.0, 2.0, 3.0};
+  Vector b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 32.0);
+  EXPECT_DOUBLE_EQ(a.DistanceTo(b), std::sqrt(27.0));
+  EXPECT_DOUBLE_EQ(a.DistanceTo(a), 0.0);
+}
+
+TEST(VectorTest, SetZeroKeepsDimension) {
+  Vector v{1.0, 2.0};
+  v.SetZero();
+  EXPECT_EQ(v.dim(), 2u);
+  EXPECT_EQ(v.Norm(), 0.0);
+}
+
+TEST(VectorTest, MeanAndSumOfVectors) {
+  std::vector<Vector> vs = {Vector{1.0, 0.0}, Vector{3.0, 2.0},
+                            Vector{2.0, 4.0}};
+  EXPECT_EQ(Sum(vs), (Vector{6.0, 6.0}));
+  EXPECT_EQ(Mean(vs), (Vector{2.0, 2.0}));
+}
+
+TEST(VectorTest, ToStringRendersCoordinates) {
+  Vector v{1.5, -2.0};
+  EXPECT_EQ(v.ToString(), "[1.5, -2]");
+}
+
+TEST(VectorTest, CauchySchwarzHolds) {
+  Vector a{1.0, -2.0, 0.5, 4.0};
+  Vector b{-3.0, 1.0, 2.0, 0.25};
+  EXPECT_LE(std::abs(a.Dot(b)), a.Norm() * b.Norm() + 1e-12);
+}
+
+TEST(VectorTest, TriangleInequalityHolds) {
+  Vector a{1.0, -2.0, 3.0};
+  Vector b{0.5, 5.0, -1.0};
+  EXPECT_LE((a + b).Norm(), a.Norm() + b.Norm() + 1e-12);
+}
+
+class NormOrderingTest : public ::testing::TestWithParam<int> {};
+
+// ‖v‖_∞ ≤ ‖v‖₂ ≤ ‖v‖₁ ≤ √d‖v‖₂ for every dimension swept.
+TEST_P(NormOrderingTest, StandardNormInequalities) {
+  const int d = GetParam();
+  Vector v(d);
+  for (int j = 0; j < d; ++j) v[j] = (j % 2 == 0 ? 1.0 : -1.0) * (j + 0.5);
+  EXPECT_LE(v.LInfNorm(), v.Norm() + 1e-12);
+  EXPECT_LE(v.Norm(), v.L1Norm() + 1e-12);
+  EXPECT_LE(v.L1Norm(), std::sqrt(static_cast<double>(d)) * v.Norm() + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, NormOrderingTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 64));
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,69 @@
+#include "geometry/volume.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sgm {
+namespace {
+
+TEST(VolumeTest, SampleBoxStaysInside) {
+  Rng rng(1);
+  BoxDomain box{3, -2.0, 4.0};
+  for (int i = 0; i < 1000; ++i) {
+    const Vector p = SampleBox(box, &rng);
+    ASSERT_EQ(p.dim(), 3u);
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_GE(p[j], -2.0);
+      EXPECT_LT(p[j], 4.0);
+    }
+  }
+}
+
+TEST(VolumeTest, FullCoverage) {
+  Rng rng(2);
+  BoxDomain box{2, 0.0, 1.0};
+  // Ball of radius 2 centered mid-box covers the whole unit square.
+  std::vector<Ball> balls = {Ball(Vector{0.5, 0.5}, 2.0)};
+  EXPECT_DOUBLE_EQ(UnionOfBallsCoverage(balls, box, 2000, &rng), 1.0);
+}
+
+TEST(VolumeTest, EmptyishCoverage) {
+  Rng rng(3);
+  BoxDomain box{2, 0.0, 1.0};
+  std::vector<Ball> balls = {Ball(Vector{10.0, 10.0}, 0.5)};
+  EXPECT_DOUBLE_EQ(UnionOfBallsCoverage(balls, box, 2000, &rng), 0.0);
+}
+
+TEST(VolumeTest, DiskAreaEstimate) {
+  Rng rng(4);
+  BoxDomain box{2, 0.0, 1.0};
+  // Disk radius 0.5 centered mid-box: area π/4 ≈ 0.785.
+  std::vector<Ball> balls = {Ball(Vector{0.5, 0.5}, 0.5)};
+  const double coverage = UnionOfBallsCoverage(balls, box, 40000, &rng);
+  EXPECT_NEAR(coverage, M_PI / 4.0, 0.02);
+}
+
+TEST(VolumeTest, HullCoverageOfSquare) {
+  Rng rng(5);
+  BoxDomain box{2, 0.0, 1.0};
+  // Hull = lower-left triangle of the unit square: area 1/2.
+  std::vector<Vector> pts = {Vector{0.0, 0.0}, Vector{1.0, 0.0},
+                             Vector{0.0, 1.0}};
+  const double coverage = ConvexHullCoverage(pts, box, 4000, &rng);
+  EXPECT_NEAR(coverage, 0.5, 0.05);
+}
+
+TEST(VolumeTest, MoreBallsNeverLessCoverage) {
+  Rng rng1(6), rng2(6);  // identical sample streams
+  BoxDomain box{3, 0.0, 1.0};
+  std::vector<Ball> few = {Ball(Vector{0.2, 0.2, 0.2}, 0.2)};
+  std::vector<Ball> more = few;
+  more.push_back(Ball(Vector{0.7, 0.7, 0.7}, 0.25));
+  const double c_few = UnionOfBallsCoverage(few, box, 5000, &rng1);
+  const double c_more = UnionOfBallsCoverage(more, box, 5000, &rng2);
+  EXPECT_GE(c_more, c_few);
+}
+
+}  // namespace
+}  // namespace sgm

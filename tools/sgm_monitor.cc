@@ -1,0 +1,246 @@
+// sgm_monitor — command-line experiment runner.
+//
+// Runs any protocol/function/workload combination of the library and prints
+// the full metrics block, so ad-hoc comparisons don't require writing code:
+//
+//   sgm_monitor --workload=jester --function=linf --protocol=sgm \
+//               --sites=500 --threshold=10 --cycles=2000 --delta=0.1
+//   sgm_monitor --workload=csv --csv=trace.csv --function=l2 \
+//               --protocol=gm --threshold=4
+//
+// Flags (all optional unless noted):
+//   --workload   jester | reuters | synthetic | csv      [jester]
+//   --csv        path for --workload=csv (cycle,site,x... rows)
+//   --function   linf | jd | sj | l2 | chi2 | stdev | entropy  [linf]
+//   --protocol   gm | bgm | pgm | sgm | msgm | bernoulli | cvgm | cvsgm [sgm]
+//   --sites      number of sites N                        [500]
+//   --threshold  T (required)
+//   --delta      FN tolerance δ                           [0.1]
+//   --cycles     update cycles                            [2000]
+//   --seed       workload seed                            [11]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "data/csv_stream.h"
+#include "data/jester_like.h"
+#include "data/reuters_like.h"
+#include "data/synthetic.h"
+#include "functions/chi_square.h"
+#include "functions/entropy.h"
+#include "functions/jeffrey_divergence.h"
+#include "functions/l2_norm.h"
+#include "functions/linf_distance.h"
+#include "functions/variance.h"
+#include "gm/bernoulli_gm.h"
+#include "gm/bgm.h"
+#include "gm/cvgm.h"
+#include "gm/cvsgm.h"
+#include "gm/gm.h"
+#include "gm/pgm.h"
+#include "gm/sgm.h"
+#include "sim/network.h"
+
+namespace sgm {
+namespace {
+
+struct Flags {
+  std::string workload = "jester";
+  std::string csv;
+  std::string function = "linf";
+  std::string protocol = "sgm";
+  int sites = 500;
+  double threshold = 0.0;
+  bool threshold_set = false;
+  double delta = 0.1;
+  long cycles = 2000;
+  std::uint64_t seed = 11;
+};
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      std::fprintf(stderr, "unrecognized argument: %s\n", arg.c_str());
+      return false;
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "workload") {
+      flags->workload = value;
+    } else if (key == "csv") {
+      flags->csv = value;
+    } else if (key == "function") {
+      flags->function = value;
+    } else if (key == "protocol") {
+      flags->protocol = value;
+    } else if (key == "sites") {
+      flags->sites = std::atoi(value.c_str());
+    } else if (key == "threshold") {
+      flags->threshold = std::atof(value.c_str());
+      flags->threshold_set = true;
+    } else if (key == "delta") {
+      flags->delta = std::atof(value.c_str());
+    } else if (key == "cycles") {
+      flags->cycles = std::atol(value.c_str());
+    } else if (key == "seed") {
+      flags->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+      return false;
+    }
+  }
+  if (!flags->threshold_set) {
+    std::fprintf(stderr, "--threshold is required\n");
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<StreamSource> MakeWorkload(const Flags& flags) {
+  if (flags.workload == "jester") {
+    JesterLikeConfig config;
+    config.num_sites = flags.sites;
+    config.seed = flags.seed;
+    return std::make_unique<JesterLikeGenerator>(config);
+  }
+  if (flags.workload == "reuters") {
+    ReutersLikeConfig config;
+    config.num_sites = flags.sites;
+    config.seed = flags.seed;
+    return std::make_unique<ReutersLikeGenerator>(config);
+  }
+  if (flags.workload == "synthetic") {
+    SyntheticDriftConfig config;
+    config.num_sites = flags.sites;
+    config.seed = flags.seed;
+    return std::make_unique<SyntheticDriftGenerator>(config);
+  }
+  if (flags.workload == "csv") {
+    auto result = CsvVectorStream::Load(flags.csv);
+    if (!result.ok()) {
+      std::fprintf(stderr, "CSV load failed: %s\n",
+                   result.status().ToString().c_str());
+      return nullptr;
+    }
+    return std::make_unique<CsvVectorStream>(std::move(result).ValueOrDie());
+  }
+  std::fprintf(stderr, "unknown workload: %s\n", flags.workload.c_str());
+  return nullptr;
+}
+
+std::unique_ptr<MonitoredFunction> MakeFunction(const Flags& flags,
+                                                const StreamSource& source) {
+  const std::size_t dim = source.dim();
+  if (flags.function == "linf") {
+    return std::make_unique<LInfDistance>(Vector(dim));
+  }
+  if (flags.function == "jd") {
+    return std::make_unique<JeffreyDivergence>(Vector(dim));
+  }
+  if (flags.function == "sj") return L2Norm::SelfJoinSize();
+  if (flags.function == "l2") return std::make_unique<L2Norm>();
+  if (flags.function == "chi2") {
+    if (dim != 3) {
+      std::fprintf(stderr, "chi2 needs 3-dimensional vectors (got %zu)\n",
+                   dim);
+      return nullptr;
+    }
+    return std::make_unique<ChiSquare>(200.0);
+  }
+  if (flags.function == "stdev") return CoordinateDispersion::StdDev();
+  if (flags.function == "entropy") return std::make_unique<Entropy>();
+  std::fprintf(stderr, "unknown function: %s\n", flags.function.c_str());
+  return nullptr;
+}
+
+std::unique_ptr<ProtocolBase> MakeProtocol(const Flags& flags,
+                                           const MonitoredFunction& f,
+                                           const StreamSource& source) {
+  const double step = source.max_step_norm();
+  std::unique_ptr<ProtocolBase> protocol;
+  if (flags.protocol == "gm") {
+    protocol = std::make_unique<GeometricMonitor>(f, flags.threshold, step);
+  } else if (flags.protocol == "bgm") {
+    protocol =
+        std::make_unique<BalancedGeometricMonitor>(f, flags.threshold, step);
+  } else if (flags.protocol == "pgm") {
+    protocol =
+        std::make_unique<PredictionGeometricMonitor>(f, flags.threshold, step);
+  } else if (flags.protocol == "sgm" || flags.protocol == "msgm") {
+    SgmOptions options;
+    options.delta = flags.delta;
+    options.num_trials = flags.protocol == "msgm" ? 0 : 1;
+    protocol = std::make_unique<SamplingGeometricMonitor>(f, flags.threshold,
+                                                          step, options);
+  } else if (flags.protocol == "bernoulli") {
+    protocol = MakeBernoulliMonitor(f, flags.threshold, step, flags.delta);
+  } else if (flags.protocol == "cvgm") {
+    protocol =
+        std::make_unique<ConvexSafeZoneMonitor>(f, flags.threshold, step);
+  } else if (flags.protocol == "cvsgm") {
+    CvsgmOptions options;
+    options.delta = flags.delta;
+    protocol = std::make_unique<CvSamplingMonitor>(f, flags.threshold, step,
+                                                   options);
+  } else {
+    std::fprintf(stderr, "unknown protocol: %s\n", flags.protocol.c_str());
+    return nullptr;
+  }
+  protocol->set_drift_norm_cap(source.max_drift_norm());
+  return protocol;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 2;
+
+  auto source = MakeWorkload(flags);
+  if (source == nullptr) return 2;
+  auto function = MakeFunction(flags, *source);
+  if (function == nullptr) return 2;
+  auto protocol = MakeProtocol(flags, *function, *source);
+  if (protocol == nullptr) return 2;
+
+  const RunResult r = Simulate(source.get(), protocol.get(), flags.cycles);
+  const int n = source->num_sites();
+
+  std::printf("workload=%s function=%s protocol=%s N=%d T=%g delta=%g "
+              "cycles=%ld\n\n",
+              source->name().c_str(), function->name().c_str(),
+              protocol->name().c_str(), n, flags.threshold, flags.delta,
+              r.cycles);
+  std::printf("total messages        %12ld\n", r.metrics.total_messages());
+  std::printf("  from sites          %12ld\n", r.metrics.site_messages());
+  std::printf("  from coordinator    %12ld\n",
+              r.metrics.coordinator_messages());
+  std::printf("total bytes           %12.0f\n", r.metrics.total_bytes());
+  std::printf("per-site msgs/update  %12.5f\n",
+              r.metrics.SiteMessagesPerUpdate(n));
+  std::printf("full syncs            %12ld\n", r.metrics.full_syncs());
+  std::printf("partial resolutions   %12ld\n",
+              r.metrics.partial_resolutions());
+  std::printf("1-d resolutions       %12ld\n",
+              r.metrics.one_d_resolutions());
+  std::printf("false positives       %12ld\n", r.metrics.false_positives());
+  std::printf("false-negative cycles %12ld (rate %.5f)\n",
+              r.metrics.false_negative_cycles(),
+              static_cast<double>(r.metrics.false_negative_cycles()) /
+                  static_cast<double>(r.cycles));
+  std::printf("FN duration mode/mdn  %10ld / %.1f\n",
+              r.metrics.FnDurationMode(), r.metrics.FnDurationMedian());
+  std::printf("cycles above T (true) %12ld\n", r.true_crossing_cycles);
+  std::printf("final belief          %12s\n",
+              protocol->BelievesAbove() ? "above" : "below");
+  return 0;
+}
+
+}  // namespace
+}  // namespace sgm
+
+int main(int argc, char** argv) { return sgm::Run(argc, argv); }
