@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shape_sketch.dir/ablation_shape_sketch.cc.o"
+  "CMakeFiles/ablation_shape_sketch.dir/ablation_shape_sketch.cc.o.d"
+  "ablation_shape_sketch"
+  "ablation_shape_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shape_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

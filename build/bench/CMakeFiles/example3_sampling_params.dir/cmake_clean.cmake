@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example3_sampling_params.dir/example3_sampling_params.cc.o"
+  "CMakeFiles/example3_sampling_params.dir/example3_sampling_params.cc.o.d"
+  "example3_sampling_params"
+  "example3_sampling_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example3_sampling_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

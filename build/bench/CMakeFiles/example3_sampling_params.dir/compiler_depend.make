@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example3_sampling_params.
+# This may be replaced when dependencies are built.

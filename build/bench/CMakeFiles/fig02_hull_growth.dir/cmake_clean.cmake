@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_hull_growth.dir/fig02_hull_growth.cc.o"
+  "CMakeFiles/fig02_hull_growth.dir/fig02_hull_growth.cc.o.d"
+  "fig02_hull_growth"
+  "fig02_hull_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_hull_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

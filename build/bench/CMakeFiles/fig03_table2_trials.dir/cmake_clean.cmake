@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_table2_trials.dir/fig03_table2_trials.cc.o"
+  "CMakeFiles/fig03_table2_trials.dir/fig03_table2_trials.cc.o.d"
+  "fig03_table2_trials"
+  "fig03_table2_trials.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_table2_trials.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

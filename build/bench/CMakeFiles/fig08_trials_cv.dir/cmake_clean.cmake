@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_trials_cv.dir/fig08_trials_cv.cc.o"
+  "CMakeFiles/fig08_trials_cv.dir/fig08_trials_cv.cc.o.d"
+  "fig08_trials_cv"
+  "fig08_trials_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_trials_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_jester_linf.cc" "bench/CMakeFiles/fig11_jester_linf.dir/fig11_jester_linf.cc.o" "gcc" "bench/CMakeFiles/fig11_jester_linf.dir/fig11_jester_linf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sgm_gm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sgm_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sgm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sgm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sgm_estimators.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sgm_functions.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sgm_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sgm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sgm_predict.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

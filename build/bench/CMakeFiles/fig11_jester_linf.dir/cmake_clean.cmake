@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_jester_linf.dir/fig11_jester_linf.cc.o"
+  "CMakeFiles/fig11_jester_linf.dir/fig11_jester_linf.cc.o.d"
+  "fig11_jester_linf"
+  "fig11_jester_linf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_jester_linf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

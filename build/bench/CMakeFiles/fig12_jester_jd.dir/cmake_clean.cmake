@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_jester_jd.dir/fig12_jester_jd.cc.o"
+  "CMakeFiles/fig12_jester_jd.dir/fig12_jester_jd.cc.o.d"
+  "fig12_jester_jd"
+  "fig12_jester_jd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_jester_jd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_per_site.dir/fig13_per_site.cc.o"
+  "CMakeFiles/fig13_per_site.dir/fig13_per_site.cc.o.d"
+  "fig13_per_site"
+  "fig13_per_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_per_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

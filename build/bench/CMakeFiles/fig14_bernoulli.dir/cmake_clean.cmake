@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_bernoulli.dir/fig14_bernoulli.cc.o"
+  "CMakeFiles/fig14_bernoulli.dir/fig14_bernoulli.cc.o.d"
+  "fig14_bernoulli"
+  "fig14_bernoulli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_bernoulli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_cv_chi2.dir/fig15_cv_chi2.cc.o"
+  "CMakeFiles/fig15_cv_chi2.dir/fig15_cv_chi2.cc.o.d"
+  "fig15_cv_chi2"
+  "fig15_cv_chi2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_cv_chi2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

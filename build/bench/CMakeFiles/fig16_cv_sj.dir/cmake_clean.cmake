@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_cv_sj.dir/fig16_cv_sj.cc.o"
+  "CMakeFiles/fig16_cv_sj.dir/fig16_cv_sj.cc.o.d"
+  "fig16_cv_sj"
+  "fig16_cv_sj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_cv_sj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

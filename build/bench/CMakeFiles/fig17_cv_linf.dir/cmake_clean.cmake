@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_cv_linf.dir/fig17_cv_linf.cc.o"
+  "CMakeFiles/fig17_cv_linf.dir/fig17_cv_linf.cc.o.d"
+  "fig17_cv_linf"
+  "fig17_cv_linf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_cv_linf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_sum_vs_avg.dir/fig18_sum_vs_avg.cc.o"
+  "CMakeFiles/fig18_sum_vs_avg.dir/fig18_sum_vs_avg.cc.o.d"
+  "fig18_sum_vs_avg"
+  "fig18_sum_vs_avg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_sum_vs_avg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_fn_duration_sj.dir/table4_fn_duration_sj.cc.o"
+  "CMakeFiles/table4_fn_duration_sj.dir/table4_fn_duration_sj.cc.o.d"
+  "table4_fn_duration_sj"
+  "table4_fn_duration_sj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_fn_duration_sj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_fn_duration_sj.
+# This may be replaced when dependencies are built.

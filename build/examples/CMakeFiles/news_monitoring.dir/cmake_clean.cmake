@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_monitoring.dir/news_monitoring.cpp.o"
+  "CMakeFiles/news_monitoring.dir/news_monitoring.cpp.o.d"
+  "news_monitoring"
+  "news_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ratings_histogram.dir/ratings_histogram.cpp.o"
+  "CMakeFiles/ratings_histogram.dir/ratings_histogram.cpp.o.d"
+  "ratings_histogram"
+  "ratings_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ratings_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

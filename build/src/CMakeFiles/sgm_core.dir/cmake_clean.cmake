@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgm_core.dir/core/rng.cc.o"
+  "CMakeFiles/sgm_core.dir/core/rng.cc.o.d"
+  "CMakeFiles/sgm_core.dir/core/status.cc.o"
+  "CMakeFiles/sgm_core.dir/core/status.cc.o.d"
+  "CMakeFiles/sgm_core.dir/core/vector.cc.o"
+  "CMakeFiles/sgm_core.dir/core/vector.cc.o.d"
+  "libsgm_core.a"
+  "libsgm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv_stream.cc" "src/CMakeFiles/sgm_data.dir/data/csv_stream.cc.o" "gcc" "src/CMakeFiles/sgm_data.dir/data/csv_stream.cc.o.d"
+  "/root/repo/src/data/jester_like.cc" "src/CMakeFiles/sgm_data.dir/data/jester_like.cc.o" "gcc" "src/CMakeFiles/sgm_data.dir/data/jester_like.cc.o.d"
+  "/root/repo/src/data/reuters_like.cc" "src/CMakeFiles/sgm_data.dir/data/reuters_like.cc.o" "gcc" "src/CMakeFiles/sgm_data.dir/data/reuters_like.cc.o.d"
+  "/root/repo/src/data/sliding_window.cc" "src/CMakeFiles/sgm_data.dir/data/sliding_window.cc.o" "gcc" "src/CMakeFiles/sgm_data.dir/data/sliding_window.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/sgm_data.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/sgm_data.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/data/whitened_stream.cc" "src/CMakeFiles/sgm_data.dir/data/whitened_stream.cc.o" "gcc" "src/CMakeFiles/sgm_data.dir/data/whitened_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sgm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgm_data.dir/data/csv_stream.cc.o"
+  "CMakeFiles/sgm_data.dir/data/csv_stream.cc.o.d"
+  "CMakeFiles/sgm_data.dir/data/jester_like.cc.o"
+  "CMakeFiles/sgm_data.dir/data/jester_like.cc.o.d"
+  "CMakeFiles/sgm_data.dir/data/reuters_like.cc.o"
+  "CMakeFiles/sgm_data.dir/data/reuters_like.cc.o.d"
+  "CMakeFiles/sgm_data.dir/data/sliding_window.cc.o"
+  "CMakeFiles/sgm_data.dir/data/sliding_window.cc.o.d"
+  "CMakeFiles/sgm_data.dir/data/synthetic.cc.o"
+  "CMakeFiles/sgm_data.dir/data/synthetic.cc.o.d"
+  "CMakeFiles/sgm_data.dir/data/whitened_stream.cc.o"
+  "CMakeFiles/sgm_data.dir/data/whitened_stream.cc.o.d"
+  "libsgm_data.a"
+  "libsgm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

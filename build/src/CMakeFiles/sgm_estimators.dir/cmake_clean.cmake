@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgm_estimators.dir/estimators/horvitz_thompson.cc.o"
+  "CMakeFiles/sgm_estimators.dir/estimators/horvitz_thompson.cc.o.d"
+  "CMakeFiles/sgm_estimators.dir/estimators/sampling.cc.o"
+  "CMakeFiles/sgm_estimators.dir/estimators/sampling.cc.o.d"
+  "CMakeFiles/sgm_estimators.dir/estimators/tail_bounds.cc.o"
+  "CMakeFiles/sgm_estimators.dir/estimators/tail_bounds.cc.o.d"
+  "libsgm_estimators.a"
+  "libsgm_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgm_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/functions/chi_square.cc" "src/CMakeFiles/sgm_functions.dir/functions/chi_square.cc.o" "gcc" "src/CMakeFiles/sgm_functions.dir/functions/chi_square.cc.o.d"
+  "/root/repo/src/functions/cosine_similarity.cc" "src/CMakeFiles/sgm_functions.dir/functions/cosine_similarity.cc.o" "gcc" "src/CMakeFiles/sgm_functions.dir/functions/cosine_similarity.cc.o.d"
+  "/root/repo/src/functions/entropy.cc" "src/CMakeFiles/sgm_functions.dir/functions/entropy.cc.o" "gcc" "src/CMakeFiles/sgm_functions.dir/functions/entropy.cc.o.d"
+  "/root/repo/src/functions/inner_product.cc" "src/CMakeFiles/sgm_functions.dir/functions/inner_product.cc.o" "gcc" "src/CMakeFiles/sgm_functions.dir/functions/inner_product.cc.o.d"
+  "/root/repo/src/functions/jeffrey_divergence.cc" "src/CMakeFiles/sgm_functions.dir/functions/jeffrey_divergence.cc.o" "gcc" "src/CMakeFiles/sgm_functions.dir/functions/jeffrey_divergence.cc.o.d"
+  "/root/repo/src/functions/l2_norm.cc" "src/CMakeFiles/sgm_functions.dir/functions/l2_norm.cc.o" "gcc" "src/CMakeFiles/sgm_functions.dir/functions/l2_norm.cc.o.d"
+  "/root/repo/src/functions/linear.cc" "src/CMakeFiles/sgm_functions.dir/functions/linear.cc.o" "gcc" "src/CMakeFiles/sgm_functions.dir/functions/linear.cc.o.d"
+  "/root/repo/src/functions/linf_distance.cc" "src/CMakeFiles/sgm_functions.dir/functions/linf_distance.cc.o" "gcc" "src/CMakeFiles/sgm_functions.dir/functions/linf_distance.cc.o.d"
+  "/root/repo/src/functions/monitored_function.cc" "src/CMakeFiles/sgm_functions.dir/functions/monitored_function.cc.o" "gcc" "src/CMakeFiles/sgm_functions.dir/functions/monitored_function.cc.o.d"
+  "/root/repo/src/functions/mutual_information.cc" "src/CMakeFiles/sgm_functions.dir/functions/mutual_information.cc.o" "gcc" "src/CMakeFiles/sgm_functions.dir/functions/mutual_information.cc.o.d"
+  "/root/repo/src/functions/sum_parameterization.cc" "src/CMakeFiles/sgm_functions.dir/functions/sum_parameterization.cc.o" "gcc" "src/CMakeFiles/sgm_functions.dir/functions/sum_parameterization.cc.o.d"
+  "/root/repo/src/functions/variance.cc" "src/CMakeFiles/sgm_functions.dir/functions/variance.cc.o" "gcc" "src/CMakeFiles/sgm_functions.dir/functions/variance.cc.o.d"
+  "/root/repo/src/functions/whitened_function.cc" "src/CMakeFiles/sgm_functions.dir/functions/whitened_function.cc.o" "gcc" "src/CMakeFiles/sgm_functions.dir/functions/whitened_function.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sgm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sgm_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

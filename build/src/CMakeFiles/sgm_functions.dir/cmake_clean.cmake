@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgm_functions.dir/functions/chi_square.cc.o"
+  "CMakeFiles/sgm_functions.dir/functions/chi_square.cc.o.d"
+  "CMakeFiles/sgm_functions.dir/functions/cosine_similarity.cc.o"
+  "CMakeFiles/sgm_functions.dir/functions/cosine_similarity.cc.o.d"
+  "CMakeFiles/sgm_functions.dir/functions/entropy.cc.o"
+  "CMakeFiles/sgm_functions.dir/functions/entropy.cc.o.d"
+  "CMakeFiles/sgm_functions.dir/functions/inner_product.cc.o"
+  "CMakeFiles/sgm_functions.dir/functions/inner_product.cc.o.d"
+  "CMakeFiles/sgm_functions.dir/functions/jeffrey_divergence.cc.o"
+  "CMakeFiles/sgm_functions.dir/functions/jeffrey_divergence.cc.o.d"
+  "CMakeFiles/sgm_functions.dir/functions/l2_norm.cc.o"
+  "CMakeFiles/sgm_functions.dir/functions/l2_norm.cc.o.d"
+  "CMakeFiles/sgm_functions.dir/functions/linear.cc.o"
+  "CMakeFiles/sgm_functions.dir/functions/linear.cc.o.d"
+  "CMakeFiles/sgm_functions.dir/functions/linf_distance.cc.o"
+  "CMakeFiles/sgm_functions.dir/functions/linf_distance.cc.o.d"
+  "CMakeFiles/sgm_functions.dir/functions/monitored_function.cc.o"
+  "CMakeFiles/sgm_functions.dir/functions/monitored_function.cc.o.d"
+  "CMakeFiles/sgm_functions.dir/functions/mutual_information.cc.o"
+  "CMakeFiles/sgm_functions.dir/functions/mutual_information.cc.o.d"
+  "CMakeFiles/sgm_functions.dir/functions/sum_parameterization.cc.o"
+  "CMakeFiles/sgm_functions.dir/functions/sum_parameterization.cc.o.d"
+  "CMakeFiles/sgm_functions.dir/functions/variance.cc.o"
+  "CMakeFiles/sgm_functions.dir/functions/variance.cc.o.d"
+  "CMakeFiles/sgm_functions.dir/functions/whitened_function.cc.o"
+  "CMakeFiles/sgm_functions.dir/functions/whitened_function.cc.o.d"
+  "libsgm_functions.a"
+  "libsgm_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgm_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/ball.cc" "src/CMakeFiles/sgm_geometry.dir/geometry/ball.cc.o" "gcc" "src/CMakeFiles/sgm_geometry.dir/geometry/ball.cc.o.d"
+  "/root/repo/src/geometry/convex.cc" "src/CMakeFiles/sgm_geometry.dir/geometry/convex.cc.o" "gcc" "src/CMakeFiles/sgm_geometry.dir/geometry/convex.cc.o.d"
+  "/root/repo/src/geometry/ellipsoid.cc" "src/CMakeFiles/sgm_geometry.dir/geometry/ellipsoid.cc.o" "gcc" "src/CMakeFiles/sgm_geometry.dir/geometry/ellipsoid.cc.o.d"
+  "/root/repo/src/geometry/halfspace.cc" "src/CMakeFiles/sgm_geometry.dir/geometry/halfspace.cc.o" "gcc" "src/CMakeFiles/sgm_geometry.dir/geometry/halfspace.cc.o.d"
+  "/root/repo/src/geometry/safe_zone.cc" "src/CMakeFiles/sgm_geometry.dir/geometry/safe_zone.cc.o" "gcc" "src/CMakeFiles/sgm_geometry.dir/geometry/safe_zone.cc.o.d"
+  "/root/repo/src/geometry/volume.cc" "src/CMakeFiles/sgm_geometry.dir/geometry/volume.cc.o" "gcc" "src/CMakeFiles/sgm_geometry.dir/geometry/volume.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sgm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

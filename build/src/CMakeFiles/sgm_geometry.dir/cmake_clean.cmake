@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgm_geometry.dir/geometry/ball.cc.o"
+  "CMakeFiles/sgm_geometry.dir/geometry/ball.cc.o.d"
+  "CMakeFiles/sgm_geometry.dir/geometry/convex.cc.o"
+  "CMakeFiles/sgm_geometry.dir/geometry/convex.cc.o.d"
+  "CMakeFiles/sgm_geometry.dir/geometry/ellipsoid.cc.o"
+  "CMakeFiles/sgm_geometry.dir/geometry/ellipsoid.cc.o.d"
+  "CMakeFiles/sgm_geometry.dir/geometry/halfspace.cc.o"
+  "CMakeFiles/sgm_geometry.dir/geometry/halfspace.cc.o.d"
+  "CMakeFiles/sgm_geometry.dir/geometry/safe_zone.cc.o"
+  "CMakeFiles/sgm_geometry.dir/geometry/safe_zone.cc.o.d"
+  "CMakeFiles/sgm_geometry.dir/geometry/volume.cc.o"
+  "CMakeFiles/sgm_geometry.dir/geometry/volume.cc.o.d"
+  "libsgm_geometry.a"
+  "libsgm_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgm_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

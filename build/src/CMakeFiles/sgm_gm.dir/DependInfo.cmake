@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gm/bernoulli_gm.cc" "src/CMakeFiles/sgm_gm.dir/gm/bernoulli_gm.cc.o" "gcc" "src/CMakeFiles/sgm_gm.dir/gm/bernoulli_gm.cc.o.d"
+  "/root/repo/src/gm/bgm.cc" "src/CMakeFiles/sgm_gm.dir/gm/bgm.cc.o" "gcc" "src/CMakeFiles/sgm_gm.dir/gm/bgm.cc.o.d"
+  "/root/repo/src/gm/cvgm.cc" "src/CMakeFiles/sgm_gm.dir/gm/cvgm.cc.o" "gcc" "src/CMakeFiles/sgm_gm.dir/gm/cvgm.cc.o.d"
+  "/root/repo/src/gm/cvsgm.cc" "src/CMakeFiles/sgm_gm.dir/gm/cvsgm.cc.o" "gcc" "src/CMakeFiles/sgm_gm.dir/gm/cvsgm.cc.o.d"
+  "/root/repo/src/gm/gm.cc" "src/CMakeFiles/sgm_gm.dir/gm/gm.cc.o" "gcc" "src/CMakeFiles/sgm_gm.dir/gm/gm.cc.o.d"
+  "/root/repo/src/gm/pgm.cc" "src/CMakeFiles/sgm_gm.dir/gm/pgm.cc.o" "gcc" "src/CMakeFiles/sgm_gm.dir/gm/pgm.cc.o.d"
+  "/root/repo/src/gm/sgm.cc" "src/CMakeFiles/sgm_gm.dir/gm/sgm.cc.o" "gcc" "src/CMakeFiles/sgm_gm.dir/gm/sgm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sgm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sgm_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sgm_functions.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sgm_estimators.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sgm_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sgm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sgm_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgm_gm.dir/gm/bernoulli_gm.cc.o"
+  "CMakeFiles/sgm_gm.dir/gm/bernoulli_gm.cc.o.d"
+  "CMakeFiles/sgm_gm.dir/gm/bgm.cc.o"
+  "CMakeFiles/sgm_gm.dir/gm/bgm.cc.o.d"
+  "CMakeFiles/sgm_gm.dir/gm/cvgm.cc.o"
+  "CMakeFiles/sgm_gm.dir/gm/cvgm.cc.o.d"
+  "CMakeFiles/sgm_gm.dir/gm/cvsgm.cc.o"
+  "CMakeFiles/sgm_gm.dir/gm/cvsgm.cc.o.d"
+  "CMakeFiles/sgm_gm.dir/gm/gm.cc.o"
+  "CMakeFiles/sgm_gm.dir/gm/gm.cc.o.d"
+  "CMakeFiles/sgm_gm.dir/gm/pgm.cc.o"
+  "CMakeFiles/sgm_gm.dir/gm/pgm.cc.o.d"
+  "CMakeFiles/sgm_gm.dir/gm/sgm.cc.o"
+  "CMakeFiles/sgm_gm.dir/gm/sgm.cc.o.d"
+  "libsgm_gm.a"
+  "libsgm_gm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgm_gm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

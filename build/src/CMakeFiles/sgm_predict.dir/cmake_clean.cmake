@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgm_predict.dir/predict/model.cc.o"
+  "CMakeFiles/sgm_predict.dir/predict/model.cc.o.d"
+  "libsgm_predict.a"
+  "libsgm_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgm_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

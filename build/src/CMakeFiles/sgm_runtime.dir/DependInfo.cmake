@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/coordinator_node.cc" "src/CMakeFiles/sgm_runtime.dir/runtime/coordinator_node.cc.o" "gcc" "src/CMakeFiles/sgm_runtime.dir/runtime/coordinator_node.cc.o.d"
+  "/root/repo/src/runtime/driver.cc" "src/CMakeFiles/sgm_runtime.dir/runtime/driver.cc.o" "gcc" "src/CMakeFiles/sgm_runtime.dir/runtime/driver.cc.o.d"
+  "/root/repo/src/runtime/serialization.cc" "src/CMakeFiles/sgm_runtime.dir/runtime/serialization.cc.o" "gcc" "src/CMakeFiles/sgm_runtime.dir/runtime/serialization.cc.o.d"
+  "/root/repo/src/runtime/site_node.cc" "src/CMakeFiles/sgm_runtime.dir/runtime/site_node.cc.o" "gcc" "src/CMakeFiles/sgm_runtime.dir/runtime/site_node.cc.o.d"
+  "/root/repo/src/runtime/transport.cc" "src/CMakeFiles/sgm_runtime.dir/runtime/transport.cc.o" "gcc" "src/CMakeFiles/sgm_runtime.dir/runtime/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sgm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sgm_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sgm_functions.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sgm_estimators.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgm_runtime.dir/runtime/coordinator_node.cc.o"
+  "CMakeFiles/sgm_runtime.dir/runtime/coordinator_node.cc.o.d"
+  "CMakeFiles/sgm_runtime.dir/runtime/driver.cc.o"
+  "CMakeFiles/sgm_runtime.dir/runtime/driver.cc.o.d"
+  "CMakeFiles/sgm_runtime.dir/runtime/serialization.cc.o"
+  "CMakeFiles/sgm_runtime.dir/runtime/serialization.cc.o.d"
+  "CMakeFiles/sgm_runtime.dir/runtime/site_node.cc.o"
+  "CMakeFiles/sgm_runtime.dir/runtime/site_node.cc.o.d"
+  "CMakeFiles/sgm_runtime.dir/runtime/transport.cc.o"
+  "CMakeFiles/sgm_runtime.dir/runtime/transport.cc.o.d"
+  "libsgm_runtime.a"
+  "libsgm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/sgm_sim.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/sgm_sim.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/sgm_sim.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/sgm_sim.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/multi_query.cc" "src/CMakeFiles/sgm_sim.dir/sim/multi_query.cc.o" "gcc" "src/CMakeFiles/sgm_sim.dir/sim/multi_query.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/sgm_sim.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/sgm_sim.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/protocol.cc" "src/CMakeFiles/sgm_sim.dir/sim/protocol.cc.o" "gcc" "src/CMakeFiles/sgm_sim.dir/sim/protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sgm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sgm_functions.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sgm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sgm_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

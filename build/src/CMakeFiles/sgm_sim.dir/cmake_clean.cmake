@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgm_sim.dir/sim/experiment.cc.o"
+  "CMakeFiles/sgm_sim.dir/sim/experiment.cc.o.d"
+  "CMakeFiles/sgm_sim.dir/sim/metrics.cc.o"
+  "CMakeFiles/sgm_sim.dir/sim/metrics.cc.o.d"
+  "CMakeFiles/sgm_sim.dir/sim/multi_query.cc.o"
+  "CMakeFiles/sgm_sim.dir/sim/multi_query.cc.o.d"
+  "CMakeFiles/sgm_sim.dir/sim/network.cc.o"
+  "CMakeFiles/sgm_sim.dir/sim/network.cc.o.d"
+  "CMakeFiles/sgm_sim.dir/sim/protocol.cc.o"
+  "CMakeFiles/sgm_sim.dir/sim/protocol.cc.o.d"
+  "libsgm_sim.a"
+  "libsgm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/ams_sketch.cc" "src/CMakeFiles/sgm_sketch.dir/sketch/ams_sketch.cc.o" "gcc" "src/CMakeFiles/sgm_sketch.dir/sketch/ams_sketch.cc.o.d"
+  "/root/repo/src/sketch/sketch_functions.cc" "src/CMakeFiles/sgm_sketch.dir/sketch/sketch_functions.cc.o" "gcc" "src/CMakeFiles/sgm_sketch.dir/sketch/sketch_functions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sgm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sgm_functions.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sgm_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

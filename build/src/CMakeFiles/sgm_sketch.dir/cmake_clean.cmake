@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgm_sketch.dir/sketch/ams_sketch.cc.o"
+  "CMakeFiles/sgm_sketch.dir/sketch/ams_sketch.cc.o.d"
+  "CMakeFiles/sgm_sketch.dir/sketch/sketch_functions.cc.o"
+  "CMakeFiles/sgm_sketch.dir/sketch/sketch_functions.cc.o.d"
+  "libsgm_sketch.a"
+  "libsgm_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgm_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

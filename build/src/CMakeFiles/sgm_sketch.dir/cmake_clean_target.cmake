@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsgm_sketch.a"
+)

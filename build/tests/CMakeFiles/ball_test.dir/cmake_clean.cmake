@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ball_test.dir/ball_test.cc.o"
+  "CMakeFiles/ball_test.dir/ball_test.cc.o.d"
+  "ball_test"
+  "ball_test.pdb"
+  "ball_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ball_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooldown_escalation_test.dir/cooldown_escalation_test.cc.o"
+  "CMakeFiles/cooldown_escalation_test.dir/cooldown_escalation_test.cc.o.d"
+  "cooldown_escalation_test"
+  "cooldown_escalation_test.pdb"
+  "cooldown_escalation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooldown_escalation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_protocol_test.dir/cv_protocol_test.cc.o"
+  "CMakeFiles/cv_protocol_test.dir/cv_protocol_test.cc.o.d"
+  "cv_protocol_test"
+  "cv_protocol_test.pdb"
+  "cv_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ellipsoid_test.dir/ellipsoid_test.cc.o"
+  "CMakeFiles/ellipsoid_test.dir/ellipsoid_test.cc.o.d"
+  "ellipsoid_test"
+  "ellipsoid_test.pdb"
+  "ellipsoid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ellipsoid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

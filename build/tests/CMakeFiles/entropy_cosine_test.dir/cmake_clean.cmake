@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entropy_cosine_test.dir/entropy_cosine_test.cc.o"
+  "CMakeFiles/entropy_cosine_test.dir/entropy_cosine_test.cc.o.d"
+  "entropy_cosine_test"
+  "entropy_cosine_test.pdb"
+  "entropy_cosine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entropy_cosine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

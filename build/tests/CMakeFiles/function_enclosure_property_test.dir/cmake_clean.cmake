@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/function_enclosure_property_test.dir/function_enclosure_property_test.cc.o"
+  "CMakeFiles/function_enclosure_property_test.dir/function_enclosure_property_test.cc.o.d"
+  "function_enclosure_property_test"
+  "function_enclosure_property_test.pdb"
+  "function_enclosure_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/function_enclosure_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_protocol_test.dir/gm_protocol_test.cc.o"
+  "CMakeFiles/gm_protocol_test.dir/gm_protocol_test.cc.o.d"
+  "gm_protocol_test"
+  "gm_protocol_test.pdb"
+  "gm_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halfspace_test.dir/halfspace_test.cc.o"
+  "CMakeFiles/halfspace_test.dir/halfspace_test.cc.o.d"
+  "halfspace_test"
+  "halfspace_test.pdb"
+  "halfspace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halfspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

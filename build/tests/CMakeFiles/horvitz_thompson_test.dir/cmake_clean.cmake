@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horvitz_thompson_test.dir/horvitz_thompson_test.cc.o"
+  "CMakeFiles/horvitz_thompson_test.dir/horvitz_thompson_test.cc.o.d"
+  "horvitz_thompson_test"
+  "horvitz_thompson_test.pdb"
+  "horvitz_thompson_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horvitz_thompson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

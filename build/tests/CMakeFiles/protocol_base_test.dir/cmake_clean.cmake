@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_base_test.dir/protocol_base_test.cc.o"
+  "CMakeFiles/protocol_base_test.dir/protocol_base_test.cc.o.d"
+  "protocol_base_test"
+  "protocol_base_test.pdb"
+  "protocol_base_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_base_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_zone_test.dir/safe_zone_test.cc.o"
+  "CMakeFiles/safe_zone_test.dir/safe_zone_test.cc.o.d"
+  "safe_zone_test"
+  "safe_zone_test.pdb"
+  "safe_zone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_zone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgm_protocol_test.dir/sgm_protocol_test.cc.o"
+  "CMakeFiles/sgm_protocol_test.dir/sgm_protocol_test.cc.o.d"
+  "sgm_protocol_test"
+  "sgm_protocol_test.pdb"
+  "sgm_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgm_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

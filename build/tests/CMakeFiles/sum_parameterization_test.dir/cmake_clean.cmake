@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sum_parameterization_test.dir/sum_parameterization_test.cc.o"
+  "CMakeFiles/sum_parameterization_test.dir/sum_parameterization_test.cc.o.d"
+  "sum_parameterization_test"
+  "sum_parameterization_test.pdb"
+  "sum_parameterization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sum_parameterization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sum_parameterization_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tail_bounds_test.dir/tail_bounds_test.cc.o"
+  "CMakeFiles/tail_bounds_test.dir/tail_bounds_test.cc.o.d"
+  "tail_bounds_test"
+  "tail_bounds_test.pdb"
+  "tail_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tail_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whitened_test.dir/whitened_test.cc.o"
+  "CMakeFiles/whitened_test.dir/whitened_test.cc.o.d"
+  "whitened_test"
+  "whitened_test.pdb"
+  "whitened_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whitened_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

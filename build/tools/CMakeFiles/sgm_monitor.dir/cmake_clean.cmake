@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgm_monitor.dir/sgm_monitor.cc.o"
+  "CMakeFiles/sgm_monitor.dir/sgm_monitor.cc.o.d"
+  "sgm_monitor"
+  "sgm_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgm_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
