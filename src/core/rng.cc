@@ -90,4 +90,14 @@ double Rng::NextExponential(double lambda) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+std::uint64_t DeriveSeed(std::uint64_t seed, std::uint64_t stream) {
+  // Two splitmix64 steps over (seed, stream): the first whitens the master
+  // seed, the second folds in the stream id, so nearby (seed, stream) pairs
+  // land on unrelated points of the sequence.
+  std::uint64_t state = seed;
+  const std::uint64_t whitened = SplitMix64(&state);
+  state = whitened ^ (stream + 0x9e3779b97f4a7c15ULL);
+  return SplitMix64(&state);
+}
+
 }  // namespace sgm

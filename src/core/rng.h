@@ -49,6 +49,13 @@ class Rng {
   double cached_gaussian_ = 0.0;
 };
 
+/// Derives an independent sub-seed from a master seed and a stream id
+/// (splitmix64 over the pair). The deterministic-simulation components use
+/// this to fan one replayable seed out into per-link / per-site / per-config
+/// streams whose draws never interleave: consuming randomness on one stream
+/// cannot shift another stream's sequence.
+std::uint64_t DeriveSeed(std::uint64_t seed, std::uint64_t stream);
+
 }  // namespace sgm
 
 #endif  // SGM_CORE_RNG_H_

@@ -58,7 +58,19 @@ void CoordinatorNode::RequestFullState() {
 }
 
 void CoordinatorNode::FinishFullSync() {
-  e_ = Mean(collected_);
+  // A degraded sync may hold no vector at all for a site that has never
+  // managed to report; average over the sites we have state for.
+  Vector sum;
+  int have = 0;
+  for (const Vector& v : collected_) {
+    if (v.empty()) continue;
+    if (sum.empty()) sum = Vector(v.dim());
+    sum.Axpy(1.0, v);
+    ++have;
+  }
+  SGM_CHECK(have > 0);
+  sum /= static_cast<double>(have);
+  e_ = sum;
   function_->OnSync(e_);
   believes_above_ = function_->Value(e_) > config_.threshold;
   epsilon_t_ = function_->DistanceToSurface(e_, config_.threshold);
@@ -141,20 +153,24 @@ void CoordinatorNode::OnQuiescent() {
   if (phase_ == Phase::kCollecting) {
     // The transport has drained but reports are missing: lost messages or
     // dead sites. Degrade gracefully — fall back to each absent site's
-    // last-known vector rather than deadlocking the whole deployment.
-    // (Requires at least one ever-responsive site; the initializing sync
-    // over a fully-dead network is a deployment error.)
-    if (received_count_ == 0 && last_known_.empty()) return;
-    bool fell_back = false;
+    // last-known vector, or exclude a site we have never heard from, rather
+    // than deadlocking the whole deployment.
+    if (received_count_ == 0) {
+      // The entire collection round was swallowed (e.g. the very first
+      // request on a lossy network): go idle and retry next cycle.
+      phase_ = Phase::kIdle;
+      retry_full_in_ = 1;
+      return;
+    }
+    bool degraded = false;
     for (int i = 0; i < num_sites_; ++i) {
       if (received_[i]) continue;
-      if (last_known_.empty() || last_known_[i].empty()) {
-        return;  // no fallback available for this site: keep waiting
-      }
-      collected_[i] = last_known_[i];
-      fell_back = true;
+      degraded = true;
+      if (!last_known_.empty() && !last_known_[i].empty()) {
+        collected_[i] = last_known_[i];
+      }  // else: leave empty, FinishFullSync averages over the rest
     }
-    if (fell_back) {
+    if (degraded) {
       ++degraded_syncs_;
       retry_full_in_ = 5;  // re-establish a consistent anchor soon
     }

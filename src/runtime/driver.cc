@@ -6,34 +6,63 @@ namespace sgm {
 
 RuntimeDriver::RuntimeDriver(int num_sites, const MonitoredFunction& function,
                              const RuntimeConfig& config) {
+  BuildNodes(num_sites, function, config, &bus_);
+}
+
+RuntimeDriver::RuntimeDriver(int num_sites, const MonitoredFunction& function,
+                             const RuntimeConfig& config,
+                             const SimTransportConfig& sim_config) {
+  SimTransportConfig effective = sim_config;
+  effective.num_sites = num_sites;
+  sim_ = std::make_unique<SimTransport>(&bus_, effective);
+  BuildNodes(num_sites, function, config, sim_.get());
+}
+
+void RuntimeDriver::BuildNodes(int num_sites,
+                               const MonitoredFunction& function,
+                               const RuntimeConfig& config,
+                               Transport* transport) {
   SGM_CHECK(num_sites > 0);
-  coordinator_ =
-      std::make_unique<CoordinatorNode>(num_sites, function, config, &bus_);
+  coordinator_ = std::make_unique<CoordinatorNode>(num_sites, function,
+                                                   config, transport);
   sites_.reserve(num_sites);
   for (int i = 0; i < num_sites; ++i) {
     sites_.push_back(
-        std::make_unique<SiteNode>(i, num_sites, function, config, &bus_));
+        std::make_unique<SiteNode>(i, num_sites, function, config, transport));
   }
 }
 
 void RuntimeDriver::RouteToQuiescence() {
   for (;;) {
-    while (!bus_.empty()) {
-      const RuntimeMessage message = bus_.Pop();
-      if (message.to == kCoordinatorId) {
-        coordinator_->OnMessage(message);
-      } else if (message.to == kBroadcastId) {
-        for (auto& site : sites_) site->OnMessage(message);
-      } else {
-        SGM_CHECK(message.to >= 0 &&
-                  message.to < static_cast<int>(sites_.size()));
-        sites_[message.to]->OnMessage(message);
+    for (;;) {
+      while (!bus_.empty()) {
+        const RuntimeMessage message = bus_.Pop();
+        if (message.to == kCoordinatorId) {
+          coordinator_->OnMessage(message);
+        } else if (message.to == kBroadcastId) {
+          for (auto& site : sites_) {
+            if (sim_ && sim_->IsCrashed(site->id())) continue;
+            site->OnMessage(message);
+          }
+        } else {
+          SGM_CHECK(message.to >= 0 &&
+                    message.to < static_cast<int>(sites_.size()));
+          if (sim_ && sim_->IsCrashed(message.to)) continue;
+          sites_[message.to]->OnMessage(message);
+        }
       }
+      // Bus drained: release any delay-held messages before declaring the
+      // network quiescent — delays are bounded, not losses.
+      if (sim_ && sim_->HasPending()) {
+        sim_->AdvanceRound();
+        continue;
+      }
+      break;
     }
-    // Bus drained: give the coordinator its quiescence callback; if that
-    // produced new traffic, keep routing.
+    // Transport quiescent: give the coordinator its quiescence callback; if
+    // that produced new traffic, keep routing.
     coordinator_->OnQuiescent();
-    if (bus_.empty()) return;
+    if (bus_.empty() && !(sim_ && sim_->HasPending())) return;
   }
 }
 
@@ -50,6 +79,7 @@ void RuntimeDriver::Tick(const std::vector<Vector>& local_vectors) {
   SGM_CHECK(static_cast<int>(local_vectors.size()) == num_sites());
   coordinator_->BeginCycle();
   for (int i = 0; i < num_sites(); ++i) {
+    if (sim_ && sim_->IsCrashed(i)) continue;  // crashed: observes nothing
     sites_[i]->Observe(local_vectors[i]);
   }
   RouteToQuiescence();

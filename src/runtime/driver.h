@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "runtime/coordinator_node.h"
+#include "runtime/sim_transport.h"
 #include "runtime/site_node.h"
 #include "runtime/transport.h"
 
@@ -14,28 +15,52 @@ namespace sgm {
 /// CoordinatorNode over an InMemoryBus — the reference deployment and the
 /// harness the runtime tests/examples use. Real deployments replace this
 /// with their own event loop and transport; the nodes are loop-agnostic.
+///
+/// The three-argument constructor gives the faultless reference wiring. The
+/// four-argument constructor layers a seeded SimTransport between the nodes
+/// and the bus, turning the driver into the deterministic-simulation harness:
+/// drops, duplicates, bounded delays (delivered by advancing transport
+/// rounds whenever the bus drains) and site crash/recovery, all replayable
+/// from the SimTransportConfig seed.
 class RuntimeDriver {
  public:
   RuntimeDriver(int num_sites, const MonitoredFunction& function,
                 const RuntimeConfig& config);
 
+  /// Fault-injecting variant: nodes send through a SimTransport that drains
+  /// into the internal bus. `sim_config.num_sites` is overridden to
+  /// `num_sites`.
+  RuntimeDriver(int num_sites, const MonitoredFunction& function,
+                const RuntimeConfig& config,
+                const SimTransportConfig& sim_config);
+
   /// Runs the initialization synchronization from the sites' first vectors.
   void Initialize(const std::vector<Vector>& local_vectors);
 
   /// Executes one full update cycle: every site observes its new vector,
-  /// then messages are routed to quiescence.
+  /// then messages are routed to quiescence. Crashed sites neither observe
+  /// nor receive until recovered.
   void Tick(const std::vector<Vector>& local_vectors);
 
   const CoordinatorNode& coordinator() const { return *coordinator_; }
   const InMemoryBus& bus() const { return bus_; }
+  /// The fault layer, or nullptr for the faultless wiring. Crash/recovery
+  /// and fault statistics live here; with a fault layer active, sender-side
+  /// accounting should be read from it rather than from bus().
+  SimTransport* sim_transport() { return sim_.get(); }
+  const SimTransport* sim_transport() const { return sim_.get(); }
   SiteNode& site(int id) { return *sites_[id]; }
   int num_sites() const { return static_cast<int>(sites_.size()); }
 
  private:
-  /// Delivers queued messages (and quiescence callbacks) to a fixed point.
+  void BuildNodes(int num_sites, const MonitoredFunction& function,
+                  const RuntimeConfig& config, Transport* transport);
+  /// Delivers queued messages (and quiescence callbacks) to a fixed point,
+  /// advancing the fault layer's delay rounds whenever the bus drains.
   void RouteToQuiescence();
 
   InMemoryBus bus_;
+  std::unique_ptr<SimTransport> sim_;
   std::unique_ptr<CoordinatorNode> coordinator_;
   std::vector<std::unique_ptr<SiteNode>> sites_;
 };

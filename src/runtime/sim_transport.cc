@@ -1,0 +1,158 @@
+#include "runtime/sim_transport.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace sgm {
+
+namespace {
+
+bool AnyFaultConfigured(const SimTransportConfig& config) {
+  return config.drop_probability > 0.0 || config.duplicate_probability > 0.0 ||
+         config.max_delay_rounds > 0;
+}
+
+double WireBytes(const RuntimeMessage& message) {
+  return 16.0 + 8.0 * static_cast<double>(message.PayloadDoubles());
+}
+
+}  // namespace
+
+SimTransport::SimTransport(Transport* inner, const SimTransportConfig& config)
+    : inner_(inner), config_(config) {
+  SGM_CHECK(inner != nullptr);
+  SGM_CHECK(config.drop_probability >= 0.0 && config.drop_probability < 1.0);
+  SGM_CHECK(config.duplicate_probability >= 0.0 &&
+            config.duplicate_probability <= 1.0);
+  SGM_CHECK(config.max_delay_rounds >= 0);
+  if (config.fault_coordinator_links && AnyFaultConfigured(config)) {
+    SGM_CHECK_MSG(config.num_sites > 0,
+                  "broadcast faulting needs num_sites to expand per link");
+  }
+}
+
+bool SimTransport::FaultsApplyTo(const RuntimeMessage& message) const {
+  if (!AnyFaultConfigured(config_)) return false;  // pure pass-through
+  if (message.from == kCoordinatorId) return config_.fault_coordinator_links;
+  return true;
+}
+
+Rng& SimTransport::LinkRng(int site) {
+  auto it = link_rngs_.find(site);
+  if (it == link_rngs_.end()) {
+    it = link_rngs_
+             .emplace(site, Rng(DeriveSeed(config_.seed,
+                                           static_cast<std::uint64_t>(site))))
+             .first;
+  }
+  return it->second;
+}
+
+void SimTransport::CrashSite(int site) {
+  SGM_CHECK(site >= 0);
+  if (static_cast<std::size_t>(site) >= crashed_.size()) {
+    crashed_.resize(site + 1, false);
+  }
+  crashed_[site] = true;
+}
+
+void SimTransport::RecoverSite(int site) {
+  if (site >= 0 && static_cast<std::size_t>(site) < crashed_.size()) {
+    crashed_[site] = false;
+  }
+}
+
+bool SimTransport::IsCrashed(int site) const {
+  return site >= 0 && static_cast<std::size_t>(site) < crashed_.size() &&
+         crashed_[site];
+}
+
+void SimTransport::Forward(const RuntimeMessage& message, int delay_rounds) {
+  if (delay_rounds <= 0) {
+    inner_->Send(message);
+    return;
+  }
+  ++delayed_messages_;
+  pending_.push_back(Pending{round_ + delay_rounds, message});
+}
+
+void SimTransport::Admit(const RuntimeMessage& message, int link) {
+  Rng& rng = LinkRng(link);
+  // Fixed draw order (drop, delay, duplicate) keeps replays stable.
+  if (rng.NextBernoulli(config_.drop_probability)) {
+    ++dropped_messages_;
+    return;
+  }
+  const int delay =
+      config_.max_delay_rounds > 0
+          ? static_cast<int>(rng.NextBounded(
+                static_cast<std::uint64_t>(config_.max_delay_rounds) + 1))
+          : 0;
+  const bool duplicated = rng.NextBernoulli(config_.duplicate_probability);
+  Forward(message, delay);
+  if (duplicated) {
+    // A duplicate is a retransmission: the sender pays for it again.
+    ++duplicated_messages_;
+    ++messages_sent_;
+    if (message.from != kCoordinatorId) ++site_messages_sent_;
+    bytes_sent_ += WireBytes(message);
+    Forward(message, delay);
+  }
+}
+
+void SimTransport::Send(const RuntimeMessage& message) {
+  if (IsCrashed(message.from)) return;  // a crashed site never transmits
+
+  ++messages_sent_;
+  if (message.from != kCoordinatorId) ++site_messages_sent_;
+  bytes_sent_ += WireBytes(message);
+
+  if (!FaultsApplyTo(message)) {
+    // Unicasts to a crashed site still vanish; broadcasts pass through
+    // unexpanded and the driver skips crashed destinations on fan-out.
+    if (message.to >= 0 && IsCrashed(message.to)) {
+      ++dropped_messages_;
+      return;
+    }
+    inner_->Send(message);
+    return;
+  }
+
+  if (message.to == kBroadcastId) {
+    // Per-link broadcast faulting: one transmission (accounted above), but
+    // each destination link runs its own lottery over its own copy.
+    for (int site = 0; site < config_.num_sites; ++site) {
+      if (IsCrashed(site)) continue;
+      RuntimeMessage copy = message;
+      copy.to = site;
+      Admit(copy, site);
+    }
+    return;
+  }
+
+  if (message.to >= 0 && IsCrashed(message.to)) {
+    ++dropped_messages_;
+    return;
+  }
+  const int link = message.from == kCoordinatorId ? message.to : message.from;
+  SGM_CHECK(link >= 0);
+  Admit(message, link);
+}
+
+void SimTransport::AdvanceRound() {
+  ++round_;
+  // Stable partition preserves send order among messages due the same round.
+  std::vector<Pending> still_pending;
+  still_pending.reserve(pending_.size());
+  for (Pending& p : pending_) {
+    if (p.due_round <= round_) {
+      inner_->Send(p.message);
+    } else {
+      still_pending.push_back(std::move(p));
+    }
+  }
+  pending_ = std::move(still_pending);
+}
+
+}  // namespace sgm

@@ -1,0 +1,552 @@
+#include "sim/stress.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "core/check.h"
+#include "core/rng.h"
+#include "data/jester_like.h"
+#include "functions/l2_norm.h"
+#include "functions/linf_distance.h"
+#include "gm/bgm.h"
+#include "gm/cvsgm.h"
+#include "gm/gm.h"
+#include "gm/sgm.h"
+#include "runtime/driver.h"
+#include "sim/metrics.h"
+
+namespace sgm {
+
+namespace {
+
+constexpr std::size_t kNumBuckets = 8;
+constexpr std::size_t kWindow = 50;
+
+// Sub-seed streams of one StressConfig seed (see DeriveSeed): the workload,
+// the protocol's coins, the transport's fault lottery and the crash
+// schedule never share a stream.
+constexpr std::uint64_t kWorkloadStream = 101;
+constexpr std::uint64_t kProtocolStream = 202;
+constexpr std::uint64_t kTransportStream = 303;
+constexpr std::uint64_t kCrashStream = 404;
+
+JesterLikeConfig WorkloadConfig(const StressConfig& config) {
+  JesterLikeConfig workload;
+  workload.num_sites = config.num_sites;
+  workload.window = kWindow;
+  workload.num_buckets = kNumBuckets;
+  workload.seed = DeriveSeed(config.seed, kWorkloadStream);
+  return workload;
+}
+
+std::unique_ptr<MonitoredFunction> MakeFunction(StressFunction function) {
+  switch (function) {
+    case StressFunction::kL2Norm:
+      return std::make_unique<L2Norm>(false);
+    case StressFunction::kLinfDistance:
+      return std::make_unique<LInfDistance>(Vector(kNumBuckets));
+  }
+  return nullptr;
+}
+
+/// The monitored threshold. The L∞ query re-anchors its reference at every
+/// sync, so its natural scale is inter-sync histogram migration — the
+/// proven value of the protocol-matrix tests. The plain L2 query is
+/// absolute, so the threshold is placed at the median oracle value of a
+/// deterministic pre-pass over the same workload seed: both sides of the
+/// surface are then guaranteed to be visited.
+double PickThreshold(const StressConfig& config) {
+  if (config.function == StressFunction::kLinfDistance) return 5.0;
+  JesterLikeGenerator source(WorkloadConfig(config));
+  const auto function = MakeFunction(config.function);
+  std::vector<Vector> locals;
+  std::vector<double> values;
+  values.reserve(config.cycles + 1);
+  for (long t = 0; t <= config.cycles; ++t) {
+    source.Advance(&locals);
+    values.push_back(function->Value(Mean(locals)));
+  }
+  std::nth_element(values.begin(), values.begin() + values.size() / 2,
+                   values.end());
+  return values[values.size() / 2];
+}
+
+bool IsExact(StressProtocol protocol) {
+  return protocol == StressProtocol::kGm || protocol == StressProtocol::kBgm;
+}
+
+/// Resolves the invariant tolerances: explicit values win; otherwise exact
+/// protocols tolerate nothing, approximate ones get their guarantee-class
+/// zone (a few drift steps around the surface — the scale of the Bernstein
+/// / McDiarmid ε at the operating point) and a self-correction horizon that
+/// widens with message-loss severity (detection is retried every cycle, so
+/// loss stretches it geometrically, not unboundedly).
+InvariantOptions ResolveTolerances(const StressConfig& config,
+                                   double max_step_norm) {
+  InvariantOptions options;
+  if (config.sabotage_tolerance) return options;  // zero/zero: trip on FN
+  if (IsExact(config.protocol) && config.drop_probability == 0.0 &&
+      config.crash_probability == 0.0) {
+    return options;
+  }
+  options.zone_epsilon = config.zone_epsilon >= 0.0
+                             ? config.zone_epsilon
+                             : 3.0 * max_step_norm;
+  if (config.max_out_of_zone_run >= 0) {
+    options.max_out_of_zone_run = config.max_out_of_zone_run;
+  } else {
+    long run = 50;
+    if (config.drop_probability > 0.0 || config.crash_probability > 0.0 ||
+        config.max_delay_rounds > 0) {
+      run = 150;  // faults delay detection but never disable it
+    }
+    options.max_out_of_zone_run = run;
+  }
+  return options;
+}
+
+std::unique_ptr<ProtocolBase> MakeProtocol(const StressConfig& config,
+                                           const MonitoredFunction& function,
+                                           double threshold,
+                                           double max_step_norm) {
+  switch (config.protocol) {
+    case StressProtocol::kGm:
+      return std::make_unique<GeometricMonitor>(function, threshold,
+                                                max_step_norm);
+    case StressProtocol::kBgm:
+      return std::make_unique<BalancedGeometricMonitor>(function, threshold,
+                                                        max_step_norm);
+    case StressProtocol::kSgm: {
+      SgmOptions options;
+      options.seed = DeriveSeed(config.seed, kProtocolStream);
+      return std::make_unique<SamplingGeometricMonitor>(function, threshold,
+                                                        max_step_norm,
+                                                        options);
+    }
+    case StressProtocol::kCvsgm: {
+      CvsgmOptions options;
+      options.seed = DeriveSeed(config.seed, kProtocolStream);
+      return std::make_unique<CvSamplingMonitor>(function, threshold,
+                                                 max_step_norm, options);
+    }
+  }
+  return nullptr;
+}
+
+void FillReport(const InvariantChecker& checker, const StressConfig& config,
+                const std::string& leg, StressReport* report) {
+  report->config = config;
+  report->leg = leg;
+  report->violations = checker.violations();
+  report->max_observed_run = checker.max_observed_run();
+  if (!report->ok()) {
+    report->replay_command = FormatReplayCommand(config, leg);
+  }
+}
+
+}  // namespace
+
+const char* ToString(StressProtocol protocol) {
+  switch (protocol) {
+    case StressProtocol::kGm: return "GM";
+    case StressProtocol::kBgm: return "BGM";
+    case StressProtocol::kSgm: return "SGM";
+    case StressProtocol::kCvsgm: return "CVSGM";
+  }
+  return "?";
+}
+
+const char* ToString(StressFunction function) {
+  switch (function) {
+    case StressFunction::kL2Norm: return "l2";
+    case StressFunction::kLinfDistance: return "linf";
+  }
+  return "?";
+}
+
+bool ParseStressProtocol(const std::string& text, StressProtocol* out) {
+  for (StressProtocol p : {StressProtocol::kGm, StressProtocol::kBgm,
+                           StressProtocol::kSgm, StressProtocol::kCvsgm}) {
+    if (text == ToString(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseStressFunction(const std::string& text, StressFunction* out) {
+  for (StressFunction f :
+       {StressFunction::kL2Norm, StressFunction::kLinfDistance}) {
+    if (text == ToString(f)) {
+      *out = f;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FormatReplayCommand(const StressConfig& config,
+                                const std::string& leg) {
+  std::ostringstream out;
+  out << "dst_stress --leg=" << leg << " --protocol="
+      << ToString(config.protocol) << " --function="
+      << ToString(config.function) << " --seed=" << config.seed
+      << " --sites=" << config.num_sites << " --cycles=" << config.cycles;
+  if (config.drop_probability > 0.0) {
+    out << " --drop=" << config.drop_probability;
+  }
+  if (config.duplicate_probability > 0.0) {
+    out << " --dup=" << config.duplicate_probability;
+  }
+  if (config.max_delay_rounds > 0) {
+    out << " --delay=" << config.max_delay_rounds;
+  }
+  if (config.crash_probability > 0.0) {
+    out << " --crash=" << config.crash_probability;
+  }
+  if (config.sabotage_tolerance) out << " --sabotage";
+  return out.str();
+}
+
+std::string StressReport::Summary() const {
+  std::ostringstream out;
+  out << leg << " " << ToString(config.protocol) << "/"
+      << ToString(config.function) << " seed=" << config.seed << ": ";
+  if (ok()) {
+    out << "OK (" << cycles << " cycles, " << fn_cycles << " FN cycles, "
+        << full_syncs << " full syncs, " << degraded_syncs
+        << " degraded, max disagreement run " << max_observed_run << ")\n";
+    return out.str();
+  }
+  out << violations.size() << " invariant violation(s)\n";
+  for (const InvariantViolation& v : violations) {
+    out << "  [" << v.invariant << "] cycle " << v.cycle << ": " << v.details
+        << "\n";
+  }
+  out << "  replay: " << replay_command << "\n";
+  return out.str();
+}
+
+StressReport RunSimStress(const StressConfig& config) {
+  SGM_CHECK(config.cycles > 0 && config.num_sites > 0);
+  StressReport report;
+  const double threshold = PickThreshold(config);
+  JesterLikeGenerator source(WorkloadConfig(config));
+  const auto function = MakeFunction(config.function);
+  auto protocol =
+      MakeProtocol(config, *function, threshold, source.max_step_norm());
+  protocol->set_drift_norm_cap(source.max_drift_norm());
+
+  InvariantChecker checker(ResolveTolerances(config, source.max_step_norm()));
+  Metrics metrics;
+  std::vector<Vector> locals;
+  source.Advance(&locals);
+  protocol->Initialize(locals, &metrics);
+
+  Vector mean(locals.front().dim());
+  for (long t = 1; t <= config.cycles; ++t) {
+    source.Advance(&locals);
+    const CycleOutcome outcome = protocol->OnCycle(locals, &metrics);
+
+    // Lock-step oracle: the exact global average, evaluated through the
+    // protocol's own (possibly re-anchored) function instance.
+    mean.SetZero();
+    for (const Vector& v : locals) mean += v;
+    mean /= static_cast<double>(locals.size());
+    const double truth_value = protocol->function().Value(mean);
+    const bool truth_above = truth_value > protocol->threshold();
+    const double surface_distance =
+        protocol->function().DistanceToSurface(mean, protocol->threshold());
+
+    checker.CheckBelief(t, protocol->BelievesAbove(), truth_above,
+                        surface_distance);
+    if (outcome.full_sync) {
+      checker.CheckPostSyncExact(t, protocol->BelievesAbove(), truth_above);
+    }
+    checker.CheckAccounting(t, metrics.site_messages(),
+                            metrics.coordinator_messages(),
+                            metrics.total_messages(), metrics.total_bytes());
+    if (truth_above != protocol->BelievesAbove()) ++report.fn_cycles;
+  }
+
+  report.cycles = config.cycles;
+  report.full_syncs = metrics.full_syncs();
+  FillReport(checker, config, "sim", &report);
+  return report;
+}
+
+namespace {
+
+/// Shared scaffolding of the runtime legs: drives a RuntimeDriver over the
+/// seeded workload with an optional fault schedule, feeding the checker
+/// each cycle. The oracle freezes crashed sites' vectors.
+struct RuntimeLeg {
+  explicit RuntimeLeg(const StressConfig& config)
+      : config_(config),
+        threshold_(PickThreshold(config)),
+        source_(WorkloadConfig(config)),
+        function_(MakeFunction(config.function)),
+        crash_rng_(DeriveSeed(config.seed, kCrashStream)),
+        recovery_cycle_(config.num_sites, -1) {}
+
+  RuntimeConfig NodeConfig() const {
+    RuntimeConfig node;
+    node.threshold = threshold_;
+    node.max_step_norm = source_.max_step_norm();
+    node.drift_norm_cap = source_.max_drift_norm();
+    node.seed = DeriveSeed(config_.seed, kProtocolStream);
+    return node;
+  }
+
+  SimTransportConfig TransportConfig() const {
+    SimTransportConfig transport;
+    transport.seed = DeriveSeed(config_.seed, kTransportStream);
+    transport.drop_probability = config_.drop_probability;
+    transport.duplicate_probability = config_.duplicate_probability;
+    transport.max_delay_rounds = config_.max_delay_rounds;
+    return transport;
+  }
+
+  /// Crash/recovery schedule for one cycle; deterministic in the seed and
+  /// bounded: at most a quarter of the fleet down, every crash expires.
+  void StepCrashSchedule(RuntimeDriver* driver, long cycle) {
+    SimTransport* sim = driver->sim_transport();
+    if (sim == nullptr || config_.crash_probability <= 0.0) return;
+    int crashed = 0;
+    for (int i = 0; i < config_.num_sites; ++i) {
+      if (!sim->IsCrashed(i)) continue;
+      if (recovery_cycle_[i] <= cycle) {
+        sim->RecoverSite(i);
+      } else {
+        ++crashed;
+      }
+    }
+    if (crash_rng_.NextBernoulli(config_.crash_probability) &&
+        crashed < std::max(1, config_.num_sites / 4)) {
+      const int victim = static_cast<int>(
+          crash_rng_.NextBounded(static_cast<std::uint64_t>(
+              config_.num_sites)));
+      if (!sim->IsCrashed(victim)) {
+        sim->CrashSite(victim);
+        recovery_cycle_[victim] =
+            cycle + 1 +
+            static_cast<long>(crash_rng_.NextBounded(
+                static_cast<std::uint64_t>(config_.max_crash_cycles)));
+      }
+    }
+  }
+
+  /// Runs the leg, reporting each cycle through `per_cycle(cycle, driver)`
+  /// after the tick has routed to quiescence.
+  template <typename PerCycle>
+  void Drive(RuntimeDriver* driver, PerCycle&& per_cycle) {
+    std::vector<Vector> locals;
+    source_.Advance(&locals);
+    observed_ = locals;
+    driver->Initialize(locals);
+    for (long t = 1; t <= config_.cycles; ++t) {
+      StepCrashSchedule(driver, t);
+      source_.Advance(&locals);
+      SimTransport* sim = driver->sim_transport();
+      for (int i = 0; i < config_.num_sites; ++i) {
+        if (sim != nullptr && sim->IsCrashed(i)) continue;  // frozen
+        observed_[i] = locals[i];
+      }
+      driver->Tick(observed_);
+      per_cycle(t, *driver);
+    }
+  }
+
+  struct Oracle {
+    bool above = false;
+    double surface_distance = 0.0;
+  };
+
+  /// The lock-step oracle: exact mean of what the sites currently hold,
+  /// evaluated through `function_` — which RunRuntimeStress re-anchors in
+  /// step with the coordinator, mirroring every node's own clone.
+  Oracle Truth() const {
+    Vector mean(observed_.front().dim());
+    for (const Vector& v : observed_) mean += v;
+    mean /= static_cast<double>(observed_.size());
+    Oracle oracle;
+    oracle.above = function_->Value(mean) > threshold_;
+    oracle.surface_distance = function_->DistanceToSurface(mean, threshold_);
+    return oracle;
+  }
+
+  const StressConfig config_;
+  const double threshold_;
+  JesterLikeGenerator source_;
+  std::unique_ptr<MonitoredFunction> function_;
+  Rng crash_rng_;
+  std::vector<long> recovery_cycle_;
+  std::vector<Vector> observed_;
+};
+
+}  // namespace
+
+StressReport RunRuntimeStress(const StressConfig& config) {
+  SGM_CHECK(config.protocol == StressProtocol::kSgm);
+  StressReport report;
+  RuntimeLeg leg(config);
+
+  RuntimeDriver driver(config.num_sites, *leg.function_, leg.NodeConfig(),
+                       leg.TransportConfig());
+  // The runtime anchors its own clones; mirror the anchoring on the oracle's
+  // instance by re-anchoring whenever the coordinator's sync count moves.
+  long seen_full_syncs = 0;
+
+  InvariantChecker checker(
+      ResolveTolerances(config, leg.source_.max_step_norm()));
+  long prev_full = 0, prev_degraded = 0;
+
+  leg.Drive(&driver, [&](long t, RuntimeDriver& d) {
+    // Re-anchor the oracle's function to the coordinator's fresh estimate
+    // before evaluating truth, exactly as every node re-anchored.
+    if (d.coordinator().full_syncs() > seen_full_syncs) {
+      seen_full_syncs = d.coordinator().full_syncs();
+      leg.function_->OnSync(d.coordinator().estimate());
+    }
+    const RuntimeLeg::Oracle oracle = leg.Truth();
+
+    checker.CheckBelief(t, d.coordinator().BelievesAbove(), oracle.above,
+                        oracle.surface_distance);
+    const long full = d.coordinator().full_syncs();
+    const long degraded = d.coordinator().degraded_syncs();
+    if (full == prev_full + 1 && degraded == prev_degraded) {
+      checker.CheckPostSyncExact(t, d.coordinator().BelievesAbove(),
+                                 oracle.above);
+    }
+    prev_full = full;
+    prev_degraded = degraded;
+
+    const SimTransport* sim = d.sim_transport();
+    checker.CheckAccounting(
+        t, sim->site_messages_sent(),
+        sim->messages_sent() - sim->site_messages_sent(),
+        sim->messages_sent(), sim->bytes_sent());
+    if (oracle.above != d.coordinator().BelievesAbove()) ++report.fn_cycles;
+  });
+
+  report.cycles = config.cycles;
+  report.full_syncs = driver.coordinator().full_syncs();
+  report.degraded_syncs = driver.coordinator().degraded_syncs();
+  FillReport(checker, config, "runtime", &report);
+  return report;
+}
+
+StressReport RunTransportParity(const StressConfig& config) {
+  SGM_CHECK(config.protocol == StressProtocol::kSgm);
+  StressReport report;
+
+  // Two independent but identically-seeded legs: same workload, same node
+  // seeds, different transport wiring. Faults must be off — parity is the
+  // faults-off conservation law.
+  StressConfig faultless = config;
+  faultless.drop_probability = 0.0;
+  faultless.duplicate_probability = 0.0;
+  faultless.max_delay_rounds = 0;
+  faultless.crash_probability = 0.0;
+
+  RuntimeLeg leg(faultless);
+  RuntimeDriver bus_driver(faultless.num_sites, *leg.function_,
+                           leg.NodeConfig());
+  RuntimeDriver sim_driver(faultless.num_sites, *leg.function_,
+                           leg.NodeConfig(), leg.TransportConfig());
+
+  InvariantChecker checker(InvariantOptions{});
+  std::vector<Vector> locals;
+  leg.source_.Advance(&locals);
+  bus_driver.Initialize(locals);
+  sim_driver.Initialize(locals);
+
+  for (long t = 1; t <= faultless.cycles; ++t) {
+    leg.source_.Advance(&locals);
+    bus_driver.Tick(locals);
+    sim_driver.Tick(locals);
+
+    const InMemoryBus& bus = bus_driver.bus();
+    const SimTransport& sim = *sim_driver.sim_transport();
+    checker.CheckTransportParity(t, "InMemoryBus vs SimTransport",
+                                 bus.messages_sent(), sim.messages_sent(),
+                                 bus.site_messages_sent(),
+                                 sim.site_messages_sent(), bus.bytes_sent(),
+                                 sim.bytes_sent());
+    if (bus_driver.coordinator().BelievesAbove() !=
+            sim_driver.coordinator().BelievesAbove() ||
+        bus_driver.coordinator().full_syncs() !=
+            sim_driver.coordinator().full_syncs() ||
+        !(bus_driver.coordinator().estimate() ==
+          sim_driver.coordinator().estimate())) {
+      checker.CheckTransportParity(
+          t, "coordinator end-state diverged", 0, 1,
+          bus_driver.coordinator().full_syncs(),
+          sim_driver.coordinator().full_syncs(), 0.0, 0.0);
+    }
+  }
+
+  report.cycles = faultless.cycles;
+  report.full_syncs = bus_driver.coordinator().full_syncs();
+  FillReport(checker, faultless, "parity", &report);
+  return report;
+}
+
+std::vector<StressReport> RunStressSuite(std::uint64_t seed) {
+  std::vector<StressReport> reports;
+
+  // Sim legs: the full protocol × function matrix.
+  int leg_index = 0;
+  for (StressProtocol protocol :
+       {StressProtocol::kGm, StressProtocol::kBgm, StressProtocol::kSgm,
+        StressProtocol::kCvsgm}) {
+    for (StressFunction function :
+         {StressFunction::kL2Norm, StressFunction::kLinfDistance}) {
+      StressConfig config;
+      config.seed = DeriveSeed(seed, 1000 + leg_index++);
+      config.protocol = protocol;
+      config.function = function;
+      reports.push_back(RunSimStress(config));
+    }
+  }
+
+  // Runtime legs: the deployment shape under escalating fault profiles.
+  struct FaultProfile {
+    double drop, dup;
+    int delay;
+    double crash;
+  };
+  const FaultProfile profiles[] = {
+      {0.0, 0.0, 0, 0.0},       // faultless baseline
+      {0.15, 0.05, 2, 0.0},     // lossy, duplicating, reordering links
+      {0.25, 0.05, 3, 0.05},    // hostile links plus site crash/recovery
+  };
+  for (StressFunction function :
+       {StressFunction::kL2Norm, StressFunction::kLinfDistance}) {
+    for (const FaultProfile& profile : profiles) {
+      StressConfig config;
+      config.seed = DeriveSeed(seed, 2000 + leg_index++);
+      config.protocol = StressProtocol::kSgm;
+      config.function = function;
+      config.drop_probability = profile.drop;
+      config.duplicate_probability = profile.dup;
+      config.max_delay_rounds = profile.delay;
+      config.crash_probability = profile.crash;
+      reports.push_back(RunRuntimeStress(config));
+    }
+  }
+
+  // Conservation across transport layers.
+  StressConfig parity;
+  parity.seed = DeriveSeed(seed, 3000);
+  parity.protocol = StressProtocol::kSgm;
+  reports.push_back(RunTransportParity(parity));
+
+  return reports;
+}
+
+}  // namespace sgm

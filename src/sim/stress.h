@@ -1,0 +1,111 @@
+#ifndef SGM_SIM_STRESS_H_
+#define SGM_SIM_STRESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/invariants.h"
+
+namespace sgm {
+
+/// Protocols of the stress matrix. GM and BGM are exact (zero tolerated
+/// disagreement); SGM and CVSGM are the paper's approximate schemes and are
+/// checked against their (ε, δ) self-correction contract.
+enum class StressProtocol { kGm, kBgm, kSgm, kCvsgm };
+
+/// Threshold functions of the stress matrix: one plain norm query and one
+/// reference-anchored distance query (re-anchors at every sync — the
+/// paper's Jester L∞ workload).
+enum class StressFunction { kL2Norm, kLinfDistance };
+
+const char* ToString(StressProtocol protocol);
+const char* ToString(StressFunction function);
+bool ParseStressProtocol(const std::string& text, StressProtocol* out);
+bool ParseStressFunction(const std::string& text, StressFunction* out);
+
+/// One fully-specified stress run. Everything stochastic — the workload,
+/// the protocol's coin flips, the fault schedule — derives from `seed`, so
+/// this struct plus a leg name IS the replay token for any violation.
+struct StressConfig {
+  std::uint64_t seed = 1;
+  StressProtocol protocol = StressProtocol::kSgm;
+  StressFunction function = StressFunction::kL2Norm;
+  int num_sites = 24;
+  long cycles = 300;
+
+  // Fault model (runtime legs; sim legs are transportless).
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  int max_delay_rounds = 0;
+  /// Per-cycle probability that one random live site crashes; a crash lasts
+  /// uniform-[1, max_crash_cycles] cycles, so staleness stays bounded.
+  double crash_probability = 0.0;
+  int max_crash_cycles = 8;
+
+  // Invariant tolerances; negative = auto (exact protocols get zero
+  // tolerance, approximate ones their guarantee-class defaults, widened
+  // under fault injection).
+  double zone_epsilon = -1.0;
+  long max_out_of_zone_run = -1;
+
+  /// Forced-violation demo: collapse both tolerances to zero so the first
+  /// benign disagreement cycle of an approximate protocol trips the checker
+  /// — proving that a violation prints a deterministically replaying seed.
+  bool sabotage_tolerance = false;
+};
+
+/// Outcome of one stress leg.
+struct StressReport {
+  StressConfig config;
+  std::string leg;  ///< "sim", "runtime" or "parity"
+  std::vector<InvariantViolation> violations;
+  long cycles = 0;
+  long fn_cycles = 0;       ///< cycles with belief != oracle truth
+  long full_syncs = 0;
+  /// Runtime legs only: syncs that fell back to cached state because a
+  /// fault swallowed part of the collection round.
+  long degraded_syncs = 0;
+  long max_observed_run = 0;  ///< longest out-of-zone disagreement run
+  /// Shell command replaying this exact leg; non-empty iff violations.
+  std::string replay_command;
+
+  bool ok() const { return violations.empty(); }
+  /// Violations plus the replay command, one block per report.
+  std::string Summary() const;
+};
+
+/// Sim leg: one simulator protocol against the lock-step oracle (exact
+/// global average each cycle) on the seeded ratings workload, checking the
+/// zone / self-correction / post-sync / accounting invariants every cycle.
+StressReport RunSimStress(const StressConfig& config);
+
+/// Runtime leg: the deployment-shaped SGM (SiteNode/CoordinatorNode) over a
+/// seeded fault-injecting SimTransport — drops, duplicates, bounded delays,
+/// site crash/recovery — against the same lock-step oracle. The oracle
+/// freezes a crashed site's vector (it observes nothing until recovery).
+/// `config.protocol` must be kSgm: the message-passing runtime implements
+/// the sampling protocol.
+StressReport RunRuntimeStress(const StressConfig& config);
+
+/// Parity leg: the identical runtime run wired once over a plain
+/// InMemoryBus and once over a faults-off SimTransport. Message/byte
+/// accounting and the coordinator's end state (belief, estimate, sync
+/// counts) must agree exactly on every cycle — the conservation-across-
+/// transport-layers invariant.
+StressReport RunTransportParity(const StressConfig& config);
+
+/// The full matrix for one master seed: {GM, BGM, SGM, CVSGM} × {L2, L∞}
+/// sim legs, runtime legs under increasingly hostile fault profiles (for
+/// both functions), and a parity leg. Sub-seeds are derived per leg so the
+/// legs stay independent.
+std::vector<StressReport> RunStressSuite(std::uint64_t seed);
+
+/// The one-command replay line printed alongside violations, e.g.
+/// `dst_stress --leg=sim --protocol=SGM --function=l2 --seed=77 ...`.
+std::string FormatReplayCommand(const StressConfig& config,
+                                const std::string& leg);
+
+}  // namespace sgm
+
+#endif  // SGM_SIM_STRESS_H_

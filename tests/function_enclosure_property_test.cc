@@ -105,7 +105,7 @@ Vector RandomBallPoint(const Ball& ball, Rng* rng) {
 
 // Every sampled ball point's value must lie inside the reported enclosure.
 TEST_P(EnclosureTest, RangeOverBallEncloses) {
-  const FunctionCase& fc = AllCases()[GetParam()];
+  const FunctionCase fc = AllCases()[GetParam()];
   auto function = fc.make();
   Rng rng(1000 + GetParam());
   for (int trial = 0; trial < 40; ++trial) {
@@ -127,7 +127,7 @@ TEST_P(EnclosureTest, RangeOverBallEncloses) {
 // BallCrossesThreshold must never report "safe" when sampled ball points
 // actually straddle the threshold.
 TEST_P(EnclosureTest, CrossingTestConservative) {
-  const FunctionCase& fc = AllCases()[GetParam()];
+  const FunctionCase fc = AllCases()[GetParam()];
   auto function = fc.make();
   Rng rng(2000 + GetParam());
   for (int trial = 0; trial < 40; ++trial) {
@@ -151,7 +151,7 @@ TEST_P(EnclosureTest, CrossingTestConservative) {
 // The reported surface distance must be a lower bound: every sampled point
 // strictly closer than it must sit on the same side of the threshold.
 TEST_P(EnclosureTest, DistanceToSurfaceIsLowerBound) {
-  const FunctionCase& fc = AllCases()[GetParam()];
+  const FunctionCase fc = AllCases()[GetParam()];
   auto function = fc.make();
   Rng rng(3000 + GetParam());
   int checked = 0;

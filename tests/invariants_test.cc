@@ -1,0 +1,150 @@
+// Unit tests of the InvariantChecker and the stress replay-token plumbing:
+// zone tolerance, bounded self-correction runs, accounting sanity, transport
+// parity, and the violation → replay-command contract.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/invariants.h"
+#include "sim/stress.h"
+
+namespace sgm {
+namespace {
+
+TEST(InvariantCheckerTest, ExactContractFlagsFirstDisagreement) {
+  InvariantChecker checker{InvariantOptions{}};  // zone 0, run 0
+  checker.CheckBelief(1, true, true, 2.0);
+  EXPECT_TRUE(checker.ok());
+  checker.CheckBelief(2, false, true, 2.0);
+  ASSERT_FALSE(checker.ok());
+  EXPECT_EQ(checker.violations()[0].cycle, 2);
+  EXPECT_EQ(checker.violations()[0].invariant, "out-of-zone-run");
+}
+
+TEST(InvariantCheckerTest, DisagreementInsideZoneIsTolerated) {
+  InvariantOptions options;
+  options.zone_epsilon = 0.5;
+  InvariantChecker checker(options);
+  for (long cycle = 1; cycle <= 100; ++cycle) {
+    checker.CheckBelief(cycle, cycle % 2 == 0, true, 0.4);  // within zone
+  }
+  EXPECT_TRUE(checker.ok());
+  EXPECT_EQ(checker.max_observed_run(), 0);  // zone cycles don't count
+}
+
+TEST(InvariantCheckerTest, OutOfZoneRunBoundedBySelfCorrection) {
+  InvariantOptions options;
+  options.zone_epsilon = 0.5;
+  options.max_out_of_zone_run = 3;
+  InvariantChecker checker(options);
+
+  // A 3-cycle out-of-zone disagreement run, then self-correction: fine.
+  for (long cycle = 1; cycle <= 3; ++cycle) {
+    checker.CheckBelief(cycle, false, true, 2.0);
+  }
+  checker.CheckBelief(4, true, true, 2.0);  // agreement resets the run
+  EXPECT_TRUE(checker.ok());
+  EXPECT_EQ(checker.max_observed_run(), 3);
+
+  // A 4-cycle run exceeds the bound: flagged once, at the breaking cycle.
+  for (long cycle = 5; cycle <= 10; ++cycle) {
+    checker.CheckBelief(cycle, false, true, 2.0);
+  }
+  ASSERT_EQ(checker.violations().size(), 1u);
+  EXPECT_EQ(checker.violations()[0].cycle, 8);  // run cycles 5,6,7,8 = 4 > 3
+  EXPECT_EQ(checker.max_observed_run(), 6);
+}
+
+TEST(InvariantCheckerTest, PostSyncMustBeExact) {
+  InvariantOptions options;
+  options.zone_epsilon = 10.0;  // belief checks would tolerate anything
+  options.max_out_of_zone_run = 100;
+  InvariantChecker checker(options);
+  checker.CheckPostSyncExact(7, true, true);
+  EXPECT_TRUE(checker.ok());
+  checker.CheckPostSyncExact(9, false, true);
+  ASSERT_FALSE(checker.ok());
+  EXPECT_EQ(checker.violations()[0].invariant, "post-sync-belief");
+  EXPECT_EQ(checker.violations()[0].cycle, 9);
+}
+
+TEST(InvariantCheckerTest, AccountingDecompositionAndMonotonicity) {
+  InvariantChecker checker{InvariantOptions{}};
+  checker.CheckAccounting(1, 10, 5, 15, 15 * 16.0);
+  EXPECT_TRUE(checker.ok());
+  // total != site + coordinator
+  checker.CheckAccounting(2, 12, 5, 18, 18 * 16.0);
+  ASSERT_EQ(checker.violations().size(), 1u);
+  EXPECT_EQ(checker.violations()[0].invariant, "accounting-decomposition");
+  // bytes below the 16-byte-per-message floor (but still monotone)
+  checker.CheckAccounting(3, 14, 6, 20, 300.0);
+  ASSERT_EQ(checker.violations().size(), 2u);
+  EXPECT_EQ(checker.violations()[1].invariant, "accounting-bytes-floor");
+  // totals going backwards
+  checker.CheckAccounting(4, 2, 1, 3, 3 * 16.0);
+  ASSERT_GE(checker.violations().size(), 3u);
+  EXPECT_EQ(checker.violations()[2].invariant, "accounting-monotonicity");
+}
+
+TEST(InvariantCheckerTest, TransportParityMismatchIsFlagged) {
+  InvariantChecker checker{InvariantOptions{}};
+  checker.CheckTransportParity(5, "bus-vs-sim", 10, 10, 7, 7, 160.0, 160.0);
+  EXPECT_TRUE(checker.ok());
+  checker.CheckTransportParity(6, "bus-vs-sim", 11, 10, 7, 7, 176.0, 160.0);
+  ASSERT_FALSE(checker.ok());
+  EXPECT_EQ(checker.violations()[0].invariant, "transport-parity");
+  EXPECT_NE(checker.violations()[0].details.find("bus-vs-sim"),
+            std::string::npos);
+}
+
+TEST(InvariantCheckerTest, SummaryNamesEveryViolation) {
+  InvariantChecker checker{InvariantOptions{}};
+  checker.CheckBelief(3, false, true, 1.0);
+  checker.CheckAccounting(4, 1, 1, 3, 48.0);
+  const std::string summary = checker.Summary();
+  EXPECT_NE(summary.find("out-of-zone-run"), std::string::npos);
+  EXPECT_NE(summary.find("accounting-decomposition"), std::string::npos);
+}
+
+TEST(ReplayCommandTest, EncodesTheFullConfig) {
+  StressConfig config;
+  config.seed = 12345;
+  config.protocol = StressProtocol::kCvsgm;
+  config.function = StressFunction::kLinfDistance;
+  config.num_sites = 10;
+  config.cycles = 150;
+  config.drop_probability = 0.25;
+  config.max_delay_rounds = 3;
+  config.sabotage_tolerance = true;
+  const std::string cmd = FormatReplayCommand(config, "runtime");
+  EXPECT_NE(cmd.find("--leg=runtime"), std::string::npos);
+  EXPECT_NE(cmd.find("--protocol=CVSGM"), std::string::npos);
+  EXPECT_NE(cmd.find("--function=linf"), std::string::npos);
+  EXPECT_NE(cmd.find("--seed=12345"), std::string::npos);
+  EXPECT_NE(cmd.find("--sites=10"), std::string::npos);
+  EXPECT_NE(cmd.find("--cycles=150"), std::string::npos);
+  EXPECT_NE(cmd.find("--drop=0.25"), std::string::npos);
+  EXPECT_NE(cmd.find("--delay=3"), std::string::npos);
+  EXPECT_NE(cmd.find("--sabotage"), std::string::npos);
+}
+
+TEST(ReplayCommandTest, ParsersRoundTripEnumNames) {
+  for (StressProtocol p : {StressProtocol::kGm, StressProtocol::kBgm,
+                           StressProtocol::kSgm, StressProtocol::kCvsgm}) {
+    StressProtocol parsed;
+    ASSERT_TRUE(ParseStressProtocol(ToString(p), &parsed));
+    EXPECT_EQ(parsed, p);
+  }
+  for (StressFunction f :
+       {StressFunction::kL2Norm, StressFunction::kLinfDistance}) {
+    StressFunction parsed;
+    ASSERT_TRUE(ParseStressFunction(ToString(f), &parsed));
+    EXPECT_EQ(parsed, f);
+  }
+  StressProtocol p;
+  EXPECT_FALSE(ParseStressProtocol("nope", &p));
+}
+
+}  // namespace
+}  // namespace sgm

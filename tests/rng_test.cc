@@ -114,5 +114,27 @@ TEST(RngTest, ForkIsDeterministic) {
   for (int i = 0; i < 32; ++i) EXPECT_EQ(ca.NextUint64(), cb.NextUint64());
 }
 
+TEST(RngTest, DeriveSeedIsDeterministic) {
+  EXPECT_EQ(DeriveSeed(1, 0), DeriveSeed(1, 0));
+  EXPECT_EQ(DeriveSeed(12345, 99), DeriveSeed(12345, 99));
+}
+
+TEST(RngTest, DeriveSeedSeparatesStreams) {
+  // Nearby seeds and nearby stream ids must land far apart — the whole DST
+  // harness keys its per-component randomness off these streams.
+  std::vector<std::uint64_t> derived;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    for (std::uint64_t stream = 0; stream < 8; ++stream) {
+      derived.push_back(DeriveSeed(seed, stream));
+    }
+  }
+  std::sort(derived.begin(), derived.end());
+  for (std::size_t i = 1; i < derived.size(); ++i) {
+    EXPECT_NE(derived[i - 1], derived[i]);
+  }
+  // Streams of the same seed should not produce sequential values.
+  EXPECT_NE(DeriveSeed(7, 1), DeriveSeed(7, 0) + 1);
+}
+
 }  // namespace
 }  // namespace sgm

@@ -1,93 +1,16 @@
 // Fault-tolerance tests of the runtime: lossy transports, dead sites, and
-// the coordinator's degraded-sync fallback.
+// the coordinator's degraded-sync fallback, driven through the seeded
+// SimTransport fault layer (see docs/TESTING.md).
 
-#include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
 
-#include "core/rng.h"
 #include "functions/l2_norm.h"
-#include "runtime/coordinator_node.h"
-#include "runtime/site_node.h"
-#include "runtime/transport.h"
+#include "runtime/driver.h"
 
 namespace sgm {
 namespace {
-
-/// A driver variant that can drop site→coordinator messages (by site id)
-/// and randomly (by probability), modeling flaky links and dead sites.
-class FaultyHarness {
- public:
-  FaultyHarness(int num_sites, const MonitoredFunction& function,
-                const RuntimeConfig& config)
-      : drop_rng_(1234) {
-    coordinator_ = std::make_unique<CoordinatorNode>(num_sites, function,
-                                                     config, &bus_);
-    for (int i = 0; i < num_sites; ++i) {
-      sites_.push_back(
-          std::make_unique<SiteNode>(i, num_sites, function, config, &bus_));
-    }
-  }
-
-  void KillSite(int id) { dead_.insert(dead_.end(), id); }
-  void set_loss_rate(double rate) { loss_rate_ = rate; }
-
-  void Initialize(const std::vector<Vector>& locals) {
-    for (std::size_t i = 0; i < sites_.size(); ++i) {
-      sites_[i]->Observe(locals[i]);
-    }
-    coordinator_->Start();
-    Route();
-  }
-
-  void Tick(const std::vector<Vector>& locals) {
-    coordinator_->BeginCycle();
-    for (std::size_t i = 0; i < sites_.size(); ++i) {
-      sites_[i]->Observe(locals[i]);
-    }
-    Route();
-  }
-
-  const CoordinatorNode& coordinator() const { return *coordinator_; }
-
- private:
-  bool Dropped(const RuntimeMessage& message) {
-    if (message.from >= 0) {
-      for (int dead : dead_) {
-        if (message.from == dead) return true;  // dead site never transmits
-      }
-      if (loss_rate_ > 0.0 && drop_rng_.NextBernoulli(loss_rate_)) {
-        return true;
-      }
-    }
-    return false;
-  }
-
-  void Route() {
-    for (;;) {
-      while (!bus_.empty()) {
-        const RuntimeMessage message = bus_.Pop();
-        if (Dropped(message)) continue;
-        if (message.to == kCoordinatorId) {
-          coordinator_->OnMessage(message);
-        } else if (message.to == kBroadcastId) {
-          for (auto& site : sites_) site->OnMessage(message);
-        } else {
-          sites_[message.to]->OnMessage(message);
-        }
-      }
-      coordinator_->OnQuiescent();
-      if (bus_.empty()) return;
-    }
-  }
-
-  InMemoryBus bus_;
-  std::unique_ptr<CoordinatorNode> coordinator_;
-  std::vector<std::unique_ptr<SiteNode>> sites_;
-  std::vector<int> dead_;
-  double loss_rate_ = 0.0;
-  Rng drop_rng_;
-};
 
 RuntimeConfig Config(double threshold, double step = 10.0) {
   RuntimeConfig config;
@@ -96,58 +19,88 @@ RuntimeConfig Config(double threshold, double step = 10.0) {
   return config;
 }
 
+/// Site→coordinator loss only, like a flaky uplink; the coordinator's
+/// broadcasts stay reliable (the historical fault model of these tests).
+SimTransportConfig UplinkLoss(double drop, std::uint64_t seed = 1234) {
+  SimTransportConfig sim;
+  sim.seed = seed;
+  sim.drop_probability = drop;
+  sim.fault_coordinator_links = false;
+  return sim;
+}
+
 TEST(RuntimeFaultTest, DeadSiteDegradesButCompletesSync) {
   const L2Norm norm;
-  FaultyHarness harness(4, norm, Config(3.0));
+  RuntimeDriver driver(4, norm, Config(3.0), SimTransportConfig{});
   // Healthy initialization (everyone reports once)...
-  harness.Initialize({Vector{1.0, 0.0}, Vector{1.0, 0.0}, Vector{1.0, 0.0},
-                      Vector{1.0, 0.0}});
-  EXPECT_EQ(harness.coordinator().full_syncs(), 1);
-  EXPECT_EQ(harness.coordinator().degraded_syncs(), 0);
+  driver.Initialize({Vector{1.0, 0.0}, Vector{1.0, 0.0}, Vector{1.0, 0.0},
+                     Vector{1.0, 0.0}});
+  EXPECT_EQ(driver.coordinator().full_syncs(), 1);
+  EXPECT_EQ(driver.coordinator().degraded_syncs(), 0);
 
   // ...then site 3 dies and a true crossing forces a full sync: the
   // coordinator must complete it from site 3's last-known vector.
-  harness.KillSite(3);
-  for (int t = 0; t < 6 && !harness.coordinator().BelievesAbove(); ++t) {
-    harness.Tick({Vector{6.0, 0.0}, Vector{6.0, 0.0}, Vector{6.0, 0.0},
-                  Vector{6.0, 0.0}});
+  driver.sim_transport()->CrashSite(3);
+  for (int t = 0; t < 6 && !driver.coordinator().BelievesAbove(); ++t) {
+    driver.Tick({Vector{6.0, 0.0}, Vector{6.0, 0.0}, Vector{6.0, 0.0},
+                 Vector{6.0, 0.0}});
   }
-  EXPECT_TRUE(harness.coordinator().BelievesAbove());
-  EXPECT_GE(harness.coordinator().degraded_syncs(), 1);
+  EXPECT_TRUE(driver.coordinator().BelievesAbove());
+  EXPECT_GE(driver.coordinator().degraded_syncs(), 1);
   // Estimate uses (6+6+6+1)/4 for the first degraded sync.
-  EXPECT_GT(harness.coordinator().estimate()[0], 3.0);
+  EXPECT_GT(driver.coordinator().estimate()[0], 3.0);
 }
 
 TEST(RuntimeFaultTest, LossySyncStillConverges) {
   const L2Norm norm;
-  FaultyHarness harness(20, norm, Config(3.0));
+  RuntimeDriver driver(20, norm, Config(3.0), UplinkLoss(0.3));
   std::vector<Vector> locals(20, Vector{1.0, 0.0});
-  harness.Initialize(locals);
+  driver.Initialize(locals);
 
-  harness.set_loss_rate(0.3);
   for (auto& v : locals) v = Vector{5.0, 0.0};
-  for (int t = 0; t < 20 && !harness.coordinator().BelievesAbove(); ++t) {
-    harness.Tick(locals);
+  for (int t = 0; t < 20 && !driver.coordinator().BelievesAbove(); ++t) {
+    driver.Tick(locals);
   }
-  EXPECT_TRUE(harness.coordinator().BelievesAbove());
+  EXPECT_TRUE(driver.coordinator().BelievesAbove());
+  EXPECT_GT(driver.sim_transport()->dropped_messages(), 0);
 }
 
 TEST(RuntimeFaultTest, LostViolationOnlyDelaysDetection) {
   // Even when the very first violation messages are dropped, later cycles
   // re-raise the alarm (sites re-sample each cycle) and detection lands.
   const L2Norm norm;
-  FaultyHarness harness(10, norm, Config(2.5));
+  RuntimeDriver driver(10, norm, Config(2.5), UplinkLoss(0.8));
   std::vector<Vector> locals(10, Vector{1.0, 0.0});
-  harness.Initialize(locals);
+  driver.Initialize(locals);
 
-  harness.set_loss_rate(0.8);  // brutal
   for (auto& v : locals) v = Vector{6.0, 0.0};
   bool detected = false;
   for (int t = 0; t < 200 && !detected; ++t) {
-    harness.Tick(locals);
-    detected = harness.coordinator().BelievesAbove();
+    driver.Tick(locals);
+    detected = driver.coordinator().BelievesAbove();
   }
   EXPECT_TRUE(detected);
+}
+
+TEST(RuntimeFaultTest, CrashedSiteRecoversAndRejoins) {
+  const L2Norm norm;
+  RuntimeDriver driver(4, norm, Config(3.0), SimTransportConfig{});
+  std::vector<Vector> locals(4, Vector{1.0, 0.0});
+  driver.Initialize(locals);
+
+  driver.sim_transport()->CrashSite(2);
+  for (int t = 0; t < 3; ++t) driver.Tick(locals);
+  driver.sim_transport()->RecoverSite(2);
+
+  // After recovery a genuine crossing is detected with a clean (not
+  // degraded) sync: the recovered site reports fresh state again.
+  const long degraded_before = driver.coordinator().degraded_syncs();
+  for (auto& v : locals) v = Vector{6.0, 0.0};
+  for (int t = 0; t < 6 && !driver.coordinator().BelievesAbove(); ++t) {
+    driver.Tick(locals);
+  }
+  EXPECT_TRUE(driver.coordinator().BelievesAbove());
+  EXPECT_EQ(driver.coordinator().degraded_syncs(), degraded_before);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "runtime/serialization.h"
 
+#include <cmath>
 #include <cstring>
 
 #include <gtest/gtest.h>
@@ -55,6 +56,76 @@ TEST(SerializationTest, EmptyPayloadRoundTrips) {
   auto decoded = DecodeMessage(EncodeMessage(m));
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded.ValueOrDie().payload.dim(), 0u);
+}
+
+// Golden wire sizes: 21-byte header (u8 type + i32 from + i32 to +
+// f64 scalar + u32 dim) plus 8 bytes per payload double. These pin the
+// format — any change to the layout must update the goldens knowingly.
+TEST(SerializationTest, GoldenWireSizesPerKind) {
+  using Type = RuntimeMessage::Type;
+  constexpr std::size_t kHeader = 21;
+
+  const struct {
+    Type type;
+    std::size_t payload_dim;
+    std::size_t wire_size;
+  } kGolden[] = {
+      {Type::kLocalViolation, 0, kHeader},
+      {Type::kProbeRequest, 0, kHeader},
+      {Type::kFullStateRequest, 0, kHeader},
+      {Type::kResolved, 0, kHeader},           // mute count rides in scalar
+      {Type::kDriftReport, 8, kHeader + 64},   // drift vector, g_i in scalar
+      {Type::kStateReport, 8, kHeader + 64},
+      {Type::kNewEstimate, 8, kHeader + 64},
+      {Type::kStateReport, 100, kHeader + 800},
+  };
+  for (const auto& golden : kGolden) {
+    RuntimeMessage m;
+    m.type = golden.type;
+    m.from = 1;
+    m.to = kCoordinatorId;
+    m.scalar = 0.5;
+    if (golden.payload_dim > 0) m.payload = Vector(golden.payload_dim);
+    const auto wire = EncodeMessage(m);
+    EXPECT_EQ(wire.size(), golden.wire_size)
+        << RuntimeMessage::TypeName(golden.type) << " dim "
+        << golden.payload_dim;
+    auto decoded = DecodeMessage(wire);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.ValueOrDie().payload.dim(), golden.payload_dim);
+  }
+}
+
+// The in-memory accounting (16-byte header + 8 bytes per *semantic*
+// payload double) and the wire encoding (21-byte frame + raw vector) count
+// slightly different things: DriftReport's g_i and Resolved's mute count
+// ride in the frame's scalar field, which the accounting bills as payload.
+// The divergence must stay under one double per message — the accounting
+// remains a faithful proxy for real wire cost.
+TEST(SerializationTest, AccountingTracksWireSizePerKind) {
+  using Type = RuntimeMessage::Type;
+  const struct {
+    Type type;
+    std::size_t payload_dim;  // what this kind carries as a vector
+  } kKinds[] = {
+      {Type::kLocalViolation, 0}, {Type::kProbeRequest, 0},
+      {Type::kFullStateRequest, 0}, {Type::kResolved, 0},
+      {Type::kDriftReport, 6},    {Type::kStateReport, 6},
+      {Type::kNewEstimate, 6},
+  };
+  for (const auto& kind : kKinds) {
+    RuntimeMessage m;
+    m.type = kind.type;
+    m.from = 0;
+    m.to = kCoordinatorId;
+    m.scalar = 1.0;
+    if (kind.payload_dim > 0) m.payload = Vector(kind.payload_dim);
+    const double accounted = 16.0 + 8.0 * m.PayloadDoubles();
+    const double wire = static_cast<double>(EncodeMessage(m).size());
+    EXPECT_LT(std::abs(wire - accounted), 8.0)
+        << RuntimeMessage::TypeName(kind.type) << ": wire " << wire
+        << " vs accounted " << accounted;
+  }
 }
 
 TEST(SerializationTest, RejectsEmptyBuffer) {

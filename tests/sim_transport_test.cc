@@ -1,0 +1,271 @@
+// Unit tests of the seeded fault-injecting SimTransport: determinism,
+// pass-through parity, drop/delay/duplication semantics, crash/recovery.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/sim_transport.h"
+#include "runtime/transport.h"
+
+namespace sgm {
+namespace {
+
+RuntimeMessage SiteMessage(int from, std::size_t dim = 2) {
+  RuntimeMessage m;
+  m.type = RuntimeMessage::Type::kStateReport;
+  m.from = from;
+  m.to = kCoordinatorId;
+  m.payload = Vector(dim);
+  return m;
+}
+
+RuntimeMessage Broadcast() {
+  RuntimeMessage m;
+  m.type = RuntimeMessage::Type::kNewEstimate;
+  m.from = kCoordinatorId;
+  m.to = kBroadcastId;
+  m.payload = Vector{1.0, 2.0};
+  return m;
+}
+
+/// Drains the inner bus into a vector of (type, from, to) triples.
+std::vector<std::tuple<RuntimeMessage::Type, int, int>> Drain(
+    InMemoryBus* bus) {
+  std::vector<std::tuple<RuntimeMessage::Type, int, int>> out;
+  while (!bus->empty()) {
+    const RuntimeMessage m = bus->Pop();
+    out.emplace_back(m.type, m.from, m.to);
+  }
+  return out;
+}
+
+TEST(InMemoryBusTest, BroadcastIsOneTransmission) {
+  InMemoryBus bus;
+  bus.Send(Broadcast());
+  // The paper's cost model: a coordinator broadcast is a single
+  // transmission no matter the fleet size.
+  EXPECT_EQ(bus.messages_sent(), 1);
+  EXPECT_EQ(bus.site_messages_sent(), 0);
+}
+
+TEST(InMemoryBusTest, SiteVersusCoordinatorSendsAreSeparated) {
+  InMemoryBus bus;
+  bus.Send(SiteMessage(0));
+  bus.Send(SiteMessage(3));
+  bus.Send(Broadcast());
+  RuntimeMessage resolved;
+  resolved.type = RuntimeMessage::Type::kResolved;
+  resolved.from = kCoordinatorId;
+  resolved.to = 1;
+  resolved.scalar = 2.0;
+  bus.Send(resolved);
+  EXPECT_EQ(bus.messages_sent(), 4);
+  EXPECT_EQ(bus.site_messages_sent(), 2);  // coordinator sends excluded
+}
+
+TEST(InMemoryBusTest, ZeroLengthPayloadStillPaysTheHeader) {
+  InMemoryBus bus;
+  RuntimeMessage probe;
+  probe.type = RuntimeMessage::Type::kProbeRequest;
+  probe.from = kCoordinatorId;
+  probe.to = kBroadcastId;
+  EXPECT_EQ(probe.PayloadDoubles(), 0u);
+  bus.Send(probe);
+  EXPECT_DOUBLE_EQ(bus.bytes_sent(), 16.0);
+
+  // A payload-bearing message adds 8 bytes per double on top.
+  bus.Send(SiteMessage(0, 3));  // StateReport: dim doubles
+  EXPECT_DOUBLE_EQ(bus.bytes_sent(), 16.0 + (16.0 + 8.0 * 3.0));
+}
+
+TEST(InMemoryBusTest, FifoDeliveryOrder) {
+  InMemoryBus bus;
+  for (int i = 0; i < 4; ++i) bus.Send(SiteMessage(i));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_FALSE(bus.empty());
+    EXPECT_EQ(bus.Pop().from, i);
+  }
+  EXPECT_TRUE(bus.empty());
+}
+
+TEST(SimTransportTest, FaultsOffIsExactPassThrough) {
+  InMemoryBus plain, inner;
+  SimTransportConfig config;  // all faults off
+  SimTransport sim(&inner, config);
+
+  for (int i = 0; i < 5; ++i) {
+    plain.Send(SiteMessage(i));
+    sim.Send(SiteMessage(i));
+  }
+  plain.Send(Broadcast());
+  sim.Send(Broadcast());
+
+  // Accounting parity with an InMemoryBus handling the same traffic.
+  EXPECT_EQ(sim.messages_sent(), plain.messages_sent());
+  EXPECT_EQ(sim.site_messages_sent(), plain.site_messages_sent());
+  EXPECT_DOUBLE_EQ(sim.bytes_sent(), plain.bytes_sent());
+  EXPECT_FALSE(sim.HasPending());
+  // Identical delivery sequence (broadcast passes through unexpanded).
+  EXPECT_EQ(Drain(&inner), Drain(&plain));
+  EXPECT_EQ(sim.dropped_messages(), 0);
+  EXPECT_EQ(sim.duplicated_messages(), 0);
+}
+
+TEST(SimTransportTest, SameSeedSameFaultSchedule) {
+  for (int trial = 0; trial < 2; ++trial) {
+    InMemoryBus inner_a, inner_b;
+    SimTransportConfig config;
+    config.seed = 777;
+    config.drop_probability = 0.4;
+    config.duplicate_probability = 0.2;
+    config.max_delay_rounds = 3;
+    config.num_sites = 8;
+    SimTransport a(&inner_a, config), b(&inner_b, config);
+    for (int round = 0; round < 50; ++round) {
+      for (int i = 0; i < 8; ++i) {
+        a.Send(SiteMessage(i));
+        b.Send(SiteMessage(i));
+      }
+      a.AdvanceRound();
+      b.AdvanceRound();
+    }
+    while (a.HasPending()) a.AdvanceRound();
+    while (b.HasPending()) b.AdvanceRound();
+    EXPECT_EQ(a.dropped_messages(), b.dropped_messages());
+    EXPECT_EQ(a.duplicated_messages(), b.duplicated_messages());
+    EXPECT_EQ(a.delayed_messages(), b.delayed_messages());
+    EXPECT_EQ(Drain(&inner_a), Drain(&inner_b));
+    EXPECT_GT(a.dropped_messages(), 0);    // faults actually fired
+    EXPECT_GT(a.duplicated_messages(), 0);
+    EXPECT_GT(a.delayed_messages(), 0);
+  }
+}
+
+TEST(SimTransportTest, PerLinkStreamsAreIndependent) {
+  // Site 1's fault outcomes must not depend on how much traffic site 0
+  // generated — per-link streams never interleave.
+  SimTransportConfig config;
+  config.seed = 42;
+  config.drop_probability = 0.5;
+  config.num_sites = 4;
+
+  InMemoryBus inner_a, inner_b;
+  SimTransport a(&inner_a, config), b(&inner_b, config);
+  // Run A: site 0 sends 10 messages interleaved with site 1's 10.
+  for (int i = 0; i < 10; ++i) {
+    a.Send(SiteMessage(0));
+    a.Send(SiteMessage(1));
+  }
+  // Run B: site 1 sends its 10 alone.
+  for (int i = 0; i < 10; ++i) b.Send(SiteMessage(1));
+
+  int delivered_from_1_a = 0;
+  for (const auto& [type, from, to] : Drain(&inner_a)) {
+    if (from == 1) ++delivered_from_1_a;
+  }
+  EXPECT_EQ(static_cast<int>(Drain(&inner_b).size()), delivered_from_1_a);
+}
+
+TEST(SimTransportTest, DelayHoldsMessagesAcrossRounds) {
+  InMemoryBus inner;
+  SimTransportConfig config;
+  config.seed = 9;
+  config.max_delay_rounds = 4;
+  config.num_sites = 2;
+  SimTransport sim(&inner, config);
+
+  int held = 0;
+  for (int i = 0; i < 200; ++i) {
+    sim.Send(SiteMessage(i % 2));
+    held += sim.HasPending() ? 1 : 0;
+  }
+  EXPECT_GT(sim.delayed_messages(), 0);
+  EXPECT_TRUE(sim.HasPending());
+  const long immediate = static_cast<long>(Drain(&inner).size());
+  EXPECT_EQ(immediate + sim.delayed_messages(), 200);
+
+  // Bounded delay: at most max_delay_rounds advances flush everything.
+  for (int r = 0; r < 4; ++r) sim.AdvanceRound();
+  EXPECT_FALSE(sim.HasPending());
+  EXPECT_EQ(static_cast<long>(Drain(&inner).size()), sim.delayed_messages());
+}
+
+TEST(SimTransportTest, DuplicationPaysSenderTwice) {
+  InMemoryBus inner;
+  SimTransportConfig config;
+  config.seed = 3;
+  config.duplicate_probability = 1.0;
+  config.num_sites = 2;
+  SimTransport sim(&inner, config);
+
+  sim.Send(SiteMessage(0));
+  EXPECT_EQ(sim.duplicated_messages(), 1);
+  EXPECT_EQ(sim.messages_sent(), 2);       // retransmission is paid for
+  EXPECT_EQ(sim.site_messages_sent(), 2);
+  EXPECT_EQ(Drain(&inner).size(), 2u);     // delivered twice
+}
+
+TEST(SimTransportTest, BroadcastExpandsPerLinkButCountsOnce) {
+  InMemoryBus inner;
+  SimTransportConfig config;
+  config.seed = 5;
+  config.max_delay_rounds = 1;  // any nonzero fault enables expansion
+  config.num_sites = 3;
+  SimTransport sim(&inner, config);
+
+  sim.Send(Broadcast());
+  // One transmission in the accounting (the paper's broadcast cost model)...
+  EXPECT_EQ(sim.messages_sent(), 1);
+  EXPECT_EQ(sim.site_messages_sent(), 0);
+  while (sim.HasPending()) sim.AdvanceRound();
+  // ...but one per-link copy behind the scenes, addressed per site.
+  const auto delivered = Drain(&inner);
+  ASSERT_EQ(delivered.size(), 3u);
+  for (int site = 0; site < 3; ++site) {
+    bool found = false;
+    for (const auto& [type, from, to] : delivered) found = found || to == site;
+    EXPECT_TRUE(found) << "no copy for site " << site;
+  }
+}
+
+TEST(SimTransportTest, CrashedSiteNeitherSendsNorReceives) {
+  InMemoryBus inner;
+  SimTransportConfig config;
+  SimTransport sim(&inner, config);
+
+  sim.CrashSite(1);
+  EXPECT_TRUE(sim.IsCrashed(1));
+  EXPECT_FALSE(sim.IsCrashed(0));
+
+  sim.Send(SiteMessage(1));               // crashed sender: swallowed
+  EXPECT_EQ(sim.messages_sent(), 0);
+
+  RuntimeMessage to_crashed;
+  to_crashed.type = RuntimeMessage::Type::kResolved;
+  to_crashed.from = kCoordinatorId;
+  to_crashed.to = 1;
+  sim.Send(to_crashed);                   // unicast to crashed: dropped
+  EXPECT_EQ(sim.messages_sent(), 1);      // the coordinator still paid
+  EXPECT_EQ(sim.dropped_messages(), 1);
+  EXPECT_TRUE(Drain(&inner).empty());
+
+  sim.RecoverSite(1);
+  sim.Send(SiteMessage(1));
+  EXPECT_EQ(Drain(&inner).size(), 1u);
+}
+
+TEST(SimTransportTest, ZeroLengthPayloadAccountsHeaderOnly) {
+  InMemoryBus inner;
+  SimTransportConfig config;
+  SimTransport sim(&inner, config);
+  RuntimeMessage probe;
+  probe.type = RuntimeMessage::Type::kProbeRequest;
+  probe.from = kCoordinatorId;
+  probe.to = kBroadcastId;
+  sim.Send(probe);
+  EXPECT_DOUBLE_EQ(sim.bytes_sent(), 16.0);
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,35 @@
+// The full deterministic-simulation stress matrix (ctest -L slow): every
+// protocol × function × fault profile, across many master seeds, with zero
+// tolerated invariant violations. Any failure message contains the one
+// command that replays the offending leg.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "sim/stress.h"
+
+namespace sgm {
+namespace {
+
+// ≥ 20 distinct master seeds; each expands to the full suite (8 sim legs,
+// 6 runtime fault profiles, 1 parity leg).
+constexpr int kMasterSeeds = 20;
+
+TEST(StressMatrixTest, TwentySeedsZeroViolations) {
+  int legs = 0;
+  std::string failures;
+  for (int i = 0; i < kMasterSeeds; ++i) {
+    const std::uint64_t master = DeriveSeed(0xD57ED57Eu, i);
+    for (const StressReport& report : RunStressSuite(master)) {
+      ++legs;
+      if (!report.ok()) failures += report.Summary();
+    }
+  }
+  EXPECT_GE(legs, kMasterSeeds * 15);
+  EXPECT_TRUE(failures.empty()) << failures;
+}
+
+}  // namespace
+}  // namespace sgm

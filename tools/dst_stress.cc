@@ -1,0 +1,150 @@
+// dst_stress — deterministic-simulation stress runner and replay tool.
+//
+// Default mode sweeps the full protocol × function × fault matrix over many
+// master seeds; any invariant violation prints the exact single-leg command
+// that replays it deterministically:
+//
+//   dst_stress --seeds=20                 # the CI stress sweep
+//   dst_stress --leg=runtime --protocol=SGM --function=l2 --seed=77 \
+//              --drop=0.25 --delay=3     # replay one leg
+//   dst_stress --leg=sim --protocol=SGM --function=linf --seed=5 \
+//              --sabotage                # force a violation (tolerance = 0)
+//
+// Flags:
+//   --seeds      number of master seeds for the sweep mode     [20]
+//   --seed       master (sweep) or leg seed (with --leg)       [1]
+//   --leg        sim | runtime | parity  (selects replay mode)
+//   --protocol   GM | BGM | SGM | CVSGM                        [SGM]
+//   --function   l2 | linf                                     [l2]
+//   --sites      sites N                                       [24]
+//   --cycles     update cycles                                 [300]
+//   --drop       per-link drop probability                     [0]
+//   --dup        per-link duplication probability              [0]
+//   --delay      max delivery delay in rounds                  [0]
+//   --crash      per-cycle site-crash probability              [0]
+//   --sabotage   collapse invariant tolerances to zero
+//   --verbose    print every leg's summary, not just failures
+//
+// Exit status: 0 when every invariant held, 1 otherwise.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "sim/stress.h"
+
+namespace {
+
+struct Flags {
+  std::uint64_t seed = 1;
+  int seeds = 20;
+  std::string leg;
+  sgm::StressConfig config;
+  bool verbose = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = nullptr;
+    return true;
+  }
+  if (arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (ParseFlag(argv[i], "--seed", &value) && value != nullptr) {
+      flags->seed = std::strtoull(value, nullptr, 10);
+      flags->config.seed = flags->seed;
+    } else if (ParseFlag(argv[i], "--seeds", &value) && value != nullptr) {
+      flags->seeds = std::atoi(value);
+    } else if (ParseFlag(argv[i], "--leg", &value) && value != nullptr) {
+      flags->leg = value;
+    } else if (ParseFlag(argv[i], "--protocol", &value) && value != nullptr) {
+      if (!sgm::ParseStressProtocol(value, &flags->config.protocol)) {
+        std::fprintf(stderr, "unknown --protocol=%s\n", value);
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--function", &value) && value != nullptr) {
+      if (!sgm::ParseStressFunction(value, &flags->config.function)) {
+        std::fprintf(stderr, "unknown --function=%s\n", value);
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--sites", &value) && value != nullptr) {
+      flags->config.num_sites = std::atoi(value);
+    } else if (ParseFlag(argv[i], "--cycles", &value) && value != nullptr) {
+      flags->config.cycles = std::atol(value);
+    } else if (ParseFlag(argv[i], "--drop", &value) && value != nullptr) {
+      flags->config.drop_probability = std::atof(value);
+    } else if (ParseFlag(argv[i], "--dup", &value) && value != nullptr) {
+      flags->config.duplicate_probability = std::atof(value);
+    } else if (ParseFlag(argv[i], "--delay", &value) && value != nullptr) {
+      flags->config.max_delay_rounds = std::atoi(value);
+    } else if (ParseFlag(argv[i], "--crash", &value) && value != nullptr) {
+      flags->config.crash_probability = std::atof(value);
+    } else if (ParseFlag(argv[i], "--sabotage", &value)) {
+      flags->config.sabotage_tolerance = true;
+    } else if (ParseFlag(argv[i], "--verbose", &value)) {
+      flags->verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+int Report(const std::vector<sgm::StressReport>& reports, bool verbose) {
+  int failures = 0;
+  for (const sgm::StressReport& report : reports) {
+    if (!report.ok()) {
+      ++failures;
+      std::fputs(report.Summary().c_str(), stdout);
+    } else if (verbose) {
+      std::fputs(report.Summary().c_str(), stdout);
+    }
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseArgs(argc, argv, &flags)) return 2;
+
+  std::vector<sgm::StressReport> reports;
+  if (flags.leg.empty()) {
+    // Sweep mode: one full matrix per master seed.
+    for (int i = 0; i < flags.seeds; ++i) {
+      const std::uint64_t master = sgm::DeriveSeed(flags.seed, i);
+      std::printf("== master seed %llu (%d/%d) ==\n",
+                  static_cast<unsigned long long>(master), i + 1,
+                  flags.seeds);
+      const auto suite = sgm::RunStressSuite(master);
+      reports.insert(reports.end(), suite.begin(), suite.end());
+    }
+  } else if (flags.leg == "sim") {
+    reports.push_back(sgm::RunSimStress(flags.config));
+  } else if (flags.leg == "runtime") {
+    reports.push_back(sgm::RunRuntimeStress(flags.config));
+  } else if (flags.leg == "parity") {
+    reports.push_back(sgm::RunTransportParity(flags.config));
+  } else {
+    std::fprintf(stderr, "unknown --leg=%s (sim | runtime | parity)\n",
+                 flags.leg.c_str());
+    return 2;
+  }
+
+  const int failures = Report(reports, flags.verbose);
+  std::printf("%zu legs, %d with violations\n", reports.size(), failures);
+  return failures == 0 ? 0 : 1;
+}
