@@ -17,9 +17,25 @@ CoordinatorNode::CoordinatorNode(int num_sites,
     : num_sites_(num_sites),
       function_(function.Clone()),
       config_(config),
-      transport_(transport) {
+      transport_(transport),
+      fd_(num_sites, config.failure_detector),
+      last_known_(num_sites),
+      last_grant_cycle_(num_sites, -1),
+      grant_pending_(num_sites, false),
+      anchor_undelivered_(num_sites, false) {
   SGM_CHECK(num_sites > 0);
   SGM_CHECK(transport != nullptr);
+  SGM_CHECK(config.empty_collection_retry_cycles >= 1);
+  SGM_CHECK(config.degraded_resync_cycles >= 1);
+  SGM_CHECK(config.max_sync_retries >= 0);
+  SGM_CHECK(config.rejoin_resync_cycles >= 1);
+}
+
+void CoordinatorNode::AttachReliability(ReliableTransport* reliable) {
+  SGM_CHECK(reliable != nullptr);
+  reliable_ = reliable;
+  reliable_->SetDeadLinkHandler(
+      [this](int site, const RuntimeMessage& m) { OnLinkDead(site, m); });
 }
 
 double CoordinatorNode::CurrentU() const {
@@ -34,7 +50,25 @@ double CoordinatorNode::CurrentU() const {
 
 void CoordinatorNode::Start() { RequestFullState(); }
 
+void CoordinatorNode::ScheduleResync(long cycles) {
+  retry_full_in_ = retry_full_in_ > 0 ? std::min(retry_full_in_, cycles)
+                                      : cycles;
+}
+
 void CoordinatorNode::BeginCycle() {
+  ++cycle_;
+  epoch_cycle_start_ = epoch_;
+  fd_.BeginCycle(cycle_);
+  if (reliable_ != nullptr) {
+    // Heartbeat-miss deaths release the dead site's pending acks and stop
+    // retransmissions toward it; the rejoin path marks the link up again.
+    for (int site = 0; site < num_sites_; ++site) {
+      if (fd_.state(site) == FailureDetector::State::kDead &&
+          reliable_->IsLinkUp(site)) {
+        reliable_->MarkLinkDown(site);
+      }
+    }
+  }
   if (phase_ == Phase::kIdle) {
     alarm_this_cycle_ = false;
     ++cycles_since_sync_;
@@ -45,16 +79,23 @@ void CoordinatorNode::BeginCycle() {
   }
 }
 
+void CoordinatorNode::SendBroadcast(RuntimeMessage message) {
+  message.from = kCoordinatorId;
+  message.to = kBroadcastId;
+  message.epoch = epoch_;
+  transport_->Send(std::move(message));
+}
+
 void CoordinatorNode::RequestFullState() {
+  ++epoch_;  // a new sync round begins
   phase_ = Phase::kCollecting;
+  sync_retries_ = 0;
   collected_.assign(num_sites_, Vector());
   received_.assign(num_sites_, false);
   received_count_ = 0;
   RuntimeMessage request;
   request.type = RuntimeMessage::Type::kFullStateRequest;
-  request.from = kCoordinatorId;
-  request.to = kBroadcastId;
-  transport_->Send(request);
+  SendBroadcast(std::move(request));
 }
 
 void CoordinatorNode::FinishFullSync() {
@@ -80,11 +121,9 @@ void CoordinatorNode::FinishFullSync() {
 
   RuntimeMessage estimate;
   estimate.type = RuntimeMessage::Type::kNewEstimate;
-  estimate.from = kCoordinatorId;
-  estimate.to = kBroadcastId;
   estimate.payload = e_;
   estimate.scalar = epsilon_t_;
-  transport_->Send(estimate);
+  SendBroadcast(std::move(estimate));
 }
 
 void CoordinatorNode::ResolvePartial(const Vector& v_hat) {
@@ -102,29 +141,143 @@ void CoordinatorNode::ResolvePartial(const Vector& v_hat) {
 
   RuntimeMessage resolved;
   resolved.type = RuntimeMessage::Type::kResolved;
-  resolved.from = kCoordinatorId;
-  resolved.to = kBroadcastId;
   resolved.scalar = static_cast<double>(mute);
-  transport_->Send(resolved);
+  SendBroadcast(std::move(resolved));
+}
+
+void CoordinatorNode::MaybeGrantRejoin(int site) {
+  if (e_.empty()) return;  // pre-initialization: the first sync captures it
+  if (fd_.IsQuarantined(site)) return;  // flapping: defer until it settles
+  if (last_grant_cycle_[site] == cycle_) return;  // one grant per cycle
+  last_grant_cycle_[site] = cycle_;
+  if (fd_.state(site) == FailureDetector::State::kDead) fd_.BeginRejoin(site);
+  grant_pending_[site] = true;
+  anchor_undelivered_[site] = false;  // this grant supersedes the lost anchor
+  if (reliable_ != nullptr) reliable_->MarkLinkUp(site);
+  ++rejoins_granted_;
+  RuntimeMessage grant;
+  grant.type = RuntimeMessage::Type::kRejoinGrant;
+  grant.from = kCoordinatorId;
+  grant.to = site;
+  grant.epoch = epoch_;
+  grant.payload = e_;
+  grant.scalar = epsilon_t_;
+  transport_->Send(std::move(grant));
+}
+
+void CoordinatorNode::ObserveSite(int site, std::int64_t msg_epoch) {
+  fd_.RecordAlive(site);
+  const FailureDetector::State state = fd_.state(site);
+  if (state != FailureDetector::State::kDead &&
+      state != FailureDetector::State::kRejoining) {
+    // A live site that was already behind before this cycle began holds a
+    // stale anchor it cannot detect on its own in a quiet period (gap
+    // detection needs an inbound broadcast) — resync it proactively.
+    // Lagging an in-cycle epoch bump is NOT staleness: retransmissions are
+    // already delivering that round. A recorded anchor-delivery failure
+    // overrides both: the site may be epoch-current yet un-anchored.
+    if (msg_epoch < epoch_cycle_start_ || anchor_undelivered_[site]) {
+      MaybeGrantRejoin(site);
+    }
+    return;
+  }
+  if (msg_epoch == epoch_ && !anchor_undelivered_[site]) {
+    // The site is fully current — it missed nothing (e.g. a transport-level
+    // give-up fired spuriously under heavy loss, or the rejoin handshake's
+    // fresh state just arrived). Revive directly.
+    fd_.CompleteRejoin(site);
+    if (reliable_ != nullptr) reliable_->MarkLinkUp(site);
+  } else {
+    MaybeGrantRejoin(site);
+  }
+}
+
+void CoordinatorNode::OnLinkDead(int site, const RuntimeMessage& message) {
+  fd_.ReportUnreachable(site);
+  if (reliable_ != nullptr) reliable_->MarkLinkDown(site);
+  // An anchor (estimate broadcast or rejoin grant) that never got through
+  // leaves the site monitoring against a stale estimate even if it looks
+  // alive and epoch-current later (it may have received the same round's
+  // request but not its result). Remember, and re-grant on next contact.
+  if (message.type == RuntimeMessage::Type::kNewEstimate ||
+      message.type == RuntimeMessage::Type::kRejoinGrant) {
+    anchor_undelivered_[site] = true;
+  }
+}
+
+bool CoordinatorNode::AllLiveReported() const {
+  for (int site = 0; site < num_sites_; ++site) {
+    if (fd_.IsLive(site) && !received_[site]) return false;
+  }
+  return true;
+}
+
+void CoordinatorNode::CompleteCollection() {
+  bool degraded = false;
+  bool missing_live = false;
+  for (int i = 0; i < num_sites_; ++i) {
+    if (received_[i]) continue;
+    degraded = true;
+    missing_live = missing_live || fd_.IsLive(i);
+    if (!last_known_[i].empty()) {
+      collected_[i] = last_known_[i];
+    }  // else: leave empty, FinishFullSync averages over the rest
+  }
+  if (degraded) {
+    ++degraded_syncs_;
+    // Dead sites re-enter via the rejoin path (which schedules its own
+    // resync); only transient losses from live sites warrant one here.
+    if (missing_live) ScheduleResync(config_.degraded_resync_cycles);
+  }
+  FinishFullSync();
 }
 
 void CoordinatorNode::OnMessage(const RuntimeMessage& message) {
+  const int site = message.from;
+  SGM_CHECK(site >= 0 && site < num_sites_);
+  // The coordinator is the epoch authority; sites only ever echo epochs it
+  // issued, so a message from the future is a protocol bug.
+  SGM_CHECK_MSG(message.epoch <= epoch_, "message from a future epoch");
+  ObserveSite(site, message.epoch);
+
+  // ── Epoch fence ────────────────────────────────────────────────────────
+  // Data from an older round is dropped, never applied. Control traffic is
+  // exempt: heartbeats and rejoin requests legitimately carry the stale
+  // epoch of a site that fell behind (ObserveSite above acted on them).
+  const bool control = message.type == RuntimeMessage::Type::kHeartbeat ||
+                       message.type == RuntimeMessage::Type::kRejoinRequest;
+  if (!control && message.epoch < epoch_) {
+    ++stale_epoch_drops_;
+    return;
+  }
+
   switch (message.type) {
+    case RuntimeMessage::Type::kHeartbeat:
+      return;  // liveness only; ObserveSite already recorded it
+    case RuntimeMessage::Type::kRejoinRequest: {
+      // Sites request a rejoin whenever they detect an epoch gap — also
+      // after short outages the failure detector never saw.
+      MaybeGrantRejoin(site);
+      return;
+    }
     case RuntimeMessage::Type::kLocalViolation: {
       if (phase_ != Phase::kIdle || alarm_this_cycle_) return;  // coalesce
       alarm_this_cycle_ = true;
+      ++epoch_;  // the probe round begins
       phase_ = Phase::kProbing;
       probe_weighted_sum_ = Vector(e_.dim());
       probe_reports_ = 0;
       RuntimeMessage probe;
       probe.type = RuntimeMessage::Type::kProbeRequest;
-      probe.from = kCoordinatorId;
-      probe.to = kBroadcastId;
-      transport_->Send(probe);
+      SendBroadcast(std::move(probe));
       return;
     }
     case RuntimeMessage::Type::kDriftReport: {
       if (phase_ != Phase::kProbing) return;
+      if (message.epoch != epoch_) {  // fencing audit: must be unreachable
+        ++stale_epoch_applied_;
+        return;
+      }
       SGM_CHECK_MSG(message.scalar > 0.0,
                     "drift report with non-positive inclusion probability");
       probe_weighted_sum_.Axpy(1.0 / message.scalar, message.payload);
@@ -132,16 +285,29 @@ void CoordinatorNode::OnMessage(const RuntimeMessage& message) {
       return;
     }
     case RuntimeMessage::Type::kStateReport: {
-      if (phase_ != Phase::kCollecting) return;
-      SGM_CHECK(message.from >= 0 && message.from < num_sites_);
-      if (last_known_.empty()) last_known_.assign(num_sites_, Vector());
-      last_known_[message.from] = message.payload;
-      if (!received_[message.from]) {
-        received_[message.from] = true;
-        collected_[message.from] = message.payload;
+      if (message.epoch != epoch_) {  // fencing audit: must be unreachable
+        ++stale_epoch_applied_;
+        return;
+      }
+      last_known_[site] = message.payload;
+      if (grant_pending_[site]) {
+        // Rejoin handshake complete: the granted site shipped fresh state.
+        // Fold its data back into the estimate via a scheduled resync.
+        grant_pending_[site] = false;
+        ScheduleResync(config_.rejoin_resync_cycles);
+      }
+      if (phase_ != Phase::kCollecting) {
+        // Same-round straggler (after a degraded completion) or the rejoin
+        // handshake's fresh state: last-known is refreshed, nothing else.
+        ++late_reports_;
+        return;
+      }
+      if (!received_[site]) {
+        received_[site] = true;
+        collected_[site] = message.payload;
         ++received_count_;
       }
-      if (received_count_ == num_sites_) FinishFullSync();
+      if (received_count_ == num_sites_) FinishFullSync();  // clean
       return;
     }
     default:
@@ -151,37 +317,40 @@ void CoordinatorNode::OnMessage(const RuntimeMessage& message) {
 
 void CoordinatorNode::OnQuiescent() {
   if (phase_ == Phase::kCollecting) {
-    // The transport has drained but reports are missing: lost messages or
-    // dead sites. Degrade gracefully — fall back to each absent site's
-    // last-known vector, or exclude a site we have never heard from, rather
-    // than deadlocking the whole deployment.
     if (received_count_ == 0) {
       // The entire collection round was swallowed (e.g. the very first
-      // request on a lossy network): go idle and retry next cycle.
+      // request on a lossy network): go idle and retry shortly.
       phase_ = Phase::kIdle;
-      retry_full_in_ = 1;
+      ScheduleResync(config_.empty_collection_retry_cycles);
       return;
     }
-    bool degraded = false;
-    for (int i = 0; i < num_sites_; ++i) {
-      if (received_[i]) continue;
-      degraded = true;
-      if (!last_known_.empty() && !last_known_[i].empty()) {
-        collected_[i] = last_known_[i];
-      }  // else: leave empty, FinishFullSync averages over the rest
+    if (!AllLiveReported() && sync_retries_ < config_.max_sync_retries) {
+      // Per-epoch sync deadline: re-request the live stragglers directly
+      // (same epoch — this continues the round, it does not start one).
+      ++sync_retries_;
+      for (int site = 0; site < num_sites_; ++site) {
+        if (received_[site] || !fd_.IsLive(site)) continue;
+        ++sync_rerequests_;
+        RuntimeMessage request;
+        request.type = RuntimeMessage::Type::kFullStateRequest;
+        request.from = kCoordinatorId;
+        request.to = site;
+        request.epoch = epoch_;
+        transport_->Send(std::move(request));
+      }
+      return;  // still collecting; the re-requests re-arm the transport
     }
-    if (degraded) {
-      ++degraded_syncs_;
-      retry_full_in_ = 5;  // re-establish a consistent anchor soon
-    }
-    FinishFullSync();
+    CompleteCollection();
     return;
   }
   if (phase_ != Phase::kProbing) return;
   // All first-trial drift reports for this alarm have arrived: form the HT
   // estimate and vet the alarm (Section 2.2's partial synchronization).
+  // The estimator reweights over the live population — dead sites are not
+  // part of the sample frame.
+  const int live = std::max(1, fd_.live_count());
   Vector v_hat = e_;
-  v_hat.Axpy(1.0 / static_cast<double>(num_sites_), probe_weighted_sum_);
+  v_hat.Axpy(1.0 / static_cast<double>(live), probe_weighted_sum_);
 
   const double U = CurrentU();
   const double epsilon = std::min(BernsteinEpsilon(config_.delta, U),

@@ -1,11 +1,14 @@
 #ifndef SGM_RUNTIME_COORDINATOR_NODE_H_
 #define SGM_RUNTIME_COORDINATOR_NODE_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "functions/monitored_function.h"
+#include "runtime/failure_detector.h"
 #include "runtime/message.h"
+#include "runtime/reliable_transport.h"
 #include "runtime/site_node.h"  // RuntimeConfig
 #include "runtime/transport.h"
 
@@ -17,25 +20,57 @@ namespace sgm {
 ///
 /// Driven entirely by messages plus one BeginCycle() tick; holds no site
 /// data beyond what the protocol legitimately ships.
+///
+/// ── Epoch fencing ───────────────────────────────────────────────────────
+/// The coordinator is the epoch authority: every sync round (probe or full
+/// collection) increments a monotone epoch, stamped on all outgoing
+/// messages and echoed back by the sites. Inbound data messages from an
+/// older epoch are answers to a round that already completed — they are
+/// dropped and counted, never applied. Control messages (heartbeats,
+/// rejoin requests) are exempt: a stale epoch there is exactly the signal
+/// that a site fell behind.
+///
+/// ── Failure handling ────────────────────────────────────────────────────
+/// A FailureDetector tracks per-site liveness from the messages flowing
+/// through OnMessage (plus standalone heartbeats from quiet sites) and
+/// from transport-level give-ups reported via the attached
+/// ReliableTransport. Dead sites leave the sample pool — the HT probe
+/// estimate reweights over the live count, and full-sync completion only
+/// waits on live sites. A dead site that reappears with a *current* epoch
+/// is revived directly (it missed nothing); one that reappears behind goes
+/// through the rejoin handshake: kRejoinGrant re-anchors it (estimate +
+/// ε_T + epoch), its fresh kStateReport completes the handshake, and a
+/// full resync is scheduled shortly after so its data re-enters the
+/// estimate. Flapping sites are quarantined by the detector and their
+/// grants deferred.
 class CoordinatorNode {
  public:
   CoordinatorNode(int num_sites, const MonitoredFunction& function,
                   const RuntimeConfig& config, Transport* transport);
 
+  /// Wires the reliability layer in: transport give-ups feed the failure
+  /// detector, and link up/down administration follows site liveness.
+  /// Optional — without it the coordinator runs over a bare transport.
+  void AttachReliability(ReliableTransport* reliable);
+
   /// Kicks off the initialization synchronization (first full state
   /// collection); call once after all sites hold their first vectors.
   void Start();
 
-  /// Marks the beginning of an update cycle (resets per-cycle alarm state).
+  /// Marks the beginning of an update cycle: advances the failure
+  /// detector's clock, applies newly-detected deaths to the link state, and
+  /// runs due scheduled resyncs.
   void BeginCycle();
 
-  /// Handles a site message; may emit probe/state requests, resolutions or
-  /// new estimates.
+  /// Handles a site message; may emit probe/state requests, resolutions,
+  /// new estimates or rejoin grants.
   void OnMessage(const RuntimeMessage& message);
 
   /// Called by the driver when the transport has drained: an in-flight
   /// probe is then complete (every first-trial report has arrived) and the
-  /// partial-synchronization decision is taken.
+  /// partial-synchronization decision is taken; an in-flight collection
+  /// either re-requests stragglers (bounded by max_sync_retries) or
+  /// completes, degraded if live reports are still missing.
   void OnQuiescent();
 
   /// The continuous query answer: is f(v(t)) above the threshold?
@@ -52,41 +87,98 @@ class CoordinatorNode {
   /// surface this in deployment health metrics.
   long degraded_syncs() const { return degraded_syncs_; }
 
+  /// Current epoch (== number of sync rounds started since Start()).
+  std::int64_t epoch() const { return epoch_; }
+  const FailureDetector& failure_detector() const { return fd_; }
+
+  // Epoch-fencing audit counters (dst_stress invariants).
+  long stale_epoch_drops() const { return stale_epoch_drops_; }
+  /// Stale-epoch messages that reached an apply path — must stay zero (the
+  /// fence increments the drop counter instead); checked by the
+  /// "no stale-epoch message applied" invariant.
+  long stale_epoch_applied() const { return stale_epoch_applied_; }
+  /// Same-epoch state reports that arrived after their round completed
+  /// (benign: they refresh last-known state only).
+  long late_reports() const { return late_reports_; }
+  long rejoins_granted() const { return rejoins_granted_; }
+  /// Unicast straggler re-requests issued under the per-epoch deadline.
+  long sync_rerequests() const { return sync_rerequests_; }
+
  private:
   enum class Phase { kIdle, kProbing, kCollecting };
 
   double CurrentU() const;
+  void SendBroadcast(RuntimeMessage message);
+  /// Starts a new collection round (fresh epoch).
   void RequestFullState();
   void FinishFullSync();
   void ResolvePartial(const Vector& v_hat);
+  /// Merges a new wish into the pending resync schedule (soonest wins).
+  void ScheduleResync(long cycles);
+  /// Liveness bookkeeping for any inbound site message: feeds the failure
+  /// detector and drives revival / rejoin of dead sites.
+  void ObserveSite(int site, std::int64_t epoch);
+  void MaybeGrantRejoin(int site);
+  /// Transport give-up delivering `message` to `site` (reliability layer).
+  void OnLinkDead(int site, const RuntimeMessage& message);
+  bool AllLiveReported() const;
+  /// Completes the in-flight collection with whatever arrived, folding in
+  /// last-known vectors for the missing sites.
+  void CompleteCollection();
 
   int num_sites_;
   std::unique_ptr<MonitoredFunction> function_;
   RuntimeConfig config_;
   Transport* transport_;
+  ReliableTransport* reliable_ = nullptr;
+  FailureDetector fd_;
 
   Phase phase_ = Phase::kIdle;
   bool alarm_this_cycle_ = false;
   Vector e_;
   bool believes_above_ = false;
   double epsilon_t_ = 0.0;
+  long cycle_ = 0;
   long cycles_since_sync_ = 0;
   long full_syncs_ = 0;
   long partial_resolutions_ = 0;
   long degraded_syncs_ = 0;
-  /// After a degraded sync the estimate mixes stale vectors while sites
-  /// re-anchored to fresh ones — an inconsistency that could silently mask
-  /// crossings. A follow-up full sync is scheduled this many cycles out and
-  /// repeats until one completes cleanly.
+  /// Cycles until the next scheduled full resync (−1: none pending). Fed by
+  /// the named RuntimeConfig knobs: empty_collection_retry_cycles,
+  /// degraded_resync_cycles and rejoin_resync_cycles.
   long retry_full_in_ = -1;
+
+  std::int64_t epoch_ = 0;
+  /// Epoch at the top of the current cycle. A live site whose message
+  /// carries an epoch below this was behind *before* this cycle's rounds
+  /// began — genuine staleness (it may hold a stale anchor it cannot detect
+  /// in a quiet period), as opposed to lagging an in-cycle epoch bump that
+  /// retransmissions are already fixing.
+  std::int64_t epoch_cycle_start_ = 0;
+  /// Straggler re-requests issued for the in-flight collection round.
+  int sync_retries_ = 0;
 
   /// Last vector each site ever reported (fallback for lost reports).
   std::vector<Vector> last_known_;
+  /// Rate limit: at most one rejoin grant per site per cycle.
+  std::vector<long> last_grant_cycle_;
+  /// Sites whose pending rejoin came from a grant (as opposed to a
+  /// current-epoch revival): completing it schedules a resync.
+  std::vector<bool> grant_pending_;
+  /// Sites for which an anchor-carrying message (kNewEstimate /
+  /// kRejoinGrant) exhausted its retransmissions: re-grant on next contact
+  /// even if the site looks alive and epoch-current.
+  std::vector<bool> anchor_undelivered_;
+
+  long stale_epoch_drops_ = 0;
+  long stale_epoch_applied_ = 0;
+  long late_reports_ = 0;
+  long rejoins_granted_ = 0;
+  long sync_rerequests_ = 0;
 
   // Partial-sync probe state: HT accumulation over first-trial reports.
   Vector probe_weighted_sum_;
   int probe_reports_ = 0;
-  int probe_deadline_round_ = 0;
 
   // Full-sync collection state.
   std::vector<Vector> collected_;

@@ -20,15 +20,31 @@ RuntimeDriver::RuntimeDriver(int num_sites, const MonitoredFunction& function,
 
 void RuntimeDriver::BuildNodes(int num_sites,
                                const MonitoredFunction& function,
-                               const RuntimeConfig& config,
-                               Transport* transport) {
+                               const RuntimeConfig& config, Transport* lower) {
   SGM_CHECK(num_sites > 0);
+  reliable_ = std::make_unique<ReliableTransport>(lower, num_sites,
+                                                  config.reliability);
   coordinator_ = std::make_unique<CoordinatorNode>(num_sites, function,
-                                                   config, transport);
+                                                   config, reliable_.get());
+  coordinator_->AttachReliability(reliable_.get());
   sites_.reserve(num_sites);
   for (int i = 0; i < num_sites; ++i) {
-    sites_.push_back(
-        std::make_unique<SiteNode>(i, num_sites, function, config, transport));
+    sites_.push_back(std::make_unique<SiteNode>(i, num_sites, function,
+                                                config, reliable_.get()));
+  }
+}
+
+void RuntimeDriver::Deliver(int receiver, const RuntimeMessage& message) {
+  // The receive-side reliability layer consumes acks, dedups and acks data;
+  // at most one message survives to the node.
+  std::vector<RuntimeMessage> fresh;
+  reliable_->OnDeliver(receiver, message, &fresh);
+  for (const RuntimeMessage& m : fresh) {
+    if (receiver == kCoordinatorId) {
+      coordinator_->OnMessage(m);
+    } else {
+      sites_[receiver]->OnMessage(m);
+    }
   }
 }
 
@@ -38,31 +54,38 @@ void RuntimeDriver::RouteToQuiescence() {
       while (!bus_.empty()) {
         const RuntimeMessage message = bus_.Pop();
         if (message.to == kCoordinatorId) {
-          coordinator_->OnMessage(message);
+          Deliver(kCoordinatorId, message);
         } else if (message.to == kBroadcastId) {
+          // A broadcast is one wire message but N receiver-side stacks:
+          // each live site dedups and acks independently.
           for (auto& site : sites_) {
             if (sim_ && sim_->IsCrashed(site->id())) continue;
-            site->OnMessage(message);
+            Deliver(site->id(), message);
           }
         } else {
           SGM_CHECK(message.to >= 0 &&
                     message.to < static_cast<int>(sites_.size()));
           if (sim_ && sim_->IsCrashed(message.to)) continue;
-          sites_[message.to]->OnMessage(message);
+          Deliver(message.to, message);
         }
       }
-      // Bus drained: release any delay-held messages before declaring the
-      // network quiescent — delays are bounded, not losses.
-      if (sim_ && sim_->HasPending()) {
-        sim_->AdvanceRound();
-        continue;
-      }
-      break;
+      // Bus drained: one transport round elapses. Release any delay-held
+      // messages (delays are bounded, not losses) and let the reliability
+      // layer retransmit whatever came due. Termination is guaranteed:
+      // delays are bounded and every in-flight entry has a bounded
+      // retransmission budget.
+      const bool sim_pending = sim_ && sim_->HasPending();
+      if (!sim_pending && !reliable_->HasUnacked()) break;
+      if (sim_pending) sim_->AdvanceRound();
+      reliable_->AdvanceRound();
     }
     // Transport quiescent: give the coordinator its quiescence callback; if
     // that produced new traffic, keep routing.
     coordinator_->OnQuiescent();
-    if (bus_.empty() && !(sim_ && sim_->HasPending())) return;
+    if (bus_.empty() && !(sim_ && sim_->HasPending()) &&
+        !reliable_->HasUnacked()) {
+      return;
+    }
   }
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "runtime/coordinator_node.h"
+#include "runtime/reliable_transport.h"
 #include "runtime/sim_transport.h"
 #include "runtime/site_node.h"
 #include "runtime/transport.h"
@@ -16,20 +17,29 @@ namespace sgm {
 /// harness the runtime tests/examples use. Real deployments replace this
 /// with their own event loop and transport; the nodes are loop-agnostic.
 ///
-/// The three-argument constructor gives the faultless reference wiring. The
-/// four-argument constructor layers a seeded SimTransport between the nodes
-/// and the bus, turning the driver into the deterministic-simulation harness:
-/// drops, duplicates, bounded delays (delivered by advancing transport
-/// rounds whenever the bus drains) and site crash/recovery, all replayable
-/// from the SimTransportConfig seed.
+/// The transport stack, top to bottom:
+///
+///   nodes → ReliableTransport → [SimTransport] → InMemoryBus
+///
+/// The ReliableTransport is always present: it stamps sequence numbers,
+/// acks every delivery, retransmits unacked messages with bounded backoff
+/// and dedups the receive side. On the faultless wiring it is pure
+/// pass-through overhead-wise — every ack arrives in the same drain, so no
+/// retransmission ever fires and paper-comparable accounting is unchanged.
+///
+/// The four-argument constructor layers a seeded SimTransport between the
+/// reliability layer and the bus, turning the driver into the
+/// deterministic-simulation harness: drops, duplicates, bounded delays
+/// (delivered by advancing transport rounds whenever the bus drains) and
+/// site crash/recovery, all replayable from the SimTransportConfig seed.
 class RuntimeDriver {
  public:
   RuntimeDriver(int num_sites, const MonitoredFunction& function,
                 const RuntimeConfig& config);
 
-  /// Fault-injecting variant: nodes send through a SimTransport that drains
-  /// into the internal bus. `sim_config.num_sites` is overridden to
-  /// `num_sites`.
+  /// Fault-injecting variant: nodes send through the reliability layer into
+  /// a SimTransport that drains into the internal bus.
+  /// `sim_config.num_sites` is overridden to `num_sites`.
   RuntimeDriver(int num_sites, const MonitoredFunction& function,
                 const RuntimeConfig& config,
                 const SimTransportConfig& sim_config);
@@ -49,18 +59,25 @@ class RuntimeDriver {
   /// accounting should be read from it rather than from bus().
   SimTransport* sim_transport() { return sim_.get(); }
   const SimTransport* sim_transport() const { return sim_.get(); }
+  /// The ack/retransmit layer (always wired).
+  const ReliableTransport& reliable_transport() const { return *reliable_; }
   SiteNode& site(int id) { return *sites_[id]; }
   int num_sites() const { return static_cast<int>(sites_.size()); }
 
  private:
   void BuildNodes(int num_sites, const MonitoredFunction& function,
-                  const RuntimeConfig& config, Transport* transport);
+                  const RuntimeConfig& config, Transport* lower);
+  /// Runs one bus message through the receive-side reliability layer for
+  /// `receiver` and dispatches whatever survives dedup.
+  void Deliver(int receiver, const RuntimeMessage& message);
   /// Delivers queued messages (and quiescence callbacks) to a fixed point,
-  /// advancing the fault layer's delay rounds whenever the bus drains.
+  /// advancing the fault layer's delay rounds and the reliability layer's
+  /// retransmission clock whenever the bus drains.
   void RouteToQuiescence();
 
   InMemoryBus bus_;
   std::unique_ptr<SimTransport> sim_;
+  std::unique_ptr<ReliableTransport> reliable_;
   std::unique_ptr<CoordinatorNode> coordinator_;
   std::vector<std::unique_ptr<SiteNode>> sites_;
 };

@@ -1,0 +1,119 @@
+#include "runtime/failure_detector.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace sgm {
+
+FailureDetector::FailureDetector(int num_sites,
+                                 const FailureDetectorConfig& config)
+    : config_(config), sites_(num_sites) {
+  SGM_CHECK(num_sites > 0);
+  SGM_CHECK(config.suspect_after_misses >= 1);
+  SGM_CHECK(config.dead_after_misses > config.suspect_after_misses);
+  SGM_CHECK(config.flap_death_threshold >= 2);
+  SGM_CHECK(config.flap_window_cycles >= 1 && config.quarantine_cycles >= 0);
+}
+
+void FailureDetector::Escalate(int site) {
+  SiteState& s = sites_[site];
+  if (s.state != State::kAlive && s.state != State::kSuspect) return;
+  const long misses = cycle_ - s.last_heard_cycle;
+  if (misses > config_.dead_after_misses) {
+    s.state = State::kDead;
+    ++s.deaths;
+    s.death_cycles.push_back(cycle_);
+    // Flap detection over the recent window.
+    const long horizon = cycle_ - config_.flap_window_cycles;
+    s.death_cycles.erase(
+        std::remove_if(s.death_cycles.begin(), s.death_cycles.end(),
+                       [horizon](long c) { return c < horizon; }),
+        s.death_cycles.end());
+    if (static_cast<int>(s.death_cycles.size()) >=
+        config_.flap_death_threshold) {
+      s.quarantine_until = cycle_ + config_.quarantine_cycles;
+    }
+  } else if (misses > config_.suspect_after_misses) {
+    s.state = State::kSuspect;
+  }
+}
+
+void FailureDetector::BeginCycle(long cycle) {
+  cycle_ = cycle;
+  for (int site = 0; site < static_cast<int>(sites_.size()); ++site) {
+    Escalate(site);
+  }
+}
+
+void FailureDetector::RecordAlive(int site) {
+  SGM_CHECK(site >= 0 && site < static_cast<int>(sites_.size()));
+  SiteState& s = sites_[site];
+  s.last_heard_cycle = cycle_;
+  if (s.state == State::kSuspect) s.state = State::kAlive;
+  // kDead / kRejoining: liveness alone does not revive — the rejoin
+  // handshake must resync the site's estimate and Δv baseline first.
+}
+
+void FailureDetector::ReportUnreachable(int site) {
+  SGM_CHECK(site >= 0 && site < static_cast<int>(sites_.size()));
+  SiteState& s = sites_[site];
+  if (s.state == State::kDead || s.state == State::kRejoining) return;
+  s.state = State::kDead;
+  ++s.deaths;
+  s.death_cycles.push_back(cycle_);
+  const long horizon = cycle_ - config_.flap_window_cycles;
+  s.death_cycles.erase(
+      std::remove_if(s.death_cycles.begin(), s.death_cycles.end(),
+                     [horizon](long c) { return c < horizon; }),
+      s.death_cycles.end());
+  if (static_cast<int>(s.death_cycles.size()) >=
+      config_.flap_death_threshold) {
+    s.quarantine_until = cycle_ + config_.quarantine_cycles;
+  }
+}
+
+void FailureDetector::BeginRejoin(int site) {
+  SGM_CHECK(site >= 0 && site < static_cast<int>(sites_.size()));
+  if (sites_[site].state == State::kDead) {
+    sites_[site].state = State::kRejoining;
+  }
+}
+
+void FailureDetector::CompleteRejoin(int site) {
+  SGM_CHECK(site >= 0 && site < static_cast<int>(sites_.size()));
+  SiteState& s = sites_[site];
+  if (s.state != State::kRejoining && s.state != State::kDead) return;
+  s.state = State::kAlive;
+  s.last_heard_cycle = cycle_;
+}
+
+bool FailureDetector::IsQuarantined(int site) const {
+  return sites_[site].quarantine_until >= cycle_;
+}
+
+int FailureDetector::live_count() const {
+  int live = 0;
+  for (int site = 0; site < static_cast<int>(sites_.size()); ++site) {
+    if (IsLive(site)) ++live;
+  }
+  return live;
+}
+
+long FailureDetector::total_deaths() const {
+  long total = 0;
+  for (const SiteState& s : sites_) total += s.deaths;
+  return total;
+}
+
+const char* ToString(FailureDetector::State state) {
+  switch (state) {
+    case FailureDetector::State::kAlive: return "alive";
+    case FailureDetector::State::kSuspect: return "suspect";
+    case FailureDetector::State::kDead: return "dead";
+    case FailureDetector::State::kRejoining: return "rejoining";
+  }
+  return "?";
+}
+
+}  // namespace sgm

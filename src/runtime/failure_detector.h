@@ -1,0 +1,96 @@
+#ifndef SGM_RUNTIME_FAILURE_DETECTOR_H_
+#define SGM_RUNTIME_FAILURE_DETECTOR_H_
+
+#include <vector>
+
+namespace sgm {
+
+/// Tuning knobs of the coordinator-side failure detector.
+struct FailureDetectorConfig {
+  /// Consecutive silent cycles before a site is suspected.
+  int suspect_after_misses = 3;
+  /// Consecutive silent cycles before a suspected site is declared dead
+  /// (removed from the sample pool and the ack-expectation set).
+  int dead_after_misses = 6;
+  /// A site declared dead this many times within flap_window_cycles is
+  /// quarantined: its rejoin is deferred until the quarantine expires, so a
+  /// flapping link cannot thrash the estimate with partial resyncs.
+  int flap_death_threshold = 3;
+  long flap_window_cycles = 60;
+  long quarantine_cycles = 30;
+};
+
+/// Heartbeat-miss failure detector for the coordinator: one state machine
+/// per site.
+///
+///   kAlive ──misses > suspect──▶ kSuspect ──misses > dead──▶ kDead
+///     ▲                             │ heard from                │ heard
+///     └──────────(heard from)───────┘                           ▼
+///   kAlive ◀──rejoin handshake (grant + fresh state)──── kRejoining
+///
+/// Liveness is piggybacked on ordinary protocol traffic — any message from
+/// a site (drift report, state report, violation, heartbeat) counts. A site
+/// that crossed into kDead must complete the rejoin handshake before it is
+/// alive again; sites that die repeatedly within the flap window are
+/// quarantined (rejoin deferred) until the quarantine expires.
+class FailureDetector {
+ public:
+  enum class State { kAlive, kSuspect, kDead, kRejoining };
+
+  FailureDetector(int num_sites, const FailureDetectorConfig& config);
+
+  /// Advances the cycle clock and escalates miss counts. Call once per
+  /// update cycle, before processing the cycle's messages.
+  void BeginCycle(long cycle);
+
+  /// A message from `site` arrived (any kind — liveness is transport-level).
+  /// kDead/kRejoining sites stay in their state: only the rejoin handshake
+  /// revives them.
+  void RecordAlive(int site);
+
+  /// Transport-level evidence of unreachability (retransmissions exhausted).
+  /// Escalates straight to kDead, which releases the site's pending acks
+  /// and removes it from the sample pool until it rejoins.
+  void ReportUnreachable(int site);
+
+  /// The rejoin handshake started (grant issued): kDead → kRejoining.
+  void BeginRejoin(int site);
+  /// The rejoin handshake completed (fresh state received): → kAlive.
+  void CompleteRejoin(int site);
+
+  State state(int site) const { return sites_[site].state; }
+  bool IsLive(int site) const {
+    return sites_[site].state == State::kAlive ||
+           sites_[site].state == State::kSuspect;
+  }
+  bool IsQuarantined(int site) const;
+
+  /// Sites currently in the sample pool (kAlive or kSuspect): the population
+  /// the Horvitz–Thompson estimator reweights over.
+  int live_count() const;
+
+  long deaths(int site) const { return sites_[site].deaths; }
+  long total_deaths() const;
+
+ private:
+  struct SiteState {
+    State state = State::kAlive;
+    long last_heard_cycle = 0;
+    long deaths = 0;
+    /// Cycles of the site's recent death transitions (flap detection).
+    std::vector<long> death_cycles;
+    long quarantine_until = -1;
+  };
+
+  void Escalate(int site);
+
+  FailureDetectorConfig config_;
+  std::vector<SiteState> sites_;
+  long cycle_ = 0;
+};
+
+const char* ToString(FailureDetector::State state);
+
+}  // namespace sgm
+
+#endif  // SGM_RUNTIME_FAILURE_DETECTOR_H_

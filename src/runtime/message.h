@@ -1,6 +1,7 @@
 #ifndef SGM_RUNTIME_MESSAGE_H_
 #define SGM_RUNTIME_MESSAGE_H_
 
+#include <cstdint>
 #include <string>
 
 #include "core/vector.h"
@@ -26,6 +27,20 @@ inline constexpr int kBroadcastId = -2;
 ///   coord → broadcast    kFullStateRequest  (full sync: everyone reports)
 ///   site → coordinator   kStateReport       (v_i)
 ///   coord → broadcast    kNewEstimate       (the fresh e(t); re-anchor)
+///
+/// Reliability-layer kinds (epoch fencing, failure detection, rejoin):
+///   either direction     kAck               (transport-level cumulative ack
+///                                            of `seq`; never itself acked)
+///   site → coordinator   kHeartbeat         (liveness beacon from an
+///                                            otherwise-quiet site; carries
+///                                            the site's current epoch)
+///   site → coordinator   kRejoinRequest     (site detected an epoch gap —
+///                                            it missed at least one whole
+///                                            sync round — and asks to be
+///                                            resynchronized)
+///   coord → site         kRejoinGrant       (estimate + ε_T + epoch in one
+///                                            unicast; the site re-anchors
+///                                            and re-enters the sample pool)
 struct RuntimeMessage {
   enum class Type {
     kLocalViolation,
@@ -35,15 +50,29 @@ struct RuntimeMessage {
     kFullStateRequest,
     kStateReport,
     kNewEstimate,
+    kAck,
+    kHeartbeat,
+    kRejoinRequest,
+    kRejoinGrant,
   };
 
   Type type;
   int from = kCoordinatorId;
   int to = kCoordinatorId;
+  /// Sync-round epoch (monotone, stamped by the coordinator; sites echo the
+  /// epoch of the request they answer). 0 = pre-initialization.
+  std::int64_t epoch = 0;
+  /// Per-sender transport sequence number, assigned by ReliableTransport
+  /// (0 = unsequenced). On kAck, the acknowledged sender seq.
+  std::int64_t seq = 0;
+  /// True when this transmission is a reliability-layer retransmission of an
+  /// already-counted message: excluded from the paper-comparable
+  /// communication figures, included in transport totals.
+  bool retransmit = false;
   /// Vector payload (drift, state, estimate); empty when not applicable.
   Vector payload;
   /// Scalar payload: inclusion probability g_i on kDriftReport, mute length
-  /// on kResolved.
+  /// on kResolved, ε_T on kNewEstimate/kRejoinGrant.
   double scalar = 0.0;
 
   /// Payload size in doubles for communication accounting.
@@ -53,15 +82,41 @@ struct RuntimeMessage {
         return payload.dim() + 1;  // drift + g_i
       case Type::kStateReport:
       case Type::kNewEstimate:
+      case Type::kRejoinGrant:
         return payload.dim();
       case Type::kResolved:
         return 1;
       case Type::kLocalViolation:
       case Type::kProbeRequest:
       case Type::kFullStateRequest:
+      case Type::kAck:
+      case Type::kHeartbeat:
+      case Type::kRejoinRequest:
         return 0;
     }
     return 0;
+  }
+
+  /// Reliability-layer control traffic: acks, heartbeats and the rejoin
+  /// handshake. Counted in transport totals but excluded from the
+  /// paper-comparable communication-cost figures (the paper's protocol has
+  /// no such messages; adding them must not skew the reproduced numbers).
+  static bool IsReliabilityControl(Type type) {
+    switch (type) {
+      case Type::kAck:
+      case Type::kHeartbeat:
+      case Type::kRejoinRequest:
+      case Type::kRejoinGrant:
+        return true;
+      default:
+        return false;
+    }
+  }
+  bool is_reliability_control() const { return IsReliabilityControl(type); }
+  /// True when this transmission counts toward the paper-comparable
+  /// communication figures (original protocol data, first transmission).
+  bool counts_as_protocol_traffic() const {
+    return !retransmit && !is_reliability_control();
   }
 
   static const char* TypeName(Type type);

@@ -1,0 +1,194 @@
+#include "runtime/reliable_transport.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace sgm {
+
+namespace {
+
+/// Dedup window per (receiver, sender) pair. Duplicates and retransmissions
+/// arrive within max_delay + max_backoff * max_retransmits rounds of the
+/// original, a handful of messages; 1024 is orders of magnitude above that.
+constexpr std::size_t kSeenWindow = 1024;
+
+}  // namespace
+
+ReliableTransport::ReliableTransport(Transport* lower, int num_sites,
+                                     const ReliableTransportConfig& config)
+    : lower_(lower),
+      num_sites_(num_sites),
+      config_(config),
+      rng_(config.seed),
+      link_up_(num_sites, true) {
+  SGM_CHECK(lower != nullptr);
+  SGM_CHECK(num_sites > 0);
+  SGM_CHECK(config.max_retransmits >= 0);
+  SGM_CHECK(config.base_backoff_rounds >= 1);
+  SGM_CHECK(config.max_backoff_rounds >= config.base_backoff_rounds);
+}
+
+bool ReliableTransport::Tracked(const RuntimeMessage& message) {
+  switch (message.type) {
+    case RuntimeMessage::Type::kAck:
+    case RuntimeMessage::Type::kHeartbeat:
+    case RuntimeMessage::Type::kRejoinRequest:
+      return false;
+    default:
+      return true;
+  }
+}
+
+long ReliableTransport::NextBackoff(int attempts) {
+  long backoff = config_.base_backoff_rounds;
+  for (int i = 0; i < attempts && backoff < config_.max_backoff_rounds; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min<long>(backoff, config_.max_backoff_rounds);
+  // Deterministic jitter: desynchronizes retransmission bursts without
+  // breaking seed replay.
+  return backoff + static_cast<long>(rng_.NextBounded(2));
+}
+
+void ReliableTransport::MarkLinkDown(int site) {
+  if (site < 0 || site >= num_sites_) return;
+  link_up_[site] = false;
+  // Release every pending expectation on the dead link; entries whose last
+  // awaited destination this was complete immediately.
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    it->second.awaiting.erase(site);
+    it = it->second.awaiting.empty() ? in_flight_.erase(it) : std::next(it);
+  }
+}
+
+void ReliableTransport::MarkLinkUp(int site) {
+  if (site >= 0 && site < num_sites_) link_up_[site] = true;
+}
+
+bool ReliableTransport::IsLinkUp(int site) const {
+  return site >= 0 && site < num_sites_ && link_up_[site];
+}
+
+void ReliableTransport::Send(const RuntimeMessage& message) {
+  if (!Tracked(message)) {
+    lower_->Send(message);
+    return;
+  }
+  RuntimeMessage stamped = message;
+  stamped.seq = ++next_seq_[message.from];
+  stamped.retransmit = false;
+
+  InFlight entry;
+  entry.message = stamped;
+  if (stamped.to == kBroadcastId) {
+    for (int site = 0; site < num_sites_; ++site) {
+      if (link_up_[site]) entry.awaiting.insert(site);
+    }
+  } else if (stamped.to >= 0 && !link_up_[stamped.to]) {
+    // Administratively-down destination: best-effort, no tracking (the
+    // rejoin machinery owns resynchronization).
+  } else {
+    entry.awaiting.insert(stamped.to);
+  }
+  if (!entry.awaiting.empty()) {
+    entry.due_round = round_ + NextBackoff(0);
+    in_flight_.emplace(std::make_pair(stamped.from, stamped.seq),
+                       std::move(entry));
+  }
+  lower_->Send(stamped);
+}
+
+void ReliableTransport::Ack(int receiver, const RuntimeMessage& message) {
+  RuntimeMessage ack;
+  ack.type = RuntimeMessage::Type::kAck;
+  ack.from = receiver;
+  ack.to = message.from;
+  ack.epoch = message.epoch;
+  ack.seq = message.seq;
+  ++acks_sent_;
+  lower_->Send(ack);
+}
+
+void ReliableTransport::Resolve(std::int64_t sender, std::int64_t seq,
+                                int receiver) {
+  const auto it = in_flight_.find({static_cast<int>(sender), seq});
+  if (it == in_flight_.end()) return;
+  it->second.awaiting.erase(receiver);
+  if (it->second.awaiting.empty()) in_flight_.erase(it);
+}
+
+void ReliableTransport::OnDeliver(int receiver, const RuntimeMessage& message,
+                                  std::vector<RuntimeMessage>* deliver) {
+  SGM_CHECK(deliver != nullptr);
+  if (message.type == RuntimeMessage::Type::kAck) {
+    // message.to is the original sender whose seq is being acknowledged.
+    Resolve(message.to, message.seq, message.from);
+    return;
+  }
+  if (message.seq == 0) {  // unsequenced control (heartbeat, rejoin request)
+    deliver->push_back(message);
+    return;
+  }
+
+  SeenWindow& window = seen_[{receiver, message.from}];
+  const bool duplicate =
+      message.seq <= window.floor || window.above.count(message.seq) > 0;
+  if (duplicate) {
+    ++duplicates_suppressed_;
+    Ack(receiver, message);  // the previous ack may have been lost
+    return;
+  }
+  window.above.insert(message.seq);
+  while (window.above.size() > kSeenWindow) {
+    // Compact: promote the lowest retained seq into the floor. Anything
+    // older than the window is long past its retransmission horizon.
+    window.floor = *window.above.begin();
+    window.above.erase(window.above.begin());
+  }
+  Ack(receiver, message);
+  deliver->push_back(message);
+}
+
+void ReliableTransport::AdvanceRound() {
+  ++round_;
+  // Handlers can re-enter (MarkLinkDown mutates in_flight_), so collect the
+  // exhausted links during the sweep and report them after it.
+  std::vector<std::pair<int, RuntimeMessage>> exhausted_links;
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    InFlight& entry = it->second;
+    if (entry.due_round > round_) {
+      ++it;
+      continue;
+    }
+    if (entry.attempts >= config_.max_retransmits) {
+      // Exhausted: report still-awaited site links as dead and abandon.
+      ++give_ups_;
+      for (int site : entry.awaiting) {
+        if (site >= 0) exhausted_links.emplace_back(site, entry.message);
+      }
+      it = in_flight_.erase(it);
+      continue;
+    }
+    ++entry.attempts;
+    entry.due_round = round_ + NextBackoff(entry.attempts);
+    for (int dest : entry.awaiting) {
+      RuntimeMessage copy = entry.message;
+      copy.retransmit = true;
+      // A broadcast retransmits as unicast copies to the missing sites
+      // only; dedup on the receiver keys by (sender, seq), so overlap with
+      // the original broadcast is suppressed.
+      copy.to = dest;
+      ++retransmissions_;
+      lower_->Send(copy);
+    }
+    ++it;
+  }
+  if (dead_link_handler_) {
+    for (const auto& [site, message] : exhausted_links) {
+      dead_link_handler_(site, message);
+    }
+  }
+}
+
+}  // namespace sgm

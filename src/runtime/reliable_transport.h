@@ -1,0 +1,149 @@
+#ifndef SGM_RUNTIME_RELIABLE_TRANSPORT_H_
+#define SGM_RUNTIME_RELIABLE_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/rng.h"
+#include "runtime/transport.h"
+
+namespace sgm {
+
+/// Tuning knobs of the ack/retransmit layer. Every stochastic choice (the
+/// retransmission jitter) draws from the single `seed`, so dst_stress
+/// replays stay bit-for-bit identical.
+struct ReliableTransportConfig {
+  std::uint64_t seed = 7;
+  /// Retransmission attempts per message per destination before the link is
+  /// reported dead to the failure-detector hook. Bounds the quiescence loop:
+  /// a message is in flight for at most max_retransmits backoff periods.
+  int max_retransmits = 4;
+  /// First retransmission fires this many transport rounds after the
+  /// original send.
+  int base_backoff_rounds = 1;
+  /// Exponential backoff ceiling (rounds), before jitter.
+  int max_backoff_rounds = 8;
+};
+
+/// Reliability decorator over any Transport: per-sender sequence numbers,
+/// per-destination acks, retransmission with exponential backoff plus
+/// deterministic seeded jitter, and receive-side duplicate suppression.
+///
+/// Sits between the protocol nodes and the (possibly fault-injecting) lower
+/// transport. The runtime driver is the event loop: it forwards every
+/// delivered message through OnDeliver() (which consumes acks, suppresses
+/// duplicates and emits acks for fresh data) and calls AdvanceRound()
+/// whenever the network drains, which is when due retransmissions fire.
+///
+/// What is sequenced and tracked: the seven protocol data kinds plus
+/// kRejoinGrant. kAck is never tracked (no ack-of-ack), and kHeartbeat /
+/// kRejoinRequest are fire-and-forget — the protocol re-emits them
+/// periodically, so transport-level retries would only add traffic.
+///
+/// Accounting: original sends pass through with `retransmit == false` and
+/// count toward the paper-comparable figures in the layer below;
+/// retransmitted copies are flagged `retransmit = true` and acks are
+/// control messages, so both land only in the transport totals. With a
+/// fault-free network nothing is ever retransmitted and the
+/// paper-comparable counters are byte-identical to a wiring without this
+/// layer (the transport-parity stress leg enforces this).
+class ReliableTransport final : public Transport {
+ public:
+  /// `lower` is not owned and must outlive this object.
+  ReliableTransport(Transport* lower, int num_sites,
+                    const ReliableTransportConfig& config);
+
+  /// Sender side: stamps a sequence number on trackable messages, records
+  /// them for retransmission, and forwards to the lower transport.
+  void Send(const RuntimeMessage& message) override;
+
+  /// Receive side, called by the driver for each message popped off the
+  /// network, once per destination (`receiver` is a site id or
+  /// kCoordinatorId; broadcast fan-out calls this once per site). Consumes
+  /// acks, drops duplicates (re-acking them, in case the first ack was
+  /// lost), acks fresh sequenced data, and appends to `deliver` the
+  /// messages the node should actually process.
+  void OnDeliver(int receiver, const RuntimeMessage& message,
+                 std::vector<RuntimeMessage>* deliver);
+
+  /// Advances the retransmission clock one round and resends every unacked
+  /// tracked message whose backoff deadline has expired. Messages that
+  /// exhaust max_retransmits are abandoned and their unreachable site
+  /// destinations reported through the dead-link handler.
+  void AdvanceRound();
+
+  /// True while any tracked message still awaits an ack — the driver must
+  /// keep advancing rounds before declaring the network quiescent.
+  bool HasUnacked() const { return !in_flight_.empty(); }
+
+  /// Marks a site link administratively down (failure detector verdict):
+  /// pending expectations on it are released, and it is excluded from
+  /// broadcast ack-expectation until marked up again. Unicasts to a down
+  /// link are forwarded best-effort without tracking.
+  void MarkLinkDown(int site);
+  void MarkLinkUp(int site);
+  bool IsLinkUp(int site) const;
+
+  /// Handler invoked when retransmissions of `message` to `site` were
+  /// exhausted (a liveness signal for the failure detector; the message
+  /// tells the coordinator *what* was lost — an undelivered anchor warrants
+  /// a re-grant on next contact). Coordinator-side give-ups (site →
+  /// coordinator traffic that was never acked) do not fire it — the
+  /// coordinator is assumed reachable.
+  void SetDeadLinkHandler(
+      std::function<void(int site, const RuntimeMessage& message)> handler) {
+    dead_link_handler_ = std::move(handler);
+  }
+
+  long retransmissions() const { return retransmissions_; }
+  long acks_sent() const { return acks_sent_; }
+  long duplicates_suppressed() const { return duplicates_suppressed_; }
+  long give_ups() const { return give_ups_; }
+
+ private:
+  struct InFlight {
+    RuntimeMessage message;       ///< original, retransmit flag unset
+    std::set<int> awaiting;       ///< destinations yet to ack
+    int attempts = 0;             ///< retransmissions performed so far
+    long due_round = 0;           ///< next retransmission round
+  };
+
+  static bool Tracked(const RuntimeMessage& message);
+  long NextBackoff(int attempts);
+  void Ack(int receiver, const RuntimeMessage& message);
+  void Resolve(std::int64_t key_sender, std::int64_t seq, int receiver);
+
+  Transport* lower_;
+  int num_sites_;
+  ReliableTransportConfig config_;
+  Rng rng_;
+  std::function<void(int, const RuntimeMessage&)> dead_link_handler_;
+
+  std::vector<bool> link_up_;
+  /// Next sequence number per sender endpoint (site id, or kCoordinatorId).
+  std::map<int, std::int64_t> next_seq_;
+  /// Tracked unacked messages, keyed (sender, seq).
+  std::map<std::pair<int, std::int64_t>, InFlight> in_flight_;
+
+  /// Receive-side dedup, keyed (receiver, sender): seqs already delivered.
+  /// Compacted to a floor + sliding window (duplicates arrive within a
+  /// bounded number of rounds, so the window never misjudges).
+  struct SeenWindow {
+    std::int64_t floor = 0;       ///< seqs <= floor are all seen
+    std::set<std::int64_t> above; ///< seen seqs > floor
+  };
+  std::map<std::pair<int, int>, SeenWindow> seen_;
+
+  long round_ = 0;
+  long retransmissions_ = 0;
+  long acks_sent_ = 0;
+  long duplicates_suppressed_ = 0;
+  long give_ups_ = 0;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_RUNTIME_RELIABLE_TRANSPORT_H_

@@ -22,16 +22,23 @@ bool Read(const std::vector<std::uint8_t>& in, std::size_t* offset, T* out) {
 }
 
 constexpr std::uint8_t kMaxTypeValue =
-    static_cast<std::uint8_t>(RuntimeMessage::Type::kNewEstimate);
+    static_cast<std::uint8_t>(RuntimeMessage::Type::kRejoinGrant);
+
+constexpr std::uint8_t kFlagRetransmit = 0x01;
+constexpr std::uint8_t kKnownFlagsMask = kFlagRetransmit;
 
 }  // namespace
 
 std::vector<std::uint8_t> EncodeMessage(const RuntimeMessage& message) {
   std::vector<std::uint8_t> out;
-  out.reserve(1 + 4 + 4 + 8 + 4 + 8 * message.payload.dim());
+  out.reserve(3 + 4 + 4 + 8 + 8 + 8 + 4 + 8 * message.payload.dim());
+  Append<std::uint8_t>(&out, kWireFormatVersion);
   Append<std::uint8_t>(&out, static_cast<std::uint8_t>(message.type));
+  Append<std::uint8_t>(&out, message.retransmit ? kFlagRetransmit : 0);
   Append<std::int32_t>(&out, message.from);
   Append<std::int32_t>(&out, message.to);
+  Append<std::int64_t>(&out, message.epoch);
+  Append<std::int64_t>(&out, message.seq);
   Append<double>(&out, message.scalar);
   Append<std::uint32_t>(&out,
                         static_cast<std::uint32_t>(message.payload.dim()));
@@ -44,11 +51,21 @@ std::vector<std::uint8_t> EncodeMessage(const RuntimeMessage& message) {
 Result<RuntimeMessage> DecodeMessage(
     const std::vector<std::uint8_t>& buffer) {
   std::size_t offset = 0;
-  std::uint8_t type = 0;
+  std::uint8_t version = 0, type = 0, flags = 0;
   std::int32_t from = 0, to = 0;
+  std::int64_t epoch = 0, seq = 0;
   double scalar = 0.0;
   std::uint32_t dim = 0;
 
+  if (!Read(buffer, &offset, &version)) {
+    return Status::InvalidArgument("truncated message: missing version");
+  }
+  if (version != kWireFormatVersion) {
+    // Version-1 frames led with the type byte (0..6), which lands here.
+    return Status::InvalidArgument("unsupported wire version " +
+                                   std::to_string(version) + " (want " +
+                                   std::to_string(kWireFormatVersion) + ")");
+  }
   if (!Read(buffer, &offset, &type)) {
     return Status::InvalidArgument("truncated message: missing type");
   }
@@ -56,7 +73,15 @@ Result<RuntimeMessage> DecodeMessage(
     return Status::InvalidArgument("unknown message type " +
                                    std::to_string(type));
   }
+  if (!Read(buffer, &offset, &flags)) {
+    return Status::InvalidArgument("truncated message: missing flags");
+  }
+  if ((flags & ~kKnownFlagsMask) != 0) {
+    return Status::InvalidArgument("unknown message flags " +
+                                   std::to_string(flags));
+  }
   if (!Read(buffer, &offset, &from) || !Read(buffer, &offset, &to) ||
+      !Read(buffer, &offset, &epoch) || !Read(buffer, &offset, &seq) ||
       !Read(buffer, &offset, &scalar) || !Read(buffer, &offset, &dim)) {
     return Status::InvalidArgument("truncated message header");
   }
@@ -73,8 +98,11 @@ Result<RuntimeMessage> DecodeMessage(
 
   RuntimeMessage message;
   message.type = static_cast<RuntimeMessage::Type>(type);
+  message.retransmit = (flags & kFlagRetransmit) != 0;
   message.from = from;
   message.to = to;
+  message.epoch = epoch;
+  message.seq = seq;
   message.scalar = scalar;
   Vector payload(dim);
   for (std::uint32_t j = 0; j < dim; ++j) {

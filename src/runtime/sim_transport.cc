@@ -13,10 +13,6 @@ bool AnyFaultConfigured(const SimTransportConfig& config) {
          config.max_delay_rounds > 0;
 }
 
-double WireBytes(const RuntimeMessage& message) {
-  return 16.0 + 8.0 * static_cast<double>(message.PayloadDoubles());
-}
-
 }  // namespace
 
 SimTransport::SimTransport(Transport* inner, const SimTransportConfig& config)
@@ -92,11 +88,12 @@ void SimTransport::Admit(const RuntimeMessage& message, int link) {
   const bool duplicated = rng.NextBernoulli(config_.duplicate_probability);
   Forward(message, delay);
   if (duplicated) {
-    // A duplicate is a retransmission: the sender pays for it again.
+    // A network duplicate hits the wire again: it appears in the transport
+    // totals but not in the paper-comparable figures (the protocol only
+    // transmitted once).
     ++duplicated_messages_;
-    ++messages_sent_;
-    if (message.from != kCoordinatorId) ++site_messages_sent_;
-    bytes_sent_ += WireBytes(message);
+    ++transport_messages_sent_;
+    transport_bytes_sent_ += WireBytes(message);
     Forward(message, delay);
   }
 }
@@ -104,9 +101,14 @@ void SimTransport::Admit(const RuntimeMessage& message, int link) {
 void SimTransport::Send(const RuntimeMessage& message) {
   if (IsCrashed(message.from)) return;  // a crashed site never transmits
 
-  ++messages_sent_;
-  if (message.from != kCoordinatorId) ++site_messages_sent_;
-  bytes_sent_ += WireBytes(message);
+  const double bytes = WireBytes(message);
+  ++transport_messages_sent_;
+  transport_bytes_sent_ += bytes;
+  if (message.counts_as_protocol_traffic()) {
+    ++messages_sent_;
+    if (message.from != kCoordinatorId) ++site_messages_sent_;
+    bytes_sent_ += bytes;
+  }
 
   if (!FaultsApplyTo(message)) {
     // Unicasts to a crashed site still vanish; broadcasts pass through

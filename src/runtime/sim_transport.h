@@ -85,9 +85,17 @@ class SimTransport final : public Transport {
   bool IsCrashed(int site) const;
 
   // Sender-side accounting (InMemoryBus-compatible when faults are off).
+  // Paper-comparable family: original protocol data only — reliability
+  // control messages, retransmissions and fault-injected duplicates are
+  // excluded (they land in the transport totals below).
   long messages_sent() const { return messages_sent_; }
   long site_messages_sent() const { return site_messages_sent_; }
   double bytes_sent() const { return bytes_sent_; }
+
+  // Transport totals: every transmission that hit the wire, duplicates and
+  // control traffic included.
+  long transport_messages_sent() const { return transport_messages_sent_; }
+  double transport_bytes_sent() const { return transport_bytes_sent_; }
 
   // Fault statistics.
   long dropped_messages() const { return dropped_messages_; }
@@ -118,6 +126,8 @@ class SimTransport final : public Transport {
   long messages_sent_ = 0;
   long site_messages_sent_ = 0;
   double bytes_sent_ = 0.0;
+  long transport_messages_sent_ = 0;
+  double transport_bytes_sent_ = 0.0;
   long dropped_messages_ = 0;
   long duplicated_messages_ = 0;
   long delayed_messages_ = 0;

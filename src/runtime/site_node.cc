@@ -20,6 +20,7 @@ SiteNode::SiteNode(int id, int num_sites, const MonitoredFunction& function,
   SGM_CHECK(transport != nullptr);
   SGM_CHECK(config.num_trials >= 1);
   SGM_CHECK(config.max_step_norm > 0.0);
+  SGM_CHECK(config.heartbeat_interval_cycles >= 1);
 }
 
 Vector SiteNode::Drift() const { return local_ - synced_local_; }
@@ -34,13 +35,53 @@ double SiteNode::CurrentU() const {
   return std::min({accumulated, config_.drift_norm_cap, threshold_scale});
 }
 
+void SiteNode::SendToCoordinator(RuntimeMessage message) {
+  message.from = id_;
+  message.to = kCoordinatorId;
+  message.epoch = epoch_;
+  cycles_since_sent_ = 0;
+  transport_->Send(message);
+}
+
+void SiteNode::SendHeartbeatIfDue() {
+  if (cycles_since_sent_ < config_.heartbeat_interval_cycles) return;
+  RuntimeMessage heartbeat;
+  heartbeat.type = RuntimeMessage::Type::kHeartbeat;
+  ++heartbeats_sent_;
+  SendToCoordinator(std::move(heartbeat));
+}
+
+void SiteNode::RequestRejoin() {
+  if (rejoin_requested_) return;
+  rejoin_requested_ = true;
+  RuntimeMessage request;
+  request.type = RuntimeMessage::Type::kRejoinRequest;
+  ++rejoin_requests_sent_;
+  SendToCoordinator(std::move(request));
+}
+
 void SiteNode::Observe(const Vector& local_vector) {
   local_ = local_vector;
   in_first_trial_ = false;
-  if (!initialized_) return;  // waiting for the first kNewEstimate
+  ++cycles_since_sent_;
+  if (!initialized_ || !anchored_) {
+    // No current anchor: monitoring against a stale (or absent) estimate
+    // would be meaningless. If a sync round demonstrably exists (epoch_ >
+    // 0) the anchor was lost in flight — keep asking to be resynced, every
+    // cycle, since the previous request may itself have been lost. Before
+    // any coordinator contact, a plain heartbeat is all there is to say.
+    if (epoch_ > 0) {
+      rejoin_requested_ = false;
+      RequestRejoin();
+    } else {
+      SendHeartbeatIfDue();
+    }
+    return;
+  }
   ++cycles_since_sync_;
   if (mute_remaining_ > 0) {
     --mute_remaining_;
+    SendHeartbeatIfDue();
     return;
   }
 
@@ -55,56 +96,98 @@ void SiteNode::Observe(const Vector& local_vector) {
     if (trial == 0) in_first_trial_ = sampled;
     sampled_any = sampled_any || sampled;
   }
-  if (!sampled_any) return;
-
-  const Ball constraint = Ball::LocalConstraint(e_, drift);
-  if (function_->BallCrossesThreshold(constraint, config_.threshold)) {
-    RuntimeMessage alarm;
-    alarm.type = RuntimeMessage::Type::kLocalViolation;
-    alarm.from = id_;
-    alarm.to = kCoordinatorId;
-    transport_->Send(alarm);
+  if (sampled_any) {
+    const Ball constraint = Ball::LocalConstraint(e_, drift);
+    if (function_->BallCrossesThreshold(constraint, config_.threshold)) {
+      RuntimeMessage alarm;
+      alarm.type = RuntimeMessage::Type::kLocalViolation;
+      SendToCoordinator(std::move(alarm));
+      return;
+    }
   }
+  SendHeartbeatIfDue();
+}
+
+void SiteNode::ApplyAnchor(const RuntimeMessage& message) {
+  if (message.epoch != epoch_) {  // fencing audit: must be unreachable
+    ++stale_epoch_applied_;
+  }
+  e_ = message.payload;
+  epsilon_t_ = message.scalar;
+  synced_local_ = local_;
+  function_->OnSync(e_);
+  cycles_since_sync_ = 0;
+  mute_remaining_ = 0;
+  initialized_ = true;
+  anchored_ = true;
+  rejoin_requested_ = false;
 }
 
 void SiteNode::OnMessage(const RuntimeMessage& message) {
+  // ── Epoch fence ────────────────────────────────────────────────────────
+  // Stale rounds are dropped outright; a forward jump past the next round
+  // means this site missed a sync and must not monitor against its stale
+  // anchor until resynchronized.
+  if (message.epoch < epoch_) {
+    ++stale_epoch_drops_;
+    return;
+  }
+  if (message.epoch > epoch_) {
+    const bool gap = message.epoch > epoch_ + 1;
+    epoch_ = message.epoch;
+    const bool self_anchoring =
+        message.type == RuntimeMessage::Type::kNewEstimate ||
+        message.type == RuntimeMessage::Type::kRejoinGrant;
+    if (gap && initialized_ && !self_anchoring) {
+      anchored_ = false;
+      rejoin_requested_ = false;
+      RequestRejoin();
+    }
+  }
+
   switch (message.type) {
     case RuntimeMessage::Type::kProbeRequest: {
-      if (!in_first_trial_) return;  // the coordinator probes trial 1 only
+      // The coordinator probes trial 1 only; an un-anchored site's drift is
+      // relative to a stale estimate and must not enter the HT sample.
+      if (!in_first_trial_ || !anchored_) return;
       RuntimeMessage report;
       report.type = RuntimeMessage::Type::kDriftReport;
-      report.from = id_;
-      report.to = kCoordinatorId;
       report.payload = Drift();
       report.scalar = inclusion_probability_;
-      transport_->Send(report);
+      SendToCoordinator(std::move(report));
       return;
     }
     case RuntimeMessage::Type::kFullStateRequest: {
+      // Always answered — the raw v_i is valid regardless of anchoring.
       RuntimeMessage report;
       report.type = RuntimeMessage::Type::kStateReport;
-      report.from = id_;
-      report.to = kCoordinatorId;
       report.payload = local_;
-      transport_->Send(report);
+      SendToCoordinator(std::move(report));
       return;
     }
     case RuntimeMessage::Type::kNewEstimate: {
-      e_ = message.payload;
-      epsilon_t_ = message.scalar;
-      synced_local_ = local_;
-      function_->OnSync(e_);
-      cycles_since_sync_ = 0;
-      mute_remaining_ = 0;
-      initialized_ = true;
+      ApplyAnchor(message);
+      return;
+    }
+    case RuntimeMessage::Type::kRejoinGrant: {
+      ApplyAnchor(message);
+      // Complete the handshake: ship fresh state so the coordinator can
+      // update its last-known vector and mark this site alive.
+      RuntimeMessage report;
+      report.type = RuntimeMessage::Type::kStateReport;
+      report.payload = local_;
+      SendToCoordinator(std::move(report));
       return;
     }
     case RuntimeMessage::Type::kResolved: {
+      if (!anchored_) return;
+      if (message.epoch != epoch_) ++stale_epoch_applied_;  // fencing audit
       mute_remaining_ = static_cast<long>(message.scalar);
       return;
     }
     default:
-      // Site-originated types are never addressed to sites.
+      // Site-originated types (and transport-level acks, which the
+      // reliability layer consumes before dispatch) are never applied here.
       return;
   }
 }

@@ -1,11 +1,14 @@
 #ifndef SGM_RUNTIME_SITE_NODE_H_
 #define SGM_RUNTIME_SITE_NODE_H_
 
+#include <cstdint>
 #include <memory>
 
 #include "core/rng.h"
 #include "functions/monitored_function.h"
+#include "runtime/failure_detector.h"
 #include "runtime/message.h"
+#include "runtime/reliable_transport.h"
 #include "runtime/transport.h"
 
 namespace sgm {
@@ -24,6 +27,34 @@ struct RuntimeConfig {
   /// β of the U ≤ β·ε_T ceiling (see sim/protocol.h's CurrentU).
   double u_threshold_factor = 6.0;
   std::uint64_t seed = 99;
+
+  // ── Reliability layer ──────────────────────────────────────────────────
+
+  /// After a collection round in which *no* report survived (e.g. the very
+  /// first request on a lossy network), the coordinator goes idle and
+  /// retries the full sync this many cycles later.
+  int empty_collection_retry_cycles = 1;
+  /// After a degraded sync (stale last-known vectors folded in), a
+  /// follow-up full sync re-establishes a consistent anchor this many
+  /// cycles out, repeating until one completes cleanly.
+  int degraded_resync_cycles = 5;
+  /// Per-epoch collection deadline: when the transport goes quiescent with
+  /// live-site reports still missing, the coordinator re-requests the
+  /// stragglers (unicast, same epoch) at most this many times before
+  /// completing the sync degraded.
+  int max_sync_retries = 2;
+  /// A quiet site transmits a standalone heartbeat after this many cycles
+  /// without sending anything; liveness piggybacks on ordinary protocol
+  /// traffic otherwise.
+  int heartbeat_interval_cycles = 1;
+  /// A rejoined site's fresh state re-enters the estimate via a scheduled
+  /// full resync this many cycles after its rejoin handshake completes.
+  int rejoin_resync_cycles = 2;
+
+  /// Failure-detector thresholds (suspicion, death, flap quarantine).
+  FailureDetectorConfig failure_detector;
+  /// Ack/retransmit layer tuning (backoff, retry budget, jitter seed).
+  ReliableTransportConfig reliability;
 };
 
 /// The bottom-tier participant of the SGM runtime: owns one local
@@ -33,6 +64,14 @@ struct RuntimeConfig {
 /// Unlike the simulator protocols (which hold all N vectors in one object
 /// for experimentation), a SiteNode sees *only its own data* plus the
 /// coordinator's broadcasts — this is the embeddable deployment shape.
+///
+/// Epoch fencing: the site tracks the highest coordinator epoch it has
+/// seen. Messages from older epochs are dropped (counted, never applied).
+/// A forward jump of more than one epoch means the site missed a whole
+/// sync round — it un-anchors (suppresses monitoring, which would test
+/// balls against a stale estimate), keeps answering full-state requests
+/// (its raw v_i is always valid), and requests a rejoin; a kNewEstimate or
+/// kRejoinGrant re-anchors it.
 ///
 /// Usage per update cycle:
 ///   site.Observe(new_local_vector);   // after the local window slid
@@ -45,11 +84,12 @@ class SiteNode {
            const RuntimeConfig& config, Transport* transport);
 
   /// Feeds this cycle's local measurements vector and runs the monitoring
-  /// phase (sampling + local ball test); may emit kLocalViolation.
+  /// phase (sampling + local ball test); may emit kLocalViolation, or a
+  /// kHeartbeat when the site has been quiet past the heartbeat interval.
   void Observe(const Vector& local_vector);
 
   /// Handles a coordinator message (probe/state requests, new estimates,
-  /// resolutions); may emit reports.
+  /// resolutions, rejoin grants); may emit reports.
   void OnMessage(const RuntimeMessage& message);
 
   int id() const { return id_; }
@@ -57,9 +97,32 @@ class SiteNode {
   bool in_first_trial() const { return in_first_trial_; }
   long cycles_since_sync() const { return cycles_since_sync_; }
 
+  /// Highest coordinator epoch this site has observed.
+  std::int64_t epoch() const { return epoch_; }
+  /// True when the site holds a current anchor (estimate + baseline) and is
+  /// participating in monitoring; false while it awaits a rejoin/resync.
+  bool anchored() const { return anchored_ && initialized_; }
+  const Vector& estimate() const { return e_; }
+
+  // Epoch-fencing audit counters (dst_stress invariants).
+  long stale_epoch_drops() const { return stale_epoch_drops_; }
+  /// Number of stale-epoch messages that reached an apply path — must stay
+  /// zero; the fence increments the drop counter instead. A nonzero value
+  /// is a protocol bug surfaced by the "no stale-epoch message applied"
+  /// invariant.
+  long stale_epoch_applied() const { return stale_epoch_applied_; }
+  long heartbeats_sent() const { return heartbeats_sent_; }
+  long rejoin_requests_sent() const { return rejoin_requests_sent_; }
+
  private:
   double CurrentU() const;
   Vector Drift() const;
+  void SendToCoordinator(RuntimeMessage message);
+  void SendHeartbeatIfDue();
+  void RequestRejoin();
+  /// Applies a full anchor (estimate + ε_T + epoch): kNewEstimate and
+  /// kRejoinGrant share this path.
+  void ApplyAnchor(const RuntimeMessage& message);
 
   int id_;
   int num_sites_;
@@ -77,6 +140,16 @@ class SiteNode {
   long cycles_since_sync_ = 0;
   long mute_remaining_ = 0;
   bool initialized_ = false;
+
+  std::int64_t epoch_ = 0;
+  bool anchored_ = false;
+  long cycles_since_sent_ = 0;
+  bool rejoin_requested_ = false;  ///< one outstanding request at a time
+
+  long stale_epoch_drops_ = 0;
+  long stale_epoch_applied_ = 0;
+  long heartbeats_sent_ = 0;
+  long rejoin_requests_sent_ = 0;
 };
 
 }  // namespace sgm

@@ -20,15 +20,28 @@ const char* RuntimeMessage::TypeName(Type type) {
       return "StateReport";
     case Type::kNewEstimate:
       return "NewEstimate";
+    case Type::kAck:
+      return "Ack";
+    case Type::kHeartbeat:
+      return "Heartbeat";
+    case Type::kRejoinRequest:
+      return "RejoinRequest";
+    case Type::kRejoinGrant:
+      return "RejoinGrant";
   }
   return "Unknown";
 }
 
 void InMemoryBus::Send(const RuntimeMessage& message) {
   queue_.push_back(message);
-  ++messages_sent_;
-  if (message.from != kCoordinatorId) ++site_messages_sent_;
-  bytes_sent_ += 16.0 + 8.0 * static_cast<double>(message.PayloadDoubles());
+  const double bytes = WireBytes(message);
+  ++transport_messages_sent_;
+  transport_bytes_sent_ += bytes;
+  if (message.counts_as_protocol_traffic()) {
+    ++messages_sent_;
+    if (message.from != kCoordinatorId) ++site_messages_sent_;
+    bytes_sent_ += bytes;
+  }
 }
 
 RuntimeMessage InMemoryBus::Pop() {

@@ -21,8 +21,23 @@ class Transport {
   virtual void Send(const RuntimeMessage& message) = 0;
 };
 
+/// Wire cost of one message: 16-byte header + 8 bytes per payload double
+/// (the accounting convention shared with sim::Metrics).
+inline double WireBytes(const RuntimeMessage& message) {
+  return 16.0 + 8.0 * static_cast<double>(message.PayloadDoubles());
+}
+
 /// Deterministic in-memory bus: FIFO queue drained by the runtime driver.
-/// Tracks the same message/byte accounting conventions as sim::Metrics.
+///
+/// Two accounting families, both cumulative and sender-side:
+///  * paper-comparable (`messages_sent` / `site_messages_sent` /
+///    `bytes_sent`) — original protocol data messages only, matching the
+///    cost model of sim::Metrics. Retransmissions and reliability-layer
+///    control traffic (acks, heartbeats, rejoin handshake) are excluded so
+///    the reproduced figures stay comparable to the paper's.
+///  * transport totals (`transport_messages_sent` / `transport_bytes_sent`)
+///    — every transmission that hit the wire, retransmissions and control
+///    messages included. This is what a deployment's NIC would see.
 class InMemoryBus final : public Transport {
  public:
   void Send(const RuntimeMessage& message) override;
@@ -35,11 +50,16 @@ class InMemoryBus final : public Transport {
   long site_messages_sent() const { return site_messages_sent_; }
   double bytes_sent() const { return bytes_sent_; }
 
+  long transport_messages_sent() const { return transport_messages_sent_; }
+  double transport_bytes_sent() const { return transport_bytes_sent_; }
+
  private:
   std::deque<RuntimeMessage> queue_;
   long messages_sent_ = 0;
   long site_messages_sent_ = 0;
   double bytes_sent_ = 0.0;
+  long transport_messages_sent_ = 0;
+  double transport_bytes_sent_ = 0.0;
 };
 
 }  // namespace sgm

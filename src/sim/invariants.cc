@@ -102,6 +102,26 @@ void InvariantChecker::CheckTransportParity(
   Add("transport-parity", cycle, details.str());
 }
 
+void InvariantChecker::CheckEpochFencing(long cycle,
+                                         long stale_epoch_applied) {
+  if (stale_epoch_applied == 0) return;
+  std::ostringstream details;
+  details << stale_epoch_applied
+          << " stale-epoch message(s) reached an apply path; the epoch "
+             "fence must drop them before application";
+  Add("stale-epoch-applied", cycle, details.str());
+}
+
+void InvariantChecker::CheckRejoinConvergence(long cycle, int site,
+                                              long recovered_cycle,
+                                              bool converged) {
+  if (converged) return;
+  std::ostringstream details;
+  details << "site " << site << " recovered at cycle " << recovered_cycle
+          << " but still lacks a current anchor";
+  Add("rejoin-convergence", cycle, details.str());
+}
+
 std::string InvariantChecker::Summary() const {
   std::ostringstream out;
   for (const InvariantViolation& v : violations_) {

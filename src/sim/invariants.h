@@ -72,6 +72,18 @@ class InvariantChecker {
                             long site_messages_a, long site_messages_b,
                             double bytes_a, double bytes_b);
 
+  /// Epoch-fencing invariant: `stale_epoch_applied` is the deployment-wide
+  /// cumulative count of stale-epoch messages that reached an apply path
+  /// (coordinator + every site). It must be zero on every cycle — the fence
+  /// drops stale messages before application.
+  void CheckEpochFencing(long cycle, long stale_epoch_applied);
+
+  /// Rejoin-convergence invariant: a site that recovered from a crash at
+  /// `recovered_cycle` must be re-anchored with a current-or-newer epoch by
+  /// its deadline. Call at the deadline cycle with the convergence verdict.
+  void CheckRejoinConvergence(long cycle, int site, long recovered_cycle,
+                              bool converged);
+
   bool ok() const { return violations_.empty(); }
   const std::vector<InvariantViolation>& violations() const {
     return violations_;

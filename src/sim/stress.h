@@ -67,6 +67,10 @@ struct StressReport {
   /// fault swallowed part of the collection round.
   long degraded_syncs = 0;
   long max_observed_run = 0;  ///< longest out-of-zone disagreement run
+  // Runtime legs only: reliability-layer activity (zero on faultless runs).
+  long retransmissions = 0;     ///< ack-timeout retransmissions sent
+  long rejoins_granted = 0;     ///< coordinator rejoin grants issued
+  long stale_epoch_drops = 0;   ///< stale-epoch messages fenced off
   /// Shell command replaying this exact leg; non-empty iff violations.
   std::string replay_command;
 

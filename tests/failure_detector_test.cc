@@ -1,0 +1,143 @@
+// Unit tests of the coordinator-side failure detector: miss-count
+// escalation, liveness piggybacking, transport give-up handling, the rejoin
+// lifecycle, and flap quarantine (see docs/DESIGN.md).
+
+#include <gtest/gtest.h>
+
+#include "runtime/failure_detector.h"
+
+namespace sgm {
+namespace {
+
+FailureDetectorConfig SmallConfig() {
+  FailureDetectorConfig config;
+  config.suspect_after_misses = 2;
+  config.dead_after_misses = 4;
+  config.flap_death_threshold = 2;
+  config.flap_window_cycles = 20;
+  config.quarantine_cycles = 5;
+  return config;
+}
+
+TEST(FailureDetectorTest, StartsAllAlive) {
+  FailureDetector fd(3, SmallConfig());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(fd.state(i), FailureDetector::State::kAlive);
+    EXPECT_TRUE(fd.IsLive(i));
+    EXPECT_FALSE(fd.IsQuarantined(i));
+  }
+  EXPECT_EQ(fd.live_count(), 3);
+  EXPECT_EQ(fd.total_deaths(), 0);
+}
+
+TEST(FailureDetectorTest, MissesEscalateSuspectThenDead) {
+  FailureDetector fd(2, SmallConfig());
+  long cycle = 0;
+  // Site 1 keeps talking; site 0 goes silent.
+  for (int i = 0; i < 2; ++i) {
+    fd.BeginCycle(++cycle);
+    fd.RecordAlive(1);
+  }
+  EXPECT_EQ(fd.state(0), FailureDetector::State::kAlive);
+  fd.BeginCycle(++cycle);  // miss 3 > suspect_after_misses
+  fd.RecordAlive(1);
+  EXPECT_EQ(fd.state(0), FailureDetector::State::kSuspect);
+  EXPECT_TRUE(fd.IsLive(0));  // suspects stay in the sample pool
+  EXPECT_EQ(fd.live_count(), 2);
+
+  fd.BeginCycle(++cycle);
+  fd.BeginCycle(++cycle);  // miss 5 > dead_after_misses
+  EXPECT_EQ(fd.state(0), FailureDetector::State::kDead);
+  EXPECT_FALSE(fd.IsLive(0));
+  EXPECT_EQ(fd.live_count(), 1);
+  EXPECT_EQ(fd.deaths(0), 1);
+  EXPECT_EQ(fd.state(1), FailureDetector::State::kAlive);
+}
+
+TEST(FailureDetectorTest, HearingFromSuspectRevivesIt) {
+  FailureDetector fd(1, SmallConfig());
+  for (long c = 1; c <= 3; ++c) fd.BeginCycle(c);
+  ASSERT_EQ(fd.state(0), FailureDetector::State::kSuspect);
+  fd.RecordAlive(0);
+  EXPECT_EQ(fd.state(0), FailureDetector::State::kAlive);
+  // ...and the miss count restarts from the revival cycle.
+  fd.BeginCycle(4);
+  EXPECT_EQ(fd.state(0), FailureDetector::State::kAlive);
+}
+
+TEST(FailureDetectorTest, DeadSiteIgnoresPlainTraffic) {
+  FailureDetector fd(1, SmallConfig());
+  fd.BeginCycle(1);
+  fd.ReportUnreachable(0);
+  ASSERT_EQ(fd.state(0), FailureDetector::State::kDead);
+  // Only the rejoin handshake revives a dead site.
+  fd.RecordAlive(0);
+  EXPECT_EQ(fd.state(0), FailureDetector::State::kDead);
+}
+
+TEST(FailureDetectorTest, ReportUnreachableIsInstantDeath) {
+  FailureDetector fd(2, SmallConfig());
+  fd.BeginCycle(1);
+  fd.ReportUnreachable(1);
+  EXPECT_EQ(fd.state(1), FailureDetector::State::kDead);
+  EXPECT_EQ(fd.deaths(1), 1);
+  EXPECT_EQ(fd.live_count(), 1);
+}
+
+TEST(FailureDetectorTest, RejoinLifecycle) {
+  FailureDetector fd(1, SmallConfig());
+  fd.BeginCycle(1);
+  fd.ReportUnreachable(0);
+  fd.BeginRejoin(0);
+  EXPECT_EQ(fd.state(0), FailureDetector::State::kRejoining);
+  EXPECT_FALSE(fd.IsLive(0));  // not in the sample pool until complete
+  fd.CompleteRejoin(0);
+  EXPECT_EQ(fd.state(0), FailureDetector::State::kAlive);
+  EXPECT_TRUE(fd.IsLive(0));
+  // Rejoin resets the miss clock: no immediate re-suspicion.
+  fd.BeginCycle(2);
+  EXPECT_EQ(fd.state(0), FailureDetector::State::kAlive);
+}
+
+TEST(FailureDetectorTest, RepeatedDeathsQuarantine) {
+  FailureDetector fd(1, SmallConfig());
+  // Two deaths inside the 20-cycle flap window (threshold 2).
+  fd.BeginCycle(1);
+  fd.ReportUnreachable(0);
+  fd.BeginRejoin(0);
+  fd.CompleteRejoin(0);
+  EXPECT_FALSE(fd.IsQuarantined(0));
+  fd.BeginCycle(2);
+  fd.ReportUnreachable(0);
+  EXPECT_TRUE(fd.IsQuarantined(0));
+  // Quarantine defers the rejoin for quarantine_cycles, then expires.
+  for (long c = 3; c <= 7; ++c) fd.BeginCycle(c);
+  EXPECT_TRUE(fd.IsQuarantined(0));
+  fd.BeginCycle(8);
+  EXPECT_FALSE(fd.IsQuarantined(0));
+}
+
+TEST(FailureDetectorTest, SlowDeathsDoNotQuarantine) {
+  FailureDetectorConfig config = SmallConfig();
+  config.flap_window_cycles = 3;  // deaths 10 cycles apart fall outside
+  FailureDetector fd(1, config);
+  fd.BeginCycle(1);
+  fd.ReportUnreachable(0);
+  fd.BeginRejoin(0);
+  fd.CompleteRejoin(0);
+  fd.BeginCycle(11);
+  fd.ReportUnreachable(0);
+  EXPECT_FALSE(fd.IsQuarantined(0));
+  EXPECT_EQ(fd.deaths(0), 2);
+  EXPECT_EQ(fd.total_deaths(), 2);
+}
+
+TEST(FailureDetectorTest, StateNames) {
+  EXPECT_STREQ(ToString(FailureDetector::State::kAlive), "alive");
+  EXPECT_STREQ(ToString(FailureDetector::State::kSuspect), "suspect");
+  EXPECT_STREQ(ToString(FailureDetector::State::kDead), "dead");
+  EXPECT_STREQ(ToString(FailureDetector::State::kRejoining), "rejoining");
+}
+
+}  // namespace
+}  // namespace sgm

@@ -15,6 +15,8 @@ RuntimeMessage SampleMessage() {
   m.type = RuntimeMessage::Type::kDriftReport;
   m.from = 17;
   m.to = kCoordinatorId;
+  m.epoch = 42;
+  m.seq = 1009;
   m.scalar = 0.125;
   m.payload = Vector{1.5, -2.25, 0.0, 1e-9};
   return m;
@@ -29,6 +31,9 @@ TEST(SerializationTest, RoundTripPreservesEverything) {
   EXPECT_EQ(m.type, original.type);
   EXPECT_EQ(m.from, original.from);
   EXPECT_EQ(m.to, original.to);
+  EXPECT_EQ(m.epoch, original.epoch);
+  EXPECT_EQ(m.seq, original.seq);
+  EXPECT_EQ(m.retransmit, original.retransmit);
   EXPECT_EQ(m.scalar, original.scalar);
   EXPECT_EQ(m.payload, original.payload);
 }
@@ -38,7 +43,8 @@ TEST(SerializationTest, RoundTripAllTypes) {
   for (Type type : {Type::kLocalViolation, Type::kProbeRequest,
                     Type::kDriftReport, Type::kResolved,
                     Type::kFullStateRequest, Type::kStateReport,
-                    Type::kNewEstimate}) {
+                    Type::kNewEstimate, Type::kAck, Type::kHeartbeat,
+                    Type::kRejoinRequest, Type::kRejoinGrant}) {
     RuntimeMessage m;
     m.type = type;
     m.from = 3;
@@ -50,6 +56,24 @@ TEST(SerializationTest, RoundTripAllTypes) {
   }
 }
 
+// The reliability layer's bookkeeping fields (epoch, seq, retransmit flag)
+// must survive the wire intact — a mangled epoch would defeat the fence, a
+// mangled seq the dedup.
+TEST(SerializationTest, ReliabilityFieldsRoundTrip) {
+  RuntimeMessage m;
+  m.type = RuntimeMessage::Type::kAck;
+  m.from = 5;
+  m.to = 9;
+  m.epoch = (std::int64_t{1} << 40) + 3;  // exercises the full i64 width
+  m.seq = (std::int64_t{1} << 33) + 7;
+  m.retransmit = true;
+  auto decoded = DecodeMessage(EncodeMessage(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.ValueOrDie().epoch, m.epoch);
+  EXPECT_EQ(decoded.ValueOrDie().seq, m.seq);
+  EXPECT_TRUE(decoded.ValueOrDie().retransmit);
+}
+
 TEST(SerializationTest, EmptyPayloadRoundTrips) {
   RuntimeMessage m;
   m.type = RuntimeMessage::Type::kProbeRequest;
@@ -58,12 +82,13 @@ TEST(SerializationTest, EmptyPayloadRoundTrips) {
   EXPECT_EQ(decoded.ValueOrDie().payload.dim(), 0u);
 }
 
-// Golden wire sizes: 21-byte header (u8 type + i32 from + i32 to +
-// f64 scalar + u32 dim) plus 8 bytes per payload double. These pin the
-// format — any change to the layout must update the goldens knowingly.
+// Golden wire sizes: 39-byte v2 header (u8 version + u8 type + u8 flags +
+// i32 from + i32 to + i64 epoch + i64 seq + f64 scalar + u32 dim) plus
+// 8 bytes per payload double. These pin the format — any change to the
+// layout must update the goldens knowingly.
 TEST(SerializationTest, GoldenWireSizesPerKind) {
   using Type = RuntimeMessage::Type;
-  constexpr std::size_t kHeader = 21;
+  constexpr std::size_t kHeader = 39;
 
   const struct {
     Type type;
@@ -74,9 +99,13 @@ TEST(SerializationTest, GoldenWireSizesPerKind) {
       {Type::kProbeRequest, 0, kHeader},
       {Type::kFullStateRequest, 0, kHeader},
       {Type::kResolved, 0, kHeader},           // mute count rides in scalar
+      {Type::kAck, 0, kHeader},
+      {Type::kHeartbeat, 0, kHeader},
+      {Type::kRejoinRequest, 0, kHeader},
       {Type::kDriftReport, 8, kHeader + 64},   // drift vector, g_i in scalar
       {Type::kStateReport, 8, kHeader + 64},
       {Type::kNewEstimate, 8, kHeader + 64},
+      {Type::kRejoinGrant, 8, kHeader + 64},   // estimate, ε_T in scalar
       {Type::kStateReport, 100, kHeader + 800},
   };
   for (const auto& golden : kGolden) {
@@ -97,11 +126,11 @@ TEST(SerializationTest, GoldenWireSizesPerKind) {
 }
 
 // The in-memory accounting (16-byte header + 8 bytes per *semantic*
-// payload double) and the wire encoding (21-byte frame + raw vector) count
-// slightly different things: DriftReport's g_i and Resolved's mute count
-// ride in the frame's scalar field, which the accounting bills as payload.
-// The divergence must stay under one double per message — the accounting
-// remains a faithful proxy for real wire cost.
+// payload double) and the wire encoding (39-byte frame + raw vector) count
+// slightly different things: the frame carries the reliability envelope
+// (version, flags, epoch, seq) and the scalar field, which the accounting
+// bills abstractly. The divergence must stay below three doubles per
+// message — the accounting remains a faithful proxy for real wire cost.
 TEST(SerializationTest, AccountingTracksWireSizePerKind) {
   using Type = RuntimeMessage::Type;
   const struct {
@@ -110,8 +139,10 @@ TEST(SerializationTest, AccountingTracksWireSizePerKind) {
   } kKinds[] = {
       {Type::kLocalViolation, 0}, {Type::kProbeRequest, 0},
       {Type::kFullStateRequest, 0}, {Type::kResolved, 0},
+      {Type::kAck, 0},            {Type::kHeartbeat, 0},
+      {Type::kRejoinRequest, 0},
       {Type::kDriftReport, 6},    {Type::kStateReport, 6},
-      {Type::kNewEstimate, 6},
+      {Type::kNewEstimate, 6},    {Type::kRejoinGrant, 6},
   };
   for (const auto& kind : kKinds) {
     RuntimeMessage m;
@@ -122,7 +153,7 @@ TEST(SerializationTest, AccountingTracksWireSizePerKind) {
     if (kind.payload_dim > 0) m.payload = Vector(kind.payload_dim);
     const double accounted = 16.0 + 8.0 * m.PayloadDoubles();
     const double wire = static_cast<double>(EncodeMessage(m).size());
-    EXPECT_LT(std::abs(wire - accounted), 8.0)
+    EXPECT_LT(std::abs(wire - accounted), 24.0)
         << RuntimeMessage::TypeName(kind.type) << ": wire " << wire
         << " vs accounted " << accounted;
   }
@@ -132,9 +163,42 @@ TEST(SerializationTest, RejectsEmptyBuffer) {
   EXPECT_FALSE(DecodeMessage({}).ok());
 }
 
+TEST(SerializationTest, RejectsUnknownVersion) {
+  auto wire = EncodeMessage(SampleMessage());
+  ASSERT_EQ(wire[0], kWireFormatVersion);
+  wire[0] = kWireFormatVersion + 1;
+  auto decoded = DecodeMessage(wire);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Forward compatibility: pre-reliability (v1) frames led with the type
+// byte, whose legal values (0..6) can never equal kWireFormatVersion — an
+// old-format message is rejected deterministically at the version check,
+// never misparsed into a half-valid message.
+TEST(SerializationTest, RejectsLegacyV1Frames) {
+  ASSERT_GT(kWireFormatVersion, 6) << "v1 type bytes must not collide";
+  for (std::uint8_t legacy_type = 0; legacy_type <= 6; ++legacy_type) {
+    // A v1 frame: u8 type + i32 from + i32 to + f64 scalar + u32 dim = 21B.
+    std::vector<std::uint8_t> v1(21, 0);
+    v1[0] = legacy_type;
+    auto decoded = DecodeMessage(v1);
+    EXPECT_FALSE(decoded.ok()) << "legacy type " << int{legacy_type};
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
 TEST(SerializationTest, RejectsUnknownType) {
   auto wire = EncodeMessage(SampleMessage());
-  wire[0] = 200;
+  wire[1] = 200;  // type byte follows the version byte
+  auto decoded = DecodeMessage(wire);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializationTest, RejectsUnknownFlags) {
+  auto wire = EncodeMessage(SampleMessage());
+  wire[2] |= 0x80;  // a flag bit this version does not define
   auto decoded = DecodeMessage(wire);
   EXPECT_FALSE(decoded.ok());
   EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
@@ -160,9 +224,10 @@ TEST(SerializationTest, RejectsHugeDimension) {
   RuntimeMessage m;
   m.type = RuntimeMessage::Type::kStateReport;
   auto wire = EncodeMessage(m);
-  // Overwrite the dimension field (offset 1+4+4+8 = 17) with a huge value.
+  // Overwrite the dimension field (offset 1+1+1+4+4+8+8+8 = 35) with a
+  // huge value.
   const std::uint32_t huge = kMaxWireDimension + 1;
-  std::memcpy(wire.data() + 17, &huge, sizeof(huge));
+  std::memcpy(wire.data() + 35, &huge, sizeof(huge));
   auto decoded = DecodeMessage(wire);
   EXPECT_FALSE(decoded.ok());
   EXPECT_EQ(decoded.status().code(), StatusCode::kOutOfRange);

@@ -201,9 +201,46 @@ TEST(SimTransportTest, DuplicationPaysSenderTwice) {
 
   sim.Send(SiteMessage(0));
   EXPECT_EQ(sim.duplicated_messages(), 1);
-  EXPECT_EQ(sim.messages_sent(), 2);       // retransmission is paid for
-  EXPECT_EQ(sim.site_messages_sent(), 2);
+  // Dual accounting: the duplicate is real traffic (transport totals) but
+  // not protocol behavior (paper-comparable counters stay at one).
+  EXPECT_EQ(sim.messages_sent(), 1);
+  EXPECT_EQ(sim.site_messages_sent(), 1);
+  EXPECT_EQ(sim.transport_messages_sent(), 2);
+  EXPECT_GT(sim.transport_bytes_sent(), sim.bytes_sent());
   EXPECT_EQ(Drain(&inner).size(), 2u);     // delivered twice
+}
+
+// Golden accounting split (dual counters): retransmissions, duplicates and
+// reliability control messages count toward transport totals only; the
+// paper-comparable counters see exactly the original protocol traffic.
+// These numbers pin the split — update knowingly.
+TEST(SimTransportTest, GoldenDualAccountingSplit) {
+  InMemoryBus inner;
+  SimTransportConfig config;
+  config.seed = 11;
+  config.duplicate_probability = 1.0;  // every admitted message duplicates
+  config.num_sites = 2;
+  SimTransport sim(&inner, config);
+
+  sim.Send(SiteMessage(0, 2));  // 16 + 16 B, duplicated
+  RuntimeMessage retransmitted = SiteMessage(1, 2);
+  retransmitted.retransmit = true;
+  sim.Send(retransmitted);      // transport-only, duplicated
+  RuntimeMessage ack;
+  ack.type = RuntimeMessage::Type::kAck;
+  ack.from = 0;
+  ack.to = kCoordinatorId;
+  sim.Send(ack);                // control: transport-only, duplicated
+
+  // Paper-comparable: only the one original state report.
+  EXPECT_EQ(sim.messages_sent(), 1);
+  EXPECT_EQ(sim.site_messages_sent(), 1);
+  EXPECT_DOUBLE_EQ(sim.bytes_sent(), 32.0);
+  // Transport totals: 3 sends + 3 duplicates.
+  EXPECT_EQ(sim.duplicated_messages(), 3);
+  EXPECT_EQ(sim.transport_messages_sent(), 6);
+  // 2 × (16+16) state reports + 2 × (16+16) retransmits + 2 × 16 acks.
+  EXPECT_DOUBLE_EQ(sim.transport_bytes_sent(), 160.0);
 }
 
 TEST(SimTransportTest, BroadcastExpandsPerLinkButCountsOnce) {

@@ -1,0 +1,123 @@
+// Reliability-layer cost baseline: runs the message-passing runtime (SGM,
+// L∞-distance, Jester-like workload) over a fixed seed × drop-rate matrix
+// and emits one JSON record per cell — paper-comparable traffic, transport
+// totals (retransmissions/acks included), sync counts, reliability-layer
+// activity, and wall time.
+//
+// The committed BENCH_reliability.json at the repo root is the output of
+//   bench_reliability > BENCH_reliability.json
+// All counters are seed-deterministic, so a diff in anything except
+// wall_time_ms is a behaviour change and should be reviewed as one.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/jester_like.h"
+#include "functions/linf_distance.h"
+#include "runtime/driver.h"
+
+namespace {
+
+struct Cell {
+  std::uint64_t seed = 1;
+  double drop = 0.0;
+  double duplicate = 0.0;
+  int max_delay_rounds = 0;
+};
+
+constexpr int kNumSites = 24;
+constexpr long kCycles = 300;
+constexpr std::size_t kNumBuckets = 8;
+constexpr std::size_t kWindow = 50;
+constexpr double kThreshold = 5.0;
+
+void RunCell(const Cell& cell, bool first) {
+  sgm::JesterLikeConfig workload;
+  workload.num_sites = kNumSites;
+  workload.window = kWindow;
+  workload.num_buckets = kNumBuckets;
+  workload.seed = sgm::DeriveSeed(cell.seed, 101);
+
+  sgm::JesterLikeGenerator source(workload);
+  const sgm::LInfDistance function{sgm::Vector(kNumBuckets)};
+
+  sgm::RuntimeConfig node;
+  node.threshold = kThreshold;
+  node.max_step_norm = source.max_step_norm();
+  node.drift_norm_cap = source.max_drift_norm();
+  node.seed = sgm::DeriveSeed(cell.seed, 202);
+
+  sgm::SimTransportConfig transport;
+  transport.seed = sgm::DeriveSeed(cell.seed, 303);
+  transport.drop_probability = cell.drop;
+  transport.duplicate_probability = cell.duplicate;
+  transport.max_delay_rounds = cell.max_delay_rounds;
+
+  sgm::RuntimeDriver driver(kNumSites, function, node, transport);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<sgm::Vector> locals;
+  source.Advance(&locals);
+  driver.Initialize(locals);
+  for (long t = 1; t <= kCycles; ++t) {
+    source.Advance(&locals);
+    driver.Tick(locals);
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  const sgm::SimTransport* sim = driver.sim_transport();
+  const sgm::ReliableTransport& reliable = driver.reliable_transport();
+  const sgm::CoordinatorNode& coordinator = driver.coordinator();
+  std::printf(
+      "%s  {\"seed\": %llu, \"drop\": %.2f, \"duplicate\": %.2f,"
+      " \"max_delay_rounds\": %d, \"sites\": %d, \"cycles\": %ld,\n"
+      "   \"paper_messages\": %ld, \"paper_bytes\": %.0f,"
+      " \"transport_messages\": %ld, \"transport_bytes\": %.0f,\n"
+      "   \"full_syncs\": %ld, \"degraded_syncs\": %ld,"
+      " \"partial_resolutions\": %ld,\n"
+      "   \"retransmissions\": %ld, \"acks\": %ld,"
+      " \"duplicates_suppressed\": %ld, \"give_ups\": %ld,"
+      " \"rejoins_granted\": %ld, \"stale_epoch_drops\": %ld,\n"
+      "   \"wall_time_ms\": %.1f}",
+      first ? "" : ",\n",
+      static_cast<unsigned long long>(cell.seed), cell.drop, cell.duplicate,
+      cell.max_delay_rounds, kNumSites, kCycles, sim->messages_sent(),
+      sim->bytes_sent(), sim->transport_messages_sent(),
+      sim->transport_bytes_sent(), coordinator.full_syncs(),
+      coordinator.degraded_syncs(), coordinator.partial_resolutions(),
+      reliable.retransmissions(), reliable.acks_sent(),
+      reliable.duplicates_suppressed(), reliable.give_ups(),
+      coordinator.rejoins_granted(), coordinator.stale_epoch_drops(),
+      wall_ms);
+}
+
+}  // namespace
+
+int main() {
+  // Drop-rate tiers of the acceptance matrix: clean, moderate, hostile.
+  // Duplicates/delays scale with the drop tier, like the stress profiles.
+  const double kDrops[] = {0.0, 0.10, 0.30};
+  const std::uint64_t kSeeds[] = {1, 2, 3};
+
+  std::printf("{\"benchmark\": \"reliability_layer\","
+              " \"workload\": \"jester_like/linf\",\n \"runs\": [\n");
+  bool first = true;
+  for (const double drop : kDrops) {
+    for (const std::uint64_t seed : kSeeds) {
+      Cell cell;
+      cell.seed = seed;
+      cell.drop = drop;
+      cell.duplicate = drop > 0.0 ? 0.05 : 0.0;
+      cell.max_delay_rounds = drop > 0.0 ? 2 : 0;
+      RunCell(cell, first);
+      first = false;
+    }
+  }
+  std::printf("\n]}\n");
+  return 0;
+}
