@@ -1,0 +1,131 @@
+#include "obs/metric_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/check.h"
+
+namespace sgm {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  SGM_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bucket edge");
+  SGM_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram bucket edges must be ascending");
+  buckets_ = std::make_unique<std::atomic<long>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());  // == size(): overflow
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<long> Histogram::bucket_counts() const {
+  std::vector<long> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+const std::vector<double>& LatencyBucketsNs() {
+  static const std::vector<double>* buckets = [] {
+    auto* edges = new std::vector<double>;
+    for (double edge = 256.0; edge <= 67'108'864.0 * 1.5; edge *= 2.0) {
+      edges->push_back(edge);
+    }
+    return edges;
+  }();
+  return *buckets;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return slot.get();
+}
+
+namespace {
+
+/// %g loses integer-exactness above 6 digits; metric values are either
+/// exact longs (counters) or doubles where 17 digits round-trip.
+void AppendDouble(std::ostream& out, double value) {
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      value > -1e15 && value < 1e15) {
+    out << static_cast<long long>(value);
+  } else {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    out << buffer;
+  }
+}
+
+}  // namespace
+
+void MetricRegistry::WriteJson(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "" : ",") << "\n    \"" << name
+        << "\": " << counter->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out << (first ? "" : ",") << "\n    \"" << name << "\": ";
+    AppendDouble(out, gauge->value());
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    out << (first ? "" : ",") << "\n    \"" << name
+        << "\": {\"count\": " << histogram->count() << ", \"sum\": ";
+    AppendDouble(out, histogram->sum());
+    out << ", \"buckets\": [";
+    const std::vector<long> counts = histogram->bucket_counts();
+    const std::vector<double>& bounds = histogram->bounds();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "{\"le\": ";
+      if (i < bounds.size()) {
+        AppendDouble(out, bounds[i]);
+      } else {
+        out << "\"+inf\"";
+      }
+      out << ", \"count\": " << counts[i] << "}";
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+MetricRegistry& MetricRegistry::Default() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+}  // namespace sgm

@@ -1,0 +1,114 @@
+#ifndef SGM_OBS_METRIC_REGISTRY_H_
+#define SGM_OBS_METRIC_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sgm {
+
+/// Monotone event count. Increments are lock-free (relaxed atomics) so hot
+/// paths and concurrent components can share one instance; Set() exists for
+/// mirroring an externally-owned tally into the registry at snapshot time
+/// (the runtime nodes keep plain longs on their single-threaded hot paths
+/// and publish them here — see RuntimeDriver::PublishMetrics).
+class Counter {
+ public:
+  void Increment(long delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Set(long value) { value_.store(value, std::memory_order_relaxed); }
+  long value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long> value_{0};
+};
+
+/// Last-written instantaneous value (queue depth, live-site count, bytes).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper edges,
+/// with an implicit overflow bucket above the last edge. Observations are
+/// lock-free; bucket layout is frozen at construction so snapshots never
+/// race a resize.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  long count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// One count per bound plus the overflow bucket (size = bounds+1).
+  std::vector<long> bucket_counts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<long>[]> buckets_;
+  std::atomic<long> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default latency edges for profiling scopes, in nanoseconds: exponential
+/// 2^k ns from 256 ns to ~67 ms (19 buckets), covering sub-microsecond ball
+/// tests up to multi-millisecond sync rounds.
+const std::vector<double>& LatencyBucketsNs();
+
+/// Process- or component-scoped metric registry.
+///
+/// Names are hierarchical by convention — dotted, lower_snake leaf:
+/// `transport.retransmissions`, `coordinator.full_syncs`,
+/// `site.ball_test_ns`. Lookup/creation takes a mutex; the returned pointer
+/// is stable for the registry's lifetime, so hot paths cache it once and
+/// increment lock-free afterwards.
+///
+/// One registry per deployment (RuntimeDriver owns one per telemetry
+/// context) keeps concurrent drivers — the parity stress leg runs two —
+/// from conflating counts; MetricRegistry::Default() serves code without a
+/// context, e.g. the serialization profiling scopes.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Re-requesting an existing histogram ignores `bounds` (layout is fixed
+  /// at first creation).
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds = LatencyBucketsNs());
+
+  /// Serializes every metric as one JSON object, keys sorted (deterministic
+  /// modulo the recorded values):
+  ///   {"counters": {...}, "gauges": {...},
+  ///    "histograms": {name: {"count": n, "sum": s,
+  ///                          "buckets": [{"le": edge, "count": c}...]}}}
+  void WriteJson(std::ostream& out) const;
+
+  /// The process-wide default instance.
+  static MetricRegistry& Default();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_OBS_METRIC_REGISTRY_H_

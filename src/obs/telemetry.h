@@ -1,0 +1,61 @@
+#ifndef SGM_OBS_TELEMETRY_H_
+#define SGM_OBS_TELEMETRY_H_
+
+#include <chrono>
+#include <ostream>
+
+#include "obs/metric_registry.h"
+#include "obs/trace.h"
+
+namespace sgm {
+
+/// One deployment's observability context: a metric registry plus a
+/// structured trace log, handed to the runtime nodes through
+/// RuntimeConfig::telemetry (and to the sim protocols via set_telemetry).
+///
+/// Nullable by design — every instrumentation point guards on the pointer,
+/// so the faults-off hot path without telemetry is exactly the pre-telemetry
+/// code, and paper-comparable accounting is untouched either way (observing
+/// never mutates protocol state).
+struct Telemetry {
+  MetricRegistry registry;
+  TraceLog trace;
+
+  /// Advances the logical clock stamped on trace events; drivers call this
+  /// once per update cycle.
+  void SetCycle(long cycle) { trace.SetCycle(cycle); }
+
+  void WriteMetricsJson(std::ostream& out) const { registry.WriteJson(out); }
+};
+
+/// RAII profiling scope: measures wall time from construction to
+/// destruction and records the nanoseconds into a latency histogram.
+/// Null histogram = fully disabled (no clock reads) — construct with the
+/// cached Histogram* that is nullptr when telemetry is off.
+///
+/// Durations feed *metrics only*, never the trace: wall time is inherently
+/// non-deterministic, and the trace must stay byte-identical under
+/// replay-by-seed.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) : histogram_(histogram) {
+    if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (histogram_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->Observe(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_OBS_TELEMETRY_H_

@@ -1,0 +1,258 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "core/check.h"
+#include "obs/json.h"
+
+namespace sgm {
+
+namespace {
+
+void AppendNumber(std::ostream& out, double value) {
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      value > -1e15 && value < 1e15) {
+    out << static_cast<long long>(value);
+  } else {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    out << buffer;
+  }
+}
+
+void AppendArgs(const std::vector<TraceArg>& args, std::ostream& out) {
+  out << "{";
+  bool first = true;
+  for (const TraceArg& arg : args) {
+    out << (first ? "" : ",") << "\"" << JsonEscape(arg.key) << "\":";
+    switch (arg.kind) {
+      case TraceArg::Kind::kInt:
+        out << arg.int_value;
+        break;
+      case TraceArg::Kind::kDouble:
+        AppendNumber(out, arg.double_value);
+        break;
+      case TraceArg::Kind::kString:
+        out << "\"" << JsonEscape(arg.string_value) << "\"";
+        break;
+    }
+    first = false;
+  }
+  out << "}";
+}
+
+/// The event catalog: every name a conforming trace may contain, its
+/// category, and the argument keys that must be present. Extra args are
+/// allowed (events may carry more context than the schema demands); unknown
+/// names are schema violations. Keep in sync with docs/OBSERVABILITY.md.
+struct EventSpec {
+  const char* cat;
+  std::vector<const char*> required_args;
+};
+
+const std::map<std::string, EventSpec>& EventCatalog() {
+  static const auto* catalog = new std::map<std::string, EventSpec>{
+      // Protocol lifecycle (coordinator / site / sim protocols).
+      {"local_alarm", {"protocol", {}}},
+      {"probe_begin", {"protocol", {"epoch"}}},
+      {"partial_resolution", {"protocol", {}}},
+      {"one_d_resolution", {"protocol", {}}},
+      {"full_sync_begin", {"protocol", {"epoch"}}},
+      {"full_sync_complete", {"protocol", {"epoch", "degraded"}}},
+      {"sync_rerequest", {"protocol", {"epoch", "site"}}},
+      {"epoch_bump", {"protocol", {"epoch"}}},
+      {"anchor_applied", {"protocol", {"epoch", "source"}}},
+      {"epoch_gap", {"protocol", {"from_epoch", "to_epoch"}}},
+      {"stale_epoch_drop", {"protocol", {"msg_epoch"}}},
+      {"late_report", {"protocol", {"site"}}},
+      // Reliability layer (acks, rejoin handshake, heartbeats).
+      {"heartbeat", {"reliability", {}}},
+      {"rejoin_request", {"reliability", {}}},
+      {"rejoin_grant", {"reliability", {"epoch"}}},
+      {"retransmit", {"reliability", {"sender", "seq", "attempt"}}},
+      {"give_up", {"reliability", {"sender", "seq"}}},
+      {"duplicate_suppressed", {"reliability", {"sender", "seq"}}},
+      // Failure detector transitions.
+      {"heartbeat_miss", {"failure", {"misses"}}},
+      {"suspect", {"failure", {"misses"}}},
+      {"dead", {"failure", {"deaths"}}},
+      {"unreachable", {"failure", {}}},
+      {"quarantined", {"failure", {"until_cycle"}}},
+      {"rejoin_begin", {"failure", {}}},
+      {"rejoin_complete", {"failure", {}}},
+      // Injected faults (SimTransport).
+      {"site_crash", {"fault", {}}},
+      {"site_recover", {"fault", {}}},
+      {"drop", {"fault", {"type"}}},
+      {"duplicate", {"fault", {"type"}}},
+      {"delay", {"fault", {"type", "rounds"}}},
+      // Run/benchmark markers emitted by the tools.
+      {"run_begin", {"run", {}}},
+      {"cell_begin", {"run", {}}},
+  };
+  return *catalog;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void TraceLog::SetCycle(long cycle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cycle_ = cycle;
+}
+
+long TraceLog::cycle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cycle_;
+}
+
+void TraceLog::Emit(std::string cat, std::string name, int actor,
+                    std::vector<TraceArg> args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent event;
+  event.ts = next_ts_++;
+  event.cycle = cycle_;
+  event.cat = std::move(cat);
+  event.name = std::move(name);
+  event.actor = actor;
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+}
+
+std::size_t TraceLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceLog::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void TraceLog::AppendEventJson(const TraceEvent& event, std::ostream& out) {
+  out << "{\"ts\":" << event.ts << ",\"cycle\":" << event.cycle << ",\"cat\":\""
+      << JsonEscape(event.cat) << "\",\"name\":\"" << JsonEscape(event.name)
+      << "\",\"actor\":" << event.actor << ",\"args\":";
+  AppendArgs(event.args, out);
+  out << "}";
+}
+
+void TraceLog::WriteJsonl(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const TraceEvent& event : events_) {
+    AppendEventJson(event, out);
+    out << "\n";
+  }
+}
+
+void TraceLog::WriteChromeTrace(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\"traceEvents\":[\n";
+  // Pseudo-thread naming: tid 0 is the coordinator, tid i+1 is site i.
+  std::set<int> actors;
+  for (const TraceEvent& event : events_) actors.insert(event.actor);
+  bool first = true;
+  for (const int actor : actors) {
+    out << (first ? "" : ",\n")
+        << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+        << actor + 1 << ",\"args\":{\"name\":\"";
+    if (actor < 0) {
+      out << "coordinator";
+    } else {
+      out << "site " << actor;
+    }
+    out << "\"}}";
+    first = false;
+  }
+  for (const TraceEvent& event : events_) {
+    out << (first ? "" : ",\n")
+        << "{\"name\":\"" << JsonEscape(event.name) << "\",\"cat\":\""
+        << JsonEscape(event.cat) << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0"
+        << ",\"tid\":" << event.actor + 1 << ",\"ts\":" << event.ts
+        << ",\"args\":";
+    std::vector<TraceArg> args = event.args;
+    args.emplace_back("cycle", event.cycle);
+    AppendArgs(args, out);
+    out << "}";
+    first = false;
+  }
+  out << "\n]}\n";
+}
+
+bool ValidateTraceJsonLine(const std::string& line, std::string* error) {
+  SGM_CHECK(error != nullptr);
+  const Result<JsonValue> parsed = JsonValue::Parse(line);
+  if (!parsed.ok()) {
+    *error = "not valid JSON: " + parsed.status().message();
+    return false;
+  }
+  const JsonValue& value = parsed.ValueOrDie();
+  if (!value.is_object()) {
+    *error = "trace line is not a JSON object";
+    return false;
+  }
+  for (const char* key : {"ts", "cycle", "actor"}) {
+    const JsonValue* field = value.Find(key);
+    if (field == nullptr || !field->is_number()) {
+      *error = std::string("missing or non-numeric \"") + key + "\"";
+      return false;
+    }
+  }
+  const JsonValue* name = value.Find("name");
+  const JsonValue* cat = value.Find("cat");
+  if (name == nullptr || !name->is_string() || cat == nullptr ||
+      !cat->is_string()) {
+    *error = "missing or non-string \"name\"/\"cat\"";
+    return false;
+  }
+  const JsonValue* args = value.Find("args");
+  if (args == nullptr || !args->is_object()) {
+    *error = "missing or non-object \"args\"";
+    return false;
+  }
+  const auto& catalog = EventCatalog();
+  const auto it = catalog.find(name->string_value());
+  if (it == catalog.end()) {
+    *error = "unknown event name \"" + name->string_value() + "\"";
+    return false;
+  }
+  if (cat->string_value() != it->second.cat) {
+    *error = "event \"" + name->string_value() + "\" expects category \"" +
+             it->second.cat + "\", got \"" + cat->string_value() + "\"";
+    return false;
+  }
+  for (const char* required : it->second.required_args) {
+    if (args->Find(required) == nullptr) {
+      *error = "event \"" + name->string_value() +
+               "\" missing required arg \"" + required + "\"";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sgm

@@ -1,0 +1,104 @@
+#ifndef SGM_OBS_TRACE_H_
+#define SGM_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sgm {
+
+/// One structured argument of a trace event. Values are integers, doubles
+/// or short strings; keys are lower_snake identifiers.
+struct TraceArg {
+  enum class Kind { kInt, kDouble, kString };
+
+  TraceArg(std::string k, std::int64_t v)
+      : key(std::move(k)), kind(Kind::kInt), int_value(v) {}
+  TraceArg(std::string k, int v)
+      : TraceArg(std::move(k), static_cast<std::int64_t>(v)) {}
+  TraceArg(std::string k, double v)
+      : key(std::move(k)), kind(Kind::kDouble), double_value(v) {}
+  TraceArg(std::string k, std::string v)
+      : key(std::move(k)), kind(Kind::kString), string_value(std::move(v)) {}
+  TraceArg(std::string k, const char* v)
+      : TraceArg(std::move(k), std::string(v)) {}
+
+  std::string key;
+  Kind kind;
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;
+};
+
+/// One protocol-lifecycle event.
+///
+/// Timestamps are *logical*: `ts` is the event's position in the run (a
+/// process-wide monotone index, incremented per emit) and `cycle` the update
+/// cycle it occurred in. No wall clock enters a trace, so a replay from the
+/// same seed reproduces the file byte-for-byte (the determinism contract
+/// dst_stress and the CI trace job rely on).
+struct TraceEvent {
+  long ts = 0;       ///< monotone per-log event index (logical time)
+  long cycle = 0;    ///< update cycle the event belongs to
+  std::string cat;   ///< "protocol" | "reliability" | "failure" | "fault" | ...
+  std::string name;  ///< event type, see docs/OBSERVABILITY.md catalog
+  int actor = 0;     ///< site id, or kCoordinatorId (-1) for the coordinator
+  std::vector<TraceArg> args;
+};
+
+/// Append-only structured event log with JSONL and Chrome trace_event
+/// output. Thread-safe (a mutex serializes emits); in the single-threaded
+/// simulation drivers the emit order — and therefore the file — is fully
+/// deterministic.
+class TraceLog {
+ public:
+  TraceLog() = default;
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
+
+  /// Sets the cycle stamped on subsequent events (drivers call this once
+  /// per update cycle).
+  void SetCycle(long cycle);
+  long cycle() const;
+
+  void Emit(std::string cat, std::string name, int actor,
+            std::vector<TraceArg> args = {});
+
+  std::size_t size() const;
+  /// Snapshot accessor for tests; copies under the lock.
+  std::vector<TraceEvent> events() const;
+
+  /// One `{"ts":..,"cycle":..,"cat":..,"name":..,"actor":..,"args":{..}}`
+  /// object per line, in emit order.
+  void WriteJsonl(std::ostream& out) const;
+
+  /// Chrome trace_event JSON (load via chrome://tracing or Perfetto): each
+  /// event becomes an instant event on the actor's pseudo-thread (tid 0 =
+  /// coordinator, tid i+1 = site i), ts in logical units, plus
+  /// thread_name metadata rows.
+  void WriteChromeTrace(std::ostream& out) const;
+
+  static void AppendEventJson(const TraceEvent& event, std::ostream& out);
+
+ private:
+  mutable std::mutex mu_;
+  long cycle_ = 0;
+  long next_ts_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+/// Validates one JSONL trace line against the event schema: structural keys
+/// (ts/cycle/cat/name/actor/args), a known event name, the name's expected
+/// category, and its required argument keys. Returns false and fills
+/// `error` on the first problem. The catalog lives in trace.cc and is
+/// documented in docs/OBSERVABILITY.md.
+bool ValidateTraceJsonLine(const std::string& line, std::string* error);
+
+/// JSON string escaping shared by the trace/metric writers.
+std::string JsonEscape(const std::string& text);
+
+}  // namespace sgm
+
+#endif  // SGM_OBS_TRACE_H_

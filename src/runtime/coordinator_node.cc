@@ -7,6 +7,7 @@
 #include "estimators/horvitz_thompson.h"
 #include "estimators/tail_bounds.h"
 #include "geometry/ball.h"
+#include "obs/telemetry.h"
 
 namespace sgm {
 
@@ -18,6 +19,7 @@ CoordinatorNode::CoordinatorNode(int num_sites,
       function_(function.Clone()),
       config_(config),
       transport_(transport),
+      telemetry_(config.telemetry),
       fd_(num_sites, config.failure_detector),
       last_known_(num_sites),
       last_grant_cycle_(num_sites, -1),
@@ -29,6 +31,13 @@ CoordinatorNode::CoordinatorNode(int num_sites,
   SGM_CHECK(config.degraded_resync_cycles >= 1);
   SGM_CHECK(config.max_sync_retries >= 0);
   SGM_CHECK(config.rejoin_resync_cycles >= 1);
+  if (telemetry_ != nullptr) {
+    fd_.set_telemetry(telemetry_);
+    ht_estimate_ns_ = telemetry_->registry.GetHistogram(
+        "coordinator.ht_estimate_ns", LatencyBucketsNs());
+    full_sync_ns_ = telemetry_->registry.GetHistogram(
+        "coordinator.full_sync_ns", LatencyBucketsNs());
+  }
 }
 
 void CoordinatorNode::AttachReliability(ReliableTransport* reliable) {
@@ -86,19 +95,32 @@ void CoordinatorNode::SendBroadcast(RuntimeMessage message) {
   transport_->Send(std::move(message));
 }
 
+void CoordinatorNode::BumpEpoch() {
+  ++epoch_;
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.Emit("protocol", "epoch_bump", kCoordinatorId,
+                           {{"epoch", epoch_}});
+  }
+}
+
 void CoordinatorNode::RequestFullState() {
-  ++epoch_;  // a new sync round begins
+  BumpEpoch();  // a new sync round begins
   phase_ = Phase::kCollecting;
   sync_retries_ = 0;
   collected_.assign(num_sites_, Vector());
   received_.assign(num_sites_, false);
   received_count_ = 0;
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.Emit("protocol", "full_sync_begin", kCoordinatorId,
+                           {{"epoch", epoch_}});
+  }
   RuntimeMessage request;
   request.type = RuntimeMessage::Type::kFullStateRequest;
   SendBroadcast(std::move(request));
 }
 
-void CoordinatorNode::FinishFullSync() {
+void CoordinatorNode::FinishFullSync(bool degraded) {
+  ScopedTimer timer(full_sync_ns_);
   // A degraded sync may hold no vector at all for a site that has never
   // managed to report; average over the sites we have state for.
   Vector sum;
@@ -118,6 +140,11 @@ void CoordinatorNode::FinishFullSync() {
   cycles_since_sync_ = 0;
   ++full_syncs_;
   phase_ = Phase::kIdle;
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.Emit(
+        "protocol", "full_sync_complete", kCoordinatorId,
+        {{"epoch", epoch_}, {"degraded", degraded ? 1 : 0}});
+  }
 
   RuntimeMessage estimate;
   estimate.type = RuntimeMessage::Type::kNewEstimate;
@@ -129,6 +156,9 @@ void CoordinatorNode::FinishFullSync() {
 void CoordinatorNode::ResolvePartial(const Vector& v_hat) {
   ++partial_resolutions_;
   phase_ = Phase::kIdle;
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.Emit("protocol", "partial_resolution", kCoordinatorId);
+  }
   // Certified cooldown (see SgmOptions::certified_cooldown): the average
   // cannot cross for (D − ε)/max_step cycles.
   const double U = CurrentU();
@@ -154,7 +184,11 @@ void CoordinatorNode::MaybeGrantRejoin(int site) {
   grant_pending_[site] = true;
   anchor_undelivered_[site] = false;  // this grant supersedes the lost anchor
   if (reliable_ != nullptr) reliable_->MarkLinkUp(site);
-  ++rejoins_granted_;
+  ++audit_.rejoins_granted;
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.Emit("reliability", "rejoin_grant", site,
+                           {{"epoch", epoch_}});
+  }
   RuntimeMessage grant;
   grant.type = RuntimeMessage::Type::kRejoinGrant;
   grant.from = kCoordinatorId;
@@ -229,7 +263,7 @@ void CoordinatorNode::CompleteCollection() {
     // resync); only transient losses from live sites warrant one here.
     if (missing_live) ScheduleResync(config_.degraded_resync_cycles);
   }
-  FinishFullSync();
+  FinishFullSync(degraded);
 }
 
 void CoordinatorNode::OnMessage(const RuntimeMessage& message) {
@@ -247,7 +281,11 @@ void CoordinatorNode::OnMessage(const RuntimeMessage& message) {
   const bool control = message.type == RuntimeMessage::Type::kHeartbeat ||
                        message.type == RuntimeMessage::Type::kRejoinRequest;
   if (!control && message.epoch < epoch_) {
-    ++stale_epoch_drops_;
+    ++audit_.stale_epoch_drops;
+    if (telemetry_ != nullptr) {
+      telemetry_->trace.Emit("protocol", "stale_epoch_drop", kCoordinatorId,
+                             {{"msg_epoch", message.epoch}});
+    }
     return;
   }
 
@@ -263,10 +301,14 @@ void CoordinatorNode::OnMessage(const RuntimeMessage& message) {
     case RuntimeMessage::Type::kLocalViolation: {
       if (phase_ != Phase::kIdle || alarm_this_cycle_) return;  // coalesce
       alarm_this_cycle_ = true;
-      ++epoch_;  // the probe round begins
+      BumpEpoch();  // the probe round begins
       phase_ = Phase::kProbing;
       probe_weighted_sum_ = Vector(e_.dim());
       probe_reports_ = 0;
+      if (telemetry_ != nullptr) {
+        telemetry_->trace.Emit("protocol", "probe_begin", kCoordinatorId,
+                               {{"epoch", epoch_}});
+      }
       RuntimeMessage probe;
       probe.type = RuntimeMessage::Type::kProbeRequest;
       SendBroadcast(std::move(probe));
@@ -275,7 +317,7 @@ void CoordinatorNode::OnMessage(const RuntimeMessage& message) {
     case RuntimeMessage::Type::kDriftReport: {
       if (phase_ != Phase::kProbing) return;
       if (message.epoch != epoch_) {  // fencing audit: must be unreachable
-        ++stale_epoch_applied_;
+        ++audit_.stale_epoch_applied;
         return;
       }
       SGM_CHECK_MSG(message.scalar > 0.0,
@@ -286,7 +328,7 @@ void CoordinatorNode::OnMessage(const RuntimeMessage& message) {
     }
     case RuntimeMessage::Type::kStateReport: {
       if (message.epoch != epoch_) {  // fencing audit: must be unreachable
-        ++stale_epoch_applied_;
+        ++audit_.stale_epoch_applied;
         return;
       }
       last_known_[site] = message.payload;
@@ -299,7 +341,11 @@ void CoordinatorNode::OnMessage(const RuntimeMessage& message) {
       if (phase_ != Phase::kCollecting) {
         // Same-round straggler (after a degraded completion) or the rejoin
         // handshake's fresh state: last-known is refreshed, nothing else.
-        ++late_reports_;
+        ++audit_.late_reports;
+        if (telemetry_ != nullptr) {
+          telemetry_->trace.Emit("protocol", "late_report", kCoordinatorId,
+                                 {{"site", site}});
+        }
         return;
       }
       if (!received_[site]) {
@@ -307,7 +353,7 @@ void CoordinatorNode::OnMessage(const RuntimeMessage& message) {
         collected_[site] = message.payload;
         ++received_count_;
       }
-      if (received_count_ == num_sites_) FinishFullSync();  // clean
+      if (received_count_ == num_sites_) FinishFullSync(false);  // clean
       return;
     }
     default:
@@ -330,7 +376,11 @@ void CoordinatorNode::OnQuiescent() {
       ++sync_retries_;
       for (int site = 0; site < num_sites_; ++site) {
         if (received_[site] || !fd_.IsLive(site)) continue;
-        ++sync_rerequests_;
+        ++audit_.sync_rerequests;
+        if (telemetry_ != nullptr) {
+          telemetry_->trace.Emit("protocol", "sync_rerequest", kCoordinatorId,
+                                 {{"epoch", epoch_}, {"site", site}});
+        }
         RuntimeMessage request;
         request.type = RuntimeMessage::Type::kFullStateRequest;
         request.from = kCoordinatorId;
@@ -350,15 +400,19 @@ void CoordinatorNode::OnQuiescent() {
   // part of the sample frame.
   const int live = std::max(1, fd_.live_count());
   Vector v_hat = e_;
-  v_hat.Axpy(1.0 / static_cast<double>(live), probe_weighted_sum_);
-
-  const double U = CurrentU();
-  const double epsilon = std::min(BernsteinEpsilon(config_.delta, U),
-                                  0.5 * epsilon_t_);
-  const bool estimate_switched =
-      (function_->Value(v_hat) > config_.threshold) != believes_above_;
-  const bool ball_crosses = function_->BallCrossesThreshold(
-      Ball(v_hat, epsilon), config_.threshold);
+  bool estimate_switched = false;
+  bool ball_crosses = false;
+  {
+    ScopedTimer timer(ht_estimate_ns_);
+    v_hat.Axpy(1.0 / static_cast<double>(live), probe_weighted_sum_);
+    const double U = CurrentU();
+    const double epsilon = std::min(BernsteinEpsilon(config_.delta, U),
+                                    0.5 * epsilon_t_);
+    estimate_switched =
+        (function_->Value(v_hat) > config_.threshold) != believes_above_;
+    ball_crosses = function_->BallCrossesThreshold(Ball(v_hat, epsilon),
+                                                   config_.threshold);
+  }
   if (estimate_switched || ball_crosses) {
     RequestFullState();
   } else {

@@ -91,18 +91,22 @@ class CoordinatorNode {
   std::int64_t epoch() const { return epoch_; }
   const FailureDetector& failure_detector() const { return fd_; }
 
-  // Epoch-fencing audit counters (dst_stress invariants).
-  long stale_epoch_drops() const { return stale_epoch_drops_; }
-  /// Stale-epoch messages that reached an apply path — must stay zero (the
-  /// fence increments the drop counter instead); checked by the
-  /// "no stale-epoch message applied" invariant.
-  long stale_epoch_applied() const { return stale_epoch_applied_; }
-  /// Same-epoch state reports that arrived after their round completed
-  /// (benign: they refresh last-known state only).
-  long late_reports() const { return late_reports_; }
-  long rejoins_granted() const { return rejoins_granted_; }
-  /// Unicast straggler re-requests issued under the per-epoch deadline.
-  long sync_rerequests() const { return sync_rerequests_; }
+  /// Epoch-fencing and reliability audit counters (dst_stress invariants),
+  /// snapshotted as one struct so invariant checks read a coherent view.
+  struct AuditStats {
+    long stale_epoch_drops = 0;
+    /// Stale-epoch messages that reached an apply path — must stay zero
+    /// (the fence increments the drop counter instead); checked by the
+    /// "no stale-epoch message applied" invariant.
+    long stale_epoch_applied = 0;
+    /// Same-epoch state reports that arrived after their round completed
+    /// (benign: they refresh last-known state only).
+    long late_reports = 0;
+    long rejoins_granted = 0;
+    /// Unicast straggler re-requests issued under the per-epoch deadline.
+    long sync_rerequests = 0;
+  };
+  AuditStats audit() const { return audit_; }
 
  private:
   enum class Phase { kIdle, kProbing, kCollecting };
@@ -111,7 +115,9 @@ class CoordinatorNode {
   void SendBroadcast(RuntimeMessage message);
   /// Starts a new collection round (fresh epoch).
   void RequestFullState();
-  void FinishFullSync();
+  /// Advances the epoch (sync-round counter) and traces the bump.
+  void BumpEpoch();
+  void FinishFullSync(bool degraded);
   void ResolvePartial(const Vector& v_hat);
   /// Merges a new wish into the pending resync schedule (soonest wins).
   void ScheduleResync(long cycles);
@@ -131,6 +137,11 @@ class CoordinatorNode {
   RuntimeConfig config_;
   Transport* transport_;
   ReliableTransport* reliable_ = nullptr;
+  Telemetry* telemetry_;
+  /// Cached latency histograms (nullptr when telemetry is off, which
+  /// disables the profiling scopes entirely — no clock reads).
+  Histogram* ht_estimate_ns_ = nullptr;
+  Histogram* full_sync_ns_ = nullptr;
   FailureDetector fd_;
 
   Phase phase_ = Phase::kIdle;
@@ -170,11 +181,7 @@ class CoordinatorNode {
   /// even if the site looks alive and epoch-current.
   std::vector<bool> anchor_undelivered_;
 
-  long stale_epoch_drops_ = 0;
-  long stale_epoch_applied_ = 0;
-  long late_reports_ = 0;
-  long rejoins_granted_ = 0;
-  long sync_rerequests_ = 0;
+  AuditStats audit_;
 
   // Partial-sync probe state: HT accumulation over first-trial reports.
   Vector probe_weighted_sum_;

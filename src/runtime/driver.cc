@@ -1,6 +1,7 @@
 #include "runtime/driver.h"
 
 #include "core/check.h"
+#include "obs/telemetry.h"
 
 namespace sgm {
 
@@ -22,8 +23,10 @@ void RuntimeDriver::BuildNodes(int num_sites,
                                const MonitoredFunction& function,
                                const RuntimeConfig& config, Transport* lower) {
   SGM_CHECK(num_sites > 0);
-  reliable_ = std::make_unique<ReliableTransport>(lower, num_sites,
-                                                  config.reliability);
+  telemetry_ = config.telemetry;
+  if (sim_ && telemetry_ != nullptr) sim_->set_telemetry(telemetry_);
+  reliable_ = std::make_unique<ReliableTransport>(
+      lower, num_sites, config.reliability, telemetry_);
   coordinator_ = std::make_unique<CoordinatorNode>(num_sites, function,
                                                    config, reliable_.get());
   coordinator_->AttachReliability(reliable_.get());
@@ -91,21 +94,86 @@ void RuntimeDriver::RouteToQuiescence() {
 
 void RuntimeDriver::Initialize(const std::vector<Vector>& local_vectors) {
   SGM_CHECK(static_cast<int>(local_vectors.size()) == num_sites());
+  if (telemetry_ != nullptr) telemetry_->SetCycle(cycle_);
   for (int i = 0; i < num_sites(); ++i) {
     sites_[i]->Observe(local_vectors[i]);
   }
   coordinator_->Start();
   RouteToQuiescence();
+  PublishMetrics();
 }
 
 void RuntimeDriver::Tick(const std::vector<Vector>& local_vectors) {
   SGM_CHECK(static_cast<int>(local_vectors.size()) == num_sites());
+  if (telemetry_ != nullptr) telemetry_->SetCycle(++cycle_);
   coordinator_->BeginCycle();
   for (int i = 0; i < num_sites(); ++i) {
     if (sim_ && sim_->IsCrashed(i)) continue;  // crashed: observes nothing
     sites_[i]->Observe(local_vectors[i]);
   }
   RouteToQuiescence();
+  PublishMetrics();
+}
+
+void RuntimeDriver::PublishMetrics() {
+  if (telemetry_ == nullptr) return;
+  MetricRegistry* registry = &telemetry_->registry;
+  if (sim_) {
+    sim_->PublishMetrics(registry);
+  } else {
+    // Faultless wiring: the bus carries the sender-side accounting.
+    registry->GetCounter("transport.paper_messages")
+        ->Set(bus_.messages_sent());
+    registry->GetCounter("transport.paper_site_messages")
+        ->Set(bus_.site_messages_sent());
+    registry->GetGauge("transport.paper_bytes")->Set(bus_.bytes_sent());
+    registry->GetCounter("transport.total_messages")
+        ->Set(bus_.transport_messages_sent());
+    registry->GetGauge("transport.total_bytes")
+        ->Set(bus_.transport_bytes_sent());
+  }
+  reliable_->PublishMetrics(registry);
+
+  const CoordinatorNode::AuditStats coord = coordinator_->audit();
+  registry->GetCounter("coordinator.full_syncs")
+      ->Set(coordinator_->full_syncs());
+  registry->GetCounter("coordinator.partial_resolutions")
+      ->Set(coordinator_->partial_resolutions());
+  registry->GetCounter("coordinator.degraded_syncs")
+      ->Set(coordinator_->degraded_syncs());
+  registry->GetCounter("coordinator.epoch")
+      ->Set(static_cast<long>(coordinator_->epoch()));
+  registry->GetCounter("coordinator.stale_epoch_drops")
+      ->Set(coord.stale_epoch_drops);
+  registry->GetCounter("coordinator.stale_epoch_applied")
+      ->Set(coord.stale_epoch_applied);
+  registry->GetCounter("coordinator.late_reports")->Set(coord.late_reports);
+  registry->GetCounter("coordinator.rejoins_granted")
+      ->Set(coord.rejoins_granted);
+  registry->GetCounter("coordinator.sync_rerequests")
+      ->Set(coord.sync_rerequests);
+
+  SiteNode::AuditStats sites_total;
+  for (const auto& site : sites_) {
+    const SiteNode::AuditStats audit = site->audit();
+    sites_total.stale_epoch_drops += audit.stale_epoch_drops;
+    sites_total.stale_epoch_applied += audit.stale_epoch_applied;
+    sites_total.heartbeats_sent += audit.heartbeats_sent;
+    sites_total.rejoin_requests_sent += audit.rejoin_requests_sent;
+  }
+  registry->GetCounter("site.stale_epoch_drops")
+      ->Set(sites_total.stale_epoch_drops);
+  registry->GetCounter("site.stale_epoch_applied")
+      ->Set(sites_total.stale_epoch_applied);
+  registry->GetCounter("site.heartbeats_sent")
+      ->Set(sites_total.heartbeats_sent);
+  registry->GetCounter("site.rejoin_requests_sent")
+      ->Set(sites_total.rejoin_requests_sent);
+
+  const FailureDetector& fd = coordinator_->failure_detector();
+  registry->GetCounter("failure.total_deaths")->Set(fd.total_deaths());
+  registry->GetGauge("failure.live_count")
+      ->Set(static_cast<double>(fd.live_count()));
 }
 
 }  // namespace sgm

@@ -52,6 +52,13 @@ class RuntimeDriver {
   /// nor receive until recovered.
   void Tick(const std::vector<Vector>& local_vectors);
 
+  /// Mirrors every component's counters into the attached telemetry's
+  /// metric registry (`transport.*`, `coordinator.*`, `site.*`,
+  /// `failure.*`). No-op without a RuntimeConfig::telemetry. Called
+  /// automatically after every Tick; also callable on demand before a
+  /// metrics snapshot is written out.
+  void PublishMetrics();
+
   const CoordinatorNode& coordinator() const { return *coordinator_; }
   const InMemoryBus& bus() const { return bus_; }
   /// The fault layer, or nullptr for the faultless wiring. Crash/recovery
@@ -80,6 +87,8 @@ class RuntimeDriver {
   std::unique_ptr<ReliableTransport> reliable_;
   std::unique_ptr<CoordinatorNode> coordinator_;
   std::vector<std::unique_ptr<SiteNode>> sites_;
+  Telemetry* telemetry_ = nullptr;
+  long cycle_ = 0;
 };
 
 }  // namespace sgm

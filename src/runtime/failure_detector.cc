@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/check.h"
+#include "obs/telemetry.h"
 
 namespace sgm {
 
@@ -16,26 +17,49 @@ FailureDetector::FailureDetector(int num_sites,
   SGM_CHECK(config.flap_window_cycles >= 1 && config.quarantine_cycles >= 0);
 }
 
+/// Shared death bookkeeping (miss escalation and transport unreachability
+/// reports converge here): death counters, flap detection over the recent
+/// window, and the dead/quarantined trace events.
+void FailureDetector::RecordDeath(int site) {
+  SiteState& s = sites_[site];
+  s.state = State::kDead;
+  ++s.deaths;
+  s.death_cycles.push_back(cycle_);
+  const long horizon = cycle_ - config_.flap_window_cycles;
+  s.death_cycles.erase(
+      std::remove_if(s.death_cycles.begin(), s.death_cycles.end(),
+                     [horizon](long c) { return c < horizon; }),
+      s.death_cycles.end());
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.Emit("failure", "dead", site, {{"deaths", s.deaths}});
+  }
+  if (static_cast<int>(s.death_cycles.size()) >=
+      config_.flap_death_threshold) {
+    s.quarantine_until = cycle_ + config_.quarantine_cycles;
+    if (telemetry_ != nullptr) {
+      telemetry_->trace.Emit("failure", "quarantined", site,
+                             {{"until_cycle", s.quarantine_until}});
+    }
+  }
+}
+
 void FailureDetector::Escalate(int site) {
   SiteState& s = sites_[site];
   if (s.state != State::kAlive && s.state != State::kSuspect) return;
   const long misses = cycle_ - s.last_heard_cycle;
   if (misses > config_.dead_after_misses) {
-    s.state = State::kDead;
-    ++s.deaths;
-    s.death_cycles.push_back(cycle_);
-    // Flap detection over the recent window.
-    const long horizon = cycle_ - config_.flap_window_cycles;
-    s.death_cycles.erase(
-        std::remove_if(s.death_cycles.begin(), s.death_cycles.end(),
-                       [horizon](long c) { return c < horizon; }),
-        s.death_cycles.end());
-    if (static_cast<int>(s.death_cycles.size()) >=
-        config_.flap_death_threshold) {
-      s.quarantine_until = cycle_ + config_.quarantine_cycles;
-    }
+    RecordDeath(site);
   } else if (misses > config_.suspect_after_misses) {
+    if (telemetry_ != nullptr && s.state != State::kSuspect) {
+      telemetry_->trace.Emit("failure", "suspect", site,
+                             {{"misses", misses}});
+    }
     s.state = State::kSuspect;
+  } else if (misses >= 2 && telemetry_ != nullptr) {
+    // One silent cycle is routine scheduling noise; two or more is a
+    // trend worth a breadcrumb before the suspect threshold trips.
+    telemetry_->trace.Emit("failure", "heartbeat_miss", site,
+                           {{"misses", misses}});
   }
 }
 
@@ -59,24 +83,19 @@ void FailureDetector::ReportUnreachable(int site) {
   SGM_CHECK(site >= 0 && site < static_cast<int>(sites_.size()));
   SiteState& s = sites_[site];
   if (s.state == State::kDead || s.state == State::kRejoining) return;
-  s.state = State::kDead;
-  ++s.deaths;
-  s.death_cycles.push_back(cycle_);
-  const long horizon = cycle_ - config_.flap_window_cycles;
-  s.death_cycles.erase(
-      std::remove_if(s.death_cycles.begin(), s.death_cycles.end(),
-                     [horizon](long c) { return c < horizon; }),
-      s.death_cycles.end());
-  if (static_cast<int>(s.death_cycles.size()) >=
-      config_.flap_death_threshold) {
-    s.quarantine_until = cycle_ + config_.quarantine_cycles;
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.Emit("failure", "unreachable", site);
   }
+  RecordDeath(site);
 }
 
 void FailureDetector::BeginRejoin(int site) {
   SGM_CHECK(site >= 0 && site < static_cast<int>(sites_.size()));
   if (sites_[site].state == State::kDead) {
     sites_[site].state = State::kRejoining;
+    if (telemetry_ != nullptr) {
+      telemetry_->trace.Emit("failure", "rejoin_begin", site);
+    }
   }
 }
 
@@ -86,6 +105,9 @@ void FailureDetector::CompleteRejoin(int site) {
   if (s.state != State::kRejoining && s.state != State::kDead) return;
   s.state = State::kAlive;
   s.last_heard_cycle = cycle_;
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.Emit("failure", "rejoin_complete", site);
+  }
 }
 
 bool FailureDetector::IsQuarantined(int site) const {

@@ -5,6 +5,8 @@
 
 namespace sgm {
 
+struct Telemetry;
+
 /// Tuning knobs of the coordinator-side failure detector.
 struct FailureDetectorConfig {
   /// Consecutive silent cycles before a site is suspected.
@@ -38,6 +40,10 @@ class FailureDetector {
   enum class State { kAlive, kSuspect, kDead, kRejoining };
 
   FailureDetector(int num_sites, const FailureDetectorConfig& config);
+
+  /// Optional observability sink (nullable, not owned): state transitions
+  /// are traced as `failure` category events when set.
+  void set_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
 
   /// Advances the cycle clock and escalates miss counts. Call once per
   /// update cycle, before processing the cycle's messages.
@@ -83,9 +89,11 @@ class FailureDetector {
   };
 
   void Escalate(int site);
+  void RecordDeath(int site);
 
   FailureDetectorConfig config_;
   std::vector<SiteState> sites_;
+  Telemetry* telemetry_ = nullptr;
   long cycle_ = 0;
 };
 

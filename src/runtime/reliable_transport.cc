@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/check.h"
+#include "obs/telemetry.h"
 
 namespace sgm {
 
@@ -16,10 +17,12 @@ constexpr std::size_t kSeenWindow = 1024;
 }  // namespace
 
 ReliableTransport::ReliableTransport(Transport* lower, int num_sites,
-                                     const ReliableTransportConfig& config)
+                                     const ReliableTransportConfig& config,
+                                     Telemetry* telemetry)
     : lower_(lower),
       num_sites_(num_sites),
       config_(config),
+      telemetry_(telemetry),
       rng_(config.seed),
       link_up_(num_sites, true) {
   SGM_CHECK(lower != nullptr);
@@ -92,6 +95,7 @@ void ReliableTransport::Send(const RuntimeMessage& message) {
     entry.awaiting.insert(stamped.to);
   }
   if (!entry.awaiting.empty()) {
+    ++stats_.tracked_sends;
     entry.due_round = round_ + NextBackoff(0);
     in_flight_.emplace(std::make_pair(stamped.from, stamped.seq),
                        std::move(entry));
@@ -106,7 +110,7 @@ void ReliableTransport::Ack(int receiver, const RuntimeMessage& message) {
   ack.to = message.from;
   ack.epoch = message.epoch;
   ack.seq = message.seq;
-  ++acks_sent_;
+  ++stats_.acks_sent;
   lower_->Send(ack);
 }
 
@@ -135,7 +139,11 @@ void ReliableTransport::OnDeliver(int receiver, const RuntimeMessage& message,
   const bool duplicate =
       message.seq <= window.floor || window.above.count(message.seq) > 0;
   if (duplicate) {
-    ++duplicates_suppressed_;
+    ++stats_.duplicates_suppressed;
+    if (telemetry_ != nullptr) {
+      telemetry_->trace.Emit("reliability", "duplicate_suppressed", receiver,
+                             {{"sender", message.from}, {"seq", message.seq}});
+    }
     Ack(receiver, message);  // the previous ack may have been lost
     return;
   }
@@ -163,7 +171,12 @@ void ReliableTransport::AdvanceRound() {
     }
     if (entry.attempts >= config_.max_retransmits) {
       // Exhausted: report still-awaited site links as dead and abandon.
-      ++give_ups_;
+      ++stats_.give_ups;
+      if (telemetry_ != nullptr) {
+        telemetry_->trace.Emit(
+            "reliability", "give_up", entry.message.from,
+            {{"sender", entry.message.from}, {"seq", entry.message.seq}});
+      }
       for (int site : entry.awaiting) {
         if (site >= 0) exhausted_links.emplace_back(site, entry.message);
       }
@@ -179,7 +192,13 @@ void ReliableTransport::AdvanceRound() {
       // only; dedup on the receiver keys by (sender, seq), so overlap with
       // the original broadcast is suppressed.
       copy.to = dest;
-      ++retransmissions_;
+      ++stats_.retransmissions;
+      if (telemetry_ != nullptr) {
+        telemetry_->trace.Emit("reliability", "retransmit", copy.from,
+                               {{"sender", copy.from},
+                                {"seq", copy.seq},
+                                {"attempt", entry.attempts}});
+      }
       lower_->Send(copy);
     }
     ++it;
@@ -189,6 +208,17 @@ void ReliableTransport::AdvanceRound() {
       dead_link_handler_(site, message);
     }
   }
+}
+
+void ReliableTransport::PublishMetrics(MetricRegistry* registry) const {
+  if (registry == nullptr) return;
+  registry->GetCounter("transport.tracked_sends")->Set(stats_.tracked_sends);
+  registry->GetCounter("transport.retransmissions")
+      ->Set(stats_.retransmissions);
+  registry->GetCounter("transport.acks_sent")->Set(stats_.acks_sent);
+  registry->GetCounter("transport.duplicates_suppressed")
+      ->Set(stats_.duplicates_suppressed);
+  registry->GetCounter("transport.give_ups")->Set(stats_.give_ups);
 }
 
 }  // namespace sgm

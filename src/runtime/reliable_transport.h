@@ -12,6 +12,9 @@
 
 namespace sgm {
 
+struct Telemetry;
+class MetricRegistry;
+
 /// Tuning knobs of the ack/retransmit layer. Every stochastic choice (the
 /// retransmission jitter) draws from the single `seed`, so dst_stress
 /// replays stay bit-for-bit identical.
@@ -52,9 +55,30 @@ struct ReliableTransportConfig {
 /// layer (the transport-parity stress leg enforces this).
 class ReliableTransport final : public Transport {
  public:
-  /// `lower` is not owned and must outlive this object.
+  /// Point-in-time view of the layer's activity counters: one struct
+  /// instead of loose per-counter accessors, so call sites snapshot all of
+  /// them coherently and new counters ride along without API churn. Served
+  /// into a MetricRegistry as `transport.*` by PublishMetrics.
+  struct Stats {
+    /// Sequenced original sends that entered retransmission tracking.
+    long tracked_sends = 0;
+    /// Ack-timeout retransmission copies placed on the wire.
+    long retransmissions = 0;
+    /// Transport-level acks emitted (one per fresh or re-seen delivery).
+    long acks_sent = 0;
+    /// Receive-side duplicates dropped (fault-injected or retransmit
+    /// overlap), each re-acked in case the first ack was lost.
+    long duplicates_suppressed = 0;
+    /// Messages abandoned after max_retransmits (dead-link reports fired).
+    long give_ups = 0;
+  };
+
+  /// `lower` is not owned and must outlive this object. `telemetry` is
+  /// optional (nullable): when present, retransmissions/give-ups/duplicate
+  /// suppressions are traced as reliability events.
   ReliableTransport(Transport* lower, int num_sites,
-                    const ReliableTransportConfig& config);
+                    const ReliableTransportConfig& config,
+                    Telemetry* telemetry = nullptr);
 
   /// Sender side: stamps a sequence number on trackable messages, records
   /// them for retransmission, and forwards to the lower transport.
@@ -98,10 +122,10 @@ class ReliableTransport final : public Transport {
     dead_link_handler_ = std::move(handler);
   }
 
-  long retransmissions() const { return retransmissions_; }
-  long acks_sent() const { return acks_sent_; }
-  long duplicates_suppressed() const { return duplicates_suppressed_; }
-  long give_ups() const { return give_ups_; }
+  Stats stats() const { return stats_; }
+  /// Mirrors the Stats counters into `registry` under `transport.*`
+  /// (transport.retransmissions, transport.acks_sent, ...).
+  void PublishMetrics(MetricRegistry* registry) const;
 
  private:
   struct InFlight {
@@ -119,6 +143,7 @@ class ReliableTransport final : public Transport {
   Transport* lower_;
   int num_sites_;
   ReliableTransportConfig config_;
+  Telemetry* telemetry_;
   Rng rng_;
   std::function<void(int, const RuntimeMessage&)> dead_link_handler_;
 
@@ -138,10 +163,7 @@ class ReliableTransport final : public Transport {
   std::map<std::pair<int, int>, SeenWindow> seen_;
 
   long round_ = 0;
-  long retransmissions_ = 0;
-  long acks_sent_ = 0;
-  long duplicates_suppressed_ = 0;
-  long give_ups_ = 0;
+  Stats stats_;
 };
 
 }  // namespace sgm

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/telemetry.h"
+
 namespace sgm {
 
 namespace {
@@ -30,6 +32,12 @@ constexpr std::uint8_t kKnownFlagsMask = kFlagRetransmit;
 }  // namespace
 
 std::vector<std::uint8_t> EncodeMessage(const RuntimeMessage& message) {
+  // Codec latency lands in the process-wide default registry: the free
+  // functions have no deployment context, and wire codec cost is a
+  // per-process property anyway.
+  static Histogram* encode_ns = MetricRegistry::Default().GetHistogram(
+      "serialization.encode_ns", LatencyBucketsNs());
+  ScopedTimer timer(encode_ns);
   std::vector<std::uint8_t> out;
   out.reserve(3 + 4 + 4 + 8 + 8 + 8 + 4 + 8 * message.payload.dim());
   Append<std::uint8_t>(&out, kWireFormatVersion);
@@ -50,6 +58,9 @@ std::vector<std::uint8_t> EncodeMessage(const RuntimeMessage& message) {
 
 Result<RuntimeMessage> DecodeMessage(
     const std::vector<std::uint8_t>& buffer) {
+  static Histogram* decode_ns = MetricRegistry::Default().GetHistogram(
+      "serialization.decode_ns", LatencyBucketsNs());
+  ScopedTimer timer(decode_ns);
   std::size_t offset = 0;
   std::uint8_t version = 0, type = 0, flags = 0;
   std::int32_t from = 0, to = 0;

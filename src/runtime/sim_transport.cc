@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/check.h"
+#include "obs/telemetry.h"
 
 namespace sgm {
 
@@ -51,11 +52,17 @@ void SimTransport::CrashSite(int site) {
     crashed_.resize(site + 1, false);
   }
   crashed_[site] = true;
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.Emit("fault", "site_crash", site);
+  }
 }
 
 void SimTransport::RecoverSite(int site) {
   if (site >= 0 && static_cast<std::size_t>(site) < crashed_.size()) {
     crashed_[site] = false;
+    if (telemetry_ != nullptr) {
+      telemetry_->trace.Emit("fault", "site_recover", site);
+    }
   }
 }
 
@@ -78,6 +85,11 @@ void SimTransport::Admit(const RuntimeMessage& message, int link) {
   // Fixed draw order (drop, delay, duplicate) keeps replays stable.
   if (rng.NextBernoulli(config_.drop_probability)) {
     ++dropped_messages_;
+    if (telemetry_ != nullptr) {
+      telemetry_->trace.Emit(
+          "fault", "drop", link,
+          {{"type", RuntimeMessage::TypeName(message.type)}});
+    }
     return;
   }
   const int delay =
@@ -86,6 +98,12 @@ void SimTransport::Admit(const RuntimeMessage& message, int link) {
                 static_cast<std::uint64_t>(config_.max_delay_rounds) + 1))
           : 0;
   const bool duplicated = rng.NextBernoulli(config_.duplicate_probability);
+  if (delay > 0 && telemetry_ != nullptr) {
+    telemetry_->trace.Emit(
+        "fault", "delay", link,
+        {{"type", RuntimeMessage::TypeName(message.type)},
+         {"rounds", delay}});
+  }
   Forward(message, delay);
   if (duplicated) {
     // A network duplicate hits the wire again: it appears in the transport
@@ -94,6 +112,11 @@ void SimTransport::Admit(const RuntimeMessage& message, int link) {
     ++duplicated_messages_;
     ++transport_messages_sent_;
     transport_bytes_sent_ += WireBytes(message);
+    if (telemetry_ != nullptr) {
+      telemetry_->trace.Emit(
+          "fault", "duplicate", link,
+          {{"type", RuntimeMessage::TypeName(message.type)}});
+    }
     Forward(message, delay);
   }
 }
@@ -140,6 +163,21 @@ void SimTransport::Send(const RuntimeMessage& message) {
   const int link = message.from == kCoordinatorId ? message.to : message.from;
   SGM_CHECK(link >= 0);
   Admit(message, link);
+}
+
+void SimTransport::PublishMetrics(MetricRegistry* registry) const {
+  if (registry == nullptr) return;
+  registry->GetCounter("transport.paper_messages")->Set(messages_sent_);
+  registry->GetCounter("transport.paper_site_messages")
+      ->Set(site_messages_sent_);
+  registry->GetGauge("transport.paper_bytes")->Set(bytes_sent_);
+  registry->GetCounter("transport.total_messages")
+      ->Set(transport_messages_sent_);
+  registry->GetGauge("transport.total_bytes")->Set(transport_bytes_sent_);
+  registry->GetCounter("transport.faults_dropped")->Set(dropped_messages_);
+  registry->GetCounter("transport.faults_duplicated")
+      ->Set(duplicated_messages_);
+  registry->GetCounter("transport.faults_delayed")->Set(delayed_messages_);
 }
 
 void SimTransport::AdvanceRound() {

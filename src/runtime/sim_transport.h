@@ -10,6 +10,9 @@
 
 namespace sgm {
 
+struct Telemetry;
+class MetricRegistry;
+
 /// Fault model of a SimTransport. All probabilities are per message per
 /// link; every stochastic decision draws from a per-link stream derived from
 /// the single `seed`, so one seed replays the exact fault schedule and
@@ -64,6 +67,12 @@ class SimTransport final : public Transport {
   /// `inner` is not owned and must outlive the SimTransport.
   SimTransport(Transport* inner, const SimTransportConfig& config);
 
+  /// Optional observability sink (nullable, not owned): injected faults and
+  /// crash/recover transitions are traced as `fault` category events. The
+  /// fault lottery itself never consults telemetry, so traced and untraced
+  /// runs of one seed inject the identical schedule.
+  void set_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+
   void Send(const RuntimeMessage& message) override;
 
   /// Advances the delivery clock one round and forwards every held message
@@ -102,6 +111,11 @@ class SimTransport final : public Transport {
   long duplicated_messages() const { return duplicated_messages_; }
   long delayed_messages() const { return delayed_messages_; }
 
+  /// Mirrors both accounting families and the fault statistics into
+  /// `registry`: paper-comparable under `transport.paper_*`, wire totals
+  /// under `transport.total_*`, faults under `transport.faults_*`.
+  void PublishMetrics(MetricRegistry* registry) const;
+
  private:
   struct Pending {
     long due_round;
@@ -117,6 +131,7 @@ class SimTransport final : public Transport {
 
   Transport* inner_;
   SimTransportConfig config_;
+  Telemetry* telemetry_ = nullptr;
   std::map<int, Rng> link_rngs_;
   std::vector<bool> crashed_;
 

@@ -5,6 +5,7 @@
 #include "core/check.h"
 #include "estimators/sampling.h"
 #include "geometry/ball.h"
+#include "obs/telemetry.h"
 
 namespace sgm {
 
@@ -15,12 +16,17 @@ SiteNode::SiteNode(int id, int num_sites, const MonitoredFunction& function,
       function_(function.Clone()),
       config_(config),
       transport_(transport),
+      telemetry_(config.telemetry),
       rng_(config.seed + 0x9e37u * static_cast<std::uint64_t>(id + 1)) {
   SGM_CHECK(id >= 0 && id < num_sites);
   SGM_CHECK(transport != nullptr);
   SGM_CHECK(config.num_trials >= 1);
   SGM_CHECK(config.max_step_norm > 0.0);
   SGM_CHECK(config.heartbeat_interval_cycles >= 1);
+  if (telemetry_ != nullptr) {
+    ball_test_ns_ = telemetry_->registry.GetHistogram("site.ball_test_ns",
+                                                      LatencyBucketsNs());
+  }
 }
 
 Vector SiteNode::Drift() const { return local_ - synced_local_; }
@@ -47,7 +53,10 @@ void SiteNode::SendHeartbeatIfDue() {
   if (cycles_since_sent_ < config_.heartbeat_interval_cycles) return;
   RuntimeMessage heartbeat;
   heartbeat.type = RuntimeMessage::Type::kHeartbeat;
-  ++heartbeats_sent_;
+  ++audit_.heartbeats_sent;
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.Emit("reliability", "heartbeat", id_);
+  }
   SendToCoordinator(std::move(heartbeat));
 }
 
@@ -56,7 +65,10 @@ void SiteNode::RequestRejoin() {
   rejoin_requested_ = true;
   RuntimeMessage request;
   request.type = RuntimeMessage::Type::kRejoinRequest;
-  ++rejoin_requests_sent_;
+  ++audit_.rejoin_requests_sent;
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.Emit("reliability", "rejoin_request", id_);
+  }
   SendToCoordinator(std::move(request));
 }
 
@@ -97,8 +109,16 @@ void SiteNode::Observe(const Vector& local_vector) {
     sampled_any = sampled_any || sampled;
   }
   if (sampled_any) {
-    const Ball constraint = Ball::LocalConstraint(e_, drift);
-    if (function_->BallCrossesThreshold(constraint, config_.threshold)) {
+    bool crossed = false;
+    {
+      ScopedTimer timer(ball_test_ns_);
+      const Ball constraint = Ball::LocalConstraint(e_, drift);
+      crossed = function_->BallCrossesThreshold(constraint, config_.threshold);
+    }
+    if (crossed) {
+      if (telemetry_ != nullptr) {
+        telemetry_->trace.Emit("protocol", "local_alarm", id_);
+      }
       RuntimeMessage alarm;
       alarm.type = RuntimeMessage::Type::kLocalViolation;
       SendToCoordinator(std::move(alarm));
@@ -108,9 +128,13 @@ void SiteNode::Observe(const Vector& local_vector) {
   SendHeartbeatIfDue();
 }
 
-void SiteNode::ApplyAnchor(const RuntimeMessage& message) {
+void SiteNode::ApplyAnchor(const RuntimeMessage& message, const char* source) {
   if (message.epoch != epoch_) {  // fencing audit: must be unreachable
-    ++stale_epoch_applied_;
+    ++audit_.stale_epoch_applied;
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.Emit("protocol", "anchor_applied", id_,
+                           {{"epoch", message.epoch}, {"source", source}});
   }
   e_ = message.payload;
   epsilon_t_ = message.scalar;
@@ -129,11 +153,20 @@ void SiteNode::OnMessage(const RuntimeMessage& message) {
   // means this site missed a sync and must not monitor against its stale
   // anchor until resynchronized.
   if (message.epoch < epoch_) {
-    ++stale_epoch_drops_;
+    ++audit_.stale_epoch_drops;
+    if (telemetry_ != nullptr) {
+      telemetry_->trace.Emit("protocol", "stale_epoch_drop", id_,
+                             {{"msg_epoch", message.epoch}});
+    }
     return;
   }
   if (message.epoch > epoch_) {
     const bool gap = message.epoch > epoch_ + 1;
+    if (gap && telemetry_ != nullptr) {
+      telemetry_->trace.Emit(
+          "protocol", "epoch_gap", id_,
+          {{"from_epoch", epoch_}, {"to_epoch", message.epoch}});
+    }
     epoch_ = message.epoch;
     const bool self_anchoring =
         message.type == RuntimeMessage::Type::kNewEstimate ||
@@ -166,11 +199,11 @@ void SiteNode::OnMessage(const RuntimeMessage& message) {
       return;
     }
     case RuntimeMessage::Type::kNewEstimate: {
-      ApplyAnchor(message);
+      ApplyAnchor(message, "new_estimate");
       return;
     }
     case RuntimeMessage::Type::kRejoinGrant: {
-      ApplyAnchor(message);
+      ApplyAnchor(message, "rejoin_grant");
       // Complete the handshake: ship fresh state so the coordinator can
       // update its last-known vector and mark this site alive.
       RuntimeMessage report;
@@ -181,7 +214,7 @@ void SiteNode::OnMessage(const RuntimeMessage& message) {
     }
     case RuntimeMessage::Type::kResolved: {
       if (!anchored_) return;
-      if (message.epoch != epoch_) ++stale_epoch_applied_;  // fencing audit
+      if (message.epoch != epoch_) ++audit_.stale_epoch_applied;  // audit
       mute_remaining_ = static_cast<long>(message.scalar);
       return;
     }

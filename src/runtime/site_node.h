@@ -13,6 +13,9 @@
 
 namespace sgm {
 
+struct Telemetry;
+class Histogram;
+
 /// Configuration shared by all nodes of one monitoring deployment.
 struct RuntimeConfig {
   double threshold = 0.0;
@@ -55,6 +58,14 @@ struct RuntimeConfig {
   FailureDetectorConfig failure_detector;
   /// Ack/retransmit layer tuning (backoff, retry budget, jitter seed).
   ReliableTransportConfig reliability;
+
+  // ── Observability ──────────────────────────────────────────────────────
+
+  /// Optional telemetry context (nullable, not owned): metric registry plus
+  /// structured trace, shared by every node of the deployment. Null keeps
+  /// the hot paths free of any instrumentation cost, and telemetry never
+  /// feeds back into protocol decisions either way.
+  Telemetry* telemetry = nullptr;
 };
 
 /// The bottom-tier participant of the SGM runtime: owns one local
@@ -104,15 +115,19 @@ class SiteNode {
   bool anchored() const { return anchored_ && initialized_; }
   const Vector& estimate() const { return e_; }
 
-  // Epoch-fencing audit counters (dst_stress invariants).
-  long stale_epoch_drops() const { return stale_epoch_drops_; }
-  /// Number of stale-epoch messages that reached an apply path — must stay
-  /// zero; the fence increments the drop counter instead. A nonzero value
-  /// is a protocol bug surfaced by the "no stale-epoch message applied"
-  /// invariant.
-  long stale_epoch_applied() const { return stale_epoch_applied_; }
-  long heartbeats_sent() const { return heartbeats_sent_; }
-  long rejoin_requests_sent() const { return rejoin_requests_sent_; }
+  /// Epoch-fencing audit counters (dst_stress invariants), snapshotted as
+  /// one struct so invariant checks read a coherent view.
+  struct AuditStats {
+    long stale_epoch_drops = 0;
+    /// Number of stale-epoch messages that reached an apply path — must
+    /// stay zero; the fence increments the drop counter instead. A nonzero
+    /// value is a protocol bug surfaced by the "no stale-epoch message
+    /// applied" invariant.
+    long stale_epoch_applied = 0;
+    long heartbeats_sent = 0;
+    long rejoin_requests_sent = 0;
+  };
+  AuditStats audit() const { return audit_; }
 
  private:
   double CurrentU() const;
@@ -121,14 +136,19 @@ class SiteNode {
   void SendHeartbeatIfDue();
   void RequestRejoin();
   /// Applies a full anchor (estimate + ε_T + epoch): kNewEstimate and
-  /// kRejoinGrant share this path.
-  void ApplyAnchor(const RuntimeMessage& message);
+  /// kRejoinGrant share this path; `source` labels the anchor_applied
+  /// trace event with which one it was.
+  void ApplyAnchor(const RuntimeMessage& message, const char* source);
 
   int id_;
   int num_sites_;
   std::unique_ptr<MonitoredFunction> function_;
   RuntimeConfig config_;
   Transport* transport_;
+  Telemetry* telemetry_;
+  /// Cached `site.ball_test_ns` histogram; nullptr when telemetry is off,
+  /// which disables the profiling scope entirely (no clock reads).
+  Histogram* ball_test_ns_ = nullptr;
   Rng rng_;
 
   Vector local_;         ///< v_i(t)
@@ -146,10 +166,7 @@ class SiteNode {
   long cycles_since_sent_ = 0;
   bool rejoin_requested_ = false;  ///< one outstanding request at a time
 
-  long stale_epoch_drops_ = 0;
-  long stale_epoch_applied_ = 0;
-  long heartbeats_sent_ = 0;
-  long rejoin_requests_sent_ = 0;
+  AuditStats audit_;
 };
 
 }  // namespace sgm

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "core/check.h"
+#include "obs/metric_registry.h"
 
 namespace sgm {
 
@@ -91,6 +92,24 @@ double Metrics::SiteMessagesPerUpdate(int num_sites) const {
   if (cycles_ == 0) return 0.0;
   return static_cast<double>(site_messages_) /
          (static_cast<double>(num_sites) * static_cast<double>(cycles_));
+}
+
+void Metrics::PublishTo(MetricRegistry* registry) const {
+  if (registry == nullptr) return;
+  registry->GetCounter("paper.site_messages")->Set(site_messages_);
+  registry->GetCounter("paper.coordinator_messages")
+      ->Set(coordinator_messages_);
+  registry->GetGauge("paper.total_bytes")->Set(bytes_);
+  registry->GetCounter("paper.full_syncs")->Set(full_syncs_);
+  registry->GetCounter("paper.false_positives")->Set(false_positives_);
+  registry->GetCounter("paper.one_d_resolutions")->Set(one_d_resolutions_);
+  registry->GetCounter("paper.partial_resolutions")
+      ->Set(partial_resolutions_);
+  registry->GetCounter("paper.local_alarm_cycles")->Set(local_alarm_cycles_);
+  registry->GetCounter("paper.cycles")->Set(cycles_);
+  registry->GetCounter("paper.false_negative_cycles")->Set(fn_cycles_);
+  registry->GetCounter("paper.false_negative_runs")
+      ->Set(static_cast<long>(fn_run_lengths_.size()));
 }
 
 }  // namespace sgm

@@ -6,6 +6,8 @@
 
 namespace sgm {
 
+class MetricRegistry;
+
 /// Communication- and accuracy-accounting for one protocol run.
 ///
 /// Conventions (matching Section 1.2's cost model):
@@ -88,6 +90,12 @@ class Metrics {
 
   /// Average messages transmitted *by each site per data update* (Fig. 13).
   double SiteMessagesPerUpdate(int num_sites) const;
+
+  /// Mirrors the paper-comparable accounting into `registry` under
+  /// `paper.*` — read-only publication, never feeding back: the figures
+  /// above remain the sole source of truth and stay byte-identical whether
+  /// or not telemetry is attached.
+  void PublishTo(MetricRegistry* registry) const;
 
  private:
   long site_messages_ = 0;

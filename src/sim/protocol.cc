@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/check.h"
+#include "obs/telemetry.h"
 
 namespace sgm {
 
@@ -24,6 +25,19 @@ void ProtocolBase::set_drift_norm_cap(double cap) {
 void ProtocolBase::set_u_threshold_factor(double factor) {
   SGM_CHECK_MSG(factor > 0.0, "U threshold factor must be positive");
   u_threshold_factor_ = factor;
+}
+
+void ProtocolBase::set_telemetry(Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ != nullptr) {
+    monitor_cycle_ns_ = telemetry_->registry.GetHistogram(
+        "protocol.monitor_cycle_ns", LatencyBucketsNs());
+    full_sync_ns_ = telemetry_->registry.GetHistogram("protocol.full_sync_ns",
+                                                      LatencyBucketsNs());
+  } else {
+    monitor_cycle_ns_ = nullptr;
+    full_sync_ns_ = nullptr;
+  }
 }
 
 void ProtocolBase::Initialize(const std::vector<Vector>& local_vectors,
@@ -52,8 +66,26 @@ CycleOutcome ProtocolBase::OnCycle(const std::vector<Vector>& local_vectors,
   SGM_CHECK_MSG(initialized_, "Initialize() must run before OnCycle()");
   SGM_CHECK(static_cast<int>(local_vectors.size()) == num_sites_);
   ++cycles_since_sync_;
-  CycleOutcome outcome = MonitorCycle(local_vectors, metrics);
+  if (telemetry_ != nullptr) telemetry_->SetCycle(++absolute_cycle_);
+  CycleOutcome outcome;
+  {
+    ScopedTimer timer(monitor_cycle_ns_);
+    outcome = MonitorCycle(local_vectors, metrics);
+  }
   if (outcome.local_alarm) metrics->OnLocalAlarm();
+  if (telemetry_ != nullptr) {
+    // The simulator plays both tiers in one object, so outcome events carry
+    // the coordinator actor (-1); full_sync_complete is traced by FullSync.
+    if (outcome.local_alarm) {
+      telemetry_->trace.Emit("protocol", "local_alarm", -1);
+    }
+    if (outcome.partial_resolved) {
+      telemetry_->trace.Emit("protocol", "partial_resolution", -1);
+    }
+    if (outcome.resolved_1d) {
+      telemetry_->trace.Emit("protocol", "one_d_resolution", -1);
+    }
+  }
   return outcome;
 }
 
@@ -76,6 +108,7 @@ double ProtocolBase::CurrentU() const {
 bool ProtocolBase::FullSync(const std::vector<Vector>& local_vectors,
                             Metrics* metrics, int already_collected) {
   SGM_CHECK(already_collected >= 0 && already_collected <= num_sites_);
+  ScopedTimer timer(full_sync_ns_);
   metrics->AddSiteMessages(num_sites_ - already_collected, dim_);
 
   const Vector mean = Mean(local_vectors);
@@ -94,6 +127,12 @@ bool ProtocolBase::FullSync(const std::vector<Vector>& local_vectors,
   believes_above_ = function_->Value(e_) > threshold_;
   epsilon_t_ = function_->DistanceToSurface(e_, threshold_);
   cycles_since_sync_ = 0;
+  if (telemetry_ != nullptr) {
+    // The sim has no transport epochs; the sync ordinal plays that role.
+    telemetry_->trace.Emit(
+        "protocol", "full_sync_complete", -1,
+        {{"epoch", metrics->full_syncs()}, {"degraded", 0}});
+  }
   AfterSync(local_vectors, metrics);
   return was_true_crossing;
 }

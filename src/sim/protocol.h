@@ -11,6 +11,9 @@
 
 namespace sgm {
 
+struct Telemetry;
+class Histogram;
+
 /// What happened during one execution of a protocol's monitoring (and
 /// possibly synchronization) phase.
 struct CycleOutcome {
@@ -93,6 +96,12 @@ class ProtocolBase : public Protocol {
   /// Lemma 3's P_FN bound becomes δ^(|Z|M·ε_T/(U√N)) = δ^(|Z|M/(β√N)).
   void set_u_threshold_factor(double factor);
 
+  /// Optional observability sink (nullable, not owned): cycle outcomes are
+  /// traced as protocol events (the simulator plays both tiers, so events
+  /// carry the coordinator actor), and the monitoring/sync phases feed
+  /// latency histograms. Paper-comparable Metrics accounting is untouched.
+  void set_telemetry(Telemetry* telemetry);
+
  protected:
   /// Protocol-specific monitoring phase; the base increments the sync clock
   /// before dispatching here.
@@ -146,6 +155,15 @@ class ProtocolBase : public Protocol {
   bool believes_above_ = false;
   long cycles_since_sync_ = 0;
   bool initialized_ = false;
+
+  Telemetry* telemetry_ = nullptr;
+  /// Cached latency histograms; nullptr when telemetry is off, which
+  /// disables the profiling scopes entirely (no clock reads).
+  Histogram* monitor_cycle_ns_ = nullptr;
+  Histogram* full_sync_ns_ = nullptr;
+  /// Absolute update-cycle counter (never reset by syncs) — the logical
+  /// clock stamped on this protocol's trace events.
+  long absolute_cycle_ = 0;
 };
 
 }  // namespace sgm

@@ -15,6 +15,7 @@
 #include "gm/cvsgm.h"
 #include "gm/gm.h"
 #include "gm/sgm.h"
+#include "obs/telemetry.h"
 #include "runtime/driver.h"
 #include "sim/metrics.h"
 
@@ -245,6 +246,10 @@ StressReport RunSimStress(const StressConfig& config) {
   auto protocol =
       MakeProtocol(config, *function, threshold, source.max_step_norm());
   protocol->set_drift_norm_cap(source.max_drift_norm());
+  protocol->set_telemetry(config.telemetry);
+  if (config.telemetry != nullptr) {
+    config.telemetry->trace.Emit("run", "run_begin", -1);
+  }
 
   InvariantChecker checker(ResolveTolerances(config, source.max_step_norm()));
   Metrics metrics;
@@ -280,6 +285,9 @@ StressReport RunSimStress(const StressConfig& config) {
 
   report.cycles = config.cycles;
   report.full_syncs = metrics.full_syncs();
+  if (config.telemetry != nullptr) {
+    metrics.PublishTo(&config.telemetry->registry);
+  }
   FillReport(checker, config, "sim", &report);
   return report;
 }
@@ -304,6 +312,7 @@ struct RuntimeLeg {
     node.max_step_norm = source_.max_step_norm();
     node.drift_norm_cap = source_.max_drift_norm();
     node.seed = DeriveSeed(config_.seed, kProtocolStream);
+    node.telemetry = config_.telemetry;
     return node;
   }
 
@@ -399,6 +408,9 @@ StressReport RunRuntimeStress(const StressConfig& config) {
   SGM_CHECK(config.protocol == StressProtocol::kSgm);
   StressReport report;
   RuntimeLeg leg(config);
+  if (config.telemetry != nullptr) {
+    config.telemetry->trace.Emit("run", "run_begin", -1);
+  }
 
   RuntimeDriver driver(config.num_sites, *leg.function_, leg.NodeConfig(),
                        leg.TransportConfig());
@@ -454,9 +466,9 @@ StressReport RunRuntimeStress(const StressConfig& config) {
 
     // Epoch-fencing invariant: no stale-epoch message ever reaches an
     // apply path, anywhere in the deployment.
-    long stale_applied = d.coordinator().stale_epoch_applied();
+    long stale_applied = d.coordinator().audit().stale_epoch_applied;
     for (int i = 0; i < config.num_sites; ++i) {
-      stale_applied += d.site(i).stale_epoch_applied();
+      stale_applied += d.site(i).audit().stale_epoch_applied;
     }
     checker.CheckEpochFencing(t, stale_applied);
 
@@ -490,12 +502,13 @@ StressReport RunRuntimeStress(const StressConfig& config) {
   report.cycles = config.cycles;
   report.full_syncs = driver.coordinator().full_syncs();
   report.degraded_syncs = driver.coordinator().degraded_syncs();
-  report.retransmissions = driver.reliable_transport().retransmissions();
-  report.rejoins_granted = driver.coordinator().rejoins_granted();
-  report.stale_epoch_drops = driver.coordinator().stale_epoch_drops();
+  report.retransmissions = driver.reliable_transport().stats().retransmissions;
+  report.rejoins_granted = driver.coordinator().audit().rejoins_granted;
+  report.stale_epoch_drops = driver.coordinator().audit().stale_epoch_drops;
   for (int i = 0; i < config.num_sites; ++i) {
-    report.stale_epoch_drops += driver.site(i).stale_epoch_drops();
+    report.stale_epoch_drops += driver.site(i).audit().stale_epoch_drops;
   }
+  driver.PublishMetrics();
   FillReport(checker, config, "runtime", &report);
   return report;
 }
@@ -512,6 +525,9 @@ StressReport RunTransportParity(const StressConfig& config) {
   faultless.duplicate_probability = 0.0;
   faultless.max_delay_rounds = 0;
   faultless.crash_probability = 0.0;
+  // Two drivers share this process; attaching one telemetry context would
+  // conflate their counters, so the parity leg runs untelemetered.
+  faultless.telemetry = nullptr;
 
   RuntimeLeg leg(faultless);
   RuntimeDriver bus_driver(faultless.num_sites, *leg.function_,
@@ -547,8 +563,8 @@ StressReport RunTransportParity(const StressConfig& config) {
     // exclude control traffic by construction).
     checker.CheckTransportParity(
         t, "retransmissions under faultless wiring",
-        bus_driver.reliable_transport().retransmissions(), 0,
-        sim_driver.reliable_transport().retransmissions(), 0, 0.0, 0.0);
+        bus_driver.reliable_transport().stats().retransmissions, 0,
+        sim_driver.reliable_transport().stats().retransmissions, 0, 0.0, 0.0);
     if (bus_driver.coordinator().BelievesAbove() !=
             sim_driver.coordinator().BelievesAbove() ||
         bus_driver.coordinator().full_syncs() !=

@@ -9,6 +9,8 @@
 
 namespace sgm {
 
+struct Telemetry;
+
 /// Protocols of the stress matrix. GM and BGM are exact (zero tolerated
 /// disagreement); SGM and CVSGM are the paper's approximate schemes and are
 /// checked against their (ε, δ) self-correction contract.
@@ -53,6 +55,13 @@ struct StressConfig {
   /// benign disagreement cycle of an approximate protocol trips the checker
   /// — proving that a violation prints a deterministically replaying seed.
   bool sabotage_tolerance = false;
+
+  /// Optional observability sink (nullable, not owned) threaded through to
+  /// every component of the leg. Protocol decisions, fault injection and
+  /// paper accounting are identical with or without it; trace timestamps
+  /// are logical, so one seed yields one byte-identical trace. The parity
+  /// leg ignores it (two drivers in one process would conflate counters).
+  Telemetry* telemetry = nullptr;
 };
 
 /// Outcome of one stress leg.

@@ -52,7 +52,7 @@ TEST(ReliableTransportTest, AckResolvesAndNothingRetransmits) {
   // Coordinator receives: the message survives and an ack goes back.
   const auto fresh = DeliverTo(&rt, kCoordinatorId, sent);
   ASSERT_EQ(fresh.size(), 1u);
-  EXPECT_EQ(rt.acks_sent(), 1);
+  EXPECT_EQ(rt.stats().acks_sent, 1);
   ASSERT_FALSE(bus.empty());
   const RuntimeMessage ack = bus.Pop();
   ASSERT_EQ(ack.type, RuntimeMessage::Type::kAck);
@@ -63,7 +63,7 @@ TEST(ReliableTransportTest, AckResolvesAndNothingRetransmits) {
   EXPECT_TRUE(DeliverTo(&rt, 0, ack).empty());
   EXPECT_FALSE(rt.HasUnacked());
   for (int i = 0; i < 32; ++i) rt.AdvanceRound();
-  EXPECT_EQ(rt.retransmissions(), 0);
+  EXPECT_EQ(rt.stats().retransmissions, 0);
   EXPECT_TRUE(bus.empty());
 }
 
@@ -81,7 +81,7 @@ TEST(ReliableTransportTest, LostMessageRetransmitsWithSameSequence) {
   EXPECT_TRUE(copy.retransmit);
   EXPECT_EQ(copy.seq, original.seq);
   EXPECT_EQ(copy.type, original.type);
-  EXPECT_EQ(rt.retransmissions(), 1);
+  EXPECT_EQ(rt.stats().retransmissions, 1);
   EXPECT_TRUE(rt.HasUnacked());
 }
 
@@ -95,8 +95,8 @@ TEST(ReliableTransportTest, DuplicateSuppressedAndReAcked) {
   // The same (sender, seq) again — e.g. a retransmitted copy racing the
   // ack: suppressed, but re-acked in case the first ack was lost.
   EXPECT_TRUE(DeliverTo(&rt, kCoordinatorId, sent).empty());
-  EXPECT_EQ(rt.duplicates_suppressed(), 1);
-  EXPECT_EQ(rt.acks_sent(), 2);
+  EXPECT_EQ(rt.stats().duplicates_suppressed, 1);
+  EXPECT_EQ(rt.stats().acks_sent, 2);
 }
 
 TEST(ReliableTransportTest, BroadcastRetransmitsUnicastToSilentSitesOnly) {
@@ -129,7 +129,7 @@ TEST(ReliableTransportTest, BroadcastRetransmitsUnicastToSilentSitesOnly) {
   ASSERT_EQ(DeliverTo(&rt, 2, copy).size(), 1u);
   bus.Pop();  // site 2's ack
   EXPECT_TRUE(DeliverTo(&rt, 2, broadcast).empty());
-  EXPECT_EQ(rt.duplicates_suppressed(), 1);
+  EXPECT_EQ(rt.stats().duplicates_suppressed, 1);
 }
 
 TEST(ReliableTransportTest, GiveUpReportsDeadLinksWithTheLostMessage) {
@@ -150,7 +150,7 @@ TEST(ReliableTransportTest, GiveUpReportsDeadLinksWithTheLostMessage) {
     while (!bus.empty()) bus.Pop();
   }
   EXPECT_FALSE(rt.HasUnacked());
-  EXPECT_EQ(rt.give_ups(), 1);
+  EXPECT_EQ(rt.stats().give_ups, 1);
   ASSERT_EQ(dead.size(), 2u);  // both broadcast destinations were unreachable
   for (const auto& [site, type] : dead) {
     EXPECT_TRUE(site == 0 || site == 1);
@@ -176,7 +176,7 @@ TEST(ReliableTransportTest, ControlMessagesAreNeverTracked) {
     EXPECT_EQ(DeliverTo(&rt, kCoordinatorId, sent).size(), 1u);
     EXPECT_TRUE(bus.empty());
   }
-  EXPECT_EQ(rt.acks_sent(), 0);
+  EXPECT_EQ(rt.stats().acks_sent, 0);
 }
 
 TEST(ReliableTransportTest, LinkDownReleasesAndExcludesFromTracking) {

@@ -76,8 +76,8 @@ TEST(RuntimeReliabilityTest, SiteDropsStaleEpochMessages) {
   anchor.epoch = 2;
   anchor.payload = Vector{9.0, 9.0};
   site.OnMessage(anchor);
-  EXPECT_EQ(site.stale_epoch_drops(), 1);
-  EXPECT_EQ(site.stale_epoch_applied(), 0);
+  EXPECT_EQ(site.audit().stale_epoch_drops, 1);
+  EXPECT_EQ(site.audit().stale_epoch_applied, 0);
   EXPECT_EQ(site.epoch(), 3);
   EXPECT_EQ(site.estimate()[0], anchored_estimate[0]);
 }
@@ -107,7 +107,7 @@ TEST(RuntimeReliabilityTest, EpochGapUnanchorsAndRequestsRejoin) {
   site.OnMessage(probe);
   EXPECT_FALSE(site.anchored());
   EXPECT_EQ(site.epoch(), 4);
-  EXPECT_EQ(site.rejoin_requests_sent(), 1);
+  EXPECT_EQ(site.audit().rejoin_requests_sent, 1);
   ASSERT_FALSE(bus.empty());
   EXPECT_EQ(bus.Pop().type, RuntimeMessage::Type::kRejoinRequest);
 
@@ -139,7 +139,7 @@ TEST(RuntimeReliabilityTest, HeartbeatsKeepQuietSitesAlive) {
   EXPECT_EQ(fd.total_deaths(), 0);
   for (int i = 0; i < 6; ++i) {
     EXPECT_EQ(fd.state(i), FailureDetector::State::kAlive);
-    EXPECT_GT(driver.site(i).heartbeats_sent(), 0);
+    EXPECT_GT(driver.site(i).audit().heartbeats_sent, 0);
   }
 }
 
@@ -163,7 +163,7 @@ TEST(RuntimeReliabilityTest, QuietRecoveryRevivesWithoutAGrant) {
   // No epoch advanced while the site was down: its first heartbeat carries
   // the *current* epoch, so it missed nothing and is revived directly —
   // no rejoin handshake, no resync churn.
-  EXPECT_EQ(driver.coordinator().rejoins_granted(), 0);
+  EXPECT_EQ(driver.coordinator().audit().rejoins_granted, 0);
   EXPECT_EQ(driver.coordinator().failure_detector().state(2),
             FailureDetector::State::kAlive);
   EXPECT_EQ(driver.coordinator().failure_detector().live_count(), 4);
@@ -198,7 +198,7 @@ TEST(RuntimeReliabilityTest, CrashedSiteThatMissedASyncRejoinsViaGrant) {
   }
   // The recovered site's stale-epoch contact triggered the rejoin
   // handshake: grant → re-anchor → fresh state → alive, epoch-current.
-  EXPECT_GE(driver.coordinator().rejoins_granted(), 1);
+  EXPECT_GE(driver.coordinator().audit().rejoins_granted, 1);
   EXPECT_EQ(driver.coordinator().failure_detector().state(2),
             FailureDetector::State::kAlive);
   EXPECT_TRUE(driver.site(2).anchored());
@@ -218,10 +218,10 @@ TEST(RuntimeReliabilityTest, FaultFreeRunNeverRetransmits) {
   // NOT necessarily zero here — when several sites alarm in the same cycle
   // the first alarm bumps the epoch and the raced duplicates land behind
   // it; that is the coalescing path, not a fault artifact.)
-  EXPECT_EQ(driver.reliable_transport().retransmissions(), 0);
-  EXPECT_EQ(driver.reliable_transport().give_ups(), 0);
-  EXPECT_EQ(driver.reliable_transport().duplicates_suppressed(), 0);
-  EXPECT_EQ(driver.coordinator().stale_epoch_applied(), 0);
+  EXPECT_EQ(driver.reliable_transport().stats().retransmissions, 0);
+  EXPECT_EQ(driver.reliable_transport().stats().give_ups, 0);
+  EXPECT_EQ(driver.reliable_transport().stats().duplicates_suppressed, 0);
+  EXPECT_EQ(driver.coordinator().audit().stale_epoch_applied, 0);
 }
 
 }  // namespace

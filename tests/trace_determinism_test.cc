@@ -1,0 +1,158 @@
+// Telemetry determinism contracts:
+//  * replaying a seed reproduces the JSONL trace byte-for-byte (logical
+//    timestamps, no wall clock in traces);
+//  * attaching telemetry never changes protocol behaviour — a faults-off
+//    run's paper-comparable counters are identical with and without it.
+
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/telemetry.h"
+#include "sim/stress.h"
+
+namespace sgm {
+namespace {
+
+StressConfig FaultyRuntimeConfig() {
+  StressConfig config;
+  config.seed = 99;
+  config.protocol = StressProtocol::kSgm;
+  config.function = StressFunction::kLinfDistance;
+  config.num_sites = 12;
+  config.cycles = 120;
+  config.drop_probability = 0.15;
+  config.duplicate_probability = 0.05;
+  config.max_delay_rounds = 2;
+  config.crash_probability = 0.05;
+  return config;
+}
+
+std::string TraceOf(const StressConfig& base, Telemetry* telemetry) {
+  StressConfig config = base;
+  config.telemetry = telemetry;
+  const StressReport report = RunRuntimeStress(config);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  std::ostringstream out;
+  telemetry->trace.WriteJsonl(out);
+  return out.str();
+}
+
+TEST(TraceDeterminismTest, SameSeedReproducesRuntimeTraceByteForByte) {
+  const StressConfig config = FaultyRuntimeConfig();
+  Telemetry first;
+  Telemetry second;
+  const std::string trace_a = TraceOf(config, &first);
+  const std::string trace_b = TraceOf(config, &second);
+  ASSERT_GT(first.trace.size(), 100u)
+      << "faulty run produced suspiciously few events";
+  EXPECT_EQ(trace_a, trace_b);
+}
+
+TEST(TraceDeterminismTest, DifferentSeedsProduceDifferentTraces) {
+  StressConfig config = FaultyRuntimeConfig();
+  Telemetry first;
+  const std::string trace_a = TraceOf(config, &first);
+  config.seed = 100;
+  Telemetry second;
+  const std::string trace_b = TraceOf(config, &second);
+  EXPECT_NE(trace_a, trace_b);
+}
+
+TEST(TraceDeterminismTest, SimLegTraceIsReproducible) {
+  StressConfig config;
+  config.seed = 7;
+  config.protocol = StressProtocol::kSgm;
+  config.function = StressFunction::kL2Norm;
+  config.num_sites = 12;
+  config.cycles = 150;
+
+  Telemetry first;
+  config.telemetry = &first;
+  const StressReport report_a = RunSimStress(config);
+  Telemetry second;
+  config.telemetry = &second;
+  const StressReport report_b = RunSimStress(config);
+  ASSERT_TRUE(report_a.ok());
+  ASSERT_TRUE(report_b.ok());
+
+  std::ostringstream out_a;
+  std::ostringstream out_b;
+  first.trace.WriteJsonl(out_a);
+  second.trace.WriteJsonl(out_b);
+  EXPECT_EQ(out_a.str(), out_b.str());
+}
+
+// The observer-effect check: a faults-off runtime run must report exactly
+// the same paper-comparable counters whether or not telemetry is attached.
+TEST(TraceDeterminismTest, TelemetryDoesNotPerturbFaultlessCounters) {
+  StressConfig config;
+  config.seed = 13;
+  config.protocol = StressProtocol::kSgm;
+  config.function = StressFunction::kLinfDistance;
+  config.num_sites = 16;
+  config.cycles = 150;
+
+  config.telemetry = nullptr;
+  const StressReport bare = RunRuntimeStress(config);
+
+  Telemetry telemetry;
+  config.telemetry = &telemetry;
+  const StressReport observed = RunRuntimeStress(config);
+
+  ASSERT_TRUE(bare.ok()) << bare.Summary();
+  ASSERT_TRUE(observed.ok()) << observed.Summary();
+  EXPECT_EQ(bare.cycles, observed.cycles);
+  EXPECT_EQ(bare.fn_cycles, observed.fn_cycles);
+  EXPECT_EQ(bare.full_syncs, observed.full_syncs);
+  EXPECT_EQ(bare.degraded_syncs, observed.degraded_syncs);
+  EXPECT_EQ(bare.max_observed_run, observed.max_observed_run);
+  EXPECT_EQ(bare.retransmissions, observed.retransmissions);
+  EXPECT_EQ(bare.rejoins_granted, observed.rejoins_granted);
+  EXPECT_EQ(bare.stale_epoch_drops, observed.stale_epoch_drops);
+  EXPECT_GT(telemetry.trace.size(), 0u);
+}
+
+// Same observer-effect check under fault injection: the fault lottery never
+// consults telemetry, so even a hostile run is unperturbed by observation.
+TEST(TraceDeterminismTest, TelemetryDoesNotPerturbFaultyCounters) {
+  StressConfig config = FaultyRuntimeConfig();
+
+  config.telemetry = nullptr;
+  const StressReport bare = RunRuntimeStress(config);
+
+  Telemetry telemetry;
+  config.telemetry = &telemetry;
+  const StressReport observed = RunRuntimeStress(config);
+
+  ASSERT_TRUE(bare.ok()) << bare.Summary();
+  ASSERT_TRUE(observed.ok()) << observed.Summary();
+  EXPECT_EQ(bare.fn_cycles, observed.fn_cycles);
+  EXPECT_EQ(bare.full_syncs, observed.full_syncs);
+  EXPECT_EQ(bare.degraded_syncs, observed.degraded_syncs);
+  EXPECT_EQ(bare.retransmissions, observed.retransmissions);
+  EXPECT_EQ(bare.rejoins_granted, observed.rejoins_granted);
+  EXPECT_EQ(bare.stale_epoch_drops, observed.stale_epoch_drops);
+}
+
+// Every event a real faulty run emits must conform to the schema catalog —
+// the in-process version of `trace_inspect --validate`.
+TEST(TraceDeterminismTest, FaultyRunTraceValidatesAgainstSchema) {
+  const StressConfig config = FaultyRuntimeConfig();
+  Telemetry telemetry;
+  const std::string trace = TraceOf(config, &telemetry);
+
+  std::istringstream in(trace);
+  std::string line;
+  long lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    std::string error;
+    ASSERT_TRUE(ValidateTraceJsonLine(line, &error)) << line << ": " << error;
+  }
+  EXPECT_GT(lines, 0);
+}
+
+}  // namespace
+}  // namespace sgm

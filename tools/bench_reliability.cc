@@ -1,21 +1,34 @@
 // Reliability-layer cost baseline: runs the message-passing runtime (SGM,
 // L∞-distance, Jester-like workload) over a fixed seed × drop-rate matrix
 // and emits one JSON record per cell — paper-comparable traffic, transport
-// totals (retransmissions/acks included), sync counts, reliability-layer
-// activity, and wall time.
+// totals (retransmissions/acks included), the transport-vs-paper overhead
+// split (computed from the telemetry registry snapshot), sync counts,
+// reliability-layer activity, and wall time.
 //
 // The committed BENCH_reliability.json at the repo root is the output of
 //   bench_reliability > BENCH_reliability.json
 // All counters are seed-deterministic, so a diff in anything except
-// wall_time_ms is a behaviour change and should be reviewed as one.
+// wall_time_ms is a behaviour change and should be reviewed as one;
+// tools/bench_drift_check compares the paper-comparable columns against the
+// committed baseline and fails CI on >10% regression.
+//
+// Flags:
+//   --metrics-out=PATH  write the last cell's full metric-registry JSON
+//   --trace=PATH        write the whole matrix's trace (JSONL, one event
+//                       per line; cells delimited by cell_begin events)
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/rng.h"
 #include "data/jester_like.h"
 #include "functions/linf_distance.h"
+#include "obs/telemetry.h"
 #include "runtime/driver.h"
 
 namespace {
@@ -33,7 +46,13 @@ constexpr std::size_t kNumBuckets = 8;
 constexpr std::size_t kWindow = 50;
 constexpr double kThreshold = 5.0;
 
-void RunCell(const Cell& cell, bool first) {
+/// Runs one cell with a fresh Telemetry and prints its JSON record. The
+/// per-cell cost split is read back from the metric registry — the same
+/// snapshot a deployment's metrics endpoint would serve — rather than from
+/// the component accessors, exercising the publication path end to end.
+/// `trace` (nullable) collects the cell's protocol events.
+void RunCell(const Cell& cell, bool first, sgm::TraceLog* trace,
+             sgm::Telemetry* telemetry) {
   sgm::JesterLikeConfig workload;
   workload.num_sites = kNumSites;
   workload.window = kWindow;
@@ -48,6 +67,7 @@ void RunCell(const Cell& cell, bool first) {
   node.max_step_norm = source.max_step_norm();
   node.drift_norm_cap = source.max_drift_norm();
   node.seed = sgm::DeriveSeed(cell.seed, 202);
+  node.telemetry = telemetry;
 
   sgm::SimTransportConfig transport;
   transport.seed = sgm::DeriveSeed(cell.seed, 303);
@@ -70,14 +90,20 @@ void RunCell(const Cell& cell, bool first) {
           std::chrono::steady_clock::now() - start)
           .count();
 
-  const sgm::SimTransport* sim = driver.sim_transport();
-  const sgm::ReliableTransport& reliable = driver.reliable_transport();
+  // Every counter below comes from the published registry snapshot.
+  sgm::MetricRegistry& reg = telemetry->registry;
+  const long paper_messages = reg.GetCounter("transport.paper_messages")->value();
+  const double paper_bytes = reg.GetGauge("transport.paper_bytes")->value();
+  const long total_messages = reg.GetCounter("transport.total_messages")->value();
+  const double total_bytes = reg.GetGauge("transport.total_bytes")->value();
   const sgm::CoordinatorNode& coordinator = driver.coordinator();
   std::printf(
       "%s  {\"seed\": %llu, \"drop\": %.2f, \"duplicate\": %.2f,"
       " \"max_delay_rounds\": %d, \"sites\": %d, \"cycles\": %ld,\n"
       "   \"paper_messages\": %ld, \"paper_bytes\": %.0f,"
       " \"transport_messages\": %ld, \"transport_bytes\": %.0f,\n"
+      "   \"overhead_messages\": %ld, \"overhead_bytes\": %.0f,"
+      " \"overhead_message_ratio\": %.4f,\n"
       "   \"full_syncs\": %ld, \"degraded_syncs\": %ld,"
       " \"partial_resolutions\": %ld,\n"
       "   \"retransmissions\": %ld, \"acks\": %ld,"
@@ -86,23 +112,61 @@ void RunCell(const Cell& cell, bool first) {
       "   \"wall_time_ms\": %.1f}",
       first ? "" : ",\n",
       static_cast<unsigned long long>(cell.seed), cell.drop, cell.duplicate,
-      cell.max_delay_rounds, kNumSites, kCycles, sim->messages_sent(),
-      sim->bytes_sent(), sim->transport_messages_sent(),
-      sim->transport_bytes_sent(), coordinator.full_syncs(),
-      coordinator.degraded_syncs(), coordinator.partial_resolutions(),
-      reliable.retransmissions(), reliable.acks_sent(),
-      reliable.duplicates_suppressed(), reliable.give_ups(),
-      coordinator.rejoins_granted(), coordinator.stale_epoch_drops(),
+      cell.max_delay_rounds, kNumSites, kCycles, paper_messages, paper_bytes,
+      total_messages, total_bytes, total_messages - paper_messages,
+      total_bytes - paper_bytes,
+      paper_messages > 0
+          ? static_cast<double>(total_messages - paper_messages) /
+                static_cast<double>(paper_messages)
+          : 0.0,
+      coordinator.full_syncs(), coordinator.degraded_syncs(),
+      coordinator.partial_resolutions(),
+      reg.GetCounter("transport.retransmissions")->value(),
+      reg.GetCounter("transport.acks_sent")->value(),
+      reg.GetCounter("transport.duplicates_suppressed")->value(),
+      reg.GetCounter("transport.give_ups")->value(),
+      reg.GetCounter("coordinator.rejoins_granted")->value(),
+      reg.GetCounter("coordinator.stale_epoch_drops")->value() +
+          reg.GetCounter("site.stale_epoch_drops")->value(),
       wall_ms);
+
+  if (trace != nullptr) {
+    // Append this cell's events to the matrix-wide log (each cell's own
+    // TraceLog restarts ts at 0; the cell_begin marker delimits them).
+    trace->Emit("run", "cell_begin", -1,
+                {{"seed", static_cast<std::int64_t>(cell.seed)},
+                 {"drop", cell.drop}});
+    for (const sgm::TraceEvent& event : telemetry->trace.events()) {
+      trace->Emit(event.cat, event.name, event.actor, event.args);
+    }
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string metrics_out;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(std::strlen("--metrics-out="));
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_out = arg.substr(std::strlen("--trace="));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
   // Drop-rate tiers of the acceptance matrix: clean, moderate, hostile.
   // Duplicates/delays scale with the drop tier, like the stress profiles.
   const double kDrops[] = {0.0, 0.10, 0.30};
   const std::uint64_t kSeeds[] = {1, 2, 3};
+
+  sgm::TraceLog matrix_trace;
+  // The final (hostile) cell's registry survives the loop for --metrics-out.
+  std::unique_ptr<sgm::Telemetry> last_cell_telemetry;
 
   std::printf("{\"benchmark\": \"reliability_layer\","
               " \"workload\": \"jester_like/linf\",\n \"runs\": [\n");
@@ -114,10 +178,30 @@ int main() {
       cell.drop = drop;
       cell.duplicate = drop > 0.0 ? 0.05 : 0.0;
       cell.max_delay_rounds = drop > 0.0 ? 2 : 0;
-      RunCell(cell, first);
+      auto telemetry = std::make_unique<sgm::Telemetry>();
+      RunCell(cell, first, trace_out.empty() ? nullptr : &matrix_trace,
+              telemetry.get());
       first = false;
+      last_cell_telemetry = std::move(telemetry);
     }
   }
   std::printf("\n]}\n");
+
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+      return 1;
+    }
+    last_cell_telemetry->WriteMetricsJson(out);
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", trace_out.c_str());
+      return 1;
+    }
+    matrix_trace.WriteJsonl(out);
+  }
   return 0;
 }

@@ -24,16 +24,23 @@
 //   --crash      per-cycle site-crash probability              [0]
 //   --sabotage   collapse invariant tolerances to zero
 //   --verbose    print every leg's summary, not just failures
+//   --trace=PATH        write the structured protocol trace (JSONL; single
+//                       leg only — timestamps are logical, so a replayed
+//                       seed reproduces the file byte-for-byte)
+//   --metrics-out=PATH  write the metric-registry snapshot JSON (single
+//                       leg only)
 //
 // Exit status: 0 when every invariant held, 1 otherwise.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/rng.h"
+#include "obs/telemetry.h"
 #include "sim/stress.h"
 
 namespace {
@@ -44,6 +51,8 @@ struct Flags {
   std::string leg;
   sgm::StressConfig config;
   bool verbose = false;
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 bool ParseFlag(const char* arg, const char* name, const char** value) {
@@ -94,6 +103,11 @@ bool ParseArgs(int argc, char** argv, Flags* flags) {
       flags->config.sabotage_tolerance = true;
     } else if (ParseFlag(argv[i], "--verbose", &value)) {
       flags->verbose = true;
+    } else if (ParseFlag(argv[i], "--trace", &value) && value != nullptr) {
+      flags->trace_out = value;
+    } else if (ParseFlag(argv[i], "--metrics-out", &value) &&
+               value != nullptr) {
+      flags->metrics_out = value;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return false;
@@ -121,6 +135,22 @@ int main(int argc, char** argv) {
   Flags flags;
   if (!ParseArgs(argc, argv, &flags)) return 2;
 
+  // Telemetry attaches to single-leg runs only: the sweep runs many legs
+  // whose counters would conflate in one registry, and the parity leg
+  // ignores it by design.
+  sgm::Telemetry telemetry;
+  const bool want_telemetry =
+      !flags.trace_out.empty() || !flags.metrics_out.empty();
+  if (want_telemetry) {
+    if (flags.leg != "sim" && flags.leg != "runtime") {
+      std::fprintf(stderr,
+                   "--trace/--metrics-out require a single leg"
+                   " (--leg=sim|runtime)\n");
+      return 2;
+    }
+    flags.config.telemetry = &telemetry;
+  }
+
   std::vector<sgm::StressReport> reports;
   if (flags.leg.empty()) {
     // Sweep mode: one full matrix per master seed.
@@ -142,6 +172,25 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown --leg=%s (sim | runtime | parity)\n",
                  flags.leg.c_str());
     return 2;
+  }
+
+  if (!flags.trace_out.empty()) {
+    std::ofstream out(flags.trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", flags.trace_out.c_str());
+      return 2;
+    }
+    telemetry.trace.WriteJsonl(out);
+    std::printf("wrote %zu trace events to %s\n", telemetry.trace.size(),
+                flags.trace_out.c_str());
+  }
+  if (!flags.metrics_out.empty()) {
+    std::ofstream out(flags.metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", flags.metrics_out.c_str());
+      return 2;
+    }
+    telemetry.WriteMetricsJson(out);
   }
 
   const int failures = Report(reports, flags.verbose);

@@ -18,13 +18,18 @@
 //   --delta      FN tolerance δ                           [0.1]
 //   --cycles     update cycles                            [2000]
 //   --seed       workload seed                            [11]
+//   --trace      write the structured protocol trace (JSONL)
+//   --metrics-out  write the metric-registry snapshot JSON
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
+
+#include "obs/telemetry.h"
 
 #include "data/csv_stream.h"
 #include "data/jester_like.h"
@@ -59,6 +64,8 @@ struct Flags {
   double delta = 0.1;
   long cycles = 2000;
   std::uint64_t seed = 11;
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -90,6 +97,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->cycles = std::atol(value.c_str());
     } else if (key == "seed") {
       flags->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "trace") {
+      flags->trace_out = value;
+    } else if (key == "metrics-out") {
+      flags->metrics_out = value;
     } else {
       std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
       return false;
@@ -207,8 +218,33 @@ int Run(int argc, char** argv) {
   auto protocol = MakeProtocol(flags, *function, *source);
   if (protocol == nullptr) return 2;
 
+  Telemetry telemetry;
+  const bool want_telemetry =
+      !flags.trace_out.empty() || !flags.metrics_out.empty();
+  if (want_telemetry) protocol->set_telemetry(&telemetry);
+
   const RunResult r = Simulate(source.get(), protocol.get(), flags.cycles);
   const int n = source->num_sites();
+
+  if (want_telemetry) {
+    r.metrics.PublishTo(&telemetry.registry);
+    if (!flags.trace_out.empty()) {
+      std::ofstream out(flags.trace_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", flags.trace_out.c_str());
+        return 2;
+      }
+      telemetry.trace.WriteJsonl(out);
+    }
+    if (!flags.metrics_out.empty()) {
+      std::ofstream out(flags.metrics_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", flags.metrics_out.c_str());
+        return 2;
+      }
+      telemetry.WriteMetricsJson(out);
+    }
+  }
 
   std::printf("workload=%s function=%s protocol=%s N=%d T=%g delta=%g "
               "cycles=%ld\n\n",

@@ -1,0 +1,224 @@
+// Inspector for JSONL protocol traces (the --trace output of sgm_monitor,
+// dst_stress and bench_reliability).
+//
+// Modes (combine filters with any mode):
+//   trace_inspect FILE                     per-category/name event summary
+//   trace_inspect --validate FILE          schema-check every line; exit 1
+//                                          on the first invalid line
+//   trace_inspect --chrome=OUT FILE        convert to Chrome trace_event
+//                                          JSON (chrome://tracing, Perfetto)
+//   trace_inspect --cat=C --name=N --actor=A --cycle-min=X --cycle-max=Y
+//                                          print matching lines verbatim
+//
+// Filters apply to the summary and --chrome conversion too, so e.g.
+//   trace_inspect --cat=failure --chrome=fail.json trace.jsonl
+// produces a timeline of just the failure-detector lifecycle.
+
+#include <algorithm>
+#include <climits>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace {
+
+struct Options {
+  std::string file;
+  std::string chrome_out;
+  bool validate = false;
+  bool print_matches = false;  // set when any filter is given
+  std::string cat;
+  std::string name;
+  int actor = INT_MIN;
+  long cycle_min = LONG_MIN;
+  long cycle_max = LONG_MAX;
+};
+
+bool ParseFlag(const std::string& arg, const char* flag, std::string* out) {
+  const std::size_t len = std::strlen(flag);
+  if (arg.rfind(flag, 0) != 0) return false;
+  *out = arg.substr(len);
+  return true;
+}
+
+/// Rebuilds a TraceEvent from one parsed JSONL line (already validated or
+/// at least structurally JSON). Integral numbers round-trip as int args.
+sgm::TraceEvent ToEvent(const sgm::JsonValue& value) {
+  sgm::TraceEvent event;
+  event.ts = static_cast<long>(value.NumberOr("ts", 0));
+  event.cycle = static_cast<long>(value.NumberOr("cycle", 0));
+  if (const sgm::JsonValue* cat = value.Find("cat")) {
+    event.cat = cat->string_value();
+  }
+  if (const sgm::JsonValue* name = value.Find("name")) {
+    event.name = name->string_value();
+  }
+  event.actor = static_cast<int>(value.NumberOr("actor", 0));
+  if (const sgm::JsonValue* args = value.Find("args")) {
+    for (const auto& [key, arg] : args->object()) {
+      if (arg.is_string()) {
+        event.args.emplace_back(key, arg.string_value());
+      } else if (arg.is_number()) {
+        const double number = arg.number_value();
+        const auto as_int = static_cast<std::int64_t>(number);
+        if (static_cast<double>(as_int) == number) {
+          event.args.emplace_back(key, as_int);
+        } else {
+          event.args.emplace_back(key, number);
+        }
+      }
+    }
+  }
+  return event;
+}
+
+bool Matches(const Options& options, const sgm::TraceEvent& event) {
+  if (!options.cat.empty() && event.cat != options.cat) return false;
+  if (!options.name.empty() && event.name != options.name) return false;
+  if (options.actor != INT_MIN && event.actor != options.actor) return false;
+  return event.cycle >= options.cycle_min && event.cycle <= options.cycle_max;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--validate") {
+      options.validate = true;
+    } else if (ParseFlag(arg, "--chrome=", &options.chrome_out)) {
+    } else if (ParseFlag(arg, "--cat=", &options.cat)) {
+      options.print_matches = true;
+    } else if (ParseFlag(arg, "--name=", &options.name)) {
+      options.print_matches = true;
+    } else if (ParseFlag(arg, "--actor=", &value)) {
+      options.actor = std::atoi(value.c_str());
+      options.print_matches = true;
+    } else if (ParseFlag(arg, "--cycle-min=", &value)) {
+      options.cycle_min = std::atol(value.c_str());
+      options.print_matches = true;
+    } else if (ParseFlag(arg, "--cycle-max=", &value)) {
+      options.cycle_max = std::atol(value.c_str());
+      options.print_matches = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    } else if (options.file.empty()) {
+      options.file = arg;
+    } else {
+      std::fprintf(stderr, "multiple input files given\n");
+      return 2;
+    }
+  }
+  if (options.file.empty()) {
+    std::fprintf(stderr,
+                 "usage: trace_inspect [--validate] [--chrome=OUT]"
+                 " [--cat=C] [--name=N] [--actor=A]"
+                 " [--cycle-min=X] [--cycle-max=Y] FILE\n");
+    return 2;
+  }
+
+  std::ifstream in(options.file);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", options.file.c_str());
+    return 1;
+  }
+
+  // Single pass: validate (optionally), parse, filter, accumulate.
+  std::vector<sgm::TraceEvent> events;
+  std::map<std::string, std::map<std::string, long>> by_cat_name;
+  std::set<int> actors;
+  long line_number = 0;
+  long total_lines = 0;
+  long min_cycle = LONG_MAX;
+  long max_cycle = LONG_MIN;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    ++total_lines;
+    if (options.validate) {
+      std::string error;
+      if (!sgm::ValidateTraceJsonLine(line, &error)) {
+        std::fprintf(stderr, "%s:%ld: invalid event: %s\n",
+                     options.file.c_str(), line_number, error.c_str());
+        return 1;
+      }
+    }
+    auto parsed = sgm::JsonValue::Parse(line);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s:%ld: not JSON: %s\n", options.file.c_str(),
+                   line_number, parsed.status().message().c_str());
+      return 1;
+    }
+    sgm::TraceEvent event = ToEvent(parsed.ValueOrDie());
+    if (!Matches(options, event)) continue;
+    by_cat_name[event.cat][event.name] += 1;
+    actors.insert(event.actor);
+    min_cycle = std::min(min_cycle, event.cycle);
+    max_cycle = std::max(max_cycle, event.cycle);
+    if (options.print_matches && options.chrome_out.empty()) {
+      std::printf("%s\n", line.c_str());
+    }
+    if (!options.chrome_out.empty()) {
+      events.push_back(std::move(event));
+    }
+  }
+
+  if (!options.chrome_out.empty()) {
+    // Replay the (filtered) events through a fresh log so WriteChromeTrace
+    // handles the formatting; Emit re-stamps ts sequentially, preserving
+    // the original order on the chrome timeline.
+    sgm::TraceLog log;
+    std::ofstream out(options.chrome_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", options.chrome_out.c_str());
+      return 1;
+    }
+    for (sgm::TraceEvent& event : events) {
+      log.SetCycle(event.cycle);
+      log.Emit(event.cat, event.name, event.actor, std::move(event.args));
+    }
+    log.WriteChromeTrace(out);
+    std::printf("wrote %zu events to %s\n", events.size(),
+                options.chrome_out.c_str());
+    return 0;
+  }
+
+  if (options.print_matches) return 0;
+
+  // Summary mode.
+  long matched = 0;
+  for (const auto& [cat, names] : by_cat_name) {
+    for (const auto& [name, count] : names) matched += count;
+  }
+  std::printf("%s: %ld events (%ld lines)\n", options.file.c_str(), matched,
+              total_lines);
+  if (matched == 0) {
+    if (options.validate) std::printf("validation: OK\n");
+    return 0;
+  }
+  std::printf("cycles %ld..%ld, %zu actors\n", min_cycle, max_cycle,
+              actors.size());
+  for (const auto& [cat, names] : by_cat_name) {
+    long cat_total = 0;
+    for (const auto& [name, count] : names) cat_total += count;
+    std::printf("  %-12s %6ld\n", cat.c_str(), cat_total);
+    for (const auto& [name, count] : names) {
+      std::printf("    %-24s %6ld\n", name.c_str(), count);
+    }
+  }
+  if (options.validate) std::printf("validation: OK\n");
+  return 0;
+}
