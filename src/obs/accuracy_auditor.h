@@ -1,0 +1,143 @@
+#ifndef SGM_OBS_ACCURACY_AUDITOR_H_
+#define SGM_OBS_ACCURACY_AUDITOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sgm {
+
+struct Telemetry;
+class Counter;
+class Gauge;
+class Histogram;
+
+/// Tolerances of the online accuracy audit, mirroring the stress harness's
+/// invariant contract (sim/invariants.h): an approximate protocol (SGM's ε
+/// from Lemma 2, CVSGM's ε_C from the McDiarmid analysis) may disagree with
+/// the oracle while the true mean sits within `epsilon` of the threshold
+/// surface, and may disagree out of that zone only transiently — for at
+/// most `max_out_of_zone_run` consecutive cycles (self-correction: the
+/// protocol re-detects every cycle, so a missed crossing is retried).
+/// Setting both to zero turns the auditor into an exact-agreement check —
+/// the negative-test configuration that must fire on any approximate run.
+struct AccuracyAuditorConfig {
+  double epsilon = 0.0;
+  long max_out_of_zone_run = 0;
+  /// Nullable. When set, verdict counters / error stats are published live
+  /// (`audit.*` metrics) and bound violations emit `bound_violation` trace
+  /// events carrying the offending span id.
+  Telemetry* telemetry = nullptr;
+};
+
+/// Online accuracy auditor: classifies every cycle of a monitored run
+/// against the lock-step oracle as TP/FP/FN/TN, tracks the instantaneous
+/// error |f(v̂) − f(v)| of the coordinator's estimate, and flags ε-bound
+/// violations — an out-of-zone disagreement run exceeding the
+/// self-correction horizon — attributed to the sync-cycle span that
+/// produced the offending belief.
+///
+/// Pure observer: it never feeds back into protocol decisions, and with a
+/// null telemetry sink it only accumulates its own report struct.
+class AccuracyAuditor {
+ public:
+  /// One cycle's worth of oracle + protocol state.
+  struct CycleSample {
+    long cycle = 0;
+    bool believed_above = false;  ///< coordinator/protocol belief
+    bool truth_above = false;     ///< oracle: f(v) > threshold
+    double estimate_value = 0.0;  ///< f(v̂), the estimate's function value
+    double truth_value = 0.0;     ///< f(v), the oracle's function value
+    /// Oracle distance of the true mean to the threshold surface — on a
+    /// disagreement cycle this lower-bounds |f(v̂) − f(v)| in vector space,
+    /// making it the quantity the ε zone bounds.
+    double surface_distance = 0.0;
+    /// Root span of the most recent sync cascade (0 when unknown, e.g. the
+    /// transportless sim legs).
+    std::int64_t span = 0;
+  };
+
+  enum class Verdict {
+    kTruePositive,   ///< both above
+    kTrueNegative,   ///< both below
+    kFalsePositive,  ///< believed above, truth below
+    kFalseNegative,  ///< believed below, truth above (the paper's FN)
+  };
+
+  struct Report {
+    long cycles = 0;
+    long true_positives = 0;
+    long true_negatives = 0;
+    long false_positives = 0;
+    long false_negatives = 0;
+    /// Disagreements with the true mean inside the ε zone around the
+    /// surface — benign under the (ε, δ) contract.
+    long in_zone_disagreements = 0;
+    /// Disagreements out of the zone — only transient runs are tolerated.
+    long out_of_zone_disagreements = 0;
+    /// Out-of-zone false negatives: genuine missed detections, the events
+    /// the paper's δ bounds. fn_rate() below is their per-cycle rate.
+    long out_of_zone_false_negatives = 0;
+    long longest_out_of_zone_run = 0;
+    /// ε-bound violations: cycles where the out-of-zone disagreement run
+    /// exceeded the self-correction horizon.
+    long bound_violations = 0;
+    long first_violation_cycle = -1;
+    std::int64_t first_violation_span = 0;
+    double max_abs_error = 0.0;  ///< max |f(v̂) − f(v)| over the run
+    double sum_abs_error = 0.0;
+
+    long disagreements() const { return false_positives + false_negatives; }
+    double mean_abs_error() const {
+      return cycles > 0 ? sum_abs_error / static_cast<double>(cycles) : 0.0;
+    }
+    /// Out-of-zone FN rate — the empirical counterpart of the paper's δ
+    /// failure probability (in-zone FNs are within the ε allowance and do
+    /// not count against δ).
+    double fn_rate() const {
+      return cycles > 0 ? static_cast<double>(out_of_zone_false_negatives) /
+                              static_cast<double>(cycles)
+                        : 0.0;
+    }
+    bool ok() const { return bound_violations == 0; }
+  };
+
+  explicit AccuracyAuditor(const AccuracyAuditorConfig& config);
+
+  /// Classifies one cycle; call after the cycle's routing reached
+  /// quiescence so belief and oracle are in lock step.
+  Verdict ObserveCycle(const CycleSample& sample);
+
+  const Report& report() const { return report_; }
+  const AccuracyAuditorConfig& config() const { return config_; }
+
+  static const char* ToString(Verdict verdict);
+
+  /// Absolute-error bucket edges for the `audit.abs_error` histogram:
+  /// exponential 2^k from 2^-20 (~1e-6) up to 2^6, covering numerical noise
+  /// through order-of-threshold errors.
+  static const std::vector<double>& ErrorBuckets();
+
+ private:
+  AccuracyAuditorConfig config_;
+  Report report_;
+  long out_of_zone_run_ = 0;
+  /// Span carried by the first cycle of the current out-of-zone run — the
+  /// cascade whose outcome the run is stuck disagreeing on.
+  std::int64_t run_span_ = 0;
+
+  // Cached metric handles (null when telemetry is off).
+  Counter* tp_ = nullptr;
+  Counter* tn_ = nullptr;
+  Counter* fp_ = nullptr;
+  Counter* fn_ = nullptr;
+  Counter* cycles_ = nullptr;
+  Counter* out_of_zone_ = nullptr;
+  Counter* violations_ = nullptr;
+  Gauge* max_abs_error_ = nullptr;
+  Gauge* instantaneous_error_ = nullptr;
+  Histogram* abs_error_ = nullptr;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_OBS_ACCURACY_AUDITOR_H_

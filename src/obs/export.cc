@@ -1,0 +1,129 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/check.h"
+
+namespace sgm {
+
+namespace {
+
+void AppendDouble(std::ostream& out, double value) {
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      value > -1e15 && value < 1e15) {
+    out << static_cast<long long>(value);
+  } else {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    out << buffer;
+  }
+}
+
+/// Exact q-quantile of a sample window (nearest-rank with linear
+/// interpolation); the window is small, so a sort per gauge per cycle is
+/// cheap and avoids estimation error in the exported series.
+double WindowQuantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = q * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+template <typename T>
+void TrimToWindow(std::vector<T>* history, long window) {
+  if (static_cast<long>(history->size()) > window) {
+    history->erase(history->begin(),
+                   history->begin() +
+                       (static_cast<long>(history->size()) - window));
+  }
+}
+
+}  // namespace
+
+TimeSeriesExporter::TimeSeriesExporter(TimeSeriesExporterConfig config)
+    : config_(config) {
+  SGM_CHECK(config_.window >= 1);
+}
+
+void TimeSeriesExporter::Sample(long cycle, const MetricRegistry& registry) {
+  if (cycle == last_cycle_) return;  // on-demand re-publish, same cycle
+  last_cycle_ = cycle;
+
+  Record record;
+  record.cycle = cycle;
+  record.counters = registry.SnapshotCounters();
+  record.gauges = registry.SnapshotGauges();
+
+  for (const auto& [name, value] : record.counters) {
+    const auto prev = prev_counters_.find(name);
+    const long delta = value - (prev == prev_counters_.end() ? 0 : prev->second);
+    record.delta[name] = delta;
+    auto& history = delta_history_[name];
+    history.push_back(delta);
+    TrimToWindow(&history, config_.window);
+    long sum = 0;
+    for (const long d : history) sum += d;
+    record.window_counts[name] = sum;
+  }
+  prev_counters_ = record.counters;
+
+  for (const auto& [name, value] : record.gauges) {
+    auto& history = gauge_history_[name];
+    history.push_back(value);
+    TrimToWindow(&history, config_.window);
+    record.window_gauges[name] = {WindowQuantile(history, 0.50),
+                                  WindowQuantile(history, 0.95),
+                                  WindowQuantile(history, 0.99)};
+  }
+
+  records_.push_back(std::move(record));
+}
+
+void TimeSeriesExporter::WriteJsonl(std::ostream& out) const {
+  for (const Record& record : records_) {
+    out << "{\"cycle\":" << record.cycle << ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, value] : record.counters) {
+      out << (first ? "" : ",") << "\"" << name << "\":" << value;
+      first = false;
+    }
+    out << "},\"delta\":{";
+    first = true;
+    for (const auto& [name, value] : record.delta) {
+      out << (first ? "" : ",") << "\"" << name << "\":" << value;
+      first = false;
+    }
+    out << "},\"window_counts\":{";
+    first = true;
+    for (const auto& [name, value] : record.window_counts) {
+      out << (first ? "" : ",") << "\"" << name << "\":" << value;
+      first = false;
+    }
+    out << "},\"window_gauges\":{";
+    first = true;
+    for (const auto& [name, quantiles] : record.window_gauges) {
+      out << (first ? "" : ",") << "\"" << name << "\":{\"p50\":";
+      AppendDouble(out, quantiles[0]);
+      out << ",\"p95\":";
+      AppendDouble(out, quantiles[1]);
+      out << ",\"p99\":";
+      AppendDouble(out, quantiles[2]);
+      out << "}";
+      first = false;
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, value] : record.gauges) {
+      out << (first ? "" : ",") << "\"" << name << "\":";
+      AppendDouble(out, value);
+      first = false;
+    }
+    out << "}}\n";
+  }
+}
+
+}  // namespace sgm

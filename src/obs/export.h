@@ -1,0 +1,75 @@
+#ifndef SGM_OBS_EXPORT_H_
+#define SGM_OBS_EXPORT_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metric_registry.h"
+
+namespace sgm {
+
+/// Tuning of the windowed time-series export.
+struct TimeSeriesExporterConfig {
+  /// Sliding-window width in cycles for the windowed aggregates.
+  long window = 50;
+};
+
+/// Per-cycle time-series export of a MetricRegistry: every Sample() call
+/// snapshots the registry and appends one record holding the cumulative
+/// counters, their per-cycle deltas, sliding-window counter sums, and
+/// sliding-window quantiles (p50/p95/p99) of every gauge — e.g. the
+/// auditor's instantaneous |f(v̂) − f(v)| error gauge becomes windowed
+/// error quantiles, and the transport counters become windowed overhead
+/// rates.
+///
+/// One JSONL line per cycle, keys sorted, numbers formatted
+/// deterministically — replaying a seed reproduces the series byte for
+/// byte:
+///
+///   {"cycle": 12,
+///    "counters": {...cumulative...},
+///    "delta": {...since the previous sample...},
+///    "window_counts": {...sum of deltas over the window...},
+///    "window_gauges": {name: {"p50": v, "p95": v, "p99": v}},
+///    "gauges": {...instantaneous...}}
+///
+/// Pure observer: it reads registry snapshots and never feeds back.
+class TimeSeriesExporter {
+ public:
+  explicit TimeSeriesExporter(TimeSeriesExporterConfig config = {});
+
+  /// Samples the registry as of the end of `cycle`. Idempotent per cycle:
+  /// a second call with the same cycle (e.g. an on-demand PublishMetrics
+  /// before writing a snapshot) is a no-op.
+  void Sample(long cycle, const MetricRegistry& registry);
+
+  void WriteJsonl(std::ostream& out) const;
+  std::size_t size() const { return records_.size(); }
+  const TimeSeriesExporterConfig& config() const { return config_; }
+
+ private:
+  struct Record {
+    long cycle = 0;
+    std::map<std::string, long> counters;       // cumulative
+    std::map<std::string, long> delta;          // vs previous sample
+    std::map<std::string, long> window_counts;  // delta sum over the window
+    std::map<std::string, double> gauges;       // instantaneous
+    /// p50/p95/p99 of each gauge's samples over the window.
+    std::map<std::string, std::vector<double>> window_gauges;
+  };
+
+  TimeSeriesExporterConfig config_;
+  long last_cycle_ = -1;
+  std::map<std::string, long> prev_counters_;
+  /// Per-counter delta history and per-gauge sample history, bounded to the
+  /// window length.
+  std::map<std::string, std::vector<long>> delta_history_;
+  std::map<std::string, std::vector<double>> gauge_history_;
+  std::vector<Record> records_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_OBS_EXPORT_H_

@@ -32,6 +32,29 @@ std::vector<long> Histogram::bucket_counts() const {
   return counts;
 }
 
+double Histogram::Quantile(double q) const {
+  q = std::min(1.0, std::max(0.0, q));
+  const std::vector<long> counts = bucket_counts();
+  long total = 0;
+  for (const long c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  long cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i == bounds_.size()) return bounds_.back();  // overflow: clamp
+    const double upper = bounds_[i];
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    if (counts[i] == 0) return upper;
+    const double into_bucket =
+        (rank - static_cast<double>(cumulative - counts[i])) /
+        static_cast<double>(counts[i]);
+    return lower + (upper - lower) * into_bucket;
+  }
+  return bounds_.back();
+}
+
 const std::vector<double>& LatencyBucketsNs() {
   static const std::vector<double>* buckets = [] {
     auto* edges = new std::vector<double>;
@@ -104,6 +127,12 @@ void MetricRegistry::WriteJson(std::ostream& out) const {
     out << (first ? "" : ",") << "\n    \"" << name
         << "\": {\"count\": " << histogram->count() << ", \"sum\": ";
     AppendDouble(out, histogram->sum());
+    out << ", \"p50\": ";
+    AppendDouble(out, histogram->Quantile(0.50));
+    out << ", \"p95\": ";
+    AppendDouble(out, histogram->Quantile(0.95));
+    out << ", \"p99\": ";
+    AppendDouble(out, histogram->Quantile(0.99));
     out << ", \"buckets\": [";
     const std::vector<long> counts = histogram->bucket_counts();
     const std::vector<double>& bounds = histogram->bounds();
@@ -121,6 +150,72 @@ void MetricRegistry::WriteJson(std::ostream& out) const {
     first = false;
   }
   out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+namespace {
+
+/// `transport.paper_bytes` → `sgm_transport_paper_bytes` (Prometheus metric
+/// names allow [a-zA-Z0-9_:] only).
+std::string PrometheusName(const std::string& name) {
+  std::string out = "sgm_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricRegistry::WritePrometheus(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << "_total counter\n";
+    out << prom << "_total " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << " gauge\n";
+    out << prom << " ";
+    AppendDouble(out, gauge->value());
+    out << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << " histogram\n";
+    const std::vector<long> counts = histogram->bucket_counts();
+    const std::vector<double>& bounds = histogram->bounds();
+    long cumulative = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      cumulative += counts[i];
+      out << prom << "_bucket{le=\"";
+      if (i < bounds.size()) {
+        AppendDouble(out, bounds[i]);
+      } else {
+        out << "+Inf";
+      }
+      out << "\"} " << cumulative << "\n";
+    }
+    out << prom << "_sum ";
+    AppendDouble(out, histogram->sum());
+    out << "\n" << prom << "_count " << histogram->count() << "\n";
+  }
+}
+
+std::map<std::string, long> MetricRegistry::SnapshotCounters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, long> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter->value();
+  return out;
+}
+
+std::map<std::string, double> MetricRegistry::SnapshotGauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
+  return out;
 }
 
 MetricRegistry& MetricRegistry::Default() {

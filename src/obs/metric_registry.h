@@ -55,6 +55,12 @@ class Histogram {
   /// One count per bound plus the overflow bucket (size = bounds+1).
   std::vector<long> bucket_counts() const;
 
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+  /// holding bucket, the standard Prometheus histogram_quantile estimate.
+  /// Observations in the overflow bucket clamp to the last edge; an empty
+  /// histogram reports 0.
+  double Quantile(double q) const;
+
  private:
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<long>[]> buckets_;
@@ -96,8 +102,21 @@ class MetricRegistry {
   /// modulo the recorded values):
   ///   {"counters": {...}, "gauges": {...},
   ///    "histograms": {name: {"count": n, "sum": s,
+  ///                          "p50": v, "p95": v, "p99": v,
   ///                          "buckets": [{"le": edge, "count": c}...]}}}
   void WriteJson(std::ostream& out) const;
+
+  /// Serializes every metric in the Prometheus text exposition format
+  /// (version 0.0.4): names are prefixed `sgm_` with dots mapped to
+  /// underscores; counters end in `_total`, histograms expand to cumulative
+  /// `_bucket{le=...}` series plus `_sum` and `_count`.
+  void WritePrometheus(std::ostream& out) const;
+
+  /// Point-in-time snapshots for time-series exporters (name → value,
+  /// sorted). Counter/gauge reads are relaxed-atomic per entry; the maps
+  /// themselves are consistent under the registry mutex.
+  std::map<std::string, long> SnapshotCounters() const;
+  std::map<std::string, double> SnapshotGauges() const;
 
   /// The process-wide default instance.
   static MetricRegistry& Default();

@@ -2,8 +2,10 @@
 #define SGM_OBS_TELEMETRY_H_
 
 #include <chrono>
+#include <memory>
 #include <ostream>
 
+#include "obs/export.h"
 #include "obs/metric_registry.h"
 #include "obs/trace.h"
 
@@ -20,12 +22,24 @@ namespace sgm {
 struct Telemetry {
   MetricRegistry registry;
   TraceLog trace;
+  /// Optional windowed time-series exporter (null = off). When enabled,
+  /// RuntimeDriver::PublishMetrics samples it once per cycle, turning the
+  /// registry into a per-cycle JSONL series (see obs/export.h).
+  std::unique_ptr<TimeSeriesExporter> series;
 
   /// Advances the logical clock stamped on trace events; drivers call this
   /// once per update cycle.
   void SetCycle(long cycle) { trace.SetCycle(cycle); }
 
+  void EnableTimeSeries(TimeSeriesExporterConfig config = {}) {
+    series = std::make_unique<TimeSeriesExporter>(config);
+  }
+
   void WriteMetricsJson(std::ostream& out) const { registry.WriteJson(out); }
+  /// Prometheus text exposition (version 0.0.4) of the registry.
+  void WritePrometheus(std::ostream& out) const {
+    registry.WritePrometheus(out);
+  }
 };
 
 /// RAII profiling scope: measures wall time from construction to

@@ -55,6 +55,7 @@ struct EventSpec {
 const std::map<std::string, EventSpec>& EventCatalog() {
   static const auto* catalog = new std::map<std::string, EventSpec>{
       // Protocol lifecycle (coordinator / site / sim protocols).
+      {"sync_cycle_begin", {"protocol", {"span", "trigger"}}},
       {"local_alarm", {"protocol", {}}},
       {"probe_begin", {"protocol", {"epoch"}}},
       {"partial_resolution", {"protocol", {}}},
@@ -82,6 +83,10 @@ const std::map<std::string, EventSpec>& EventCatalog() {
       {"quarantined", {"failure", {"until_cycle"}}},
       {"rejoin_begin", {"failure", {}}},
       {"rejoin_complete", {"failure", {}}},
+      // Per-span transport cost attribution (ReliableTransport).
+      {"msg_send", {"transport", {"type", "span", "bytes"}}},
+      // Online accuracy auditing (AccuracyAuditor).
+      {"bound_violation", {"audit", {"kind", "span"}}},
       // Injected faults (SimTransport).
       {"site_crash", {"fault", {}}},
       {"site_recover", {"fault", {}}},

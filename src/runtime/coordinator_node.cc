@@ -103,8 +103,26 @@ void CoordinatorNode::BumpEpoch() {
   }
 }
 
+void CoordinatorNode::EnsureCycleSpan(const char* trigger) {
+  if (cycle_span_ != 0) return;  // escalation continues the existing tree
+  cycle_span_ = MintSpan();
+  last_cycle_span_ = cycle_span_;
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.Emit("protocol", "sync_cycle_begin", kCoordinatorId,
+                           {{"span", cycle_span_},
+                            {"trigger", std::string(trigger)}});
+  }
+}
+
+void CoordinatorNode::CloseCycleSpan() {
+  cycle_span_ = 0;
+  phase_span_ = 0;
+}
+
 void CoordinatorNode::RequestFullState() {
   BumpEpoch();  // a new sync round begins
+  EnsureCycleSpan("scheduled");  // no-op when escalating from a probe
+  phase_span_ = MintSpan();
   phase_ = Phase::kCollecting;
   sync_retries_ = 0;
   collected_.assign(num_sites_, Vector());
@@ -112,10 +130,14 @@ void CoordinatorNode::RequestFullState() {
   received_count_ = 0;
   if (telemetry_ != nullptr) {
     telemetry_->trace.Emit("protocol", "full_sync_begin", kCoordinatorId,
-                           {{"epoch", epoch_}});
+                           {{"epoch", epoch_},
+                            {"span", phase_span_},
+                            {"parent", cycle_span_}});
   }
   RuntimeMessage request;
   request.type = RuntimeMessage::Type::kFullStateRequest;
+  request.span = phase_span_;
+  request.parent_span = cycle_span_;
   SendBroadcast(std::move(request));
 }
 
@@ -140,24 +162,32 @@ void CoordinatorNode::FinishFullSync(bool degraded) {
   cycles_since_sync_ = 0;
   ++full_syncs_;
   phase_ = Phase::kIdle;
+  const std::int64_t broadcast_span = MintSpan();
   if (telemetry_ != nullptr) {
-    telemetry_->trace.Emit(
-        "protocol", "full_sync_complete", kCoordinatorId,
-        {{"epoch", epoch_}, {"degraded", degraded ? 1 : 0}});
+    telemetry_->trace.Emit("protocol", "full_sync_complete", kCoordinatorId,
+                           {{"epoch", epoch_},
+                            {"degraded", degraded ? 1 : 0},
+                            {"span", phase_span_},
+                            {"parent", cycle_span_}});
   }
 
   RuntimeMessage estimate;
   estimate.type = RuntimeMessage::Type::kNewEstimate;
   estimate.payload = e_;
   estimate.scalar = epsilon_t_;
+  estimate.span = broadcast_span;
+  estimate.parent_span = cycle_span_;
   SendBroadcast(std::move(estimate));
+  CloseCycleSpan();  // the cascade ends with the anchor broadcast
 }
 
 void CoordinatorNode::ResolvePartial(const Vector& v_hat) {
   ++partial_resolutions_;
   phase_ = Phase::kIdle;
+  const std::int64_t resolve_span = MintSpan();
   if (telemetry_ != nullptr) {
-    telemetry_->trace.Emit("protocol", "partial_resolution", kCoordinatorId);
+    telemetry_->trace.Emit("protocol", "partial_resolution", kCoordinatorId,
+                           {{"span", resolve_span}, {"parent", cycle_span_}});
   }
   // Certified cooldown (see SgmOptions::certified_cooldown): the average
   // cannot cross for (D − ε)/max_step cycles.
@@ -172,7 +202,10 @@ void CoordinatorNode::ResolvePartial(const Vector& v_hat) {
   RuntimeMessage resolved;
   resolved.type = RuntimeMessage::Type::kResolved;
   resolved.scalar = static_cast<double>(mute);
+  resolved.span = resolve_span;
+  resolved.parent_span = cycle_span_;
   SendBroadcast(std::move(resolved));
+  CloseCycleSpan();  // the cascade ends with the dismissal broadcast
 }
 
 void CoordinatorNode::MaybeGrantRejoin(int site) {
@@ -185,9 +218,12 @@ void CoordinatorNode::MaybeGrantRejoin(int site) {
   anchor_undelivered_[site] = false;  // this grant supersedes the lost anchor
   if (reliable_ != nullptr) reliable_->MarkLinkUp(site);
   ++audit_.rejoins_granted;
+  // A rejoin grant is its own (single-node) causal tree: it re-anchors one
+  // site outside any sync cascade.
+  const std::int64_t grant_span = MintSpan();
   if (telemetry_ != nullptr) {
     telemetry_->trace.Emit("reliability", "rejoin_grant", site,
-                           {{"epoch", epoch_}});
+                           {{"epoch", epoch_}, {"span", grant_span}});
   }
   RuntimeMessage grant;
   grant.type = RuntimeMessage::Type::kRejoinGrant;
@@ -196,6 +232,7 @@ void CoordinatorNode::MaybeGrantRejoin(int site) {
   grant.epoch = epoch_;
   grant.payload = e_;
   grant.scalar = epsilon_t_;
+  grant.span = grant_span;
   transport_->Send(std::move(grant));
 }
 
@@ -302,15 +339,21 @@ void CoordinatorNode::OnMessage(const RuntimeMessage& message) {
       if (phase_ != Phase::kIdle || alarm_this_cycle_) return;  // coalesce
       alarm_this_cycle_ = true;
       BumpEpoch();  // the probe round begins
+      EnsureCycleSpan("local_violation");
+      phase_span_ = MintSpan();
       phase_ = Phase::kProbing;
       probe_weighted_sum_ = Vector(e_.dim());
       probe_reports_ = 0;
       if (telemetry_ != nullptr) {
         telemetry_->trace.Emit("protocol", "probe_begin", kCoordinatorId,
-                               {{"epoch", epoch_}});
+                               {{"epoch", epoch_},
+                                {"span", phase_span_},
+                                {"parent", cycle_span_}});
       }
       RuntimeMessage probe;
       probe.type = RuntimeMessage::Type::kProbeRequest;
+      probe.span = phase_span_;
+      probe.parent_span = cycle_span_;
       SendBroadcast(std::move(probe));
       return;
     }
@@ -365,8 +408,10 @@ void CoordinatorNode::OnQuiescent() {
   if (phase_ == Phase::kCollecting) {
     if (received_count_ == 0) {
       // The entire collection round was swallowed (e.g. the very first
-      // request on a lossy network): go idle and retry shortly.
+      // request on a lossy network): go idle and retry shortly. The retry
+      // opens a fresh cascade, so this tree ends here.
       phase_ = Phase::kIdle;
+      CloseCycleSpan();
       ScheduleResync(config_.empty_collection_retry_cycles);
       return;
     }
@@ -379,13 +424,17 @@ void CoordinatorNode::OnQuiescent() {
         ++audit_.sync_rerequests;
         if (telemetry_ != nullptr) {
           telemetry_->trace.Emit("protocol", "sync_rerequest", kCoordinatorId,
-                                 {{"epoch", epoch_}, {"site", site}});
+                                 {{"epoch", epoch_},
+                                  {"site", site},
+                                  {"span", phase_span_}});
         }
         RuntimeMessage request;
         request.type = RuntimeMessage::Type::kFullStateRequest;
         request.from = kCoordinatorId;
         request.to = site;
         request.epoch = epoch_;
+        request.span = phase_span_;  // same round, same span
+        request.parent_span = cycle_span_;
         transport_->Send(std::move(request));
       }
       return;  // still collecting; the re-requests re-arm the transport

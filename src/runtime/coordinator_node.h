@@ -91,6 +91,11 @@ class CoordinatorNode {
   std::int64_t epoch() const { return epoch_; }
   const FailureDetector& failure_detector() const { return fd_; }
 
+  /// Root span of the most recent sync cascade (sticky: survives cascade
+  /// completion so post-cycle auditors can attribute their verdicts to the
+  /// cycle that produced the current belief). 0 before the first cascade.
+  std::int64_t cycle_span() const { return last_cycle_span_; }
+
   /// Epoch-fencing and reliability audit counters (dst_stress invariants),
   /// snapshotted as one struct so invariant checks read a coherent view.
   struct AuditStats {
@@ -113,6 +118,17 @@ class CoordinatorNode {
 
   double CurrentU() const;
   void SendBroadcast(RuntimeMessage message);
+  /// Next causal span id from the logical counter (never random — replaying
+  /// a seed must reproduce identical spans). Minted unconditionally: spans
+  /// are protocol-carried wire fields, so message content cannot depend on
+  /// whether telemetry is attached.
+  std::int64_t MintSpan() { return ++next_span_; }
+  /// Opens the root span of a sync cascade if none is active and traces the
+  /// sync_cycle_begin event. `trigger` names what started the cascade.
+  void EnsureCycleSpan(const char* trigger);
+  /// Marks the in-flight cascade finished (spans only; phase_ is managed by
+  /// the protocol logic).
+  void CloseCycleSpan();
   /// Starts a new collection round (fresh epoch).
   void RequestFullState();
   /// Advances the epoch (sync-round counter) and traces the bump.
@@ -158,6 +174,18 @@ class CoordinatorNode {
   /// the named RuntimeConfig knobs: empty_collection_retry_cycles,
   /// degraded_resync_cycles and rejoin_resync_cycles.
   long retry_full_in_ = -1;
+
+  /// Causal-span counter (logical, coordinator-authoritative; sites never
+  /// mint — they echo the span of the request they answer).
+  std::int64_t next_span_ = 0;
+  /// Root span of the in-flight sync cascade (0 when none active). A probe
+  /// that escalates to a full sync keeps its root, so the whole
+  /// local-violation → probe → full-sync chain is one tree.
+  std::int64_t cycle_span_ = 0;
+  /// Span of the in-flight probe/collection round (child of cycle_span_).
+  std::int64_t phase_span_ = 0;
+  /// Most recent root span, kept after the cascade completes.
+  std::int64_t last_cycle_span_ = 0;
 
   std::int64_t epoch_ = 0;
   /// Epoch at the top of the current cycle. A live site whose message

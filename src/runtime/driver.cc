@@ -174,6 +174,10 @@ void RuntimeDriver::PublishMetrics() {
   registry->GetCounter("failure.total_deaths")->Set(fd.total_deaths());
   registry->GetGauge("failure.live_count")
       ->Set(static_cast<double>(fd.live_count()));
+
+  // Windowed time-series export: one sample per cycle (idempotent — an
+  // on-demand PublishMetrics within the same cycle does not duplicate).
+  if (telemetry_->series) telemetry_->series->Sample(cycle_, *registry);
 }
 
 }  // namespace sgm

@@ -69,6 +69,15 @@ struct RuntimeMessage {
   /// already-counted message: excluded from the paper-comparable
   /// communication figures, included in transport totals.
   bool retransmit = false;
+  /// Causal span this message belongs to (0 = none). Spans are minted by
+  /// the coordinator from a logical counter — one root span per sync
+  /// cascade plus one child span per phase (probe, collection, resolution,
+  /// estimate broadcast) — and sites echo the span of the request they
+  /// answer, so a trace reconstructs the local-violation → probe →
+  /// partial/full-sync causality of each cycle (wire format v3).
+  std::int64_t span = 0;
+  /// Parent of `span` in the cycle's span tree (0 = root or none).
+  std::int64_t parent_span = 0;
   /// Vector payload (drift, state, estimate); empty when not applicable.
   Vector payload;
   /// Scalar payload: inclusion probability g_i on kDriftReport, mute length

@@ -100,6 +100,18 @@ void ReliableTransport::Send(const RuntimeMessage& message) {
     in_flight_.emplace(std::make_pair(stamped.from, stamped.seq),
                        std::move(entry));
   }
+  if (telemetry_ != nullptr && stamped.span != 0) {
+    // Per-span cost attribution: one msg_send per span-carrying original
+    // transmission, so trace_inspect --spans can charge message/byte cost
+    // to the cycle phase that caused it. Span-less traffic (heartbeats,
+    // acks, rejoin requests) stays out of the span trees.
+    telemetry_->trace.Emit(
+        "transport", "msg_send", stamped.from,
+        {{"type", RuntimeMessage::TypeName(stamped.type)},
+         {"span", stamped.span},
+         {"parent", stamped.parent_span},
+         {"bytes", static_cast<std::int64_t>(WireBytes(stamped))}});
+  }
   lower_->Send(stamped);
 }
 
@@ -194,10 +206,13 @@ void ReliableTransport::AdvanceRound() {
       copy.to = dest;
       ++stats_.retransmissions;
       if (telemetry_ != nullptr) {
-        telemetry_->trace.Emit("reliability", "retransmit", copy.from,
-                               {{"sender", copy.from},
-                                {"seq", copy.seq},
-                                {"attempt", entry.attempts}});
+        telemetry_->trace.Emit(
+            "reliability", "retransmit", copy.from,
+            {{"sender", copy.from},
+             {"seq", copy.seq},
+             {"attempt", entry.attempts},
+             {"span", copy.span},
+             {"bytes", static_cast<std::int64_t>(WireBytes(copy))}});
       }
       lower_->Send(copy);
     }

@@ -39,7 +39,7 @@ std::vector<std::uint8_t> EncodeMessage(const RuntimeMessage& message) {
       "serialization.encode_ns", LatencyBucketsNs());
   ScopedTimer timer(encode_ns);
   std::vector<std::uint8_t> out;
-  out.reserve(3 + 4 + 4 + 8 + 8 + 8 + 4 + 8 * message.payload.dim());
+  out.reserve(3 + 4 + 4 + 8 + 8 + 8 + 8 + 8 + 4 + 8 * message.payload.dim());
   Append<std::uint8_t>(&out, kWireFormatVersion);
   Append<std::uint8_t>(&out, static_cast<std::uint8_t>(message.type));
   Append<std::uint8_t>(&out, message.retransmit ? kFlagRetransmit : 0);
@@ -47,6 +47,8 @@ std::vector<std::uint8_t> EncodeMessage(const RuntimeMessage& message) {
   Append<std::int32_t>(&out, message.to);
   Append<std::int64_t>(&out, message.epoch);
   Append<std::int64_t>(&out, message.seq);
+  Append<std::int64_t>(&out, message.span);
+  Append<std::int64_t>(&out, message.parent_span);
   Append<double>(&out, message.scalar);
   Append<std::uint32_t>(&out,
                         static_cast<std::uint32_t>(message.payload.dim()));
@@ -64,14 +66,14 @@ Result<RuntimeMessage> DecodeMessage(
   std::size_t offset = 0;
   std::uint8_t version = 0, type = 0, flags = 0;
   std::int32_t from = 0, to = 0;
-  std::int64_t epoch = 0, seq = 0;
+  std::int64_t epoch = 0, seq = 0, span = 0, parent_span = 0;
   double scalar = 0.0;
   std::uint32_t dim = 0;
 
   if (!Read(buffer, &offset, &version)) {
     return Status::InvalidArgument("truncated message: missing version");
   }
-  if (version != kWireFormatVersion) {
+  if (version != kWireFormatVersion && version != kWireFormatVersionV2) {
     // Version-1 frames led with the type byte (0..6), which lands here.
     return Status::InvalidArgument("unsupported wire version " +
                                    std::to_string(version) + " (want " +
@@ -92,8 +94,17 @@ Result<RuntimeMessage> DecodeMessage(
                                    std::to_string(flags));
   }
   if (!Read(buffer, &offset, &from) || !Read(buffer, &offset, &to) ||
-      !Read(buffer, &offset, &epoch) || !Read(buffer, &offset, &seq) ||
-      !Read(buffer, &offset, &scalar) || !Read(buffer, &offset, &dim)) {
+      !Read(buffer, &offset, &epoch) || !Read(buffer, &offset, &seq)) {
+    return Status::InvalidArgument("truncated message header");
+  }
+  if (version == kWireFormatVersion) {
+    // Span fields are v3-only; a v2 frame decodes with span 0 ("none").
+    if (!Read(buffer, &offset, &span) ||
+        !Read(buffer, &offset, &parent_span)) {
+      return Status::InvalidArgument("truncated message header");
+    }
+  }
+  if (!Read(buffer, &offset, &scalar) || !Read(buffer, &offset, &dim)) {
     return Status::InvalidArgument("truncated message header");
   }
   if (dim > kMaxWireDimension) {
@@ -114,6 +125,8 @@ Result<RuntimeMessage> DecodeMessage(
   message.to = to;
   message.epoch = epoch;
   message.seq = seq;
+  message.span = span;
+  message.parent_span = parent_span;
   message.scalar = scalar;
   Vector payload(dim);
   for (std::uint32_t j = 0; j < dim; ++j) {

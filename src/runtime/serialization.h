@@ -11,8 +11,9 @@
 namespace sgm {
 
 /// Binary wire format for RuntimeMessages, for transports that cross
-/// process/machine boundaries. Little-endian, fixed layout (version 2,
-/// which added the reliability layer's epoch/seq/flags fields):
+/// process/machine boundaries. Little-endian, fixed layout (version 3,
+/// which added the causal span fields; version 2 added the reliability
+/// layer's epoch/seq/flags fields):
 ///
 ///   u8   version (= kWireFormatVersion)
 ///   u8   type
@@ -21,27 +22,38 @@ namespace sgm {
 ///   i32  to
 ///   i64  epoch
 ///   i64  seq
+///   i64  span          (v3 only)
+///   i64  parent_span   (v3 only)
 ///   f64  scalar
 ///   u32  payload dimension d
 ///   f64  payload[0..d)
 ///
-/// Encode never fails; Decode validates length, version, type range and
-/// dimension bounds and returns precise errors (a transport must never
-/// crash the coordinator with a truncated datagram).
+/// Encode always emits v3; Decode accepts both v3 and v2 frames (a v2
+/// frame simply has no span fields — they decode to 0, "no span"), so a
+/// rolling upgrade never partitions the deployment on wire version.
+/// Decode validates length, version, type range and dimension bounds and
+/// returns precise errors (a transport must never crash the coordinator
+/// with a truncated datagram).
 ///
 /// Version-1 frames (no version byte — they led with the type) are rejected
 /// deterministically: their first byte is a protocol type in [0, 6], which
-/// can never equal kWireFormatVersion, so DecodeMessage fails with an
-/// "unsupported wire version" error instead of misreading stale fields.
+/// can never equal any 0xA0-tagged version byte, so DecodeMessage fails
+/// with an "unsupported wire version" error instead of misreading stale
+/// fields.
 std::vector<std::uint8_t> EncodeMessage(const RuntimeMessage& message);
 
 /// Parses a buffer produced by EncodeMessage (or a hostile imitation).
 Result<RuntimeMessage> DecodeMessage(const std::vector<std::uint8_t>& buffer);
 
-/// Current wire-format version byte: 0xA0 | 2 (format v2). The 0xA0 tag
-/// keeps the byte outside every v1 leading type value (0..6) so old-format
-/// frames fail the version check, never a silent misparse.
-inline constexpr std::uint8_t kWireFormatVersion = 0xA2;
+/// Current wire-format version byte: 0xA0 | 3 (format v3, with span
+/// fields). The 0xA0 tag keeps the byte outside every v1 leading type
+/// value (0..6) so old-format frames fail the version check, never a
+/// silent misparse.
+inline constexpr std::uint8_t kWireFormatVersion = 0xA3;
+
+/// Previous wire-format version (no span fields), still accepted by
+/// DecodeMessage for backward compatibility.
+inline constexpr std::uint8_t kWireFormatVersionV2 = 0xA2;
 
 /// Upper bound on accepted payload dimensionality (sanity guard against
 /// corrupted length fields allocating gigabytes).

@@ -134,7 +134,9 @@ void SiteNode::ApplyAnchor(const RuntimeMessage& message, const char* source) {
   }
   if (telemetry_ != nullptr) {
     telemetry_->trace.Emit("protocol", "anchor_applied", id_,
-                           {{"epoch", message.epoch}, {"source", source}});
+                           {{"epoch", message.epoch},
+                            {"source", source},
+                            {"span", message.span}});
   }
   e_ = message.payload;
   epsilon_t_ = message.scalar;
@@ -187,6 +189,10 @@ void SiteNode::OnMessage(const RuntimeMessage& message) {
       report.type = RuntimeMessage::Type::kDriftReport;
       report.payload = Drift();
       report.scalar = inclusion_probability_;
+      // Sites never mint spans: the response belongs to the request's span,
+      // so the answer lands in the same phase of the cycle's span tree.
+      report.span = message.span;
+      report.parent_span = message.parent_span;
       SendToCoordinator(std::move(report));
       return;
     }
@@ -195,6 +201,8 @@ void SiteNode::OnMessage(const RuntimeMessage& message) {
       RuntimeMessage report;
       report.type = RuntimeMessage::Type::kStateReport;
       report.payload = local_;
+      report.span = message.span;
+      report.parent_span = message.parent_span;
       SendToCoordinator(std::move(report));
       return;
     }
@@ -209,6 +217,8 @@ void SiteNode::OnMessage(const RuntimeMessage& message) {
       RuntimeMessage report;
       report.type = RuntimeMessage::Type::kStateReport;
       report.payload = local_;
+      report.span = message.span;  // the handshake reply joins the grant span
+      report.parent_span = message.parent_span;
       SendToCoordinator(std::move(report));
       return;
     }

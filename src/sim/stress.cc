@@ -137,6 +137,22 @@ std::unique_ptr<ProtocolBase> MakeProtocol(const StressConfig& config,
   return nullptr;
 }
 
+/// Builds the optional accuracy auditor for a leg: inherits the invariant
+/// checker's resolved tolerances unless the config overrides them (the
+/// override path is the negative test — epsilon 0 / run 0 must fire).
+std::unique_ptr<AccuracyAuditor> MakeAuditor(
+    const StressConfig& config, const InvariantOptions& tolerances) {
+  if (!config.audit) return nullptr;
+  AccuracyAuditorConfig auditor;
+  auditor.epsilon = config.audit_epsilon >= 0.0 ? config.audit_epsilon
+                                                : tolerances.zone_epsilon;
+  auditor.max_out_of_zone_run = config.audit_max_run >= 0
+                                    ? config.audit_max_run
+                                    : tolerances.max_out_of_zone_run;
+  auditor.telemetry = config.telemetry;
+  return std::make_unique<AccuracyAuditor>(auditor);
+}
+
 void FillReport(const InvariantChecker& checker, const StressConfig& config,
                 const std::string& leg, StressReport* report) {
   report->config = config;
@@ -210,6 +226,7 @@ std::string FormatReplayCommand(const StressConfig& config,
     out << " --crash=" << config.crash_probability;
   }
   if (config.sabotage_tolerance) out << " --sabotage";
+  if (config.audit) out << " --audit";
   return out.str();
 }
 
@@ -224,6 +241,15 @@ std::string StressReport::Summary() const {
     if (leg == "runtime") {
       out << ", " << retransmissions << " retransmits, " << rejoins_granted
           << " rejoins, " << stale_epoch_drops << " stale drops";
+    }
+    if (config.audit) {
+      out << "; audit TP=" << audit.true_positives
+          << " FP=" << audit.false_positives
+          << " FN=" << audit.false_negatives
+          << " TN=" << audit.true_negatives
+          << " oz-FN-rate=" << audit.fn_rate()
+          << " max|err|=" << audit.max_abs_error
+          << " bound-violations=" << audit.bound_violations;
     }
     out << ")\n";
     return out.str();
@@ -251,7 +277,10 @@ StressReport RunSimStress(const StressConfig& config) {
     config.telemetry->trace.Emit("run", "run_begin", -1);
   }
 
-  InvariantChecker checker(ResolveTolerances(config, source.max_step_norm()));
+  const InvariantOptions tolerances =
+      ResolveTolerances(config, source.max_step_norm());
+  InvariantChecker checker(tolerances);
+  std::unique_ptr<AccuracyAuditor> auditor = MakeAuditor(config, tolerances);
   Metrics metrics;
   std::vector<Vector> locals;
   source.Advance(&locals);
@@ -281,10 +310,30 @@ StressReport RunSimStress(const StressConfig& config) {
                             metrics.coordinator_messages(),
                             metrics.total_messages(), metrics.total_bytes());
     if (truth_above != protocol->BelievesAbove()) ++report.fn_cycles;
+
+    if (auditor != nullptr) {
+      AccuracyAuditor::CycleSample sample;
+      sample.cycle = t;
+      sample.believed_above = protocol->BelievesAbove();
+      sample.truth_above = truth_above;
+      sample.estimate_value = protocol->function().Value(protocol->estimate());
+      sample.truth_value = truth_value;
+      sample.surface_distance = surface_distance;
+      // Sim protocols are transportless — no span to attribute.
+      auditor->ObserveCycle(sample);
+    }
+
+    // Windowed time-series export (the runtime legs sample from the driver;
+    // transportless sim legs sample here, after the audit observed t).
+    if (config.telemetry != nullptr && config.telemetry->series) {
+      metrics.PublishTo(&config.telemetry->registry);
+      config.telemetry->series->Sample(t, config.telemetry->registry);
+    }
   }
 
   report.cycles = config.cycles;
   report.full_syncs = metrics.full_syncs();
+  if (auditor != nullptr) report.audit = auditor->report();
   if (config.telemetry != nullptr) {
     metrics.PublishTo(&config.telemetry->registry);
   }
@@ -377,6 +426,7 @@ struct RuntimeLeg {
 
   struct Oracle {
     bool above = false;
+    double value = 0.0;  ///< f(v), the exact function value
     double surface_distance = 0.0;
   };
 
@@ -388,7 +438,8 @@ struct RuntimeLeg {
     for (const Vector& v : observed_) mean += v;
     mean /= static_cast<double>(observed_.size());
     Oracle oracle;
-    oracle.above = function_->Value(mean) > threshold_;
+    oracle.value = function_->Value(mean);
+    oracle.above = oracle.value > threshold_;
     oracle.surface_distance = function_->DistanceToSurface(mean, threshold_);
     return oracle;
   }
@@ -418,8 +469,10 @@ StressReport RunRuntimeStress(const StressConfig& config) {
   // instance by re-anchoring whenever the coordinator's sync count moves.
   long seen_full_syncs = 0;
 
-  InvariantChecker checker(
-      ResolveTolerances(config, leg.source_.max_step_norm()));
+  const InvariantOptions tolerances =
+      ResolveTolerances(config, leg.source_.max_step_norm());
+  InvariantChecker checker(tolerances);
+  std::unique_ptr<AccuracyAuditor> auditor = MakeAuditor(config, tolerances);
   long prev_full = 0, prev_degraded = 0;
 
   // Rejoin-convergence tracking: a crashed-and-recovered site must hold an
@@ -463,6 +516,18 @@ StressReport RunRuntimeStress(const StressConfig& config) {
         sim->messages_sent() - sim->site_messages_sent(),
         sim->messages_sent(), sim->bytes_sent());
     if (oracle.above != d.coordinator().BelievesAbove()) ++report.fn_cycles;
+
+    if (auditor != nullptr) {
+      AccuracyAuditor::CycleSample sample;
+      sample.cycle = t;
+      sample.believed_above = d.coordinator().BelievesAbove();
+      sample.truth_above = oracle.above;
+      sample.estimate_value = leg.function_->Value(d.coordinator().estimate());
+      sample.truth_value = oracle.value;
+      sample.surface_distance = oracle.surface_distance;
+      sample.span = d.coordinator().cycle_span();
+      auditor->ObserveCycle(sample);
+    }
 
     // Epoch-fencing invariant: no stale-epoch message ever reaches an
     // apply path, anywhere in the deployment.
@@ -508,6 +573,7 @@ StressReport RunRuntimeStress(const StressConfig& config) {
   for (int i = 0; i < config.num_sites; ++i) {
     report.stale_epoch_drops += driver.site(i).audit().stale_epoch_drops;
   }
+  if (auditor != nullptr) report.audit = auditor->report();
   driver.PublishMetrics();
   FillReport(checker, config, "runtime", &report);
   return report;
@@ -584,7 +650,7 @@ StressReport RunTransportParity(const StressConfig& config) {
   return report;
 }
 
-std::vector<StressReport> RunStressSuite(std::uint64_t seed) {
+std::vector<StressReport> RunStressSuite(std::uint64_t seed, bool audit) {
   std::vector<StressReport> reports;
 
   // Sim legs: the full protocol × function matrix.
@@ -598,6 +664,7 @@ std::vector<StressReport> RunStressSuite(std::uint64_t seed) {
       config.seed = DeriveSeed(seed, 1000 + leg_index++);
       config.protocol = protocol;
       config.function = function;
+      config.audit = audit;
       reports.push_back(RunSimStress(config));
     }
   }
@@ -625,6 +692,7 @@ std::vector<StressReport> RunStressSuite(std::uint64_t seed) {
       config.duplicate_probability = profile.dup;
       config.max_delay_rounds = profile.delay;
       config.crash_probability = profile.crash;
+      config.audit = audit;
       reports.push_back(RunRuntimeStress(config));
     }
   }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/accuracy_auditor.h"
 #include "sim/invariants.h"
 
 namespace sgm {
@@ -56,6 +57,17 @@ struct StressConfig {
   /// — proving that a violation prints a deterministically replaying seed.
   bool sabotage_tolerance = false;
 
+  /// Online accuracy audit: classify every cycle TP/FP/FN/TN against the
+  /// oracle and check the ε / ε_C bound (see obs/accuracy_auditor.h). The
+  /// audit is a pure observer — it shares the invariant checker's resolved
+  /// tolerances by default and never changes the run.
+  bool audit = false;
+  /// Audit tolerance overrides; negative = inherit the invariant checker's
+  /// resolved zone_epsilon / max_out_of_zone_run. Setting both to 0 is the
+  /// negative-test configuration: any out-of-zone disagreement fires.
+  double audit_epsilon = -1.0;
+  long audit_max_run = -1;
+
   /// Optional observability sink (nullable, not owned) threaded through to
   /// every component of the leg. Protocol decisions, fault injection and
   /// paper accounting are identical with or without it; trace timestamps
@@ -80,6 +92,8 @@ struct StressReport {
   long retransmissions = 0;     ///< ack-timeout retransmissions sent
   long rejoins_granted = 0;     ///< coordinator rejoin grants issued
   long stale_epoch_drops = 0;   ///< stale-epoch messages fenced off
+  /// Accuracy audit outcome (all-zero unless StressConfig::audit was set).
+  AccuracyAuditor::Report audit;
   /// Shell command replaying this exact leg; non-empty iff violations.
   std::string replay_command;
 
@@ -111,8 +125,10 @@ StressReport RunTransportParity(const StressConfig& config);
 /// The full matrix for one master seed: {GM, BGM, SGM, CVSGM} × {L2, L∞}
 /// sim legs, runtime legs under increasingly hostile fault profiles (for
 /// both functions), and a parity leg. Sub-seeds are derived per leg so the
-/// legs stay independent.
-std::vector<StressReport> RunStressSuite(std::uint64_t seed);
+/// legs stay independent. With `audit` the accuracy auditor rides along on
+/// every sim/runtime leg (the parity leg has no oracle to audit against).
+std::vector<StressReport> RunStressSuite(std::uint64_t seed,
+                                         bool audit = false);
 
 /// The one-command replay line printed alongside violations, e.g.
 /// `dst_stress --leg=sim --protocol=SGM --function=l2 --seed=77 ...`.

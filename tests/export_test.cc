@@ -1,0 +1,184 @@
+// Windowed time-series export and the quantile/Prometheus surfaces of the
+// metric registry: Histogram::Quantile interpolation, p50/p95/p99 in the
+// JSON snapshot, the Prometheus text exposition, and TimeSeriesExporter's
+// per-cycle records (cumulative/delta/window aggregates, idempotent
+// sampling, deterministic JSONL).
+
+#include "obs/export.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metric_registry.h"
+#include "obs/telemetry.h"
+
+namespace sgm {
+namespace {
+
+TEST(HistogramQuantileTest, InterpolatesWithinTheHoldingBucket) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  // 4 observations in (1, 2]: the bucket holds ranks 1..4 of 4.
+  histogram.Observe(1.5);
+  histogram.Observe(1.5);
+  histogram.Observe(1.5);
+  histogram.Observe(1.5);
+  // p50 → rank 2 of 4 inside (1, 2] → 1 + (2-1)·(2/4) = 1.5.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 1.5);
+  // p100 → upper edge of the holding bucket.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 2.0);
+}
+
+TEST(HistogramQuantileTest, EmptyReportsZeroAndOverflowClampsToLastEdge) {
+  Histogram histogram({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);
+  histogram.Observe(100.0);  // overflow bucket
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 2.0);
+}
+
+TEST(HistogramQuantileTest, SpreadAcrossBucketsOrdersQuantiles) {
+  Histogram histogram({1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 90; ++i) histogram.Observe(0.5);
+  for (int i = 0; i < 9; ++i) histogram.Observe(3.0);
+  histogram.Observe(7.0);
+  const double p50 = histogram.Quantile(0.50);
+  const double p95 = histogram.Quantile(0.95);
+  const double p99 = histogram.Quantile(0.99);
+  EXPECT_LE(p50, 1.0);
+  EXPECT_GT(p95, 2.0);
+  EXPECT_LE(p95, 4.0);
+  // Rank 99 of 100 sits exactly at the (2,4] bucket's upper edge.
+  EXPECT_GE(p99, 4.0);
+  EXPECT_LE(p99, 8.0);
+}
+
+TEST(MetricRegistryJsonTest, HistogramsCarryQuantileFields) {
+  MetricRegistry registry;
+  Histogram* histogram = registry.GetHistogram("x.latency", {1.0, 2.0});
+  histogram->Observe(1.5);
+  std::ostringstream out;
+  registry.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(PrometheusTest, WritesCountersGaugesAndCumulativeHistograms) {
+  MetricRegistry registry;
+  registry.GetCounter("transport.retransmissions")->Increment(3);
+  registry.GetGauge("failure.live_count")->Set(24.0);
+  Histogram* histogram = registry.GetHistogram("site.ball_test_ns",
+                                               {1.0, 2.0});
+  histogram->Observe(0.5);
+  histogram->Observe(1.5);
+  histogram->Observe(9.0);
+
+  std::ostringstream out;
+  registry.WritePrometheus(out);
+  const std::string text = out.str();
+
+  // Names: sgm_ prefix, dots to underscores, counters end in _total.
+  EXPECT_NE(text.find("# TYPE sgm_transport_retransmissions_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("sgm_transport_retransmissions_total 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sgm_failure_live_count gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("sgm_failure_live_count 24"), std::string::npos);
+  // Histogram buckets are cumulative and end with +Inf = count.
+  EXPECT_NE(text.find("sgm_site_ball_test_ns_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("sgm_site_ball_test_ns_bucket{le=\"2\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("sgm_site_ball_test_ns_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("sgm_site_ball_test_ns_count 3"), std::string::npos);
+}
+
+TEST(TimeSeriesExporterTest, TracksCumulativeDeltaAndWindowAggregates) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("c.msgs");
+  Gauge* gauge = registry.GetGauge("g.error");
+
+  TimeSeriesExporterConfig config;
+  config.window = 2;
+  TimeSeriesExporter exporter(config);
+
+  counter->Set(10);
+  gauge->Set(1.0);
+  exporter.Sample(0, registry);
+  counter->Set(25);
+  gauge->Set(3.0);
+  exporter.Sample(1, registry);
+  counter->Set(30);
+  gauge->Set(2.0);
+  exporter.Sample(2, registry);
+  ASSERT_EQ(exporter.size(), 3u);
+
+  std::ostringstream out;
+  exporter.WriteJsonl(out);
+  std::istringstream lines(out.str());
+  std::string line0, line1, line2;
+  std::getline(lines, line0);
+  std::getline(lines, line1);
+  std::getline(lines, line2);
+
+  // Cycle 1: delta = 25 − 10; window (2 samples) = 15 + 10.
+  EXPECT_NE(line1.find("\"cycle\":1"), std::string::npos);
+  EXPECT_NE(line1.find("\"c.msgs\":25"), std::string::npos) << line1;
+  EXPECT_NE(line1.find("\"delta\":{\"c.msgs\":15}"), std::string::npos)
+      << line1;
+  EXPECT_NE(line1.find("\"window_counts\":{\"c.msgs\":25}"),
+            std::string::npos)
+      << line1;
+  // Cycle 2: window slides — only the last two deltas (15, 5) remain.
+  EXPECT_NE(line2.find("\"window_counts\":{\"c.msgs\":20}"),
+            std::string::npos)
+      << line2;
+  // Window gauge quantiles over {3, 2}: exact order statistics.
+  EXPECT_NE(line2.find("\"g.error\":{\"p50\""), std::string::npos) << line2;
+}
+
+TEST(TimeSeriesExporterTest, SamplingIsIdempotentPerCycle) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("c.msgs");
+  TimeSeriesExporter exporter;
+  counter->Set(1);
+  exporter.Sample(0, registry);
+  counter->Set(999);  // an on-demand re-publish within the same cycle
+  exporter.Sample(0, registry);
+  EXPECT_EQ(exporter.size(), 1u);
+}
+
+TEST(TimeSeriesExporterTest, JsonlIsDeterministic) {
+  auto run = [] {
+    MetricRegistry registry;
+    Counter* counter = registry.GetCounter("c.msgs");
+    Gauge* gauge = registry.GetGauge("g.error");
+    TimeSeriesExporter exporter;
+    for (long t = 0; t < 10; ++t) {
+      counter->Set(t * 7);
+      gauge->Set(static_cast<double>(t) / 3.0);
+      exporter.Sample(t, registry);
+    }
+    std::ostringstream out;
+    exporter.WriteJsonl(out);
+    return out.str();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(TimeSeriesExporterTest, TelemetryEnableTimeSeriesWiresTheSink) {
+  Telemetry telemetry;
+  EXPECT_EQ(telemetry.series, nullptr);
+  telemetry.EnableTimeSeries();
+  ASSERT_NE(telemetry.series, nullptr);
+  telemetry.registry.GetCounter("c.msgs")->Set(5);
+  telemetry.series->Sample(0, telemetry.registry);
+  EXPECT_EQ(telemetry.series->size(), 1u);
+}
+
+}  // namespace
+}  // namespace sgm

@@ -74,6 +74,74 @@ TEST(SerializationTest, ReliabilityFieldsRoundTrip) {
   EXPECT_TRUE(decoded.ValueOrDie().retransmit);
 }
 
+// Wire v3 carries the causal span pair; both must survive the full i64
+// width — trace reconstruction keys span trees on exact ids.
+TEST(SerializationTest, SpanFieldsRoundTrip) {
+  RuntimeMessage m = SampleMessage();
+  m.span = (std::int64_t{1} << 41) + 13;
+  m.parent_span = (std::int64_t{1} << 35) + 5;
+  auto decoded = DecodeMessage(EncodeMessage(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.ValueOrDie().span, m.span);
+  EXPECT_EQ(decoded.ValueOrDie().parent_span, m.parent_span);
+}
+
+/// Hand-builds a v2 (0xA2) frame: the pre-span layout, 39-byte header.
+std::vector<std::uint8_t> EncodeV2Frame(const RuntimeMessage& m) {
+  std::vector<std::uint8_t> wire;
+  auto append = [&wire](const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    wire.insert(wire.end(), bytes, bytes + size);
+  };
+  const std::uint8_t version = kWireFormatVersionV2;
+  const std::uint8_t type = static_cast<std::uint8_t>(m.type);
+  const std::uint8_t flags = m.retransmit ? 0x01 : 0x00;
+  const std::uint32_t dim = static_cast<std::uint32_t>(m.payload.dim());
+  append(&version, 1);
+  append(&type, 1);
+  append(&flags, 1);
+  append(&m.from, 4);
+  append(&m.to, 4);
+  append(&m.epoch, 8);
+  append(&m.seq, 8);
+  append(&m.scalar, 8);
+  append(&dim, 4);
+  for (std::size_t j = 0; j < m.payload.dim(); ++j) {
+    const double value = m.payload[j];
+    append(&value, 8);
+  }
+  return wire;
+}
+
+// Backward compatibility: a peer still emitting v2 frames (no span fields)
+// must keep interoperating through a rolling upgrade — the frame decodes
+// with span/parent_span = 0, everything else intact.
+TEST(SerializationTest, AcceptsV2FramesWithoutSpans) {
+  const RuntimeMessage original = SampleMessage();
+  const auto v2 = EncodeV2Frame(original);
+  ASSERT_EQ(v2.size(), 39u + 8u * original.payload.dim());
+  auto decoded = DecodeMessage(v2);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const RuntimeMessage& m = decoded.ValueOrDie();
+  EXPECT_EQ(m.type, original.type);
+  EXPECT_EQ(m.from, original.from);
+  EXPECT_EQ(m.to, original.to);
+  EXPECT_EQ(m.epoch, original.epoch);
+  EXPECT_EQ(m.seq, original.seq);
+  EXPECT_EQ(m.scalar, original.scalar);
+  EXPECT_EQ(m.payload, original.payload);
+  EXPECT_EQ(m.span, 0);
+  EXPECT_EQ(m.parent_span, 0);
+}
+
+TEST(SerializationTest, RejectsTruncatedV2Frames) {
+  const auto v2 = EncodeV2Frame(SampleMessage());
+  for (std::size_t keep = 0; keep < v2.size(); ++keep) {
+    const std::vector<std::uint8_t> prefix(v2.begin(), v2.begin() + keep);
+    EXPECT_FALSE(DecodeMessage(prefix).ok()) << "v2 prefix length " << keep;
+  }
+}
+
 TEST(SerializationTest, EmptyPayloadRoundTrips) {
   RuntimeMessage m;
   m.type = RuntimeMessage::Type::kProbeRequest;
@@ -82,13 +150,13 @@ TEST(SerializationTest, EmptyPayloadRoundTrips) {
   EXPECT_EQ(decoded.ValueOrDie().payload.dim(), 0u);
 }
 
-// Golden wire sizes: 39-byte v2 header (u8 version + u8 type + u8 flags +
-// i32 from + i32 to + i64 epoch + i64 seq + f64 scalar + u32 dim) plus
-// 8 bytes per payload double. These pin the format — any change to the
-// layout must update the goldens knowingly.
+// Golden wire sizes: 55-byte v3 header (u8 version + u8 type + u8 flags +
+// i32 from + i32 to + i64 epoch + i64 seq + i64 span + i64 parent_span +
+// f64 scalar + u32 dim) plus 8 bytes per payload double. These pin the
+// format — any change to the layout must update the goldens knowingly.
 TEST(SerializationTest, GoldenWireSizesPerKind) {
   using Type = RuntimeMessage::Type;
-  constexpr std::size_t kHeader = 39;
+  constexpr std::size_t kHeader = 55;
 
   const struct {
     Type type;
@@ -126,11 +194,12 @@ TEST(SerializationTest, GoldenWireSizesPerKind) {
 }
 
 // The in-memory accounting (16-byte header + 8 bytes per *semantic*
-// payload double) and the wire encoding (39-byte frame + raw vector) count
+// payload double) and the wire encoding (55-byte frame + raw vector) count
 // slightly different things: the frame carries the reliability envelope
-// (version, flags, epoch, seq) and the scalar field, which the accounting
-// bills abstractly. The divergence must stay below three doubles per
-// message — the accounting remains a faithful proxy for real wire cost.
+// (version, flags, epoch, seq), the causal span pair and the scalar field,
+// which the accounting bills abstractly. The divergence must stay below
+// five doubles per message — the accounting remains a faithful proxy for
+// real wire cost.
 TEST(SerializationTest, AccountingTracksWireSizePerKind) {
   using Type = RuntimeMessage::Type;
   const struct {
@@ -153,7 +222,7 @@ TEST(SerializationTest, AccountingTracksWireSizePerKind) {
     if (kind.payload_dim > 0) m.payload = Vector(kind.payload_dim);
     const double accounted = 16.0 + 8.0 * m.PayloadDoubles();
     const double wire = static_cast<double>(EncodeMessage(m).size());
-    EXPECT_LT(std::abs(wire - accounted), 24.0)
+    EXPECT_LT(std::abs(wire - accounted), 40.0)
         << RuntimeMessage::TypeName(kind.type) << ": wire " << wire
         << " vs accounted " << accounted;
   }
@@ -224,10 +293,10 @@ TEST(SerializationTest, RejectsHugeDimension) {
   RuntimeMessage m;
   m.type = RuntimeMessage::Type::kStateReport;
   auto wire = EncodeMessage(m);
-  // Overwrite the dimension field (offset 1+1+1+4+4+8+8+8 = 35) with a
+  // Overwrite the dimension field (offset 1+1+1+4+4+8+8+8+8+8 = 51) with a
   // huge value.
   const std::uint32_t huge = kMaxWireDimension + 1;
-  std::memcpy(wire.data() + 35, &huge, sizeof(huge));
+  std::memcpy(wire.data() + 51, &huge, sizeof(huge));
   auto decoded = DecodeMessage(wire);
   EXPECT_FALSE(decoded.ok());
   EXPECT_EQ(decoded.status().code(), StatusCode::kOutOfRange);

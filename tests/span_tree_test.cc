@@ -1,0 +1,188 @@
+// Causal sync-cycle spans: every cascade the coordinator runs must leave a
+// complete, orphan-free span tree in the trace — a root minted per cascade
+// (sync_cycle_begin) or rejoin grant, phase spans (probe / full sync /
+// broadcast) parented on the root, and transport msg_send events that
+// attribute every span-carrying message to its phase. Reconstructed here
+// exactly the way tools/trace_inspect --spans does it, over a hostile
+// fault profile so retransmissions, crashes and rejoins are all in play.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/telemetry.h"
+#include "sim/stress.h"
+
+namespace sgm {
+namespace {
+
+const TraceArg* FindArg(const TraceEvent& event, const char* key) {
+  for (const TraceArg& arg : event.args) {
+    if (arg.key == key) return &arg;
+  }
+  return nullptr;
+}
+
+std::int64_t IntArg(const TraceEvent& event, const char* key) {
+  const TraceArg* arg = FindArg(event, key);
+  return arg != nullptr && arg->kind == TraceArg::Kind::kInt ? arg->int_value
+                                                             : 0;
+}
+
+class SpanTreeTest : public ::testing::Test {
+ protected:
+  /// Runs a hostile runtime leg and indexes its span graph.
+  void RunAndIndex(std::uint64_t seed) {
+    StressConfig config;
+    config.seed = seed;
+    config.protocol = StressProtocol::kSgm;
+    config.cycles = 150;
+    config.drop_probability = 0.30;
+    config.duplicate_probability = 0.10;
+    config.max_delay_rounds = 3;
+    config.crash_probability = 0.05;
+    config.telemetry = &telemetry_;
+    const StressReport report = RunRuntimeStress(config);
+    ASSERT_TRUE(report.ok()) << report.Summary();
+
+    events_ = telemetry_.trace.events();
+    for (const TraceEvent& event : events_) {
+      const std::int64_t span = IntArg(event, "span");
+      if (span == 0) continue;
+      spans_.insert(span);
+      const std::int64_t parent = IntArg(event, "parent");
+      if (parent != 0) parent_of_[span] = parent;
+      if (event.name == "sync_cycle_begin") cascade_roots_.insert(span);
+      if (event.name == "rejoin_grant") grant_roots_.insert(span);
+    }
+  }
+
+  Telemetry telemetry_;
+  std::vector<TraceEvent> events_;
+  std::set<std::int64_t> spans_;
+  std::set<std::int64_t> cascade_roots_;
+  std::set<std::int64_t> grant_roots_;
+  std::map<std::int64_t, std::int64_t> parent_of_;
+};
+
+TEST_F(SpanTreeTest, EveryCycleSpanTreeIsCompleteWithNoOrphans) {
+  RunAndIndex(/*seed=*/7);
+  ASSERT_FALSE(cascade_roots_.empty()) << "run produced no sync cascades";
+
+  // No orphans: every parent referenced anywhere is itself a known span.
+  for (const auto& [span, parent] : parent_of_) {
+    EXPECT_TRUE(spans_.count(parent))
+        << "span " << span << " references unknown parent " << parent;
+  }
+
+  // Every span resolves to a declared root — a sync cascade or a rejoin
+  // grant — in a bounded number of parent hops (the tree has no cycles).
+  for (const std::int64_t span : spans_) {
+    std::int64_t at = span;
+    int hops = 0;
+    while (parent_of_.count(at) != 0 && hops < 10) {
+      at = parent_of_.at(at);
+      ++hops;
+    }
+    EXPECT_LT(hops, 10) << "parent chain of span " << span << " too deep";
+    EXPECT_TRUE(cascade_roots_.count(at) || grant_roots_.count(at))
+        << "span " << span << " resolves to undeclared root " << at;
+  }
+
+  // Roots really are roots.
+  for (const std::int64_t root : cascade_roots_) {
+    EXPECT_EQ(parent_of_.count(root), 0u)
+        << "cascade root " << root << " has a parent";
+  }
+  for (const std::int64_t root : grant_roots_) {
+    EXPECT_EQ(parent_of_.count(root), 0u)
+        << "rejoin-grant root " << root << " has a parent";
+  }
+}
+
+TEST_F(SpanTreeTest, PhaseEventsParentOnTheirCascadeRoot) {
+  RunAndIndex(/*seed=*/7);
+  long probes = 0;
+  long full_syncs = 0;
+  for (const TraceEvent& event : events_) {
+    if (event.name != "probe_begin" && event.name != "full_sync_begin") {
+      continue;
+    }
+    const std::int64_t span = IntArg(event, "span");
+    const std::int64_t parent = IntArg(event, "parent");
+    ASSERT_NE(span, 0) << event.name << " without a span";
+    ASSERT_NE(parent, 0) << event.name << " without a parent";
+    EXPECT_TRUE(cascade_roots_.count(parent))
+        << event.name << " parent " << parent << " is not a cascade root";
+    (event.name == "probe_begin" ? probes : full_syncs) += 1;
+  }
+  EXPECT_GT(probes, 0);
+  EXPECT_GT(full_syncs, 0);
+}
+
+TEST_F(SpanTreeTest, EscalationKeepsProbeAndFullSyncUnderOneRoot) {
+  RunAndIndex(/*seed=*/7);
+  // A probe that escalates produces probe_begin then full_sync_begin with
+  // the same parent — the cascade root survives the escalation instead of
+  // minting a second tree.
+  std::map<std::int64_t, std::set<std::string>> phases_by_root;
+  for (const TraceEvent& event : events_) {
+    if (event.name != "probe_begin" && event.name != "full_sync_begin") {
+      continue;
+    }
+    phases_by_root[IntArg(event, "parent")].insert(event.name);
+  }
+  long escalated = 0;
+  for (const auto& [root, phases] : phases_by_root) {
+    if (phases.count("probe_begin") && phases.count("full_sync_begin")) {
+      ++escalated;
+    }
+  }
+  EXPECT_GT(escalated, 0)
+      << "hostile profile never escalated a probe to a full sync";
+}
+
+TEST_F(SpanTreeTest, SitesEchoRequestSpansInsteadOfMinting) {
+  RunAndIndex(/*seed=*/7);
+  // Site-originated span traffic (drift/state reports, actor >= 0) must
+  // reuse coordinator-minted span ids: every site msg_send span already
+  // appears in a coordinator phase event. Sites never mint.
+  std::set<std::int64_t> coordinator_spans;
+  for (const TraceEvent& event : events_) {
+    if (event.actor == -1) {
+      const std::int64_t span = IntArg(event, "span");
+      if (span != 0) coordinator_spans.insert(span);
+    }
+  }
+  long site_span_sends = 0;
+  for (const TraceEvent& event : events_) {
+    if (event.name != "msg_send" || event.actor < 0) continue;
+    const std::int64_t span = IntArg(event, "span");
+    if (span == 0) continue;
+    ++site_span_sends;
+    EXPECT_TRUE(coordinator_spans.count(span))
+        << "site " << event.actor << " sent span " << span
+        << " that the coordinator never minted";
+  }
+  EXPECT_GT(site_span_sends, 0);
+}
+
+TEST_F(SpanTreeTest, SpanMessageCostsAreAttributed) {
+  RunAndIndex(/*seed=*/7);
+  // Every msg_send carries a positive byte cost, so per-span cost
+  // attribution (trace_inspect --spans) never divides by silence.
+  long sends = 0;
+  for (const TraceEvent& event : events_) {
+    if (event.name != "msg_send") continue;
+    ++sends;
+    EXPECT_GT(IntArg(event, "bytes"), 0);
+    EXPECT_NE(IntArg(event, "span"), 0);
+  }
+  EXPECT_GT(sends, 0);
+}
+
+}  // namespace
+}  // namespace sgm

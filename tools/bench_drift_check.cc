@@ -12,6 +12,11 @@
 // pass — cheaper is fine, the baseline should then be refreshed.
 // Transport-layer columns (retransmissions, acks, ...) are fault-model
 // internals and deliberately not gated here.
+//
+// Schema evolution: a column absent from a baseline cell is *warned about
+// and skipped*, not failed — an old baseline must not block a PR that adds
+// a new benchmark column (refresh the baseline to start gating it). A
+// schema_version mismatch between the files is likewise a warning only.
 
 #include <cmath>
 #include <cstdio>
@@ -108,6 +113,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "missing \"runs\" array\n");
     return 1;
   }
+  const long baseline_schema =
+      static_cast<long>(baseline.ValueOrDie().NumberOr("schema_version", 0));
+  const long current_schema =
+      static_cast<long>(current.ValueOrDie().NumberOr("schema_version", 0));
+  if (baseline_schema != current_schema) {
+    std::printf("warn  schema_version differs: baseline %ld, current %ld"
+                " (columns absent from the baseline are skipped)\n",
+                baseline_schema, current_schema);
+  }
 
   int failures = 0;
   long cells_checked = 0;
@@ -121,6 +135,14 @@ int main(int argc, char** argv) {
     }
     ++cells_checked;
     for (const char* column : kPaperColumns) {
+      if (base_cell.Find(column) == nullptr) {
+        // Pre-column baseline: nothing to compare against. Warn so the
+        // refresh is visible, but never fail a PR on an old baseline.
+        std::printf("warn  [%s] %s absent from baseline — skipped (refresh"
+                    " baseline to gate it)\n",
+                    key.c_str(), column);
+        continue;
+      }
       const double base = base_cell.NumberOr(column, 0.0);
       const double cur = cur_cell->NumberOr(column, 0.0);
       const double limit = base * (1.0 + tolerance);

@@ -8,9 +8,12 @@
 // The committed BENCH_reliability.json at the repo root is the output of
 //   bench_reliability > BENCH_reliability.json
 // All counters are seed-deterministic, so a diff in anything except
-// wall_time_ms is a behaviour change and should be reviewed as one;
+// wall_time_ms and the full_sync_ns_p* latency quantiles (both wall-clock
+// measurements) is a behaviour change and should be reviewed as one;
 // tools/bench_drift_check compares the paper-comparable columns against the
-// committed baseline and fails CI on >10% regression.
+// committed baseline and fails CI on >10% regression. The top-level
+// schema_version increments whenever columns are added or renamed, so the
+// drift check can warn (not fail) across schema generations.
 //
 // Flags:
 //   --metrics-out=PATH  write the last cell's full metric-registry JSON
@@ -42,6 +45,9 @@ struct Cell {
 
 constexpr int kNumSites = 24;
 constexpr long kCycles = 300;
+/// Bump when per-cell columns are added/renamed (see header comment).
+/// 1 = the seed layout; 2 = + schema_version, full_sync_ns_p50/p95/p99.
+constexpr long kSchemaVersion = 2;
 constexpr std::size_t kNumBuckets = 8;
 constexpr std::size_t kWindow = 50;
 constexpr double kThreshold = 5.0;
@@ -109,7 +115,8 @@ void RunCell(const Cell& cell, bool first, sgm::TraceLog* trace,
       "   \"retransmissions\": %ld, \"acks\": %ld,"
       " \"duplicates_suppressed\": %ld, \"give_ups\": %ld,"
       " \"rejoins_granted\": %ld, \"stale_epoch_drops\": %ld,\n"
-      "   \"wall_time_ms\": %.1f}",
+      "   \"full_sync_ns_p50\": %.0f, \"full_sync_ns_p95\": %.0f,"
+      " \"full_sync_ns_p99\": %.0f, \"wall_time_ms\": %.1f}",
       first ? "" : ",\n",
       static_cast<unsigned long long>(cell.seed), cell.drop, cell.duplicate,
       cell.max_delay_rounds, kNumSites, kCycles, paper_messages, paper_bytes,
@@ -128,6 +135,9 @@ void RunCell(const Cell& cell, bool first, sgm::TraceLog* trace,
       reg.GetCounter("coordinator.rejoins_granted")->value(),
       reg.GetCounter("coordinator.stale_epoch_drops")->value() +
           reg.GetCounter("site.stale_epoch_drops")->value(),
+      reg.GetHistogram("coordinator.full_sync_ns")->Quantile(0.50),
+      reg.GetHistogram("coordinator.full_sync_ns")->Quantile(0.95),
+      reg.GetHistogram("coordinator.full_sync_ns")->Quantile(0.99),
       wall_ms);
 
   if (trace != nullptr) {
@@ -169,7 +179,9 @@ int main(int argc, char** argv) {
   std::unique_ptr<sgm::Telemetry> last_cell_telemetry;
 
   std::printf("{\"benchmark\": \"reliability_layer\","
-              " \"workload\": \"jester_like/linf\",\n \"runs\": [\n");
+              " \"schema_version\": %ld,"
+              " \"workload\": \"jester_like/linf\",\n \"runs\": [\n",
+              kSchemaVersion);
   bool first = true;
   for (const double drop : kDrops) {
     for (const std::uint64_t seed : kSeeds) {

@@ -23,14 +23,25 @@
 //   --delay      max delivery delay in rounds                  [0]
 //   --crash      per-cycle site-crash probability              [0]
 //   --sabotage   collapse invariant tolerances to zero
+//   --audit      run the online accuracy auditor on every sim/runtime leg;
+//                a leg then also fails when the auditor sees an ε / ε_C
+//                bound violation or an out-of-zone FN rate above δ + 0.01
+//   --audit-epsilon=E   auditor zone-ε override (0 = exact agreement —
+//                       the deliberate negative-test configuration)
+//   --audit-max-run=R   auditor out-of-zone run tolerance override
 //   --verbose    print every leg's summary, not just failures
 //   --trace=PATH        write the structured protocol trace (JSONL; single
 //                       leg only — timestamps are logical, so a replayed
 //                       seed reproduces the file byte-for-byte)
 //   --metrics-out=PATH  write the metric-registry snapshot JSON (single
 //                       leg only)
+//   --prom-out=PATH     write the metric registry in Prometheus text
+//                       exposition format (single leg only)
+//   --series-out=PATH   write the per-cycle windowed time-series JSONL
+//                       (single leg only; see docs/OBSERVABILITY.md)
 //
-// Exit status: 0 when every invariant held, 1 otherwise.
+// Exit status: 0 when every invariant (and, with --audit, every accuracy
+// bound) held, 1 otherwise.
 
 #include <cstdio>
 #include <cstdlib>
@@ -53,7 +64,21 @@ struct Flags {
   bool verbose = false;
   std::string trace_out;
   std::string metrics_out;
+  std::string prom_out;
+  std::string series_out;
 };
+
+/// Audit FN-rate gate: δ + 0.01 with the protocols' default δ = 0.1. Only
+/// out-of-zone false negatives count — in-zone disagreement is the benign
+/// churn the (ε, δ) contract explicitly permits.
+constexpr double kFnRateGate = 0.11;
+
+bool AuditFailed(const sgm::StressReport& report) {
+  if (!report.config.audit) return false;
+  if (report.leg == "parity") return false;  // no oracle on the parity leg
+  return report.audit.bound_violations > 0 ||
+         report.audit.fn_rate() > kFnRateGate;
+}
 
 bool ParseFlag(const char* arg, const char* name, const char** value) {
   const std::size_t len = std::strlen(name);
@@ -101,6 +126,16 @@ bool ParseArgs(int argc, char** argv, Flags* flags) {
       flags->config.crash_probability = std::atof(value);
     } else if (ParseFlag(argv[i], "--sabotage", &value)) {
       flags->config.sabotage_tolerance = true;
+    } else if (ParseFlag(argv[i], "--audit-epsilon", &value) &&
+               value != nullptr) {
+      flags->config.audit = true;
+      flags->config.audit_epsilon = std::atof(value);
+    } else if (ParseFlag(argv[i], "--audit-max-run", &value) &&
+               value != nullptr) {
+      flags->config.audit = true;
+      flags->config.audit_max_run = std::atol(value);
+    } else if (ParseFlag(argv[i], "--audit", &value)) {
+      flags->config.audit = true;
     } else if (ParseFlag(argv[i], "--verbose", &value)) {
       flags->verbose = true;
     } else if (ParseFlag(argv[i], "--trace", &value) && value != nullptr) {
@@ -108,6 +143,11 @@ bool ParseArgs(int argc, char** argv, Flags* flags) {
     } else if (ParseFlag(argv[i], "--metrics-out", &value) &&
                value != nullptr) {
       flags->metrics_out = value;
+    } else if (ParseFlag(argv[i], "--prom-out", &value) && value != nullptr) {
+      flags->prom_out = value;
+    } else if (ParseFlag(argv[i], "--series-out", &value) &&
+               value != nullptr) {
+      flags->series_out = value;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return false;
@@ -119,9 +159,19 @@ bool ParseArgs(int argc, char** argv, Flags* flags) {
 int Report(const std::vector<sgm::StressReport>& reports, bool verbose) {
   int failures = 0;
   for (const sgm::StressReport& report : reports) {
-    if (!report.ok()) {
+    const bool audit_failed = AuditFailed(report);
+    if (!report.ok() || audit_failed) {
       ++failures;
       std::fputs(report.Summary().c_str(), stdout);
+      if (audit_failed) {
+        std::printf(
+            "AUDIT FAILED (%s): %ld bound violation(s), oz-FN rate %.4f"
+            " (gate %.2f), first violation cycle %ld span %lld\n",
+            report.leg.c_str(), report.audit.bound_violations,
+            report.audit.fn_rate(), kFnRateGate,
+            report.audit.first_violation_cycle,
+            static_cast<long long>(report.audit.first_violation_span));
+      }
     } else if (verbose) {
       std::fputs(report.Summary().c_str(), stdout);
     }
@@ -140,15 +190,17 @@ int main(int argc, char** argv) {
   // ignores it by design.
   sgm::Telemetry telemetry;
   const bool want_telemetry =
-      !flags.trace_out.empty() || !flags.metrics_out.empty();
+      !flags.trace_out.empty() || !flags.metrics_out.empty() ||
+      !flags.prom_out.empty() || !flags.series_out.empty();
   if (want_telemetry) {
     if (flags.leg != "sim" && flags.leg != "runtime") {
       std::fprintf(stderr,
-                   "--trace/--metrics-out require a single leg"
-                   " (--leg=sim|runtime)\n");
+                   "--trace/--metrics-out/--prom-out/--series-out require a"
+                   " single leg (--leg=sim|runtime)\n");
       return 2;
     }
     flags.config.telemetry = &telemetry;
+    if (!flags.series_out.empty()) telemetry.EnableTimeSeries();
   }
 
   std::vector<sgm::StressReport> reports;
@@ -159,7 +211,7 @@ int main(int argc, char** argv) {
       std::printf("== master seed %llu (%d/%d) ==\n",
                   static_cast<unsigned long long>(master), i + 1,
                   flags.seeds);
-      const auto suite = sgm::RunStressSuite(master);
+      const auto suite = sgm::RunStressSuite(master, flags.config.audit);
       reports.insert(reports.end(), suite.begin(), suite.end());
     }
   } else if (flags.leg == "sim") {
@@ -191,6 +243,24 @@ int main(int argc, char** argv) {
       return 2;
     }
     telemetry.WriteMetricsJson(out);
+  }
+  if (!flags.prom_out.empty()) {
+    std::ofstream out(flags.prom_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", flags.prom_out.c_str());
+      return 2;
+    }
+    telemetry.WritePrometheus(out);
+  }
+  if (!flags.series_out.empty()) {
+    std::ofstream out(flags.series_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", flags.series_out.c_str());
+      return 2;
+    }
+    telemetry.series->WriteJsonl(out);
+    std::printf("wrote %zu series samples to %s\n",
+                telemetry.series->size(), flags.series_out.c_str());
   }
 
   const int failures = Report(reports, flags.verbose);

@@ -1,0 +1,220 @@
+// obs_report — renders a per-run accuracy / cost report from the
+// observability exports of a single leg:
+//
+//   dst_stress --leg=runtime --seed=7 --drop=0.3 --audit \
+//              --metrics-out=metrics.json --series-out=series.jsonl
+//   obs_report --metrics=metrics.json --series=series.jsonl
+//
+// Sections:
+//   accuracy   auditor verdict counts (TP/FP/FN/TN), out-of-zone
+//              disagreements, ε-bound violations, |f(v̂) − f(v)| quantiles
+//   cost       paper-comparable vs transport message/byte totals, the
+//              reliability-layer overhead behind the difference, sync mix
+//   series     windowed view from the time-series JSONL: per-window
+//              message rates and error quantiles at a few checkpoints
+//
+// Either input may be given alone. Exit status: 0 on a readable report,
+// 1 when the auditor recorded a bound violation (so CI can gate on it),
+// 2 on usage/parse errors.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+bool ParseFlag(const std::string& arg, const char* flag, std::string* out) {
+  const std::size_t len = std::strlen(flag);
+  if (arg.rfind(flag, 0) != 0) return false;
+  *out = arg.substr(len);
+  return true;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+double Number(const sgm::JsonValue& root, const char* section,
+              const char* key) {
+  const sgm::JsonValue* group = root.Find(section);
+  if (group == nullptr) return 0.0;
+  return group->NumberOr(key, 0.0);
+}
+
+long Count(const sgm::JsonValue& root, const char* section, const char* key) {
+  return static_cast<long>(Number(root, section, key));
+}
+
+/// Prints the accuracy and cost sections from a metric snapshot; returns
+/// the number of auditor bound violations (the CI gate).
+long ReportMetrics(const sgm::JsonValue& root) {
+  const long cycles = Count(root, "counters", "audit.cycles");
+  long violations = 0;
+  if (cycles > 0) {
+    const long tp = Count(root, "counters", "audit.true_positives");
+    const long tn = Count(root, "counters", "audit.true_negatives");
+    const long fp = Count(root, "counters", "audit.false_positives");
+    const long fn = Count(root, "counters", "audit.false_negatives");
+    const long oz = Count(root, "counters", "audit.out_of_zone_disagreements");
+    violations = Count(root, "counters", "audit.bound_violations");
+    std::printf("accuracy (%ld audited cycles)\n", cycles);
+    std::printf("  verdicts        TP=%ld FP=%ld FN=%ld TN=%ld\n", tp, fp, fn,
+                tn);
+    std::printf("  disagreements   %ld (%ld out-of-zone)\n", fp + fn, oz);
+    std::printf("  bound check     %s (%ld violation(s))\n",
+                violations == 0 ? "OK" : "VIOLATED", violations);
+    std::printf("  max |f(est)-f(truth)|  %.6g\n",
+                Number(root, "gauges", "audit.max_abs_error"));
+    if (const sgm::JsonValue* histograms = root.Find("histograms")) {
+      if (const sgm::JsonValue* error = histograms->Find("audit.abs_error")) {
+        std::printf("  |error| quantiles      p50=%.6g p95=%.6g p99=%.6g\n",
+                    error->NumberOr("p50", 0.0), error->NumberOr("p95", 0.0),
+                    error->NumberOr("p99", 0.0));
+      }
+    }
+  } else {
+    std::printf("accuracy: no audit counters (run dst_stress with --audit)\n");
+  }
+
+  const long paper_messages = Count(root, "counters",
+                                    "transport.paper_messages");
+  const long total_messages = Count(root, "counters",
+                                    "transport.total_messages");
+  const double paper_bytes = Number(root, "gauges", "transport.paper_bytes");
+  const double total_bytes = Number(root, "gauges", "transport.total_bytes");
+  std::printf("cost\n");
+  std::printf("  paper-comparable  %ld msgs, %.0f bytes\n", paper_messages,
+              paper_bytes);
+  std::printf("  transport totals  %ld msgs, %.0f bytes", total_messages,
+              total_bytes);
+  if (paper_messages > 0) {
+    std::printf("  (%.2fx message overhead)",
+                static_cast<double>(total_messages) /
+                    static_cast<double>(paper_messages));
+  }
+  std::printf("\n");
+  std::printf("  reliability       %ld retransmits, %ld acks, %ld dups"
+              " suppressed, %ld give-ups\n",
+              Count(root, "counters", "transport.retransmissions"),
+              Count(root, "counters", "transport.acks_sent"),
+              Count(root, "counters", "transport.duplicates_suppressed"),
+              Count(root, "counters", "transport.give_ups"));
+  std::printf("  sync mix          %ld full, %ld partial, %ld degraded,"
+              " %ld rejoins\n",
+              Count(root, "counters", "coordinator.full_syncs"),
+              Count(root, "counters", "coordinator.partial_resolutions"),
+              Count(root, "counters", "coordinator.degraded_syncs"),
+              Count(root, "counters", "coordinator.rejoins_granted"));
+  return violations;
+}
+
+/// Prints windowed checkpoints from the series JSONL: first, quartile
+/// points and last sample, with the window message rate and error
+/// quantiles at each.
+bool ReportSeries(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::vector<sgm::JsonValue> samples;
+  std::string line;
+  long line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    auto parsed = sgm::JsonValue::Parse(line);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s:%ld: not JSON: %s\n", path.c_str(), line_number,
+                   parsed.status().message().c_str());
+      return false;
+    }
+    samples.push_back(parsed.ValueOrDie());
+  }
+  if (samples.empty()) {
+    std::printf("series: %s is empty\n", path.c_str());
+    return true;
+  }
+
+  std::printf("series (%zu samples from %s)\n", samples.size(), path.c_str());
+  std::printf("  %8s %12s %12s %12s %12s\n", "cycle", "win msgs", "err p50",
+              "err p95", "err p99");
+  const std::size_t last = samples.size() - 1;
+  std::size_t previous = static_cast<std::size_t>(-1);
+  for (int quarter = 0; quarter <= 4; ++quarter) {
+    const std::size_t index = quarter == 4 ? last : last * quarter / 4;
+    if (index == previous) continue;
+    previous = index;
+    const sgm::JsonValue& sample = samples[index];
+    const long cycle = static_cast<long>(sample.NumberOr("cycle", 0));
+    double window_messages = 0.0;
+    if (const sgm::JsonValue* window = sample.Find("window_counts")) {
+      window_messages = window->NumberOr("transport.total_messages", 0.0);
+    }
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+    if (const sgm::JsonValue* gauges = sample.Find("window_gauges")) {
+      if (const sgm::JsonValue* error = gauges->Find("audit.abs_error_last")) {
+        p50 = error->NumberOr("p50", 0.0);
+        p95 = error->NumberOr("p95", 0.0);
+        p99 = error->NumberOr("p99", 0.0);
+      }
+    }
+    std::printf("  %8ld %12.0f %12.6g %12.6g %12.6g\n", cycle,
+                window_messages, p50, p95, p99);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metrics_path;
+  std::string series_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (ParseFlag(arg, "--metrics=", &metrics_path)) {
+    } else if (ParseFlag(arg, "--series=", &series_path)) {
+    } else {
+      std::fprintf(stderr,
+                   "usage: obs_report [--metrics=metrics.json]"
+                   " [--series=series.jsonl]\n");
+      return 2;
+    }
+  }
+  if (metrics_path.empty() && series_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: obs_report [--metrics=metrics.json]"
+                 " [--series=series.jsonl]\n");
+    return 2;
+  }
+
+  long violations = 0;
+  if (!metrics_path.empty()) {
+    std::string text;
+    if (!ReadFile(metrics_path, &text)) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_path.c_str());
+      return 2;
+    }
+    auto parsed = sgm::JsonValue::Parse(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s: not JSON: %s\n", metrics_path.c_str(),
+                   parsed.status().message().c_str());
+      return 2;
+    }
+    violations = ReportMetrics(parsed.ValueOrDie());
+  }
+  if (!series_path.empty()) {
+    if (!ReportSeries(series_path)) return 2;
+  }
+  return violations == 0 ? 0 : 1;
+}

@@ -7,10 +7,22 @@
 //                                          on the first invalid line
 //   trace_inspect --chrome=OUT FILE        convert to Chrome trace_event
 //                                          JSON (chrome://tracing, Perfetto)
-//   trace_inspect --cat=C --name=N --actor=A --cycle-min=X --cycle-max=Y
+//   trace_inspect --spans FILE             reconstruct causal span trees:
+//                                          one tree per sync cascade (or
+//                                          rejoin grant), with per-span
+//                                          message/byte cost and the
+//                                          critical path; exit 1 on any
+//                                          orphan span
+//   trace_inspect --cat=C --name=N --actor=A --site=S
+//                 --cycle-min=X --cycle-max=Y --cycles=A:B
 //                                          print matching lines verbatim
 //
-// Filters apply to the summary and --chrome conversion too, so e.g.
+// `--site=S` is the site-centric spelling of `--actor=S` (the coordinator
+// is actor -1) and `--cycles=A:B` sets both cycle bounds at once; either
+// side may be omitted (`--cycles=40:` = from cycle 40 on).
+//
+// Filters apply to the summary, --chrome conversion and --spans too, so
+// e.g.
 //   trace_inspect --cat=failure --chrome=fail.json trace.jsonl
 // produces a timeline of just the failure-detector lifecycle.
 
@@ -35,6 +47,7 @@ struct Options {
   std::string file;
   std::string chrome_out;
   bool validate = false;
+  bool spans = false;
   bool print_matches = false;  // set when any filter is given
   std::string cat;
   std::string name;
@@ -88,6 +101,188 @@ bool Matches(const Options& options, const sgm::TraceEvent& event) {
   return event.cycle >= options.cycle_min && event.cycle <= options.cycle_max;
 }
 
+const sgm::TraceArg* FindArg(const sgm::TraceEvent& event, const char* key) {
+  for (const sgm::TraceArg& arg : event.args) {
+    if (arg.key == key) return &arg;
+  }
+  return nullptr;
+}
+
+std::int64_t IntArg(const sgm::TraceEvent& event, const char* key) {
+  const sgm::TraceArg* arg = FindArg(event, key);
+  if (arg == nullptr || arg->kind != sgm::TraceArg::Kind::kInt) return 0;
+  return arg->int_value;
+}
+
+std::string StringArg(const sgm::TraceEvent& event, const char* key) {
+  const sgm::TraceArg* arg = FindArg(event, key);
+  if (arg == nullptr || arg->kind != sgm::TraceArg::Kind::kString) return "";
+  return arg->string_value;
+}
+
+/// One node of a reconstructed span tree. Spans are minted by the
+/// coordinator as logical counters; a node exists for every distinct span
+/// id referenced anywhere in the trace (a broadcast span, for instance, is
+/// known only through its msg_send events).
+struct SpanNode {
+  std::int64_t id = 0;
+  std::int64_t parent = 0;  // 0 = root (sync cascade or rejoin grant)
+  std::string label;        // first event name that carried the span
+  std::string trigger;      // sync_cycle_begin only
+  long first_ts = LONG_MAX;
+  long last_ts = LONG_MIN;
+  long first_cycle = LONG_MAX;
+  long last_cycle = LONG_MIN;
+  long events = 0;
+  long messages = 0;  // msg_send + retransmit events on this span
+  long long bytes = 0;
+  std::vector<std::int64_t> children;
+};
+
+struct SpanTotals {
+  long spans = 0;
+  long messages = 0;
+  long long bytes = 0;
+  long last_ts = LONG_MIN;
+};
+
+SpanTotals SubtreeTotals(const std::map<std::int64_t, SpanNode>& spans,
+                         std::int64_t id) {
+  const SpanNode& node = spans.at(id);
+  SpanTotals totals;
+  totals.spans = 1;
+  totals.messages = node.messages;
+  totals.bytes = node.bytes;
+  totals.last_ts = node.last_ts;
+  for (const std::int64_t child : node.children) {
+    const SpanTotals sub = SubtreeTotals(spans, child);
+    totals.spans += sub.spans;
+    totals.messages += sub.messages;
+    totals.bytes += sub.bytes;
+    totals.last_ts = std::max(totals.last_ts, sub.last_ts);
+  }
+  return totals;
+}
+
+void PrintSubtree(const std::map<std::int64_t, SpanNode>& spans,
+                  std::int64_t id, int depth) {
+  const SpanNode& node = spans.at(id);
+  std::printf("%*sspan %lld %s: %ld events, %ld msgs, %lld bytes,"
+              " ts %ld..%ld\n",
+              2 + 2 * depth, "", static_cast<long long>(node.id),
+              node.label.c_str(), node.events, node.messages, node.bytes,
+              node.first_ts, node.last_ts);
+  for (const std::int64_t child : node.children) {
+    PrintSubtree(spans, child, depth + 1);
+  }
+}
+
+/// Reconstructs the span forest from the filtered events and prints one
+/// block per root span (a sync cascade or a rejoin grant): its subtree with
+/// per-span message/byte cost, plus the critical path — the root-to-leaf
+/// chain whose subtree finishes last in logical time. Returns 1 (and lists
+/// the offenders) if any span references a parent that never appears as a
+/// span anywhere in the trace: an orphan means the cascade's causal chain
+/// was broken, which a complete trace never exhibits.
+int RunSpanReport(const std::string& file,
+                  const std::vector<sgm::TraceEvent>& events) {
+  std::map<std::int64_t, SpanNode> spans;
+  long span_events = 0;
+  for (const sgm::TraceEvent& event : events) {
+    const std::int64_t id = IntArg(event, "span");
+    if (id == 0) continue;
+    ++span_events;
+    SpanNode& node = spans[id];
+    node.id = id;
+    if (node.label.empty()) {
+      node.label = event.name == "msg_send" ? "send:" + StringArg(event, "type")
+                                            : event.name;
+    }
+    if (event.name == "sync_cycle_begin") {
+      node.label = "sync_cycle";
+      node.trigger = StringArg(event, "trigger");
+    }
+    const std::int64_t parent = IntArg(event, "parent");
+    if (parent != 0) node.parent = parent;
+    node.first_ts = std::min(node.first_ts, event.ts);
+    node.last_ts = std::max(node.last_ts, event.ts);
+    node.first_cycle = std::min(node.first_cycle, event.cycle);
+    node.last_cycle = std::max(node.last_cycle, event.cycle);
+    node.events += 1;
+    if (const sgm::TraceArg* bytes = FindArg(event, "bytes")) {
+      node.messages += 1;
+      node.bytes += bytes->int_value;
+    }
+  }
+
+  // Link children; collect orphans (parent id never seen as a span).
+  std::vector<const SpanNode*> orphans;
+  for (auto& [id, node] : spans) {
+    if (node.parent == 0) continue;
+    auto parent = spans.find(node.parent);
+    if (parent == spans.end()) {
+      orphans.push_back(&node);
+    } else {
+      parent->second.children.push_back(id);
+    }
+  }
+
+  long roots = 0;
+  long cascades = 0;
+  for (const auto& [id, node] : spans) {
+    if (node.parent != 0) continue;
+    ++roots;
+    if (!node.trigger.empty()) ++cascades;
+    const SpanTotals totals = SubtreeTotals(spans, id);
+    std::printf("root span %lld [%s%s%s] cycles %ld..%ld:"
+                " %ld spans, %ld msgs, %lld bytes, ts %ld..%ld\n",
+                static_cast<long long>(id), node.label.c_str(),
+                node.trigger.empty() ? "" : " trigger=",
+                node.trigger.c_str(), node.first_cycle, node.last_cycle,
+                totals.spans, totals.messages, totals.bytes, node.first_ts,
+                totals.last_ts);
+    for (const std::int64_t child : node.children) {
+      PrintSubtree(spans, child, 0);
+    }
+    // Critical path: follow, from the root, the child whose subtree ends
+    // latest; stop when the current span itself outlives every child's
+    // subtree. With logical timestamps this is the chain of phases that
+    // determined when the cascade completed.
+    std::printf("  critical path:");
+    std::int64_t at = id;
+    for (;;) {
+      const SpanNode& here = spans.at(at);
+      std::printf(" %lld(%s)", static_cast<long long>(at),
+                  here.label.c_str());
+      std::int64_t next = 0;
+      long next_end = here.last_ts;
+      for (const std::int64_t child : here.children) {
+        const long end = SubtreeTotals(spans, child).last_ts;
+        if (end > next_end) {
+          next_end = end;
+          next = child;
+        }
+      }
+      if (next == 0) break;
+      std::printf(" ->");
+      at = next;
+    }
+    std::printf(", ends ts %ld\n", totals.last_ts);
+  }
+
+  std::printf("%s: %zu spans, %ld roots (%ld sync cascades), %ld span"
+              " events, %zu orphans\n",
+              file.c_str(), spans.size(), roots, cascades, span_events,
+              orphans.size());
+  for (const SpanNode* orphan : orphans) {
+    std::printf("  orphan span %lld (%s): parent %lld never appears as a"
+                " span\n",
+                static_cast<long long>(orphan->id), orphan->label.c_str(),
+                static_cast<long long>(orphan->parent));
+  }
+  return orphans.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -97,12 +292,15 @@ int main(int argc, char** argv) {
     std::string value;
     if (arg == "--validate") {
       options.validate = true;
+    } else if (arg == "--spans") {
+      options.spans = true;
     } else if (ParseFlag(arg, "--chrome=", &options.chrome_out)) {
     } else if (ParseFlag(arg, "--cat=", &options.cat)) {
       options.print_matches = true;
     } else if (ParseFlag(arg, "--name=", &options.name)) {
       options.print_matches = true;
-    } else if (ParseFlag(arg, "--actor=", &value)) {
+    } else if (ParseFlag(arg, "--actor=", &value) ||
+               ParseFlag(arg, "--site=", &value)) {
       options.actor = std::atoi(value.c_str());
       options.print_matches = true;
     } else if (ParseFlag(arg, "--cycle-min=", &value)) {
@@ -110,6 +308,17 @@ int main(int argc, char** argv) {
       options.print_matches = true;
     } else if (ParseFlag(arg, "--cycle-max=", &value)) {
       options.cycle_max = std::atol(value.c_str());
+      options.print_matches = true;
+    } else if (ParseFlag(arg, "--cycles=", &value)) {
+      const std::size_t colon = value.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--cycles expects A:B (either side optional)\n");
+        return 2;
+      }
+      const std::string lo = value.substr(0, colon);
+      const std::string hi = value.substr(colon + 1);
+      if (!lo.empty()) options.cycle_min = std::atol(lo.c_str());
+      if (!hi.empty()) options.cycle_max = std::atol(hi.c_str());
       options.print_matches = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
@@ -123,9 +332,9 @@ int main(int argc, char** argv) {
   }
   if (options.file.empty()) {
     std::fprintf(stderr,
-                 "usage: trace_inspect [--validate] [--chrome=OUT]"
-                 " [--cat=C] [--name=N] [--actor=A]"
-                 " [--cycle-min=X] [--cycle-max=Y] FILE\n");
+                 "usage: trace_inspect [--validate] [--spans] [--chrome=OUT]"
+                 " [--cat=C] [--name=N] [--actor=A] [--site=S]"
+                 " [--cycle-min=X] [--cycle-max=Y] [--cycles=A:B] FILE\n");
     return 2;
   }
 
@@ -168,12 +377,17 @@ int main(int argc, char** argv) {
     actors.insert(event.actor);
     min_cycle = std::min(min_cycle, event.cycle);
     max_cycle = std::max(max_cycle, event.cycle);
-    if (options.print_matches && options.chrome_out.empty()) {
+    if (options.print_matches && options.chrome_out.empty() &&
+        !options.spans) {
       std::printf("%s\n", line.c_str());
     }
-    if (!options.chrome_out.empty()) {
+    if (!options.chrome_out.empty() || options.spans) {
       events.push_back(std::move(event));
     }
+  }
+
+  if (options.spans) {
+    return RunSpanReport(options.file, events);
   }
 
   if (!options.chrome_out.empty()) {
