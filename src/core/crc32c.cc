@@ -1,0 +1,43 @@
+#include "core/crc32c.h"
+
+#include <array>
+
+namespace sgm {
+namespace {
+
+/// Reflected-table construction for the Castagnoli polynomial. Built once at
+/// first use; 1 KiB, byte-at-a-time processing. Throughput is irrelevant at
+/// our frame sizes (tens to thousands of bytes) — determinism is the point.
+const std::array<std::uint32_t, 256>& Table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32cExtend(std::uint32_t crc, const std::uint8_t* data,
+                           std::size_t size) {
+  const auto& table = Table();
+  crc = ~crc;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t Crc32c(const std::uint8_t* data, std::size_t size) {
+  return Crc32cExtend(kCrc32cInit, data, size);
+}
+
+}  // namespace sgm

@@ -1,0 +1,25 @@
+#ifndef SGM_CORE_CRC32C_H_
+#define SGM_CORE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sgm {
+
+/// CRC32C (Castagnoli, reflected polynomial 0x82F63B78) over a byte range.
+/// Table-driven software implementation — deterministic across platforms,
+/// no hardware intrinsics. Detects all single-bit and all two-bit errors in
+/// frames far larger than anything this codebase serializes, which is why
+/// both the wire format (v4) and the checkpoint codec use it as their
+/// integrity check.
+std::uint32_t Crc32c(const std::uint8_t* data, std::size_t size);
+
+/// Incremental form: feed `crc` from a previous call to extend the checksum
+/// over a discontiguous range. Start with `kCrc32cInit`.
+inline constexpr std::uint32_t kCrc32cInit = 0u;
+std::uint32_t Crc32cExtend(std::uint32_t crc, const std::uint8_t* data,
+                           std::size_t size);
+
+}  // namespace sgm
+
+#endif  // SGM_CORE_CRC32C_H_

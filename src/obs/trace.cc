@@ -75,6 +75,7 @@ const std::map<std::string, EventSpec>& EventCatalog() {
       {"retransmit", {"reliability", {"sender", "seq", "attempt"}}},
       {"give_up", {"reliability", {"sender", "seq"}}},
       {"duplicate_suppressed", {"reliability", {"sender", "seq"}}},
+      {"queue_evict", {"reliability", {"dest", "seq"}}},
       // Failure detector transitions.
       {"heartbeat_miss", {"failure", {"misses"}}},
       {"suspect", {"failure", {"misses"}}},
@@ -93,6 +94,14 @@ const std::map<std::string, EventSpec>& EventCatalog() {
       {"drop", {"fault", {"type"}}},
       {"duplicate", {"fault", {"type"}}},
       {"delay", {"fault", {"type", "rounds"}}},
+      {"corrupt", {"fault", {"type"}}},
+      {"coordinator_crash", {"fault", {"epoch"}}},
+      // Crash recovery (checkpoint writes and the recovery state machine).
+      {"checkpoint_write", {"recovery", {"epoch", "bytes"}}},
+      {"recovery_begin", {"recovery", {"span", "epoch", "wal_replayed"}}},
+      {"recovery_complete", {"recovery", {"span", "epoch", "grants"}}},
+      {"snapshot_fallback", {"recovery", {"discarded"}}},
+      {"wal_torn_tail", {"recovery", {"bytes"}}},
       // Run/benchmark markers emitted by the tools.
       {"run_begin", {"run", {}}},
       {"cell_begin", {"run", {}}},

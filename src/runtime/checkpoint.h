@@ -1,0 +1,213 @@
+#ifndef SGM_RUNTIME_CHECKPOINT_H_
+#define SGM_RUNTIME_CHECKPOINT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/vector.h"
+#include "runtime/failure_detector.h"
+
+namespace sgm {
+
+// ─── Snapshot payload ──────────────────────────────────────────────────────
+
+/// Per-site durable state carried in a coordinator snapshot: the rejoin
+/// bookkeeping plus the failure detector's full state machine, so a
+/// recovered coordinator neither forgets quarantines nor re-suspects sites
+/// for silence that happened while it was down.
+struct SiteCheckpoint {
+  Vector last_known;
+  long last_grant_cycle = -1;
+  bool grant_pending = false;
+  bool anchor_undelivered = false;
+  FailureDetector::State fd_state = FailureDetector::State::kAlive;
+  long fd_last_heard_cycle = 0;
+  long fd_deaths = 0;
+  std::vector<long> fd_death_cycles;
+  long fd_quarantine_until = -1;
+};
+
+/// Full coordinator state as serialized into a snapshot. The config echo
+/// (num_sites, threshold, delta, max_step_norm) lets recovery reject a
+/// checkpoint written by a differently-configured deployment instead of
+/// silently resuming with incompatible safe-zone parameters.
+struct CoordinatorCheckpoint {
+  std::int64_t epoch = 0;
+  long cycle = 0;
+  bool believes_above = false;
+  double epsilon_t = 0.0;
+  Vector estimate;
+  long full_syncs = 0;
+  long partial_resolutions = 0;
+  long degraded_syncs = 0;
+  long cycles_since_sync = 0;
+  long retry_full_in = -1;
+  std::int64_t next_span = 0;
+  std::int64_t last_cycle_span = 0;
+  // Config echo, validated on restore.
+  int num_sites = 0;
+  double threshold = 0.0;
+  double delta = 0.0;
+  double max_step_norm = 0.0;
+  std::vector<SiteCheckpoint> sites;
+};
+
+// ─── Write-ahead log ───────────────────────────────────────────────────────
+
+/// One logical WAL record. Every record carries the ABSOLUTE post-mutation
+/// epoch / span counter / cycle (not deltas), so replay from any surviving
+/// snapshot — including a fallback past a torn newest snapshot — converges
+/// on the same state.
+struct WalRecord {
+  enum class Kind : std::uint8_t {
+    kEpochBump = 1,         ///< a sync round opened (probe or full request)
+    kSyncCommit = 2,        ///< a full sync completed; carries e / ε_T
+    kPartialResolution = 3, ///< a probe round resolved without full sync
+    kRejoinGrant = 4,       ///< a rejoin grant was issued to `site`
+  };
+
+  Kind kind = Kind::kEpochBump;
+  long cycle = 0;
+  std::int64_t epoch = 0;
+  std::int64_t next_span = 0;
+  // kSyncCommit payload.
+  bool degraded = false;
+  bool believes_above = false;
+  double epsilon_t = 0.0;
+  Vector estimate;
+  long full_syncs = 0;
+  long degraded_syncs = 0;
+  std::int64_t last_cycle_span = 0;
+  // kPartialResolution payload.
+  long partial_resolutions = 0;
+  // kRejoinGrant payload.
+  int site = -1;
+};
+
+// ─── Codec ─────────────────────────────────────────────────────────────────
+
+/// Snapshot frame version byte. Frames open with `version | crc32c(body) |
+/// body`; an unknown version, a CRC mismatch, or a truncated body all reject
+/// the snapshot (recovery then falls back to the previous one).
+inline constexpr std::uint8_t kCheckpointFormatVersion = 0xC1;
+
+std::vector<std::uint8_t> EncodeSnapshot(const CoordinatorCheckpoint& state);
+Result<CoordinatorCheckpoint> DecodeSnapshot(
+    const std::vector<std::uint8_t>& buffer);
+
+/// WAL records are framed `u32 body_length | u32 crc32c(body) | body` and
+/// appended back to back. A torn tail — a partially written final record,
+/// from a crash mid-append — shows up as a short frame or a CRC mismatch and
+/// terminates the scan; everything before it is intact by construction.
+std::vector<std::uint8_t> EncodeWalRecord(const WalRecord& record);
+
+struct WalDecodeResult {
+  std::vector<WalRecord> records;
+  /// Bytes at the tail that did not parse as a complete valid record. Zero
+  /// on a cleanly closed segment.
+  long torn_bytes = 0;
+};
+WalDecodeResult DecodeWalStream(const std::vector<std::uint8_t>& wal);
+
+/// Replays one committed record onto a restored snapshot.
+void ApplyWalRecord(const WalRecord& record, CoordinatorCheckpoint* state);
+
+// ─── Stores ────────────────────────────────────────────────────────────────
+
+/// Durable home for snapshots and their bridging WAL segments. Writing a
+/// snapshot closes the current WAL segment and opens a fresh one; recovery
+/// reads candidates newest-first and replays each snapshot's own segments,
+/// so a torn tail in one segment never poisons records in a later one.
+class CheckpointStore {
+ public:
+  /// One recovery candidate: a snapshot plus the WAL segments written after
+  /// it, oldest first.
+  struct Candidate {
+    std::vector<std::uint8_t> snapshot;
+    std::vector<std::vector<std::uint8_t>> wal_segments;
+  };
+
+  virtual ~CheckpointStore() = default;
+
+  /// Persists a snapshot and opens a fresh WAL segment for the records that
+  /// follow it. Implementations retain at least the two newest snapshots so
+  /// a torn newest snapshot still leaves a recovery path.
+  virtual void PutSnapshot(std::vector<std::uint8_t> bytes) = 0;
+
+  /// Appends an encoded WAL record to the current segment.
+  virtual void AppendWal(const std::vector<std::uint8_t>& bytes) = 0;
+
+  /// Recovery candidates, newest snapshot first.
+  virtual std::vector<Candidate> Candidates() const = 0;
+};
+
+/// In-memory store for the DST harness and unit tests, with fault hooks
+/// that model the two durable-storage failure modes: a torn snapshot write
+/// and a torn WAL append. Both corrupt only the newest artifact's tail —
+/// committed prefixes stay intact, matching what rename-on-write plus
+/// append-only logging guarantees on a real filesystem.
+class InMemoryCheckpointStore final : public CheckpointStore {
+ public:
+  void PutSnapshot(std::vector<std::uint8_t> bytes) override;
+  void AppendWal(const std::vector<std::uint8_t>& bytes) override;
+  std::vector<Candidate> Candidates() const override;
+
+  /// Fault hook: truncates the newest snapshot by `bytes`, simulating a
+  /// crash mid-write that rename-on-write failed to mask.
+  void TearSnapshotTail(std::size_t bytes);
+  /// Fault hook: appends raw garbage to the current WAL segment, simulating
+  /// a record whose append was cut short.
+  void AppendTornWalBytes(const std::vector<std::uint8_t>& garbage);
+
+  int snapshot_count() const { return static_cast<int>(segments_.size()); }
+
+ private:
+  struct Segment {
+    std::vector<std::uint8_t> snapshot;
+    std::vector<std::uint8_t> wal;
+  };
+  std::deque<Segment> segments_;
+};
+
+/// Filesystem-backed store: snapshots are written to a temporary file and
+/// atomically renamed into place (`snap-N.ckpt`), WAL segments append to
+/// `wal-N.log`. Keeps the two newest snapshot/segment pairs. Flushes after
+/// every append; a production deployment would fsync, which std::ofstream
+/// cannot express portably — the torn-tail detection upstream is what makes
+/// that gap survivable.
+class FileCheckpointStore final : public CheckpointStore {
+ public:
+  explicit FileCheckpointStore(std::string directory);
+
+  void PutSnapshot(std::vector<std::uint8_t> bytes) override;
+  void AppendWal(const std::vector<std::uint8_t>& bytes) override;
+  std::vector<Candidate> Candidates() const override;
+
+ private:
+  std::string SnapshotPath(long index) const;
+  std::string WalPath(long index) const;
+
+  std::string directory_;
+  long latest_index_ = -1;  ///< highest snapshot index on disk, -1 if none
+};
+
+// ─── Reconstruction ────────────────────────────────────────────────────────
+
+/// The oracle-reconstructed coordinator state: newest decodable snapshot
+/// plus every committed WAL record after it. This is both the recovery
+/// path's input and the DST invariant's independent ground truth.
+struct Reconstruction {
+  CoordinatorCheckpoint state;
+  long wal_records_replayed = 0;
+  long snapshots_discarded = 0;  ///< newer snapshots rejected (torn/corrupt)
+  long torn_wal_bytes = 0;
+};
+
+Result<Reconstruction> ReconstructCoordinatorState(const CheckpointStore& store);
+
+}  // namespace sgm
+
+#endif  // SGM_RUNTIME_CHECKPOINT_H_

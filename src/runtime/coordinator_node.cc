@@ -11,6 +11,16 @@
 
 namespace sgm {
 
+namespace {
+
+/// Span-counter headroom added on recovery: spans minted after the last WAL
+/// append are not durable, so a recovered coordinator skips ahead by a
+/// stride no single OnMessage burst can mint through, guaranteeing it never
+/// re-issues a span id the previous incarnation already put on the wire.
+constexpr std::int64_t kRecoverySpanStride = 1024;
+
+}  // namespace
+
 CoordinatorNode::CoordinatorNode(int num_sites,
                                  const MonitoredFunction& function,
                                  const RuntimeConfig& config,
@@ -31,12 +41,16 @@ CoordinatorNode::CoordinatorNode(int num_sites,
   SGM_CHECK(config.degraded_resync_cycles >= 1);
   SGM_CHECK(config.max_sync_retries >= 0);
   SGM_CHECK(config.rejoin_resync_cycles >= 1);
+  SGM_CHECK(config.checkpoint_interval_cycles >= 1);
+  SGM_CHECK(config.recovery_resync_cycles >= 1);
   if (telemetry_ != nullptr) {
     fd_.set_telemetry(telemetry_);
     ht_estimate_ns_ = telemetry_->registry.GetHistogram(
         "coordinator.ht_estimate_ns", LatencyBucketsNs());
     full_sync_ns_ = telemetry_->registry.GetHistogram(
         "coordinator.full_sync_ns", LatencyBucketsNs());
+    restore_ns_ = telemetry_->registry.GetHistogram(
+        "recovery.restore_ns", LatencyBucketsNs());
   }
 }
 
@@ -57,7 +71,181 @@ double CoordinatorNode::CurrentU() const {
   return std::min({accumulated, config_.drift_norm_cap, threshold_scale});
 }
 
-void CoordinatorNode::Start() { RequestFullState(); }
+void CoordinatorNode::Start() {
+  // Baseline snapshot before any traffic: the store is never empty once the
+  // deployment runs, so recovery always has a candidate.
+  WriteSnapshot();
+  RequestFullState();
+}
+
+CoordinatorCheckpoint CoordinatorNode::BuildCheckpoint() const {
+  CoordinatorCheckpoint state;
+  state.epoch = epoch_;
+  state.cycle = cycle_;
+  state.believes_above = believes_above_;
+  state.epsilon_t = epsilon_t_;
+  state.estimate = e_;
+  state.full_syncs = full_syncs_;
+  state.partial_resolutions = partial_resolutions_;
+  state.degraded_syncs = degraded_syncs_;
+  state.cycles_since_sync = cycles_since_sync_;
+  state.retry_full_in = retry_full_in_;
+  state.next_span = next_span_;
+  state.last_cycle_span = last_cycle_span_;
+  state.num_sites = num_sites_;
+  state.threshold = config_.threshold;
+  state.delta = config_.delta;
+  state.max_step_norm = config_.max_step_norm;
+  state.sites.resize(num_sites_);
+  const std::vector<FailureDetector::SiteSnapshot> fd_sites = fd_.Snapshot();
+  for (int i = 0; i < num_sites_; ++i) {
+    SiteCheckpoint& site = state.sites[i];
+    site.last_known = last_known_[i];
+    site.last_grant_cycle = last_grant_cycle_[i];
+    site.grant_pending = grant_pending_[i];
+    site.anchor_undelivered = anchor_undelivered_[i];
+    site.fd_state = fd_sites[i].state;
+    site.fd_last_heard_cycle = fd_sites[i].last_heard_cycle;
+    site.fd_deaths = fd_sites[i].deaths;
+    site.fd_death_cycles = fd_sites[i].death_cycles;
+    site.fd_quarantine_until = fd_sites[i].quarantine_until;
+  }
+  return state;
+}
+
+void CoordinatorNode::WriteSnapshot() {
+  if (config_.checkpoint_store == nullptr) return;
+  std::vector<std::uint8_t> bytes = EncodeSnapshot(BuildCheckpoint());
+  const std::int64_t size = static_cast<std::int64_t>(bytes.size());
+  config_.checkpoint_store->PutSnapshot(std::move(bytes));
+  ++recovery_stats_.snapshots_written;
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.Emit("recovery", "checkpoint_write", kCoordinatorId,
+                           {{"epoch", epoch_}, {"bytes", size}});
+  }
+}
+
+void CoordinatorNode::AppendWal(WalRecord record) {
+  if (config_.checkpoint_store == nullptr) return;
+  record.cycle = cycle_;
+  record.epoch = epoch_;
+  record.next_span = next_span_;
+  config_.checkpoint_store->AppendWal(EncodeWalRecord(record));
+  ++recovery_stats_.wal_records;
+}
+
+bool CoordinatorNode::Recover() {
+  SGM_CHECK_MSG(config_.checkpoint_store != nullptr,
+                "Recover() needs a checkpoint store");
+  ScopedTimer timer(restore_ns_);
+  Result<Reconstruction> result =
+      ReconstructCoordinatorState(*config_.checkpoint_store);
+  if (!result.ok()) return false;
+  const Reconstruction& rec = result.ValueOrDie();
+  const CoordinatorCheckpoint& s = rec.state;
+  SGM_CHECK_MSG(s.num_sites == num_sites_,
+                "checkpoint from a different deployment");
+
+  epoch_ = s.epoch;
+  cycle_ = s.cycle;
+  believes_above_ = s.believes_above;
+  epsilon_t_ = s.epsilon_t;
+  e_ = s.estimate;
+  // Re-anchor the function clone exactly as the sync that produced the
+  // estimate did (reference-anchored functions rebuild their safe zone).
+  if (!e_.empty()) function_->OnSync(e_);
+  full_syncs_ = s.full_syncs;
+  partial_resolutions_ = s.partial_resolutions;
+  degraded_syncs_ = s.degraded_syncs;
+  cycles_since_sync_ = s.cycles_since_sync;
+  retry_full_in_ = s.retry_full_in;
+  last_cycle_span_ = s.last_cycle_span;
+  next_span_ = s.next_span + kRecoverySpanStride;
+  // In-flight rounds are not checkpointed: recovery restores to kIdle and
+  // the reconciliation below re-derives anything the crash interrupted.
+  phase_ = Phase::kIdle;
+  cycle_span_ = 0;
+  phase_span_ = 0;
+  alarm_this_cycle_ = false;
+  sync_retries_ = 0;
+
+  std::vector<FailureDetector::SiteSnapshot> fd_sites(num_sites_);
+  for (int i = 0; i < num_sites_; ++i) {
+    const SiteCheckpoint& site = s.sites[i];
+    last_known_[i] = site.last_known;
+    last_grant_cycle_[i] = site.last_grant_cycle;
+    grant_pending_[i] = site.grant_pending;
+    anchor_undelivered_[i] = site.anchor_undelivered;
+    fd_sites[i].state = site.fd_state;
+    fd_sites[i].last_heard_cycle = site.fd_last_heard_cycle;
+    fd_sites[i].deaths = site.fd_deaths;
+    fd_sites[i].death_cycles = site.fd_death_cycles;
+    fd_sites[i].quarantine_until = site.fd_quarantine_until;
+  }
+  fd_.Restore(fd_sites, cycle_);
+
+  ++recovery_stats_.restores;
+  recovery_stats_.wal_records_replayed += rec.wal_records_replayed;
+  recovery_stats_.snapshots_discarded += rec.snapshots_discarded;
+  recovery_stats_.torn_wal_bytes += rec.torn_wal_bytes;
+
+  // Fence: one bump past the highest committed epoch. Every frame the dead
+  // incarnation left in flight carries epoch ≤ the committed value (WAL
+  // records are appended before their messages are sent), so the ordinary
+  // epoch machinery quarantines all of it — sites drop stale data, and any
+  // site that anchored on the final pre-crash broadcast re-anchors through
+  // the grants below.
+  ++epoch_;
+  epoch_cycle_start_ = epoch_;
+  const std::int64_t recovery_span = MintSpan();
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.Emit("protocol", "epoch_bump", kCoordinatorId,
+                           {{"epoch", epoch_}});
+    telemetry_->trace.Emit(
+        "recovery", "recovery_begin", kCoordinatorId,
+        {{"span", recovery_span},
+         {"epoch", epoch_},
+         {"wal_replayed", rec.wal_records_replayed}});
+    if (rec.snapshots_discarded > 0) {
+      telemetry_->trace.Emit("recovery", "snapshot_fallback", kCoordinatorId,
+                             {{"discarded", rec.snapshots_discarded}});
+    }
+    if (rec.torn_wal_bytes > 0) {
+      telemetry_->trace.Emit("recovery", "wal_torn_tail", kCoordinatorId,
+                             {{"bytes", rec.torn_wal_bytes}});
+    }
+  }
+  // Durable point of no return: the fenced epoch and the strided span
+  // counter land in a fresh snapshot (and a fresh WAL segment) before any
+  // reconciliation traffic goes out.
+  WriteSnapshot();
+
+  if (e_.empty()) {
+    // Crashed before the first sync ever completed: start from scratch.
+    RequestFullState();
+  } else {
+    // Reconciliation: re-anchor every reachable site at the fenced epoch
+    // through the ordinary rejoin-grant handshake, then fold their drift
+    // back in with a scheduled full resync. Dead sites rejoin on revival;
+    // quarantined sites stay deferred.
+    for (int site = 0; site < num_sites_; ++site) {
+      last_grant_cycle_[site] = -1;  // recovery grants bypass rate limiting
+      if (fd_.state(site) == FailureDetector::State::kDead) continue;
+      if (fd_.IsQuarantined(site)) continue;
+      MaybeGrantRejoin(site);
+      ++recovery_stats_.reconcile_grants;
+    }
+    ScheduleResync(config_.recovery_resync_cycles);
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.Emit(
+        "recovery", "recovery_complete", kCoordinatorId,
+        {{"span", recovery_span},
+         {"epoch", epoch_},
+         {"grants", recovery_stats_.reconcile_grants}});
+  }
+  return true;
+}
 
 void CoordinatorNode::ScheduleResync(long cycles) {
   retry_full_in_ = retry_full_in_ > 0 ? std::min(retry_full_in_, cycles)
@@ -67,6 +255,10 @@ void CoordinatorNode::ScheduleResync(long cycles) {
 void CoordinatorNode::BeginCycle() {
   ++cycle_;
   epoch_cycle_start_ = epoch_;
+  if (config_.checkpoint_store != nullptr &&
+      cycle_ % config_.checkpoint_interval_cycles == 0) {
+    WriteSnapshot();
+  }
   fd_.BeginCycle(cycle_);
   if (reliable_ != nullptr) {
     // Heartbeat-miss deaths release the dead site's pending acks and stop
@@ -101,6 +293,11 @@ void CoordinatorNode::BumpEpoch() {
     telemetry_->trace.Emit("protocol", "epoch_bump", kCoordinatorId,
                            {{"epoch", epoch_}});
   }
+  // Logged before the round's first message is sent (both callers bump
+  // before broadcasting), so no epoch a site ever sees can outrun the WAL.
+  WalRecord record;
+  record.kind = WalRecord::Kind::kEpochBump;
+  AppendWal(record);
 }
 
 void CoordinatorNode::EnsureCycleSpan(const char* trigger) {
@@ -170,6 +367,18 @@ void CoordinatorNode::FinishFullSync(bool degraded) {
                             {"span", phase_span_},
                             {"parent", cycle_span_}});
   }
+  // Committed before the anchor broadcast: a site can only ever anchor on an
+  // estimate the WAL already holds.
+  WalRecord record;
+  record.kind = WalRecord::Kind::kSyncCommit;
+  record.degraded = degraded;
+  record.believes_above = believes_above_;
+  record.epsilon_t = epsilon_t_;
+  record.estimate = e_;
+  record.full_syncs = full_syncs_;
+  record.degraded_syncs = degraded_syncs_;
+  record.last_cycle_span = last_cycle_span_;
+  AppendWal(record);
 
   RuntimeMessage estimate;
   estimate.type = RuntimeMessage::Type::kNewEstimate;
@@ -199,6 +408,12 @@ void CoordinatorNode::ResolvePartial(const Vector& v_hat) {
   const long mute = std::max<long>(
       0, static_cast<long>(std::floor(room / config_.max_step_norm)));
 
+  WalRecord record;
+  record.kind = WalRecord::Kind::kPartialResolution;
+  record.partial_resolutions = partial_resolutions_;
+  record.last_cycle_span = last_cycle_span_;
+  AppendWal(record);
+
   RuntimeMessage resolved;
   resolved.type = RuntimeMessage::Type::kResolved;
   resolved.scalar = static_cast<double>(mute);
@@ -225,6 +440,11 @@ void CoordinatorNode::MaybeGrantRejoin(int site) {
     telemetry_->trace.Emit("reliability", "rejoin_grant", site,
                            {{"epoch", epoch_}, {"span", grant_span}});
   }
+  WalRecord record;
+  record.kind = WalRecord::Kind::kRejoinGrant;
+  record.site = site;
+  AppendWal(record);
+
   RuntimeMessage grant;
   grant.type = RuntimeMessage::Type::kRejoinGrant;
   grant.from = kCoordinatorId;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "functions/monitored_function.h"
+#include "runtime/checkpoint.h"
 #include "runtime/failure_detector.h"
 #include "runtime/message.h"
 #include "runtime/reliable_transport.h"
@@ -43,6 +44,20 @@ namespace sgm {
 /// full resync is scheduled shortly after so its data re-enters the
 /// estimate. Flapping sites are quarantined by the detector and their
 /// grants deferred.
+///
+/// ── Crash consistency ───────────────────────────────────────────────────
+/// With a CheckpointStore configured, the coordinator persists a full
+/// snapshot every checkpoint_interval_cycles and write-ahead-logs every
+/// externally visible state mutation between snapshots (epoch bumps, sync
+/// commits, partial resolutions, rejoin grants) — each record appended
+/// *before* the message that announces it hits the wire, so no epoch or
+/// estimate a site has ever seen can be lost by a crash. Recover() rebuilds
+/// from the newest decodable snapshot plus its committed WAL suffix, bumps
+/// the epoch once more so every pre-crash in-flight frame is fenced by the
+/// ordinary epoch machinery, and re-anchors all reachable sites through the
+/// rejoin-grant handshake before monitoring resumes. In-flight probe or
+/// collection rounds are deliberately not checkpointed: recovery restores
+/// to kIdle and the scheduled-resync machinery re-derives anything lost.
 class CoordinatorNode {
  public:
   CoordinatorNode(int num_sites, const MonitoredFunction& function,
@@ -55,7 +70,17 @@ class CoordinatorNode {
 
   /// Kicks off the initialization synchronization (first full state
   /// collection); call once after all sites hold their first vectors.
+  /// Writes the baseline snapshot first when a checkpoint store is
+  /// configured, so there is always a recovery candidate.
   void Start();
+
+  /// Restores coordinator state from the configured checkpoint store after
+  /// a crash: newest decodable snapshot + committed WAL records, epoch
+  /// fence bump, fresh post-recovery snapshot, then a site reconciliation
+  /// round over the rejoin-grant handshake. Returns false when the store
+  /// holds no decodable snapshot (the caller decides whether that is
+  /// fatal). Call on a freshly constructed node, in place of Start().
+  bool Recover();
 
   /// Marks the beginning of an update cycle: advances the failure
   /// detector's clock, applies newly-detected deaths to the link state, and
@@ -113,6 +138,20 @@ class CoordinatorNode {
   };
   AuditStats audit() const { return audit_; }
 
+  /// Checkpoint/recovery activity counters for this incarnation (an
+  /// incarnation performs at most one restore, at birth). The driver
+  /// accumulates them across incarnations into the `recovery.*` metrics.
+  struct RecoveryStats {
+    long restores = 0;
+    long snapshots_written = 0;
+    long wal_records = 0;           ///< appended by this incarnation
+    long wal_records_replayed = 0;  ///< replayed during this restore
+    long snapshots_discarded = 0;   ///< torn/corrupt snapshots skipped
+    long torn_wal_bytes = 0;        ///< WAL tail bytes rejected on restore
+    long reconcile_grants = 0;      ///< reconciliation grants issued
+  };
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
  private:
   enum class Phase { kIdle, kProbing, kCollecting };
 
@@ -147,6 +186,14 @@ class CoordinatorNode {
   /// Completes the in-flight collection with whatever arrived, folding in
   /// last-known vectors for the missing sites.
   void CompleteCollection();
+  /// Captures the full durable state into a checkpoint struct.
+  CoordinatorCheckpoint BuildCheckpoint() const;
+  /// Persists a snapshot to the configured store (no-op without one).
+  void WriteSnapshot();
+  /// Stamps cycle/epoch/next_span onto `record` and appends it to the WAL
+  /// (no-op without a store). Must run before the mutation's message is
+  /// sent, so nothing on the wire is ever ahead of the log.
+  void AppendWal(WalRecord record);
 
   int num_sites_;
   std::unique_ptr<MonitoredFunction> function_;
@@ -158,7 +205,9 @@ class CoordinatorNode {
   /// disables the profiling scopes entirely — no clock reads).
   Histogram* ht_estimate_ns_ = nullptr;
   Histogram* full_sync_ns_ = nullptr;
+  Histogram* restore_ns_ = nullptr;
   FailureDetector fd_;
+  RecoveryStats recovery_stats_;
 
   Phase phase_ = Phase::kIdle;
   bool alarm_this_cycle_ = false;

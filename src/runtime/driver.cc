@@ -24,6 +24,8 @@ void RuntimeDriver::BuildNodes(int num_sites,
                                const RuntimeConfig& config, Transport* lower) {
   SGM_CHECK(num_sites > 0);
   telemetry_ = config.telemetry;
+  config_ = config;
+  function_clone_ = function.Clone();
   if (sim_ && telemetry_ != nullptr) sim_->set_telemetry(telemetry_);
   reliable_ = std::make_unique<ReliableTransport>(
       lower, num_sites, config.reliability, telemetry_);
@@ -38,6 +40,14 @@ void RuntimeDriver::BuildNodes(int num_sites,
 }
 
 void RuntimeDriver::Deliver(int receiver, const RuntimeMessage& message) {
+  if (receiver == kCoordinatorId && coordinator_ == nullptr) {
+    // A dead coordinator acks nothing and processes nothing: the frame is
+    // lost unacked (before the receive-side reliability layer, which would
+    // ack it), exactly as a crashed host loses it. Senders retransmit and
+    // eventually give up; recovery re-anchors them.
+    ++coordinator_down_drops_;
+    return;
+  }
   // The receive-side reliability layer consumes acks, dedups and acks data;
   // at most one message survives to the node.
   std::vector<RuntimeMessage> fresh;
@@ -45,10 +55,81 @@ void RuntimeDriver::Deliver(int receiver, const RuntimeMessage& message) {
   for (const RuntimeMessage& m : fresh) {
     if (receiver == kCoordinatorId) {
       coordinator_->OnMessage(m);
+      if (crash_after_messages_ > 0 && --crash_after_messages_ == 0) {
+        // Armed mid-cascade crash: fires between two message handlers of
+        // one delivery burst. Anything already acked but not yet dispatched
+        // dies with the process (ack-then-crash is a real failure mode the
+        // WAL ordering must survive).
+        CrashCoordinator();
+        break;
+      }
     } else {
       sites_[receiver]->OnMessage(m);
     }
   }
+}
+
+void RuntimeDriver::CrashCoordinator() {
+  SGM_CHECK(coordinator_ != nullptr);
+  SGM_CHECK_MSG(config_.checkpoint_store != nullptr,
+                "coordinator crash without a checkpoint store is fatal");
+  last_crash_epoch_ = coordinator_->epoch();
+  AccumulateRecovery(coordinator_->recovery_stats());
+  ++coordinator_crashes_;
+  crash_after_messages_ = 0;
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.Emit("fault", "coordinator_crash", kCoordinatorId,
+                           {{"epoch", last_crash_epoch_}});
+  }
+  coordinator_.reset();
+  // The dead-link handler captured the dead coordinator; clear it before
+  // voiding the coordinator's unacked outbound traffic (which must not be
+  // read as evidence of dead *receivers*).
+  reliable_->SetDeadLinkHandler({});
+  reliable_->AbandonSender(kCoordinatorId);
+}
+
+void RuntimeDriver::ArmCoordinatorCrash(long count) {
+  SGM_CHECK(count >= 1);
+  SGM_CHECK(coordinator_ != nullptr);
+  crash_after_messages_ = count;
+}
+
+void RuntimeDriver::RecoverCoordinator() {
+  SGM_CHECK(coordinator_ == nullptr);
+  coordinator_ = std::make_unique<CoordinatorNode>(
+      num_sites(), *function_clone_, config_, reliable_.get());
+  coordinator_->AttachReliability(reliable_.get());
+  SGM_CHECK_MSG(coordinator_->Recover(),
+                "coordinator recovery found no decodable checkpoint");
+  RouteToQuiescence();
+  PublishMetrics();
+}
+
+void RuntimeDriver::AccumulateRecovery(
+    const CoordinatorNode::RecoveryStats& stats) {
+  recovery_totals_.restores += stats.restores;
+  recovery_totals_.snapshots_written += stats.snapshots_written;
+  recovery_totals_.wal_records += stats.wal_records;
+  recovery_totals_.wal_records_replayed += stats.wal_records_replayed;
+  recovery_totals_.snapshots_discarded += stats.snapshots_discarded;
+  recovery_totals_.torn_wal_bytes += stats.torn_wal_bytes;
+  recovery_totals_.reconcile_grants += stats.reconcile_grants;
+}
+
+CoordinatorNode::RecoveryStats RuntimeDriver::recovery_totals() const {
+  CoordinatorNode::RecoveryStats total = recovery_totals_;
+  if (coordinator_ != nullptr) {
+    const CoordinatorNode::RecoveryStats& live = coordinator_->recovery_stats();
+    total.restores += live.restores;
+    total.snapshots_written += live.snapshots_written;
+    total.wal_records += live.wal_records;
+    total.wal_records_replayed += live.wal_records_replayed;
+    total.snapshots_discarded += live.snapshots_discarded;
+    total.torn_wal_bytes += live.torn_wal_bytes;
+    total.reconcile_grants += live.reconcile_grants;
+  }
+  return total;
 }
 
 void RuntimeDriver::RouteToQuiescence() {
@@ -83,8 +164,10 @@ void RuntimeDriver::RouteToQuiescence() {
       reliable_->AdvanceRound();
     }
     // Transport quiescent: give the coordinator its quiescence callback; if
-    // that produced new traffic, keep routing.
-    coordinator_->OnQuiescent();
+    // that produced new traffic, keep routing. While the coordinator is
+    // down there is no callback — the loop above still terminates because
+    // delays and retransmission budgets are bounded.
+    if (coordinator_ != nullptr) coordinator_->OnQuiescent();
     if (bus_.empty() && !(sim_ && sim_->HasPending()) &&
         !reliable_->HasUnacked()) {
       return;
@@ -106,7 +189,7 @@ void RuntimeDriver::Initialize(const std::vector<Vector>& local_vectors) {
 void RuntimeDriver::Tick(const std::vector<Vector>& local_vectors) {
   SGM_CHECK(static_cast<int>(local_vectors.size()) == num_sites());
   if (telemetry_ != nullptr) telemetry_->SetCycle(++cycle_);
-  coordinator_->BeginCycle();
+  if (coordinator_ != nullptr) coordinator_->BeginCycle();
   for (int i = 0; i < num_sites(); ++i) {
     if (sim_ && sim_->IsCrashed(i)) continue;  // crashed: observes nothing
     sites_[i]->Observe(local_vectors[i]);
@@ -134,24 +217,44 @@ void RuntimeDriver::PublishMetrics() {
   }
   reliable_->PublishMetrics(registry);
 
-  const CoordinatorNode::AuditStats coord = coordinator_->audit();
-  registry->GetCounter("coordinator.full_syncs")
-      ->Set(coordinator_->full_syncs());
-  registry->GetCounter("coordinator.partial_resolutions")
-      ->Set(coordinator_->partial_resolutions());
-  registry->GetCounter("coordinator.degraded_syncs")
-      ->Set(coordinator_->degraded_syncs());
-  registry->GetCounter("coordinator.epoch")
-      ->Set(static_cast<long>(coordinator_->epoch()));
-  registry->GetCounter("coordinator.stale_epoch_drops")
-      ->Set(coord.stale_epoch_drops);
-  registry->GetCounter("coordinator.stale_epoch_applied")
-      ->Set(coord.stale_epoch_applied);
-  registry->GetCounter("coordinator.late_reports")->Set(coord.late_reports);
-  registry->GetCounter("coordinator.rejoins_granted")
-      ->Set(coord.rejoins_granted);
-  registry->GetCounter("coordinator.sync_rerequests")
-      ->Set(coord.sync_rerequests);
+  if (coordinator_ != nullptr) {
+    const CoordinatorNode::AuditStats coord = coordinator_->audit();
+    registry->GetCounter("coordinator.full_syncs")
+        ->Set(coordinator_->full_syncs());
+    registry->GetCounter("coordinator.partial_resolutions")
+        ->Set(coordinator_->partial_resolutions());
+    registry->GetCounter("coordinator.degraded_syncs")
+        ->Set(coordinator_->degraded_syncs());
+    registry->GetCounter("coordinator.epoch")
+        ->Set(static_cast<long>(coordinator_->epoch()));
+    registry->GetCounter("coordinator.stale_epoch_drops")
+        ->Set(coord.stale_epoch_drops);
+    registry->GetCounter("coordinator.stale_epoch_applied")
+        ->Set(coord.stale_epoch_applied);
+    registry->GetCounter("coordinator.late_reports")->Set(coord.late_reports);
+    registry->GetCounter("coordinator.rejoins_granted")
+        ->Set(coord.rejoins_granted);
+    registry->GetCounter("coordinator.sync_rerequests")
+        ->Set(coord.sync_rerequests);
+  }
+
+  if (config_.checkpoint_store != nullptr) {
+    const CoordinatorNode::RecoveryStats rec = recovery_totals();
+    registry->GetCounter("recovery.restores")->Set(rec.restores);
+    registry->GetCounter("recovery.snapshots_written")
+        ->Set(rec.snapshots_written);
+    registry->GetCounter("recovery.wal_records")->Set(rec.wal_records);
+    registry->GetCounter("recovery.wal_records_replayed")
+        ->Set(rec.wal_records_replayed);
+    registry->GetCounter("recovery.snapshots_discarded")
+        ->Set(rec.snapshots_discarded);
+    registry->GetCounter("recovery.torn_wal_bytes")->Set(rec.torn_wal_bytes);
+    registry->GetCounter("recovery.reconcile_grants")
+        ->Set(rec.reconcile_grants);
+    registry->GetCounter("recovery.coordinator_crashes")
+        ->Set(coordinator_crashes_);
+    registry->GetCounter("recovery.down_drops")->Set(coordinator_down_drops_);
+  }
 
   SiteNode::AuditStats sites_total;
   for (const auto& site : sites_) {
@@ -170,10 +273,12 @@ void RuntimeDriver::PublishMetrics() {
   registry->GetCounter("site.rejoin_requests_sent")
       ->Set(sites_total.rejoin_requests_sent);
 
-  const FailureDetector& fd = coordinator_->failure_detector();
-  registry->GetCounter("failure.total_deaths")->Set(fd.total_deaths());
-  registry->GetGauge("failure.live_count")
-      ->Set(static_cast<double>(fd.live_count()));
+  if (coordinator_ != nullptr) {
+    const FailureDetector& fd = coordinator_->failure_detector();
+    registry->GetCounter("failure.total_deaths")->Set(fd.total_deaths());
+    registry->GetGauge("failure.live_count")
+        ->Set(static_cast<double>(fd.live_count()));
+  }
 
   // Windowed time-series export: one sample per cycle (idempotent — an
   // on-demand PublishMetrics within the same cycle does not duplicate).

@@ -54,11 +54,45 @@ class RuntimeDriver {
 
   /// Mirrors every component's counters into the attached telemetry's
   /// metric registry (`transport.*`, `coordinator.*`, `site.*`,
-  /// `failure.*`). No-op without a RuntimeConfig::telemetry. Called
-  /// automatically after every Tick; also callable on demand before a
-  /// metrics snapshot is written out.
+  /// `failure.*`, `recovery.*`). No-op without a RuntimeConfig::telemetry.
+  /// Called automatically after every Tick; also callable on demand before
+  /// a metrics snapshot is written out.
   void PublishMetrics();
 
+  // ── Coordinator crash injection (DST) ──────────────────────────────────
+
+  /// Kills the coordinator process model immediately: its in-memory state
+  /// is destroyed, its unacked outbound traffic is voided (no dead-link
+  /// verdicts — the sender is gone, not the receivers), and until
+  /// RecoverCoordinator() every coordinator-bound frame is dropped on the
+  /// floor unacked, exactly as a dead host drops it. Requires a
+  /// RuntimeConfig::checkpoint_store, since recovery needs one.
+  void CrashCoordinator();
+
+  /// Arms a crash that fires after the coordinator processes `count` more
+  /// messages — landing *inside* a sync cascade's message burst rather than
+  /// at a cycle boundary. Any value larger than the remaining traffic
+  /// simply never fires (disarmed by the next explicit crash).
+  void ArmCoordinatorCrash(long count);
+
+  /// Rebuilds the coordinator and runs CoordinatorNode::Recover() — CHECKs
+  /// that a recoverable checkpoint exists — then routes the reconciliation
+  /// traffic to quiescence.
+  void RecoverCoordinator();
+
+  bool coordinator_down() const { return coordinator_ == nullptr; }
+  bool crash_armed() const { return crash_after_messages_ > 0; }
+  /// Committed epoch at the moment of the last crash (the recovery fence
+  /// invariant: the recovered epoch must be exactly this + 1).
+  std::int64_t last_crash_epoch() const { return last_crash_epoch_; }
+  long coordinator_crashes() const { return coordinator_crashes_; }
+  /// Coordinator-bound frames dropped while the coordinator was down.
+  long coordinator_down_drops() const { return coordinator_down_drops_; }
+  /// Checkpoint/recovery counters accumulated across every coordinator
+  /// incarnation, the live one included.
+  CoordinatorNode::RecoveryStats recovery_totals() const;
+
+  /// Valid only while !coordinator_down().
   const CoordinatorNode& coordinator() const { return *coordinator_; }
   const InMemoryBus& bus() const { return bus_; }
   /// The fault layer, or nullptr for the faultless wiring. Crash/recovery
@@ -81,6 +115,8 @@ class RuntimeDriver {
   /// advancing the fault layer's delay rounds and the reliability layer's
   /// retransmission clock whenever the bus drains.
   void RouteToQuiescence();
+  /// Folds a dead incarnation's recovery counters into the totals.
+  void AccumulateRecovery(const CoordinatorNode::RecoveryStats& stats);
 
   InMemoryBus bus_;
   std::unique_ptr<SimTransport> sim_;
@@ -89,6 +125,17 @@ class RuntimeDriver {
   std::vector<std::unique_ptr<SiteNode>> sites_;
   Telemetry* telemetry_ = nullptr;
   long cycle_ = 0;
+
+  /// Kept for rebuilding the coordinator after a crash.
+  RuntimeConfig config_;
+  std::unique_ptr<MonitoredFunction> function_clone_;
+
+  long crash_after_messages_ = 0;  ///< 0 = disarmed
+  std::int64_t last_crash_epoch_ = 0;
+  long coordinator_crashes_ = 0;
+  long coordinator_down_drops_ = 0;
+  /// Totals from dead incarnations; the live one's stats add on top.
+  CoordinatorNode::RecoveryStats recovery_totals_;
 };
 
 }  // namespace sgm

@@ -1,8 +1,10 @@
 #include "runtime/failure_detector.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/check.h"
+#include "core/rng.h"
 #include "obs/telemetry.h"
 
 namespace sgm {
@@ -15,6 +17,28 @@ FailureDetector::FailureDetector(int num_sites,
   SGM_CHECK(config.dead_after_misses > config.suspect_after_misses);
   SGM_CHECK(config.flap_death_threshold >= 2);
   SGM_CHECK(config.flap_window_cycles >= 1 && config.quarantine_cycles >= 0);
+  SGM_CHECK(config.threshold_jitter >= 0.0 && config.threshold_jitter < 1.0);
+  for (int site = 0; site < num_sites; ++site) {
+    SiteState& s = sites_[site];
+    if (config.threshold_jitter > 0.0) {
+      Rng rng(DeriveSeed(config.jitter_seed, static_cast<std::uint64_t>(site)));
+      const auto factor = [&rng, &config] {
+        return 1.0 + config.threshold_jitter * (2.0 * rng.NextDouble() - 1.0);
+      };
+      s.suspect_after = std::max(
+          1, static_cast<int>(std::lround(config.suspect_after_misses *
+                                          factor())));
+      s.dead_after = std::max(
+          s.suspect_after + 1,
+          static_cast<int>(std::lround(config.dead_after_misses * factor())));
+      s.quarantine = std::max<long>(
+          0, std::lround(config.quarantine_cycles * factor()));
+    } else {
+      s.suspect_after = config.suspect_after_misses;
+      s.dead_after = config.dead_after_misses;
+      s.quarantine = config.quarantine_cycles;
+    }
+  }
 }
 
 /// Shared death bookkeeping (miss escalation and transport unreachability
@@ -35,7 +59,7 @@ void FailureDetector::RecordDeath(int site) {
   }
   if (static_cast<int>(s.death_cycles.size()) >=
       config_.flap_death_threshold) {
-    s.quarantine_until = cycle_ + config_.quarantine_cycles;
+    s.quarantine_until = cycle_ + s.quarantine;
     if (telemetry_ != nullptr) {
       telemetry_->trace.Emit("failure", "quarantined", site,
                              {{"until_cycle", s.quarantine_until}});
@@ -47,9 +71,9 @@ void FailureDetector::Escalate(int site) {
   SiteState& s = sites_[site];
   if (s.state != State::kAlive && s.state != State::kSuspect) return;
   const long misses = cycle_ - s.last_heard_cycle;
-  if (misses > config_.dead_after_misses) {
+  if (misses > s.dead_after) {
     RecordDeath(site);
-  } else if (misses > config_.suspect_after_misses) {
+  } else if (misses > s.suspect_after) {
     if (telemetry_ != nullptr && s.state != State::kSuspect) {
       telemetry_->trace.Emit("failure", "suspect", site,
                              {{"misses", misses}});
@@ -120,6 +144,30 @@ int FailureDetector::live_count() const {
     if (IsLive(site)) ++live;
   }
   return live;
+}
+
+std::vector<FailureDetector::SiteSnapshot> FailureDetector::Snapshot() const {
+  std::vector<SiteSnapshot> out(sites_.size());
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    const SiteState& s = sites_[i];
+    out[i] = {s.state, s.last_heard_cycle, s.deaths, s.death_cycles,
+              s.quarantine_until};
+  }
+  return out;
+}
+
+void FailureDetector::Restore(const std::vector<SiteSnapshot>& sites,
+                              long cycle) {
+  SGM_CHECK(sites.size() == sites_.size());
+  cycle_ = cycle;
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    SiteState& s = sites_[i];
+    s.state = sites[i].state;
+    s.last_heard_cycle = sites[i].last_heard_cycle;
+    s.deaths = sites[i].deaths;
+    s.death_cycles = sites[i].death_cycles;
+    s.quarantine_until = sites[i].quarantine_until;
+  }
 }
 
 long FailureDetector::total_deaths() const {

@@ -1,6 +1,7 @@
 #ifndef SGM_RUNTIME_FAILURE_DETECTOR_H_
 #define SGM_RUNTIME_FAILURE_DETECTOR_H_
 
+#include <cstdint>
 #include <vector>
 
 namespace sgm {
@@ -20,6 +21,16 @@ struct FailureDetectorConfig {
   int flap_death_threshold = 3;
   long flap_window_cycles = 60;
   long quarantine_cycles = 30;
+  /// Deterministic per-site jitter on the suspect/dead thresholds and the
+  /// quarantine duration: each site scales them by independent factors
+  /// drawn once from Rng(DeriveSeed(jitter_seed, site)), uniform in
+  /// [1 − threshold_jitter, 1 + threshold_jitter]. With the fixed constants
+  /// every site in a partitioned fleet crossed suspect → dead (and left
+  /// quarantine) in the same cycle, synchronizing death storms and rejoin
+  /// stampedes; jitter desynchronizes them without giving up seeded replay.
+  /// 0 disables (the exact configured values apply to every site).
+  double threshold_jitter = 0.0;
+  std::uint64_t jitter_seed = 11;
 };
 
 /// Heartbeat-miss failure detector for the coordinator: one state machine
@@ -78,6 +89,26 @@ class FailureDetector {
   long deaths(int site) const { return sites_[site].deaths; }
   long total_deaths() const;
 
+  /// Effective (post-jitter) thresholds for one site, exposed for tests.
+  int suspect_after(int site) const { return sites_[site].suspect_after; }
+  int dead_after(int site) const { return sites_[site].dead_after; }
+  long quarantine_cycles(int site) const { return sites_[site].quarantine; }
+
+  /// Durable per-site detector state, as captured into (and restored from)
+  /// a coordinator checkpoint. Jittered thresholds are NOT part of it —
+  /// they are a pure function of the config and recompute identically.
+  struct SiteSnapshot {
+    State state = State::kAlive;
+    long last_heard_cycle = 0;
+    long deaths = 0;
+    std::vector<long> death_cycles;
+    long quarantine_until = -1;
+  };
+  std::vector<SiteSnapshot> Snapshot() const;
+  /// Restores per-site state and resets the cycle clock to the checkpoint's
+  /// cycle, so downtime is not charged to the sites as heartbeat misses.
+  void Restore(const std::vector<SiteSnapshot>& sites, long cycle);
+
  private:
   struct SiteState {
     State state = State::kAlive;
@@ -86,6 +117,10 @@ class FailureDetector {
     /// Cycles of the site's recent death transitions (flap detection).
     std::vector<long> death_cycles;
     long quarantine_until = -1;
+    /// Per-site effective thresholds (config values, jittered when enabled).
+    int suspect_after = 0;
+    int dead_after = 0;
+    long quarantine = 0;
   };
 
   void Escalate(int site);

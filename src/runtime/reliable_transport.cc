@@ -7,15 +7,6 @@
 
 namespace sgm {
 
-namespace {
-
-/// Dedup window per (receiver, sender) pair. Duplicates and retransmissions
-/// arrive within max_delay + max_backoff * max_retransmits rounds of the
-/// original, a handful of messages; 1024 is orders of magnitude above that.
-constexpr std::size_t kSeenWindow = 1024;
-
-}  // namespace
-
 ReliableTransport::ReliableTransport(Transport* lower, int num_sites,
                                      const ReliableTransportConfig& config,
                                      Telemetry* telemetry)
@@ -30,6 +21,8 @@ ReliableTransport::ReliableTransport(Transport* lower, int num_sites,
   SGM_CHECK(config.max_retransmits >= 0);
   SGM_CHECK(config.base_backoff_rounds >= 1);
   SGM_CHECK(config.max_backoff_rounds >= config.base_backoff_rounds);
+  SGM_CHECK(config.max_in_flight_per_peer >= 1);
+  SGM_CHECK(config.dedup_window >= 8);
 }
 
 bool ReliableTransport::Tracked(const RuntimeMessage& message) {
@@ -54,14 +47,44 @@ long ReliableTransport::NextBackoff(int attempts) {
   return backoff + static_cast<long>(rng_.NextBounded(2));
 }
 
+bool ReliableTransport::ReleaseAwait(InFlight* entry, int dest) {
+  if (entry->awaiting.erase(dest) > 0) --pending_per_dest_[dest];
+  return entry->awaiting.empty();
+}
+
+void ReliableTransport::EvictOldestFor(int dest) {
+  for (auto it = in_flight_.begin(); it != in_flight_.end(); ++it) {
+    if (it->second.awaiting.count(dest) == 0) continue;
+    ++stats_.queue_evictions;
+    if (telemetry_ != nullptr) {
+      telemetry_->trace.Emit("reliability", "queue_evict",
+                             it->second.message.from,
+                             {{"dest", dest}, {"seq", it->second.message.seq}});
+    }
+    if (ReleaseAwait(&it->second, dest)) in_flight_.erase(it);
+    return;
+  }
+}
+
 void ReliableTransport::MarkLinkDown(int site) {
   if (site < 0 || site >= num_sites_) return;
   link_up_[site] = false;
   // Release every pending expectation on the dead link; entries whose last
   // awaited destination this was complete immediately.
   for (auto it = in_flight_.begin(); it != in_flight_.end();) {
-    it->second.awaiting.erase(site);
-    it = it->second.awaiting.empty() ? in_flight_.erase(it) : std::next(it);
+    it = ReleaseAwait(&it->second, site) ? in_flight_.erase(it)
+                                         : std::next(it);
+  }
+}
+
+void ReliableTransport::AbandonSender(int sender) {
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    if (it->first.first != sender) {
+      ++it;
+      continue;
+    }
+    for (int dest : it->second.awaiting) --pending_per_dest_[dest];
+    it = in_flight_.erase(it);
   }
 }
 
@@ -97,6 +120,14 @@ void ReliableTransport::Send(const RuntimeMessage& message) {
   if (!entry.awaiting.empty()) {
     ++stats_.tracked_sends;
     entry.due_round = round_ + NextBackoff(0);
+    for (int dest : entry.awaiting) {
+      // Per-peer queue cap: free a slot before claiming one, so the newest
+      // message (the one the protocol currently cares about) always tracks.
+      if (pending_per_dest_[dest] >= config_.max_in_flight_per_peer) {
+        EvictOldestFor(dest);
+      }
+      ++pending_per_dest_[dest];
+    }
     in_flight_.emplace(std::make_pair(stamped.from, stamped.seq),
                        std::move(entry));
   }
@@ -130,8 +161,7 @@ void ReliableTransport::Resolve(std::int64_t sender, std::int64_t seq,
                                 int receiver) {
   const auto it = in_flight_.find({static_cast<int>(sender), seq});
   if (it == in_flight_.end()) return;
-  it->second.awaiting.erase(receiver);
-  if (it->second.awaiting.empty()) in_flight_.erase(it);
+  if (ReleaseAwait(&it->second, receiver)) in_flight_.erase(it);
 }
 
 void ReliableTransport::OnDeliver(int receiver, const RuntimeMessage& message,
@@ -160,11 +190,13 @@ void ReliableTransport::OnDeliver(int receiver, const RuntimeMessage& message,
     return;
   }
   window.above.insert(message.seq);
-  while (window.above.size() > kSeenWindow) {
+  while (window.above.size() >
+         static_cast<std::size_t>(config_.dedup_window)) {
     // Compact: promote the lowest retained seq into the floor. Anything
     // older than the window is long past its retransmission horizon.
     window.floor = *window.above.begin();
     window.above.erase(window.above.begin());
+    ++stats_.dedup_evictions;
   }
   Ack(receiver, message);
   deliver->push_back(message);
@@ -190,6 +222,7 @@ void ReliableTransport::AdvanceRound() {
             {{"sender", entry.message.from}, {"seq", entry.message.seq}});
       }
       for (int site : entry.awaiting) {
+        --pending_per_dest_[site];
         if (site >= 0) exhausted_links.emplace_back(site, entry.message);
       }
       it = in_flight_.erase(it);
@@ -234,6 +267,10 @@ void ReliableTransport::PublishMetrics(MetricRegistry* registry) const {
   registry->GetCounter("transport.duplicates_suppressed")
       ->Set(stats_.duplicates_suppressed);
   registry->GetCounter("transport.give_ups")->Set(stats_.give_ups);
+  registry->GetCounter("transport.queue_evictions")
+      ->Set(stats_.queue_evictions);
+  registry->GetCounter("transport.dedup_evictions")
+      ->Set(stats_.dedup_evictions);
 }
 
 }  // namespace sgm

@@ -29,6 +29,19 @@ struct ReliableTransportConfig {
   int base_backoff_rounds = 1;
   /// Exponential backoff ceiling (rounds), before jitter.
   int max_backoff_rounds = 8;
+  /// Cap on tracked in-flight messages awaiting any single destination.
+  /// When a new tracked send would exceed it, the oldest entry still
+  /// awaiting that destination releases its expectation (best-effort from
+  /// then on, counted in queue_evictions), so a long-unresponsive peer —
+  /// a dead link the failure detector has not yet condemned, or a crashed
+  /// coordinator — cannot grow the retransmit queue without bound.
+  int max_in_flight_per_peer = 256;
+  /// Receive-side dedup window per (receiver, sender) pair: seqs retained
+  /// above the compaction floor. Duplicates arrive within
+  /// max_delay + max_backoff * max_retransmits rounds of the original — a
+  /// handful of messages — so the default is orders of magnitude above the
+  /// correctness requirement while keeping memory bounded.
+  int dedup_window = 1024;
 };
 
 /// Reliability decorator over any Transport: per-sender sequence numbers,
@@ -71,6 +84,12 @@ class ReliableTransport final : public Transport {
     long duplicates_suppressed = 0;
     /// Messages abandoned after max_retransmits (dead-link reports fired).
     long give_ups = 0;
+    /// Per-peer queue-cap evictions: tracked expectations released because
+    /// max_in_flight_per_peer was reached for their destination.
+    long queue_evictions = 0;
+    /// Dedup-window compactions: seen-seqs promoted into the floor once the
+    /// window exceeded dedup_window entries.
+    long dedup_evictions = 0;
   };
 
   /// `lower` is not owned and must outlive this object. `telemetry` is
@@ -111,6 +130,13 @@ class ReliableTransport final : public Transport {
   void MarkLinkUp(int site);
   bool IsLinkUp(int site) const;
 
+  /// Drops every tracked in-flight entry originated by `sender` without
+  /// firing the dead-link handler: the sending endpoint itself is gone (a
+  /// coordinator crash), so its unacked traffic is void — not evidence of
+  /// dead receivers. Sequence counters and dedup windows are untouched; a
+  /// recovered endpoint keeps numbering from where it left off.
+  void AbandonSender(int sender);
+
   /// Handler invoked when retransmissions of `message` to `site` were
   /// exhausted (a liveness signal for the failure detector; the message
   /// tells the coordinator *what* was lost — an undelivered anchor warrants
@@ -139,6 +165,14 @@ class ReliableTransport final : public Transport {
   long NextBackoff(int attempts);
   void Ack(int receiver, const RuntimeMessage& message);
   void Resolve(std::int64_t key_sender, std::int64_t seq, int receiver);
+  /// Releases `dest` from an entry's awaiting set, maintaining the per-peer
+  /// pending count. Returns true if the set is now empty.
+  bool ReleaseAwait(InFlight* entry, int dest);
+  /// Frees one queue slot for `dest` by evicting the oldest in-flight
+  /// expectation on it (oldest in (sender, seq) key order — per sender that
+  /// is send order, which is what matters: entries piling up on one peer
+  /// come from the one endpoint still talking to it).
+  void EvictOldestFor(int dest);
 
   Transport* lower_;
   int num_sites_;
@@ -152,6 +186,9 @@ class ReliableTransport final : public Transport {
   std::map<int, std::int64_t> next_seq_;
   /// Tracked unacked messages, keyed (sender, seq).
   std::map<std::pair<int, std::int64_t>, InFlight> in_flight_;
+  /// In-flight expectations per destination (site id or kCoordinatorId),
+  /// bounded by max_in_flight_per_peer via eviction.
+  std::map<int, long> pending_per_dest_;
 
   /// Receive-side dedup, keyed (receiver, sender): seqs already delivered.
   /// Compacted to a floor + sliding window (duplicates arrive within a

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "core/crc32c.h"
 #include "obs/telemetry.h"
 
 namespace sgm {
@@ -55,6 +56,7 @@ std::vector<std::uint8_t> EncodeMessage(const RuntimeMessage& message) {
   for (std::size_t j = 0; j < message.payload.dim(); ++j) {
     Append<double>(&out, message.payload[j]);
   }
+  Append<std::uint32_t>(&out, Crc32c(out.data(), out.size()));
   return out;
 }
 
@@ -73,11 +75,33 @@ Result<RuntimeMessage> DecodeMessage(
   if (!Read(buffer, &offset, &version)) {
     return Status::InvalidArgument("truncated message: missing version");
   }
-  if (version != kWireFormatVersion && version != kWireFormatVersionV2) {
+  if (version != kWireFormatVersion && version != kWireFormatVersionV3 &&
+      version != kWireFormatVersionV2) {
     // Version-1 frames led with the type byte (0..6), which lands here.
     return Status::InvalidArgument("unsupported wire version " +
                                    std::to_string(version) + " (want " +
                                    std::to_string(kWireFormatVersion) + ")");
+  }
+  // v4: the trailing CRC32C covers every preceding byte and is verified
+  // before any field parsing, so a corrupted frame is rejected whole rather
+  // than half-interpreted. (A flipped version byte escapes this check only
+  // by landing on an unknown version — 0xA4's single-bit neighbours never
+  // hit 0xA2/0xA3 — which the check above already rejected.)
+  std::size_t frame_end = buffer.size();
+  if (version == kWireFormatVersion) {
+    static Counter* corrupt_frames =
+        MetricRegistry::Default().GetCounter("serialization.corrupt_frames");
+    std::uint32_t stored_crc = 0;
+    if (buffer.size() < offset + sizeof(stored_crc)) {
+      corrupt_frames->Increment();
+      return Status::InvalidArgument("truncated message: missing checksum");
+    }
+    frame_end = buffer.size() - sizeof(stored_crc);
+    std::memcpy(&stored_crc, buffer.data() + frame_end, sizeof(stored_crc));
+    if (Crc32c(buffer.data(), frame_end) != stored_crc) {
+      corrupt_frames->Increment();
+      return Status::InvalidArgument("frame checksum mismatch");
+    }
   }
   if (!Read(buffer, &offset, &type)) {
     return Status::InvalidArgument("truncated message: missing type");
@@ -97,8 +121,8 @@ Result<RuntimeMessage> DecodeMessage(
       !Read(buffer, &offset, &epoch) || !Read(buffer, &offset, &seq)) {
     return Status::InvalidArgument("truncated message header");
   }
-  if (version == kWireFormatVersion) {
-    // Span fields are v3-only; a v2 frame decodes with span 0 ("none").
+  if (version != kWireFormatVersionV2) {
+    // Span fields arrived in v3; a v2 frame decodes with span 0 ("none").
     if (!Read(buffer, &offset, &span) ||
         !Read(buffer, &offset, &parent_span)) {
       return Status::InvalidArgument("truncated message header");
@@ -111,8 +135,7 @@ Result<RuntimeMessage> DecodeMessage(
     return Status::OutOfRange("payload dimension " + std::to_string(dim) +
                               " exceeds the wire limit");
   }
-  if (offset + static_cast<std::size_t>(dim) * sizeof(double) !=
-      buffer.size()) {
+  if (offset + static_cast<std::size_t>(dim) * sizeof(double) != frame_end) {
     return Status::InvalidArgument(
         "payload length mismatch: header says " + std::to_string(dim) +
         " doubles");

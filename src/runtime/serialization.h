@@ -11,9 +11,10 @@
 namespace sgm {
 
 /// Binary wire format for RuntimeMessages, for transports that cross
-/// process/machine boundaries. Little-endian, fixed layout (version 3,
-/// which added the causal span fields; version 2 added the reliability
-/// layer's epoch/seq/flags fields):
+/// process/machine boundaries. Little-endian, fixed layout (version 4,
+/// which added the trailing CRC32C frame checksum; version 3 added the
+/// causal span fields; version 2 added the reliability layer's
+/// epoch/seq/flags fields):
 ///
 ///   u8   version (= kWireFormatVersion)
 ///   u8   type
@@ -22,18 +23,24 @@ namespace sgm {
 ///   i32  to
 ///   i64  epoch
 ///   i64  seq
-///   i64  span          (v3 only)
-///   i64  parent_span   (v3 only)
+///   i64  span          (v3+)
+///   i64  parent_span   (v3+)
 ///   f64  scalar
 ///   u32  payload dimension d
 ///   f64  payload[0..d)
+///   u32  crc32c over all preceding bytes (v4 only)
 ///
-/// Encode always emits v3; Decode accepts both v3 and v2 frames (a v2
-/// frame simply has no span fields — they decode to 0, "no span"), so a
-/// rolling upgrade never partitions the deployment on wire version.
-/// Decode validates length, version, type range and dimension bounds and
-/// returns precise errors (a transport must never crash the coordinator
-/// with a truncated datagram).
+/// Encode always emits v4; Decode accepts v4, v3 and v2 frames (a v3/v2
+/// frame simply has no checksum; a v2 frame additionally has no span
+/// fields — they decode to 0, "no span"), so a rolling upgrade never
+/// partitions the deployment on wire version. Decode validates the
+/// checksum first (any bit flip anywhere in a v4 frame — including the
+/// version byte, whose flips land on unknown versions — is rejected before
+/// field parsing), then length, version, type range and dimension bounds,
+/// and returns precise errors (a transport must never crash the
+/// coordinator with a truncated or corrupted datagram). Rejected-checksum
+/// frames increment the `serialization.corrupt_frames` audit counter in
+/// the default metric registry.
 ///
 /// Version-1 frames (no version byte — they led with the type) are rejected
 /// deterministically: their first byte is a protocol type in [0, 6], which
@@ -45,14 +52,15 @@ std::vector<std::uint8_t> EncodeMessage(const RuntimeMessage& message);
 /// Parses a buffer produced by EncodeMessage (or a hostile imitation).
 Result<RuntimeMessage> DecodeMessage(const std::vector<std::uint8_t>& buffer);
 
-/// Current wire-format version byte: 0xA0 | 3 (format v3, with span
-/// fields). The 0xA0 tag keeps the byte outside every v1 leading type
+/// Current wire-format version byte: 0xA0 | 4 (format v4, with the frame
+/// checksum). The 0xA0 tag keeps the byte outside every v1 leading type
 /// value (0..6) so old-format frames fail the version check, never a
 /// silent misparse.
-inline constexpr std::uint8_t kWireFormatVersion = 0xA3;
+inline constexpr std::uint8_t kWireFormatVersion = 0xA4;
 
-/// Previous wire-format version (no span fields), still accepted by
-/// DecodeMessage for backward compatibility.
+/// Previous wire-format versions (v3: span fields but no checksum; v2:
+/// neither), still accepted by DecodeMessage for backward compatibility.
+inline constexpr std::uint8_t kWireFormatVersionV3 = 0xA3;
 inline constexpr std::uint8_t kWireFormatVersionV2 = 0xA2;
 
 /// Upper bound on accepted payload dimensionality (sanity guard against

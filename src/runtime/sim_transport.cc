@@ -4,6 +4,7 @@
 
 #include "core/check.h"
 #include "obs/telemetry.h"
+#include "runtime/serialization.h"
 
 namespace sgm {
 
@@ -11,7 +12,7 @@ namespace {
 
 bool AnyFaultConfigured(const SimTransportConfig& config) {
   return config.drop_probability > 0.0 || config.duplicate_probability > 0.0 ||
-         config.max_delay_rounds > 0;
+         config.max_delay_rounds > 0 || config.corrupt_probability > 0.0;
 }
 
 }  // namespace
@@ -23,6 +24,8 @@ SimTransport::SimTransport(Transport* inner, const SimTransportConfig& config)
   SGM_CHECK(config.duplicate_probability >= 0.0 &&
             config.duplicate_probability <= 1.0);
   SGM_CHECK(config.max_delay_rounds >= 0);
+  SGM_CHECK(config.corrupt_probability >= 0.0 &&
+            config.corrupt_probability < 1.0);
   if (config.fault_coordinator_links && AnyFaultConfigured(config)) {
     SGM_CHECK_MSG(config.num_sites > 0,
                   "broadcast faulting needs num_sites to expand per link");
@@ -90,6 +93,27 @@ void SimTransport::Admit(const RuntimeMessage& message, int link) {
           "fault", "drop", link,
           {{"type", RuntimeMessage::TypeName(message.type)}});
     }
+    return;
+  }
+  // The corrupt draw is guarded on the probability so that configurations
+  // without corruption consume the exact historical per-link draw sequence
+  // (seeded replays of old fault schedules stay byte-identical).
+  if (config_.corrupt_probability > 0.0 &&
+      rng.NextBernoulli(config_.corrupt_probability)) {
+    std::vector<std::uint8_t> wire = EncodeMessage(message);
+    const std::uint64_t bit = rng.NextBounded(wire.size() * 8);
+    wire[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    ++corrupted_messages_;
+    if (telemetry_ != nullptr) {
+      telemetry_->trace.Emit(
+          "fault", "corrupt", link,
+          {{"type", RuntimeMessage::TypeName(message.type)}});
+    }
+    Result<RuntimeMessage> decoded = DecodeMessage(wire);
+    if (!decoded.ok()) return;  // CRC caught the flip: a detected loss
+    // Undetected corruption (unreachable under v4's frame CRC, kept for
+    // checksum-less formats): the mangled frame is what arrives.
+    Forward(std::move(decoded).ValueOrDie(), 0);
     return;
   }
   const int delay =
@@ -178,6 +202,8 @@ void SimTransport::PublishMetrics(MetricRegistry* registry) const {
   registry->GetCounter("transport.faults_duplicated")
       ->Set(duplicated_messages_);
   registry->GetCounter("transport.faults_delayed")->Set(delayed_messages_);
+  registry->GetCounter("transport.faults_corrupted")
+      ->Set(corrupted_messages_);
 }
 
 void SimTransport::AdvanceRound() {

@@ -32,6 +32,16 @@ struct SimTransportConfig {
   /// [0, max_delay_rounds]; unequal delays reorder messages on the wire.
   int max_delay_rounds = 0;
 
+  /// Probability that a message's encoded frame suffers a single bit flip
+  /// on the link. The flip goes through the real wire codec: the frame is
+  /// encoded, mangled, and re-decoded — with the v4 CRC32C trailer every
+  /// single-bit flip is detected, so a corrupted frame becomes a *detected*
+  /// loss (counted separately from drops, plus the decoder's
+  /// `serialization.corrupt_frames` audit counter). If a flip ever did
+  /// decode, the mangled message would be delivered, modeling undetected
+  /// corruption on a checksum-less format.
+  double corrupt_probability = 0.0;
+
   /// When false, only site-originated traffic is subject to faults —
   /// coordinator broadcasts/unicasts pass through untouched. This models
   /// the common deployment where the downlink is reliable (and matches the
@@ -110,6 +120,7 @@ class SimTransport final : public Transport {
   long dropped_messages() const { return dropped_messages_; }
   long duplicated_messages() const { return duplicated_messages_; }
   long delayed_messages() const { return delayed_messages_; }
+  long corrupted_messages() const { return corrupted_messages_; }
 
   /// Mirrors both accounting families and the fault statistics into
   /// `registry`: paper-comparable under `transport.paper_*`, wire totals
@@ -146,6 +157,7 @@ class SimTransport final : public Transport {
   long dropped_messages_ = 0;
   long duplicated_messages_ = 0;
   long delayed_messages_ = 0;
+  long corrupted_messages_ = 0;
 };
 
 }  // namespace sgm

@@ -15,6 +15,7 @@ namespace sgm {
 
 struct Telemetry;
 class Histogram;
+class CheckpointStore;
 
 /// Configuration shared by all nodes of one monitoring deployment.
 struct RuntimeConfig {
@@ -58,6 +59,21 @@ struct RuntimeConfig {
   FailureDetectorConfig failure_detector;
   /// Ack/retransmit layer tuning (backoff, retry budget, jitter seed).
   ReliableTransportConfig reliability;
+
+  // ── Crash consistency ──────────────────────────────────────────────────
+
+  /// Optional checkpoint store (nullable, not owned): when set, the
+  /// coordinator snapshots its full state every checkpoint_interval_cycles
+  /// and write-ahead-logs every durable mutation in between, enabling
+  /// CoordinatorNode::Recover() after a coordinator crash. Null disables
+  /// checkpointing entirely (no serialization cost on any path).
+  CheckpointStore* checkpoint_store = nullptr;
+  /// Cycles between full snapshots; bounds WAL replay length on recovery.
+  int checkpoint_interval_cycles = 25;
+  /// After recovery reconciliation (re-anchoring grants), a full resync is
+  /// scheduled this many cycles out so drift accumulated during the outage
+  /// re-enters the estimate promptly.
+  int recovery_resync_cycles = 2;
 
   // ── Observability ──────────────────────────────────────────────────────
 

@@ -122,6 +122,36 @@ void InvariantChecker::CheckRejoinConvergence(long cycle, int site,
   Add("rejoin-convergence", cycle, details.str());
 }
 
+void InvariantChecker::CheckRecoveryEpoch(long cycle,
+                                          std::int64_t crash_epoch,
+                                          std::int64_t recovered_epoch) {
+  if (recovered_epoch == crash_epoch + 1) return;
+  std::ostringstream details;
+  details << "recovered epoch " << recovered_epoch << " != crash epoch "
+          << crash_epoch << " + 1 ("
+          << (recovered_epoch <= crash_epoch
+                  ? "epoch regressed: stale in-flight frames could apply"
+                  : "committed epoch bumps were lost by the WAL")
+          << ")";
+  Add("recovery-epoch-fence", cycle, details.str());
+}
+
+void InvariantChecker::CheckRecoveryState(long cycle, bool matches,
+                                          const std::string& details) {
+  if (matches) return;
+  Add("recovery-state-mismatch", cycle, details);
+}
+
+void InvariantChecker::CheckRecoveryReconvergence(long cycle,
+                                                  long recovered_cycle,
+                                                  bool converged) {
+  if (converged) return;
+  std::ostringstream details;
+  details << "coordinator recovered at cycle " << recovered_cycle
+          << " but no full sync completed by the reconvergence deadline";
+  Add("recovery-reconvergence", cycle, details.str());
+}
+
 std::string InvariantChecker::Summary() const {
   std::ostringstream out;
   for (const InvariantViolation& v : violations_) {

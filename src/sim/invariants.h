@@ -84,6 +84,29 @@ class InvariantChecker {
   void CheckRejoinConvergence(long cycle, int site, long recovered_cycle,
                               bool converged);
 
+  /// Recovery epoch-fence invariant: a recovered coordinator's epoch must be
+  /// exactly the crash-time committed epoch + 1 — less would regress (stale
+  /// in-flight frames could apply), more would mean the WAL lost a committed
+  /// bump. The exact-match form is the crash-consistency contract: epoch
+  /// bumps are logged before their messages are sent, so the committed epoch
+  /// at ANY crash point equals the in-memory epoch.
+  void CheckRecoveryEpoch(long cycle, std::int64_t crash_epoch,
+                          std::int64_t recovered_epoch);
+
+  /// Recovery state invariant: the recovered coordinator's durable state
+  /// must equal the oracle reconstruction (newest decodable snapshot + its
+  /// committed WAL suffix) computed independently before recovery ran.
+  /// `matches` is the comparison verdict; `details` names the first
+  /// mismatching field when it is false.
+  void CheckRecoveryState(long cycle, bool matches,
+                          const std::string& details);
+
+  /// Recovery reconvergence invariant: monitoring must resume — a full sync
+  /// must complete within a bounded number of cycles after recovery. Call at
+  /// the deadline with the verdict.
+  void CheckRecoveryReconvergence(long cycle, long recovered_cycle,
+                                  bool converged);
+
   bool ok() const { return violations_.empty(); }
   const std::vector<InvariantViolation>& violations() const {
     return violations_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <memory>
 #include <sstream>
 #include <utility>
@@ -9,6 +10,7 @@
 #include "core/check.h"
 #include "core/rng.h"
 #include "data/jester_like.h"
+#include "runtime/checkpoint.h"
 #include "functions/l2_norm.h"
 #include "functions/linf_distance.h"
 #include "gm/bgm.h"
@@ -33,6 +35,8 @@ constexpr std::uint64_t kWorkloadStream = 101;
 constexpr std::uint64_t kProtocolStream = 202;
 constexpr std::uint64_t kTransportStream = 303;
 constexpr std::uint64_t kCrashStream = 404;
+constexpr std::uint64_t kCoordCrashStream = 505;
+constexpr std::uint64_t kFdJitterStream = 606;
 
 JesterLikeConfig WorkloadConfig(const StressConfig& config) {
   JesterLikeConfig workload;
@@ -90,7 +94,7 @@ InvariantOptions ResolveTolerances(const StressConfig& config,
   InvariantOptions options;
   if (config.sabotage_tolerance) return options;  // zero/zero: trip on FN
   if (IsExact(config.protocol) && config.drop_probability == 0.0 &&
-      config.crash_probability == 0.0) {
+      config.crash_probability == 0.0 && config.corrupt_probability == 0.0) {
     return options;
   }
   options.zone_epsilon = config.zone_epsilon >= 0.0
@@ -101,8 +105,11 @@ InvariantOptions ResolveTolerances(const StressConfig& config,
   } else {
     long run = 50;
     if (config.drop_probability > 0.0 || config.crash_probability > 0.0 ||
-        config.max_delay_rounds > 0) {
+        config.corrupt_probability > 0.0 || config.max_delay_rounds > 0) {
       run = 150;  // faults delay detection but never disable it
+    }
+    if (config.coord_crash_probability > 0.0) {
+      run = 200;  // coordinator downtime stalls detection entirely
     }
     options.max_out_of_zone_run = run;
   }
@@ -222,8 +229,15 @@ std::string FormatReplayCommand(const StressConfig& config,
   if (config.max_delay_rounds > 0) {
     out << " --delay=" << config.max_delay_rounds;
   }
+  if (config.corrupt_probability > 0.0) {
+    out << " --corrupt=" << config.corrupt_probability;
+  }
   if (config.crash_probability > 0.0) {
     out << " --crash=" << config.crash_probability;
+  }
+  if (config.coord_crash_probability > 0.0) {
+    out << " --coord-crash=" << config.coord_crash_probability
+        << " --coord-down=" << config.max_coord_crash_cycles;
   }
   if (config.sabotage_tolerance) out << " --sabotage";
   if (config.audit) out << " --audit";
@@ -241,6 +255,11 @@ std::string StressReport::Summary() const {
     if (leg == "runtime") {
       out << ", " << retransmissions << " retransmits, " << rejoins_granted
           << " rejoins, " << stale_epoch_drops << " stale drops";
+      if (config.coord_crash_probability > 0.0) {
+        out << ", " << coordinator_crashes << " coord crashes ("
+            << wal_records_replayed << " WAL replays, "
+            << snapshots_discarded << " snapshot fallbacks)";
+      }
     }
     if (config.audit) {
       out << "; audit TP=" << audit.true_positives
@@ -353,6 +372,7 @@ struct RuntimeLeg {
         source_(WorkloadConfig(config)),
         function_(MakeFunction(config.function)),
         crash_rng_(DeriveSeed(config.seed, kCrashStream)),
+        coord_rng_(DeriveSeed(config.seed, kCoordCrashStream)),
         recovery_cycle_(config.num_sites, -1) {}
 
   RuntimeConfig NodeConfig() const {
@@ -362,6 +382,16 @@ struct RuntimeLeg {
     node.drift_norm_cap = source_.max_drift_norm();
     node.seed = DeriveSeed(config_.seed, kProtocolStream);
     node.telemetry = config_.telemetry;
+    if (config_.coord_crash_probability > 0.0) {
+      node.checkpoint_store = &checkpoint_store_;
+      node.checkpoint_interval_cycles = 20;
+      // Desynchronized failure-detector thresholds: the crash legs are where
+      // whole-fleet silence (a dead coordinator) would otherwise march every
+      // site through suspect → dead in lock step.
+      node.failure_detector.threshold_jitter = 0.2;
+      node.failure_detector.jitter_seed =
+          DeriveSeed(config_.seed, kFdJitterStream);
+    }
     return node;
   }
 
@@ -371,6 +401,7 @@ struct RuntimeLeg {
     transport.drop_probability = config_.drop_probability;
     transport.duplicate_probability = config_.duplicate_probability;
     transport.max_delay_rounds = config_.max_delay_rounds;
+    transport.corrupt_probability = config_.corrupt_probability;
     return transport;
   }
 
@@ -403,6 +434,66 @@ struct RuntimeLeg {
     }
   }
 
+  /// Coordinator crash/recovery schedule for one cycle, pre-tick. Crashes
+  /// are 50/50 immediate (cycle boundary) vs armed (fires inside the next
+  /// delivery burst, i.e. mid-cascade); downtime is bounded. Recovery first
+  /// injects seeded storage faults — a torn WAL tail, and (when an older
+  /// snapshot still exists) a torn newest snapshot — then computes the
+  /// oracle reconstruction BEFORE recovering, and hands both to
+  /// `coord_recovery_hook_` for invariant verification.
+  void StepCoordCrashSchedule(RuntimeDriver* driver, long cycle) {
+    if (config_.coord_crash_probability <= 0.0) return;
+    if (driver->coordinator_down()) {
+      if (coord_recover_cycle_ < 0) {
+        // An armed crash fired inside the previous tick: start the outage
+        // clock now.
+        coord_recover_cycle_ = cycle + armed_downtime_;
+        return;
+      }
+      if (cycle < coord_recover_cycle_) return;
+      if (coord_rng_.NextBernoulli(0.3)) {
+        std::vector<std::uint8_t> garbage(
+            1 + static_cast<std::size_t>(coord_rng_.NextBounded(24)));
+        for (auto& byte : garbage) {
+          byte = static_cast<std::uint8_t>(coord_rng_.NextBounded(256));
+        }
+        checkpoint_store_.AppendTornWalBytes(garbage);
+      }
+      if (coord_rng_.NextBernoulli(0.25)) {
+        // Rename-on-write means at most the NEWEST snapshot can ever be
+        // incomplete; tear it only when an older intact one exists to fall
+        // back on (the previous newest may itself still be torn from an
+        // earlier injection until checkpoint GC evicts it).
+        const auto candidates = checkpoint_store_.Candidates();
+        if (candidates.size() >= 2 &&
+            DecodeSnapshot(candidates[1].snapshot).ok()) {
+          checkpoint_store_.TearSnapshotTail(
+              1 + static_cast<std::size_t>(coord_rng_.NextBounded(32)));
+        }
+      }
+      Result<Reconstruction> expected =
+          ReconstructCoordinatorState(checkpoint_store_);
+      driver->RecoverCoordinator();
+      coord_recover_cycle_ = -1;
+      if (coord_recovery_hook_) coord_recovery_hook_(cycle, expected);
+      return;
+    }
+    if (driver->crash_armed()) return;  // one pending crash at a time
+    if (!coord_rng_.NextBernoulli(config_.coord_crash_probability)) return;
+    const long downtime =
+        1 + static_cast<long>(coord_rng_.NextBounded(
+                static_cast<std::uint64_t>(config_.max_coord_crash_cycles)));
+    if (coord_rng_.NextBernoulli(0.5)) {
+      driver->CrashCoordinator();
+      coord_recover_cycle_ = cycle + downtime;
+    } else {
+      driver->ArmCoordinatorCrash(
+          1 + static_cast<long>(coord_rng_.NextBounded(8)));
+      armed_downtime_ = downtime;
+      coord_recover_cycle_ = -1;  // set when (and if) the armed crash fires
+    }
+  }
+
   /// Runs the leg, reporting each cycle through `per_cycle(cycle, driver)`
   /// after the tick has routed to quiescence.
   template <typename PerCycle>
@@ -412,6 +503,7 @@ struct RuntimeLeg {
     observed_ = locals;
     driver->Initialize(locals);
     for (long t = 1; t <= config_.cycles; ++t) {
+      StepCoordCrashSchedule(driver, t);
       StepCrashSchedule(driver, t);
       source_.Advance(&locals);
       SimTransport* sim = driver->sim_transport();
@@ -449,8 +541,20 @@ struct RuntimeLeg {
   JesterLikeGenerator source_;
   std::unique_ptr<MonitoredFunction> function_;
   Rng crash_rng_;
+  Rng coord_rng_;
   std::vector<long> recovery_cycle_;
   std::vector<Vector> observed_;
+
+  /// Coordinator-crash machinery (active iff coord_crash_probability > 0).
+  /// NodeConfig() wires the store into the driver's coordinator; mutable
+  /// because the leg object stays const-shaped for the parity leg.
+  mutable InMemoryCheckpointStore checkpoint_store_;
+  long coord_recover_cycle_ = -1;
+  long armed_downtime_ = 1;
+  /// Invoked right after a recovery with the pre-recovery oracle
+  /// reconstruction; RunRuntimeStress verifies the recovery invariants here.
+  std::function<void(long cycle, const Result<Reconstruction>& expected)>
+      coord_recovery_hook_;
 };
 
 }  // namespace
@@ -485,7 +589,84 @@ StressReport RunRuntimeStress(const StressConfig& config) {
   std::vector<long> recovered_at(config.num_sites, -1);
   std::vector<std::int64_t> epoch_needed(config.num_sites, 0);
 
+  // Coordinator-recovery invariants. The hook fires right after each
+  // recovery with the oracle reconstruction computed from the same store
+  // BEFORE the coordinator recovered; the reconvergence deadline then
+  // requires a completed full sync within the horizon (generous: covers the
+  // scheduled resync plus retries under the hostile fault profiles).
+  constexpr long kRecoveryHorizon = 60;
+  long recovery_deadline = -1;
+  long recovery_recovered_at = -1;
+  long full_at_recovery = 0;
+  leg.coord_recovery_hook_ = [&](long t,
+                                 const Result<Reconstruction>& expected) {
+    const CoordinatorNode& coord = driver.coordinator();
+    checker.CheckRecoveryEpoch(t, driver.last_crash_epoch(), coord.epoch());
+    if (!expected.ok()) {
+      checker.CheckRecoveryState(
+          t, false,
+          "oracle reconstruction failed but recovery succeeded: " +
+              expected.status().message());
+    } else {
+      const CoordinatorCheckpoint& s = expected.ValueOrDie().state;
+      std::string mismatch;
+      if (coord.epoch() != s.epoch + 1) {
+        mismatch = "epoch";
+      } else if (!(coord.estimate() == s.estimate)) {
+        mismatch = "estimate";
+      } else if (coord.BelievesAbove() != s.believes_above) {
+        mismatch = "believes_above";
+      } else if (coord.epsilon_T() != s.epsilon_t) {
+        mismatch = "epsilon_t";
+      } else if (coord.full_syncs() != s.full_syncs) {
+        mismatch = "full_syncs";
+      } else if (coord.partial_resolutions() != s.partial_resolutions) {
+        mismatch = "partial_resolutions";
+      } else if (coord.degraded_syncs() != s.degraded_syncs) {
+        mismatch = "degraded_syncs";
+      }
+      checker.CheckRecoveryState(
+          t, mismatch.empty(),
+          mismatch.empty()
+              ? ""
+              : "recovered coordinator diverges from the oracle "
+                "reconstruction at field " +
+                    mismatch);
+    }
+    recovery_recovered_at = t;
+    recovery_deadline = t + kRecoveryHorizon;
+    full_at_recovery = coord.full_syncs();
+  };
+
   leg.Drive(&driver, [&](long t, RuntimeDriver& d) {
+    if (d.coordinator_down()) {
+      // Accounting stays cumulative and checkable; everything that reads
+      // the coordinator pauses. Deadlines stretch by the downtime (no
+      // handshake can progress), and a site recovering while the
+      // coordinator is down gets its epoch requirement resolved at the
+      // first up cycle (sentinel -1). Cumulative epoch-fencing counters are
+      // re-checked on the next up cycle, so nothing is lost by skipping.
+      const SimTransport* sim = d.sim_transport();
+      checker.CheckAccounting(
+          t, sim->site_messages_sent(),
+          sim->messages_sent() - sim->site_messages_sent(),
+          sim->messages_sent(), sim->bytes_sent());
+      for (int i = 0; i < config.num_sites; ++i) {
+        const bool crashed = sim->IsCrashed(i);
+        if (crashed) {
+          rejoin_deadline[i] = -1;
+        } else if (prev_crashed[i]) {
+          rejoin_deadline[i] = t + kRejoinHorizon;
+          recovered_at[i] = t;
+          epoch_needed[i] = -1;
+        } else if (rejoin_deadline[i] >= 0) {
+          ++rejoin_deadline[i];
+        }
+        prev_crashed[i] = crashed;
+      }
+      if (recovery_deadline >= 0) ++recovery_deadline;
+      return;
+    }
     // Re-anchor the oracle's function to the coordinator's fresh estimate
     // before evaluating truth, exactly as every node re-anchored.
     if (d.coordinator().full_syncs() > seen_full_syncs) {
@@ -549,6 +730,7 @@ StressReport RunRuntimeStress(const StressConfig& config) {
       }
       prev_crashed[i] = crashed;
       if (rejoin_deadline[i] < 0) continue;
+      if (epoch_needed[i] < 0) epoch_needed[i] = d.coordinator().epoch();
       if (d.site(i).anchored() && d.site(i).epoch() >= epoch_needed[i]) {
         rejoin_deadline[i] = -1;  // converged
       } else if (t >= rejoin_deadline[i]) {
@@ -562,7 +744,22 @@ StressReport RunRuntimeStress(const StressConfig& config) {
         }
       }
     }
+
+    // Recovery reconvergence: a completed full sync clears the deadline.
+    if (recovery_deadline >= 0) {
+      if (d.coordinator().full_syncs() > full_at_recovery) {
+        recovery_deadline = -1;
+      } else if (t >= recovery_deadline) {
+        checker.CheckRecoveryReconvergence(t, recovery_recovered_at, false);
+        recovery_deadline = -1;
+      }
+    }
   });
+
+  // A crash landing in the final cycles can leave the coordinator down at
+  // the end of the run; recover so the end-of-run state reads below are
+  // valid (and the last incarnation's recovery stats fold into the totals).
+  if (driver.coordinator_down()) driver.RecoverCoordinator();
 
   report.cycles = config.cycles;
   report.full_syncs = driver.coordinator().full_syncs();
@@ -573,6 +770,10 @@ StressReport RunRuntimeStress(const StressConfig& config) {
   for (int i = 0; i < config.num_sites; ++i) {
     report.stale_epoch_drops += driver.site(i).audit().stale_epoch_drops;
   }
+  report.coordinator_crashes = driver.coordinator_crashes();
+  const CoordinatorNode::RecoveryStats recovery = driver.recovery_totals();
+  report.wal_records_replayed = recovery.wal_records_replayed;
+  report.snapshots_discarded = recovery.snapshots_discarded;
   if (auditor != nullptr) report.audit = auditor->report();
   driver.PublishMetrics();
   FillReport(checker, config, "runtime", &report);
@@ -591,6 +792,7 @@ StressReport RunTransportParity(const StressConfig& config) {
   faultless.duplicate_probability = 0.0;
   faultless.max_delay_rounds = 0;
   faultless.crash_probability = 0.0;
+  faultless.corrupt_probability = 0.0;
   // Two drivers share this process; attaching one telemetry context would
   // conflate their counters, so the parity leg runs untelemetered.
   faultless.telemetry = nullptr;
@@ -650,7 +852,8 @@ StressReport RunTransportParity(const StressConfig& config) {
   return report;
 }
 
-std::vector<StressReport> RunStressSuite(std::uint64_t seed, bool audit) {
+std::vector<StressReport> RunStressSuite(std::uint64_t seed, bool audit,
+                                         double coord_crash, int coord_down) {
   std::vector<StressReport> reports;
 
   // Sim legs: the full protocol × function matrix.
@@ -674,12 +877,13 @@ std::vector<StressReport> RunStressSuite(std::uint64_t seed, bool audit) {
     double drop, dup;
     int delay;
     double crash;
+    double corrupt;
   };
   const FaultProfile profiles[] = {
-      {0.0, 0.0, 0, 0.0},       // faultless baseline
-      {0.15, 0.05, 2, 0.0},     // lossy, duplicating, reordering links
-      {0.25, 0.05, 3, 0.05},    // hostile links plus site crash/recovery
-      {0.30, 0.10, 3, 0.05},    // reliability-layer stress: heavy loss+dup
+      {0.0, 0.0, 0, 0.0, 0.0},     // faultless baseline
+      {0.15, 0.05, 2, 0.0, 0.0},   // lossy, duplicating, reordering links
+      {0.25, 0.05, 3, 0.05, 0.0},  // hostile links plus site crash/recovery
+      {0.30, 0.10, 3, 0.05, 0.02}, // heavy loss+dup plus wire bit flips
   };
   for (StressFunction function :
        {StressFunction::kL2Norm, StressFunction::kLinfDistance}) {
@@ -692,6 +896,9 @@ std::vector<StressReport> RunStressSuite(std::uint64_t seed, bool audit) {
       config.duplicate_probability = profile.dup;
       config.max_delay_rounds = profile.delay;
       config.crash_probability = profile.crash;
+      config.corrupt_probability = profile.corrupt;
+      config.coord_crash_probability = coord_crash;
+      config.max_coord_crash_cycles = coord_down;
       config.audit = audit;
       reports.push_back(RunRuntimeStress(config));
     }

@@ -41,10 +41,25 @@ struct StressConfig {
   double drop_probability = 0.0;
   double duplicate_probability = 0.0;
   int max_delay_rounds = 0;
+  /// Per-message probability of a single wire bit flip. The v4 frame CRC
+  /// turns every injected flip into a *detected* drop (never a
+  /// half-interpreted frame), so this stresses the checksum path rather
+  /// than the protocol: the reliability layer retransmits through it.
+  double corrupt_probability = 0.0;
   /// Per-cycle probability that one random live site crashes; a crash lasts
   /// uniform-[1, max_crash_cycles] cycles, so staleness stays bounded.
   double crash_probability = 0.0;
   int max_crash_cycles = 8;
+  /// Per-cycle probability that the COORDINATOR crashes (runtime legs
+  /// only). Half the crashes fire at the cycle boundary, half are armed to
+  /// fire inside the next sync cascade's message burst. The coordinator
+  /// stays down uniform-[1, max_coord_crash_cycles] cycles, then recovers
+  /// from its checkpoint store — with seeded torn-tail / torn-snapshot
+  /// storage faults injected first — and the recovery invariants (exact
+  /// epoch fence, state == oracle reconstruction, bounded reconvergence)
+  /// are checked on the spot.
+  double coord_crash_probability = 0.0;
+  int max_coord_crash_cycles = 4;
 
   // Invariant tolerances; negative = auto (exact protocols get zero
   // tolerance, approximate ones their guarantee-class defaults, widened
@@ -92,6 +107,10 @@ struct StressReport {
   long retransmissions = 0;     ///< ack-timeout retransmissions sent
   long rejoins_granted = 0;     ///< coordinator rejoin grants issued
   long stale_epoch_drops = 0;   ///< stale-epoch messages fenced off
+  // Runtime legs with coordinator crash injection only.
+  long coordinator_crashes = 0;   ///< crash/recover round trips survived
+  long wal_records_replayed = 0;  ///< WAL records replayed across recoveries
+  long snapshots_discarded = 0;   ///< torn snapshots skipped (fallback hits)
   /// Accuracy audit outcome (all-zero unless StressConfig::audit was set).
   AccuracyAuditor::Report audit;
   /// Shell command replaying this exact leg; non-empty iff violations.
@@ -127,8 +146,13 @@ StressReport RunTransportParity(const StressConfig& config);
 /// both functions), and a parity leg. Sub-seeds are derived per leg so the
 /// legs stay independent. With `audit` the accuracy auditor rides along on
 /// every sim/runtime leg (the parity leg has no oracle to audit against).
+/// With `coord_crash > 0` every runtime leg additionally injects
+/// coordinator crashes at that per-cycle probability (downtime bounded by
+/// `coord_down`) and checks the recovery invariants.
 std::vector<StressReport> RunStressSuite(std::uint64_t seed,
-                                         bool audit = false);
+                                         bool audit = false,
+                                         double coord_crash = 0.0,
+                                         int coord_down = 4);
 
 /// The one-command replay line printed alongside violations, e.g.
 /// `dst_stress --leg=sim --protocol=SGM --function=l2 --seed=77 ...`.

@@ -1,0 +1,362 @@
+// Unit tests of the crash-consistency layer: the snapshot/WAL codec and its
+// torn-tail detection contract, the checkpoint stores (in-memory and
+// file-backed), and the oracle reconstruction shared by the recovery path
+// and the DST recovery invariants (see docs/DESIGN.md §10).
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/checkpoint.h"
+
+namespace sgm {
+namespace {
+
+CoordinatorCheckpoint SampleState() {
+  CoordinatorCheckpoint state;
+  state.epoch = 17;
+  state.cycle = 230;
+  state.believes_above = true;
+  state.epsilon_t = 0.125;
+  state.estimate = Vector{1.5, -2.25, 3.0};
+  state.full_syncs = 9;
+  state.partial_resolutions = 4;
+  state.degraded_syncs = 2;
+  state.cycles_since_sync = 3;
+  state.retry_full_in = 1;
+  state.next_span = 421;
+  state.last_cycle_span = 418;
+  state.num_sites = 2;
+  state.threshold = 5.0;
+  state.delta = 0.1;
+  state.max_step_norm = 10.0;
+
+  SiteCheckpoint site0;
+  site0.last_known = Vector{0.5, 0.5, 0.5};
+  site0.last_grant_cycle = 200;
+  site0.grant_pending = true;
+  site0.anchor_undelivered = true;
+  site0.fd_state = FailureDetector::State::kSuspect;
+  site0.fd_last_heard_cycle = 226;
+  site0.fd_deaths = 1;
+  site0.fd_death_cycles = {100};
+  site0.fd_quarantine_until = 260;
+  SiteCheckpoint site1;
+  site1.last_known = Vector{-1.0, 0.0, 2.0};
+  site1.fd_last_heard_cycle = 230;
+  state.sites = {site0, site1};
+  return state;
+}
+
+void ExpectStatesEqual(const CoordinatorCheckpoint& a,
+                       const CoordinatorCheckpoint& b) {
+  EXPECT_EQ(a.epoch, b.epoch);
+  EXPECT_EQ(a.cycle, b.cycle);
+  EXPECT_EQ(a.believes_above, b.believes_above);
+  EXPECT_EQ(a.epsilon_t, b.epsilon_t);
+  EXPECT_EQ(a.estimate, b.estimate);
+  EXPECT_EQ(a.full_syncs, b.full_syncs);
+  EXPECT_EQ(a.partial_resolutions, b.partial_resolutions);
+  EXPECT_EQ(a.degraded_syncs, b.degraded_syncs);
+  EXPECT_EQ(a.cycles_since_sync, b.cycles_since_sync);
+  EXPECT_EQ(a.retry_full_in, b.retry_full_in);
+  EXPECT_EQ(a.next_span, b.next_span);
+  EXPECT_EQ(a.last_cycle_span, b.last_cycle_span);
+  EXPECT_EQ(a.num_sites, b.num_sites);
+  EXPECT_EQ(a.threshold, b.threshold);
+  EXPECT_EQ(a.delta, b.delta);
+  EXPECT_EQ(a.max_step_norm, b.max_step_norm);
+  ASSERT_EQ(a.sites.size(), b.sites.size());
+  for (std::size_t i = 0; i < a.sites.size(); ++i) {
+    EXPECT_EQ(a.sites[i].last_known, b.sites[i].last_known) << "site " << i;
+    EXPECT_EQ(a.sites[i].last_grant_cycle, b.sites[i].last_grant_cycle);
+    EXPECT_EQ(a.sites[i].grant_pending, b.sites[i].grant_pending);
+    EXPECT_EQ(a.sites[i].anchor_undelivered, b.sites[i].anchor_undelivered);
+    EXPECT_EQ(a.sites[i].fd_state, b.sites[i].fd_state);
+    EXPECT_EQ(a.sites[i].fd_last_heard_cycle, b.sites[i].fd_last_heard_cycle);
+    EXPECT_EQ(a.sites[i].fd_deaths, b.sites[i].fd_deaths);
+    EXPECT_EQ(a.sites[i].fd_death_cycles, b.sites[i].fd_death_cycles);
+    EXPECT_EQ(a.sites[i].fd_quarantine_until, b.sites[i].fd_quarantine_until);
+  }
+}
+
+TEST(CheckpointCodecTest, SnapshotRoundTripPreservesEveryField) {
+  const CoordinatorCheckpoint state = SampleState();
+  const std::vector<std::uint8_t> wire = EncodeSnapshot(state);
+  const Result<CoordinatorCheckpoint> decoded = DecodeSnapshot(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  ExpectStatesEqual(state, decoded.ValueOrDie());
+}
+
+TEST(CheckpointCodecTest, SnapshotRejectsUnknownVersion) {
+  std::vector<std::uint8_t> wire = EncodeSnapshot(SampleState());
+  wire[0] = 0x7F;
+  EXPECT_FALSE(DecodeSnapshot(wire).ok());
+}
+
+TEST(CheckpointCodecTest, SnapshotDetectsEverySingleByteCorruption) {
+  const std::vector<std::uint8_t> wire = EncodeSnapshot(SampleState());
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    std::vector<std::uint8_t> corrupted = wire;
+    corrupted[i] ^= 0x40;
+    EXPECT_FALSE(DecodeSnapshot(corrupted).ok())
+        << "flip at byte " << i << " went undetected";
+  }
+}
+
+TEST(CheckpointCodecTest, SnapshotRejectsEveryTruncationLength) {
+  const std::vector<std::uint8_t> wire = EncodeSnapshot(SampleState());
+  // A torn write can stop at any byte; every prefix must be rejected.
+  for (std::size_t keep = 0; keep < wire.size(); ++keep) {
+    const std::vector<std::uint8_t> torn(wire.begin(), wire.begin() + keep);
+    EXPECT_FALSE(DecodeSnapshot(torn).ok()) << "prefix of " << keep;
+  }
+}
+
+WalRecord SampleCommit() {
+  WalRecord record;
+  record.kind = WalRecord::Kind::kSyncCommit;
+  record.cycle = 231;
+  record.epoch = 18;
+  record.next_span = 430;
+  record.degraded = false;
+  record.believes_above = false;
+  record.epsilon_t = 0.0625;
+  record.estimate = Vector{2.0, 2.0, 2.0};
+  record.full_syncs = 10;
+  record.degraded_syncs = 2;
+  record.last_cycle_span = 425;
+  return record;
+}
+
+TEST(CheckpointCodecTest, WalStreamRoundTripsBackToBackRecords) {
+  WalRecord bump;
+  bump.kind = WalRecord::Kind::kEpochBump;
+  bump.cycle = 231;
+  bump.epoch = 18;
+  bump.next_span = 423;
+  WalRecord grant;
+  grant.kind = WalRecord::Kind::kRejoinGrant;
+  grant.cycle = 233;
+  grant.epoch = 18;
+  grant.next_span = 431;
+  grant.site = 1;
+
+  std::vector<std::uint8_t> wal = EncodeWalRecord(bump);
+  const std::vector<std::uint8_t> commit = EncodeWalRecord(SampleCommit());
+  wal.insert(wal.end(), commit.begin(), commit.end());
+  const std::vector<std::uint8_t> granted = EncodeWalRecord(grant);
+  wal.insert(wal.end(), granted.begin(), granted.end());
+
+  const WalDecodeResult decoded = DecodeWalStream(wal);
+  EXPECT_EQ(decoded.torn_bytes, 0);
+  ASSERT_EQ(decoded.records.size(), 3u);
+  EXPECT_EQ(decoded.records[0].kind, WalRecord::Kind::kEpochBump);
+  EXPECT_EQ(decoded.records[1].kind, WalRecord::Kind::kSyncCommit);
+  EXPECT_EQ(decoded.records[1].estimate, SampleCommit().estimate);
+  EXPECT_EQ(decoded.records[2].kind, WalRecord::Kind::kRejoinGrant);
+  EXPECT_EQ(decoded.records[2].site, 1);
+}
+
+TEST(CheckpointCodecTest, TornWalTailPreservesCommittedPrefix) {
+  std::vector<std::uint8_t> wal = EncodeWalRecord(SampleCommit());
+  const std::size_t committed = wal.size();
+  std::vector<std::uint8_t> second = EncodeWalRecord(SampleCommit());
+  second.resize(second.size() / 2);  // the append the crash cut short
+  wal.insert(wal.end(), second.begin(), second.end());
+
+  const WalDecodeResult decoded = DecodeWalStream(wal);
+  ASSERT_EQ(decoded.records.size(), 1u);
+  EXPECT_EQ(decoded.torn_bytes, static_cast<long>(wal.size() - committed));
+}
+
+TEST(CheckpointCodecTest, WalTailCrcMismatchTerminatesTheScan) {
+  std::vector<std::uint8_t> wal = EncodeWalRecord(SampleCommit());
+  std::vector<std::uint8_t> second = EncodeWalRecord(SampleCommit());
+  second.back() ^= 0xFF;  // body corrupted after the length made it down
+  wal.insert(wal.end(), second.begin(), second.end());
+
+  const WalDecodeResult decoded = DecodeWalStream(wal);
+  EXPECT_EQ(decoded.records.size(), 1u);
+  EXPECT_GT(decoded.torn_bytes, 0);
+}
+
+TEST(CheckpointCodecTest, ApplyWalRecordsCarriesAbsoluteState) {
+  CoordinatorCheckpoint state = SampleState();
+
+  WalRecord bump;
+  bump.kind = WalRecord::Kind::kEpochBump;
+  bump.cycle = 231;
+  bump.epoch = 18;
+  bump.next_span = 423;
+  ApplyWalRecord(bump, &state);
+  EXPECT_EQ(state.epoch, 18);
+  EXPECT_EQ(state.cycle, 231);
+  EXPECT_EQ(state.next_span, 423);
+  EXPECT_EQ(state.full_syncs, 9);  // untouched by a bump
+
+  ApplyWalRecord(SampleCommit(), &state);
+  EXPECT_EQ(state.full_syncs, 10);
+  EXPECT_EQ(state.estimate, SampleCommit().estimate);
+  EXPECT_EQ(state.cycles_since_sync, 0);
+
+  WalRecord grant;
+  grant.kind = WalRecord::Kind::kRejoinGrant;
+  grant.cycle = 233;
+  grant.epoch = 18;
+  grant.next_span = 431;
+  grant.site = 1;
+  ApplyWalRecord(grant, &state);
+  EXPECT_TRUE(state.sites[1].grant_pending);
+  EXPECT_EQ(state.sites[1].last_grant_cycle, 233);
+}
+
+// ─── Reconstruction ────────────────────────────────────────────────────────
+
+TEST(ReconstructionTest, ReplaysWalSuffixOntoNewestSnapshot) {
+  InMemoryCheckpointStore store;
+  CoordinatorCheckpoint base = SampleState();
+  store.PutSnapshot(EncodeSnapshot(base));
+  store.AppendWal(EncodeWalRecord(SampleCommit()));
+
+  const Result<Reconstruction> result = ReconstructCoordinatorState(store);
+  ASSERT_TRUE(result.ok());
+  const Reconstruction& rec = result.ValueOrDie();
+  EXPECT_EQ(rec.wal_records_replayed, 1);
+  EXPECT_EQ(rec.snapshots_discarded, 0);
+  EXPECT_EQ(rec.torn_wal_bytes, 0);
+  EXPECT_EQ(rec.state.epoch, 18);
+  EXPECT_EQ(rec.state.full_syncs, 10);
+}
+
+TEST(ReconstructionTest, TornNewestSnapshotFallsBackWithoutEpochRegression) {
+  InMemoryCheckpointStore store;
+  CoordinatorCheckpoint base = SampleState();
+  store.PutSnapshot(EncodeSnapshot(base));
+  // Commit epoch 18 into the first segment's WAL, then snapshot it and tear
+  // that newer snapshot's tail: recovery must fall back to the OLD snapshot
+  // yet still replay the first segment's committed records — otherwise the
+  // recovered epoch would regress behind frames already on the wire.
+  store.AppendWal(EncodeWalRecord(SampleCommit()));
+  CoordinatorCheckpoint newer = SampleState();
+  newer.epoch = 18;
+  newer.full_syncs = 10;
+  store.PutSnapshot(EncodeSnapshot(newer));
+  store.TearSnapshotTail(7);
+
+  const Result<Reconstruction> result = ReconstructCoordinatorState(store);
+  ASSERT_TRUE(result.ok());
+  const Reconstruction& rec = result.ValueOrDie();
+  EXPECT_EQ(rec.snapshots_discarded, 1);
+  EXPECT_EQ(rec.wal_records_replayed, 1);
+  EXPECT_EQ(rec.state.epoch, 18);
+  EXPECT_EQ(rec.state.full_syncs, 10);
+}
+
+TEST(ReconstructionTest, TornWalTailIsCountedAndSkipped) {
+  InMemoryCheckpointStore store;
+  store.PutSnapshot(EncodeSnapshot(SampleState()));
+  store.AppendWal(EncodeWalRecord(SampleCommit()));
+  store.AppendTornWalBytes({0xDE, 0xAD, 0xBE, 0xEF});
+
+  const Result<Reconstruction> result = ReconstructCoordinatorState(store);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie().wal_records_replayed, 1);
+  EXPECT_EQ(result.ValueOrDie().torn_wal_bytes, 4);
+}
+
+TEST(ReconstructionTest, EmptyStoreIsNotFound) {
+  InMemoryCheckpointStore store;
+  const Result<Reconstruction> result = ReconstructCoordinatorState(store);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ReconstructionTest, WalRecordBeforeAnySnapshotIsNotRecoverable) {
+  InMemoryCheckpointStore store;
+  store.AppendWal(EncodeWalRecord(SampleCommit()));
+  EXPECT_FALSE(ReconstructCoordinatorState(store).ok());
+}
+
+// ─── File-backed store ─────────────────────────────────────────────────────
+
+class FileStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           ("ckpt_" + std::to_string(::testing::UnitTest::GetInstance()
+                                         ->random_seed()) +
+            "_" +
+            ::testing::UnitTest::GetInstance()
+                ->current_test_info()
+                ->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FileStoreTest, RoundTripsSnapshotAndWalThroughTheFilesystem) {
+  {
+    FileCheckpointStore store(dir_.string());
+    store.PutSnapshot(EncodeSnapshot(SampleState()));
+    store.AppendWal(EncodeWalRecord(SampleCommit()));
+  }
+  // A fresh instance (a recovering process) must find the same candidates.
+  FileCheckpointStore reopened(dir_.string());
+  const Result<Reconstruction> result = ReconstructCoordinatorState(reopened);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result.ValueOrDie().state.epoch, 18);
+  EXPECT_EQ(result.ValueOrDie().wal_records_replayed, 1);
+}
+
+TEST_F(FileStoreTest, PublishesSnapshotsAtomicallyAndRetiresOldOnes) {
+  FileCheckpointStore store(dir_.string());
+  store.PutSnapshot(EncodeSnapshot(SampleState()));
+  store.PutSnapshot(EncodeSnapshot(SampleState()));
+  store.PutSnapshot(EncodeSnapshot(SampleState()));
+
+  int snapshots = 0, temps = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.ends_with(".tmp")) ++temps;
+    if (name.ends_with(".ckpt")) ++snapshots;
+  }
+  EXPECT_EQ(temps, 0) << "rename-on-write must leave no temp files";
+  EXPECT_EQ(snapshots, 2) << "only the two newest snapshots are retained";
+}
+
+TEST_F(FileStoreTest, TornSnapshotFileOnDiskFallsBackToThePreviousOne) {
+  FileCheckpointStore store(dir_.string());
+  store.PutSnapshot(EncodeSnapshot(SampleState()));
+  store.AppendWal(EncodeWalRecord(SampleCommit()));
+  store.PutSnapshot(EncodeSnapshot(SampleState()));
+
+  // Truncate the newest snapshot on disk — the filesystem lost its tail.
+  std::filesystem::path newest;
+  long newest_index = -1;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    long index = -1;
+    if (std::sscanf(entry.path().filename().string().c_str(),
+                    "snap-%ld.ckpt", &index) == 1 &&
+        index > newest_index) {
+      newest_index = index;
+      newest = entry.path();
+    }
+  }
+  ASSERT_GE(newest_index, 0);
+  std::filesystem::resize_file(
+      newest, std::filesystem::file_size(newest) / 2);
+
+  FileCheckpointStore reopened(dir_.string());
+  const Result<Reconstruction> result = ReconstructCoordinatorState(reopened);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie().snapshots_discarded, 1);
+  EXPECT_EQ(result.ValueOrDie().state.epoch, 18);  // WAL replay still lands
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,296 @@
+// Coordinator crash/recovery at the runtime level: recovered state must
+// equal the oracle reconstruction of the checkpoint store, the epoch fence
+// must advance by exactly one, reconciliation must re-anchor every live
+// site, and monitoring must resume (docs/DESIGN.md §10). Also covers the
+// rejoin-mid-cascade interleaving: a rejoin request landing inside a probe
+// or collection round must neither corrupt the HT/collection bookkeeping
+// nor leave an orphan span in the trace.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "functions/l2_norm.h"
+#include "obs/telemetry.h"
+#include "runtime/checkpoint.h"
+#include "runtime/driver.h"
+
+namespace sgm {
+namespace {
+
+RuntimeConfig Config(InMemoryCheckpointStore* store) {
+  RuntimeConfig config;
+  config.threshold = 3.0;
+  config.max_step_norm = 10.0;
+  config.checkpoint_store = store;
+  config.checkpoint_interval_cycles = 5;
+  return config;
+}
+
+/// Ticks until belief flips or `budget` cycles elapse.
+void TickUntilBelief(RuntimeDriver* driver, const std::vector<Vector>& locals,
+                     bool want, int budget = 8) {
+  for (int t = 0; t < budget; ++t) {
+    if (!driver->coordinator_down() &&
+        driver->coordinator().BelievesAbove() == want) {
+      return;
+    }
+    driver->Tick(locals);
+  }
+}
+
+TEST(CoordinatorRecoveryTest, RecoveredStateMatchesOracleReconstruction) {
+  InMemoryCheckpointStore store;
+  const L2Norm norm;
+  RuntimeDriver driver(4, norm, Config(&store));
+  std::vector<Vector> locals(4, Vector{1.0, 0.0});
+  driver.Initialize(locals);
+
+  // Drive a few real cascades so the WAL holds commits past the last
+  // periodic snapshot.
+  for (auto& v : locals) v = Vector{6.0, 0.0};
+  TickUntilBelief(&driver, locals, true);
+  for (auto& v : locals) v = Vector{1.0, 0.0};
+  TickUntilBelief(&driver, locals, false);
+  ASSERT_GT(driver.coordinator().full_syncs(), 1);
+
+  driver.CrashCoordinator();
+  const Result<Reconstruction> expected = ReconstructCoordinatorState(store);
+  ASSERT_TRUE(expected.ok()) << expected.status().message();
+  driver.RecoverCoordinator();
+
+  const CoordinatorCheckpoint& oracle = expected.ValueOrDie().state;
+  const CoordinatorNode& coord = driver.coordinator();
+  EXPECT_EQ(coord.epoch(), oracle.epoch + 1);  // the fence, nothing more
+  EXPECT_EQ(coord.estimate(), oracle.estimate);
+  EXPECT_EQ(coord.BelievesAbove(), oracle.believes_above);
+  EXPECT_EQ(coord.epsilon_T(), oracle.epsilon_t);
+  EXPECT_EQ(coord.full_syncs(), oracle.full_syncs);
+  EXPECT_EQ(coord.partial_resolutions(), oracle.partial_resolutions);
+  EXPECT_EQ(coord.degraded_syncs(), oracle.degraded_syncs);
+  EXPECT_EQ(driver.recovery_totals().restores, 1);
+  EXPECT_EQ(driver.coordinator_crashes(), 1);
+}
+
+TEST(CoordinatorRecoveryTest, RecoveryFencesEpochAndReanchorsEverySite) {
+  InMemoryCheckpointStore store;
+  const L2Norm norm;
+  RuntimeDriver driver(4, norm, Config(&store));
+  std::vector<Vector> locals(4, Vector{1.0, 0.0});
+  driver.Initialize(locals);
+  for (int t = 0; t < 3; ++t) driver.Tick(locals);
+
+  driver.CrashCoordinator();
+  const std::int64_t crash_epoch = driver.last_crash_epoch();
+  driver.RecoverCoordinator();
+
+  EXPECT_EQ(driver.coordinator().epoch(), crash_epoch + 1);
+  // Reconciliation grants went out (and were routed) inside recovery:
+  // every site already holds the fenced epoch.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(driver.site(i).epoch(), driver.coordinator().epoch());
+    EXPECT_TRUE(driver.site(i).anchored());
+  }
+  EXPECT_EQ(driver.recovery_totals().reconcile_grants, 4);
+
+  // Monitoring resumes: the scheduled recovery resync completes a full sync
+  // and belief tracks a real crossing afterwards.
+  const long syncs_after_recovery = driver.coordinator().full_syncs();
+  for (auto& v : locals) v = Vector{6.0, 0.0};
+  TickUntilBelief(&driver, locals, true);
+  EXPECT_TRUE(driver.coordinator().BelievesAbove());
+  EXPECT_GT(driver.coordinator().full_syncs(), syncs_after_recovery);
+
+  // The fence did its job quietly: nothing stale was ever applied.
+  long stale_applied = driver.coordinator().audit().stale_epoch_applied;
+  for (int i = 0; i < 4; ++i) {
+    stale_applied += driver.site(i).audit().stale_epoch_applied;
+  }
+  EXPECT_EQ(stale_applied, 0);
+}
+
+TEST(CoordinatorRecoveryTest, ArmedCrashFiresMidCascadeAndStillRecovers) {
+  InMemoryCheckpointStore store;
+  const L2Norm norm;
+  RuntimeDriver driver(4, norm, Config(&store));
+  std::vector<Vector> locals(4, Vector{1.0, 0.0});
+  driver.Initialize(locals);
+
+  // The crash fires after two more coordinator messages — inside the
+  // violation burst of the next cascade, not at a cycle boundary.
+  driver.ArmCoordinatorCrash(2);
+  for (auto& v : locals) v = Vector{6.0, 0.0};
+  driver.Tick(locals);
+  ASSERT_TRUE(driver.coordinator_down());
+
+  const Result<Reconstruction> expected = ReconstructCoordinatorState(store);
+  ASSERT_TRUE(expected.ok());
+  const std::int64_t crash_epoch = driver.last_crash_epoch();
+  driver.RecoverCoordinator();
+
+  // WAL-before-wire: even a crash point between a round's epoch bump and
+  // its completion leaves the committed epoch equal to the in-memory one.
+  EXPECT_EQ(expected.ValueOrDie().state.epoch, crash_epoch);
+  EXPECT_EQ(driver.coordinator().epoch(), crash_epoch + 1);
+
+  // The interrupted cascade is re-derived, not lost: the recovery resync
+  // completes and belief catches the crossing.
+  TickUntilBelief(&driver, locals, true);
+  EXPECT_TRUE(driver.coordinator().BelievesAbove());
+}
+
+TEST(CoordinatorRecoveryTest, DownCoordinatorDropsInboundFramesUnacked) {
+  InMemoryCheckpointStore store;
+  const L2Norm norm;
+  RuntimeDriver driver(4, norm, Config(&store));
+  std::vector<Vector> locals(4, Vector{1.0, 0.0});
+  driver.Initialize(locals);
+
+  driver.CrashCoordinator();
+  ASSERT_TRUE(driver.coordinator_down());
+  // Sites keep observing and heartbeating into the void.
+  for (int t = 0; t < 3; ++t) driver.Tick(locals);
+  EXPECT_GT(driver.coordinator_down_drops(), 0);
+
+  driver.RecoverCoordinator();
+  EXPECT_FALSE(driver.coordinator_down());
+  for (auto& v : locals) v = Vector{6.0, 0.0};
+  TickUntilBelief(&driver, locals, true);
+  EXPECT_TRUE(driver.coordinator().BelievesAbove());
+}
+
+TEST(CoordinatorRecoveryTest, PeriodicSnapshotsHonorIntervalAndRetention) {
+  InMemoryCheckpointStore store;
+  const L2Norm norm;
+  RuntimeDriver driver(4, norm, Config(&store));  // interval = 5
+  std::vector<Vector> locals(4, Vector{1.0, 0.0});
+  driver.Initialize(locals);
+  for (int t = 0; t < 11; ++t) driver.Tick(locals);
+
+  // Start() wrote the baseline, cycles 5 and 10 the periodic ones; the
+  // store retains only the newest two.
+  EXPECT_EQ(driver.recovery_totals().snapshots_written, 3);
+  EXPECT_EQ(store.snapshot_count(), 2);
+}
+
+// ─── Rejoin arriving mid-cascade ───────────────────────────────────────────
+
+const TraceArg* FindArg(const TraceEvent& event, const char* key) {
+  for (const TraceArg& arg : event.args) {
+    if (arg.key == key) return &arg;
+  }
+  return nullptr;
+}
+
+std::int64_t IntArg(const TraceEvent& event, const char* key) {
+  const TraceArg* arg = FindArg(event, key);
+  return arg != nullptr && arg->kind == TraceArg::Kind::kInt ? arg->int_value
+                                                             : 0;
+}
+
+TEST(CoordinatorRecoveryTest, RejoinMidCascadeKeepsEstimateAndSpansIntact) {
+  const L2Norm norm;
+  Telemetry telemetry;
+  InMemoryBus bus;
+  RuntimeConfig config;
+  config.threshold = 3.0;
+  config.max_step_norm = 10.0;
+  config.telemetry = &telemetry;
+  CoordinatorNode coordinator(3, norm, config, &bus);
+
+  auto report = [&](int site, std::int64_t epoch, Vector payload) {
+    RuntimeMessage m;
+    m.type = RuntimeMessage::Type::kStateReport;
+    m.from = site;
+    m.to = kCoordinatorId;
+    m.epoch = epoch;
+    m.payload = std::move(payload);
+    coordinator.OnMessage(m);
+  };
+
+  // Initialization sync at epoch 1.
+  coordinator.Start();
+  for (int site = 0; site < 3; ++site) report(site, 1, Vector{1.0, 0.0});
+  ASSERT_EQ(coordinator.full_syncs(), 1);
+  ASSERT_EQ(coordinator.estimate(), (Vector{1.0, 0.0}));
+
+  // A local violation opens a probe round (epoch 2)…
+  RuntimeMessage violation;
+  violation.type = RuntimeMessage::Type::kLocalViolation;
+  violation.from = 0;
+  violation.to = kCoordinatorId;
+  violation.epoch = 1;
+  coordinator.OnMessage(violation);
+
+  // …and a rejoin request lands right in the middle of it, between drift
+  // reports. The grant is issued immediately; the probe must not see it.
+  RuntimeMessage drift;
+  drift.type = RuntimeMessage::Type::kDriftReport;
+  drift.to = kCoordinatorId;
+  drift.epoch = 2;
+  drift.scalar = 1.0;  // inclusion probability
+  drift.payload = Vector{5.0, 0.0};
+  drift.from = 0;
+  coordinator.OnMessage(drift);
+
+  RuntimeMessage rejoin;
+  rejoin.type = RuntimeMessage::Type::kRejoinRequest;
+  rejoin.from = 1;
+  rejoin.to = kCoordinatorId;
+  rejoin.epoch = 1;  // a site that fell behind carries a stale epoch
+  coordinator.OnMessage(rejoin);
+  EXPECT_EQ(coordinator.audit().rejoins_granted, 1);
+
+  drift.from = 1;
+  coordinator.OnMessage(drift);
+  drift.from = 2;
+  coordinator.OnMessage(drift);
+  coordinator.OnQuiescent();  // HT vets the alarm: v̂ = {6,0} ⇒ escalate
+
+  // The escalation opened a full collection (epoch 3); a second rejoin
+  // request interleaves with the collection's state reports.
+  report(0, 3, Vector{6.0, 0.0});
+  rejoin.from = 2;
+  rejoin.epoch = 2;
+  coordinator.OnMessage(rejoin);
+  EXPECT_EQ(coordinator.audit().rejoins_granted, 2);
+  report(1, 3, Vector{6.0, 0.0});
+  report(2, 3, Vector{6.0, 0.0});
+
+  // The collection completed exactly once, over exactly the three reports:
+  // the interleaved grants neither double-counted a site nor perturbed the
+  // average (an HT-corruption would show up as estimate ≠ {6,0}).
+  EXPECT_EQ(coordinator.full_syncs(), 2);
+  EXPECT_EQ(coordinator.estimate(), (Vector{6.0, 0.0}));
+  EXPECT_TRUE(coordinator.BelievesAbove());
+  EXPECT_EQ(coordinator.audit().stale_epoch_applied, 0);
+
+  // Span-tree integrity: every parent referenced in the trace is a known
+  // span, and rejoin grants are their own roots — no orphans either way.
+  std::set<std::int64_t> spans;
+  std::map<std::int64_t, std::int64_t> parent_of;
+  std::set<std::int64_t> grant_spans;
+  for (const TraceEvent& event : telemetry.trace.events()) {
+    const std::int64_t span = IntArg(event, "span");
+    if (span == 0) continue;
+    spans.insert(span);
+    const std::int64_t parent = IntArg(event, "parent");
+    if (parent != 0) parent_of[span] = parent;
+    if (event.name == "rejoin_grant") grant_spans.insert(span);
+  }
+  ASSERT_EQ(grant_spans.size(), 2u);
+  for (const auto& [span, parent] : parent_of) {
+    EXPECT_TRUE(spans.count(parent))
+        << "span " << span << " references unknown parent " << parent;
+  }
+  for (const std::int64_t grant : grant_spans) {
+    EXPECT_EQ(parent_of.count(grant), 0u)
+        << "grant span " << grant << " must be a root, not a cascade child";
+  }
+}
+
+}  // namespace
+}  // namespace sgm

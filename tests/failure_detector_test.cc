@@ -132,6 +132,93 @@ TEST(FailureDetectorTest, SlowDeathsDoNotQuarantine) {
   EXPECT_EQ(fd.total_deaths(), 2);
 }
 
+TEST(FailureDetectorTest, ZeroJitterAppliesExactConfiguredThresholds) {
+  FailureDetector fd(4, SmallConfig());
+  for (int site = 0; site < 4; ++site) {
+    EXPECT_EQ(fd.suspect_after(site), 2);
+    EXPECT_EQ(fd.dead_after(site), 4);
+    EXPECT_EQ(fd.quarantine_cycles(site), 5);
+  }
+}
+
+TEST(FailureDetectorTest, JitteredThresholdsAreSeedDeterministic) {
+  FailureDetectorConfig config = SmallConfig();
+  config.suspect_after_misses = 20;
+  config.dead_after_misses = 40;
+  config.quarantine_cycles = 100;
+  config.threshold_jitter = 0.3;
+  config.jitter_seed = 77;
+  FailureDetector a(16, config);
+  FailureDetector b(16, config);
+  bool any_differs_across_sites = false;
+  for (int site = 0; site < 16; ++site) {
+    // Same seed → identical per-site thresholds (replayable).
+    EXPECT_EQ(a.suspect_after(site), b.suspect_after(site));
+    EXPECT_EQ(a.dead_after(site), b.dead_after(site));
+    EXPECT_EQ(a.quarantine_cycles(site), b.quarantine_cycles(site));
+    if (a.suspect_after(site) != a.suspect_after(0) ||
+        a.dead_after(site) != a.dead_after(0)) {
+      any_differs_across_sites = true;
+    }
+  }
+  // The point of jitter is desynchronization: with 16 sites and ±30%
+  // on a base of 20/40 the thresholds cannot all collapse to one value.
+  EXPECT_TRUE(any_differs_across_sites);
+
+  FailureDetectorConfig other = config;
+  other.jitter_seed = 78;
+  FailureDetector c(16, other);
+  bool any_differs_across_seeds = false;
+  for (int site = 0; site < 16; ++site) {
+    if (a.suspect_after(site) != c.suspect_after(site)) {
+      any_differs_across_seeds = true;
+    }
+  }
+  EXPECT_TRUE(any_differs_across_seeds);
+}
+
+TEST(FailureDetectorTest, JitteredThresholdsStayWithinConfiguredBand) {
+  FailureDetectorConfig config = SmallConfig();
+  config.suspect_after_misses = 20;
+  config.dead_after_misses = 40;
+  config.quarantine_cycles = 100;
+  config.threshold_jitter = 0.25;
+  FailureDetector fd(64, config);
+  for (int site = 0; site < 64; ++site) {
+    EXPECT_GE(fd.suspect_after(site), 15);
+    EXPECT_LE(fd.suspect_after(site), 25);
+    EXPECT_GE(fd.dead_after(site), 30);
+    EXPECT_LE(fd.dead_after(site), 50);
+    EXPECT_GE(fd.quarantine_cycles(site), 75);
+    EXPECT_LE(fd.quarantine_cycles(site), 125);
+    // Dead must stay strictly above suspect or the kSuspect state vanishes.
+    EXPECT_GT(fd.dead_after(site), fd.suspect_after(site));
+  }
+}
+
+TEST(FailureDetectorTest, SnapshotRestoreRecomputesJitteredThresholds) {
+  FailureDetectorConfig config = SmallConfig();
+  config.threshold_jitter = 0.4;
+  config.suspect_after_misses = 10;
+  config.dead_after_misses = 20;
+  FailureDetector fd(8, config);
+  fd.BeginCycle(1);
+  fd.ReportUnreachable(3);
+  const auto snapshot = fd.Snapshot();
+
+  // Thresholds are a pure function of the config — a recovered detector
+  // lands on the same per-site values without them being checkpointed.
+  FailureDetector recovered(8, config);
+  recovered.Restore(snapshot, 1);
+  for (int site = 0; site < 8; ++site) {
+    EXPECT_EQ(recovered.suspect_after(site), fd.suspect_after(site));
+    EXPECT_EQ(recovered.dead_after(site), fd.dead_after(site));
+    EXPECT_EQ(recovered.quarantine_cycles(site), fd.quarantine_cycles(site));
+    EXPECT_EQ(recovered.state(site), fd.state(site));
+  }
+  EXPECT_EQ(recovered.deaths(3), 1);
+}
+
 TEST(FailureDetectorTest, StateNames) {
   EXPECT_STREQ(ToString(FailureDetector::State::kAlive), "alive");
   EXPECT_STREQ(ToString(FailureDetector::State::kSuspect), "suspect");

@@ -216,6 +216,89 @@ TEST(ReliableTransportTest, LinkDownReleasesAndExcludesFromTracking) {
   EXPECT_TRUE(rt.IsLinkUp(0));
 }
 
+TEST(ReliableTransportTest, QueueCapEvictsOldestExpectationPerPeer) {
+  InMemoryBus bus;
+  ReliableTransportConfig config;
+  config.max_in_flight_per_peer = 2;
+  ReliableTransport rt(&bus, 2, config);
+  int dead_links = 0;
+  rt.SetDeadLinkHandler([&](int, const RuntimeMessage&) { ++dead_links; });
+
+  RuntimeMessage unicast = EstimateBroadcast();
+  unicast.to = 0;
+  rt.Send(unicast);
+  const std::int64_t oldest_seq = bus.Pop().seq;
+  rt.Send(unicast);
+  bus.Pop();
+  // The third tracked send would exceed the cap on peer 0: the oldest
+  // expectation is released — best-effort from then on, not a dead link.
+  rt.Send(unicast);
+  bus.Pop();
+  EXPECT_EQ(rt.stats().queue_evictions, 1);
+  EXPECT_EQ(dead_links, 0);
+
+  // The evicted entry no longer retransmits; the two retained ones do.
+  while (!bus.empty()) bus.Pop();
+  rt.AdvanceRound();
+  rt.AdvanceRound();
+  std::vector<std::int64_t> retransmitted;
+  while (!bus.empty()) retransmitted.push_back(bus.Pop().seq);
+  EXPECT_EQ(retransmitted.size(), 2u);
+  for (const std::int64_t seq : retransmitted) {
+    EXPECT_NE(seq, oldest_seq);
+  }
+}
+
+TEST(ReliableTransportTest, DedupWindowCompactsIntoFloorWithoutMisjudging) {
+  InMemoryBus bus;
+  ReliableTransportConfig config;
+  config.dedup_window = 8;  // the smallest legal window
+  ReliableTransport rt(&bus, 2, config);
+
+  RuntimeMessage unicast = EstimateBroadcast();
+  unicast.to = 0;
+  std::vector<RuntimeMessage> delivered;
+  for (int i = 0; i < 24; ++i) {
+    rt.Send(unicast);
+    const RuntimeMessage sent = bus.Pop();
+    EXPECT_EQ(DeliverTo(&rt, 0, sent).size(), 1u);
+    delivered.push_back(sent);
+    while (!bus.empty()) bus.Pop();  // acks
+  }
+  EXPECT_GT(rt.stats().dedup_evictions, 0);
+
+  // Seqs compacted below the floor are still recognized as duplicates: a
+  // very late straggler copy must not be delivered twice.
+  EXPECT_TRUE(DeliverTo(&rt, 0, delivered.front()).empty());
+  EXPECT_TRUE(DeliverTo(&rt, 0, delivered.back()).empty());
+  EXPECT_GE(rt.stats().duplicates_suppressed, 2);
+}
+
+TEST(ReliableTransportTest, AbandonSenderVoidsInFlightWithoutDeadVerdicts) {
+  InMemoryBus bus;
+  ReliableTransport rt(&bus, 3, ReliableTransportConfig{});
+  int dead_links = 0;
+  rt.SetDeadLinkHandler([&](int, const RuntimeMessage&) { ++dead_links; });
+
+  rt.Send(EstimateBroadcast());
+  const std::int64_t first_seq = bus.Pop().seq;
+  ASSERT_TRUE(rt.HasUnacked());
+
+  // The coordinator process died: its unacked traffic is void — the
+  // receivers are fine, so no dead-link verdicts and no give-ups.
+  rt.AbandonSender(kCoordinatorId);
+  EXPECT_FALSE(rt.HasUnacked());
+  EXPECT_EQ(dead_links, 0);
+  EXPECT_EQ(rt.stats().give_ups, 0);
+  for (int i = 0; i < 16; ++i) rt.AdvanceRound();
+  EXPECT_TRUE(bus.empty());  // nothing left to retransmit
+
+  // A recovered coordinator keeps numbering where it left off, so the
+  // receivers' dedup windows stay coherent across the crash.
+  rt.Send(EstimateBroadcast());
+  EXPECT_EQ(bus.Pop().seq, first_seq + 1);
+}
+
 TEST(ReliableTransportTest, RetransmissionScheduleIsSeedDeterministic) {
   // Two transports with the same seed make identical jitter choices; a
   // different seed is allowed to differ (and does for this scenario).

@@ -31,6 +31,12 @@ TEST(RuntimeReliabilityTest, NamedConfigDefaultsAreDocumentedValues) {
   EXPECT_EQ(config.failure_detector.suspect_after_misses, 3);
   EXPECT_EQ(config.failure_detector.dead_after_misses, 6);
   EXPECT_EQ(config.reliability.max_retransmits, 4);
+  EXPECT_EQ(config.reliability.max_in_flight_per_peer, 256);
+  EXPECT_EQ(config.reliability.dedup_window, 1024);
+  EXPECT_EQ(config.failure_detector.threshold_jitter, 0.0);
+  EXPECT_EQ(config.checkpoint_store, nullptr);
+  EXPECT_EQ(config.checkpoint_interval_cycles, 25);
+  EXPECT_EQ(config.recovery_resync_cycles, 2);
 }
 
 TEST(RuntimeReliabilityTest, EpochAdvancesWithEverySyncRound) {

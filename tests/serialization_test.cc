@@ -5,10 +5,19 @@
 
 #include <gtest/gtest.h>
 
+#include "core/crc32c.h"
 #include "core/rng.h"
 
 namespace sgm {
 namespace {
+
+/// Recomputes the v4 CRC trailer after a deliberate field mutation, so a
+/// test exercises the *field* validation rather than tripping the checksum.
+void FixCrc(std::vector<std::uint8_t>* wire) {
+  ASSERT_GE(wire->size(), 4u);
+  const std::uint32_t crc = Crc32c(wire->data(), wire->size() - 4);
+  std::memcpy(wire->data() + wire->size() - 4, &crc, sizeof(crc));
+}
 
 RuntimeMessage SampleMessage() {
   RuntimeMessage m;
@@ -150,13 +159,14 @@ TEST(SerializationTest, EmptyPayloadRoundTrips) {
   EXPECT_EQ(decoded.ValueOrDie().payload.dim(), 0u);
 }
 
-// Golden wire sizes: 55-byte v3 header (u8 version + u8 type + u8 flags +
-// i32 from + i32 to + i64 epoch + i64 seq + i64 span + i64 parent_span +
-// f64 scalar + u32 dim) plus 8 bytes per payload double. These pin the
+// Golden wire sizes: 55 bytes of v4 header fields (u8 version + u8 type +
+// u8 flags + i32 from + i32 to + i64 epoch + i64 seq + i64 span +
+// i64 parent_span + f64 scalar + u32 dim) plus 8 bytes per payload double,
+// plus the trailing u32 CRC32C over everything before it. These pin the
 // format — any change to the layout must update the goldens knowingly.
 TEST(SerializationTest, GoldenWireSizesPerKind) {
   using Type = RuntimeMessage::Type;
-  constexpr std::size_t kHeader = 55;
+  constexpr std::size_t kHeader = 55 + 4;  // fields + CRC trailer
 
   const struct {
     Type type;
@@ -194,12 +204,12 @@ TEST(SerializationTest, GoldenWireSizesPerKind) {
 }
 
 // The in-memory accounting (16-byte header + 8 bytes per *semantic*
-// payload double) and the wire encoding (55-byte frame + raw vector) count
+// payload double) and the wire encoding (59-byte frame + raw vector) count
 // slightly different things: the frame carries the reliability envelope
-// (version, flags, epoch, seq), the causal span pair and the scalar field,
-// which the accounting bills abstractly. The divergence must stay below
-// five doubles per message — the accounting remains a faithful proxy for
-// real wire cost.
+// (version, flags, epoch, seq), the causal span pair, the scalar field and
+// the CRC trailer, which the accounting bills abstractly. The divergence
+// must stay below six doubles per message — the accounting remains a
+// faithful proxy for real wire cost.
 TEST(SerializationTest, AccountingTracksWireSizePerKind) {
   using Type = RuntimeMessage::Type;
   const struct {
@@ -222,7 +232,7 @@ TEST(SerializationTest, AccountingTracksWireSizePerKind) {
     if (kind.payload_dim > 0) m.payload = Vector(kind.payload_dim);
     const double accounted = 16.0 + 8.0 * m.PayloadDoubles();
     const double wire = static_cast<double>(EncodeMessage(m).size());
-    EXPECT_LT(std::abs(wire - accounted), 40.0)
+    EXPECT_LT(std::abs(wire - accounted), 48.0)
         << RuntimeMessage::TypeName(kind.type) << ": wire " << wire
         << " vs accounted " << accounted;
   }
@@ -260,6 +270,7 @@ TEST(SerializationTest, RejectsLegacyV1Frames) {
 TEST(SerializationTest, RejectsUnknownType) {
   auto wire = EncodeMessage(SampleMessage());
   wire[1] = 200;  // type byte follows the version byte
+  FixCrc(&wire);  // exercise the type check, not the checksum
   auto decoded = DecodeMessage(wire);
   EXPECT_FALSE(decoded.ok());
   EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
@@ -268,6 +279,7 @@ TEST(SerializationTest, RejectsUnknownType) {
 TEST(SerializationTest, RejectsUnknownFlags) {
   auto wire = EncodeMessage(SampleMessage());
   wire[2] |= 0x80;  // a flag bit this version does not define
+  FixCrc(&wire);  // exercise the flag check, not the checksum
   auto decoded = DecodeMessage(wire);
   EXPECT_FALSE(decoded.ok());
   EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
@@ -297,9 +309,47 @@ TEST(SerializationTest, RejectsHugeDimension) {
   // huge value.
   const std::uint32_t huge = kMaxWireDimension + 1;
   std::memcpy(wire.data() + 51, &huge, sizeof(huge));
+  FixCrc(&wire);  // exercise the dimension cap, not the checksum
   auto decoded = DecodeMessage(wire);
   EXPECT_FALSE(decoded.ok());
   EXPECT_EQ(decoded.status().code(), StatusCode::kOutOfRange);
+}
+
+/// Strips the CRC trailer off a v4 frame and relabels it v3 — exactly the
+/// layout a pre-checksum peer emits.
+std::vector<std::uint8_t> AsV3Frame(std::vector<std::uint8_t> wire) {
+  wire.resize(wire.size() - 4);
+  wire[0] = kWireFormatVersionV3;
+  return wire;
+}
+
+// Backward compatibility: a peer still emitting v3 frames (spans, no CRC)
+// keeps interoperating through a rolling upgrade.
+TEST(SerializationTest, AcceptsV3FramesWithoutChecksum) {
+  RuntimeMessage original = SampleMessage();
+  original.span = 77;
+  original.parent_span = 33;
+  auto decoded = DecodeMessage(AsV3Frame(EncodeMessage(original)));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const RuntimeMessage& m = decoded.ValueOrDie();
+  EXPECT_EQ(m.epoch, original.epoch);
+  EXPECT_EQ(m.span, original.span);
+  EXPECT_EQ(m.parent_span, original.parent_span);
+  EXPECT_EQ(m.payload, original.payload);
+}
+
+// The corruption-detection guarantee the bit-flip fault mode relies on:
+// EVERY single-bit flip of a v4 frame must be rejected, never decoded into
+// a mangled message. (A flip of the version byte must also fail: 0xA4's
+// single-bit neighbors include neither 0xA2 nor 0xA3, and non-version
+// bytes are vouched for by the CRC.)
+TEST(SerializationTest, EverySingleBitFlipIsDetected) {
+  const auto wire = EncodeMessage(SampleMessage());
+  for (std::size_t bit = 0; bit < wire.size() * 8; ++bit) {
+    auto flipped = wire;
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(DecodeMessage(flipped).ok()) << "bit " << bit;
+  }
 }
 
 TEST(SerializationTest, RandomGarbageNeverCrashes) {

@@ -22,6 +22,14 @@
 //   --dup        per-link duplication probability              [0]
 //   --delay      max delivery delay in rounds                  [0]
 //   --crash      per-cycle site-crash probability              [0]
+//   --corrupt    per-message wire bit-flip probability; the v4 frame
+//                CRC32C turns every flip into a detected drop  [0]
+//   --coord-crash[=P]  per-cycle COORDINATOR crash probability; bare flag
+//                      selects the CI default 0.04. Applies to runtime legs
+//                      (sweep mode) or a --leg=runtime replay; each crash
+//                      recovers from the checkpoint store under injected
+//                      torn-tail storage faults and is invariant-checked
+//   --coord-down=N     max coordinator downtime in cycles      [4]
 //   --sabotage   collapse invariant tolerances to zero
 //   --audit      run the online accuracy auditor on every sim/runtime leg;
 //                a leg then also fails when the auditor sees an ε / ε_C
@@ -124,6 +132,14 @@ bool ParseArgs(int argc, char** argv, Flags* flags) {
       flags->config.max_delay_rounds = std::atoi(value);
     } else if (ParseFlag(argv[i], "--crash", &value) && value != nullptr) {
       flags->config.crash_probability = std::atof(value);
+    } else if (ParseFlag(argv[i], "--corrupt", &value) && value != nullptr) {
+      flags->config.corrupt_probability = std::atof(value);
+    } else if (ParseFlag(argv[i], "--coord-crash", &value)) {
+      flags->config.coord_crash_probability =
+          value != nullptr ? std::atof(value) : 0.04;
+    } else if (ParseFlag(argv[i], "--coord-down", &value) &&
+               value != nullptr) {
+      flags->config.max_coord_crash_cycles = std::atoi(value);
     } else if (ParseFlag(argv[i], "--sabotage", &value)) {
       flags->config.sabotage_tolerance = true;
     } else if (ParseFlag(argv[i], "--audit-epsilon", &value) &&
@@ -211,7 +227,9 @@ int main(int argc, char** argv) {
       std::printf("== master seed %llu (%d/%d) ==\n",
                   static_cast<unsigned long long>(master), i + 1,
                   flags.seeds);
-      const auto suite = sgm::RunStressSuite(master, flags.config.audit);
+      const auto suite = sgm::RunStressSuite(
+          master, flags.config.audit, flags.config.coord_crash_probability,
+          flags.config.max_coord_crash_cycles);
       reports.insert(reports.end(), suite.begin(), suite.end());
     }
   } else if (flags.leg == "sim") {
