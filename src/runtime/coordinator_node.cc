@@ -562,7 +562,8 @@ void CoordinatorNode::OnMessage(const RuntimeMessage& message) {
       EnsureCycleSpan("local_violation");
       phase_span_ = MintSpan();
       phase_ = Phase::kProbing;
-      probe_weighted_sum_ = Vector(e_.dim());
+      probe_drift_.assign(num_sites_, Vector());
+      probe_g_.assign(num_sites_, 0.0);
       probe_reports_ = 0;
       if (telemetry_ != nullptr) {
         telemetry_->trace.Emit("protocol", "probe_begin", kCoordinatorId,
@@ -585,7 +586,9 @@ void CoordinatorNode::OnMessage(const RuntimeMessage& message) {
       }
       SGM_CHECK_MSG(message.scalar > 0.0,
                     "drift report with non-positive inclusion probability");
-      probe_weighted_sum_.Axpy(1.0 / message.scalar, message.payload);
+      if (probe_g_[site] > 0.0) return;  // first first-trial report wins
+      probe_g_[site] = message.scalar;
+      probe_drift_[site] = message.payload;
       ++probe_reports_;
       return;
     }
@@ -673,7 +676,14 @@ void CoordinatorNode::OnQuiescent() {
   bool ball_crosses = false;
   {
     ScopedTimer timer(ht_estimate_ns_);
-    v_hat.Axpy(1.0 / static_cast<double>(live), probe_weighted_sum_);
+    // Fold the buffered reports in site-id order — the sum is then a pure
+    // function of the report set, not of the order the network delivered it.
+    Vector probe_weighted_sum(e_.dim());
+    for (int site = 0; site < num_sites_; ++site) {
+      if (probe_g_[site] <= 0.0) continue;
+      probe_weighted_sum.Axpy(1.0 / probe_g_[site], probe_drift_[site]);
+    }
+    v_hat.Axpy(1.0 / static_cast<double>(live), probe_weighted_sum);
     const double U = CurrentU();
     const double epsilon = std::min(BernsteinEpsilon(config_.delta, U),
                                     0.5 * epsilon_t_);

@@ -260,8 +260,13 @@ class CoordinatorNode {
 
   AuditStats audit_;
 
-  // Partial-sync probe state: HT accumulation over first-trial reports.
-  Vector probe_weighted_sum_;
+  // Partial-sync probe state: first-trial drift reports buffered per site
+  // (first report wins) and folded in site-id order at quiescence, so the
+  // HT estimate is independent of network arrival order — the socket
+  // runtime, where interleaving is scheduler-dependent, produces the same
+  // floating-point result as the deterministic simulation.
+  std::vector<Vector> probe_drift_;
+  std::vector<double> probe_g_;
   int probe_reports_ = 0;
 
   // Full-sync collection state.

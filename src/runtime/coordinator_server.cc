@@ -1,0 +1,322 @@
+#include "runtime/coordinator_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+
+#include "core/check.h"
+#include "obs/telemetry.h"
+
+namespace sgm {
+
+CoordinatorServer::CoordinatorServer(const MonitoredFunction& function,
+                                     const CoordinatorServerConfig& config)
+    : config_(config),
+      clock_(config.round_micros),
+      registered_(config.num_sites, false) {
+  SGM_CHECK(config.num_sites > 0);
+  config_.runtime.reliability.round_clock = &clock_;
+  reliable_ = std::make_unique<ReliableTransport>(
+      &transport_, config_.num_sites, config_.runtime.reliability,
+      config_.runtime.telemetry);
+  coordinator_ = std::make_unique<CoordinatorNode>(
+      config_.num_sites, function, config_.runtime, reliable_.get());
+  coordinator_->AttachReliability(reliable_.get());
+}
+
+CoordinatorServer::~CoordinatorServer() { Shutdown(); }
+
+bool CoordinatorServer::Listen() {
+  SGM_CHECK(listen_fd_ < 0);
+  listen_fd_ = ListenTcpLoopback(config_.port, &bound_port_);
+  return listen_fd_ >= 0;
+}
+
+bool CoordinatorServer::WaitForSites() {
+  SGM_CHECK(listen_fd_ >= 0);
+  accept_thread_ = std::thread(&CoordinatorServer::AcceptLoop, this);
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(
+      lock, std::chrono::milliseconds(config_.hello_timeout_ms),
+      [this] { return hellos_ == config_.num_sites; });
+}
+
+void CoordinatorServer::AcceptLoop() {
+  while (!stop_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(mu_);
+    session_fds_.push_back(fd);
+    readers_.emplace_back(&CoordinatorServer::ReaderLoop, this, fd);
+  }
+}
+
+void CoordinatorServer::ReaderLoop(int fd) {
+  FrameReader reader;
+  std::array<std::uint8_t, 65536> buffer;
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
+    if (n == 0) break;  // peer closed (or Shutdown's SHUT_RD)
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    reader.Append(buffer.data(), static_cast<std::size_t>(n));
+    std::vector<RuntimeMessage> frames;
+    FrameStats stats;
+    const bool stream_ok = DrainDecodedFrames(&reader, &frames, &stats);
+    bool keep = true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      corrupt_frames_ += stats.corrupt;
+      for (const RuntimeMessage& message : frames) {
+        keep = HandleFrame(fd, message) && keep;
+      }
+    }
+    cv_.notify_all();
+    if (!stream_ok || !keep) {
+      // Poisoned stream or rejected registration: cut the connection.
+      ::shutdown(fd, SHUT_RDWR);
+      break;
+    }
+  }
+}
+
+bool CoordinatorServer::HandleFrame(int fd, const RuntimeMessage& message) {
+  switch (message.type) {
+    case RuntimeMessage::Type::kSiteHello: {
+      const int site = message.from;
+      if (site < 0 || site >= config_.num_sites || registered_[site]) {
+        return false;  // bad id or a second claimant for a taken id
+      }
+      registered_[site] = true;
+      transport_.RegisterPeer(site, fd);
+      ++hellos_;
+      if (config_.runtime.telemetry != nullptr) {
+        config_.runtime.telemetry->trace.Emit("session", "site_hello", site,
+                                              {{"fd", fd}});
+      }
+      return true;
+    }
+    case RuntimeMessage::Type::kBarrierAck:
+      if (static_cast<long>(message.scalar) == barrier_token_) {
+        ++barrier_acks_;
+      }
+      return true;
+    case RuntimeMessage::Type::kCycleBegin:
+    case RuntimeMessage::Type::kBarrier:
+    case RuntimeMessage::Type::kShutdown:
+      return true;  // coordinator-originated control echoed back: ignore
+    default: {
+      // Ordinary protocol traffic: through the receive-side reliability
+      // layer (ack/dedup), then into the node — the sim driver's Deliver().
+      if (message.counts_as_protocol_traffic()) {
+        ++site_messages_received_;
+        site_bytes_received_ += WireBytes(message);
+      }
+      std::vector<RuntimeMessage> fresh;
+      reliable_->OnDeliver(kCoordinatorId, message, &fresh);
+      for (const RuntimeMessage& m : fresh) coordinator_->OnMessage(m);
+      return true;
+    }
+  }
+}
+
+void CoordinatorServer::BroadcastControl(RuntimeMessage::Type type,
+                                         double scalar) {
+  RuntimeMessage message;
+  message.type = type;
+  message.from = kCoordinatorId;
+  message.to = kBroadcastId;
+  message.scalar = scalar;
+  transport_.Send(message);
+}
+
+bool CoordinatorServer::RunCycle() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++cycle_;
+    if (config_.runtime.telemetry != nullptr) {
+      config_.runtime.telemetry->SetCycle(cycle_);
+    }
+    // kCycleBegin goes out before the protocol hook runs, so anything the
+    // hook broadcasts (a scheduled resync, the initialization collection)
+    // lands *after* the observe trigger on every site's stream — the sim
+    // driver's "BeginCycle queues, sites observe, then delivery" ordering.
+    BroadcastControl(RuntimeMessage::Type::kCycleBegin,
+                     static_cast<double>(cycle_));
+    if (cycle_ == 0) {
+      coordinator_->Start();
+    } else {
+      coordinator_->BeginCycle();
+    }
+  }
+  if (!AwaitQuiescence()) return false;
+  PublishMetrics();
+  return true;
+}
+
+bool CoordinatorServer::AwaitQuiescence() {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(config_.barrier_timeout_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const long snapshot = transport_.data_frames_sent();
+    const long token = ++barrier_token_;
+    barrier_acks_ = 0;
+    RuntimeMessage barrier;
+    barrier.type = RuntimeMessage::Type::kBarrier;
+    barrier.from = kCoordinatorId;
+    barrier.to = kBroadcastId;
+    barrier.scalar = static_cast<double>(token);
+    transport_.Send(barrier);
+    while (barrier_acks_ < config_.num_sites) {
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      cv_.wait_for(lock, std::chrono::milliseconds(10));
+      // The retransmission clock keeps running while we wait: a site that
+      // lost its connection mid-cycle must still hit the give-up horizon.
+      reliable_->AdvanceRound();
+    }
+    // Every site has flushed. If we put new data frames on the wire since
+    // the barrier went out (responses to late arrivals, retransmissions),
+    // their induced replies may still be in flight — flush again.
+    if (transport_.data_frames_sent() != snapshot) continue;
+    coordinator_->OnQuiescent();
+    if (transport_.data_frames_sent() != snapshot) continue;
+    if (reliable_->HasUnacked()) continue;  // acks still inbound
+    return true;
+  }
+}
+
+void CoordinatorServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    BroadcastControl(RuntimeMessage::Type::kShutdown, 0.0);
+  }
+  stop_.store(true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept thread is gone: session_fds_/readers_ are frozen now.
+  for (const int fd : session_fds_) ::shutdown(fd, SHUT_RD);
+  for (std::thread& reader : readers_) {
+    if (reader.joinable()) reader.join();
+  }
+  for (const int fd : session_fds_) ::close(fd);
+  session_fds_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+bool CoordinatorServer::BelievesAbove() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return coordinator_->BelievesAbove();
+}
+
+Vector CoordinatorServer::Estimate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return coordinator_->estimate();
+}
+
+std::int64_t CoordinatorServer::Epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return coordinator_->epoch();
+}
+
+long CoordinatorServer::FullSyncs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return coordinator_->full_syncs();
+}
+
+long CoordinatorServer::PartialResolutions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return coordinator_->partial_resolutions();
+}
+
+long CoordinatorServer::DegradedSyncs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return coordinator_->degraded_syncs();
+}
+
+long CoordinatorServer::CyclesRun() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cycle_ + 1;
+}
+
+long CoordinatorServer::PaperMessages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transport_.messages_sent() + site_messages_received_;
+}
+
+long CoordinatorServer::PaperSiteMessages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return site_messages_received_;
+}
+
+double CoordinatorServer::PaperBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transport_.bytes_sent() + site_bytes_received_;
+}
+
+void CoordinatorServer::PublishMetrics() {
+  Telemetry* telemetry = config_.runtime.telemetry;
+  if (telemetry == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricRegistry* registry = &telemetry->registry;
+  registry->GetCounter("transport.paper_messages")
+      ->Set(transport_.messages_sent() + site_messages_received_);
+  registry->GetCounter("transport.paper_site_messages")
+      ->Set(site_messages_received_);
+  registry->GetGauge("transport.paper_bytes")
+      ->Set(transport_.bytes_sent() + site_bytes_received_);
+  registry->GetCounter("transport.total_messages")
+      ->Set(transport_.transport_messages_sent());
+  registry->GetGauge("transport.total_bytes")
+      ->Set(transport_.transport_bytes_sent());
+  registry->GetCounter("socket.send_failures")
+      ->Set(transport_.send_failures());
+  registry->GetCounter("socket.corrupt_frames")->Set(corrupt_frames_);
+  reliable_->PublishMetrics(registry);
+
+  const CoordinatorNode::AuditStats coord = coordinator_->audit();
+  registry->GetCounter("coordinator.full_syncs")
+      ->Set(coordinator_->full_syncs());
+  registry->GetCounter("coordinator.partial_resolutions")
+      ->Set(coordinator_->partial_resolutions());
+  registry->GetCounter("coordinator.degraded_syncs")
+      ->Set(coordinator_->degraded_syncs());
+  registry->GetCounter("coordinator.epoch")
+      ->Set(static_cast<long>(coordinator_->epoch()));
+  registry->GetCounter("coordinator.stale_epoch_drops")
+      ->Set(coord.stale_epoch_drops);
+  registry->GetCounter("coordinator.stale_epoch_applied")
+      ->Set(coord.stale_epoch_applied);
+  registry->GetCounter("coordinator.late_reports")->Set(coord.late_reports);
+  registry->GetCounter("coordinator.rejoins_granted")
+      ->Set(coord.rejoins_granted);
+  registry->GetCounter("coordinator.sync_rerequests")
+      ->Set(coord.sync_rerequests);
+
+  const FailureDetector& fd = coordinator_->failure_detector();
+  registry->GetCounter("failure.total_deaths")->Set(fd.total_deaths());
+  registry->GetGauge("failure.live_count")
+      ->Set(static_cast<double>(fd.live_count()));
+
+  if (telemetry->series) telemetry->series->Sample(cycle_, *registry);
+}
+
+}  // namespace sgm

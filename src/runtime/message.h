@@ -41,6 +41,22 @@ inline constexpr int kBroadcastId = -2;
 ///   coord → site         kRejoinGrant       (estimate + ε_T + epoch in one
 ///                                            unicast; the site re-anchors
 ///                                            and re-enters the sample pool)
+///
+/// Session control plane (socket runtime only; handled by the coordinator
+/// server / site client *around* the protocol nodes, never delivered to
+/// them — see src/runtime/coordinator_server.h):
+///   site → coordinator   kSiteHello         (session registration: `from`
+///                                            carries the site id claiming
+///                                            this connection)
+///   coord → broadcast    kCycleBegin        (lockstep: observe the next
+///                                            local vector; `scalar` is the
+///                                            cycle number)
+///   coord → broadcast    kBarrier           (flush barrier: `scalar` is
+///                                            the barrier token)
+///   site → coordinator   kBarrierAck        (barrier echo; FIFO streams
+///                                            order it after every message
+///                                            the site sent before it)
+///   coord → broadcast    kShutdown          (session end; sites close)
 struct RuntimeMessage {
   enum class Type {
     kLocalViolation,
@@ -54,6 +70,11 @@ struct RuntimeMessage {
     kHeartbeat,
     kRejoinRequest,
     kRejoinGrant,
+    kSiteHello,
+    kCycleBegin,
+    kBarrier,
+    kBarrierAck,
+    kShutdown,
   };
 
   Type type;
@@ -101,6 +122,11 @@ struct RuntimeMessage {
       case Type::kAck:
       case Type::kHeartbeat:
       case Type::kRejoinRequest:
+      case Type::kSiteHello:
+      case Type::kCycleBegin:
+      case Type::kBarrier:
+      case Type::kBarrierAck:
+      case Type::kShutdown:
         return 0;
     }
     return 0;
@@ -122,10 +148,31 @@ struct RuntimeMessage {
     }
   }
   bool is_reliability_control() const { return IsReliabilityControl(type); }
+
+  /// Socket-runtime session control plane: registration, lockstep cycle
+  /// announcements, flush barriers and shutdown. Handled by the coordinator
+  /// server / site client around the protocol nodes (never dispatched into
+  /// them), carried fire-and-forget over the stream transport (TCP already
+  /// guarantees delivery and order), and excluded from the paper-comparable
+  /// figures like all other non-protocol traffic.
+  static bool IsSessionControl(Type type) {
+    switch (type) {
+      case Type::kSiteHello:
+      case Type::kCycleBegin:
+      case Type::kBarrier:
+      case Type::kBarrierAck:
+      case Type::kShutdown:
+        return true;
+      default:
+        return false;
+    }
+  }
+  bool is_session_control() const { return IsSessionControl(type); }
+
   /// True when this transmission counts toward the paper-comparable
   /// communication figures (original protocol data, first transmission).
   bool counts_as_protocol_traffic() const {
-    return !retransmit && !is_reliability_control();
+    return !retransmit && !is_reliability_control() && !is_session_control();
   }
 
   static const char* TypeName(Type type);

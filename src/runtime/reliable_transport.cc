@@ -4,6 +4,7 @@
 
 #include "core/check.h"
 #include "obs/telemetry.h"
+#include "runtime/round_clock.h"
 
 namespace sgm {
 
@@ -26,6 +27,11 @@ ReliableTransport::ReliableTransport(Transport* lower, int num_sites,
 }
 
 bool ReliableTransport::Tracked(const RuntimeMessage& message) {
+  // Session-control traffic (hello, lockstep cycle/barrier frames,
+  // shutdown) is fire-and-forget: the socket runtime carries it over a
+  // stream that already guarantees delivery and order, and the sim never
+  // emits it. Tracking it would only add ack noise.
+  if (message.is_session_control()) return false;
   switch (message.type) {
     case RuntimeMessage::Type::kAck:
     case RuntimeMessage::Type::kHeartbeat:
@@ -203,7 +209,12 @@ void ReliableTransport::OnDeliver(int receiver, const RuntimeMessage& message,
 }
 
 void ReliableTransport::AdvanceRound() {
-  ++round_;
+  // Built-in logical counter by default (byte-identical seed replay); an
+  // injected clock supplies the round instead, clamped so the counter never
+  // moves backwards even if the clock misbehaves.
+  round_ = config_.round_clock != nullptr
+               ? std::max(round_, config_.round_clock->AdvanceRound())
+               : round_ + 1;
   // Handlers can re-enter (MarkLinkDown mutates in_flight_), so collect the
   // exhausted links during the sweep and report them after it.
   std::vector<std::pair<int, RuntimeMessage>> exhausted_links;

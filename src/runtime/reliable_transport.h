@@ -14,6 +14,7 @@ namespace sgm {
 
 struct Telemetry;
 class MetricRegistry;
+class RoundClock;
 
 /// Tuning knobs of the ack/retransmit layer. Every stochastic choice (the
 /// retransmission jitter) draws from the single `seed`, so dst_stress
@@ -42,6 +43,12 @@ struct ReliableTransportConfig {
   /// handful of messages — so the default is orders of magnitude above the
   /// correctness requirement while keeping memory bounded.
   int dedup_window = 1024;
+  /// Time source for the retransmission round counter (not owned, nullable).
+  /// Null keeps the built-in logical counter — one round per AdvanceRound()
+  /// call, the deterministic-simulation behaviour. The socket runtime
+  /// injects a MonotonicRoundClock so backoff deadlines track real elapsed
+  /// time instead of driver drains (see runtime/round_clock.h).
+  RoundClock* round_clock = nullptr;
 };
 
 /// Reliability decorator over any Transport: per-sender sequence numbers,
@@ -112,10 +119,11 @@ class ReliableTransport final : public Transport {
   void OnDeliver(int receiver, const RuntimeMessage& message,
                  std::vector<RuntimeMessage>* deliver);
 
-  /// Advances the retransmission clock one round and resends every unacked
-  /// tracked message whose backoff deadline has expired. Messages that
-  /// exhaust max_retransmits are abandoned and their unreachable site
-  /// destinations reported through the dead-link handler.
+  /// Advances the retransmission clock — one round with the built-in
+  /// logical counter, or to the injected RoundClock's current round — and
+  /// resends every unacked tracked message whose backoff deadline has
+  /// expired. Messages that exhaust max_retransmits are abandoned and their
+  /// unreachable site destinations reported through the dead-link handler.
   void AdvanceRound();
 
   /// True while any tracked message still awaits an ack — the driver must

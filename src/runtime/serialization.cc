@@ -25,7 +25,7 @@ bool Read(const std::vector<std::uint8_t>& in, std::size_t* offset, T* out) {
 }
 
 constexpr std::uint8_t kMaxTypeValue =
-    static_cast<std::uint8_t>(RuntimeMessage::Type::kRejoinGrant);
+    static_cast<std::uint8_t>(RuntimeMessage::Type::kShutdown);
 
 constexpr std::uint8_t kFlagRetransmit = 0x01;
 constexpr std::uint8_t kKnownFlagsMask = kFlagRetransmit;

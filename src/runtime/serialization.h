@@ -14,7 +14,9 @@ namespace sgm {
 /// process/machine boundaries. Little-endian, fixed layout (version 4,
 /// which added the trailing CRC32C frame checksum; version 3 added the
 /// causal span fields; version 2 added the reliability layer's
-/// epoch/seq/flags fields):
+/// epoch/seq/flags fields; the socket runtime's session-control types —
+/// kSiteHello through kShutdown — extend the valid type range within v4
+/// without changing the layout):
 ///
 ///   u8   version (= kWireFormatVersion)
 ///   u8   type

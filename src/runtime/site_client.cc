@@ -1,0 +1,111 @@
+#include "runtime/site_client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+
+#include "core/check.h"
+#include "obs/telemetry.h"
+
+namespace sgm {
+
+SiteClient::SiteClient(const MonitoredFunction& function,
+                       const SiteClientConfig& config)
+    : config_(config), clock_(config.round_micros) {
+  SGM_CHECK(config.num_sites > 0);
+  SGM_CHECK(config.site_id >= 0 && config.site_id < config.num_sites);
+  config_.runtime.reliability.round_clock = &clock_;
+  reliable_ = std::make_unique<ReliableTransport>(
+      &transport_, config_.num_sites, config_.runtime.reliability,
+      config_.runtime.telemetry);
+  node_ = std::make_unique<SiteNode>(config_.site_id, config_.num_sites,
+                                     function, config_.runtime,
+                                     reliable_.get());
+}
+
+SiteClient::~SiteClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool SiteClient::Connect() {
+  SGM_CHECK(fd_ < 0);
+  fd_ = ConnectTcpLoopback(config_.port, config_.connect_timeout_ms);
+  if (fd_ < 0) return false;
+  transport_.RegisterPeer(kCoordinatorId, fd_);
+  RuntimeMessage hello;
+  hello.type = RuntimeMessage::Type::kSiteHello;
+  hello.from = config_.site_id;
+  hello.to = kCoordinatorId;
+  transport_.Send(hello);
+  return true;
+}
+
+bool SiteClient::Run(const std::function<Vector(long)>& next_vector) {
+  SGM_CHECK(fd_ >= 0);
+  FrameReader reader;
+  std::array<std::uint8_t, 65536> buffer;
+  for (;;) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(config_.poll_interval_ms));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready == 0) {
+      reliable_->AdvanceRound();
+      continue;
+    }
+    const ssize_t n = ::recv(fd_, buffer.data(), buffer.size(), 0);
+    if (n == 0) return false;  // coordinator vanished without kShutdown
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    reader.Append(buffer.data(), static_cast<std::size_t>(n));
+    std::vector<RuntimeMessage> frames;
+    FrameStats stats;
+    if (!DrainDecodedFrames(&reader, &frames, &stats)) return false;
+    for (const RuntimeMessage& message : frames) {
+      switch (message.type) {
+        case RuntimeMessage::Type::kCycleBegin: {
+          const long cycle = static_cast<long>(message.scalar);
+          if (config_.runtime.telemetry != nullptr) {
+            config_.runtime.telemetry->SetCycle(cycle);
+          }
+          node_->Observe(next_vector(cycle));
+          ++cycles_observed_;
+          break;
+        }
+        case RuntimeMessage::Type::kBarrier: {
+          // Everything this node emitted in response to earlier frames is
+          // already on the wire (sends are synchronous), so the FIFO
+          // stream orders this ack after all of it.
+          RuntimeMessage ack;
+          ack.type = RuntimeMessage::Type::kBarrierAck;
+          ack.from = config_.site_id;
+          ack.to = kCoordinatorId;
+          ack.scalar = message.scalar;
+          transport_.Send(ack);
+          break;
+        }
+        case RuntimeMessage::Type::kShutdown:
+          return true;
+        case RuntimeMessage::Type::kSiteHello:
+        case RuntimeMessage::Type::kBarrierAck:
+          break;  // site-originated control echoed back: ignore
+        default: {
+          std::vector<RuntimeMessage> fresh;
+          reliable_->OnDeliver(config_.site_id, message, &fresh);
+          for (const RuntimeMessage& m : fresh) node_->OnMessage(m);
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sgm

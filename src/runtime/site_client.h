@@ -1,0 +1,83 @@
+#ifndef SGM_RUNTIME_SITE_CLIENT_H_
+#define SGM_RUNTIME_SITE_CLIENT_H_
+
+#include <functional>
+#include <memory>
+
+#include "runtime/reliable_transport.h"
+#include "runtime/round_clock.h"
+#include "runtime/site_node.h"
+#include "runtime/socket_transport.h"
+
+namespace sgm {
+
+struct SiteClientConfig {
+  int site_id = 0;
+  int num_sites = 0;
+  /// Coordinator's loopback port.
+  int port = 0;
+  /// Node configuration — must match the coordinator's RuntimeConfig
+  /// field-for-field (thresholds, bounds, seeds), or the two tiers monitor
+  /// different queries. The client injects its own MonotonicRoundClock
+  /// into runtime.reliability.round_clock.
+  RuntimeConfig runtime;
+  /// Microseconds per retransmission round (see CoordinatorServerConfig).
+  long round_micros = 20000;
+  /// Connect() retries against a not-yet-listening coordinator this long.
+  long connect_timeout_ms = 10000;
+  /// Idle poll slice of the event loop; each timeout advances the
+  /// retransmission clock.
+  long poll_interval_ms = 10;
+};
+
+/// One site process: a SiteNode over a SocketTransport connection to the
+/// coordinator, driven by a single-threaded poll loop (no locking — the
+/// site tier is naturally sequential: observe, respond, flush).
+///
+/// The loop obeys the coordinator's session control plane:
+///  * kCycleBegin → Observe(next_vector(cycle)) — the data is generated
+///    locally (each process reconstructs its deterministic stream), only
+///    protocol messages cross the wire, as in the real deployment shape.
+///  * kBarrier → echo kBarrierAck. The node's responses to everything that
+///    preceded the barrier were written synchronously during dispatch, so
+///    the FIFO stream orders them before the ack — the flush guarantee the
+///    coordinator's quiescence detection builds on.
+///  * kShutdown → clean exit.
+/// Everything else goes through the receive-side reliability layer into
+/// SiteNode::OnMessage, exactly as the sim driver delivers it.
+class SiteClient {
+ public:
+  SiteClient(const MonitoredFunction& function,
+             const SiteClientConfig& config);
+  ~SiteClient();
+
+  SiteClient(const SiteClient&) = delete;
+  SiteClient& operator=(const SiteClient&) = delete;
+
+  /// Connects to the coordinator (retrying until connect_timeout_ms) and
+  /// registers with kSiteHello. Returns false when the coordinator never
+  /// became reachable.
+  bool Connect();
+
+  /// Runs the event loop until the coordinator says kShutdown (returns
+  /// true) or the connection drops without one (returns false).
+  /// `next_vector(cycle)` supplies the local measurements vector observed
+  /// at each kCycleBegin.
+  bool Run(const std::function<Vector(long cycle)>& next_vector);
+
+  const SiteNode& node() const { return *node_; }
+  long cycles_observed() const { return cycles_observed_; }
+
+ private:
+  SiteClientConfig config_;
+  MonotonicRoundClock clock_;
+  SocketTransport transport_;
+  std::unique_ptr<ReliableTransport> reliable_;
+  std::unique_ptr<SiteNode> node_;
+  int fd_ = -1;
+  long cycles_observed_ = 0;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_RUNTIME_SITE_CLIENT_H_

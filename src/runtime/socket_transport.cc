@@ -1,0 +1,243 @@
+#include "runtime/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace sgm {
+
+void FrameReader::Append(const std::uint8_t* data, std::size_t size) {
+  if (poisoned_) return;
+  // Compact lazily: once the consumed prefix dominates the buffer, slide
+  // the live suffix down instead of growing without bound.
+  if (pos_ > 4096 && pos_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+FrameReader::Result FrameReader::NextFrame(std::vector<std::uint8_t>* frame) {
+  if (poisoned_) return Result::kOversized;
+  const std::size_t available = buffer_.size() - pos_;
+  if (available < sizeof(std::uint32_t)) return Result::kNeedMore;
+  std::uint32_t length = 0;
+  std::memcpy(&length, buffer_.data() + pos_, sizeof(length));
+  if (length > kMaxFrameBytes) {
+    poisoned_ = true;
+    return Result::kOversized;
+  }
+  if (available < sizeof(length) + length) return Result::kNeedMore;
+  const std::uint8_t* begin = buffer_.data() + pos_ + sizeof(length);
+  frame->assign(begin, begin + length);
+  pos_ += sizeof(length) + length;
+  return Result::kFrame;
+}
+
+bool DrainDecodedFrames(FrameReader* reader, std::vector<RuntimeMessage>* out,
+                        FrameStats* stats) {
+  std::vector<std::uint8_t> frame;
+  for (;;) {
+    switch (reader->NextFrame(&frame)) {
+      case FrameReader::Result::kNeedMore:
+        return true;
+      case FrameReader::Result::kOversized:
+        ++stats->oversized;
+        return false;
+      case FrameReader::Result::kFrame: {
+        Result<RuntimeMessage> decoded = DecodeMessage(frame);
+        if (decoded.ok()) {
+          ++stats->frames;
+          out->push_back(std::move(decoded).ValueOrDie());
+        } else {
+          ++stats->corrupt;
+        }
+        break;
+      }
+    }
+  }
+}
+
+namespace {
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+int ListenTcpLoopback(int port, int* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, SOMAXCONN) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+int ConnectTcpLoopback(int port, long timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      SetNoDelay(fd);
+      return fd;
+    }
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= deadline) return -1;
+    // The server may still be between bind() and accept(); back off briefly.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+bool WriteAll(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n =
+        ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void SocketTransport::RegisterPeer(int peer, int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  peer_fds_[peer] = fd;
+}
+
+void SocketTransport::UnregisterPeer(int peer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  peer_fds_.erase(peer);
+}
+
+bool SocketTransport::HasPeer(int peer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peer_fds_.count(peer) > 0;
+}
+
+void SocketTransport::WriteFrame(int peer, int fd,
+                                 const std::vector<std::uint8_t>& frame) {
+  if (WriteAll(fd, frame.data(), frame.size())) {
+    ++transport_messages_sent_;
+    transport_bytes_sent_ += static_cast<double>(frame.size());
+  } else {
+    // A write error on loopback TCP means the peer is gone, not that bytes
+    // were lost in transit. Drop the mapping; the reliability layer's
+    // give-up machinery turns the silence into a dead-link verdict.
+    ++send_failures_;
+    peer_fds_.erase(peer);
+  }
+}
+
+void SocketTransport::Send(const RuntimeMessage& message) {
+  std::vector<std::uint8_t> encoded = EncodeMessage(message);
+  std::vector<std::uint8_t> frame;
+  frame.reserve(sizeof(std::uint32_t) + encoded.size());
+  const std::uint32_t length = static_cast<std::uint32_t>(encoded.size());
+  frame.resize(sizeof(length));
+  std::memcpy(frame.data(), &length, sizeof(length));
+  frame.insert(frame.end(), encoded.begin(), encoded.end());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (message.counts_as_protocol_traffic()) {
+    ++messages_sent_;
+    if (message.from != kCoordinatorId) ++site_messages_sent_;
+    bytes_sent_ += WireBytes(message);
+  }
+  if (!message.is_session_control() &&
+      message.type != RuntimeMessage::Type::kAck) {
+    // Anything the receiver might answer (requests, reports, grants, even
+    // retransmissions of them) — the barrier loop watches this counter.
+    ++data_frames_sent_;
+  }
+  if (message.to == kBroadcastId) {
+    for (auto it = peer_fds_.begin(); it != peer_fds_.end();) {
+      // WriteFrame may erase the peer on failure; advance first.
+      const auto current = it++;
+      if (current->first == kCoordinatorId) continue;  // sites only
+      WriteFrame(current->first, current->second, frame);
+    }
+    return;
+  }
+  const auto it = peer_fds_.find(message.to);
+  if (it == peer_fds_.end()) {
+    ++send_failures_;
+    return;
+  }
+  WriteFrame(it->first, it->second, frame);
+}
+
+long SocketTransport::messages_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return messages_sent_;
+}
+
+long SocketTransport::site_messages_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return site_messages_sent_;
+}
+
+double SocketTransport::bytes_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_sent_;
+}
+
+long SocketTransport::transport_messages_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transport_messages_sent_;
+}
+
+double SocketTransport::transport_bytes_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transport_bytes_sent_;
+}
+
+long SocketTransport::data_frames_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_frames_sent_;
+}
+
+long SocketTransport::send_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return send_failures_;
+}
+
+}  // namespace sgm

@@ -1,0 +1,147 @@
+#ifndef SGM_RUNTIME_SOCKET_TRANSPORT_H_
+#define SGM_RUNTIME_SOCKET_TRANSPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "runtime/serialization.h"
+#include "runtime/transport.h"
+
+namespace sgm {
+
+/// Hard cap on one length-prefixed frame: the fixed v4 header (59 bytes,
+/// rounded up) plus the largest payload the wire format itself accepts.
+/// Anything above this in a length prefix is a corrupted or hostile stream,
+/// not a big message — the reader poisons the connection instead of
+/// allocating gigabytes.
+inline constexpr std::uint32_t kMaxFrameBytes =
+    64 + 8 * kMaxWireDimension;
+
+/// Incremental splitter of a TCP byte stream into length-prefixed frames.
+///
+/// The socket runtime sends each EncodeMessage() frame preceded by a u32
+/// little-endian byte count. TCP delivers an arbitrary re-segmentation of
+/// that stream; Append() takes whatever recv() produced and NextFrame()
+/// yields complete frames as they close, holding partial bytes across
+/// calls. A length prefix above kMaxFrameBytes poisons the reader
+/// permanently (resynchronizing an untrusted stream is hopeless — the
+/// connection must be dropped).
+class FrameReader {
+ public:
+  enum class Result {
+    kFrame,      ///< *frame holds one complete encoded message
+    kNeedMore,   ///< the buffered bytes end mid-prefix or mid-frame
+    kOversized,  ///< poisoned: a prefix exceeded kMaxFrameBytes
+  };
+
+  void Append(const std::uint8_t* data, std::size_t size);
+  Result NextFrame(std::vector<std::uint8_t>* frame);
+
+  bool poisoned() const { return poisoned_; }
+  std::size_t buffered_bytes() const { return buffer_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buffer_
+  bool poisoned_ = false;
+};
+
+/// Per-connection framing/decoding counters.
+struct FrameStats {
+  long frames = 0;     ///< complete frames that decoded cleanly
+  long corrupt = 0;    ///< frames rejected by DecodeMessage (CRC, bounds)
+  long oversized = 0;  ///< oversized-prefix events (0 or 1; poisons)
+};
+
+/// Pulls every complete frame out of `reader`, decodes it, and appends the
+/// survivors to `out`. A frame DecodeMessage rejects (checksum mismatch,
+/// bad type, truncation) is counted and skipped — the length prefix keeps
+/// the stream in sync, so one corrupt frame never takes the connection
+/// down. Returns false when the reader is poisoned by an oversized prefix,
+/// after which the caller must drop the connection.
+bool DrainDecodedFrames(FrameReader* reader, std::vector<RuntimeMessage>* out,
+                        FrameStats* stats);
+
+// ── POSIX loopback helpers ─────────────────────────────────────────────────
+
+/// Creates a listening TCP socket bound to 127.0.0.1:`port` (0 picks an
+/// ephemeral port). Returns the fd, or -1 on failure; *bound_port receives
+/// the actual port.
+int ListenTcpLoopback(int port, int* bound_port);
+
+/// Connects to 127.0.0.1:`port`, retrying with short sleeps until
+/// `timeout_ms` elapses (the server may not have reached accept() yet).
+/// Returns the connected fd with TCP_NODELAY set, or -1.
+int ConnectTcpLoopback(int port, long timeout_ms);
+
+/// Writes the whole buffer, looping over short writes and EINTR. Uses
+/// send(MSG_NOSIGNAL) so a vanished peer yields EPIPE instead of SIGPIPE.
+/// Returns false on any terminal error.
+bool WriteAll(int fd, const std::uint8_t* data, std::size_t size);
+
+/// Transport implementation over connected TCP sockets: Send() encodes the
+/// message (wire format v4), prepends the u32 length prefix, and writes it
+/// to the destination's fd — synchronously, on the caller's thread, so a
+/// node's responses are on the wire before it processes its next inbound
+/// frame (the FIFO ordering the coordinator's flush barrier relies on).
+///
+/// Topology is a peer map filled by the session layer: the coordinator
+/// registers every site's accepted connection under its hello'd site id;
+/// a site registers its single connection under kCoordinatorId. Broadcast
+/// writes the same frame to every registered site fd but is accounted once,
+/// matching the paper's broadcast cost model and InMemoryBus.
+///
+/// Thread-safe: one internal mutex guards the peer map, the counters and
+/// the write path (frames from concurrent senders never interleave
+/// mid-frame on one fd). A failed write counts in send_failures and drops
+/// the peer — TCP cannot lose bytes on a healthy connection, so a write
+/// error means the peer is gone; the reliability layer above owns retries
+/// and the failure verdict.
+///
+/// Accounting families mirror InMemoryBus:
+///  * paper-comparable (messages_sent / site_messages_sent / bytes_sent):
+///    original protocol data only, WireBytes() cost model, broadcast = 1.
+///  * transport totals (transport_messages_sent / transport_bytes_sent):
+///    frames actually written per fd, actual encoded bytes + 4-byte prefix.
+///  * data_frames_sent: logical sends that can make the *receiver* talk
+///    back — everything except transport acks and session control. The
+///    coordinator's barrier loop snapshots this to detect induced traffic.
+class SocketTransport final : public Transport {
+ public:
+  /// Maps `peer` (site id, or kCoordinatorId) to a connected fd. The fd is
+  /// not owned — the session layer closes it.
+  void RegisterPeer(int peer, int fd);
+  void UnregisterPeer(int peer);
+  bool HasPeer(int peer) const;
+
+  void Send(const RuntimeMessage& message) override;
+
+  long messages_sent() const;
+  long site_messages_sent() const;
+  double bytes_sent() const;
+  long transport_messages_sent() const;
+  double transport_bytes_sent() const;
+  long data_frames_sent() const;
+  long send_failures() const;
+
+ private:
+  /// Writes one framed message to `fd`; on failure drops `peer`. Caller
+  /// holds mu_.
+  void WriteFrame(int peer, int fd, const std::vector<std::uint8_t>& frame);
+
+  mutable std::mutex mu_;
+  std::map<int, int> peer_fds_;
+  long messages_sent_ = 0;
+  long site_messages_sent_ = 0;
+  double bytes_sent_ = 0.0;
+  long transport_messages_sent_ = 0;
+  double transport_bytes_sent_ = 0.0;
+  long data_frames_sent_ = 0;
+  long send_failures_ = 0;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_RUNTIME_SOCKET_TRANSPORT_H_

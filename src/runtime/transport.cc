@@ -28,6 +28,16 @@ const char* RuntimeMessage::TypeName(Type type) {
       return "RejoinRequest";
     case Type::kRejoinGrant:
       return "RejoinGrant";
+    case Type::kSiteHello:
+      return "SiteHello";
+    case Type::kCycleBegin:
+      return "CycleBegin";
+    case Type::kBarrier:
+      return "Barrier";
+    case Type::kBarrierAck:
+      return "BarrierAck";
+    case Type::kShutdown:
+      return "Shutdown";
   }
   return "Unknown";
 }

@@ -1,0 +1,167 @@
+// Multi-process loopback integration test (CTest label: integration): one
+// coordinator process (this test) plus four fork()ed site processes, each
+// running the real SiteClient event loop over TCP, reproducing the seeded
+// workload locally and speaking only protocol frames over the wire. The
+// oracle is the single-process RuntimeDriver on the same seed: per-cycle
+// belief sequence, final estimate, epoch and sync counters must match
+// exactly — the paper's protocol, bit-for-bit, across process boundaries.
+//
+// fork() discipline: the server binds with Listen() (no threads) before the
+// forks; WaitForSites() starts the accept thread only afterwards, so no
+// thread ever exists in a forking process. Children _exit() — no gtest
+// teardown, no destructors of the inherited server object.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <vector>
+
+#include "data/synthetic.h"
+#include "functions/l2_norm.h"
+#include "runtime/coordinator_server.h"
+#include "runtime/driver.h"
+#include "runtime/site_client.h"
+
+namespace sgm {
+namespace {
+
+constexpr int kSites = 4;
+constexpr int kCycles = 40;  // Tick cycles after the initialization sync
+
+SyntheticDriftConfig GeneratorConfig() {
+  SyntheticDriftConfig config;
+  config.num_sites = kSites;
+  config.dim = 4;
+  config.seed = 23;
+  // Short shared-drift period so the global average crosses the threshold
+  // within the run — parity on a quiet workload would prove nothing.
+  config.global_period = 60;
+  config.global_amplitude = 2.5;
+  return config;
+}
+
+RuntimeConfig ProtocolConfig() {
+  SyntheticDriftGenerator probe(GeneratorConfig());
+  RuntimeConfig config;
+  config.threshold = 3.0;
+  config.max_step_norm = probe.max_step_norm();
+  config.drift_norm_cap = probe.max_drift_norm();
+  config.seed = 7;
+  return config;
+}
+
+struct RunOutcome {
+  std::vector<bool> beliefs;
+  Vector estimate;
+  std::int64_t epoch = 0;
+  long full_syncs = 0;
+  long partial_resolutions = 0;
+  long degraded_syncs = 0;
+};
+
+RunOutcome RunSimOracle() {
+  SyntheticDriftGenerator generator(GeneratorConfig());
+  const L2Norm norm;
+  RuntimeDriver driver(kSites, norm, ProtocolConfig());
+  std::vector<Vector> locals;
+
+  RunOutcome outcome;
+  generator.Advance(&locals);
+  driver.Initialize(locals);
+  outcome.beliefs.push_back(driver.coordinator().BelievesAbove());
+  for (int t = 0; t < kCycles; ++t) {
+    generator.Advance(&locals);
+    driver.Tick(locals);
+    outcome.beliefs.push_back(driver.coordinator().BelievesAbove());
+  }
+  outcome.estimate = driver.coordinator().estimate();
+  outcome.epoch = driver.coordinator().epoch();
+  outcome.full_syncs = driver.coordinator().full_syncs();
+  outcome.partial_resolutions = driver.coordinator().partial_resolutions();
+  outcome.degraded_syncs = driver.coordinator().degraded_syncs();
+  return outcome;
+}
+
+/// The whole life of one site process; the exit status is its verdict.
+[[noreturn]] void SiteProcessMain(int site_id, int port) {
+  SyntheticDriftGenerator generator(GeneratorConfig());
+  const L2Norm norm;
+  SiteClientConfig config;
+  config.site_id = site_id;
+  config.num_sites = kSites;
+  config.port = port;
+  config.runtime = ProtocolConfig();
+  SiteClient client(norm, config);
+  if (!client.Connect()) _exit(2);
+  std::vector<Vector> locals;
+  long advanced = 0;
+  const bool clean = client.Run([&](long cycle) {
+    while (advanced <= cycle) {
+      generator.Advance(&locals);
+      ++advanced;
+    }
+    return locals[site_id];
+  });
+  if (!clean) _exit(3);
+  if (client.cycles_observed() != kCycles + 1) _exit(4);
+  _exit(0);
+}
+
+TEST(ProcessIntegrationTest, FourSiteProcessesMatchSimDriverExactly) {
+  const RunOutcome oracle = RunSimOracle();
+  ASSERT_GE(oracle.full_syncs + oracle.partial_resolutions, 2)
+      << "workload never re-triggered the protocol — retune the generator";
+
+  const L2Norm norm;
+  CoordinatorServerConfig server_config;
+  server_config.num_sites = kSites;
+  server_config.runtime = ProtocolConfig();
+  CoordinatorServer server(norm, server_config);
+  ASSERT_TRUE(server.Listen());  // bind only — still single-threaded
+
+  std::vector<pid_t> children;
+  for (int id = 0; id < kSites; ++id) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) SiteProcessMain(id, server.port());  // never returns
+    children.push_back(pid);
+  }
+
+  ASSERT_TRUE(server.WaitForSites()) << "not all site processes registered";
+  RunOutcome socket;
+  for (int cycle = 0; cycle <= kCycles; ++cycle) {
+    ASSERT_TRUE(server.RunCycle()) << "barrier timed out at cycle " << cycle;
+    socket.beliefs.push_back(server.BelievesAbove());
+  }
+  socket.estimate = server.Estimate();
+  socket.epoch = server.Epoch();
+  socket.full_syncs = server.FullSyncs();
+  socket.partial_resolutions = server.PartialResolutions();
+  socket.degraded_syncs = server.DegradedSyncs();
+  const long paper_messages = server.PaperMessages();
+  const long paper_site_messages = server.PaperSiteMessages();
+  server.Shutdown();
+
+  for (const pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status)) << "site process killed by signal";
+    EXPECT_EQ(WEXITSTATUS(status), 0) << "site process failed";
+  }
+
+  // The acceptance bar of the socket runtime: a real multi-process
+  // deployment reaches the same verdicts and the same estimate as the
+  // reference single-process run of the same seed.
+  EXPECT_EQ(socket.beliefs, oracle.beliefs);
+  EXPECT_EQ(socket.estimate, oracle.estimate);  // exact, not approximate
+  EXPECT_EQ(socket.epoch, oracle.epoch);
+  EXPECT_EQ(socket.full_syncs, oracle.full_syncs);
+  EXPECT_EQ(socket.partial_resolutions, oracle.partial_resolutions);
+  EXPECT_EQ(socket.degraded_syncs, oracle.degraded_syncs);
+  EXPECT_GT(paper_messages, 0);
+  EXPECT_GT(paper_site_messages, 0);
+}
+
+}  // namespace
+}  // namespace sgm

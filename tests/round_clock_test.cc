@@ -1,0 +1,134 @@
+// Tests of the reliability layer's time-source abstraction
+// (src/runtime/round_clock): logical and monotonic clock semantics, and the
+// determinism regression — injecting a LogicalRoundClock into a faulty
+// seeded run reproduces the legacy built-in counter byte-for-byte, so the
+// clock seam added for the socket runtime cannot perturb the deterministic
+// simulation.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "functions/l2_norm.h"
+#include "obs/telemetry.h"
+#include "runtime/driver.h"
+#include "runtime/round_clock.h"
+
+namespace sgm {
+namespace {
+
+TEST(RoundClockTest, LogicalClockCountsCalls) {
+  LogicalRoundClock clock;
+  EXPECT_EQ(clock.CurrentRound(), 0);
+  EXPECT_EQ(clock.AdvanceRound(), 1);
+  EXPECT_EQ(clock.AdvanceRound(), 2);
+  EXPECT_EQ(clock.AdvanceRound(), 3);
+  EXPECT_EQ(clock.CurrentRound(), 3);
+}
+
+TEST(RoundClockTest, MonotonicClockDerivesRoundsFromElapsedTime) {
+  MonotonicRoundClock clock(/*round_micros=*/1000);
+  const std::int64_t start = clock.AdvanceRound();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // ≥10 ms elapsed at 1 ms per round: the round must have moved.
+  EXPECT_GT(clock.AdvanceRound(), start);
+}
+
+TEST(RoundClockTest, MonotonicClockNeverGoesBackwards) {
+  MonotonicRoundClock clock(/*round_micros=*/1);
+  std::int64_t last = clock.AdvanceRound();
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t now = clock.AdvanceRound();
+    ASSERT_GE(now, last);
+    ASSERT_EQ(clock.CurrentRound(), now);
+    last = now;
+  }
+}
+
+TEST(RoundClockTest, HugeRoundDurationFreezesTheRound) {
+  // An hour per round: every call within the test lands in round 0, which
+  // simply means no retransmission deadline comes due.
+  MonotonicRoundClock clock(/*round_micros=*/3600L * 1000 * 1000);
+  EXPECT_EQ(clock.AdvanceRound(), 0);
+  EXPECT_EQ(clock.AdvanceRound(), 0);
+}
+
+// One faulty seeded run through the full runtime: drops, duplicates and
+// delays force the reliability layer's retransmission machinery — the code
+// whose timing the clock governs — onto the hot path. Returns the JSONL
+// trace (logical timestamps only, so byte equality is meaningful) plus the
+// paper counters.
+struct FaultyRun {
+  std::string trace;
+  long paper_messages = 0;
+  long retransmissions_visible = 0;  // trace must show reliability activity
+  Vector estimate;
+};
+
+FaultyRun RunFaultySeed(RoundClock* clock) {
+  SyntheticDriftConfig gen_config;
+  gen_config.num_sites = 8;
+  gen_config.dim = 4;
+  gen_config.seed = 17;
+  gen_config.global_period = 120;
+  SyntheticDriftGenerator generator(gen_config);
+
+  const L2Norm norm;
+  Telemetry telemetry;
+  RuntimeConfig config;
+  config.threshold = 3.0;
+  config.max_step_norm = generator.max_step_norm();
+  config.drift_norm_cap = generator.max_drift_norm();
+  config.telemetry = &telemetry;
+  config.reliability.round_clock = clock;
+
+  SimTransportConfig sim;
+  sim.seed = 5;
+  sim.drop_probability = 0.12;
+  sim.duplicate_probability = 0.05;
+  sim.max_delay_rounds = 2;
+
+  RuntimeDriver driver(gen_config.num_sites, norm, config, sim);
+  std::vector<Vector> locals;
+  generator.Advance(&locals);
+  driver.Initialize(locals);
+  for (int t = 0; t < 80; ++t) {
+    generator.Advance(&locals);
+    driver.Tick(locals);
+  }
+
+  FaultyRun run;
+  std::ostringstream out;
+  telemetry.trace.WriteJsonl(out);
+  run.trace = out.str();
+  run.paper_messages = driver.sim_transport()->messages_sent();
+  run.retransmissions_visible = driver.reliable_transport().stats().retransmissions;
+  run.estimate = driver.coordinator().estimate();
+  return run;
+}
+
+TEST(RoundClockTest, InjectedLogicalClockReplaysByteIdentically) {
+  // Legacy path: no injected clock, ReliableTransport's built-in counter.
+  const FaultyRun builtin = RunFaultySeed(nullptr);
+  // The seam under test: an injected LogicalRoundClock must be
+  // indistinguishable — same trace bytes, same counters, same estimate.
+  LogicalRoundClock logical;
+  const FaultyRun injected = RunFaultySeed(&logical);
+
+  ASSERT_GT(builtin.trace.size(), 100u)
+      << "faulty run produced suspiciously little trace";
+  ASSERT_GT(builtin.retransmissions_visible, 0)
+      << "fault rates too low to exercise the retransmission clock";
+  EXPECT_EQ(builtin.trace, injected.trace);
+  EXPECT_EQ(builtin.paper_messages, injected.paper_messages);
+  EXPECT_EQ(builtin.retransmissions_visible, injected.retransmissions_visible);
+  EXPECT_EQ(builtin.estimate, injected.estimate);
+}
+
+}  // namespace
+}  // namespace sgm

@@ -20,6 +20,27 @@
 //   --seed       workload seed                            [11]
 //   --trace      write the structured protocol trace (JSONL)
 //   --metrics-out  write the metric-registry snapshot JSON
+//
+// Daemon modes (the real-process socket runtime; see docs/RUNTIME.md):
+//
+//   # coordinator service on loopback TCP
+//   sgm_monitor --listen=7450 --sites=4 --workload=synthetic \
+//               --function=l2 --threshold=4 --cycles=200 \
+//               --prom-out=/run/sgm/metrics.prom --series-out=series.jsonl
+//   # one process per site, same workload/function/threshold flags
+//   sgm_monitor --site=0 --connect=127.0.0.1:7450 --sites=4 \
+//               --workload=synthetic --function=l2 --threshold=4
+//
+//   --listen     run as coordinator daemon on this port (0 = ephemeral)
+//   --site       run as site daemon with this site id
+//   --connect    coordinator endpoint for --site ([host:]port; loopback)
+//   --prom-out   coordinator: rewrite this Prometheus textfile every cycle
+//   --series-out coordinator: per-cycle metric time series (JSONL)
+//
+// Every deployment-shape flag (--workload, --function, --sites,
+// --threshold, --delta, --seed) must be identical across the coordinator
+// and all site processes: sites regenerate their deterministic streams
+// locally, only protocol messages cross the wire.
 
 #include <cstdio>
 #include <cstdlib>
@@ -48,6 +69,8 @@
 #include "gm/gm.h"
 #include "gm/pgm.h"
 #include "gm/sgm.h"
+#include "runtime/coordinator_server.h"
+#include "runtime/site_client.h"
 #include "sim/network.h"
 
 namespace sgm {
@@ -66,6 +89,12 @@ struct Flags {
   std::uint64_t seed = 11;
   std::string trace_out;
   std::string metrics_out;
+  // Daemon modes (socket runtime).
+  int listen_port = -1;  ///< ≥ 0: run as coordinator daemon (0 = ephemeral)
+  int site_id = -1;      ///< ≥ 0: run as site daemon
+  std::string connect;   ///< [host:]port of the coordinator for --site
+  std::string prom_out;
+  std::string series_out;
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -101,6 +130,16 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->trace_out = value;
     } else if (key == "metrics-out") {
       flags->metrics_out = value;
+    } else if (key == "listen") {
+      flags->listen_port = std::atoi(value.c_str());
+    } else if (key == "site") {
+      flags->site_id = std::atoi(value.c_str());
+    } else if (key == "connect") {
+      flags->connect = value;
+    } else if (key == "prom-out") {
+      flags->prom_out = value;
+    } else if (key == "series-out") {
+      flags->series_out = value;
     } else {
       std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
       return false;
@@ -207,9 +246,185 @@ std::unique_ptr<ProtocolBase> MakeProtocol(const Flags& flags,
   return protocol;
 }
 
+// ── Socket-runtime daemon modes ──────────────────────────────────────────
+
+/// Shared deployment configuration both tiers derive from the same flags:
+/// any mismatch here would have the coordinator and sites monitoring
+/// different queries, so everything comes from the workload + flags only.
+RuntimeConfig MakeRuntimeConfig(const Flags& flags,
+                                const StreamSource& source) {
+  RuntimeConfig config;
+  config.threshold = flags.threshold;
+  config.delta = flags.delta;
+  config.max_step_norm = source.max_step_norm();
+  config.drift_norm_cap = source.max_drift_norm();
+  config.seed = flags.seed;
+  return config;
+}
+
+/// Parses "--connect=[host:]port". Only loopback is supported, so the host
+/// part (if any) is validated away rather than resolved.
+int ParseConnectPort(const std::string& endpoint) {
+  const auto colon = endpoint.rfind(':');
+  const std::string port_str =
+      colon == std::string::npos ? endpoint : endpoint.substr(colon + 1);
+  if (colon != std::string::npos) {
+    const std::string host = endpoint.substr(0, colon);
+    if (host != "127.0.0.1" && host != "localhost") {
+      std::fprintf(stderr, "--connect supports loopback only (got %s)\n",
+                   host.c_str());
+      return -1;
+    }
+  }
+  const int port = std::atoi(port_str.c_str());
+  return port > 0 ? port : -1;
+}
+
+/// Rewrites the Prometheus textfile atomically (write-then-rename), so a
+/// scraping node-exporter never reads a torn snapshot.
+bool WritePromFile(const Telemetry& telemetry, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) return false;
+    telemetry.WritePrometheus(out);
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+int RunCoordinatorDaemon(const Flags& flags) {
+  auto source = MakeWorkload(flags);
+  if (source == nullptr) return 2;
+  auto function = MakeFunction(flags, *source);
+  if (function == nullptr) return 2;
+
+  Telemetry telemetry;
+  if (!flags.series_out.empty()) telemetry.EnableTimeSeries();
+
+  CoordinatorServerConfig config;
+  config.port = flags.listen_port;
+  config.num_sites = source->num_sites();
+  config.runtime = MakeRuntimeConfig(flags, *source);
+  config.runtime.telemetry = &telemetry;
+
+  CoordinatorServer server(*function, config);
+  if (!server.Listen()) {
+    std::fprintf(stderr, "cannot listen on 127.0.0.1:%d\n",
+                 flags.listen_port);
+    return 2;
+  }
+  std::printf("coordinator listening on 127.0.0.1:%d, waiting for %d "
+              "sites\n",
+              server.port(), config.num_sites);
+  std::fflush(stdout);
+  if (!server.WaitForSites()) {
+    std::fprintf(stderr, "timed out waiting for site registrations\n");
+    return 1;
+  }
+  // Cycle 0 is the initialization sync; then flags.cycles update cycles.
+  for (long cycle = 0; cycle <= flags.cycles; ++cycle) {
+    if (!server.RunCycle()) {
+      std::fprintf(stderr, "cycle %ld: barrier timeout (site lost?)\n",
+                   cycle);
+      server.Shutdown();
+      return 1;
+    }
+    if (!flags.prom_out.empty() &&
+        !WritePromFile(telemetry, flags.prom_out)) {
+      std::fprintf(stderr, "cannot write %s\n", flags.prom_out.c_str());
+      server.Shutdown();
+      return 2;
+    }
+  }
+  server.Shutdown();
+
+  std::printf("cycles run            %12ld\n", server.CyclesRun());
+  std::printf("paper messages        %12ld\n", server.PaperMessages());
+  std::printf("  from sites          %12ld\n", server.PaperSiteMessages());
+  std::printf("paper bytes           %12.0f\n", server.PaperBytes());
+  std::printf("transport frames      %12ld\n",
+              server.transport().transport_messages_sent());
+  std::printf("transport bytes       %12.0f\n",
+              server.transport().transport_bytes_sent());
+  std::printf("full syncs            %12ld\n", server.FullSyncs());
+  std::printf("partial resolutions   %12ld\n", server.PartialResolutions());
+  std::printf("degraded syncs        %12ld\n", server.DegradedSyncs());
+  std::printf("epoch                 %12ld\n",
+              static_cast<long>(server.Epoch()));
+  std::printf("final belief          %12s\n",
+              server.BelievesAbove() ? "above" : "below");
+
+  if (!flags.trace_out.empty()) {
+    std::ofstream out(flags.trace_out);
+    if (!out) return 2;
+    telemetry.trace.WriteJsonl(out);
+  }
+  if (!flags.metrics_out.empty()) {
+    std::ofstream out(flags.metrics_out);
+    if (!out) return 2;
+    telemetry.WriteMetricsJson(out);
+  }
+  if (!flags.series_out.empty()) {
+    std::ofstream out(flags.series_out);
+    if (!out) return 2;
+    telemetry.series->WriteJsonl(out);
+  }
+  return 0;
+}
+
+int RunSiteDaemon(const Flags& flags) {
+  auto source = MakeWorkload(flags);
+  if (source == nullptr) return 2;
+  auto function = MakeFunction(flags, *source);
+  if (function == nullptr) return 2;
+  const int port = ParseConnectPort(flags.connect);
+  if (port < 0) {
+    std::fprintf(stderr, "--site needs --connect=[host:]port\n");
+    return 2;
+  }
+  if (flags.site_id >= source->num_sites()) {
+    std::fprintf(stderr, "--site=%d out of range (N=%d)\n", flags.site_id,
+                 source->num_sites());
+    return 2;
+  }
+
+  SiteClientConfig config;
+  config.site_id = flags.site_id;
+  config.num_sites = source->num_sites();
+  config.port = port;
+  config.runtime = MakeRuntimeConfig(flags, *source);
+
+  SiteClient client(*function, config);
+  if (!client.Connect()) {
+    std::fprintf(stderr, "cannot connect to 127.0.0.1:%d\n", port);
+    return 1;
+  }
+  // The site's stream is regenerated locally: every process runs the same
+  // seeded generator and takes its own column, so the deployment observes
+  // exactly the vectors the single-process driver would.
+  std::vector<Vector> locals;
+  long advanced = 0;
+  const bool clean = client.Run([&](long cycle) {
+    while (advanced <= cycle) {
+      source->Advance(&locals);
+      ++advanced;
+    }
+    return locals[static_cast<std::size_t>(flags.site_id)];
+  });
+  std::printf("site %d: %ld cycles observed, %s shutdown\n", flags.site_id,
+              client.cycles_observed(), clean ? "clean" : "lost-connection");
+  return clean ? 0 : 1;
+}
+
 int Run(int argc, char** argv) {
   Flags flags;
   if (!ParseFlags(argc, argv, &flags)) return 2;
+  if (flags.listen_port >= 0 && flags.site_id >= 0) {
+    std::fprintf(stderr, "--listen and --site are mutually exclusive\n");
+    return 2;
+  }
+  if (flags.listen_port >= 0) return RunCoordinatorDaemon(flags);
+  if (flags.site_id >= 0) return RunSiteDaemon(flags);
 
   auto source = MakeWorkload(flags);
   if (source == nullptr) return 2;
