@@ -102,6 +102,16 @@ const std::map<std::string, EventSpec>& EventCatalog() {
       {"recovery_complete", {"recovery", {"span", "epoch", "grants"}}},
       {"snapshot_fallback", {"recovery", {"discarded"}}},
       {"wal_torn_tail", {"recovery", {"bytes"}}},
+      // Socket-session lifecycle (CoordinatorServer / SiteClient).
+      {"site_hello", {"session", {"fd"}}},
+      {"site_rehello", {"session", {"fd"}}},
+      {"site_disconnect", {"session", {}}},
+      {"connection_lost", {"session", {"reason"}}},
+      {"reconnect", {"session", {"attempt"}}},
+      // Injected network chaos (ChaosSocketTransport).
+      {"chaos_reset", {"chaos", {}}},
+      {"chaos_half_open", {"chaos", {}}},
+      {"chaos_stall", {"chaos", {"ms"}}},
       // Run/benchmark markers emitted by the tools.
       {"run_begin", {"run", {}}},
       {"cell_begin", {"run", {}}},

@@ -152,6 +152,10 @@ class CoordinatorNode {
   };
   const RecoveryStats& recovery_stats() const { return recovery_stats_; }
 
+  /// Last update cycle this node has begun (restored by Recover — a
+  /// restarted deployment driver resumes its cycle numbering from here).
+  long cycle() const { return cycle_; }
+
  private:
   enum class Phase { kIdle, kProbing, kCollecting };
 

@@ -19,7 +19,9 @@ CoordinatorServer::CoordinatorServer(const MonitoredFunction& function,
                                      const CoordinatorServerConfig& config)
     : config_(config),
       clock_(config.round_micros),
-      registered_(config.num_sites, false) {
+      registered_(config.num_sites, false),
+      connected_(config.num_sites, false),
+      site_fds_(config.num_sites, -1) {
   SGM_CHECK(config.num_sites > 0);
   config_.runtime.reliability.round_clock = &clock_;
   reliable_ = std::make_unique<ReliableTransport>(
@@ -36,6 +38,22 @@ bool CoordinatorServer::Listen() {
   SGM_CHECK(listen_fd_ < 0);
   listen_fd_ = ListenTcpLoopback(config_.port, &bound_port_);
   return listen_fd_ >= 0;
+}
+
+bool CoordinatorServer::Recover() {
+  // The accept thread must not be running yet: CoordinatorNode::OnMessage
+  // checks message.epoch <= epoch_, so the fence has to be in place before
+  // the first site frame can reach the node.
+  SGM_CHECK(!accept_thread_.joinable());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!coordinator_->Recover()) return false;
+  // Resume cycle numbering where the restored node left off: the next
+  // RunCycle() increments past it and runs BeginCycle, never Start().
+  cycle_ = coordinator_->cycle();
+  if (config_.runtime.telemetry != nullptr) {
+    config_.runtime.telemetry->SetCycle(cycle_);
+  }
+  return true;
 }
 
 bool CoordinatorServer::WaitForSites() {
@@ -92,21 +110,76 @@ void CoordinatorServer::ReaderLoop(int fd) {
       break;
     }
   }
+  // Connection over. If this fd still maps to a site (it was not displaced
+  // by a re-hello on a fresh connection), deregister the site: the link is
+  // down until it dials back in.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = fd_site_.find(fd);
+    if (it != fd_site_.end()) {
+      const int site = it->second;
+      fd_site_.erase(it);
+      connected_[site] = false;
+      site_fds_[site] = -1;
+      transport_.UnregisterPeer(site);
+      reliable_->MarkLinkDown(site);
+      ++site_disconnects_;
+      ++topology_version_;
+      if (config_.runtime.telemetry != nullptr) {
+        config_.runtime.telemetry->trace.Emit("session", "site_disconnect",
+                                              site);
+      }
+    }
+  }
+  cv_.notify_all();
 }
 
 bool CoordinatorServer::HandleFrame(int fd, const RuntimeMessage& message) {
   switch (message.type) {
     case RuntimeMessage::Type::kSiteHello: {
       const int site = message.from;
-      if (site < 0 || site >= config_.num_sites || registered_[site]) {
-        return false;  // bad id or a second claimant for a taken id
+      if (site < 0 || site >= config_.num_sites) return false;
+      if (connected_[site]) {
+        // The site dialed a new connection before we noticed the old one
+        // die (or a half-open partition left it readable on our side).
+        // The fresh hello wins: displace the stale session — its reader
+        // finds its fd unmapped on exit and leaves the site alone.
+        const int stale_fd = site_fds_[site];
+        fd_site_.erase(stale_fd);
+        ::shutdown(stale_fd, SHUT_RDWR);
+        transport_.UnregisterPeer(site);
+        ++topology_version_;
       }
-      registered_[site] = true;
       transport_.RegisterPeer(site, fd);
-      ++hellos_;
-      if (config_.runtime.telemetry != nullptr) {
-        config_.runtime.telemetry->trace.Emit("session", "site_hello", site,
-                                              {{"fd", fd}});
+      connected_[site] = true;
+      site_fds_[site] = fd;
+      fd_site_[fd] = site;
+      ++topology_version_;
+      Telemetry* telemetry = config_.runtime.telemetry;
+      if (!registered_[site]) {
+        registered_[site] = true;
+        ++hellos_;
+        if (telemetry != nullptr) {
+          telemetry->trace.Emit("session", "site_hello", site, {{"fd", fd}});
+        }
+      } else {
+        ++site_rehellos_;
+        reliable_->MarkLinkUp(site);
+        if (telemetry != nullptr) {
+          telemetry->trace.Emit("session", "site_rehello", site,
+                                {{"fd", fd}});
+        }
+        // The rejoiner missed this cycle's observe trigger; a unicast
+        // catch-up is safe either way (sites observe their *current*
+        // local vector — re-observing the same cycle is idempotent).
+        if (cycle_ >= 0) {
+          RuntimeMessage begin;
+          begin.type = RuntimeMessage::Type::kCycleBegin;
+          begin.from = kCoordinatorId;
+          begin.to = site;
+          begin.scalar = static_cast<double>(cycle_);
+          transport_.Send(begin);
+        }
       }
       return true;
     }
@@ -168,12 +241,20 @@ bool CoordinatorServer::RunCycle() {
   return true;
 }
 
+int CoordinatorServer::ConnectedCountLocked() const {
+  int count = 0;
+  for (const bool up : connected_) count += up ? 1 : 0;
+  return count;
+}
+
 bool CoordinatorServer::AwaitQuiescence() {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(config_.barrier_timeout_ms);
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
     const long snapshot = transport_.data_frames_sent();
+    const long topology = topology_version_;
     const long token = ++barrier_token_;
     barrier_acks_ = 0;
     RuntimeMessage barrier;
@@ -182,20 +263,34 @@ bool CoordinatorServer::AwaitQuiescence() {
     barrier.to = kBroadcastId;
     barrier.scalar = static_cast<double>(token);
     transport_.Send(barrier);
-    while (barrier_acks_ < config_.num_sites) {
+    // The barrier targets the population that was connected when it went
+    // out. If membership shifts under the wait (a disconnect, a rejoin),
+    // the round is void — restart with a fresh barrier against the new
+    // population rather than wait on acks that will never come.
+    while (barrier_acks_ < ConnectedCountLocked() &&
+           topology_version_ == topology) {
       if (std::chrono::steady_clock::now() >= deadline) return false;
       cv_.wait_for(lock, std::chrono::milliseconds(10));
       // The retransmission clock keeps running while we wait: a site that
       // lost its connection mid-cycle must still hit the give-up horizon.
       reliable_->AdvanceRound();
     }
-    // Every site has flushed. If we put new data frames on the wire since
-    // the barrier went out (responses to late arrivals, retransmissions),
-    // their induced replies may still be in flight — flush again.
+    if (topology_version_ != topology) continue;
+    // Every connected site has flushed. If we put new data frames on the
+    // wire since the barrier went out (responses to late arrivals,
+    // retransmissions), their induced replies may still be in flight —
+    // flush again.
     if (transport_.data_frames_sent() != snapshot) continue;
     coordinator_->OnQuiescent();
     if (transport_.data_frames_sent() != snapshot) continue;
-    if (reliable_->HasUnacked()) continue;  // acks still inbound
+    if (reliable_->HasUnacked()) {
+      // Acks still inbound — or a disconnected site holds tracked
+      // traffic. Keep the round clock moving so those entries reach the
+      // give-up horizon instead of spinning here forever.
+      cv_.wait_for(lock, std::chrono::milliseconds(10));
+      reliable_->AdvanceRound();
+      continue;
+    }
     return true;
   }
 }
@@ -207,6 +302,21 @@ void CoordinatorServer::Shutdown() {
     shut_down_ = true;
     BroadcastControl(RuntimeMessage::Type::kShutdown, 0.0);
   }
+  StopThreads();
+}
+
+void CoordinatorServer::Halt() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    // No kShutdown broadcast: sites see a raw connection loss, as after a
+    // process kill, and reconnect to the next incarnation.
+  }
+  StopThreads();
+}
+
+void CoordinatorServer::StopThreads() {
   stop_.store(true);
   if (accept_thread_.joinable()) accept_thread_.join();
   // The accept thread is gone: session_fds_/readers_ are frozen now.
@@ -214,6 +324,7 @@ void CoordinatorServer::Shutdown() {
   for (std::thread& reader : readers_) {
     if (reader.joinable()) reader.join();
   }
+  readers_.clear();
   for (const int fd : session_fds_) ::close(fd);
   session_fds_.clear();
   if (listen_fd_ >= 0) {
@@ -272,6 +383,26 @@ double CoordinatorServer::PaperBytes() const {
   return transport_.bytes_sent() + site_bytes_received_;
 }
 
+int CoordinatorServer::ConnectedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ConnectedCountLocked();
+}
+
+long CoordinatorServer::SiteDisconnects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return site_disconnects_;
+}
+
+long CoordinatorServer::SiteRehellos() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return site_rehellos_;
+}
+
+bool CoordinatorServer::HasUnacked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reliable_->HasUnacked();
+}
+
 void CoordinatorServer::PublishMetrics() {
   Telemetry* telemetry = config_.runtime.telemetry;
   if (telemetry == nullptr) return;
@@ -290,6 +421,10 @@ void CoordinatorServer::PublishMetrics() {
   registry->GetCounter("socket.send_failures")
       ->Set(transport_.send_failures());
   registry->GetCounter("socket.corrupt_frames")->Set(corrupt_frames_);
+  registry->GetCounter("socket.site_disconnects")->Set(site_disconnects_);
+  registry->GetCounter("socket.site_rehellos")->Set(site_rehellos_);
+  registry->GetGauge("socket.connected_sites")
+      ->Set(static_cast<double>(ConnectedCountLocked()));
   reliable_->PublishMetrics(registry);
 
   const CoordinatorNode::AuditStats coord = coordinator_->audit();
@@ -310,6 +445,19 @@ void CoordinatorServer::PublishMetrics() {
       ->Set(coord.rejoins_granted);
   registry->GetCounter("coordinator.sync_rerequests")
       ->Set(coord.sync_rerequests);
+
+  const CoordinatorNode::RecoveryStats& rec = coordinator_->recovery_stats();
+  registry->GetCounter("recovery.restores")->Set(rec.restores);
+  registry->GetCounter("recovery.snapshots_written")
+      ->Set(rec.snapshots_written);
+  registry->GetCounter("recovery.wal_records")->Set(rec.wal_records);
+  registry->GetCounter("recovery.wal_records_replayed")
+      ->Set(rec.wal_records_replayed);
+  registry->GetCounter("recovery.snapshots_discarded")
+      ->Set(rec.snapshots_discarded);
+  registry->GetCounter("recovery.torn_wal_bytes")->Set(rec.torn_wal_bytes);
+  registry->GetCounter("recovery.reconcile_grants")
+      ->Set(rec.reconcile_grants);
 
   const FailureDetector& fd = coordinator_->failure_detector();
   registry->GetCounter("failure.total_deaths")->Set(fd.total_deaths());

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -71,6 +72,25 @@ struct CoordinatorServerConfig {
 /// never dispatched into the protocol node; everything else goes through
 /// the receive side of the ReliableTransport exactly as the sim driver's
 /// Deliver() does.
+///
+/// ── Membership churn ───────────────────────────────────────────────────
+/// Connections may come and go mid-run. A reader hitting EOF/error
+/// deregisters its site (link marked down, disconnect counted); a fresh
+/// kSiteHello for an already-seen site is a *re-hello* — the stale
+/// connection (if any) is displaced, the link marked up again, and the
+/// site unicast the current kCycleBegin so it catches up its observation.
+/// The barrier loop targets the *currently connected* population and
+/// restarts whenever membership shifts under it (topology_version_), so
+/// quiescence is always judged against a stable, fully-acked membership.
+///
+/// ── Restart-from-checkpoint ────────────────────────────────────────────
+/// A crashed coordinator process restarts as: construct (same config,
+/// checkpoint store attached) → Listen() → Recover() → WaitForSites() →
+/// RunCycle() loop. Recover() restores the protocol node from the
+/// snapshot+WAL, fences the epoch one past anything the dead incarnation
+/// committed, queues reconciliation grants (delivered once sites
+/// reconnect), and resumes the cycle counter so the remaining schedule
+/// continues where the WAL left off.
 class CoordinatorServer {
  public:
   CoordinatorServer(const MonitoredFunction& function,
@@ -85,6 +105,14 @@ class CoordinatorServer {
   bool Listen();
   int port() const { return bound_port_; }
 
+  /// Restores the protocol node from config.runtime.checkpoint_store (see
+  /// CoordinatorNode::Recover): state restored, epoch fenced one past the
+  /// crashed incarnation, reconciliation grants queued for redelivery.
+  /// Must run after Listen() and before WaitForSites() — no site frame may
+  /// reach the node ahead of the restore. Returns false when the store
+  /// holds no decodable snapshot.
+  bool Recover();
+
   /// Starts the accept thread and blocks until all num_sites hellos have
   /// registered (or hello_timeout_ms elapsed — returns false).
   bool WaitForSites();
@@ -98,6 +126,12 @@ class CoordinatorServer {
   /// Broadcasts kShutdown, stops the accept loop, closes every session and
   /// joins all threads. Idempotent; the destructor calls it.
   void Shutdown();
+
+  /// Crash-stop for restart tests: Shutdown() minus the kShutdown
+  /// broadcast — sites see a raw connection loss, exactly as if the
+  /// process had been killed, and run their reconnect path against the
+  /// next incarnation. Idempotent with Shutdown().
+  void Halt();
 
   // Mutex-guarded snapshots of the protocol state (safe from any thread).
   bool BelievesAbove() const;
@@ -116,6 +150,12 @@ class CoordinatorServer {
   long PaperSiteMessages() const;
   double PaperBytes() const;
 
+  // Membership and reliability snapshots (mutex-guarded).
+  int ConnectedCount() const;
+  long SiteDisconnects() const;
+  long SiteRehellos() const;
+  bool HasUnacked() const;
+
   const SocketTransport& transport() const { return transport_; }
 
   /// Mirrors coordinator/transport/failure counters into the attached
@@ -132,6 +172,10 @@ class CoordinatorServer {
   /// The barrier loop described above; returns false on timeout.
   bool AwaitQuiescence();
   void BroadcastControl(RuntimeMessage::Type type, double scalar);
+  int ConnectedCountLocked() const;
+  /// Shared teardown of Shutdown()/Halt(): stop accept, sever sessions,
+  /// join every thread, close every fd.
+  void StopThreads();
 
   CoordinatorServerConfig config_;
   MonotonicRoundClock clock_;
@@ -150,7 +194,21 @@ class CoordinatorServer {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  /// Sites that have *ever* registered (first hellos count toward
+  /// WaitForSites; later hellos from the same site are re-hellos).
   std::vector<bool> registered_;
+  /// Sites with a live connection right now.
+  std::vector<bool> connected_;
+  /// Current session fd per site (-1 while disconnected) and its inverse;
+  /// a reader whose fd is no longer mapped was displaced by a re-hello and
+  /// must not deregister the site on exit.
+  std::vector<int> site_fds_;
+  std::map<int, int> fd_site_;
+  /// Bumped on every connect/disconnect/displacement; the barrier loop
+  /// restarts when it moves mid-wait.
+  long topology_version_ = 0;
+  long site_disconnects_ = 0;
+  long site_rehellos_ = 0;
   int hellos_ = 0;
   long barrier_token_ = 0;
   int barrier_acks_ = 0;

@@ -3,7 +3,9 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 
+#include "runtime/chaos.h"
 #include "runtime/reliable_transport.h"
 #include "runtime/round_clock.h"
 #include "runtime/site_node.h"
@@ -19,16 +21,39 @@ struct SiteClientConfig {
   /// Node configuration — must match the coordinator's RuntimeConfig
   /// field-for-field (thresholds, bounds, seeds), or the two tiers monitor
   /// different queries. The client injects its own MonotonicRoundClock
-  /// into runtime.reliability.round_clock.
+  /// into runtime.reliability.round_clock, and draws its connection retry
+  /// policy from runtime.socket_retry (jitter salted by site_id).
   RuntimeConfig runtime;
   /// Microseconds per retransmission round (see CoordinatorServerConfig).
   long round_micros = 20000;
-  /// Connect() retries against a not-yet-listening coordinator this long.
-  long connect_timeout_ms = 10000;
   /// Idle poll slice of the event loop; each timeout advances the
   /// retransmission clock.
   long poll_interval_ms = 10;
+  /// Sessions the client may re-establish after losing the coordinator
+  /// connection mid-run (each reconnect burns the full socket_retry
+  /// budget). 0 disables reconnection — any peer loss ends the run.
+  int max_reconnects = 8;
+  /// Optional seeded network-fault injection on the send path (tests and
+  /// chaos harnesses only; enabled() is false by default).
+  ChaosInjectionConfig chaos;
 };
+
+/// Why the event loop returned — the structured exit story of a site
+/// process (docs/RUNTIME.md, failure-handling runbook). Every value except
+/// kShutdown is an abnormal end and maps to a distinct nonzero exit code in
+/// `sgm_monitor --site`.
+enum class SiteExitReason {
+  kShutdown = 0,     ///< coordinator said kShutdown: clean end of run
+  kConnectGiveUp,    ///< connection attempts exhausted (first or re-connect)
+  kCoordinatorEof,   ///< peer closed without kShutdown, reconnects exhausted
+  kRecvError,        ///< terminal recv() error, reconnects exhausted
+  kStreamPoisoned,   ///< oversized-prefix poison, reconnects exhausted
+  kSendFailed,       ///< write failure dropped the peer, reconnects exhausted
+  kPollError,        ///< terminal poll() error (not recoverable by reconnect)
+};
+
+/// Human-readable tag for logs and trace events ("shutdown", "connect-give-up", ...).
+const char* SiteExitReasonName(SiteExitReason reason);
 
 /// One site process: a SiteNode over a SocketTransport connection to the
 /// coordinator, driven by a single-threaded poll loop (no locking — the
@@ -45,6 +70,18 @@ struct SiteClientConfig {
 ///  * kShutdown → clean exit.
 /// Everything else goes through the receive-side reliability layer into
 /// SiteNode::OnMessage, exactly as the sim driver delivers it.
+///
+/// ── Reconnect-with-rejoin ──────────────────────────────────────────────
+/// A lost connection (EOF, recv error, write failure, poisoned stream)
+/// does not end the run: the client discards the partial frame state,
+/// redials under the seeded-backoff policy, re-registers with a fresh
+/// kSiteHello and lets SiteNode::OnTransportReconnect drive the rejoin
+/// handshake, so the coordinator re-anchors the site (e, ε_T) and resyncs
+/// its drift. In-flight reliable sends survive in the retransmission queue
+/// and drain over the new connection; the receive side dedups anything the
+/// coordinator retransmits. Bounded by max_reconnects and the per-attempt
+/// socket_retry budget — exhaustion ends the run with the underlying
+/// failure's reason.
 class SiteClient {
  public:
   SiteClient(const MonitoredFunction& function,
@@ -54,28 +91,53 @@ class SiteClient {
   SiteClient(const SiteClient&) = delete;
   SiteClient& operator=(const SiteClient&) = delete;
 
-  /// Connects to the coordinator (retrying until connect_timeout_ms) and
-  /// registers with kSiteHello. Returns false when the coordinator never
-  /// became reachable.
+  /// Connects to the coordinator under the socket_retry policy and
+  /// registers with kSiteHello. Returns false when the budget ran out
+  /// before the coordinator became reachable.
   bool Connect();
 
   /// Runs the event loop until the coordinator says kShutdown (returns
-  /// true) or the connection drops without one (returns false).
-  /// `next_vector(cycle)` supplies the local measurements vector observed
-  /// at each kCycleBegin.
+  /// true) or the connection is lost beyond recovery (returns false; see
+  /// exit_reason() for which failure ended it). `next_vector(cycle)`
+  /// supplies the local measurements vector observed at each kCycleBegin.
   bool Run(const std::function<Vector(long cycle)>& next_vector);
+
+  /// Why the last Run() returned.
+  SiteExitReason exit_reason() const { return exit_reason_; }
+  /// Sessions re-established after a mid-run peer loss.
+  long reconnects() const { return reconnects_; }
+
+  /// Severs the current connection from any thread (test/chaos harness
+  /// hook): the site sees a genuine TCP failure and runs the full
+  /// reconnect-with-rejoin path. A no-op while disconnected.
+  void InjectConnectionReset();
 
   const SiteNode& node() const { return *node_; }
   long cycles_observed() const { return cycles_observed_; }
 
  private:
+  /// Dials and registers one session; updates fd_. Returns false when the
+  /// retry budget is exhausted.
+  bool EstablishSession();
+  /// Closes the current fd (if any) and unregisters the peer.
+  void TearDownSession();
+  /// Polls one session until shutdown or a connection failure.
+  SiteExitReason RunSession(const std::function<Vector(long)>& next_vector,
+                            FrameReader* reader);
+
   SiteClientConfig config_;
   MonotonicRoundClock clock_;
   SocketTransport transport_;
+  std::unique_ptr<ChaosSocketTransport> chaos_;
   std::unique_ptr<ReliableTransport> reliable_;
   std::unique_ptr<SiteNode> node_;
+  /// Guards fd_ swaps against InjectConnectionReset from other threads.
+  std::mutex fd_mu_;
   int fd_ = -1;
+  std::uint64_t retry_jitter_state_ = 0;
   long cycles_observed_ = 0;
+  long reconnects_ = 0;
+  SiteExitReason exit_reason_ = SiteExitReason::kShutdown;
 };
 
 }  // namespace sgm

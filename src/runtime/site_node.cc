@@ -72,6 +72,16 @@ void SiteNode::RequestRejoin() {
   SendToCoordinator(std::move(request));
 }
 
+void SiteNode::OnTransportReconnect() {
+  if (epoch_ == 0 && !initialized_) return;  // never heard from the
+                                             // coordinator: hello suffices
+  // The previous request (if any) may have died with the old connection;
+  // force a fresh one. kRejoinRequest is fencing-exempt control traffic, so
+  // the coordinator reads the echoed epoch even when the site is behind.
+  rejoin_requested_ = false;
+  RequestRejoin();
+}
+
 void SiteNode::Observe(const Vector& local_vector) {
   local_ = local_vector;
   in_first_trial_ = false;

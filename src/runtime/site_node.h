@@ -9,6 +9,7 @@
 #include "runtime/failure_detector.h"
 #include "runtime/message.h"
 #include "runtime/reliable_transport.h"
+#include "runtime/socket_retry.h"
 #include "runtime/transport.h"
 
 namespace sgm {
@@ -59,6 +60,11 @@ struct RuntimeConfig {
   FailureDetectorConfig failure_detector;
   /// Ack/retransmit layer tuning (backoff, retry budget, jitter seed).
   ReliableTransportConfig reliability;
+  /// Socket-runtime connection policy: bounded retry with seeded-jitter
+  /// exponential backoff, shared by a site's first connect and every
+  /// reconnect after a peer loss (see SiteClient). Irrelevant to the
+  /// simulated transport.
+  SocketRetryConfig socket_retry;
 
   // ── Crash consistency ──────────────────────────────────────────────────
 
@@ -118,6 +124,16 @@ class SiteNode {
   /// Handles a coordinator message (probe/state requests, new estimates,
   /// resolutions, rejoin grants); may emit reports.
   void OnMessage(const RuntimeMessage& message);
+
+  /// Notifies the node that its transport connection was torn down and
+  /// re-established (socket runtime reconnect). While disconnected the
+  /// coordinator may have advanced the epoch — or even restarted — without
+  /// the site being able to observe the gap, so the node proactively drives
+  /// the rejoin handshake: the coordinator checks the echoed epoch and
+  /// re-anchors the site (estimate + ε_T + scheduled Δv resync) through the
+  /// ordinary kRejoinGrant path. A no-op before first coordinator contact
+  /// (the fresh kSiteHello covers that case).
+  void OnTransportReconnect();
 
   int id() const { return id_; }
   /// True when this site was included in the first trial this cycle.

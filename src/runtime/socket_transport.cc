@@ -26,6 +26,12 @@ void FrameReader::Append(const std::uint8_t* data, std::size_t size) {
   buffer_.insert(buffer_.end(), data, data + size);
 }
 
+void FrameReader::Reset() {
+  buffer_.clear();
+  pos_ = 0;
+  poisoned_ = false;
+}
+
 FrameReader::Result FrameReader::NextFrame(std::vector<std::uint8_t>* frame) {
   if (poisoned_) return Result::kOversized;
   const std::size_t available = buffer_.size() - pos_;
@@ -74,6 +80,23 @@ void SetNoDelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+/// One non-blocking-in-spirit connection attempt (connect() on loopback
+/// either succeeds or fails immediately). Returns the fd or -1.
+int TryConnectOnce(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    SetNoDelay(fd);
+    return fd;
+  }
+  ::close(fd);
+  return -1;
+}
+
 }  // namespace
 
 int ListenTcpLoopback(int port, int* bound_port) {
@@ -106,22 +129,24 @@ int ConnectTcpLoopback(int port, long timeout_ms) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
   for (;;) {
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) return -1;
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<std::uint16_t>(port));
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
-        0) {
-      SetNoDelay(fd);
-      return fd;
-    }
-    ::close(fd);
+    const int fd = TryConnectOnce(port);
+    if (fd >= 0) return fd;
     if (std::chrono::steady_clock::now() >= deadline) return -1;
     // The server may still be between bind() and accept(); back off briefly.
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
+}
+
+int ConnectTcpLoopbackWithRetry(int port, const SocketRetryConfig& retry,
+                                std::uint64_t* jitter_state) {
+  for (int attempt = 1; attempt <= retry.max_attempts; ++attempt) {
+    const int fd = TryConnectOnce(port);
+    if (fd >= 0) return fd;
+    if (attempt == retry.max_attempts) break;
+    const long delay = SocketRetryDelayMs(retry, attempt, jitter_state);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+  return -1;
 }
 
 bool WriteAll(int fd, const std::uint8_t* data, std::size_t size) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "runtime/serialization.h"
+#include "runtime/socket_retry.h"
 #include "runtime/transport.h"
 
 namespace sgm {
@@ -38,6 +39,12 @@ class FrameReader {
 
   void Append(const std::uint8_t* data, std::size_t size);
   Result NextFrame(std::vector<std::uint8_t>* frame);
+
+  /// Discards all buffered bytes and clears the poison flag. Call when the
+  /// underlying connection is replaced: the tail of the old byte stream
+  /// (possibly a partial frame the peer died in the middle of) must never
+  /// be spliced onto the first bytes of the new one.
+  void Reset();
 
   bool poisoned() const { return poisoned_; }
   std::size_t buffered_bytes() const { return buffer_.size() - pos_; }
@@ -75,6 +82,17 @@ int ListenTcpLoopback(int port, int* bound_port);
 /// `timeout_ms` elapses (the server may not have reached accept() yet).
 /// Returns the connected fd with TCP_NODELAY set, or -1.
 int ConnectTcpLoopback(int port, long timeout_ms);
+
+/// Connects to 127.0.0.1:`port` under a bounded-retry policy: up to
+/// `retry.max_attempts` attempts separated by seeded-jitter exponential
+/// backoff (see SocketRetryConfig). The same policy serves the first
+/// connect and every reconnect, replacing one-shot fixed timeouts that
+/// failed spuriously in CI under load. `jitter_state` carries the jitter
+/// stream across calls (seed it from retry.jitter_seed salted per caller).
+/// Returns the connected fd with TCP_NODELAY set, or -1 after the budget
+/// is exhausted.
+int ConnectTcpLoopbackWithRetry(int port, const SocketRetryConfig& retry,
+                                std::uint64_t* jitter_state);
 
 /// Writes the whole buffer, looping over short writes and EINTR. Uses
 /// send(MSG_NOSIGNAL) so a vanished peer yields EPIPE instead of SIGPIPE.

@@ -1,0 +1,445 @@
+// End-to-end chaos harness over real processes and real TCP (CTest labels:
+// chaos;integration): four fork()ed site processes run with the seeded
+// network-chaos layer enabled (connection resets, stalls, half-open
+// partitions), one site process is SIGKILLed mid-cycle and replaced, and the
+// fork()ed coordinator process is SIGKILLed mid-run and restarted from its
+// file-backed checkpoint store on the same port.
+//
+// The acceptance invariants, in the order they are checked:
+//  * exact epoch fence — the recovery incarnation's epoch is the dead
+//    incarnation's durably committed epoch plus one, judged against an
+//    independent ReconstructCoordinatorState() of the store;
+//  * field-level state match — estimate, belief, cycle and sync counters of
+//    the recovered node equal the committed record, not an approximation;
+//  * bounded reconvergence — the post-recovery window contains fresh full
+//    syncs (the rejoin grants force resyncs) and ends with all sites
+//    connected;
+//  * accuracy under chaos — the per-cycle belief stream (last incarnation
+//    wins for replayed cycles) audited against the generator-derived ground
+//    truth stays within the paper's failure allowance: out-of-zone FN rate
+//    ≤ δ + 0.01;
+//  * quiescence — no unacked reliability entry when the run ends.
+//
+// Children never run gtest assertions: each invariant failure maps to a
+// distinct _exit code (see the tables next to each *ProcessMain), surfaced
+// by the parent's waitpid checks. fork() discipline as in
+// process_integration_test: no threads exist in a forking process (the
+// coordinator children Listen() and fork nothing; the parent forks before
+// creating any server).
+//
+// Knobs: SGM_CHAOS_SEED seeds the fault schedules (default 1, swept by the
+// CI chaos job); SGM_CHAOS_ARTIFACTS names a directory to keep the belief
+// log, summary and checkpoint store for post-mortem (default: a fresh
+// mkdtemp under TMPDIR).
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/synthetic.h"
+#include "functions/l2_norm.h"
+#include "obs/accuracy_auditor.h"
+#include "runtime/checkpoint.h"
+#include "runtime/coordinator_server.h"
+#include "runtime/site_client.h"
+
+namespace sgm {
+namespace {
+
+constexpr int kSites = 4;
+constexpr long kCycles = 120;       // last cycle index (0 = init sync)
+constexpr long kCrashCycle = 50;    // coordinator SIGKILLs itself after this
+constexpr long kSiteKillCycle = 30; // victim site SIGKILLs itself here
+constexpr int kVictimSite = 2;
+constexpr long kCheckpointInterval = 5;
+
+std::uint64_t SeedFromEnv() {
+  const char* value = std::getenv("SGM_CHAOS_SEED");
+  if (value == nullptr || *value == '\0') return 1;
+  return static_cast<std::uint64_t>(std::strtoull(value, nullptr, 10));
+}
+
+/// Artifacts root: the operator-named directory when SGM_CHAOS_ARTIFACTS is
+/// set (kept for upload), a fresh mkdtemp otherwise.
+std::string ArtifactsDir() {
+  const char* named = std::getenv("SGM_CHAOS_ARTIFACTS");
+  if (named != nullptr && *named != '\0') {
+    ::mkdir(named, 0755);  // fine if it already exists
+    return named;
+  }
+  std::string tmpl = "/tmp/sgm-chaos-XXXXXX";
+  const char* dir = ::mkdtemp(tmpl.data());
+  SGM_CHECK(dir != nullptr);
+  return dir;
+}
+
+SyntheticDriftConfig GeneratorConfig() {
+  SyntheticDriftConfig config;
+  config.num_sites = kSites;
+  config.dim = 4;
+  config.seed = 23;
+  config.global_period = 60;
+  // Strong mean reversion makes the states actually track the oscillating
+  // anchors (the default 0.02 pull lags a period-60 drift almost entirely
+  // away); the peak global norm then lands well above the threshold (3.0),
+  // so the run crosses the surface several times and the FN audit below
+  // judges real detections.
+  config.mean_reversion = 0.2;
+  config.global_amplitude = 6.0;
+  return config;
+}
+
+RuntimeConfig ProtocolConfig() {
+  SyntheticDriftGenerator probe(GeneratorConfig());
+  RuntimeConfig config;
+  config.threshold = 3.0;
+  config.max_step_norm = probe.max_step_norm();
+  config.drift_norm_cap = probe.max_drift_norm();
+  config.seed = 7;
+  return config;
+}
+
+// ─── Site processes ────────────────────────────────────────────────────────
+
+/// Exit codes: 40 first connect gave up, 41 run ended dirty (reconnect
+/// budget exhausted / unrecoverable failure). `self_kill_cycle >= 0` turns
+/// the process into the SIGKILL victim: it dies mid-dispatch at that cycle,
+/// leaving the coordinator a half-used connection.
+[[noreturn]] void SiteProcessMain(int site_id, int port,
+                                  std::uint64_t chaos_seed,
+                                  long self_kill_cycle) {
+  SyntheticDriftGenerator generator(GeneratorConfig());
+  const L2Norm norm;
+  SiteClientConfig config;
+  config.site_id = site_id;
+  config.num_sites = kSites;
+  config.port = port;
+  config.runtime = ProtocolConfig();
+  // Generous dial budget: it must comfortably bridge the coordinator's
+  // death → recovery window on a loaded CI box.
+  config.runtime.socket_retry.max_attempts = 600;
+  config.runtime.socket_retry.base_backoff_ms = 2;
+  config.runtime.socket_retry.max_backoff_ms = 100;
+  config.runtime.socket_retry.jitter_seed =
+      DeriveSeed(chaos_seed, 900 + static_cast<std::uint64_t>(site_id));
+  config.max_reconnects = 64;
+  // The seeded fault schedule under test: sparse enough that cycles keep
+  // completing, dense enough that every site reconnects a few times.
+  config.chaos.seed =
+      DeriveSeed(chaos_seed, 700 + static_cast<std::uint64_t>(site_id));
+  config.chaos.reset_probability = 0.01;
+  config.chaos.stall_probability = 0.02;
+  config.chaos.stall_ms = 5;
+  config.chaos.half_open_probability = 0.005;
+
+  SiteClient client(norm, config);
+  if (!client.Connect()) _exit(40);
+  std::vector<Vector> locals;
+  long advanced = 0;
+  const bool clean = client.Run([&](long cycle) {
+    if (self_kill_cycle >= 0 && cycle >= self_kill_cycle) {
+      ::kill(::getpid(), SIGKILL);  // crash, not exit: no teardown at all
+    }
+    while (advanced <= cycle) {
+      generator.Advance(&locals);
+      ++advanced;
+    }
+    return locals[site_id];
+  });
+  if (!clean) _exit(41);
+  _exit(0);
+}
+
+// ─── Coordinator processes ─────────────────────────────────────────────────
+
+/// Appends one belief record per completed cycle: "cycle belief epoch f(v̂)".
+void AppendBeliefLine(FILE* file, long cycle, const CoordinatorServer& server,
+                      const L2Norm& norm) {
+  std::fprintf(file, "%ld %d %lld %.17g\n", cycle,
+               server.BelievesAbove() ? 1 : 0,
+               static_cast<long long>(server.Epoch()),
+               norm.Value(server.Estimate()));
+  std::fflush(file);  // the line must survive the SIGKILL
+}
+
+/// First incarnation. Exit codes: 20 bind failed, 21 port pipe failed,
+/// 22 hello timeout, 23 belief log unwritable, 24 barrier timeout,
+/// 25 outlived its own crash point (the self-SIGKILL did not fire).
+[[noreturn]] void CoordinatorProcessMain(int port_pipe, const std::string& dir,
+                                         const std::string& beliefs_path) {
+  const L2Norm norm;
+  FileCheckpointStore store(dir);
+  CoordinatorServerConfig config;
+  config.num_sites = kSites;
+  config.runtime = ProtocolConfig();
+  config.runtime.checkpoint_store = &store;
+  config.runtime.checkpoint_interval_cycles = kCheckpointInterval;
+  CoordinatorServer server(norm, config);
+  if (!server.Listen()) _exit(20);
+  const int port = server.port();
+  if (::write(port_pipe, &port, sizeof(port)) !=
+      static_cast<ssize_t>(sizeof(port))) {
+    _exit(21);
+  }
+  ::close(port_pipe);
+  if (!server.WaitForSites()) _exit(22);
+  FILE* beliefs = std::fopen(beliefs_path.c_str(), "a");
+  if (beliefs == nullptr) _exit(23);
+  for (long cycle = 0; cycle <= kCycles; ++cycle) {
+    if (!server.RunCycle()) _exit(24);
+    AppendBeliefLine(beliefs, cycle, server, norm);
+    if (cycle == kCrashCycle) {
+      // Crash-stop from inside: same SIGKILL death the parent would
+      // inflict, but deterministically placed right after a commit —
+      // checkpointed state and belief log agree on where the run died.
+      ::kill(::getpid(), SIGKILL);
+    }
+  }
+  _exit(25);
+}
+
+/// Recovery incarnation: restores from the store the dead one left behind
+/// and finishes the schedule. Exit codes — recovery itself: 10 store
+/// unreadable, 11 bind failed, 12 Recover() refused; exact fence / state
+/// match: 13 epoch fence not committed+1, 14 resume cycle mismatch,
+/// 15 estimate mismatch, 16 full-sync counter mismatch, 17 belief mismatch;
+/// rest of the run: 18 hello timeout, 19 belief log unwritable, 26 barrier
+/// timeout; reconvergence: 30 no fresh full sync after recovery, 31 not all
+/// sites connected at the end, 32 unacked reliability entries at quiescence.
+[[noreturn]] void RecoveryProcessMain(int port, const std::string& dir,
+                                      const std::string& beliefs_path,
+                                      const std::string& summary_path) {
+  const L2Norm norm;
+  FileCheckpointStore store(dir);
+  // Independent oracle read of what the dead incarnation durably committed,
+  // taken before Recover() appends anything to the store.
+  const Result<Reconstruction> committed = ReconstructCoordinatorState(store);
+  if (!committed.ok()) _exit(10);
+  const CoordinatorCheckpoint& state = committed.ValueOrDie().state;
+
+  CoordinatorServerConfig config;
+  config.port = port;  // the endpoint every surviving site keeps dialing
+  config.num_sites = kSites;
+  config.runtime = ProtocolConfig();
+  config.runtime.checkpoint_store = &store;
+  config.runtime.checkpoint_interval_cycles = kCheckpointInterval;
+  CoordinatorServer server(norm, config);
+  if (!server.Listen()) _exit(11);
+  if (!server.Recover()) _exit(12);
+
+  if (server.Epoch() != state.epoch + 1) _exit(13);
+  if (server.CyclesRun() - 1 != state.cycle) _exit(14);
+  if (!(server.Estimate() == state.estimate)) _exit(15);
+  if (server.FullSyncs() != state.full_syncs) _exit(16);
+  if (server.BelievesAbove() != state.believes_above) _exit(17);
+
+  if (!server.WaitForSites()) _exit(18);
+  FILE* beliefs = std::fopen(beliefs_path.c_str(), "a");
+  if (beliefs == nullptr) _exit(19);
+  for (long cycle = server.CyclesRun(); cycle <= kCycles; ++cycle) {
+    if (!server.RunCycle()) _exit(26);
+    AppendBeliefLine(beliefs, cycle, server, norm);
+  }
+
+  FILE* summary = std::fopen(summary_path.c_str(), "w");
+  if (summary != nullptr) {
+    std::fprintf(summary,
+                 "committed_epoch=%lld\nrecovered_epoch=%lld\n"
+                 "committed_cycle=%ld\nfinal_cycle=%ld\n"
+                 "committed_full_syncs=%ld\nfinal_full_syncs=%ld\n"
+                 "site_disconnects=%ld\nsite_rehellos=%ld\n",
+                 static_cast<long long>(state.epoch),
+                 static_cast<long long>(server.Epoch()), state.cycle,
+                 server.CyclesRun() - 1, state.full_syncs, server.FullSyncs(),
+                 server.SiteDisconnects(), server.SiteRehellos());
+    std::fclose(summary);
+  }
+
+  if (server.FullSyncs() <= state.full_syncs) _exit(30);
+  if (server.ConnectedCount() != kSites) _exit(31);
+  if (server.HasUnacked()) _exit(32);
+  server.Shutdown();
+  _exit(0);
+}
+
+// ─── The harness ───────────────────────────────────────────────────────────
+
+struct BeliefRecord {
+  bool above = false;
+  long long epoch = 0;
+  double estimate_value = 0.0;
+};
+
+/// Last-writer-wins per-cycle belief map: cycles between the last committed
+/// checkpoint record and the crash are legitimately replayed by the
+/// recovery incarnation, and its verdict is the deployment's final answer.
+std::map<long, BeliefRecord> ReadBeliefLog(const std::string& path) {
+  std::map<long, BeliefRecord> by_cycle;
+  FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return by_cycle;
+  long cycle = 0;
+  int above = 0;
+  long long epoch = 0;
+  double estimate_value = 0.0;
+  while (std::fscanf(file, "%ld %d %lld %lg", &cycle, &above, &epoch,
+                     &estimate_value) == 4) {
+    by_cycle[cycle] = BeliefRecord{above != 0, epoch, estimate_value};
+  }
+  std::fclose(file);
+  return by_cycle;
+}
+
+TEST(ChaosIntegrationTest, KilledCoordinatorAndSiteRecoverUnderSeededChaos) {
+  const std::uint64_t chaos_seed = SeedFromEnv();
+  const std::string artifacts = ArtifactsDir();
+  const std::string checkpoint_dir = artifacts + "/checkpoints";
+  ASSERT_EQ(::mkdir(checkpoint_dir.c_str(), 0755), 0) << checkpoint_dir;
+  const std::string beliefs_path = artifacts + "/beliefs.txt";
+  const std::string summary_path = artifacts + "/recovery-summary.txt";
+  std::printf("chaos seed %llu, artifacts in %s\n",
+              static_cast<unsigned long long>(chaos_seed), artifacts.c_str());
+
+  int port_pipe[2];
+  ASSERT_EQ(::pipe(port_pipe), 0);
+  const pid_t coordinator = fork();
+  ASSERT_GE(coordinator, 0);
+  if (coordinator == 0) {
+    ::close(port_pipe[0]);
+    CoordinatorProcessMain(port_pipe[1], checkpoint_dir, beliefs_path);
+  }
+  ::close(port_pipe[1]);
+  int port = 0;
+  ASSERT_EQ(::read(port_pipe[0], &port, sizeof(port)),
+            static_cast<ssize_t>(sizeof(port)));
+  ::close(port_pipe[0]);
+  ASSERT_GT(port, 0);
+
+  std::vector<pid_t> sites(kSites);
+  for (int id = 0; id < kSites; ++id) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      SiteProcessMain(id, port, chaos_seed,
+                      id == kVictimSite ? kSiteKillCycle : -1);
+    }
+    sites[id] = pid;
+  }
+
+  // Fault 1: a site process dies by SIGKILL mid-cycle. The cycles keep
+  // running against the shrunken membership; the replacement process joins
+  // with the same site id (a re-hello), catches its deterministic stream up
+  // and is re-anchored by the rejoin handshake.
+  int status = 0;
+  ASSERT_EQ(::waitpid(sites[kVictimSite], &status, 0), sites[kVictimSite]);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "victim site exited instead of dying";
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+  const pid_t replacement = fork();
+  ASSERT_GE(replacement, 0);
+  if (replacement == 0) {
+    SiteProcessMain(kVictimSite, port, DeriveSeed(chaos_seed, 31), -1);
+  }
+  sites[kVictimSite] = replacement;
+
+  // Fault 2: the coordinator crash-stops right after committing cycle 50.
+  ASSERT_EQ(::waitpid(coordinator, &status, 0), coordinator);
+  ASSERT_TRUE(WIFSIGNALED(status))
+      << "coordinator exited with code "
+      << (WIFEXITED(status) ? WEXITSTATUS(status) : -1)
+      << " before its crash point";
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+
+  const pid_t recovery = fork();
+  ASSERT_GE(recovery, 0);
+  if (recovery == 0) {
+    RecoveryProcessMain(port, checkpoint_dir, beliefs_path, summary_path);
+  }
+  ASSERT_EQ(::waitpid(recovery, &status, 0), recovery);
+  ASSERT_TRUE(WIFEXITED(status)) << "recovery coordinator died by signal";
+  ASSERT_EQ(WEXITSTATUS(status), 0)
+      << "recovery-side invariant failed — code maps to the _exit table in "
+         "RecoveryProcessMain; see " << summary_path;
+
+  for (const pid_t pid : sites) {
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status)) << "site process died by signal";
+    EXPECT_EQ(WEXITSTATUS(status), 0)
+        << "site failed — code maps to the _exit table in SiteProcessMain";
+  }
+
+  // Every cycle of the schedule has a final verdict despite both crashes.
+  const std::map<long, BeliefRecord> beliefs = ReadBeliefLog(beliefs_path);
+  ASSERT_EQ(beliefs.size(), static_cast<std::size_t>(kCycles) + 1);
+  ASSERT_EQ(beliefs.begin()->first, 0);
+  ASSERT_EQ(beliefs.rbegin()->first, kCycles);
+
+  // Accuracy gate: audit the stitched belief stream against the
+  // generator-derived ground truth. The ε zone is a fixed third of the
+  // threshold — wide enough to forgive transient lag around a crossing,
+  // narrow enough that the workload's peaks (global norm ≈ 5) put a solid
+  // block of cycles out of zone above the surface, where a missed detection
+  // is a genuine FN. The self-correction horizon mirrors the stress
+  // harness's coordinator-crash legs. The paper's δ bounds the out-of-zone
+  // FN rate; chaos is allowed to add at most one extra missed cycle per
+  // hundred.
+  const RuntimeConfig protocol = ProtocolConfig();
+  SyntheticDriftGenerator generator(GeneratorConfig());
+  const L2Norm norm;
+  AccuracyAuditorConfig audit;
+  audit.epsilon = protocol.threshold / 3.0;
+  audit.max_out_of_zone_run = 200;
+  long out_of_zone_above = 0;
+  AccuracyAuditor auditor(audit);
+  std::vector<Vector> locals;
+  for (long cycle = 0; cycle <= kCycles; ++cycle) {
+    generator.Advance(&locals);
+    Vector global(locals[0].dim());
+    for (const Vector& local : locals) global += local;
+    global /= static_cast<double>(kSites);
+    const double truth_value = norm.Value(global);
+    const BeliefRecord& record = beliefs.at(cycle);
+    AccuracyAuditor::CycleSample sample;
+    sample.cycle = cycle;
+    sample.believed_above = record.above;
+    sample.truth_above = truth_value > protocol.threshold;
+    sample.estimate_value = record.estimate_value;
+    sample.truth_value = truth_value;
+    sample.surface_distance =
+        norm.DistanceToSurface(global, protocol.threshold);
+    if (sample.truth_above && sample.surface_distance > audit.epsilon) {
+      ++out_of_zone_above;
+    }
+    auditor.ObserveCycle(sample);
+  }
+  const AccuracyAuditor::Report& report = auditor.report();
+  EXPECT_GT(report.true_positives + report.false_negatives, 0L)
+      << "the workload never crossed the threshold — the audit is vacuous";
+  EXPECT_GT(out_of_zone_above, 10L)
+      << "almost no cycle sits clearly above the surface — the FN gate "
+         "judges nothing";
+  EXPECT_LE(report.fn_rate(), protocol.delta + 0.01)
+      << "missed detections beyond the paper's failure allowance: "
+      << report.out_of_zone_false_negatives << " out-of-zone FNs over "
+      << report.cycles << " cycles";
+  EXPECT_EQ(report.bound_violations, 0L)
+      << "an out-of-zone disagreement run outlived the self-correction "
+         "horizon";
+  std::printf(
+      "audit: cycles=%ld TP=%ld TN=%ld FP=%ld FN=%ld oz-FN=%ld "
+      "fn-rate=%.4f max-err=%.4f\n",
+      report.cycles, report.true_positives, report.true_negatives,
+      report.false_positives, report.false_negatives,
+      report.out_of_zone_false_negatives, report.fn_rate(),
+      report.max_abs_error);
+}
+
+}  // namespace
+}  // namespace sgm

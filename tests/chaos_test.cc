@@ -1,0 +1,160 @@
+// Tests of the seeded network-chaos layer (src/runtime/chaos): the fault
+// schedule must be a pure function of (seed, send index), the spacing gate
+// must bound fault density without shifting the random stream, and every
+// triggering message must still reach the transport below (so the write
+// failure — not a silent drop — is what the runtime observes).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/chaos.h"
+#include "runtime/transport.h"
+
+namespace sgm {
+namespace {
+
+/// Transport stub that records every message reaching the layer below.
+class RecordingTransport final : public Transport {
+ public:
+  void Send(const RuntimeMessage& message) override {
+    sent_.push_back(message);
+  }
+  const std::vector<RuntimeMessage>& sent() const { return sent_; }
+
+ private:
+  std::vector<RuntimeMessage> sent_;
+};
+
+RuntimeMessage Heartbeat(int from) {
+  RuntimeMessage message;
+  message.type = RuntimeMessage::Type::kHeartbeat;
+  message.from = from;
+  message.to = kCoordinatorId;
+  return message;
+}
+
+/// Runs `sends` messages through a fresh chaos layer and returns the send
+/// indices (1-based) at which each fault class fired.
+struct FaultSchedule {
+  std::vector<long> resets;
+  std::vector<long> half_opens;
+  long stalls = 0;
+  long forwarded = 0;
+};
+
+FaultSchedule RunSchedule(const ChaosInjectionConfig& config, long sends) {
+  RecordingTransport below;
+  ChaosSocketTransport chaos(&below, config);
+  FaultSchedule schedule;
+  long index = 0;
+  chaos.SetFaultHooks(
+      [&] { schedule.resets.push_back(index); },
+      [&] { schedule.half_opens.push_back(index); });
+  for (index = 1; index <= sends; ++index) chaos.Send(Heartbeat(0));
+  schedule.stalls = chaos.stalls_injected();
+  schedule.forwarded = static_cast<long>(below.sent().size());
+  return schedule;
+}
+
+TEST(ChaosTest, DisabledByDefault) {
+  EXPECT_FALSE(ChaosInjectionConfig{}.enabled());
+  ChaosInjectionConfig reset_only;
+  reset_only.reset_probability = 0.01;
+  EXPECT_TRUE(reset_only.enabled());
+}
+
+TEST(ChaosTest, SameSeedReproducesTheExactFaultSchedule) {
+  ChaosInjectionConfig config;
+  config.seed = 42;
+  config.reset_probability = 0.05;
+  config.half_open_probability = 0.03;
+  config.stall_probability = 0.08;
+  config.stall_ms = 0;  // keep the test fast
+  const FaultSchedule a = RunSchedule(config, 2000);
+  const FaultSchedule b = RunSchedule(config, 2000);
+  EXPECT_EQ(a.resets, b.resets);
+  EXPECT_EQ(a.half_opens, b.half_opens);
+  EXPECT_EQ(a.stalls, b.stalls);
+  ASSERT_FALSE(a.resets.empty()) << "schedule never fired — retune p";
+
+  config.seed = 43;
+  const FaultSchedule c = RunSchedule(config, 2000);
+  EXPECT_NE(a.resets, c.resets) << "different seeds, same schedule";
+}
+
+TEST(ChaosTest, SpacingGateBoundsFaultDensityExactly) {
+  // With p(reset)=1 every send *wants* a fault; the gate admits one per
+  // min_sends_between_faults+1 sends (the draw stream keeps moving, only
+  // the effects are masked).
+  ChaosInjectionConfig config;
+  config.reset_probability = 1.0;
+  config.min_sends_between_faults = 4;
+  const long sends = 3 * 5;  // three full gate windows
+  const FaultSchedule schedule = RunSchedule(config, sends);
+  ASSERT_EQ(schedule.resets.size(), 3u);
+  EXPECT_EQ(schedule.resets[0], 1);  // gate starts open
+  EXPECT_EQ(schedule.resets[1], 6);
+  EXPECT_EQ(schedule.resets[2], 11);
+}
+
+TEST(ChaosTest, ResetOutranksHalfOpenOutranksStall) {
+  ChaosInjectionConfig config;
+  config.reset_probability = 1.0;
+  config.half_open_probability = 1.0;
+  config.stall_probability = 1.0;
+  config.stall_ms = 0;
+  config.min_sends_between_faults = 1;
+  const FaultSchedule schedule = RunSchedule(config, 100);
+  EXPECT_GT(schedule.resets.size(), 0u);
+  EXPECT_EQ(schedule.half_opens.size(), 0u);
+  EXPECT_EQ(schedule.stalls, 0);
+}
+
+TEST(ChaosTest, EveryMessageReachesTheTransportBelow) {
+  // Faults break connections; they never eat messages. The triggering
+  // message is forwarded into the broken connection so the *write failure*
+  // is what the caller sees — the real failure path, not a simulated one.
+  ChaosInjectionConfig config;
+  config.seed = 7;
+  config.reset_probability = 0.2;
+  config.half_open_probability = 0.2;
+  config.min_sends_between_faults = 2;
+  const FaultSchedule schedule = RunSchedule(config, 500);
+  EXPECT_EQ(schedule.forwarded, 500);
+}
+
+TEST(ChaosTest, GateMasksEffectsWithoutShiftingTheDrawStream) {
+  // The gate filters fault *effects*; it never re-rolls. Replicating the
+  // layer's draw stream (one reset/stall/half-open Bernoulli triple per
+  // send, in that order) must therefore predict every index a gated
+  // schedule fires at: each one is a "wanted" reset in the raw stream.
+  ChaosInjectionConfig config;
+  config.seed = 11;
+  config.reset_probability = 0.10;
+  config.stall_probability = 0.05;
+  config.stall_ms = 0;
+  config.half_open_probability = 0.05;
+  config.min_sends_between_faults = 25;
+  const long sends = 1500;
+
+  Rng replica(config.seed);
+  std::vector<bool> wanted_reset(static_cast<std::size_t>(sends) + 1, false);
+  for (long i = 1; i <= sends; ++i) {
+    wanted_reset[static_cast<std::size_t>(i)] =
+        replica.NextBernoulli(config.reset_probability);
+    replica.NextBernoulli(config.stall_probability);
+    replica.NextBernoulli(config.half_open_probability);
+  }
+
+  const FaultSchedule schedule = RunSchedule(config, sends);
+  ASSERT_FALSE(schedule.resets.empty());
+  for (const long index : schedule.resets) {
+    EXPECT_TRUE(wanted_reset[static_cast<std::size_t>(index)])
+        << "fault at send " << index
+        << " has no matching draw — the gate shifted the stream";
+  }
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,222 @@
+// Tests of the socket runtime's self-healing paths, fully in-process (no
+// fork — this suite runs under TSan in CI):
+//  * reconnect-with-rejoin: a severed site connection redials, re-registers
+//    with a re-hello, and the rejoin handshake re-anchors the site without
+//    poisoning the paper counters;
+//  * coordinator restart-from-checkpoint: a Halt()ed (crash-stopped)
+//    coordinator's successor recovers from the shared store with an exact
+//    epoch fence while the surviving site clients reconnect to it.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "functions/l2_norm.h"
+#include "obs/telemetry.h"
+#include "runtime/checkpoint.h"
+#include "runtime/coordinator_server.h"
+#include "runtime/site_client.h"
+
+namespace sgm {
+namespace {
+
+constexpr int kSites = 4;
+
+SyntheticDriftConfig GeneratorConfig() {
+  SyntheticDriftConfig config;
+  config.num_sites = kSites;
+  config.dim = 4;
+  config.seed = 23;
+  config.global_period = 60;
+  config.global_amplitude = 2.5;
+  return config;
+}
+
+RuntimeConfig ProtocolConfig() {
+  SyntheticDriftGenerator probe(GeneratorConfig());
+  RuntimeConfig config;
+  config.threshold = 3.0;
+  config.max_step_norm = probe.max_step_norm();
+  config.drift_norm_cap = probe.max_drift_norm();
+  config.seed = 7;
+  return config;
+}
+
+SiteClientConfig SiteConfig(int id, int port) {
+  SiteClientConfig config;
+  config.site_id = id;
+  config.num_sites = kSites;
+  config.port = port;
+  config.runtime = ProtocolConfig();
+  // Fast dial policy: restarts in this suite happen within milliseconds.
+  config.runtime.socket_retry.max_attempts = 400;
+  config.runtime.socket_retry.base_backoff_ms = 1;
+  config.runtime.socket_retry.max_backoff_ms = 20;
+  config.max_reconnects = 16;
+  return config;
+}
+
+/// Site worker over a heap-owned client (the test thread keeps the pointer
+/// so it can inject faults mid-run).
+void RunSite(SiteClient* client, int id, std::atomic<int>* failures) {
+  SyntheticDriftGenerator generator(GeneratorConfig());
+  if (!client->Connect()) {
+    failures->fetch_add(1);
+    return;
+  }
+  std::vector<Vector> locals;
+  long advanced = 0;
+  if (!client->Run([&](long cycle) {
+        while (advanced <= cycle) {
+          generator.Advance(&locals);
+          ++advanced;
+        }
+        return locals[id];
+      })) {
+    failures->fetch_add(1);
+  }
+}
+
+TEST(ReconnectTest, InjectedResetTriggersReconnectAndRejoin) {
+  const L2Norm norm;
+  Telemetry telemetry;
+  CoordinatorServerConfig server_config;
+  server_config.num_sites = kSites;
+  server_config.runtime = ProtocolConfig();
+  server_config.runtime.telemetry = &telemetry;
+  CoordinatorServer server(norm, server_config);
+  ASSERT_TRUE(server.Listen());
+
+  std::vector<std::unique_ptr<SiteClient>> clients;
+  for (int id = 0; id < kSites; ++id) {
+    clients.push_back(
+        std::make_unique<SiteClient>(norm, SiteConfig(id, server.port())));
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int id = 0; id < kSites; ++id) {
+    threads.emplace_back(RunSite, clients[id].get(), id, &failures);
+  }
+  ASSERT_TRUE(server.WaitForSites());
+
+  for (long cycle = 0; cycle <= 10; ++cycle) ASSERT_TRUE(server.RunCycle());
+  const long syncs_before = server.FullSyncs();
+
+  // Sever site 1's connection from outside. The client must notice, redial,
+  // re-hello, and drive the rejoin handshake — all while the lockstep
+  // cycles keep running against the shifting membership.
+  clients[1]->InjectConnectionReset();
+  for (long cycle = 0; cycle <= 30; ++cycle) ASSERT_TRUE(server.RunCycle());
+
+  EXPECT_GE(clients[1]->reconnects(), 1L);
+  EXPECT_GE(server.SiteRehellos(), 1L);
+  EXPECT_GE(server.SiteDisconnects(), 1L);
+  EXPECT_EQ(server.ConnectedCount(), kSites);
+  // Bounded reconvergence: the rejoin grant schedules a resync, so the
+  // post-fault window must contain at least one fresh full sync.
+  EXPECT_GT(server.FullSyncs(), syncs_before);
+  // Quiescence at the last barrier means nothing is owed on the wire.
+  EXPECT_FALSE(server.HasUnacked());
+
+  server.Shutdown();
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (const auto& client : clients) {
+    EXPECT_EQ(client->exit_reason(), SiteExitReason::kShutdown);
+  }
+
+  // The rejoin path must not have smuggled stale state into the estimate.
+  server.PublishMetrics();
+  MetricRegistry& registry = telemetry.registry;
+  EXPECT_EQ(registry.GetCounter("coordinator.stale_epoch_applied")->value(),
+            0L);
+  EXPECT_GE(registry.GetCounter("coordinator.rejoins_granted")->value(), 1L);
+  EXPECT_GE(registry.GetCounter("socket.site_rehellos")->value(), 1L);
+}
+
+TEST(ReconnectTest, CoordinatorRestartRecoversWithExactEpochFence) {
+  const L2Norm norm;
+  InMemoryCheckpointStore store;
+
+  CoordinatorServerConfig config;
+  config.num_sites = kSites;
+  config.runtime = ProtocolConfig();
+  config.runtime.checkpoint_store = &store;
+  config.runtime.checkpoint_interval_cycles = 5;
+
+  auto first = std::make_unique<CoordinatorServer>(norm, config);
+  ASSERT_TRUE(first->Listen());
+  const int port = first->port();
+
+  std::vector<std::unique_ptr<SiteClient>> clients;
+  for (int id = 0; id < kSites; ++id) {
+    clients.push_back(
+        std::make_unique<SiteClient>(norm, SiteConfig(id, port)));
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int id = 0; id < kSites; ++id) {
+    threads.emplace_back(RunSite, clients[id].get(), id, &failures);
+  }
+  ASSERT_TRUE(first->WaitForSites());
+  for (long cycle = 0; cycle <= 12; ++cycle) ASSERT_TRUE(first->RunCycle());
+  const long cycles_before = first->CyclesRun();
+
+  // Crash-stop: no shutdown broadcast. Site clients see a raw EOF and
+  // start redialing the port.
+  first->Halt();
+  first.reset();
+
+  // What the dead incarnation durably committed (log-before-wire makes
+  // this exact, not approximate).
+  const Result<Reconstruction> committed =
+      ReconstructCoordinatorState(store);
+  ASSERT_TRUE(committed.ok());
+  const std::int64_t committed_epoch = committed.ValueOrDie().state.epoch;
+
+  CoordinatorServerConfig restart_config = config;
+  restart_config.port = port;  // same endpoint the sites keep dialing
+  CoordinatorServer second(norm, restart_config);
+  ASSERT_TRUE(second.Listen());
+  ASSERT_TRUE(second.Recover());
+  // The fence is exact: one past the committed epoch, every time.
+  EXPECT_EQ(second.Epoch(), committed_epoch + 1);
+  // Field-level restore: the successor resumes the committed cycle (the
+  // newest snapshot/WAL record's), never restarts from zero.
+  EXPECT_EQ(second.CyclesRun() - 1, committed.ValueOrDie().state.cycle);
+  EXPECT_LE(second.CyclesRun(), cycles_before);
+  EXPECT_GE(second.CyclesRun(), 11L);  // snapshot interval 5, crash at 12
+
+  ASSERT_TRUE(second.WaitForSites());
+  for (long cycle = 0; cycle <= 10; ++cycle) ASSERT_TRUE(second.RunCycle());
+  EXPECT_EQ(second.ConnectedCount(), kSites);
+  EXPECT_FALSE(second.HasUnacked());
+  second.Shutdown();
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  for (const auto& client : clients) {
+    EXPECT_EQ(client->exit_reason(), SiteExitReason::kShutdown);
+    EXPECT_GE(client->reconnects(), 1L);
+  }
+}
+
+TEST(ReconnectTest, RecoverWithEmptyStoreFailsCleanly) {
+  const L2Norm norm;
+  InMemoryCheckpointStore store;
+  CoordinatorServerConfig config;
+  config.num_sites = kSites;
+  config.runtime = ProtocolConfig();
+  config.runtime.checkpoint_store = &store;
+  CoordinatorServer server(norm, config);
+  ASSERT_TRUE(server.Listen());
+  EXPECT_FALSE(server.Recover()) << "no snapshot should mean no recovery";
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace sgm

@@ -8,7 +8,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -322,6 +324,188 @@ TEST(SocketTransportTest, PeerLossCountsFailureAndReconnectRecovers) {
   const std::vector<RuntimeMessage> got = ReadMessages(fresh.server, 1);
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got[0].scalar, report.scalar);
+}
+
+TEST(FrameReaderTest, ResetDiscardsBufferedPartialFrame) {
+  const RuntimeMessage first = MakeReport(1, 2.5, 8);
+  const RuntimeMessage second = MakeReport(2, 7.5, 8);
+  const std::vector<std::uint8_t> stream = Framed(first);
+
+  FrameReader reader;
+  // Half a frame arrives, then the connection dies. The surviving bytes
+  // must not splice with anything a fresh session delivers.
+  reader.Append(stream.data(), stream.size() / 2);
+  std::vector<std::uint8_t> frame;
+  ASSERT_EQ(reader.NextFrame(&frame), FrameReader::Result::kNeedMore);
+  reader.Reset();
+
+  const std::vector<std::uint8_t> fresh = Framed(second);
+  reader.Append(fresh.data(), fresh.size());
+  std::vector<RuntimeMessage> out;
+  FrameStats stats;
+  ASSERT_TRUE(DrainDecodedFrames(&reader, &out, &stats));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].from, second.from);
+  EXPECT_EQ(out[0].scalar, second.scalar);
+  // A splice would have produced CRC garbage; a clean reset produces none.
+  EXPECT_EQ(stats.corrupt, 0L);
+  EXPECT_EQ(stats.frames, 1L);
+}
+
+TEST(FrameReaderTest, ResetClearsOversizedPrefixPoison) {
+  FrameReader reader;
+  const std::uint8_t huge[4] = {0xFF, 0xFF, 0xFF, 0x7F};
+  reader.Append(huge, sizeof(huge));
+  std::vector<std::uint8_t> frame;
+  ASSERT_EQ(reader.NextFrame(&frame), FrameReader::Result::kOversized);
+  // Poison is permanent within a session — but Reset starts a new session
+  // on a new connection, where the old garbage means nothing.
+  reader.Reset();
+  const RuntimeMessage sent = MakeReport(0, 1.0, 4);
+  const std::vector<std::uint8_t> stream = Framed(sent);
+  reader.Append(stream.data(), stream.size());
+  ASSERT_EQ(reader.NextFrame(&frame), FrameReader::Result::kFrame);
+}
+
+TEST(SocketTransportTest, MidFrameDisconnectDoesNotSpliceAcrossReconnect) {
+  // The peer dies halfway through a length-prefixed frame: the receiver
+  // holds a dangling prefix plus partial body. After reconnect-with-Reset,
+  // the next session's frames decode cleanly with zero CRC casualties.
+  LoopbackPair pair;
+  ASSERT_TRUE(pair.Open());
+  const RuntimeMessage doomed = MakeReport(1, 9.0, 64);
+  const std::vector<std::uint8_t> stream = Framed(doomed);
+  ASSERT_EQ(::send(pair.client, stream.data(), stream.size() / 2, 0),
+            static_cast<ssize_t>(stream.size() / 2));
+  ::close(pair.client);
+  pair.client = -1;
+
+  FrameReader reader;
+  std::array<std::uint8_t, 4096> buffer;
+  for (;;) {
+    const ssize_t n =
+        ::recv(pair.server, buffer.data(), buffer.size(), 0);
+    if (n <= 0) break;  // EOF mid-frame
+    reader.Append(buffer.data(), static_cast<std::size_t>(n));
+  }
+  std::vector<RuntimeMessage> out;
+  FrameStats stats;
+  ASSERT_TRUE(DrainDecodedFrames(&reader, &out, &stats));
+  EXPECT_TRUE(out.empty()) << "half a frame must not decode";
+  EXPECT_EQ(stats.corrupt, 0L);
+
+  // Reconnect: fresh connection, same reader object, state discarded.
+  reader.Reset();
+  LoopbackPair fresh;
+  ASSERT_TRUE(fresh.Open());
+  SocketTransport transport;
+  transport.RegisterPeer(kCoordinatorId, fresh.client);
+  const RuntimeMessage survivor = MakeReport(2, 3.0, 16);
+  transport.Send(survivor);
+  ::shutdown(fresh.client, SHUT_WR);
+  for (;;) {
+    const ssize_t n =
+        ::recv(fresh.server, buffer.data(), buffer.size(), 0);
+    if (n <= 0) break;
+    reader.Append(buffer.data(), static_cast<std::size_t>(n));
+  }
+  out.clear();
+  ASSERT_TRUE(DrainDecodedFrames(&reader, &out, &stats));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].from, survivor.from);
+  EXPECT_EQ(out[0].payload, survivor.payload);
+  EXPECT_EQ(stats.corrupt, 0L);
+}
+
+TEST(SocketTransportTest, SenderDiesAfterPartialWriteReceiverStaysClean) {
+  // The sending process is killed mid-write of a large frame (simulated by
+  // closing after a truncated raw write). The receiver must treat the
+  // truncated tail as silence — never as a decodable or corrupt frame.
+  LoopbackPair pair;
+  ASSERT_TRUE(pair.Open());
+  const RuntimeMessage big = MakeReport(3, 5.0, 4096);
+  const std::vector<std::uint8_t> stream = Framed(big);
+  // Write everything except the last byte, then die.
+  ASSERT_EQ(::send(pair.client, stream.data(), stream.size() - 1, 0),
+            static_cast<ssize_t>(stream.size() - 1));
+  ::close(pair.client);
+  pair.client = -1;
+
+  FrameReader reader;
+  std::array<std::uint8_t, 65536> buffer;
+  for (;;) {
+    const ssize_t n =
+        ::recv(pair.server, buffer.data(), buffer.size(), 0);
+    if (n <= 0) break;
+    reader.Append(buffer.data(), static_cast<std::size_t>(n));
+  }
+  std::vector<RuntimeMessage> out;
+  FrameStats stats;
+  ASSERT_TRUE(DrainDecodedFrames(&reader, &out, &stats));
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.frames, 0L);
+  EXPECT_EQ(stats.corrupt, 0L);
+}
+
+TEST(SocketRetryTest, BackoffDoublesCapsAndJittersDeterministically) {
+  SocketRetryConfig retry;
+  retry.base_backoff_ms = 4;
+  retry.max_backoff_ms = 64;
+  retry.jitter_seed = 99;
+  std::uint64_t state_a = retry.jitter_seed;
+  std::uint64_t state_b = retry.jitter_seed;
+  for (int attempt = 1; attempt <= 12; ++attempt) {
+    const long a = SocketRetryDelayMs(retry, attempt, &state_a);
+    const long b = SocketRetryDelayMs(retry, attempt, &state_b);
+    EXPECT_EQ(a, b) << "same seed, same schedule";
+    EXPECT_LE(a, 64L);
+    EXPECT_GE(a, 1L);
+  }
+  // The exponential phase grows until the cap: attempt 6 spans (16, 32].
+  std::uint64_t state = retry.jitter_seed;
+  for (int attempt = 1; attempt < 4; ++attempt) {
+    SocketRetryDelayMs(retry, attempt, &state);
+  }
+  const long mid = SocketRetryDelayMs(retry, 4, &state);
+  EXPECT_GE(mid, 16L);
+  EXPECT_LE(mid, 32L);
+}
+
+TEST(SocketRetryTest, ConnectRetriesUntilListenerAppearsAndGivesUp) {
+  // Reserve a port, but only start listening after a delay: the first
+  // dial attempts must fail and the retry loop must pick the listener up
+  // once it exists.
+  int port = 0;
+  {
+    const int probe = ListenTcpLoopback(0, &port);
+    ASSERT_GE(probe, 0);
+    ::close(probe);  // port now free (SO_REUSEADDR rebinds it below)
+  }
+  SocketRetryConfig retry;
+  retry.max_attempts = 100;
+  retry.base_backoff_ms = 1;
+  retry.max_backoff_ms = 10;
+  std::uint64_t state = 7;
+
+  std::atomic<int> listen_fd{-1};
+  std::thread late_listener([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    int bound = 0;
+    listen_fd.store(ListenTcpLoopback(port, &bound));
+  });
+  const int fd = ConnectTcpLoopbackWithRetry(port, retry, &state);
+  late_listener.join();
+  EXPECT_GE(fd, 0) << "retry loop never found the late listener";
+  if (fd >= 0) ::close(fd);
+  if (listen_fd.load() >= 0) ::close(listen_fd.load());
+
+  // Give-up: nobody listens on the (re-freed) port, tiny budget.
+  SocketRetryConfig hopeless;
+  hopeless.max_attempts = 3;
+  hopeless.base_backoff_ms = 1;
+  hopeless.max_backoff_ms = 2;
+  std::uint64_t hopeless_state = 3;
+  EXPECT_LT(ConnectTcpLoopbackWithRetry(port, hopeless, &hopeless_state), 0);
 }
 
 }  // namespace

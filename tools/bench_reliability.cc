@@ -19,20 +19,36 @@
 //   --metrics-out=PATH  write the last cell's full metric-registry JSON
 //   --trace=PATH        write the whole matrix's trace (JSONL, one event
 //                       per line; cells delimited by cell_begin events)
+//   --chaos             run the socket-runtime recovery matrix instead: an
+//                       in-process loopback deployment per seed with
+//                       injected connection resets, measuring
+//                       time-to-reconverge (p50/p99 across resets) and the
+//                       paper-message overhead of the rejoin handshake
+//                       against a fault-free twin. Committed baseline:
+//                       bench_reliability --chaos > BENCH_chaos.json
+//                       (reconnect_ms_* and wall_time_ms are wall-clock;
+//                       everything else is seed-deterministic).
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/rng.h"
 #include "data/jester_like.h"
+#include "data/synthetic.h"
+#include "functions/l2_norm.h"
 #include "functions/linf_distance.h"
 #include "obs/telemetry.h"
+#include "runtime/coordinator_server.h"
 #include "runtime/driver.h"
+#include "runtime/site_client.h"
 
 namespace {
 
@@ -152,22 +168,209 @@ void RunCell(const Cell& cell, bool first, sgm::TraceLog* trace,
   }
 }
 
+// ── Socket-runtime recovery matrix (--chaos) ─────────────────────────────
+
+constexpr int kChaosSites = 4;
+constexpr long kChaosCycles = 200;
+constexpr int kChaosResets = 8;
+constexpr long kChaosSchemaVersion = 1;
+
+sgm::RuntimeConfig ChaosNodeConfig(std::uint64_t seed,
+                                   const sgm::SyntheticDriftGenerator& probe) {
+  sgm::RuntimeConfig config;
+  config.threshold = 3.0;
+  config.max_step_norm = probe.max_step_norm();
+  config.drift_norm_cap = probe.max_drift_norm();
+  config.seed = sgm::DeriveSeed(seed, 404);
+  return config;
+}
+
+sgm::SyntheticDriftConfig ChaosWorkloadConfig(std::uint64_t seed) {
+  sgm::SyntheticDriftConfig config;
+  config.num_sites = kChaosSites;
+  config.dim = 4;
+  config.seed = sgm::DeriveSeed(seed, 505);
+  config.global_period = 60;
+  config.global_amplitude = 2.5;
+  return config;
+}
+
+struct ChaosRun {
+  bool ok = false;
+  long resets_injected = 0;
+  long site_rehellos = 0;
+  long reconnects = 0;
+  long paper_messages = 0;
+  long full_syncs = 0;
+  std::vector<double> reconnect_ms;  ///< injection → observed re-hello
+  double wall_ms = 0.0;
+};
+
+/// One in-process loopback deployment: a CoordinatorServer plus kChaosSites
+/// SiteClient threads. With `inject`, the main thread severs one site's
+/// connection every ~20 cycles and measures the wall time until the
+/// coordinator sees the matching re-hello (sampled at cycle granularity —
+/// the same resolution an operator's per-cycle metrics would give).
+ChaosRun RunChaosDeployment(std::uint64_t seed, bool inject) {
+  using Clock = std::chrono::steady_clock;
+  ChaosRun run;
+  const sgm::SyntheticDriftConfig workload = ChaosWorkloadConfig(seed);
+  sgm::SyntheticDriftGenerator probe(workload);
+  const sgm::L2Norm norm;
+
+  sgm::CoordinatorServerConfig server_config;
+  server_config.num_sites = kChaosSites;
+  server_config.runtime = ChaosNodeConfig(seed, probe);
+  sgm::CoordinatorServer server(norm, server_config);
+  if (!server.Listen()) return run;
+
+  std::vector<std::unique_ptr<sgm::SiteClient>> clients;
+  for (int id = 0; id < kChaosSites; ++id) {
+    sgm::SiteClientConfig config;
+    config.site_id = id;
+    config.num_sites = kChaosSites;
+    config.port = server.port();
+    config.runtime = ChaosNodeConfig(seed, probe);
+    config.runtime.socket_retry.max_attempts = 200;
+    config.runtime.socket_retry.base_backoff_ms = 1;
+    config.runtime.socket_retry.max_backoff_ms = 20;
+    config.runtime.socket_retry.jitter_seed = sgm::DeriveSeed(seed, 606);
+    config.max_reconnects = kChaosResets + 4;
+    clients.push_back(std::make_unique<sgm::SiteClient>(norm, config));
+  }
+
+  std::atomic<bool> sites_ok{true};
+  std::vector<std::thread> threads;
+  threads.reserve(kChaosSites);
+  for (int id = 0; id < kChaosSites; ++id) {
+    threads.emplace_back([id, &clients, &workload, &sites_ok] {
+      sgm::SyntheticDriftGenerator generator(workload);
+      if (!clients[id]->Connect()) {
+        sites_ok.store(false);
+        return;
+      }
+      std::vector<sgm::Vector> locals;
+      long advanced = 0;
+      if (!clients[id]->Run([&](long cycle) {
+            while (advanced <= cycle) {
+              generator.Advance(&locals);
+              ++advanced;
+            }
+            return locals[id];
+          })) {
+        sites_ok.store(false);
+      }
+    });
+  }
+
+  const auto start = Clock::now();
+  bool cycles_ok = server.WaitForSites();
+  long seen_rehellos = 0;
+  bool awaiting = false;
+  Clock::time_point injected_at{};
+  for (long cycle = 0; cycles_ok && cycle <= kChaosCycles; ++cycle) {
+    cycles_ok = server.RunCycle();
+    if (awaiting && server.SiteRehellos() > seen_rehellos) {
+      run.reconnect_ms.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() -
+                                                    injected_at)
+              .count());
+      seen_rehellos = server.SiteRehellos();
+      awaiting = false;
+    }
+    if (inject && !awaiting && run.resets_injected < kChaosResets &&
+        cycle % 20 == 10) {
+      const int victim =
+          static_cast<int>(run.resets_injected) % kChaosSites;
+      injected_at = Clock::now();
+      clients[victim]->InjectConnectionReset();
+      ++run.resets_injected;
+      awaiting = true;
+    }
+  }
+  server.Shutdown();
+  for (std::thread& t : threads) t.join();
+  run.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                          start)
+                    .count();
+
+  run.ok = cycles_ok && sites_ok.load();
+  run.site_rehellos = server.SiteRehellos();
+  run.paper_messages = server.PaperMessages();
+  run.full_syncs = server.FullSyncs();
+  for (const auto& client : clients) run.reconnects += client->reconnects();
+  return run;
+}
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
+}
+
+int RunChaosMatrix() {
+  std::printf("{\"benchmark\": \"socket_chaos\", \"schema_version\": %ld,"
+              " \"workload\": \"synthetic/l2\",\n \"runs\": [\n",
+              kChaosSchemaVersion);
+  const std::uint64_t kSeeds[] = {1, 2, 3};
+  bool first = true;
+  bool all_ok = true;
+  for (const std::uint64_t seed : kSeeds) {
+    // The fault-free twin isolates the rejoin handshake's paper-message
+    // cost: same seeds, same schedule, no injected resets.
+    const ChaosRun baseline = RunChaosDeployment(seed, /*inject=*/false);
+    const ChaosRun faulted = RunChaosDeployment(seed, /*inject=*/true);
+    all_ok = all_ok && baseline.ok && faulted.ok;
+    const double overhead =
+        baseline.paper_messages > 0
+            ? static_cast<double>(faulted.paper_messages -
+                                  baseline.paper_messages) /
+                  static_cast<double>(baseline.paper_messages)
+            : 0.0;
+    std::printf(
+        "%s  {\"seed\": %llu, \"sites\": %d, \"cycles\": %ld,"
+        " \"resets_injected\": %ld,\n"
+        "   \"site_rehellos\": %ld, \"site_reconnects\": %ld,"
+        " \"reconnect_ms_p50\": %.2f, \"reconnect_ms_p99\": %.2f,\n"
+        "   \"paper_messages\": %ld, \"baseline_paper_messages\": %ld,"
+        " \"rejoin_message_overhead_ratio\": %.4f,\n"
+        "   \"full_syncs\": %ld, \"baseline_full_syncs\": %ld,"
+        " \"wall_time_ms\": %.1f}",
+        first ? "" : ",\n", static_cast<unsigned long long>(seed),
+        kChaosSites, kChaosCycles, faulted.resets_injected,
+        faulted.site_rehellos, faulted.reconnects,
+        Percentile(faulted.reconnect_ms, 0.50),
+        Percentile(faulted.reconnect_ms, 0.99), faulted.paper_messages,
+        baseline.paper_messages, overhead, faulted.full_syncs,
+        baseline.full_syncs, faulted.wall_ms);
+    first = false;
+  }
+  std::printf("\n]}\n");
+  return all_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
+  bool chaos = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_out = arg.substr(std::strlen("--metrics-out="));
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_out = arg.substr(std::strlen("--trace="));
+    } else if (arg == "--chaos") {
+      chaos = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
     }
   }
+  if (chaos) return RunChaosMatrix();
 
   // Drop-rate tiers of the acceptance matrix: clean, moderate, hostile.
   // Duplicates/delays scale with the drop tier, like the stress profiles.

@@ -36,6 +36,18 @@
 //   --connect    coordinator endpoint for --site ([host:]port; loopback)
 //   --prom-out   coordinator: rewrite this Prometheus textfile every cycle
 //   --series-out coordinator: per-cycle metric time series (JSONL)
+//   --checkpoint-dir  coordinator: durable snapshot+WAL directory
+//   --recover    coordinator: restore from --checkpoint-dir before serving
+//                (restart-from-checkpoint; see docs/RUNTIME.md runbook)
+//   --connect-attempts / --connect-base-ms / --connect-max-ms
+//                site: bounded-retry dial policy with seeded jitter,
+//                shared by the first connect and every reconnect
+//   --max-reconnects  site: sessions to re-establish after peer loss
+//
+// Site daemons exit 0 only on a clean kShutdown; each failure mode has a
+// distinct code (and a structured stderr line):
+//   3 coordinator EOF   4 connect give-up   5 recv error
+//   6 stream poisoned   7 send failed       8 poll error
 //
 // Every deployment-shape flag (--workload, --function, --sites,
 // --threshold, --delta, --seed) must be identical across the coordinator
@@ -69,6 +81,7 @@
 #include "gm/gm.h"
 #include "gm/pgm.h"
 #include "gm/sgm.h"
+#include "runtime/checkpoint.h"
 #include "runtime/coordinator_server.h"
 #include "runtime/site_client.h"
 #include "sim/network.h"
@@ -95,13 +108,26 @@ struct Flags {
   std::string connect;   ///< [host:]port of the coordinator for --site
   std::string prom_out;
   std::string series_out;
+  std::string checkpoint_dir;  ///< coordinator durability directory
+  bool recover = false;        ///< restore from checkpoint_dir on start
+  SocketRetryConfig socket_retry;  ///< site dial policy (first + re-connect)
+  int max_reconnects = 8;
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto eq = arg.find('=');
-    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unrecognized argument: %s\n", arg.c_str());
+      return false;
+    }
+    if (eq == std::string::npos) {
+      // The only valueless flag; everything else is --key=value.
+      if (arg == "--recover") {
+        flags->recover = true;
+        continue;
+      }
       std::fprintf(stderr, "unrecognized argument: %s\n", arg.c_str());
       return false;
     }
@@ -140,6 +166,18 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->prom_out = value;
     } else if (key == "series-out") {
       flags->series_out = value;
+    } else if (key == "checkpoint-dir") {
+      flags->checkpoint_dir = value;
+    } else if (key == "recover") {
+      flags->recover = value != "0" && value != "false";
+    } else if (key == "connect-attempts") {
+      flags->socket_retry.max_attempts = std::atoi(value.c_str());
+    } else if (key == "connect-base-ms") {
+      flags->socket_retry.base_backoff_ms = std::atol(value.c_str());
+    } else if (key == "connect-max-ms") {
+      flags->socket_retry.max_backoff_ms = std::atol(value.c_str());
+    } else if (key == "max-reconnects") {
+      flags->max_reconnects = std::atoi(value.c_str());
     } else {
       std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
       return false;
@@ -259,6 +297,7 @@ RuntimeConfig MakeRuntimeConfig(const Flags& flags,
   config.max_step_norm = source.max_step_norm();
   config.drift_norm_cap = source.max_drift_norm();
   config.seed = flags.seed;
+  config.socket_retry = flags.socket_retry;
   return config;
 }
 
@@ -307,11 +346,32 @@ int RunCoordinatorDaemon(const Flags& flags) {
   config.runtime = MakeRuntimeConfig(flags, *source);
   config.runtime.telemetry = &telemetry;
 
+  std::unique_ptr<FileCheckpointStore> store;
+  if (!flags.checkpoint_dir.empty()) {
+    store = std::make_unique<FileCheckpointStore>(flags.checkpoint_dir);
+    config.runtime.checkpoint_store = store.get();
+  }
+  if (flags.recover && store == nullptr) {
+    std::fprintf(stderr, "--recover requires --checkpoint-dir\n");
+    return 2;
+  }
+
   CoordinatorServer server(*function, config);
   if (!server.Listen()) {
     std::fprintf(stderr, "cannot listen on 127.0.0.1:%d\n",
                  flags.listen_port);
     return 2;
+  }
+  if (flags.recover) {
+    if (!server.Recover()) {
+      std::fprintf(stderr, "recovery failed: no decodable snapshot in %s\n",
+                   flags.checkpoint_dir.c_str());
+      return 4;
+    }
+    std::printf("coordinator recovered from %s: epoch %ld, resuming after "
+                "cycle %ld\n",
+                flags.checkpoint_dir.c_str(),
+                static_cast<long>(server.Epoch()), server.CyclesRun() - 1);
   }
   std::printf("coordinator listening on 127.0.0.1:%d, waiting for %d "
               "sites\n",
@@ -322,7 +382,9 @@ int RunCoordinatorDaemon(const Flags& flags) {
     return 1;
   }
   // Cycle 0 is the initialization sync; then flags.cycles update cycles.
-  for (long cycle = 0; cycle <= flags.cycles; ++cycle) {
+  // A recovered incarnation completes the original schedule: it resumes
+  // from the restored cycle counter instead of running --cycles anew.
+  for (long cycle = server.CyclesRun(); cycle <= flags.cycles; ++cycle) {
     if (!server.RunCycle()) {
       std::fprintf(stderr, "cycle %ld: barrier timeout (site lost?)\n",
                    cycle);
@@ -393,11 +455,15 @@ int RunSiteDaemon(const Flags& flags) {
   config.num_sites = source->num_sites();
   config.port = port;
   config.runtime = MakeRuntimeConfig(flags, *source);
+  config.max_reconnects = flags.max_reconnects;
 
   SiteClient client(*function, config);
   if (!client.Connect()) {
-    std::fprintf(stderr, "cannot connect to 127.0.0.1:%d\n", port);
-    return 1;
+    std::fprintf(stderr,
+                 "site %d: exit reason=connect-give-up attempts=%d "
+                 "endpoint=127.0.0.1:%d\n",
+                 flags.site_id, flags.socket_retry.max_attempts, port);
+    return 4;
   }
   // The site's stream is regenerated locally: every process runs the same
   // seeded generator and takes its own column, so the deployment observes
@@ -411,9 +477,28 @@ int RunSiteDaemon(const Flags& flags) {
     }
     return locals[static_cast<std::size_t>(flags.site_id)];
   });
-  std::printf("site %d: %ld cycles observed, %s shutdown\n", flags.site_id,
-              client.cycles_observed(), clean ? "clean" : "lost-connection");
-  return clean ? 0 : 1;
+  if (clean) {
+    std::printf("site %d: %ld cycles observed, clean shutdown "
+                "(reconnects=%ld)\n",
+                flags.site_id, client.cycles_observed(), client.reconnects());
+    return 0;
+  }
+  // Structured abnormal-exit line: every silent failure mode gets a named
+  // reason and a distinct exit code the supervisor can branch on.
+  std::fprintf(stderr,
+               "site %d: exit reason=%s reconnects=%ld cycles_observed=%ld\n",
+               flags.site_id, SiteExitReasonName(client.exit_reason()),
+               client.reconnects(), client.cycles_observed());
+  switch (client.exit_reason()) {
+    case SiteExitReason::kShutdown: return 0;  // unreachable when !clean
+    case SiteExitReason::kCoordinatorEof: return 3;
+    case SiteExitReason::kConnectGiveUp: return 4;
+    case SiteExitReason::kRecvError: return 5;
+    case SiteExitReason::kStreamPoisoned: return 6;
+    case SiteExitReason::kSendFailed: return 7;
+    case SiteExitReason::kPollError: return 8;
+  }
+  return 1;
 }
 
 int Run(int argc, char** argv) {
