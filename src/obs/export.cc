@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 
 #include "core/check.h"
 
@@ -80,7 +81,101 @@ void TimeSeriesExporter::Sample(long cycle, const MetricRegistry& registry) {
                                   WindowQuantile(history, 0.99)};
   }
 
+  if (observer_) observer_(cycle, record.delta);
+
   records_.push_back(std::move(record));
+}
+
+std::string PrometheusMetricName(const std::string& name) {
+  std::string out = "sgm_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string PrometheusEscapeHelp(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusHelpText(const std::string& dotted_name) {
+  struct FamilyHelp {
+    const char* prefix;
+    const char* help;
+  };
+  // Keep in sync with the metric catalog in docs/OBSERVABILITY.md.
+  static const FamilyHelp kFamilies[] = {
+      {"paper.", "paper-protocol cost accounting (simulator legs)"},
+      {"transport.", "reliable-transport accounting (paper vs wire cost)"},
+      {"coordinator.", "coordinator protocol state and sync counters"},
+      {"site.", "site-node protocol state and latency scopes"},
+      {"audit.", "online accuracy audit verdicts vs the lock-step oracle"},
+      {"recovery.", "checkpoint write / crash-recovery lifecycle"},
+      {"failure.", "failure-detector liveness verdicts"},
+      {"socket.", "socket session lifecycle (hellos, disconnects, frames)"},
+      {"serialization.", "wire codec encode/decode accounting"},
+      {"alert.", "online anomaly-detector alerts over the metric stream"},
+      {"sim.", "simulation driver bookkeeping"},
+  };
+  for (const FamilyHelp& family : kFamilies) {
+    if (dotted_name.rfind(family.prefix, 0) == 0) {
+      return dotted_name + ": " + family.help;
+    }
+  }
+  return dotted_name + ": sgm metric";
+}
+
+Status AtomicWriteFile(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer) {
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open " + temp + " for writing");
+    }
+    writer(out);
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(temp.c_str());
+      return Status::Internal("write to " + temp + " failed");
+    }
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return Status::Internal("rename " + temp + " -> " + path + " failed");
+  }
+  return Status::OK();
+}
+
+bool RemoveStaleTempFile(const std::string& path) {
+  const std::string temp = path + ".tmp";
+  return std::remove(temp.c_str()) == 0;
 }
 
 void TimeSeriesExporter::WriteJsonl(std::ostream& out) const {

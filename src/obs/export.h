@@ -1,11 +1,13 @@
 #ifndef SGM_OBS_EXPORT_H_
 #define SGM_OBS_EXPORT_H_
 
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "core/status.h"
 #include "obs/metric_registry.h"
 
 namespace sgm {
@@ -45,6 +47,16 @@ class TimeSeriesExporter {
   /// before writing a snapshot) is a no-op.
   void Sample(long cycle, const MetricRegistry& registry);
 
+  /// Per-cycle subscriber to the sample stream, invoked once per new cycle
+  /// with the per-cycle counter deltas (the same values the record's
+  /// "delta" object serializes). This is how the anomaly detector rides
+  /// the export stream without a second registry snapshot.
+  using SampleObserver =
+      std::function<void(long cycle, const std::map<std::string, long>& delta)>;
+  void set_observer(SampleObserver observer) {
+    observer_ = std::move(observer);
+  }
+
   void WriteJsonl(std::ostream& out) const;
   std::size_t size() const { return records_.size(); }
   const TimeSeriesExporterConfig& config() const { return config_; }
@@ -61,6 +73,7 @@ class TimeSeriesExporter {
   };
 
   TimeSeriesExporterConfig config_;
+  SampleObserver observer_;
   long last_cycle_ = -1;
   std::map<std::string, long> prev_counters_;
   /// Per-counter delta history and per-gauge sample history, bounded to the
@@ -69,6 +82,43 @@ class TimeSeriesExporter {
   std::map<std::string, std::vector<double>> gauge_history_;
   std::vector<Record> records_;
 };
+
+// ── Prometheus text exposition (version 0.0.4) helpers ─────────────────────
+//
+// The registry's WritePrometheus uses these; they are exposed so the
+// round-trip grammar test (and any future exposition surface) can exercise
+// them directly.
+
+/// `transport.paper_bytes` → `sgm_transport_paper_bytes` (metric names
+/// allow `[a-zA-Z0-9_:]` only; everything else becomes `_`).
+std::string PrometheusMetricName(const std::string& name);
+
+/// Escapes a HELP line's text: `\` → `\\`, newline → `\n`.
+std::string PrometheusEscapeHelp(const std::string& text);
+
+/// Escapes a label value: `\` → `\\`, `"` → `\"`, newline → `\n`.
+std::string PrometheusEscapeLabelValue(const std::string& value);
+
+/// One-line HELP text for a dotted metric name, derived from the metric
+/// family catalog (docs/OBSERVABILITY.md); unknown prefixes get a generic
+/// description rather than no HELP line.
+std::string PrometheusHelpText(const std::string& dotted_name);
+
+// ── Atomic file publication ────────────────────────────────────────────────
+
+/// Writes `path` atomically: streams through `path + ".tmp"`, then renames
+/// over the target — a reader never observes a half-written file.
+/// On any failure the temp file is removed before returning, so the only
+/// way a stale `.tmp` survives is a crash between write and rename; pair
+/// with RemoveStaleTempFile on daemon start for that case.
+Status AtomicWriteFile(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer);
+
+/// Removes a stale `path + ".tmp"` left by a crash mid-publication.
+/// Returns true when a stale file existed and was removed. Call for every
+/// atomically published output (--prom-out, --series-out, --alerts-out) on
+/// daemon start.
+bool RemoveStaleTempFile(const std::string& path);
 
 }  // namespace sgm
 

@@ -1,0 +1,231 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace sgm {
+
+namespace {
+
+// Local POSIX helpers: sgm_obs depends only on sgm_core, so the loopback
+// boilerplate is duplicated here rather than pulling in the runtime's
+// socket layer (which points its dependency arrow the other way).
+
+int ListenLoopback(int port, int* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 8) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    *bound_port = ntohs(addr.sin_port);
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads until the request head terminator, a small cap, or timeout.
+/// Returns the bytes read (possibly a partial head on timeout).
+std::string ReadRequestHead(int fd, long timeout_ms) {
+  std::string head;
+  char buffer[1024];
+  while (head.size() < 8192 && head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (ready <= 0) break;
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    head.append(buffer, static_cast<std::size_t>(n));
+  }
+  return head;
+}
+
+std::string StatusText(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+void WriteResponse(int fd, int code, const std::string& content_type,
+                   const std::string& body) {
+  std::string response = "HTTP/1.0 " + std::to_string(code) + " " +
+                         StatusText(code) +
+                         "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " + std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + body;
+  SendAll(fd, response.data(), response.size());
+}
+
+}  // namespace
+
+HttpExporter::~HttpExporter() { Stop(); }
+
+void HttpExporter::Route(const std::string& path,
+                         const std::string& content_type, Handler handler) {
+  routes_[path] = RouteEntry{content_type, std::move(handler)};
+}
+
+Status HttpExporter::Start(int port) {
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("HttpExporter already started");
+  }
+  stop_.store(false);
+  listen_fd_ = ListenLoopback(port, &port_);
+  if (listen_fd_ < 0) {
+    return Status::Internal("cannot bind loopback HTTP port " +
+                            std::to_string(port) + ": " +
+                            std::strerror(errno));
+  }
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void HttpExporter::Stop() {
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpExporter::Serve() {
+  while (!stop_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    const std::string head = ReadRequestHead(client, /*timeout_ms=*/1000);
+    // Request line: METHOD SP PATH SP VERSION. Query strings are ignored.
+    const std::size_t line_end = head.find_first_of("\r\n");
+    const std::string line =
+        line_end == std::string::npos ? head : head.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+    const std::string method =
+        sp1 == std::string::npos ? line : line.substr(0, sp1);
+    std::string path = sp2 == std::string::npos
+                           ? (sp1 == std::string::npos
+                                  ? ""
+                                  : line.substr(sp1 + 1))
+                           : line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos) path = path.substr(0, query);
+
+    requests_.fetch_add(1);
+    if (method != "GET") {
+      WriteResponse(client, 405, "text/plain", "only GET is served\n");
+    } else {
+      const auto it = routes_.find(path);
+      if (it == routes_.end()) {
+        std::string known = "not found; routes:";
+        for (const auto& [route, entry] : routes_) {
+          (void)entry;
+          known += " " + route;
+        }
+        WriteResponse(client, 404, "text/plain", known + "\n");
+      } else {
+        WriteResponse(client, 200, it->second.content_type,
+                      it->second.handler());
+      }
+    }
+    ::close(client);
+  }
+}
+
+Status HttpGet(int port, const std::string& path, std::string* body,
+               int* status_code, long timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket(): " + std::string(std::strerror(errno)));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Internal("connect 127.0.0.1:" + std::to_string(port) +
+                            ": " + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (!SendAll(fd, request.data(), request.size())) {
+    ::close(fd);
+    return Status::Internal("request write failed");
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (ready <= 0) {
+      ::close(fd);
+      return Status::Internal("response timed out");
+    }
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::Internal("response read failed");
+    }
+    if (n == 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  std::size_t body_at = response.find("\r\n\r\n");
+  std::size_t body_skip = 4;
+  if (body_at == std::string::npos) {
+    body_at = response.find("\n\n");
+    body_skip = 2;
+  }
+  if (body_at == std::string::npos) {
+    return Status::Internal("malformed HTTP response (no header terminator)");
+  }
+  if (status_code != nullptr) {
+    *status_code = 0;
+    const std::size_t sp = response.find(' ');
+    if (sp != std::string::npos) {
+      *status_code = std::atoi(response.c_str() + sp + 1);
+    }
+  }
+  *body = response.substr(body_at + body_skip);
+  return Status::OK();
+}
+
+}  // namespace sgm

@@ -1,0 +1,75 @@
+#ifndef SGM_OBS_HTTP_EXPORTER_H_
+#define SGM_OBS_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "core/status.h"
+
+namespace sgm {
+
+/// Minimal embedded HTTP/1.0 ops endpoint for the monitor daemons: serves
+/// GET requests on a loopback-only listener from one background thread,
+/// one connection at a time. This is deliberately not a web server — it
+/// exists so `curl :PORT/metrics`, `/healthz` and `/alerts` work against a
+/// running `sgm_monitor` without touching its files.
+///
+/// The ops plane is read-only and rides a *separate* socket from the
+/// protocol: nothing served here enters the paper/transport accounting.
+///
+/// Handlers run on the serve thread, so they must be thread-safe against
+/// the protocol threads (the registry, trace log and anomaly detector all
+/// lock internally; coordinator snapshot accessors take the server mutex).
+class HttpExporter {
+ public:
+  using Handler = std::function<std::string()>;
+
+  HttpExporter() = default;
+  ~HttpExporter();
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Registers a GET route. Call before Start(); `handler` produces the
+  /// response body on every request.
+  void Route(const std::string& path, const std::string& content_type,
+             Handler handler);
+
+  /// Binds the loopback listener (port 0 = ephemeral, see port()) and
+  /// starts the serve thread.
+  Status Start(int port);
+  /// Stops the serve thread and closes the listener. Idempotent.
+  void Stop();
+
+  int port() const { return port_; }
+  bool running() const { return listen_fd_ >= 0; }
+  long requests_served() const { return requests_.load(); }
+
+ private:
+  void Serve();
+
+  struct RouteEntry {
+    std::string content_type;
+    Handler handler;
+  };
+
+  std::map<std::string, RouteEntry> routes_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<long> requests_{0};
+  int listen_fd_ = -1;
+  int port_ = 0;
+};
+
+/// Blocking loopback HTTP/1.0 GET, for `obs_report --watch`, tests and CI
+/// scrapes. Fills `body` with the response payload; `status_code` (if
+/// non-null) with the parsed status line code. Errors only for transport
+/// problems — an HTTP 404 is a successful fetch with status_code 404.
+Status HttpGet(int port, const std::string& path, std::string* body,
+               int* status_code = nullptr, long timeout_ms = 2000);
+
+}  // namespace sgm
+
+#endif  // SGM_OBS_HTTP_EXPORTER_H_

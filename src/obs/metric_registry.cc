@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <sstream>
 
 #include "core/check.h"
+#include "obs/export.h"
 
 namespace sgm {
 
@@ -152,51 +154,45 @@ void MetricRegistry::WriteJson(std::ostream& out) const {
   out << (first ? "" : "\n  ") << "}\n}\n";
 }
 
-namespace {
-
-/// `transport.paper_bytes` → `sgm_transport_paper_bytes` (Prometheus metric
-/// names allow [a-zA-Z0-9_:] only).
-std::string PrometheusName(const std::string& name) {
-  std::string out = "sgm_";
-  for (const char c : name) {
-    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9') || c == '_' || c == ':';
-    out += ok ? c : '_';
-  }
-  return out;
-}
-
-}  // namespace
-
 void MetricRegistry::WritePrometheus(std::ostream& out) const {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, counter] : counters_) {
-    const std::string prom = PrometheusName(name);
-    out << "# TYPE " << prom << "_total counter\n";
-    out << prom << "_total " << counter->value() << "\n";
+    // The exposed counter family carries the conventional _total suffix;
+    // HELP/TYPE reference the exposed name.
+    const std::string prom = PrometheusMetricName(name) + "_total";
+    out << "# HELP " << prom << " "
+        << PrometheusEscapeHelp(PrometheusHelpText(name)) << "\n";
+    out << "# TYPE " << prom << " counter\n";
+    out << prom << " " << counter->value() << "\n";
   }
   for (const auto& [name, gauge] : gauges_) {
-    const std::string prom = PrometheusName(name);
+    const std::string prom = PrometheusMetricName(name);
+    out << "# HELP " << prom << " "
+        << PrometheusEscapeHelp(PrometheusHelpText(name)) << "\n";
     out << "# TYPE " << prom << " gauge\n";
     out << prom << " ";
     AppendDouble(out, gauge->value());
     out << "\n";
   }
   for (const auto& [name, histogram] : histograms_) {
-    const std::string prom = PrometheusName(name);
+    const std::string prom = PrometheusMetricName(name);
+    out << "# HELP " << prom << " "
+        << PrometheusEscapeHelp(PrometheusHelpText(name)) << "\n";
     out << "# TYPE " << prom << " histogram\n";
     const std::vector<long> counts = histogram->bucket_counts();
     const std::vector<double>& bounds = histogram->bounds();
     long cumulative = 0;
     for (std::size_t i = 0; i < counts.size(); ++i) {
       cumulative += counts[i];
-      out << prom << "_bucket{le=\"";
+      std::ostringstream le;
       if (i < bounds.size()) {
-        AppendDouble(out, bounds[i]);
+        AppendDouble(le, bounds[i]);
       } else {
-        out << "+Inf";
+        le << "+Inf";
       }
-      out << "\"} " << cumulative << "\n";
+      out << prom << "_bucket{le=\""
+          << PrometheusEscapeLabelValue(le.str()) << "\"} " << cumulative
+          << "\n";
     }
     out << prom << "_sum ";
     AppendDouble(out, histogram->sum());

@@ -5,6 +5,7 @@
 #include <memory>
 #include <ostream>
 
+#include "obs/anomaly.h"
 #include "obs/export.h"
 #include "obs/metric_registry.h"
 #include "obs/trace.h"
@@ -26,6 +27,11 @@ struct Telemetry {
   /// RuntimeDriver::PublishMetrics samples it once per cycle, turning the
   /// registry into a per-cycle JSONL series (see obs/export.h).
   std::unique_ptr<TimeSeriesExporter> series;
+  /// Optional online anomaly detector (null = off). Subscribed to the
+  /// exporter's per-cycle sample stream; raises alert.* counters,
+  /// `alert_raised` trace events and (optionally) a live alerts JSONL
+  /// stream. See obs/anomaly.h.
+  std::unique_ptr<AnomalyDetector> anomaly;
 
   /// Advances the logical clock stamped on trace events; drivers call this
   /// once per update cycle.
@@ -33,6 +39,20 @@ struct Telemetry {
 
   void EnableTimeSeries(TimeSeriesExporterConfig config = {}) {
     series = std::make_unique<TimeSeriesExporter>(config);
+  }
+
+  /// Enables online anomaly detection over the per-cycle metric stream.
+  /// Implies EnableTimeSeries (the detector consumes the exporter's delta
+  /// stream); an already-enabled exporter is kept.
+  void EnableAnomalyDetection(AnomalyDetectorConfig config = {}) {
+    if (!series) EnableTimeSeries();
+    anomaly = std::make_unique<AnomalyDetector>(std::move(config));
+    anomaly->SetSinks(&registry, &trace);
+    AnomalyDetector* detector = anomaly.get();
+    series->set_observer(
+        [detector](long cycle, const std::map<std::string, long>& delta) {
+          detector->ObserveCycle(cycle, delta);
+        });
   }
 
   void WriteMetricsJson(std::ostream& out) const { registry.WriteJson(out); }

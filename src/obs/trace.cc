@@ -11,17 +11,6 @@ namespace sgm {
 
 namespace {
 
-void AppendNumber(std::ostream& out, double value) {
-  if (value == static_cast<double>(static_cast<long long>(value)) &&
-      value > -1e15 && value < 1e15) {
-    out << static_cast<long long>(value);
-  } else {
-    char buffer[64];
-    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-    out << buffer;
-  }
-}
-
 void AppendArgs(const std::vector<TraceArg>& args, std::ostream& out) {
   out << "{";
   bool first = true;
@@ -32,7 +21,7 @@ void AppendArgs(const std::vector<TraceArg>& args, std::ostream& out) {
         out << arg.int_value;
         break;
       case TraceArg::Kind::kDouble:
-        AppendNumber(out, arg.double_value);
+        AppendJsonNumber(out, arg.double_value);
         break;
       case TraceArg::Kind::kString:
         out << "\"" << JsonEscape(arg.string_value) << "\"";
@@ -88,6 +77,9 @@ const std::map<std::string, EventSpec>& EventCatalog() {
       {"msg_send", {"transport", {"type", "span", "bytes"}}},
       // Online accuracy auditing (AccuracyAuditor).
       {"bound_violation", {"audit", {"kind", "span"}}},
+      // Online anomaly detection (AnomalyDetector): a tracked signal's
+      // per-cycle value left its Welford z-score band.
+      {"alert_raised", {"alert", {"metric", "kind", "value", "mean", "z"}}},
       // Injected faults (SimTransport).
       {"site_crash", {"fault", {}}},
       {"site_recover", {"fault", {}}},
@@ -120,6 +112,17 @@ const std::map<std::string, EventSpec>& EventCatalog() {
 }
 
 }  // namespace
+
+void AppendJsonNumber(std::ostream& out, double value) {
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      value > -1e15 && value < 1e15) {
+    out << static_cast<long long>(value);
+  } else {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    out << buffer;
+  }
+}
 
 std::string JsonEscape(const std::string& text) {
   std::string out;
@@ -154,6 +157,26 @@ long TraceLog::cycle() const {
   return cycle_;
 }
 
+void TraceLog::SetProcess(std::string label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  proc_ = std::move(label);
+}
+
+std::string TraceLog::process() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return proc_;
+}
+
+void TraceLog::SetEpoch(long epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  epoch_ = epoch;
+}
+
+long TraceLog::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
 void TraceLog::Emit(std::string cat, std::string name, int actor,
                     std::vector<TraceArg> args) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -163,6 +186,8 @@ void TraceLog::Emit(std::string cat, std::string name, int actor,
   event.cat = std::move(cat);
   event.name = std::move(name);
   event.actor = actor;
+  event.proc = proc_;
+  event.epoch = epoch_;
   event.args = std::move(args);
   events_.push_back(std::move(event));
 }
@@ -180,7 +205,16 @@ std::vector<TraceEvent> TraceLog::events() const {
 void TraceLog::AppendEventJson(const TraceEvent& event, std::ostream& out) {
   out << "{\"ts\":" << event.ts << ",\"cycle\":" << event.cycle << ",\"cat\":\""
       << JsonEscape(event.cat) << "\",\"name\":\"" << JsonEscape(event.name)
-      << "\",\"actor\":" << event.actor << ",\"args\":";
+      << "\",\"actor\":" << event.actor;
+  // Optional cross-process keys: omitted when unset so single-process
+  // traces keep the historical byte-identical format.
+  if (!event.proc.empty()) {
+    out << ",\"proc\":\"" << JsonEscape(event.proc) << "\"";
+  }
+  if (event.epoch >= 0) {
+    out << ",\"tepoch\":" << event.epoch;
+  }
+  out << ",\"args\":";
   AppendArgs(event.args, out);
   out << "}";
 }
@@ -257,6 +291,19 @@ bool ValidateTraceJsonLine(const std::string& line, std::string* error) {
   if (args == nullptr || !args->is_object()) {
     *error = "missing or non-object \"args\"";
     return false;
+  }
+  // Optional cross-process stamps: when present they must be well-typed.
+  if (const JsonValue* proc = value.Find("proc")) {
+    if (!proc->is_string() || proc->string_value().empty()) {
+      *error = "\"proc\" must be a non-empty string when present";
+      return false;
+    }
+  }
+  if (const JsonValue* tepoch = value.Find("tepoch")) {
+    if (!tepoch->is_number()) {
+      *error = "\"tepoch\" must be numeric when present";
+      return false;
+    }
   }
   const auto& catalog = EventCatalog();
   const auto it = catalog.find(name->string_value());

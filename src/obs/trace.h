@@ -45,6 +45,16 @@ struct TraceEvent {
   std::string cat;   ///< "protocol" | "reliability" | "failure" | "fault" | ...
   std::string name;  ///< event type, see docs/OBSERVABILITY.md catalog
   int actor = 0;     ///< site id, or kCoordinatorId (-1) for the coordinator
+  /// Emitting process label (`"coordinator"`, `"site-3"`, ...). Empty in
+  /// single-process runs; set via TraceLog::SetProcess in daemon/fork
+  /// deployments so per-process files can be merged (serialized as the
+  /// optional `"proc"` JSONL key).
+  std::string proc;
+  /// Coordinator-issued trace epoch active when the event was emitted, or
+  /// -1 before the first epoch is known (serialized as the optional
+  /// `"tepoch"` key). Sites stamp the epoch they last anchored to, so the
+  /// merged timeline can group events by protocol incarnation.
+  long epoch = -1;
   std::vector<TraceArg> args;
 };
 
@@ -62,6 +72,20 @@ class TraceLog {
   /// per update cycle).
   void SetCycle(long cycle);
   long cycle() const;
+
+  /// Sets the process label stamped on subsequent events. Call once at
+  /// process start (before the run emits) so every line of this process's
+  /// file carries the same `"proc"` key. Unset → key omitted, keeping
+  /// single-process traces byte-identical to the pre-merge format.
+  void SetProcess(std::string label);
+  std::string process() const;
+
+  /// Sets the coordinator-issued trace epoch stamped on subsequent events.
+  /// The coordinator calls this when it mints an epoch (bump / recovery
+  /// fence); sites call it when they anchor to one (rejoin/full-sync), so
+  /// the stamp is always coordinator-issued. Negative → key omitted.
+  void SetEpoch(long epoch);
+  long epoch() const;
 
   void Emit(std::string cat, std::string name, int actor,
             std::vector<TraceArg> args = {});
@@ -86,6 +110,8 @@ class TraceLog {
   mutable std::mutex mu_;
   long cycle_ = 0;
   long next_ts_ = 0;
+  std::string proc_;
+  long epoch_ = -1;
   std::vector<TraceEvent> events_;
 };
 
@@ -98,6 +124,12 @@ bool ValidateTraceJsonLine(const std::string& line, std::string* error);
 
 /// JSON string escaping shared by the trace/metric writers.
 std::string JsonEscape(const std::string& text);
+
+/// Deterministic JSON number formatting shared by the trace/alert writers:
+/// integral values print without a fraction, everything else as %.17g (the
+/// shortest round-trippable form), so replaying a seed reproduces every
+/// JSONL artifact byte for byte.
+void AppendJsonNumber(std::ostream& out, double value);
 
 }  // namespace sgm
 

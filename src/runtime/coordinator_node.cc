@@ -199,6 +199,9 @@ bool CoordinatorNode::Recover() {
   epoch_cycle_start_ = epoch_;
   const std::int64_t recovery_span = MintSpan();
   if (telemetry_ != nullptr) {
+    // The coordinator issues the trace epoch: every subsequent event of
+    // this incarnation carries the fenced epoch as its tepoch stamp.
+    telemetry_->trace.SetEpoch(epoch_);
     telemetry_->trace.Emit("protocol", "epoch_bump", kCoordinatorId,
                            {{"epoch", epoch_}});
     telemetry_->trace.Emit(
@@ -290,6 +293,7 @@ void CoordinatorNode::SendBroadcast(RuntimeMessage message) {
 void CoordinatorNode::BumpEpoch() {
   ++epoch_;
   if (telemetry_ != nullptr) {
+    telemetry_->trace.SetEpoch(epoch_);
     telemetry_->trace.Emit("protocol", "epoch_bump", kCoordinatorId,
                            {{"epoch", epoch_}});
   }

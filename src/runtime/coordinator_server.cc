@@ -9,6 +9,7 @@
 #include <array>
 #include <cerrno>
 #include <chrono>
+#include <sstream>
 
 #include "core/check.h"
 #include "obs/telemetry.h"
@@ -401,6 +402,65 @@ long CoordinatorServer::SiteRehellos() const {
 bool CoordinatorServer::HasUnacked() const {
   std::lock_guard<std::mutex> lock(mu_);
   return reliable_->HasUnacked();
+}
+
+CoordinatorServer::Health CoordinatorServer::GetHealth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Health health;
+  health.epoch = coordinator_->epoch();
+  health.cycle = cycle_;
+  health.num_sites = config_.num_sites;
+  health.connected_sites = ConnectedCountLocked();
+  health.site_disconnects = site_disconnects_;
+  health.site_rehellos = site_rehellos_;
+  health.has_unacked = reliable_->HasUnacked();
+  health.believes_above = coordinator_->BelievesAbove();
+  health.full_syncs = coordinator_->full_syncs();
+  health.partial_resolutions = coordinator_->partial_resolutions();
+  health.degraded_syncs = coordinator_->degraded_syncs();
+  health.checkpoint_snapshots = coordinator_->recovery_stats().snapshots_written;
+  health.checkpoint_restores = coordinator_->recovery_stats().restores;
+  const FailureDetector& fd = coordinator_->failure_detector();
+  health.site_states.reserve(config_.num_sites);
+  for (int site = 0; site < config_.num_sites; ++site) {
+    std::string state;
+    switch (fd.state(site)) {
+      case FailureDetector::State::kAlive: state = "alive"; break;
+      case FailureDetector::State::kSuspect: state = "suspect"; break;
+      case FailureDetector::State::kDead: state = "dead"; break;
+      case FailureDetector::State::kRejoining: state = "rejoining"; break;
+    }
+    if (fd.IsQuarantined(site)) state += "+quarantined";
+    health.site_states.push_back(std::move(state));
+    health.site_connected.push_back(connected_[site]);
+  }
+  return health;
+}
+
+std::string CoordinatorServer::HealthJson() const {
+  const Health health = GetHealth();
+  std::ostringstream out;
+  out << "{\"role\":\"coordinator\",\"epoch\":" << health.epoch
+      << ",\"cycle\":" << health.cycle
+      << ",\"num_sites\":" << health.num_sites
+      << ",\"connected_sites\":" << health.connected_sites
+      << ",\"site_disconnects\":" << health.site_disconnects
+      << ",\"site_rehellos\":" << health.site_rehellos
+      << ",\"has_unacked\":" << (health.has_unacked ? "true" : "false")
+      << ",\"believes_above\":" << (health.believes_above ? "true" : "false")
+      << ",\"full_syncs\":" << health.full_syncs
+      << ",\"partial_resolutions\":" << health.partial_resolutions
+      << ",\"degraded_syncs\":" << health.degraded_syncs
+      << ",\"checkpoint_snapshots\":" << health.checkpoint_snapshots
+      << ",\"checkpoint_restores\":" << health.checkpoint_restores
+      << ",\"sites\":[";
+  for (int site = 0; site < health.num_sites; ++site) {
+    out << (site == 0 ? "" : ",") << "{\"site\":" << site << ",\"state\":\""
+        << health.site_states[site] << "\",\"connected\":"
+        << (health.site_connected[site] ? "true" : "false") << "}";
+  }
+  out << "]}";
+  return out.str();
 }
 
 void CoordinatorServer::PublishMetrics() {

@@ -156,6 +156,34 @@ class CoordinatorServer {
   long SiteRehellos() const;
   bool HasUnacked() const;
 
+  /// Everything the /healthz ops endpoint reports, snapshotted atomically
+  /// under the server mutex: protocol position (epoch, cycle), membership,
+  /// per-site failure-detector verdicts, and checkpoint generation.
+  struct Health {
+    std::int64_t epoch = 0;
+    long cycle = 0;
+    int num_sites = 0;
+    int connected_sites = 0;
+    long site_disconnects = 0;
+    long site_rehellos = 0;
+    bool has_unacked = false;
+    bool believes_above = false;
+    long full_syncs = 0;
+    long partial_resolutions = 0;
+    long degraded_syncs = 0;
+    /// Snapshots written by this incarnation — the checkpoint generation
+    /// a restart would resume from (0 = no checkpoint store attached).
+    long checkpoint_snapshots = 0;
+    long checkpoint_restores = 0;  ///< 1 iff this incarnation recovered
+    /// Failure-detector verdict per site: "alive" | "suspect" | "dead" |
+    /// "rejoining" (+ "+quarantined" while a flapper is deferred).
+    std::vector<std::string> site_states;
+    std::vector<bool> site_connected;
+  };
+  Health GetHealth() const;
+  /// GetHealth() rendered as the /healthz JSON document.
+  std::string HealthJson() const;
+
   const SocketTransport& transport() const { return transport_; }
 
   /// Mirrors coordinator/transport/failure counters into the attached

@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cerrno>
+#include <sstream>
 
 #include "core/check.h"
 #include "obs/telemetry.h"
@@ -99,6 +100,27 @@ void SiteClient::InjectConnectionReset() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
+std::string SiteClient::HealthJson() const {
+  bool connected = false;
+  {
+    std::lock_guard<std::mutex> lock(fd_mu_);
+    connected = fd_ >= 0;
+  }
+  long trace_epoch = -1;
+  if (config_.runtime.telemetry != nullptr) {
+    trace_epoch = config_.runtime.telemetry->trace.epoch();
+  }
+  std::ostringstream out;
+  out << "{\"role\":\"site\",\"site\":" << config_.site_id
+      << ",\"num_sites\":" << config_.num_sites
+      << ",\"connected\":" << (connected ? "true" : "false")
+      << ",\"cycles_observed\":" << cycles_observed_.load()
+      << ",\"reconnects\":" << reconnects_.load()
+      << ",\"max_reconnects\":" << config_.max_reconnects
+      << ",\"epoch\":" << trace_epoch << "}";
+  return out.str();
+}
+
 bool SiteClient::Connect() {
   SGM_CHECK(fd_ < 0);
   return EstablishSession();
@@ -129,7 +151,7 @@ bool SiteClient::Run(const std::function<Vector(long)>& next_vector) {
     ++reconnects_;
     if (telemetry != nullptr) {
       telemetry->trace.Emit("session", "reconnect", config_.site_id,
-                            {{"attempt", reconnects_}});
+                            {{"attempt", reconnects_.load()}});
     }
     // The hello above re-registered the connection; now drive the rejoin
     // handshake so the coordinator re-anchors us and resyncs our drift.

@@ -1,9 +1,11 @@
 #ifndef SGM_RUNTIME_SITE_CLIENT_H_
 #define SGM_RUNTIME_SITE_CLIENT_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 
 #include "runtime/chaos.h"
 #include "runtime/reliable_transport.h"
@@ -105,7 +107,12 @@ class SiteClient {
   /// Why the last Run() returned.
   SiteExitReason exit_reason() const { return exit_reason_; }
   /// Sessions re-established after a mid-run peer loss.
-  long reconnects() const { return reconnects_; }
+  long reconnects() const { return reconnects_.load(); }
+
+  /// The site-side /healthz document: identity, session state and loop
+  /// progress. Built from atomics plus the fd mutex, so the HTTP ops
+  /// thread may call it while the poll loop runs.
+  std::string HealthJson() const;
 
   /// Severs the current connection from any thread (test/chaos harness
   /// hook): the site sees a genuine TCP failure and runs the full
@@ -113,7 +120,7 @@ class SiteClient {
   void InjectConnectionReset();
 
   const SiteNode& node() const { return *node_; }
-  long cycles_observed() const { return cycles_observed_; }
+  long cycles_observed() const { return cycles_observed_.load(); }
 
  private:
   /// Dials and registers one session; updates fd_. Returns false when the
@@ -132,11 +139,12 @@ class SiteClient {
   std::unique_ptr<ReliableTransport> reliable_;
   std::unique_ptr<SiteNode> node_;
   /// Guards fd_ swaps against InjectConnectionReset from other threads.
-  std::mutex fd_mu_;
+  mutable std::mutex fd_mu_;
   int fd_ = -1;
   std::uint64_t retry_jitter_state_ = 0;
-  long cycles_observed_ = 0;
-  long reconnects_ = 0;
+  /// Atomic: read by the HTTP ops thread while the poll loop advances them.
+  std::atomic<long> cycles_observed_{0};
+  std::atomic<long> reconnects_{0};
   SiteExitReason exit_reason_ = SiteExitReason::kShutdown;
 };
 

@@ -143,6 +143,11 @@ void SiteNode::ApplyAnchor(const RuntimeMessage& message, const char* source) {
     ++audit_.stale_epoch_applied;
   }
   if (telemetry_ != nullptr) {
+    // Sites stamp the coordinator-issued epoch they anchor to; in a
+    // per-site process this labels the site's trace file with the same
+    // tepoch stream the coordinator's file carries, letting the merge
+    // group events by protocol incarnation.
+    telemetry_->trace.SetEpoch(message.epoch);
     telemetry_->trace.Emit("protocol", "anchor_applied", id_,
                            {{"epoch", message.epoch},
                             {"source", source},

@@ -40,6 +40,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -48,6 +49,8 @@
 #include "data/synthetic.h"
 #include "functions/l2_norm.h"
 #include "obs/accuracy_auditor.h"
+#include "obs/anomaly.h"
+#include "obs/telemetry.h"
 #include "runtime/checkpoint.h"
 #include "runtime/coordinator_server.h"
 #include "runtime/site_client.h"
@@ -214,12 +217,28 @@ void AppendBeliefLine(FILE* file, long cycle, const CoordinatorServer& server,
 /// 15 estimate mismatch, 16 full-sync counter mismatch, 17 belief mismatch;
 /// rest of the run: 18 hello timeout, 19 belief log unwritable, 26 barrier
 /// timeout; reconvergence: 30 no fresh full sync after recovery, 31 not all
-/// sites connected at the end, 32 unacked reliability entries at quiescence.
+/// sites connected at the end, 32 unacked reliability entries at quiescence;
+/// observability: 33 the anomaly detector never attributed an alert to
+/// recovery.restores, 34 alerts sink unwritable.
 [[noreturn]] void RecoveryProcessMain(int port, const std::string& dir,
                                       const std::string& beliefs_path,
-                                      const std::string& summary_path) {
+                                      const std::string& summary_path,
+                                      const std::string& alerts_path,
+                                      std::uint64_t chaos_seed) {
   const L2Norm norm;
   FileCheckpointStore store(dir);
+  // The online detector rides the recovery incarnation's per-cycle sample
+  // stream: restoring from the checkpoint moves recovery.restores — a
+  // zero-tolerance signal — so the regime shift must surface as an alert
+  // on the restored incarnation's first completed cycle.
+  Telemetry telemetry;
+  telemetry.trace.SetProcess("coordinator");
+  AnomalyDetectorConfig anomaly_config;
+  anomaly_config.seed = chaos_seed;
+  telemetry.EnableAnomalyDetection(anomaly_config);
+  std::ofstream alerts_stream(alerts_path, std::ios::app);
+  if (!alerts_stream) _exit(34);
+  telemetry.anomaly->AttachStream(&alerts_stream);
   // Independent oracle read of what the dead incarnation durably committed,
   // taken before Recover() appends anything to the store.
   const Result<Reconstruction> committed = ReconstructCoordinatorState(store);
@@ -232,6 +251,7 @@ void AppendBeliefLine(FILE* file, long cycle, const CoordinatorServer& server,
   config.runtime = ProtocolConfig();
   config.runtime.checkpoint_store = &store;
   config.runtime.checkpoint_interval_cycles = kCheckpointInterval;
+  config.runtime.telemetry = &telemetry;
   CoordinatorServer server(norm, config);
   if (!server.Listen()) _exit(11);
   if (!server.Recover()) _exit(12);
@@ -267,6 +287,15 @@ void AppendBeliefLine(FILE* file, long cycle, const CoordinatorServer& server,
   if (server.FullSyncs() <= state.full_syncs) _exit(30);
   if (server.ConnectedCount() != kSites) _exit(31);
   if (server.HasUnacked()) _exit(32);
+
+  // Detector verdict: at least one alert, correctly attributed to the
+  // restore counter (not merely any metric that happened to move).
+  bool restore_attributed = false;
+  for (const Alert& alert : telemetry.anomaly->alerts()) {
+    if (alert.metric == "recovery.restores") restore_attributed = true;
+  }
+  if (!restore_attributed) _exit(33);
+
   server.Shutdown();
   _exit(0);
 }
@@ -305,6 +334,7 @@ TEST(ChaosIntegrationTest, KilledCoordinatorAndSiteRecoverUnderSeededChaos) {
   ASSERT_EQ(::mkdir(checkpoint_dir.c_str(), 0755), 0) << checkpoint_dir;
   const std::string beliefs_path = artifacts + "/beliefs.txt";
   const std::string summary_path = artifacts + "/recovery-summary.txt";
+  const std::string alerts_path = artifacts + "/alerts.jsonl";
   std::printf("chaos seed %llu, artifacts in %s\n",
               static_cast<unsigned long long>(chaos_seed), artifacts.c_str());
 
@@ -360,7 +390,8 @@ TEST(ChaosIntegrationTest, KilledCoordinatorAndSiteRecoverUnderSeededChaos) {
   const pid_t recovery = fork();
   ASSERT_GE(recovery, 0);
   if (recovery == 0) {
-    RecoveryProcessMain(port, checkpoint_dir, beliefs_path, summary_path);
+    RecoveryProcessMain(port, checkpoint_dir, beliefs_path, summary_path,
+                        alerts_path, chaos_seed);
   }
   ASSERT_EQ(::waitpid(recovery, &status, 0), recovery);
   ASSERT_TRUE(WIFEXITED(status)) << "recovery coordinator died by signal";
@@ -373,6 +404,29 @@ TEST(ChaosIntegrationTest, KilledCoordinatorAndSiteRecoverUnderSeededChaos) {
     ASSERT_TRUE(WIFEXITED(status)) << "site process died by signal";
     EXPECT_EQ(WEXITSTATUS(status), 0)
         << "site failed — code maps to the _exit table in SiteProcessMain";
+  }
+
+  // Anomaly artifact: the recovery incarnation's live alert stream names
+  // the restore regime shift, and the file parses as JSONL with the fields
+  // the runbook keys on.
+  {
+    std::ifstream alerts(alerts_path);
+    ASSERT_TRUE(alerts.good()) << alerts_path;
+    std::string line;
+    bool restore_line = false;
+    long alert_lines = 0;
+    while (std::getline(alerts, line)) {
+      if (line.empty()) continue;
+      ++alert_lines;
+      EXPECT_NE(line.find("\"cycle\":"), std::string::npos) << line;
+      EXPECT_NE(line.find("\"kind\":"), std::string::npos) << line;
+      if (line.find("\"metric\":\"recovery.restores\"") != std::string::npos) {
+        restore_line = true;
+      }
+    }
+    EXPECT_GE(alert_lines, 1L) << "detector stayed silent through a crash";
+    EXPECT_TRUE(restore_line)
+        << "no alert attributed to recovery.restores in " << alerts_path;
   }
 
   // Every cycle of the schedule has a final verdict despite both crashes.

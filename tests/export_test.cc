@@ -6,6 +6,9 @@
 
 #include "obs/export.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -95,6 +98,103 @@ TEST(PrometheusTest, WritesCountersGaugesAndCumulativeHistograms) {
   EXPECT_NE(text.find("sgm_site_ball_test_ns_bucket{le=\"+Inf\"} 3"),
             std::string::npos);
   EXPECT_NE(text.find("sgm_site_ball_test_ns_count 3"), std::string::npos);
+}
+
+TEST(PrometheusTest, ExpositionGrammarRoundTrip) {
+  // Every non-comment line of the exposition must parse as
+  //   <name>{labels}? <value>
+  // with a name matching [a-zA-Z_:][a-zA-Z0-9_:]*, and every family must
+  // be announced by a # HELP line followed by a # TYPE line — the grammar
+  // a Prometheus scraper actually enforces on /metrics.
+  MetricRegistry registry;
+  registry.GetCounter("transport.paper_messages")->Increment(7);
+  registry.GetGauge("coordinator.epoch")->Set(3.0);
+  registry.GetHistogram("site.ball_test_ns", {1.0, 4.0})->Observe(2.0);
+
+  std::ostringstream out;
+  registry.WritePrometheus(out);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::string last_help_family;
+  int samples = 0;
+  auto is_name_char = [](char c, bool first) {
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    return first ? alpha : (alpha || (c >= '0' && c <= '9'));
+  };
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0) {
+      last_help_family = line.substr(7, line.find(' ', 7) - 7);
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      // TYPE follows HELP for the same family.
+      const std::string family = line.substr(7, line.find(' ', 7) - 7);
+      EXPECT_EQ(family, last_help_family) << line;
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unknown comment form: " << line;
+    std::size_t i = 0;
+    ASSERT_TRUE(is_name_char(line[0], true)) << line;
+    while (i < line.size() && is_name_char(line[i], false)) ++i;
+    if (i < line.size() && line[i] == '{') {
+      const std::size_t close = line.find('}', i);
+      ASSERT_NE(close, std::string::npos) << line;
+      i = close + 1;
+    }
+    ASSERT_LT(i, line.size()) << line;
+    ASSERT_EQ(line[i], ' ') << line;
+    // The remainder must be a number.
+    char* end = nullptr;
+    std::strtod(line.c_str() + i + 1, &end);
+    EXPECT_EQ(*end, '\0') << line;
+    ++samples;
+  }
+  EXPECT_GE(samples, 6);  // counter + gauge + 3 buckets + sum + count
+}
+
+TEST(PrometheusTest, HelpTextAndEscapingAreWellFormed) {
+  // Known families get their catalog description; unknown prefixes still
+  // get a HELP line rather than silence.
+  EXPECT_FALSE(PrometheusHelpText("transport.paper_messages").empty());
+  EXPECT_FALSE(PrometheusHelpText("never.heard.of.it").empty());
+
+  EXPECT_EQ(PrometheusMetricName("transport.paper_bytes"),
+            "sgm_transport_paper_bytes");
+  EXPECT_EQ(PrometheusEscapeHelp("a\\b\nc"), "a\\\\b\\nc");
+  EXPECT_EQ(PrometheusEscapeLabelValue("say \"hi\"\\now"),
+            "say \\\"hi\\\"\\\\now");
+}
+
+TEST(AtomicWriteFileTest, PublishesAtomicallyAndCleansUpItsTemp) {
+  const std::string path = ::testing::TempDir() + "/atomic_out.json";
+  ASSERT_TRUE(
+      AtomicWriteFile(path, [](std::ostream& out) { out << "{\"v\":1}"; })
+          .ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "{\"v\":1}");
+  // The temp staging file must not survive a successful publish.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteFileTest, StaleTempFromACrashIsRemovedOnStart) {
+  // Simulates the crash-between-write-and-rename window: the daemon died
+  // leaving <out>.tmp behind, and the next start must clear it so the
+  // atomic-publish invariant (readers only ever see complete files) holds.
+  const std::string path = ::testing::TempDir() + "/crashed_out.json";
+  {
+    std::ofstream stale(path + ".tmp");
+    stale << "{\"half\":";  // truncated mid-write
+  }
+  EXPECT_TRUE(RemoveStaleTempFile(path));
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  // Idempotent: nothing left to remove.
+  EXPECT_FALSE(RemoveStaleTempFile(path));
 }
 
 TEST(TimeSeriesExporterTest, TracksCumulativeDeltaAndWindowAggregates) {

@@ -15,10 +15,14 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "data/synthetic.h"
 #include "functions/l2_norm.h"
+#include "obs/telemetry.h"
+#include "obs/trace_merge.h"
 #include "runtime/coordinator_server.h"
 #include "runtime/driver.h"
 #include "runtime/site_client.h"
@@ -83,15 +87,23 @@ RunOutcome RunSimOracle() {
   return outcome;
 }
 
+std::string TracePath(const std::string& proc) {
+  return ::testing::TempDir() + "/procint." + proc + ".trace.jsonl";
+}
+
 /// The whole life of one site process; the exit status is its verdict.
 [[noreturn]] void SiteProcessMain(int site_id, int port) {
   SyntheticDriftGenerator generator(GeneratorConfig());
   const L2Norm norm;
+  const std::string proc = "site-" + std::to_string(site_id);
+  Telemetry telemetry;
+  telemetry.trace.SetProcess(proc);
   SiteClientConfig config;
   config.site_id = site_id;
   config.num_sites = kSites;
   config.port = port;
   config.runtime = ProtocolConfig();
+  config.runtime.telemetry = &telemetry;
   SiteClient client(norm, config);
   if (!client.Connect()) _exit(2);
   std::vector<Vector> locals;
@@ -105,6 +117,11 @@ RunOutcome RunSimOracle() {
   });
   if (!clean) _exit(3);
   if (client.cycles_observed() != kCycles + 1) _exit(4);
+  {
+    std::ofstream out(TracePath(proc));
+    if (!out) _exit(5);
+    telemetry.trace.WriteJsonl(out);
+  }
   _exit(0);
 }
 
@@ -114,9 +131,12 @@ TEST(ProcessIntegrationTest, FourSiteProcessesMatchSimDriverExactly) {
       << "workload never re-triggered the protocol — retune the generator";
 
   const L2Norm norm;
+  Telemetry telemetry;
+  telemetry.trace.SetProcess("coordinator");
   CoordinatorServerConfig server_config;
   server_config.num_sites = kSites;
   server_config.runtime = ProtocolConfig();
+  server_config.runtime.telemetry = &telemetry;
   CoordinatorServer server(norm, server_config);
   ASSERT_TRUE(server.Listen());  // bind only — still single-threaded
 
@@ -161,6 +181,45 @@ TEST(ProcessIntegrationTest, FourSiteProcessesMatchSimDriverExactly) {
   EXPECT_EQ(socket.degraded_syncs, oracle.degraded_syncs);
   EXPECT_GT(paper_messages, 0);
   EXPECT_GT(paper_site_messages, 0);
+
+  // ── Cross-process trace aggregation over the same run ────────────────────
+  // Each process wrote its own stamped JSONL; the merge must produce one
+  // validated, causally ordered timeline whose span forest has no orphans
+  // and whose probe cascades demonstrably cross process boundaries.
+  {
+    std::ofstream out(TracePath("coordinator"));
+    ASSERT_TRUE(out.good());
+    telemetry.trace.WriteJsonl(out);
+  }
+  std::vector<std::vector<TraceEvent>> logs;
+  std::vector<std::string> procs = {"coordinator"};
+  for (int id = 0; id < kSites; ++id) {
+    procs.push_back("site-" + std::to_string(id));
+  }
+  for (const std::string& proc : procs) {
+    std::vector<TraceEvent> events;
+    const Status loaded =
+        LoadTraceJsonl(TracePath(proc), proc, /*validate=*/true, &events);
+    ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+    ASSERT_FALSE(events.empty()) << proc << " wrote an empty trace";
+    logs.push_back(std::move(events));
+  }
+  const std::vector<TraceEvent> merged = MergeTraceTimelines(logs);
+  const SpanForestSummary forest = SummarizeSpanForest(merged);
+  EXPECT_TRUE(forest.orphans.empty())
+      << forest.orphans.size() << " orphan span(s), first: "
+      << forest.orphans.front();
+  EXPECT_GT(forest.spans, 0);
+  EXPECT_GT(forest.roots, 0);
+  // The protocol's sync cascades are inherently multi-process: the
+  // coordinator mints the span and the sites' reports echo it.
+  EXPECT_GT(forest.cross_process_spans, 0);
+  bool crossing_critical_path = false;
+  for (const SpanForestSummary::Root& root : forest.root_details) {
+    if (root.critical_path_procs.size() >= 2) crossing_critical_path = true;
+  }
+  EXPECT_TRUE(crossing_critical_path)
+      << "no cascade's critical path crossed a process boundary";
 }
 
 }  // namespace

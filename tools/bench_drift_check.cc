@@ -4,6 +4,7 @@
 // runtime's protocol traffic anchored to the paper's cost model.
 //
 //   bench_drift_check BASELINE CURRENT [--tolerance=0.10]
+//                     [--columns=a,b,c]
 //
 // Checked columns (per cell, matched on seed × drop): paper_messages,
 // paper_bytes, full_syncs, partial_resolutions. A *regression* is an
@@ -12,6 +13,10 @@
 // pass — cheaper is fine, the baseline should then be refreshed.
 // Transport-layer columns (retransmissions, acks, ...) are fault-model
 // internals and deliberately not gated here.
+//
+// `--columns=` replaces the default column set — the same binary then
+// gates other benchmark files (e.g. BENCH_chaos.json's
+// reconnect_ms_p50,reconnect_ms_p99 with a wall-clock-sized tolerance).
 //
 // Schema evolution: a column absent from a baseline cell is *warned about
 // and skipped*, not failed — an old baseline must not block a PR that adds
@@ -65,10 +70,29 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::string current_path;
   double tolerance = 0.10;
+  std::vector<std::string> columns(std::begin(kPaperColumns),
+                                   std::end(kPaperColumns));
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--tolerance=", 0) == 0) {
       tolerance = std::atof(arg.c_str() + std::strlen("--tolerance="));
+    } else if (arg.rfind("--columns=", 0) == 0) {
+      columns.clear();
+      std::string list = arg.substr(std::strlen("--columns="));
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string column =
+            list.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        if (!column.empty()) columns.push_back(column);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      if (columns.empty()) {
+        std::fprintf(stderr, "--columns= needs at least one column\n");
+        return 2;
+      }
     } else if (baseline_path.empty()) {
       baseline_path = arg;
     } else if (current_path.empty()) {
@@ -81,7 +105,7 @@ int main(int argc, char** argv) {
   if (current_path.empty()) {
     std::fprintf(stderr,
                  "usage: bench_drift_check BASELINE CURRENT"
-                 " [--tolerance=0.10]\n");
+                 " [--tolerance=0.10] [--columns=a,b,c]\n");
     return 2;
   }
 
@@ -134,27 +158,27 @@ int main(int argc, char** argv) {
       continue;
     }
     ++cells_checked;
-    for (const char* column : kPaperColumns) {
+    for (const std::string& column : columns) {
       if (base_cell.Find(column) == nullptr) {
         // Pre-column baseline: nothing to compare against. Warn so the
         // refresh is visible, but never fail a PR on an old baseline.
         std::printf("warn  [%s] %s absent from baseline — skipped (refresh"
                     " baseline to gate it)\n",
-                    key.c_str(), column);
+                    key.c_str(), column.c_str());
         continue;
       }
       const double base = base_cell.NumberOr(column, 0.0);
       const double cur = cur_cell->NumberOr(column, 0.0);
       const double limit = base * (1.0 + tolerance);
       if (cur > limit && cur > base) {  // base==0 → any increase fails
-        std::printf("FAIL  [%s] %s: %.0f -> %.0f (limit %.1f, +%.1f%%)\n",
-                    key.c_str(), column, base, cur, limit,
+        std::printf("FAIL  [%s] %s: %g -> %g (limit %g, +%.1f%%)\n",
+                    key.c_str(), column.c_str(), base, cur, limit,
                     base > 0.0 ? 100.0 * (cur - base) / base : 100.0);
         ++failures;
       } else if (cur < base) {
-        std::printf("info  [%s] %s improved: %.0f -> %.0f (refresh"
+        std::printf("info  [%s] %s improved: %g -> %g (refresh"
                     " baseline)\n",
-                    key.c_str(), column, base, cur);
+                    key.c_str(), column.c_str(), base, cur);
       }
     }
   }

@@ -47,6 +47,10 @@
 //                       exposition format (single leg only)
 //   --series-out=PATH   write the per-cycle windowed time-series JSONL
 //                       (single leg only; see docs/OBSERVABILITY.md)
+//   --alerts-out=PATH   run the online anomaly detector over the per-cycle
+//                       metric stream and write the alert JSONL (single
+//                       leg only; deterministic — part of the
+//                       replay-by-seed contract)
 //
 // Exit status: 0 when every invariant (and, with --audit, every accuracy
 // bound) held, 1 otherwise.
@@ -74,6 +78,7 @@ struct Flags {
   std::string metrics_out;
   std::string prom_out;
   std::string series_out;
+  std::string alerts_out;
 };
 
 /// Audit FN-rate gate: δ + 0.01 with the protocols' default δ = 0.1. Only
@@ -164,6 +169,9 @@ bool ParseArgs(int argc, char** argv, Flags* flags) {
     } else if (ParseFlag(argv[i], "--series-out", &value) &&
                value != nullptr) {
       flags->series_out = value;
+    } else if (ParseFlag(argv[i], "--alerts-out", &value) &&
+               value != nullptr) {
+      flags->alerts_out = value;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return false;
@@ -207,16 +215,24 @@ int main(int argc, char** argv) {
   sgm::Telemetry telemetry;
   const bool want_telemetry =
       !flags.trace_out.empty() || !flags.metrics_out.empty() ||
-      !flags.prom_out.empty() || !flags.series_out.empty();
+      !flags.prom_out.empty() || !flags.series_out.empty() ||
+      !flags.alerts_out.empty();
   if (want_telemetry) {
     if (flags.leg != "sim" && flags.leg != "runtime") {
       std::fprintf(stderr,
-                   "--trace/--metrics-out/--prom-out/--series-out require a"
-                   " single leg (--leg=sim|runtime)\n");
+                   "--trace/--metrics-out/--prom-out/--series-out/"
+                   "--alerts-out require a single leg (--leg=sim|runtime)\n");
       return 2;
     }
     flags.config.telemetry = &telemetry;
     if (!flags.series_out.empty()) telemetry.EnableTimeSeries();
+    if (!flags.alerts_out.empty()) {
+      // Same seed as the leg: alerts are part of the replay-by-seed
+      // contract (two runs of one leg produce byte-identical files).
+      sgm::AnomalyDetectorConfig anomaly_config;
+      anomaly_config.seed = flags.config.seed;
+      telemetry.EnableAnomalyDetection(anomaly_config);
+    }
   }
 
   std::vector<sgm::StressReport> reports;
@@ -279,6 +295,16 @@ int main(int argc, char** argv) {
     telemetry.series->WriteJsonl(out);
     std::printf("wrote %zu series samples to %s\n",
                 telemetry.series->size(), flags.series_out.c_str());
+  }
+  if (!flags.alerts_out.empty()) {
+    std::ofstream out(flags.alerts_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", flags.alerts_out.c_str());
+      return 2;
+    }
+    telemetry.anomaly->WriteAlertsJsonl(out);
+    std::printf("wrote %zu alerts to %s\n", telemetry.anomaly->alert_count(),
+                flags.alerts_out.c_str());
   }
 
   const int failures = Report(reports, flags.verbose);

@@ -16,14 +16,28 @@
 // Either input may be given alone. Exit status: 0 on a readable report,
 // 1 when the auditor recorded a bound violation (so CI can gate on it),
 // 2 on usage/parse errors.
+//
+// Live mode (against a daemon started with --http-port, see
+// docs/OBSERVABILITY.md):
+//
+//   obs_report --watch=PORT [--interval-ms=1000] [--iterations=0]
+//
+// polls /healthz, /metrics and /alerts on the daemon's ops endpoints and
+// renders one cost/accuracy/alert table row per poll (0 iterations = until
+// the daemon goes away). Exits 0 when the daemon shut down cleanly after
+// at least one successful poll, 1 when it was never reachable.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "obs/http_exporter.h"
 #include "obs/json.h"
 
 namespace {
@@ -175,26 +189,108 @@ bool ReportSeries(const std::string& path) {
   return true;
 }
 
+/// Pulls one un-labelled sample value out of a Prometheus text exposition
+/// ("sgm_transport_paper_messages_total 1234" → 1234). Returns 0 when the
+/// family is absent — the render below treats every column as best-effort.
+double PromValue(const std::string& exposition, const std::string& family) {
+  std::istringstream in(exposition);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(family + " ", 0) == 0) {
+      return std::atof(line.c_str() + family.size() + 1);
+    }
+  }
+  return 0.0;
+}
+
+/// --watch: polls the live ops endpoints and renders one table row per
+/// poll. The daemon disappearing after a successful poll is the normal end
+/// of a finite run, not an error.
+int RunWatch(int port, long interval_ms, long iterations) {
+  std::printf("watching 127.0.0.1:%d every %ldms\n", port, interval_ms);
+  std::printf("  %8s %6s %6s %10s %8s %8s %6s %6s\n", "cycle", "epoch",
+              "conn", "papermsgs", "fullsync", "retrans", "fn", "alerts");
+  long polls_ok = 0;
+  for (long i = 0; iterations == 0 || i < iterations; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    std::string health_body;
+    if (!sgm::HttpGet(port, "/healthz", &health_body).ok()) {
+      if (polls_ok > 0) {
+        std::printf("daemon gone after %ld polls\n", polls_ok);
+        return 0;
+      }
+      std::fprintf(stderr, "cannot reach 127.0.0.1:%d/healthz\n", port);
+      return 1;
+    }
+    auto health = sgm::JsonValue::Parse(health_body);
+    if (!health.ok()) {
+      std::fprintf(stderr, "/healthz: not JSON\n");
+      return 1;
+    }
+    // Best-effort: a daemon racing its own shutdown may drop these; the
+    // row then renders zeros for the affected columns.
+    std::string metrics_body;
+    std::string alerts_body;
+    (void)sgm::HttpGet(port, "/metrics", &metrics_body);
+    (void)sgm::HttpGet(port, "/alerts", &alerts_body);
+    long alerts = 0;
+    if (auto parsed = sgm::JsonValue::Parse(alerts_body); parsed.ok()) {
+      const sgm::JsonValue& value = parsed.ValueOrDie();
+      if (value.is_array()) alerts = static_cast<long>(value.array().size());
+    }
+    const sgm::JsonValue& h = health.ValueOrDie();
+    std::printf("  %8ld %6ld %4.0f/%-1.0f %10.0f %8.0f %8.0f %6.0f %6ld\n",
+                static_cast<long>(h.NumberOr("cycle", 0)),
+                static_cast<long>(h.NumberOr("epoch", 0)),
+                h.NumberOr("connected_sites", 0),
+                h.NumberOr("num_sites", 0),
+                PromValue(metrics_body, "sgm_transport_paper_messages_total"),
+                PromValue(metrics_body, "sgm_coordinator_full_syncs_total"),
+                PromValue(metrics_body,
+                          "sgm_transport_retransmissions_total"),
+                PromValue(metrics_body, "sgm_audit_false_negatives_total"),
+                alerts);
+    std::fflush(stdout);
+    ++polls_ok;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string metrics_path;
   std::string series_path;
+  int watch_port = -1;
+  long interval_ms = 1000;
+  long iterations = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    std::string value;
     if (ParseFlag(arg, "--metrics=", &metrics_path)) {
     } else if (ParseFlag(arg, "--series=", &series_path)) {
+    } else if (ParseFlag(arg, "--watch=", &value)) {
+      watch_port = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--interval-ms=", &value)) {
+      interval_ms = std::atol(value.c_str());
+    } else if (ParseFlag(arg, "--iterations=", &value)) {
+      iterations = std::atol(value.c_str());
     } else {
       std::fprintf(stderr,
                    "usage: obs_report [--metrics=metrics.json]"
-                   " [--series=series.jsonl]\n");
+                   " [--series=series.jsonl] | --watch=PORT"
+                   " [--interval-ms=MS] [--iterations=N]\n");
       return 2;
     }
   }
+  if (watch_port >= 0) return RunWatch(watch_port, interval_ms, iterations);
   if (metrics_path.empty() && series_path.empty()) {
     std::fprintf(stderr,
                  "usage: obs_report [--metrics=metrics.json]"
-                 " [--series=series.jsonl]\n");
+                 " [--series=series.jsonl] | --watch=PORT"
+                 " [--interval-ms=MS] [--iterations=N]\n");
     return 2;
   }
 

@@ -44,6 +44,19 @@
 //                shared by the first connect and every reconnect
 //   --max-reconnects  site: sessions to re-establish after peer loss
 //
+// Observability plane (both daemon modes; see docs/OBSERVABILITY.md):
+//   --http-port  serve live read-only ops endpoints on this loopback port
+//                (0 = ephemeral; the bound port is printed on stdout):
+//                /metrics (Prometheus 0.0.4), /healthz (JSON), /alerts
+//   --alerts-out coordinator: run the online anomaly detector over the
+//                per-cycle metric stream and append alert.* events to this
+//                JSONL file (append + flush per alert, so the file
+//                survives a SIGKILL mid-run)
+//   --trace / --metrics-out work in both daemon modes; each process writes
+//                its own per-process trace stamped with proc="coordinator"
+//                or proc="site-<id>" plus the coordinator-issued trace
+//                epoch, ready for `trace_inspect --merge`.
+//
 // Site daemons exit 0 only on a clean kShutdown; each failure mode has a
 // distinct code (and a structured stderr line):
 //   3 coordinator EOF   4 connect give-up   5 recv error
@@ -60,8 +73,12 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 
+#include "obs/anomaly.h"
+#include "obs/export.h"
+#include "obs/http_exporter.h"
 #include "obs/telemetry.h"
 
 #include "data/csv_stream.h"
@@ -112,6 +129,8 @@ struct Flags {
   bool recover = false;        ///< restore from checkpoint_dir on start
   SocketRetryConfig socket_retry;  ///< site dial policy (first + re-connect)
   int max_reconnects = 8;
+  int http_port = -1;      ///< ≥ 0: serve /metrics /healthz /alerts
+  std::string alerts_out;  ///< coordinator: anomaly alert JSONL sink
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -178,6 +197,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->socket_retry.max_backoff_ms = std::atol(value.c_str());
     } else if (key == "max-reconnects") {
       flags->max_reconnects = std::atoi(value.c_str());
+    } else if (key == "http-port") {
+      flags->http_port = std::atoi(value.c_str());
+    } else if (key == "alerts-out") {
+      flags->alerts_out = value;
     } else {
       std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
       return false;
@@ -322,13 +345,36 @@ int ParseConnectPort(const std::string& endpoint) {
 /// Rewrites the Prometheus textfile atomically (write-then-rename), so a
 /// scraping node-exporter never reads a torn snapshot.
 bool WritePromFile(const Telemetry& telemetry, const std::string& path) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp);
-    if (!out) return false;
-    telemetry.WritePrometheus(out);
+  return AtomicWriteFile(path, [&telemetry](std::ostream& out) {
+           telemetry.WritePrometheus(out);
+         })
+      .ok();
+}
+
+/// Registers the role-independent ops routes (/metrics, /alerts) and binds
+/// the listener; the caller adds its role-specific /healthz first. Prints
+/// the bound port on stdout so harnesses can scrape an ephemeral port.
+bool StartOpsEndpoints(HttpExporter* http, const Telemetry* telemetry,
+                       int port) {
+  http->Route("/metrics", "text/plain; version=0.0.4; charset=utf-8",
+              [telemetry] {
+                std::ostringstream out;
+                telemetry->WritePrometheus(out);
+                return out.str();
+              });
+  http->Route("/alerts", "application/json", [telemetry] {
+    return telemetry->anomaly != nullptr ? telemetry->anomaly->AlertsJson()
+                                         : std::string("[]\n");
+  });
+  const Status status = http->Start(port);
+  if (!status.ok()) {
+    std::fprintf(stderr, "ops endpoints bind failed: %s\n",
+                 status.ToString().c_str());
+    return false;
   }
-  return std::rename(tmp.c_str(), path.c_str()) == 0;
+  std::printf("ops endpoints on 127.0.0.1:%d\n", http->port());
+  std::fflush(stdout);
+  return true;
 }
 
 int RunCoordinatorDaemon(const Flags& flags) {
@@ -338,7 +384,29 @@ int RunCoordinatorDaemon(const Flags& flags) {
   if (function == nullptr) return 2;
 
   Telemetry telemetry;
+  telemetry.trace.SetProcess("coordinator");
   if (!flags.series_out.empty()) telemetry.EnableTimeSeries();
+
+  // A crashed previous incarnation may have died between writing the .tmp
+  // and the rename; a stale .tmp would otherwise sit next to the live file
+  // forever (and confuse textfile collectors that glob the directory).
+  if (!flags.prom_out.empty()) RemoveStaleTempFile(flags.prom_out);
+  if (!flags.series_out.empty()) RemoveStaleTempFile(flags.series_out);
+
+  std::ofstream alerts_stream;
+  if (!flags.alerts_out.empty()) {
+    AnomalyDetectorConfig anomaly_config;
+    anomaly_config.seed = flags.seed;
+    telemetry.EnableAnomalyDetection(anomaly_config);
+    // Append + flush-per-alert: a restarted incarnation continues the same
+    // alert log, and a SIGKILL loses at most the alert being written.
+    alerts_stream.open(flags.alerts_out, std::ios::app);
+    if (!alerts_stream) {
+      std::fprintf(stderr, "cannot open %s\n", flags.alerts_out.c_str());
+      return 2;
+    }
+    telemetry.anomaly->AttachStream(&alerts_stream);
+  }
 
   CoordinatorServerConfig config;
   config.port = flags.listen_port;
@@ -372,6 +440,12 @@ int RunCoordinatorDaemon(const Flags& flags) {
                 "cycle %ld\n",
                 flags.checkpoint_dir.c_str(),
                 static_cast<long>(server.Epoch()), server.CyclesRun() - 1);
+  }
+  HttpExporter http;
+  if (flags.http_port >= 0) {
+    http.Route("/healthz", "application/json",
+               [&server] { return server.HealthJson(); });
+    if (!StartOpsEndpoints(&http, &telemetry, flags.http_port)) return 2;
   }
   std::printf("coordinator listening on 127.0.0.1:%d, waiting for %d "
               "sites\n",
@@ -427,9 +501,11 @@ int RunCoordinatorDaemon(const Flags& flags) {
     telemetry.WriteMetricsJson(out);
   }
   if (!flags.series_out.empty()) {
-    std::ofstream out(flags.series_out);
-    if (!out) return 2;
-    telemetry.series->WriteJsonl(out);
+    const Status written =
+        AtomicWriteFile(flags.series_out, [&telemetry](std::ostream& out) {
+          telemetry.series->WriteJsonl(out);
+        });
+    if (!written.ok()) return 2;
   }
   return 0;
 }
@@ -450,14 +526,40 @@ int RunSiteDaemon(const Flags& flags) {
     return 2;
   }
 
+  Telemetry telemetry;
+  telemetry.trace.SetProcess("site-" + std::to_string(flags.site_id));
+
   SiteClientConfig config;
   config.site_id = flags.site_id;
   config.num_sites = source->num_sites();
   config.port = port;
   config.runtime = MakeRuntimeConfig(flags, *source);
+  config.runtime.telemetry = &telemetry;
   config.max_reconnects = flags.max_reconnects;
 
   SiteClient client(*function, config);
+  HttpExporter http;
+  if (flags.http_port >= 0) {
+    http.Route("/healthz", "application/json",
+               [&client] { return client.HealthJson(); });
+    if (!StartOpsEndpoints(&http, &telemetry, flags.http_port)) return 2;
+  }
+  // Per-process observability artifacts, written on every exit path: the
+  // site's own trace (proc="site-N", coordinator epochs stamped as they
+  // anchor) is one input file of `trace_inspect --merge`.
+  const auto write_artifacts = [&]() -> bool {
+    if (!flags.trace_out.empty()) {
+      std::ofstream out(flags.trace_out);
+      if (!out) return false;
+      telemetry.trace.WriteJsonl(out);
+    }
+    if (!flags.metrics_out.empty()) {
+      std::ofstream out(flags.metrics_out);
+      if (!out) return false;
+      telemetry.WriteMetricsJson(out);
+    }
+    return true;
+  };
   if (!client.Connect()) {
     std::fprintf(stderr,
                  "site %d: exit reason=connect-give-up attempts=%d "
@@ -477,6 +579,7 @@ int RunSiteDaemon(const Flags& flags) {
     }
     return locals[static_cast<std::size_t>(flags.site_id)];
   });
+  if (!write_artifacts()) return 2;
   if (clean) {
     std::printf("site %d: %ld cycles observed, clean shutdown "
                 "(reconnects=%ld)\n",

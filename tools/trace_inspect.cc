@@ -13,6 +13,17 @@
 //                                          message/byte cost and the
 //                                          critical path; exit 1 on any
 //                                          orphan span
+//   trace_inspect --merge FILE...         join per-process trace files
+//                                          (pass the coordinator's FIRST)
+//                                          into one causally ordered
+//                                          timeline; prints the merged
+//                                          span-forest summary and exits 1
+//                                          on any orphan span. Add
+//                                          --out=MERGED.jsonl to write the
+//                                          merged timeline, --validate to
+//                                          schema-check every input line,
+//                                          --spans for the full per-root
+//                                          report over the merged forest.
 //   trace_inspect --cat=C --name=N --actor=A --site=S
 //                 --cycle-min=X --cycle-max=Y --cycles=A:B
 //                                          print matching lines verbatim
@@ -38,14 +49,17 @@
 #include <string>
 #include <vector>
 
-#include "obs/json.h"
 #include "obs/trace.h"
+#include "obs/trace_merge.h"
 
 namespace {
 
 struct Options {
   std::string file;
+  std::vector<std::string> merge_files;
   std::string chrome_out;
+  std::string merge_out;
+  bool merge = false;
   bool validate = false;
   bool spans = false;
   bool print_matches = false;  // set when any filter is given
@@ -61,37 +75,6 @@ bool ParseFlag(const std::string& arg, const char* flag, std::string* out) {
   if (arg.rfind(flag, 0) != 0) return false;
   *out = arg.substr(len);
   return true;
-}
-
-/// Rebuilds a TraceEvent from one parsed JSONL line (already validated or
-/// at least structurally JSON). Integral numbers round-trip as int args.
-sgm::TraceEvent ToEvent(const sgm::JsonValue& value) {
-  sgm::TraceEvent event;
-  event.ts = static_cast<long>(value.NumberOr("ts", 0));
-  event.cycle = static_cast<long>(value.NumberOr("cycle", 0));
-  if (const sgm::JsonValue* cat = value.Find("cat")) {
-    event.cat = cat->string_value();
-  }
-  if (const sgm::JsonValue* name = value.Find("name")) {
-    event.name = name->string_value();
-  }
-  event.actor = static_cast<int>(value.NumberOr("actor", 0));
-  if (const sgm::JsonValue* args = value.Find("args")) {
-    for (const auto& [key, arg] : args->object()) {
-      if (arg.is_string()) {
-        event.args.emplace_back(key, arg.string_value());
-      } else if (arg.is_number()) {
-        const double number = arg.number_value();
-        const auto as_int = static_cast<std::int64_t>(number);
-        if (static_cast<double>(as_int) == number) {
-          event.args.emplace_back(key, as_int);
-        } else {
-          event.args.emplace_back(key, number);
-        }
-      }
-    }
-  }
-  return event;
 }
 
 bool Matches(const Options& options, const sgm::TraceEvent& event) {
@@ -283,6 +266,86 @@ int RunSpanReport(const std::string& file,
   return orphans.empty() ? 0 : 1;
 }
 
+/// "out/site0.trace.jsonl" → "site0": the fallback process label for
+/// pre-stamping trace files, keyed off the filename.
+std::string ProcFromFilename(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = base.find('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+/// --merge: load every per-process file, join them into one causally
+/// ordered timeline (see obs/trace_merge.h for the ordering argument),
+/// optionally write it out, and summarize the merged span forest. Orphan
+/// spans — a causal chain broken *across* processes — exit 1.
+int RunMerge(const Options& options) {
+  std::vector<std::vector<sgm::TraceEvent>> logs;
+  for (const std::string& file : options.merge_files) {
+    std::vector<sgm::TraceEvent> events;
+    const sgm::Status loaded = sgm::LoadTraceJsonl(
+        file, ProcFromFilename(file), options.validate, &events);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                   loaded.message().c_str());
+      return 1;
+    }
+    std::vector<sgm::TraceEvent> kept;
+    for (sgm::TraceEvent& event : events) {
+      if (Matches(options, event)) kept.push_back(std::move(event));
+    }
+    logs.push_back(std::move(kept));
+  }
+  const std::vector<sgm::TraceEvent> merged =
+      sgm::MergeTraceTimelines(std::move(logs));
+
+  if (!options.merge_out.empty()) {
+    std::ofstream out(options.merge_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", options.merge_out.c_str());
+      return 1;
+    }
+    for (const sgm::TraceEvent& event : merged) {
+      sgm::TraceLog::AppendEventJson(event, out);
+      out << "\n";
+    }
+    std::printf("wrote %zu merged events to %s\n", merged.size(),
+                options.merge_out.c_str());
+  }
+
+  if (options.spans) {
+    const int rc = RunSpanReport("merged", merged);
+    if (rc != 0) return rc;
+  }
+
+  const sgm::SpanForestSummary forest = sgm::SummarizeSpanForest(merged);
+  std::printf("merged %zu files: %zu events, %ld spans, %ld roots,"
+              " %ld cross-process spans\n",
+              options.merge_files.size(), merged.size(), forest.spans,
+              forest.roots, forest.cross_process_spans);
+  for (const auto& root : forest.root_details) {
+    std::printf("  root %lld [%s%s%s]: %ld spans, %ld events, procs",
+                static_cast<long long>(root.span), root.label.c_str(),
+                root.trigger.empty() ? "" : " trigger=",
+                root.trigger.c_str(), root.spans, root.events);
+    for (const std::string& proc : root.procs) {
+      std::printf(" %s", proc.c_str());
+    }
+    std::printf(", critical path via");
+    for (const std::string& proc : root.critical_path_procs) {
+      std::printf(" %s", proc.c_str());
+    }
+    std::printf("\n");
+  }
+  for (const std::string& orphan : forest.orphans) {
+    std::printf("  orphan: %s\n", orphan.c_str());
+  }
+  if (!forest.orphans.empty()) return 1;
+  if (options.validate) std::printf("validation: OK\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -294,6 +357,9 @@ int main(int argc, char** argv) {
       options.validate = true;
     } else if (arg == "--spans") {
       options.spans = true;
+    } else if (arg == "--merge") {
+      options.merge = true;
+    } else if (ParseFlag(arg, "--out=", &options.merge_out)) {
     } else if (ParseFlag(arg, "--chrome=", &options.chrome_out)) {
     } else if (ParseFlag(arg, "--cat=", &options.cat)) {
       options.print_matches = true;
@@ -323,18 +389,35 @@ int main(int argc, char** argv) {
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
+    } else if (options.merge) {
+      options.merge_files.push_back(arg);
     } else if (options.file.empty()) {
       options.file = arg;
     } else {
-      std::fprintf(stderr, "multiple input files given\n");
+      std::fprintf(stderr,
+                   "multiple input files given (use --merge, coordinator"
+                   " file first)\n");
       return 2;
     }
+  }
+  if (options.merge) {
+    if (!options.file.empty()) {
+      options.merge_files.insert(options.merge_files.begin(), options.file);
+    }
+    if (options.merge_files.empty()) {
+      std::fprintf(stderr,
+                   "usage: trace_inspect --merge [--validate] [--spans]"
+                   " [--out=MERGED] COORD_FILE SITE_FILE...\n");
+      return 2;
+    }
+    return RunMerge(options);
   }
   if (options.file.empty()) {
     std::fprintf(stderr,
                  "usage: trace_inspect [--validate] [--spans] [--chrome=OUT]"
-                 " [--cat=C] [--name=N] [--actor=A] [--site=S]"
-                 " [--cycle-min=X] [--cycle-max=Y] [--cycles=A:B] FILE\n");
+                 " [--merge FILE...] [--cat=C] [--name=N] [--actor=A]"
+                 " [--site=S] [--cycle-min=X] [--cycle-max=Y]"
+                 " [--cycles=A:B] FILE\n");
     return 2;
   }
 
@@ -365,13 +448,13 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
-    auto parsed = sgm::JsonValue::Parse(line);
-    if (!parsed.ok()) {
+    sgm::TraceEvent event;
+    std::string parse_error;
+    if (!sgm::ParseTraceEventLine(line, &event, &parse_error)) {
       std::fprintf(stderr, "%s:%ld: not JSON: %s\n", options.file.c_str(),
-                   line_number, parsed.status().message().c_str());
+                   line_number, parse_error.c_str());
       return 1;
     }
-    sgm::TraceEvent event = ToEvent(parsed.ValueOrDie());
     if (!Matches(options, event)) continue;
     by_cat_name[event.cat][event.name] += 1;
     actors.insert(event.actor);
