@@ -1,0 +1,15 @@
+#ifndef SGM_CORE_VERSION_H_
+#define SGM_CORE_VERSION_H_
+
+namespace sgm {
+
+/// Build/version string reported by the ops endpoints (/healthz) and any
+/// artifact that wants to name the producing build. Bumped with the library,
+/// not per-commit: it identifies a wire/trace-format generation, so two
+/// processes reporting different strings should not be mixed in one
+/// deployment.
+inline constexpr const char kSgmVersion[] = "sgm/0.9.0";
+
+}  // namespace sgm
+
+#endif  // SGM_CORE_VERSION_H_

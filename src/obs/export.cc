@@ -140,6 +140,7 @@ std::string PrometheusHelpText(const std::string& dotted_name) {
       {"socket.", "socket session lifecycle (hellos, disconnects, frames)"},
       {"serialization.", "wire codec encode/decode accounting"},
       {"alert.", "online anomaly-detector alerts over the metric stream"},
+      {"obs.", "telemetry self-cost (trace volume, sampling, ring, ns)"},
       {"sim.", "simulation driver bookkeeping"},
   };
   for (const FamilyHelp& family : kFamilies) {

@@ -34,6 +34,10 @@ std::vector<long> Histogram::bucket_counts() const {
   return counts;
 }
 
+long Histogram::overflow_count() const {
+  return buckets_[bounds_.size()].load(std::memory_order_relaxed);
+}
+
 double Histogram::Quantile(double q) const {
   q = std::min(1.0, std::max(0.0, q));
   const std::vector<long> counts = bucket_counts();
@@ -135,6 +139,7 @@ void MetricRegistry::WriteJson(std::ostream& out) const {
     AppendDouble(out, histogram->Quantile(0.95));
     out << ", \"p99\": ";
     AppendDouble(out, histogram->Quantile(0.99));
+    out << ", \"overflow\": " << histogram->overflow_count();
     out << ", \"buckets\": [";
     const std::vector<long> counts = histogram->bucket_counts();
     const std::vector<double>& bounds = histogram->bounds();
@@ -197,6 +202,10 @@ void MetricRegistry::WritePrometheus(std::ostream& out) const {
     out << prom << "_sum ";
     AppendDouble(out, histogram->sum());
     out << "\n" << prom << "_count " << histogram->count() << "\n";
+    // Above-last-edge observations, surfaced as an explicit (untyped)
+    // companion series: quantile estimates clamp there, so alerting on a
+    // nonzero value catches a histogram whose layout no longer fits.
+    out << prom << "_overflow " << histogram->overflow_count() << "\n";
   }
 }
 

@@ -54,6 +54,11 @@ class Histogram {
   const std::vector<double>& bounds() const { return bounds_; }
   /// One count per bound plus the overflow bucket (size = bounds+1).
   std::vector<long> bucket_counts() const;
+  /// Observations above the last edge. Exposed explicitly (JSON "overflow",
+  /// Prometheus `<name>_overflow`) because Quantile() clamps these to the
+  /// last edge — a nonzero overflow means the reported p99 is a floor, not
+  /// an estimate, and the bucket layout needs wider edges.
+  long overflow_count() const;
 
   /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
   /// holding bucket, the standard Prometheus histogram_quantile estimate.

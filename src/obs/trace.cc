@@ -1,10 +1,13 @@
 #include "obs/trace.h"
 
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <set>
+#include <sstream>
 
 #include "core/check.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 
 namespace sgm {
@@ -32,41 +35,57 @@ void AppendArgs(const std::vector<TraceArg>& args, std::ostream& out) {
   out << "}";
 }
 
+/// How head-based sampling treats an event (docs/OBSERVABILITY.md):
+///  * kAlways  — rare lifecycle/diagnostic events, never sampled out;
+///  * kCascade — rides a coordinator-minted span: skipped when the span
+///    carries kSpanUnsampledBit (span-less instances always record);
+///  * kNoise   — span-less high-volume chatter, kept by a deterministic
+///    per-(actor, cycle) coin at the configured rate.
+enum class SampleClass { kAlways, kCascade, kNoise };
+
 /// The event catalog: every name a conforming trace may contain, its
-/// category, and the argument keys that must be present. Extra args are
-/// allowed (events may carry more context than the schema demands); unknown
-/// names are schema violations. Keep in sync with docs/OBSERVABILITY.md.
+/// category, the argument keys that must be present, and its sampling
+/// class. Extra args are allowed (events may carry more context than the
+/// schema demands); unknown names are schema violations. Keep in sync with
+/// docs/OBSERVABILITY.md.
 struct EventSpec {
   const char* cat;
   std::vector<const char*> required_args;
+  SampleClass sample = SampleClass::kAlways;
 };
 
 const std::map<std::string, EventSpec>& EventCatalog() {
   static const auto* catalog = new std::map<std::string, EventSpec>{
       // Protocol lifecycle (coordinator / site / sim protocols).
-      {"sync_cycle_begin", {"protocol", {"span", "trigger"}}},
+      {"sync_cycle_begin",
+       {"protocol", {"span", "trigger"}, SampleClass::kCascade}},
       {"local_alarm", {"protocol", {}}},
-      {"probe_begin", {"protocol", {"epoch"}}},
-      {"partial_resolution", {"protocol", {}}},
-      {"one_d_resolution", {"protocol", {}}},
-      {"full_sync_begin", {"protocol", {"epoch"}}},
-      {"full_sync_complete", {"protocol", {"epoch", "degraded"}}},
-      {"sync_rerequest", {"protocol", {"epoch", "site"}}},
+      {"probe_begin", {"protocol", {"epoch"}, SampleClass::kCascade}},
+      {"partial_resolution", {"protocol", {}, SampleClass::kCascade}},
+      {"one_d_resolution", {"protocol", {}, SampleClass::kCascade}},
+      {"full_sync_begin", {"protocol", {"epoch"}, SampleClass::kCascade}},
+      {"full_sync_complete",
+       {"protocol", {"epoch", "degraded"}, SampleClass::kCascade}},
+      {"sync_rerequest",
+       {"protocol", {"epoch", "site"}, SampleClass::kCascade}},
       {"epoch_bump", {"protocol", {"epoch"}}},
-      {"anchor_applied", {"protocol", {"epoch", "source"}}},
+      {"anchor_applied",
+       {"protocol", {"epoch", "source"}, SampleClass::kCascade}},
       {"epoch_gap", {"protocol", {"from_epoch", "to_epoch"}}},
       {"stale_epoch_drop", {"protocol", {"msg_epoch"}}},
       {"late_report", {"protocol", {"site"}}},
       // Reliability layer (acks, rejoin handshake, heartbeats).
-      {"heartbeat", {"reliability", {}}},
+      {"heartbeat", {"reliability", {}, SampleClass::kNoise}},
       {"rejoin_request", {"reliability", {}}},
       {"rejoin_grant", {"reliability", {"epoch"}}},
-      {"retransmit", {"reliability", {"sender", "seq", "attempt"}}},
+      {"retransmit",
+       {"reliability", {"sender", "seq", "attempt"}, SampleClass::kCascade}},
       {"give_up", {"reliability", {"sender", "seq"}}},
-      {"duplicate_suppressed", {"reliability", {"sender", "seq"}}},
+      {"duplicate_suppressed",
+       {"reliability", {"sender", "seq"}, SampleClass::kNoise}},
       {"queue_evict", {"reliability", {"dest", "seq"}}},
       // Failure detector transitions.
-      {"heartbeat_miss", {"failure", {"misses"}}},
+      {"heartbeat_miss", {"failure", {"misses"}, SampleClass::kNoise}},
       {"suspect", {"failure", {"misses"}}},
       {"dead", {"failure", {"deaths"}}},
       {"unreachable", {"failure", {}}},
@@ -74,7 +93,8 @@ const std::map<std::string, EventSpec>& EventCatalog() {
       {"rejoin_begin", {"failure", {}}},
       {"rejoin_complete", {"failure", {}}},
       // Per-span transport cost attribution (ReliableTransport).
-      {"msg_send", {"transport", {"type", "span", "bytes"}}},
+      {"msg_send", {"transport", {"type", "span", "bytes"},
+                    SampleClass::kCascade}},
       // Online accuracy auditing (AccuracyAuditor).
       {"bound_violation", {"audit", {"kind", "span"}}},
       // Online anomaly detection (AnomalyDetector): a tracked signal's
@@ -83,10 +103,10 @@ const std::map<std::string, EventSpec>& EventCatalog() {
       // Injected faults (SimTransport).
       {"site_crash", {"fault", {}}},
       {"site_recover", {"fault", {}}},
-      {"drop", {"fault", {"type"}}},
-      {"duplicate", {"fault", {"type"}}},
-      {"delay", {"fault", {"type", "rounds"}}},
-      {"corrupt", {"fault", {"type"}}},
+      {"drop", {"fault", {"type"}, SampleClass::kNoise}},
+      {"duplicate", {"fault", {"type"}, SampleClass::kNoise}},
+      {"delay", {"fault", {"type", "rounds"}, SampleClass::kNoise}},
+      {"corrupt", {"fault", {"type"}, SampleClass::kNoise}},
       {"coordinator_crash", {"fault", {"epoch"}}},
       // Crash recovery (checkpoint writes and the recovery state machine).
       {"checkpoint_write", {"recovery", {"epoch", "bytes"}}},
@@ -111,7 +131,53 @@ const std::map<std::string, EventSpec>& EventCatalog() {
   return *catalog;
 }
 
+/// SplitMix64 finalizer — the same mixing the seeded RNGs use, applied to
+/// sampling decisions so they are a pure function of (seed, key).
+std::uint64_t MixBits(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic coin: true with probability ~`rate` as a function of the
+/// mixed key alone.
+bool SampledCoin(std::uint64_t key, double rate) {
+  // Top 53 bits → uniform double in [0, 1).
+  const double u =
+      static_cast<double>(MixBits(key) >> 11) * (1.0 / 9007199254740992.0);
+  return u < rate;
+}
+
+/// The audit/alert/recovery planes are diagnostic surfaces an operator must
+/// be able to trust at any rate; they bypass sampling entirely (checked
+/// before the span scan — bound_violation carries a possibly-tagged span).
+bool ExemptCategory(const std::string& cat) {
+  return cat == "audit" || cat == "alert" || cat == "recovery";
+}
+
+/// Removes kSpanUnsampledBit from span-carrying args so recorded traces
+/// always show the raw minted ids (and rate-1.0 output stays identical —
+/// the bit is never set there).
+void StripSpanTags(std::vector<TraceArg>* args) {
+  for (TraceArg& arg : *args) {
+    if (arg.kind != TraceArg::Kind::kInt) continue;
+    if (arg.key == "span" || arg.key == "parent") {
+      arg.int_value = SpanId(arg.int_value);
+    }
+  }
+}
+
 }  // namespace
+
+bool TraceSampleDecision(std::uint64_t seed, std::int64_t root_span,
+                         double rate) {
+  if (rate >= 1.0) return true;
+  if (rate <= 0.0) return false;
+  return SampledCoin(seed ^ MixBits(static_cast<std::uint64_t>(
+                                SpanId(root_span))),
+                     rate);
+}
 
 void AppendJsonNumber(std::ostream& out, double value) {
   if (value == static_cast<double>(static_cast<long long>(value)) &&
@@ -177,19 +243,112 @@ long TraceLog::epoch() const {
   return epoch_;
 }
 
+void TraceLog::ConfigureSampling(double rate, std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sample_rate_ = rate;
+  sample_seed_ = seed;
+}
+
+double TraceLog::sample_rate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sample_rate_;
+}
+
+void TraceLog::AttachFlightRecorder(FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  flight_ = recorder;
+}
+
+FlightRecorder* TraceLog::flight_recorder() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flight_;
+}
+
+TraceLog::SelfCost TraceLog::self_cost() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return self_cost_;
+}
+
+bool TraceLog::ShouldRecordLocked(const std::string& cat,
+                                  const std::string& name, int actor,
+                                  std::vector<TraceArg>* args) {
+  if (ExemptCategory(cat)) {
+    StripSpanTags(args);
+    return true;
+  }
+  const auto& catalog = EventCatalog();
+  const auto it = catalog.find(name);
+  const SampleClass cls =
+      it == catalog.end() ? SampleClass::kAlways : it->second.sample;
+  switch (cls) {
+    case SampleClass::kAlways:
+      StripSpanTags(args);
+      return true;
+    case SampleClass::kCascade:
+      for (const TraceArg& arg : *args) {
+        if (arg.kind == TraceArg::Kind::kInt && arg.key == "span" &&
+            SpanUnsampled(arg.int_value)) {
+          return false;
+        }
+      }
+      // Span-less (or span-0) instances have no cascade to follow — the
+      // sim protocols emit these — so they always record.
+      StripSpanTags(args);
+      return true;
+    case SampleClass::kNoise:
+      return SampledCoin(sample_seed_ ^
+                             MixBits(static_cast<std::uint64_t>(actor) *
+                                         0x51ed270b0f4dULL +
+                                     static_cast<std::uint64_t>(cycle_)),
+                         sample_rate_);
+  }
+  return true;
+}
+
 void TraceLog::Emit(std::string cat, std::string name, int actor,
                     std::vector<TraceArg> args) {
   std::lock_guard<std::mutex> lock(mu_);
-  TraceEvent event;
+  ++self_cost_.events_emitted;
+  if (sample_rate_ < 1.0 && !ShouldRecordLocked(cat, name, actor, &args)) {
+    // Sampled-out fast path: counter bumps and the sampling decision only —
+    // deliberately untimed, since a pair of clock reads would cost several
+    // times the path itself and the whole point of sampling is that skipped
+    // events are nearly free.
+    ++self_cost_.events_sampled_out;
+    return;
+  }
+  // Self-cost timing is itself sampled (every 13th recorded event, scaled
+  // back up): a clock-read pair costs as much as storing the event, so
+  // timing each one would double the overhead the meter exists to expose.
+  // The stride is prime so it can't alias the event vector's power-of-two
+  // reallocation points (which would attribute every realloc to a timed
+  // event and overstate the extrapolation).
+  const bool timed = self_cost_.events_recorded % 13 == 0;
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point();
+  ++self_cost_.events_recorded;
+  TraceEvent& event = events_.emplace_back();
   event.ts = next_ts_++;
   event.cycle = cycle_;
   event.cat = std::move(cat);
   event.name = std::move(name);
   event.actor = actor;
-  event.proc = proc_;
+  if (!proc_.empty()) event.proc = proc_;
   event.epoch = epoch_;
   event.args = std::move(args);
-  events_.push_back(std::move(event));
+  if (flight_ != nullptr) {
+    // Render at emit: the recorder must hold finished lines a signal
+    // handler can dump without touching the heap or this lock.
+    std::ostringstream line;
+    AppendEventJson(event, line);
+    flight_->Record(line.str());
+  }
+  if (timed) {
+    self_cost_.telemetry_ns +=
+        13 * std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now() - start)
+                 .count();
+  }
 }
 
 std::size_t TraceLog::size() const {
@@ -221,10 +380,16 @@ void TraceLog::AppendEventJson(const TraceEvent& event, std::ostream& out) {
 
 void TraceLog::WriteJsonl(std::ostream& out) const {
   std::lock_guard<std::mutex> lock(mu_);
+  long long bytes = 0;
   for (const TraceEvent& event : events_) {
-    AppendEventJson(event, out);
-    out << "\n";
+    std::ostringstream line;
+    AppendEventJson(event, line);
+    line << "\n";
+    const std::string rendered = line.str();
+    bytes += static_cast<long long>(rendered.size());
+    out << rendered;
   }
+  self_cost_.bytes_written += bytes;
 }
 
 void TraceLog::WriteChromeTrace(std::ostream& out) const {

@@ -9,6 +9,39 @@
 
 namespace sgm {
 
+class FlightRecorder;
+
+// ── Head-based trace sampling ────────────────────────────────────────────
+//
+// The coordinator decides, per root span (one sync cascade), whether the
+// cascade is traced, and carries the decision inside the span id itself:
+// an unsampled cascade's spans have kSpanUnsampledBit set. Sites echo span
+// ids verbatim, so the decision propagates across processes with zero new
+// wire fields and zero frame-size change. TraceLog strips the bit before
+// anything is recorded, so written traces always show the raw minted ids.
+
+/// Tag bit marking a span id as belonging to an unsampled cascade. Bit 62
+/// keeps tagged ids positive (span ids are small minted counters, so the
+/// payload bits never collide with the tag).
+constexpr std::int64_t kSpanUnsampledBit = std::int64_t{1} << 62;
+
+/// The raw minted span id, with any sampling tag removed.
+constexpr std::int64_t SpanId(std::int64_t span) {
+  return span & ~kSpanUnsampledBit;
+}
+
+/// True when the span carries the unsampled tag.
+constexpr bool SpanUnsampled(std::int64_t span) {
+  return (span & kSpanUnsampledBit) != 0;
+}
+
+/// The coordinator's deterministic per-cascade sampling decision: true ⇒
+/// the cascade rooted at `root_span` is traced. Seeded (same seed + rate →
+/// same decisions, the determinism contract), rate 1.0 ⇒ always true and
+/// 0.0 ⇒ always false.
+bool TraceSampleDecision(std::uint64_t seed, std::int64_t root_span,
+                         double rate);
+
 /// One structured argument of a trace event. Values are integers, doubles
 /// or short strings; keys are lower_snake identifiers.
 struct TraceArg {
@@ -90,6 +123,34 @@ class TraceLog {
   void Emit(std::string cat, std::string name, int actor,
             std::vector<TraceArg> args = {});
 
+  /// Arms head-based sampling: cascade events whose span carries
+  /// kSpanUnsampledBit are skipped, and span-less high-volume "noise"
+  /// events (heartbeats, injected faults, duplicate suppressions) are kept
+  /// with a deterministic per-(actor, cycle) coin at the same rate. The
+  /// audit/alert/recovery categories and all rare lifecycle events are
+  /// never sampled out. Rate 1.0 (the default) records everything and is
+  /// byte-identical to the pre-sampling format. The seed and rate must
+  /// match the RuntimeConfig driving the coordinator — both come from the
+  /// same config in every driver.
+  void ConfigureSampling(double rate, std::uint64_t seed);
+  double sample_rate() const;
+
+  /// Mirrors every recorded event into `recorder` (rendered to its JSONL
+  /// line at emit time), so a fatal signal can dump the recent window.
+  /// Pass nullptr to detach. The recorder must outlive the log.
+  void AttachFlightRecorder(FlightRecorder* recorder);
+  FlightRecorder* flight_recorder() const;
+
+  /// What the telemetry itself cost so far (the obs.* meter sources).
+  struct SelfCost {
+    long events_emitted = 0;      ///< Emit calls, sampled or not
+    long events_recorded = 0;     ///< events kept in the log
+    long events_sampled_out = 0;  ///< events skipped by sampling
+    long long bytes_written = 0;  ///< JSONL bytes produced by WriteJsonl
+    long long telemetry_ns = 0;   ///< wall ns inside Emit (metrics-only)
+  };
+  SelfCost self_cost() const;
+
   std::size_t size() const;
   /// Snapshot accessor for tests; copies under the lock.
   std::vector<TraceEvent> events() const;
@@ -107,11 +168,20 @@ class TraceLog {
   static void AppendEventJson(const TraceEvent& event, std::ostream& out);
 
  private:
+  /// The sampling gate; caller holds mu_. Strips span tags from `args` and
+  /// returns whether the event is recorded.
+  bool ShouldRecordLocked(const std::string& cat, const std::string& name,
+                          int actor, std::vector<TraceArg>* args);
+
   mutable std::mutex mu_;
   long cycle_ = 0;
   long next_ts_ = 0;
   std::string proc_;
   long epoch_ = -1;
+  double sample_rate_ = 1.0;
+  std::uint64_t sample_seed_ = 0;
+  FlightRecorder* flight_ = nullptr;
+  mutable SelfCost self_cost_;
   std::vector<TraceEvent> events_;
 };
 

@@ -136,6 +136,46 @@ Status LoadTraceJsonl(const std::string& path,
   return Status::OK();
 }
 
+Status LoadTraceJsonlTolerant(const std::string& path,
+                              const std::string& fallback_proc, bool validate,
+                              std::vector<TraceEvent>* out,
+                              std::string* warning) {
+  if (warning != nullptr) warning->clear();
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open trace file " + path);
+  }
+  // Two passes over the line list: a bad line is only "the torn tail" if no
+  // well-formed line follows it, which a streaming loop can't know yet.
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  long last_content = -1;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (!lines[i].empty()) last_content = static_cast<long>(i);
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    std::string error;
+    TraceEvent event;
+    const bool bad = (validate && !ValidateTraceJsonLine(lines[i], &error)) ||
+                     !ParseTraceEventLine(lines[i], &event, &error);
+    if (bad) {
+      const std::string where = path + ":" + std::to_string(i + 1);
+      if (static_cast<long>(i) == last_content) {
+        if (warning != nullptr) {
+          *warning = where + ": dropped torn final line (" + error + ")";
+        }
+        break;
+      }
+      return Status::InvalidArgument(where + ": invalid event: " + error);
+    }
+    if (event.proc.empty()) event.proc = fallback_proc;
+    out->push_back(std::move(event));
+  }
+  return Status::OK();
+}
+
 std::vector<TraceEvent> MergeTraceTimelines(
     std::vector<std::vector<TraceEvent>> logs) {
   struct Keyed {

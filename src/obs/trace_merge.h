@@ -26,6 +26,17 @@ Status LoadTraceJsonl(const std::string& path,
                       const std::string& fallback_proc, bool validate,
                       std::vector<TraceEvent>* out);
 
+/// Crash-tolerant variant: a process killed mid-write (SIGKILL during a
+/// chaos run, a fatal-signal flight dump racing a writer) leaves a file
+/// whose *final* line may be torn. This overload drops an unparseable last
+/// line and describes it in `warning` (empty = clean load) instead of
+/// failing; an empty file loads as zero events. Bad lines anywhere else
+/// still fail — mid-file corruption is a real error, not truncation.
+Status LoadTraceJsonlTolerant(const std::string& path,
+                              const std::string& fallback_proc, bool validate,
+                              std::vector<TraceEvent>* out,
+                              std::string* warning);
+
 /// Merges per-process trace logs into one causally ordered timeline.
 ///
 /// Each process's logical `ts` only orders events *within* that process,

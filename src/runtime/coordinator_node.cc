@@ -304,9 +304,19 @@ void CoordinatorNode::BumpEpoch() {
   AppendWal(record);
 }
 
+std::int64_t CoordinatorNode::TagSpan(std::int64_t span) const {
+  return cascade_sampled_ ? span : span | kSpanUnsampledBit;
+}
+
 void CoordinatorNode::EnsureCycleSpan(const char* trigger) {
   if (cycle_span_ != 0) return;  // escalation continues the existing tree
-  cycle_span_ = MintSpan();
+  const std::int64_t root = MintSpan();
+  // The head-based sampling decision is minted with the root span and
+  // carried by the tag bit on every span of the cascade; the raw root id
+  // keys the seeded coin so a replay decides identically.
+  cascade_sampled_ =
+      TraceSampleDecision(config_.seed, root, config_.trace_sample_rate);
+  cycle_span_ = TagSpan(root);
   last_cycle_span_ = cycle_span_;
   if (telemetry_ != nullptr) {
     telemetry_->trace.Emit("protocol", "sync_cycle_begin", kCoordinatorId,
@@ -318,12 +328,13 @@ void CoordinatorNode::EnsureCycleSpan(const char* trigger) {
 void CoordinatorNode::CloseCycleSpan() {
   cycle_span_ = 0;
   phase_span_ = 0;
+  cascade_sampled_ = true;
 }
 
 void CoordinatorNode::RequestFullState() {
   BumpEpoch();  // a new sync round begins
   EnsureCycleSpan("scheduled");  // no-op when escalating from a probe
-  phase_span_ = MintSpan();
+  phase_span_ = TagSpan(MintSpan());
   phase_ = Phase::kCollecting;
   sync_retries_ = 0;
   collected_.assign(num_sites_, Vector());
@@ -363,7 +374,7 @@ void CoordinatorNode::FinishFullSync(bool degraded) {
   cycles_since_sync_ = 0;
   ++full_syncs_;
   phase_ = Phase::kIdle;
-  const std::int64_t broadcast_span = MintSpan();
+  const std::int64_t broadcast_span = TagSpan(MintSpan());
   if (telemetry_ != nullptr) {
     telemetry_->trace.Emit("protocol", "full_sync_complete", kCoordinatorId,
                            {{"epoch", epoch_},
@@ -397,7 +408,7 @@ void CoordinatorNode::FinishFullSync(bool degraded) {
 void CoordinatorNode::ResolvePartial(const Vector& v_hat) {
   ++partial_resolutions_;
   phase_ = Phase::kIdle;
-  const std::int64_t resolve_span = MintSpan();
+  const std::int64_t resolve_span = TagSpan(MintSpan());
   if (telemetry_ != nullptr) {
     telemetry_->trace.Emit("protocol", "partial_resolution", kCoordinatorId,
                            {{"span", resolve_span}, {"parent", cycle_span_}});
@@ -564,7 +575,7 @@ void CoordinatorNode::OnMessage(const RuntimeMessage& message) {
       alarm_this_cycle_ = true;
       BumpEpoch();  // the probe round begins
       EnsureCycleSpan("local_violation");
-      phase_span_ = MintSpan();
+      phase_span_ = TagSpan(MintSpan());
       phase_ = Phase::kProbing;
       probe_drift_.assign(num_sites_, Vector());
       probe_g_.assign(num_sites_, 0.0);

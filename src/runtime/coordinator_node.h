@@ -166,6 +166,12 @@ class CoordinatorNode {
   /// are protocol-carried wire fields, so message content cannot depend on
   /// whether telemetry is attached.
   std::int64_t MintSpan() { return ++next_span_; }
+  /// Applies the in-flight cascade's sampling decision to a freshly minted
+  /// span: unsampled cascades get kSpanUnsampledBit ORed in, so every
+  /// process that sees the span (sites echo it verbatim) skips its trace
+  /// formatting while the wire format — a fixed-width i64 either way — and
+  /// all counters stay untouched. At rate 1.0 this is the identity.
+  std::int64_t TagSpan(std::int64_t span) const;
   /// Opens the root span of a sync cascade if none is active and traces the
   /// sync_cycle_begin event. `trigger` names what started the cascade.
   void EnsureCycleSpan(const char* trigger);
@@ -239,6 +245,10 @@ class CoordinatorNode {
   std::int64_t phase_span_ = 0;
   /// Most recent root span, kept after the cascade completes.
   std::int64_t last_cycle_span_ = 0;
+  /// Head-based sampling decision for the in-flight cascade, minted with
+  /// its root span (TraceSampleDecision over the raw root id). True at
+  /// rate 1.0 and between cascades.
+  bool cascade_sampled_ = true;
 
   std::int64_t epoch_ = 0;
   /// Epoch at the top of the current cycle. A live site whose message

@@ -12,6 +12,8 @@
 #include <sstream>
 
 #include "core/check.h"
+#include "core/version.h"
+#include "obs/flight_recorder.h"
 #include "obs/telemetry.h"
 
 namespace sgm {
@@ -25,6 +27,10 @@ CoordinatorServer::CoordinatorServer(const MonitoredFunction& function,
       site_fds_(config.num_sites, -1) {
   SGM_CHECK(config.num_sites > 0);
   config_.runtime.reliability.round_clock = &clock_;
+  if (config_.runtime.telemetry != nullptr) {
+    config_.runtime.telemetry->trace.ConfigureSampling(
+        config_.runtime.trace_sample_rate, config_.runtime.seed);
+  }
   reliable_ = std::make_unique<ReliableTransport>(
       &transport_, config_.num_sites, config_.runtime.reliability,
       config_.runtime.telemetry);
@@ -439,8 +445,13 @@ CoordinatorServer::Health CoordinatorServer::GetHealth() const {
 
 std::string CoordinatorServer::HealthJson() const {
   const Health health = GetHealth();
+  const long long uptime_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count();
   std::ostringstream out;
-  out << "{\"role\":\"coordinator\",\"epoch\":" << health.epoch
+  out << "{\"role\":\"coordinator\",\"version\":\"" << kSgmVersion
+      << "\",\"uptime_ms\":" << uptime_ms << ",\"epoch\":" << health.epoch
       << ",\"cycle\":" << health.cycle
       << ",\"num_sites\":" << health.num_sites
       << ",\"connected_sites\":" << health.connected_sites
@@ -523,6 +534,23 @@ void CoordinatorServer::PublishMetrics() {
   registry->GetCounter("failure.total_deaths")->Set(fd.total_deaths());
   registry->GetGauge("failure.live_count")
       ->Set(static_cast<double>(fd.live_count()));
+
+  // Telemetry self-cost: what observability itself spends. Emitted counts
+  // include sampled-out events, so `sampled_out / events` is the live
+  // sampling ratio and `telemetry_ns` bounds the instrumentation tax.
+  const TraceLog::SelfCost cost = telemetry->trace.self_cost();
+  registry->GetCounter("obs.trace.events")->Set(cost.events_emitted);
+  registry->GetCounter("obs.trace.recorded")->Set(cost.events_recorded);
+  registry->GetCounter("obs.trace.sampled_out")->Set(cost.events_sampled_out);
+  registry->GetCounter("obs.trace.bytes_written")
+      ->Set(static_cast<long>(cost.bytes_written));
+  registry->GetCounter("obs.telemetry.ns")
+      ->Set(static_cast<long>(cost.telemetry_ns));
+  if (const FlightRecorder* ring = telemetry->trace.flight_recorder()) {
+    registry->GetCounter("obs.ring.recorded")->Set(ring->lines_recorded());
+    registry->GetCounter("obs.ring.overwrites")->Set(ring->overwrites());
+    registry->GetCounter("obs.ring.dropped")->Set(ring->lines_dropped());
+  }
 
   if (telemetry->series) telemetry->series->Sample(cycle_, *registry);
 }

@@ -2,6 +2,7 @@
 #define SGM_RUNTIME_COORDINATOR_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -207,6 +208,9 @@ class CoordinatorServer {
 
   CoordinatorServerConfig config_;
   MonotonicRoundClock clock_;
+  /// Construction instant; /healthz reports uptime relative to this.
+  const std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
   SocketTransport transport_;
   std::unique_ptr<ReliableTransport> reliable_;
   std::unique_ptr<CoordinatorNode> coordinator_;

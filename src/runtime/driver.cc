@@ -1,6 +1,7 @@
 #include "runtime/driver.h"
 
 #include "core/check.h"
+#include "obs/flight_recorder.h"
 #include "obs/telemetry.h"
 
 namespace sgm {
@@ -26,6 +27,12 @@ void RuntimeDriver::BuildNodes(int num_sites,
   telemetry_ = config.telemetry;
   config_ = config;
   function_clone_ = function.Clone();
+  if (telemetry_ != nullptr) {
+    // The log gets the same seed+rate the coordinator mints decisions from,
+    // so its noise-event coin replays with the run.
+    telemetry_->trace.ConfigureSampling(config.trace_sample_rate,
+                                        config.seed);
+  }
   if (sim_ && telemetry_ != nullptr) sim_->set_telemetry(telemetry_);
   reliable_ = std::make_unique<ReliableTransport>(
       lower, num_sites, config.reliability, telemetry_);
@@ -278,6 +285,23 @@ void RuntimeDriver::PublishMetrics() {
     registry->GetCounter("failure.total_deaths")->Set(fd.total_deaths());
     registry->GetGauge("failure.live_count")
         ->Set(static_cast<double>(fd.live_count()));
+  }
+
+  // Telemetry self-cost: what observability itself spends. Emitted counts
+  // include sampled-out events, so `sampled_out / events` is the live
+  // sampling ratio and `telemetry_ns` bounds the instrumentation tax.
+  const TraceLog::SelfCost cost = telemetry_->trace.self_cost();
+  registry->GetCounter("obs.trace.events")->Set(cost.events_emitted);
+  registry->GetCounter("obs.trace.recorded")->Set(cost.events_recorded);
+  registry->GetCounter("obs.trace.sampled_out")->Set(cost.events_sampled_out);
+  registry->GetCounter("obs.trace.bytes_written")
+      ->Set(static_cast<long>(cost.bytes_written));
+  registry->GetCounter("obs.telemetry.ns")
+      ->Set(static_cast<long>(cost.telemetry_ns));
+  if (const FlightRecorder* ring = telemetry_->trace.flight_recorder()) {
+    registry->GetCounter("obs.ring.recorded")->Set(ring->lines_recorded());
+    registry->GetCounter("obs.ring.overwrites")->Set(ring->overwrites());
+    registry->GetCounter("obs.ring.dropped")->Set(ring->lines_dropped());
   }
 
   // Windowed time-series export: one sample per cycle (idempotent — an

@@ -137,11 +137,13 @@ void ReliableTransport::Send(const RuntimeMessage& message) {
     in_flight_.emplace(std::make_pair(stamped.from, stamped.seq),
                        std::move(entry));
   }
-  if (telemetry_ != nullptr && stamped.span != 0) {
+  if (telemetry_ != nullptr && stamped.span != 0 &&
+      !SpanUnsampled(stamped.span)) {
     // Per-span cost attribution: one msg_send per span-carrying original
     // transmission, so trace_inspect --spans can charge message/byte cost
     // to the cycle phase that caused it. Span-less traffic (heartbeats,
-    // acks, rejoin requests) stays out of the span trees.
+    // acks, rejoin requests) stays out of the span trees, and an unsampled
+    // cascade skips the whole formatting call, not just the recording.
     telemetry_->trace.Emit(
         "transport", "msg_send", stamped.from,
         {{"type", RuntimeMessage::TypeName(stamped.type)},
@@ -249,7 +251,7 @@ void ReliableTransport::AdvanceRound() {
       // the original broadcast is suppressed.
       copy.to = dest;
       ++stats_.retransmissions;
-      if (telemetry_ != nullptr) {
+      if (telemetry_ != nullptr && !SpanUnsampled(copy.span)) {
         telemetry_->trace.Emit(
             "reliability", "retransmit", copy.from,
             {{"sender", copy.from},

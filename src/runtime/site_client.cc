@@ -6,9 +6,11 @@
 
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <sstream>
 
 #include "core/check.h"
+#include "core/version.h"
 #include "obs/telemetry.h"
 
 namespace sgm {
@@ -33,6 +35,10 @@ SiteClient::SiteClient(const MonitoredFunction& function,
   SGM_CHECK(config.site_id >= 0 && config.site_id < config.num_sites);
   SGM_CHECK(config.max_reconnects >= 0);
   config_.runtime.reliability.round_clock = &clock_;
+  if (config_.runtime.telemetry != nullptr) {
+    config_.runtime.telemetry->trace.ConfigureSampling(
+        config_.runtime.trace_sample_rate, config_.runtime.seed);
+  }
   // Decorrelate the per-site retry jitter streams without a shared clock.
   retry_jitter_state_ = config_.runtime.socket_retry.jitter_seed +
                         0x5bd1e995ULL *
@@ -110,8 +116,14 @@ std::string SiteClient::HealthJson() const {
   if (config_.runtime.telemetry != nullptr) {
     trace_epoch = config_.runtime.telemetry->trace.epoch();
   }
+  const long long uptime_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count();
   std::ostringstream out;
-  out << "{\"role\":\"site\",\"site\":" << config_.site_id
+  out << "{\"role\":\"site\",\"version\":\"" << kSgmVersion
+      << "\",\"uptime_ms\":" << uptime_ms
+      << ",\"site\":" << config_.site_id
       << ",\"num_sites\":" << config_.num_sites
       << ",\"connected\":" << (connected ? "true" : "false")
       << ",\"cycles_observed\":" << cycles_observed_.load()

@@ -2,6 +2,7 @@
 #define SGM_RUNTIME_SITE_CLIENT_H_
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -134,6 +135,9 @@ class SiteClient {
 
   SiteClientConfig config_;
   MonotonicRoundClock clock_;
+  /// Construction instant; /healthz reports uptime relative to this.
+  const std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
   SocketTransport transport_;
   std::unique_ptr<ChaosSocketTransport> chaos_;
   std::unique_ptr<ReliableTransport> reliable_;

@@ -88,6 +88,14 @@ struct RuntimeConfig {
   /// the hot paths free of any instrumentation cost, and telemetry never
   /// feeds back into protocol decisions either way.
   Telemetry* telemetry = nullptr;
+  /// Head-based trace sampling rate in [0, 1]: the coordinator keeps each
+  /// sync cascade's trace with this probability (seeded by `seed`, so the
+  /// decisions replay), tagging unsampled cascades' span ids with
+  /// kSpanUnsampledBit; span-less noise events sample per (actor, cycle) at
+  /// the same rate. 1.0 records everything, byte-identical to the
+  /// pre-sampling traces. Counters always count everything; the audit,
+  /// alert and recovery planes are never sampled out.
+  double trace_sample_rate = 1.0;
 };
 
 /// The bottom-tier participant of the SGM runtime: owns one local

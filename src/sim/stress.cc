@@ -293,6 +293,11 @@ StressReport RunSimStress(const StressConfig& config) {
   protocol->set_drift_norm_cap(source.max_drift_norm());
   protocol->set_telemetry(config.telemetry);
   if (config.telemetry != nullptr) {
+    // Sim protocols are transportless and spanless, so only the noise-class
+    // sampling applies here; the rate is plumbed for parity with the
+    // runtime leg.
+    config.telemetry->trace.ConfigureSampling(
+        config.trace_sample_rate, DeriveSeed(config.seed, kProtocolStream));
     config.telemetry->trace.Emit("run", "run_begin", -1);
   }
 
@@ -382,6 +387,7 @@ struct RuntimeLeg {
     node.drift_norm_cap = source_.max_drift_norm();
     node.seed = DeriveSeed(config_.seed, kProtocolStream);
     node.telemetry = config_.telemetry;
+    node.trace_sample_rate = config_.trace_sample_rate;
     if (config_.coord_crash_probability > 0.0) {
       node.checkpoint_store = &checkpoint_store_;
       node.checkpoint_interval_cycles = 20;

@@ -89,6 +89,11 @@ struct StressConfig {
   /// are logical, so one seed yields one byte-identical trace. The parity
   /// leg ignores it (two drivers in one process would conflate counters).
   Telemetry* telemetry = nullptr;
+  /// Head-based trace sampling rate (see RuntimeConfig::trace_sample_rate):
+  /// 1.0 keeps the byte-identical full trace; lower rates drop unsampled
+  /// cascades and noise events from the trace only — protocol behavior,
+  /// counters and the audit plane are unchanged.
+  double trace_sample_rate = 1.0;
 };
 
 /// Outcome of one stress leg.

@@ -50,10 +50,13 @@
 #include "functions/l2_norm.h"
 #include "obs/accuracy_auditor.h"
 #include "obs/anomaly.h"
+#include "obs/flight_recorder.h"
 #include "obs/telemetry.h"
+#include "obs/trace_merge.h"
 #include "runtime/checkpoint.h"
 #include "runtime/coordinator_server.h"
 #include "runtime/site_client.h"
+#include "sim/stress.h"
 
 namespace sgm {
 namespace {
@@ -300,6 +303,30 @@ void AppendBeliefLine(FILE* file, long cycle, const CoordinatorServer& server,
   _exit(0);
 }
 
+// ─── Flight-recorder crash probe ───────────────────────────────────────────
+
+/// Runs a short faultless runtime leg with the process-wide flight recorder
+/// mirroring the trace, arms the fatal-signal dump and abort()s — the
+/// abort-path equivalent of the SIGKILL deaths above (SIGKILL cannot be
+/// caught, so the crash-dump contract is exercised on SIGABRT). The parent
+/// asserts the dump parses and merges cleanly. Exit code 50: the leg
+/// violated an invariant before the crash point.
+[[noreturn]] void FlightProbeProcessMain(const std::string& dump_path,
+                                         std::uint64_t chaos_seed) {
+  Telemetry telemetry;
+  telemetry.trace.SetProcess("flight-probe");
+  FlightRecorder& ring = FlightRecorder::Instance();
+  telemetry.trace.AttachFlightRecorder(&ring);
+  ring.InstallCrashDump(dump_path);
+  StressConfig stress;
+  stress.seed = DeriveSeed(chaos_seed, 51);
+  stress.num_sites = 8;
+  stress.cycles = 15;  // the whole run fits in the ring: no torn-off spans
+  stress.telemetry = &telemetry;
+  if (!RunRuntimeStress(stress).ok()) _exit(50);
+  std::abort();
+}
+
 // ─── The harness ───────────────────────────────────────────────────────────
 
 struct BeliefRecord {
@@ -427,6 +454,40 @@ TEST(ChaosIntegrationTest, KilledCoordinatorAndSiteRecoverUnderSeededChaos) {
     EXPECT_GE(alert_lines, 1L) << "detector stayed silent through a crash";
     EXPECT_TRUE(restore_line)
         << "no alert attributed to recovery.restores in " << alerts_path;
+  }
+
+  // Flight-recorder crash contract: a process that dies mid-run leaves a
+  // postmortem dump. SIGKILL is uncatchable, so the probe dies the
+  // abort-path way; the dump must validate line by line and merge into a
+  // span forest with zero orphans attributable to the dump (the probe's
+  // whole run fits inside the ring, so every parent span is in the window).
+  {
+    const std::string dump_path = artifacts + "/flight-abort.jsonl";
+    std::remove(dump_path.c_str());
+    const pid_t probe = fork();
+    ASSERT_GE(probe, 0);
+    if (probe == 0) {
+      FlightProbeProcessMain(dump_path, chaos_seed);
+    }
+    ASSERT_EQ(::waitpid(probe, &status, 0), probe);
+    ASSERT_TRUE(WIFSIGNALED(status))
+        << "flight probe exited with code "
+        << (WIFEXITED(status) ? WEXITSTATUS(status) : -1)
+        << " instead of crashing";
+    EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+    std::vector<TraceEvent> dumped;
+    std::string warning;
+    const Status loaded = LoadTraceJsonlTolerant(
+        dump_path, "flight-probe", /*validate=*/true, &dumped, &warning);
+    ASSERT_TRUE(loaded.ok()) << loaded.message();
+    EXPECT_TRUE(warning.empty()) << warning;
+    ASSERT_FALSE(dumped.empty()) << "crash dump is empty: " << dump_path;
+    const SpanForestSummary forest =
+        SummarizeSpanForest(MergeTraceTimelines({std::move(dumped)}));
+    EXPECT_GT(forest.spans, 0L) << "dump window carries no cascade spans";
+    EXPECT_TRUE(forest.orphans.empty())
+        << "crash dump introduced orphan spans: " << forest.orphans.front();
   }
 
   // Every cycle of the schedule has a final verdict despite both crashes.

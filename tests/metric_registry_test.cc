@@ -42,6 +42,41 @@ TEST(HistogramTest, BucketsObservationsByUpperEdge) {
   EXPECT_EQ(histogram.bucket_counts(), (std::vector<long>{2, 1, 0, 1}));
 }
 
+// The overflow bucket (observations above the last edge) is reported
+// explicitly: quantile estimates clamp to the last edge, so a nonzero
+// overflow is the reader's signal that p99 is a floor, not an estimate.
+TEST(HistogramTest, OverflowCountIsExplicit) {
+  Histogram histogram({1.0, 10.0});
+  EXPECT_EQ(histogram.overflow_count(), 0);
+  histogram.Observe(0.5);
+  histogram.Observe(11.0);
+  histogram.Observe(5000.0);
+  EXPECT_EQ(histogram.overflow_count(), 2);
+  EXPECT_EQ(histogram.count(), 3);
+}
+
+TEST(MetricRegistryTest, WritersExposeHistogramOverflow) {
+  MetricRegistry registry;
+  Histogram* histogram = registry.GetHistogram("site.ball_test_ns");
+  histogram->Observe(1.0);
+  histogram->Observe(1e18);  // far beyond the last latency edge
+
+  std::ostringstream json;
+  registry.WriteJson(json);
+  auto parsed = JsonValue::Parse(json.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue* ball =
+      parsed.ValueOrDie().Find("histograms")->Find("site.ball_test_ns");
+  ASSERT_NE(ball, nullptr);
+  EXPECT_DOUBLE_EQ(ball->NumberOr("overflow", -1), 1.0);
+
+  std::ostringstream prom;
+  registry.WritePrometheus(prom);
+  EXPECT_NE(prom.str().find("sgm_site_ball_test_ns_overflow 1\n"),
+            std::string::npos)
+      << prom.str();
+}
+
 TEST(HistogramTest, LatencyEdgesAreAscending) {
   const std::vector<double>& edges = LatencyBucketsNs();
   ASSERT_GE(edges.size(), 2u);

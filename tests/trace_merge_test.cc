@@ -157,6 +157,73 @@ TEST(LoadTraceJsonlTest, ValidateRejectsMalformedLines) {
   std::remove(path.c_str());
 }
 
+// ── Tolerant loading (crash-adjacent files) ──────────────────────────────
+//
+// A process that dies mid-write leaves an empty file or a torn final line;
+// the tolerant loader used by trace_inspect --merge must shrug at both
+// while still rejecting genuine mid-file corruption.
+
+const char kGoodLine[] =
+    "{\"ts\":0,\"cycle\":1,\"cat\":\"reliability\",\"name\":\"heartbeat\","
+    "\"actor\":2,\"args\":{}}";
+
+TEST(LoadTraceJsonlTolerantTest, EmptyFileYieldsZeroEventsNoWarning) {
+  const std::string path = ::testing::TempDir() + "/merge_empty.jsonl";
+  { std::ofstream out(path); }
+  std::vector<TraceEvent> events;
+  std::string warning;
+  ASSERT_TRUE(
+      LoadTraceJsonlTolerant(path, "p", true, &events, &warning).ok());
+  EXPECT_TRUE(events.empty());
+  EXPECT_TRUE(warning.empty());
+  std::remove(path.c_str());
+}
+
+TEST(LoadTraceJsonlTolerantTest, DropsTornFinalLineWithWarning) {
+  const std::string path = ::testing::TempDir() + "/merge_torn.jsonl";
+  {
+    std::ofstream out(path);
+    out << kGoodLine << "\n";
+    out << "{\"ts\":1,\"cycle\":1,\"cat\":\"reli";  // cut mid-write, no \n
+  }
+  std::vector<TraceEvent> events;
+  std::string warning;
+  ASSERT_TRUE(
+      LoadTraceJsonlTolerant(path, "site-2", true, &events, &warning).ok());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "heartbeat");
+  EXPECT_EQ(events[0].proc, "site-2");
+  EXPECT_NE(warning.find(":2"), std::string::npos) << warning;
+  EXPECT_NE(warning.find("torn"), std::string::npos) << warning;
+  std::remove(path.c_str());
+}
+
+TEST(LoadTraceJsonlTolerantTest, MidFileCorruptionStillFails) {
+  const std::string path = ::testing::TempDir() + "/merge_midbad.jsonl";
+  {
+    std::ofstream out(path);
+    out << "not json at all\n";
+    out << kGoodLine << "\n";
+  }
+  std::vector<TraceEvent> events;
+  std::string warning;
+  const Status loaded =
+      LoadTraceJsonlTolerant(path, "p", true, &events, &warning);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.message().find(":1"), std::string::npos)
+      << loaded.message();
+  std::remove(path.c_str());
+}
+
+TEST(LoadTraceJsonlTolerantTest, MissingFileIsNotFound) {
+  std::vector<TraceEvent> events;
+  std::string warning;
+  const Status loaded = LoadTraceJsonlTolerant(
+      ::testing::TempDir() + "/definitely-missing.jsonl", "p", true, &events,
+      &warning);
+  EXPECT_EQ(loaded.code(), StatusCode::kNotFound);
+}
+
 TEST(SummarizeSpanForestTest, DetectsCrossProcessSpansAndCriticalPath) {
   // Probe cascade: the coordinator mints span 1 (root) and probe span 2;
   // sites answer on span 2. Span 2's events come from three processes —

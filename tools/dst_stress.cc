@@ -38,6 +38,9 @@
 //                       the deliberate negative-test configuration)
 //   --audit-max-run=R   auditor out-of-zone run tolerance override
 //   --verbose    print every leg's summary, not just failures
+//   --trace-sample=R    head-based trace sampling rate in [0, 1]; 1.0 keeps
+//                       the byte-identical full trace, lower rates drop
+//                       unsampled cascades/noise from the trace only  [1.0]
 //   --trace=PATH        write the structured protocol trace (JSONL; single
 //                       leg only — timestamps are logical, so a replayed
 //                       seed reproduces the file byte-for-byte)
@@ -157,6 +160,9 @@ bool ParseArgs(int argc, char** argv, Flags* flags) {
       flags->config.audit_max_run = std::atol(value);
     } else if (ParseFlag(argv[i], "--audit", &value)) {
       flags->config.audit = true;
+    } else if (ParseFlag(argv[i], "--trace-sample", &value) &&
+               value != nullptr) {
+      flags->config.trace_sample_rate = std::atof(value);
     } else if (ParseFlag(argv[i], "--verbose", &value)) {
       flags->verbose = true;
     } else if (ParseFlag(argv[i], "--trace", &value) && value != nullptr) {

@@ -47,7 +47,15 @@
 // Observability plane (both daemon modes; see docs/OBSERVABILITY.md):
 //   --http-port  serve live read-only ops endpoints on this loopback port
 //                (0 = ephemeral; the bound port is printed on stdout):
-//                /metrics (Prometheus 0.0.4), /healthz (JSON), /alerts
+//                /metrics (Prometheus 0.0.4), /healthz (JSON), /alerts,
+//                /flightrecorder (recent-event ring as JSONL)
+//   --trace-sample=R  head-based trace sampling rate in [0, 1]; 1.0 keeps
+//                the full byte-identical trace, lower rates drop unsampled
+//                cascades/noise from the trace only (counters and the
+//                audit/alert planes always see everything)       [1.0]
+//   --flight-dump=PATH  where the fatal-signal (SIGSEGV/SIGABRT) handler
+//                dumps the in-memory flight-recorder ring as JSONL
+//                [sgm-flight-<role>.jsonl]
 //   --alerts-out coordinator: run the online anomaly detector over the
 //                per-cycle metric stream and append alert.* events to this
 //                JSONL file (append + flush per alert, so the file
@@ -78,6 +86,7 @@
 
 #include "obs/anomaly.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/http_exporter.h"
 #include "obs/telemetry.h"
 
@@ -131,6 +140,11 @@ struct Flags {
   int max_reconnects = 8;
   int http_port = -1;      ///< ≥ 0: serve /metrics /healthz /alerts
   std::string alerts_out;  ///< coordinator: anomaly alert JSONL sink
+  /// Head-based trace sampling rate (RuntimeConfig::trace_sample_rate).
+  double trace_sample = 1.0;
+  /// Fatal-signal flight-recorder dump path; empty derives a role-named
+  /// default (sgm-flight-<role>.jsonl in the working directory).
+  std::string flight_dump;
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -201,6 +215,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->http_port = std::atoi(value.c_str());
     } else if (key == "alerts-out") {
       flags->alerts_out = value;
+    } else if (key == "trace-sample") {
+      flags->trace_sample = std::atof(value.c_str());
+    } else if (key == "flight-dump") {
+      flags->flight_dump = value;
     } else {
       std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
       return false;
@@ -321,7 +339,21 @@ RuntimeConfig MakeRuntimeConfig(const Flags& flags,
   config.drift_norm_cap = source.max_drift_norm();
   config.seed = flags.seed;
   config.socket_retry = flags.socket_retry;
+  config.trace_sample_rate = flags.trace_sample;
   return config;
+}
+
+/// Arms the always-on flight recorder for a daemon role: the process-wide
+/// ring receives every recorded trace event, and a SIGSEGV/SIGABRT dumps it
+/// to `flags.flight_dump` (or a role-derived default) as parseable JSONL.
+void ArmFlightRecorder(const Flags& flags, Telemetry* telemetry,
+                       const std::string& role) {
+  FlightRecorder& flight = FlightRecorder::Instance();
+  telemetry->trace.AttachFlightRecorder(&flight);
+  const std::string path = flags.flight_dump.empty()
+                               ? "sgm-flight-" + role + ".jsonl"
+                               : flags.flight_dump;
+  flight.InstallCrashDump(path);
 }
 
 /// Parses "--connect=[host:]port". Only loopback is supported, so the host
@@ -366,6 +398,10 @@ bool StartOpsEndpoints(HttpExporter* http, const Telemetry* telemetry,
     return telemetry->anomaly != nullptr ? telemetry->anomaly->AlertsJson()
                                          : std::string("[]\n");
   });
+  // On-demand postmortem window: the same JSONL the fatal-signal handler
+  // would dump, served live (oldest event first).
+  http->Route("/flightrecorder", "application/x-ndjson",
+              [] { return FlightRecorder::Instance().DumpString(); });
   const Status status = http->Start(port);
   if (!status.ok()) {
     std::fprintf(stderr, "ops endpoints bind failed: %s\n",
@@ -385,6 +421,7 @@ int RunCoordinatorDaemon(const Flags& flags) {
 
   Telemetry telemetry;
   telemetry.trace.SetProcess("coordinator");
+  ArmFlightRecorder(flags, &telemetry, "coordinator");
   if (!flags.series_out.empty()) telemetry.EnableTimeSeries();
 
   // A crashed previous incarnation may have died between writing the .tmp
@@ -528,6 +565,7 @@ int RunSiteDaemon(const Flags& flags) {
 
   Telemetry telemetry;
   telemetry.trace.SetProcess("site-" + std::to_string(flags.site_id));
+  ArmFlightRecorder(flags, &telemetry, "site-" + std::to_string(flags.site_id));
 
   SiteClientConfig config;
   config.site_id = flags.site_id;

@@ -284,12 +284,30 @@ int RunMerge(const Options& options) {
   std::vector<std::vector<sgm::TraceEvent>> logs;
   for (const std::string& file : options.merge_files) {
     std::vector<sgm::TraceEvent> events;
-    const sgm::Status loaded = sgm::LoadTraceJsonl(
-        file, ProcFromFilename(file), options.validate, &events);
+    std::string warning;
+    const sgm::Status loaded = sgm::LoadTraceJsonlTolerant(
+        file, ProcFromFilename(file), options.validate, &events, &warning);
     if (!loaded.ok()) {
+      // A chaos run's artifact set legitimately contains files from
+      // processes killed before their first flush — skip those with a
+      // warning instead of refusing the whole merge. Mid-file corruption
+      // still fails the load above and the merge with it.
+      if (loaded.code() == sgm::StatusCode::kNotFound) {
+        std::fprintf(stderr, "warning: %s: skipped (%s)\n", file.c_str(),
+                     loaded.message().c_str());
+        continue;
+      }
       std::fprintf(stderr, "%s: %s\n", file.c_str(),
                    loaded.message().c_str());
       return 1;
+    }
+    if (!warning.empty()) {
+      std::fprintf(stderr, "warning: %s\n", warning.c_str());
+    }
+    if (events.empty()) {
+      std::fprintf(stderr, "warning: %s: no events (empty or torn file)\n",
+                   file.c_str());
+      continue;
     }
     std::vector<sgm::TraceEvent> kept;
     for (sgm::TraceEvent& event : events) {
