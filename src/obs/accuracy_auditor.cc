@@ -39,6 +39,8 @@ AccuracyAuditor::AccuracyAuditor(const AccuracyAuditorConfig& config)
     fn_ = registry.GetCounter("audit.false_negatives");
     out_of_zone_ = registry.GetCounter("audit.out_of_zone_disagreements");
     violations_ = registry.GetCounter("audit.bound_violations");
+    degraded_cycles_ = registry.GetCounter("audit.degraded_cycles");
+    degraded_fn_ = registry.GetCounter("audit.degraded_false_negatives");
     max_abs_error_ = registry.GetGauge("audit.max_abs_error");
     instantaneous_error_ = registry.GetGauge("audit.abs_error_last");
     abs_error_ = registry.GetHistogram("audit.abs_error", ErrorBuckets());
@@ -48,6 +50,10 @@ AccuracyAuditor::AccuracyAuditor(const AccuracyAuditorConfig& config)
 AccuracyAuditor::Verdict AccuracyAuditor::ObserveCycle(
     const CycleSample& sample) {
   ++report_.cycles;
+  if (sample.degraded) {
+    ++report_.degraded_cycles;
+    if (degraded_cycles_ != nullptr) degraded_cycles_->Increment();
+  }
   if (cycles_ != nullptr) cycles_->Increment();
 
   const Verdict verdict =
@@ -91,6 +97,10 @@ AccuracyAuditor::Verdict AccuracyAuditor::ObserveCycle(
     ++report_.out_of_zone_disagreements;
     if (verdict == Verdict::kFalseNegative) {
       ++report_.out_of_zone_false_negatives;
+      if (sample.degraded) {
+        ++report_.degraded_out_of_zone_false_negatives;
+        if (degraded_fn_ != nullptr) degraded_fn_->Increment();
+      }
     }
     if (out_of_zone_ != nullptr) out_of_zone_->Increment();
     if (out_of_zone_run_ == 0) run_span_ = sample.span;

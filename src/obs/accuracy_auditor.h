@@ -54,6 +54,11 @@ class AccuracyAuditor {
     /// Root span of the most recent sync cascade (0 when unknown, e.g. the
     /// transportless sim legs).
     std::int64_t span = 0;
+    /// True when this cycle's barrier closed degraded (a deadline-bounded
+    /// barrier proceeded over the responsive quorum) or one or more sites
+    /// sat under a lag quarantine — the bounded-staleness regime whose FN
+    /// contribution the report attributes separately.
+    bool degraded = false;
   };
 
   enum class Verdict {
@@ -77,6 +82,13 @@ class AccuracyAuditor {
     /// Out-of-zone false negatives: genuine missed detections, the events
     /// the paper's δ bounds. fn_rate() below is their per-cycle rate.
     long out_of_zone_false_negatives = 0;
+    /// Cycles observed under the degraded regime (deadline-bounded barrier
+    /// or active lag quarantine — CycleSample::degraded).
+    long degraded_cycles = 0;
+    /// The subset of out_of_zone_false_negatives that landed on degraded
+    /// cycles: the FN-rate contribution attributable to bounded staleness
+    /// rather than to the protocol's own (ε, δ) slack.
+    long degraded_out_of_zone_false_negatives = 0;
     long longest_out_of_zone_run = 0;
     /// ε-bound violations: cycles where the out-of-zone disagreement run
     /// exceeded the self-correction horizon.
@@ -97,6 +109,14 @@ class AccuracyAuditor {
       return cycles > 0 ? static_cast<double>(out_of_zone_false_negatives) /
                               static_cast<double>(cycles)
                         : 0.0;
+    }
+    /// Out-of-zone FN rate over degraded cycles only — compares against
+    /// the δ + staleness-allowance gate the straggler legs enforce.
+    double degraded_fn_rate() const {
+      return degraded_cycles > 0
+                 ? static_cast<double>(degraded_out_of_zone_false_negatives) /
+                       static_cast<double>(degraded_cycles)
+                 : 0.0;
     }
     bool ok() const { return bound_violations == 0; }
   };
@@ -133,6 +153,8 @@ class AccuracyAuditor {
   Counter* cycles_ = nullptr;
   Counter* out_of_zone_ = nullptr;
   Counter* violations_ = nullptr;
+  Counter* degraded_cycles_ = nullptr;
+  Counter* degraded_fn_ = nullptr;
   Gauge* max_abs_error_ = nullptr;
   Gauge* instantaneous_error_ = nullptr;
   Histogram* abs_error_ = nullptr;

@@ -21,6 +21,9 @@ std::vector<AnomalySignal> DefaultAnomalySignals() {
       {"transport.retransmissions", /*min_delta=*/4.0, /*warmup=*/-1},
       {"socket.site_disconnects", /*min_delta=*/1.0, /*warmup=*/-1},
       {"socket.site_rehellos", /*min_delta=*/1.0, /*warmup=*/-1},
+      // A lagging verdict never fires on a healthy deployment: any lag
+      // quarantine is a straggler incident worth an alert.
+      {"degraded.lag_quarantines", /*min_delta=*/1.0, /*warmup=*/-1},
       // Zero-tolerance: a restore only ever happens when the coordinator
       // came back from a crash — alert on the first post-recovery cycle.
       {"recovery.restores", /*min_delta=*/1.0, /*warmup=*/0},

@@ -92,6 +92,11 @@ const std::map<std::string, EventSpec>& EventCatalog() {
       {"quarantined", {"failure", {"until_cycle"}}},
       {"rejoin_begin", {"failure", {}}},
       {"rejoin_complete", {"failure", {}}},
+      // Lag quarantine (FailureDetector): missed barrier deadlines, the
+      // lagging verdict, and the staleness-window close on catch-up.
+      {"deadline_miss", {"failure", {"misses"}, SampleClass::kNoise}},
+      {"lagging", {"failure", {"since_cycle"}}},
+      {"lag_recovered", {"failure", {"staleness_cycles"}}},
       // Per-span transport cost attribution (ReliableTransport).
       {"msg_send", {"transport", {"type", "span", "bytes"},
                     SampleClass::kCascade}},
@@ -114,6 +119,12 @@ const std::map<std::string, EventSpec>& EventCatalog() {
       {"recovery_complete", {"recovery", {"span", "epoch", "grants"}}},
       {"snapshot_fallback", {"recovery", {"discarded"}}},
       {"wal_torn_tail", {"recovery", {"bytes"}}},
+      // Deadline-driven barriers and lag quarantine (CoordinatorServer /
+      // CoordinatorNode): straggler handling, never sampled away.
+      {"barrier_slow", {"degraded", {"deadline_ms"}}},
+      {"barrier_deadline", {"degraded", {"missed", "quarantined"}}},
+      {"degraded_cycle", {"degraded", {"missing"}}},
+      {"site_quarantined", {"degraded", {}}},
       // Socket-session lifecycle (CoordinatorServer / SiteClient).
       {"site_hello", {"session", {"fd"}}},
       {"site_rehello", {"session", {"fd"}}},

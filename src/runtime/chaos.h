@@ -39,6 +39,23 @@ struct ChaosInjectionConfig {
   }
 };
 
+/// Straggler-heavy chaos profile: frequent long write stalls, no
+/// connection faults. Against a coordinator running with a barrier
+/// deadline this keeps driving the lagging → quarantined → rejoined
+/// machinery without ever tearing the session down — the pure-slowness
+/// failure mode the deadline path exists for. `stall_ms` should exceed the
+/// coordinator's barrier_deadline_ms to make misses certain rather than
+/// scheduling-dependent.
+inline ChaosInjectionConfig StallHeavyChaosProfile(std::uint64_t seed,
+                                                   long stall_ms) {
+  ChaosInjectionConfig config;
+  config.seed = seed;
+  config.stall_probability = 0.25;
+  config.stall_ms = stall_ms;
+  config.min_sends_between_faults = 4;
+  return config;
+}
+
 /// Transport decorator that injects connection faults on a seeded schedule.
 ///
 /// The decorator itself is socket-agnostic: tearing a connection down is

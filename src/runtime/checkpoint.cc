@@ -50,7 +50,7 @@ bool ReadVector(const std::vector<std::uint8_t>& in, std::size_t* offset,
 }
 
 constexpr std::uint8_t kMaxFdState =
-    static_cast<std::uint8_t>(FailureDetector::State::kRejoining);
+    static_cast<std::uint8_t>(FailureDetector::State::kLagging);
 constexpr std::uint8_t kMaxWalKind =
     static_cast<std::uint8_t>(WalRecord::Kind::kRejoinGrant);
 
@@ -334,7 +334,8 @@ void ApplyWalRecord(const WalRecord& record, CoordinatorCheckpoint* state) {
         SiteCheckpoint& site = state->sites[record.site];
         site.grant_pending = true;
         site.last_grant_cycle = record.cycle;
-        if (site.fd_state == FailureDetector::State::kDead) {
+        if (site.fd_state == FailureDetector::State::kDead ||
+            site.fd_state == FailureDetector::State::kLagging) {
           site.fd_state = FailureDetector::State::kRejoining;
         }
       }

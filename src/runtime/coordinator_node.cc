@@ -233,7 +233,10 @@ bool CoordinatorNode::Recover() {
     // quarantined sites stay deferred.
     for (int site = 0; site < num_sites_; ++site) {
       last_grant_cycle_[site] = -1;  // recovery grants bypass rate limiting
+      // Dead and lagging sites rejoin on revival/catch-up contact instead:
+      // a grant unicast at a silent endpoint would only be lost again.
       if (fd_.state(site) == FailureDetector::State::kDead) continue;
+      if (fd_.state(site) == FailureDetector::State::kLagging) continue;
       if (fd_.IsQuarantined(site)) continue;
       MaybeGrantRejoin(site);
       ++recovery_stats_.reconcile_grants;
@@ -264,10 +267,13 @@ void CoordinatorNode::BeginCycle() {
   }
   fd_.BeginCycle(cycle_);
   if (reliable_ != nullptr) {
-    // Heartbeat-miss deaths release the dead site's pending acks and stop
-    // retransmissions toward it; the rejoin path marks the link up again.
+    // Heartbeat-miss deaths and lag quarantines release the site's pending
+    // acks and stop retransmissions toward it; the rejoin path marks the
+    // link up again.
     for (int site = 0; site < num_sites_; ++site) {
-      if (fd_.state(site) == FailureDetector::State::kDead &&
+      const FailureDetector::State state = fd_.state(site);
+      if ((state == FailureDetector::State::kDead ||
+           state == FailureDetector::State::kLagging) &&
           reliable_->IsLinkUp(site)) {
         reliable_->MarkLinkDown(site);
       }
@@ -443,7 +449,11 @@ void CoordinatorNode::MaybeGrantRejoin(int site) {
   if (fd_.IsQuarantined(site)) return;  // flapping: defer until it settles
   if (last_grant_cycle_[site] == cycle_) return;  // one grant per cycle
   last_grant_cycle_[site] = cycle_;
-  if (fd_.state(site) == FailureDetector::State::kDead) fd_.BeginRejoin(site);
+  const FailureDetector::State state = fd_.state(site);
+  if (state == FailureDetector::State::kDead ||
+      state == FailureDetector::State::kLagging) {
+    fd_.BeginRejoin(site);
+  }
   grant_pending_[site] = true;
   anchor_undelivered_[site] = false;  // this grant supersedes the lost anchor
   if (reliable_ != nullptr) reliable_->MarkLinkUp(site);
@@ -475,7 +485,8 @@ void CoordinatorNode::ObserveSite(int site, std::int64_t msg_epoch) {
   fd_.RecordAlive(site);
   const FailureDetector::State state = fd_.state(site);
   if (state != FailureDetector::State::kDead &&
-      state != FailureDetector::State::kRejoining) {
+      state != FailureDetector::State::kRejoining &&
+      state != FailureDetector::State::kLagging) {
     // A live site that was already behind before this cycle began holds a
     // stale anchor it cannot detect on its own in a quiet period (gap
     // detection needs an inbound broadcast) — resync it proactively.
@@ -489,8 +500,10 @@ void CoordinatorNode::ObserveSite(int site, std::int64_t msg_epoch) {
   }
   if (msg_epoch == epoch_ && !anchor_undelivered_[site]) {
     // The site is fully current — it missed nothing (e.g. a transport-level
-    // give-up fired spuriously under heavy loss, or the rejoin handshake's
-    // fresh state just arrived). Revive directly.
+    // give-up fired spuriously under heavy loss, a quarantined laggard
+    // caught up within its epoch, or the rejoin handshake's fresh state
+    // just arrived). Revive directly; a laggard's staleness window closes
+    // inside CompleteRejoin.
     fd_.CompleteRejoin(site);
     if (reliable_ != nullptr) reliable_->MarkLinkUp(site);
   } else {
@@ -639,6 +652,36 @@ void CoordinatorNode::OnMessage(const RuntimeMessage& message) {
     }
     default:
       return;  // coordinator-originated types are not addressed to us
+  }
+}
+
+bool CoordinatorNode::OnBarrierDeadlineMissed(int site) {
+  SGM_CHECK(site >= 0 && site < num_sites_);
+  if (!fd_.RecordMissedDeadline(site)) return false;
+  // Quarantined: release its pending ack expectations so neither the
+  // barrier loop nor the retransmission machinery waits on it. The TCP
+  // session (if any) stays up — the laggard's eventual catch-up traffic
+  // drives the ordinary rejoin-grant handshake through ObserveSite.
+  if (reliable_ != nullptr && reliable_->IsLinkUp(site)) {
+    reliable_->MarkLinkDown(site);
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.Emit("degraded", "site_quarantined", site,
+                           {{"cycle", cycle_}});
+  }
+  return true;
+}
+
+void CoordinatorNode::OnBarrierDeadlineMet(int site) {
+  SGM_CHECK(site >= 0 && site < num_sites_);
+  fd_.RecordDeadlineMet(site);
+}
+
+void CoordinatorNode::RecordDegradedCycle(int missing_sites) {
+  ++degraded_cycles_;
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.Emit("degraded", "degraded_cycle", kCoordinatorId,
+                           {{"cycle", cycle_}, {"missing", missing_sites}});
   }
 }
 

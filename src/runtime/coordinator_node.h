@@ -98,6 +98,28 @@ class CoordinatorNode {
   /// completes, degraded if live reports are still missing.
   void OnQuiescent();
 
+  /// Barrier-deadline feedback from a deadline-bounded barrier driver
+  /// (the socket server's AwaitQuiescence, or the stress harness's stall
+  /// schedule). A miss feeds the failure detector's lagging escalation; on
+  /// the kLagging transition the site's pending ack expectations are
+  /// released (link administratively down) so barriers and retransmissions
+  /// stop waiting on it, while its TCP session — if any — stays up.
+  /// Returns true exactly when this call quarantined the site.
+  bool OnBarrierDeadlineMissed(int site);
+  /// The site acked its barrier within the deadline: resets its
+  /// consecutive-miss count.
+  void OnBarrierDeadlineMet(int site);
+  /// Marks the current cycle degraded: its barrier closed over the
+  /// responsive quorum with `missing_sites` sites still silent. Called at
+  /// most once per cycle by the barrier driver.
+  void RecordDegradedCycle(int missing_sites);
+  /// Cycles whose barrier closed over a responsive quorum only.
+  long degraded_cycles() const { return degraded_cycles_; }
+
+  /// Forces a snapshot write outside the periodic schedule (the graceful
+  /// shutdown path's final checkpoint). No-op without a store.
+  void FlushCheckpoint() { WriteSnapshot(); }
+
   /// The continuous query answer: is f(v(t)) above the threshold?
   bool BelievesAbove() const { return believes_above_; }
   const Vector& estimate() const { return e_; }
@@ -229,6 +251,9 @@ class CoordinatorNode {
   long full_syncs_ = 0;
   long partial_resolutions_ = 0;
   long degraded_syncs_ = 0;
+  /// Cycles closed over a responsive quorum under a barrier deadline.
+  /// Observability state, like the audit counters — not checkpointed.
+  long degraded_cycles_ = 0;
   /// Cycles until the next scheduled full resync (−1: none pending). Fed by
   /// the named RuntimeConfig knobs: empty_collection_retry_cycles,
   /// degraded_resync_cycles and rejoin_resync_cycles.

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <chrono>
@@ -24,12 +25,17 @@ CoordinatorServer::CoordinatorServer(const MonitoredFunction& function,
       clock_(config.round_micros),
       registered_(config.num_sites, false),
       connected_(config.num_sites, false),
-      site_fds_(config.num_sites, -1) {
+      site_fds_(config.num_sites, -1),
+      barrier_acked_(config.num_sites, false) {
   SGM_CHECK(config.num_sites > 0);
+  SGM_CHECK(config.barrier_deadline_ms >= 0);
   config_.runtime.reliability.round_clock = &clock_;
   if (config_.runtime.telemetry != nullptr) {
     config_.runtime.telemetry->trace.ConfigureSampling(
         config_.runtime.trace_sample_rate, config_.runtime.seed);
+    barrier_wait_ms_ = config_.runtime.telemetry->registry.GetHistogram(
+        "barrier.wait_ms",
+        {1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000});
   }
   reliable_ = std::make_unique<ReliableTransport>(
       &transport_, config_.num_sites, config_.runtime.reliability,
@@ -44,6 +50,11 @@ CoordinatorServer::~CoordinatorServer() { Shutdown(); }
 bool CoordinatorServer::Listen() {
   SGM_CHECK(listen_fd_ < 0);
   listen_fd_ = ListenTcpLoopback(config_.port, &bound_port_);
+  if (listen_fd_ >= 0 && config_.send_queue_frames > 0) {
+    // Non-blocking outbound path: one stalled site must never wedge the
+    // threads that serve the rest of the deployment.
+    transport_.EnableAsyncWriter(config_.send_queue_frames);
+  }
   return listen_fd_ >= 0;
 }
 
@@ -193,6 +204,9 @@ bool CoordinatorServer::HandleFrame(int fd, const RuntimeMessage& message) {
     case RuntimeMessage::Type::kBarrierAck:
       if (static_cast<long>(message.scalar) == barrier_token_) {
         ++barrier_acks_;
+        if (message.from >= 0 && message.from < config_.num_sites) {
+          barrier_acked_[message.from] = true;
+        }
       }
       return true;
     case RuntimeMessage::Type::kCycleBegin:
@@ -254,9 +268,53 @@ int CoordinatorServer::ConnectedCountLocked() const {
   return count;
 }
 
+bool CoordinatorServer::BarrierAckPendingLocked() const {
+  if (config_.barrier_deadline_ms <= 0) {
+    return barrier_acks_ < ConnectedCountLocked();
+  }
+  const FailureDetector& fd = coordinator_->failure_detector();
+  for (int site = 0; site < config_.num_sites; ++site) {
+    if (!connected_[site]) continue;
+    if (fd.state(site) == FailureDetector::State::kLagging) continue;
+    if (!barrier_acked_[site]) return true;
+  }
+  return false;
+}
+
+int CoordinatorServer::HandleBarrierDeadlineLocked() {
+  const FailureDetector& fd = coordinator_->failure_detector();
+  int missed = 0;
+  int quarantined = 0;
+  for (int site = 0; site < config_.num_sites; ++site) {
+    if (!connected_[site]) continue;
+    if (fd.state(site) == FailureDetector::State::kLagging) continue;
+    if (barrier_acked_[site]) {
+      coordinator_->OnBarrierDeadlineMet(site);
+      continue;
+    }
+    ++missed;
+    if (coordinator_->OnBarrierDeadlineMissed(site)) ++quarantined;
+  }
+  if (missed > 0) coordinator_->RecordDegradedCycle(missed);
+  if (config_.runtime.telemetry != nullptr) {
+    config_.runtime.telemetry->trace.Emit(
+        "degraded", "barrier_deadline", kCoordinatorId,
+        {{"missed", missed}, {"quarantined", quarantined}});
+  }
+  return missed;
+}
+
 bool CoordinatorServer::AwaitQuiescence() {
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(config_.barrier_timeout_ms);
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::milliseconds(config_.barrier_timeout_ms);
+  const bool soft_deadline = config_.barrier_deadline_ms > 0;
+  const auto cycle_deadline =
+      start + std::chrono::milliseconds(config_.barrier_deadline_ms);
+  const auto slow_mark =
+      start + std::chrono::milliseconds(config_.barrier_deadline_ms / 2);
+  bool slow_warned = false;
+  bool expired = false;  // this cycle's soft deadline has passed
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     if (std::chrono::steady_clock::now() >= deadline) return false;
@@ -264,6 +322,7 @@ bool CoordinatorServer::AwaitQuiescence() {
     const long topology = topology_version_;
     const long token = ++barrier_token_;
     barrier_acks_ = 0;
+    std::fill(barrier_acked_.begin(), barrier_acked_.end(), false);
     RuntimeMessage barrier;
     barrier.type = RuntimeMessage::Type::kBarrier;
     barrier.from = kCoordinatorId;
@@ -274,29 +333,70 @@ bool CoordinatorServer::AwaitQuiescence() {
     // out. If membership shifts under the wait (a disconnect, a rejoin),
     // the round is void — restart with a fresh barrier against the new
     // population rather than wait on acks that will never come.
-    while (barrier_acks_ < ConnectedCountLocked() &&
-           topology_version_ == topology) {
-      if (std::chrono::steady_clock::now() >= deadline) return false;
+    while (BarrierAckPendingLocked() && topology_version_ == topology) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return false;
+      if (soft_deadline && !slow_warned && now >= slow_mark) {
+        // Watchdog breadcrumb at half the budget: the barrier is slow but
+        // not yet degraded — early warning for drifting deployments.
+        slow_warned = true;
+        if (config_.runtime.telemetry != nullptr) {
+          config_.runtime.telemetry->trace.Emit(
+              "degraded", "barrier_slow", kCoordinatorId,
+              {{"deadline_ms", config_.barrier_deadline_ms}});
+        }
+      }
+      if (soft_deadline && !expired && now >= cycle_deadline) {
+        expired = true;
+        HandleBarrierDeadlineLocked();
+        continue;  // quarantines may have emptied the pending population
+      }
+      if (expired) break;  // proceed over the responsive quorum
       cv_.wait_for(lock, std::chrono::milliseconds(10));
       // The retransmission clock keeps running while we wait: a site that
       // lost its connection mid-cycle must still hit the give-up horizon.
       reliable_->AdvanceRound();
     }
     if (topology_version_ != topology) continue;
-    // Every connected site has flushed. If we put new data frames on the
-    // wire since the barrier went out (responses to late arrivals,
-    // retransmissions), their induced replies may still be in flight —
-    // flush again.
-    if (transport_.data_frames_sent() != snapshot) continue;
-    coordinator_->OnQuiescent();
-    if (transport_.data_frames_sent() != snapshot) continue;
-    if (reliable_->HasUnacked()) {
-      // Acks still inbound — or a disconnected site holds tracked
-      // traffic. Keep the round clock moving so those entries reach the
-      // give-up horizon instead of spinning here forever.
-      cv_.wait_for(lock, std::chrono::milliseconds(10));
-      reliable_->AdvanceRound();
-      continue;
+    if (expired) {
+      // Degraded close: the responsive quorum has flushed; anything still
+      // in flight toward the laggards stays with the reliability layer
+      // (retransmission rounds keep advancing in later cycles). The
+      // protocol's quiescence hook still runs so probe folds and
+      // collection completions happen this cycle — over the live
+      // population, which now excludes the quarantined laggards.
+      coordinator_->OnQuiescent();
+    } else {
+      // Every connected site has flushed. If we put new data frames on the
+      // wire since the barrier went out (responses to late arrivals,
+      // retransmissions), their induced replies may still be in flight —
+      // flush again.
+      if (transport_.data_frames_sent() != snapshot) continue;
+      coordinator_->OnQuiescent();
+      if (transport_.data_frames_sent() != snapshot) continue;
+      if (reliable_->HasUnacked()) {
+        // Acks still inbound — or a disconnected site holds tracked
+        // traffic. Keep the round clock moving so those entries reach the
+        // give-up horizon instead of spinning here forever.
+        cv_.wait_for(lock, std::chrono::milliseconds(10));
+        reliable_->AdvanceRound();
+        continue;
+      }
+      if (soft_deadline) {
+        // A clean close within the deadline resets every responsive
+        // site's consecutive-miss count.
+        for (int site = 0; site < config_.num_sites; ++site) {
+          if (connected_[site] && barrier_acked_[site]) {
+            coordinator_->OnBarrierDeadlineMet(site);
+          }
+        }
+      }
+    }
+    if (barrier_wait_ms_ != nullptr) {
+      barrier_wait_ms_->Observe(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()));
     }
     return true;
   }
@@ -332,6 +432,10 @@ void CoordinatorServer::StopThreads() {
     if (reader.joinable()) reader.join();
   }
   readers_.clear();
+  // Flush the async writer (bounded: a wedged peer's EAGAIN cannot hold
+  // shutdown hostage) while the session fds are still open, so a queued
+  // kShutdown broadcast reaches every responsive site.
+  transport_.StopAsyncWriter(500);
   for (const int fd : session_fds_) ::close(fd);
   session_fds_.clear();
   if (listen_fd_ >= 0) {
@@ -410,6 +514,11 @@ bool CoordinatorServer::HasUnacked() const {
   return reliable_->HasUnacked();
 }
 
+void CoordinatorServer::FlushCheckpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  coordinator_->FlushCheckpoint();
+}
+
 CoordinatorServer::Health CoordinatorServer::GetHealth() const {
   std::lock_guard<std::mutex> lock(mu_);
   Health health;
@@ -427,6 +536,9 @@ CoordinatorServer::Health CoordinatorServer::GetHealth() const {
   health.checkpoint_snapshots = coordinator_->recovery_stats().snapshots_written;
   health.checkpoint_restores = coordinator_->recovery_stats().restores;
   const FailureDetector& fd = coordinator_->failure_detector();
+  health.degraded_cycles = coordinator_->degraded_cycles();
+  health.lagging_sites = fd.lagging_count();
+  health.lag_quarantines = fd.total_lagging_verdicts();
   health.site_states.reserve(config_.num_sites);
   for (int site = 0; site < config_.num_sites; ++site) {
     std::string state;
@@ -435,6 +547,7 @@ CoordinatorServer::Health CoordinatorServer::GetHealth() const {
       case FailureDetector::State::kSuspect: state = "suspect"; break;
       case FailureDetector::State::kDead: state = "dead"; break;
       case FailureDetector::State::kRejoining: state = "rejoining"; break;
+      case FailureDetector::State::kLagging: state = "lagging"; break;
     }
     if (fd.IsQuarantined(site)) state += "+quarantined";
     health.site_states.push_back(std::move(state));
@@ -464,6 +577,9 @@ std::string CoordinatorServer::HealthJson() const {
       << ",\"degraded_syncs\":" << health.degraded_syncs
       << ",\"checkpoint_snapshots\":" << health.checkpoint_snapshots
       << ",\"checkpoint_restores\":" << health.checkpoint_restores
+      << ",\"degraded_cycles\":" << health.degraded_cycles
+      << ",\"lagging_sites\":" << health.lagging_sites
+      << ",\"lag_quarantines\":" << health.lag_quarantines
       << ",\"sites\":[";
   for (int site = 0; site < health.num_sites; ++site) {
     out << (site == 0 ? "" : ",") << "{\"site\":" << site << ",\"state\":\""
@@ -491,6 +607,11 @@ void CoordinatorServer::PublishMetrics() {
       ->Set(transport_.transport_bytes_sent());
   registry->GetCounter("socket.send_failures")
       ->Set(transport_.send_failures());
+  registry->GetCounter("socket.short_writes")->Set(transport_.short_writes());
+  registry->GetGauge("socket.send_queue_depth")
+      ->Set(static_cast<double>(transport_.send_queue_depth()));
+  registry->GetCounter("socket.send_queue_drops")
+      ->Set(transport_.send_queue_drops());
   registry->GetCounter("socket.corrupt_frames")->Set(corrupt_frames_);
   registry->GetCounter("socket.site_disconnects")->Set(site_disconnects_);
   registry->GetCounter("socket.site_rehellos")->Set(site_rehellos_);
@@ -534,6 +655,18 @@ void CoordinatorServer::PublishMetrics() {
   registry->GetCounter("failure.total_deaths")->Set(fd.total_deaths());
   registry->GetGauge("failure.live_count")
       ->Set(static_cast<double>(fd.live_count()));
+
+  // Straggler / bounded-staleness accounting (see FailureDetector::kLagging
+  // and CoordinatorServerConfig::barrier_deadline_ms).
+  registry->GetCounter("degraded.cycles")->Set(coordinator_->degraded_cycles());
+  registry->GetGauge("degraded.lagging_sites")
+      ->Set(static_cast<double>(fd.lagging_count()));
+  registry->GetCounter("degraded.lag_quarantines")
+      ->Set(fd.total_lagging_verdicts());
+  registry->GetCounter("degraded.staleness_cycles_total")
+      ->Set(fd.staleness_cycles_total());
+  registry->GetGauge("degraded.staleness_cycles_max")
+      ->Set(static_cast<double>(fd.staleness_cycles_max()));
 
   // Telemetry self-cost: what observability itself spends. Emitted counts
   // include sampled-out events, so `sampled_out / events` is the live

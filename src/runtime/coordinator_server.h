@@ -39,6 +39,19 @@ struct CoordinatorServerConfig {
   long hello_timeout_ms = 30000;
   /// RunCycle() fails if its barrier rounds do not settle within this.
   long barrier_timeout_ms = 30000;
+  /// Soft per-cycle barrier deadline in milliseconds; 0 disables (default —
+  /// the barrier then behaves exactly as before this knob existed). When
+  /// set, a barrier whose acks have not settled by the deadline stops
+  /// waiting: every missed site is reported to the failure detector's
+  /// lagging escalation (consecutive misses quarantine it as kLagging), the
+  /// cycle is recorded degraded, and the cycle completes over the
+  /// responsive quorum. barrier_timeout_ms stays the hard-fail backstop.
+  long barrier_deadline_ms = 0;
+  /// Bounded per-peer outbound queue, in frames, drained by a dedicated
+  /// writer thread (see SocketTransport::EnableAsyncWriter): a stalled
+  /// site's full TCP buffer backs up only its own queue, never the accept,
+  /// reader or cycle threads. 0 keeps the synchronous write path.
+  std::size_t send_queue_frames = 0;
 };
 
 /// The coordinator tier as a real threaded network service: an accept
@@ -176,8 +189,14 @@ class CoordinatorServer {
     /// a restart would resume from (0 = no checkpoint store attached).
     long checkpoint_snapshots = 0;
     long checkpoint_restores = 0;  ///< 1 iff this incarnation recovered
+    /// Cycles whose barrier closed over a responsive quorum only, and the
+    /// lag-quarantine picture behind them (see FailureDetector::kLagging).
+    long degraded_cycles = 0;
+    int lagging_sites = 0;
+    long lag_quarantines = 0;
     /// Failure-detector verdict per site: "alive" | "suspect" | "dead" |
-    /// "rejoining" (+ "+quarantined" while a flapper is deferred).
+    /// "rejoining" | "lagging" (+ "+quarantined" while a flapper is
+    /// deferred).
     std::vector<std::string> site_states;
     std::vector<bool> site_connected;
   };
@@ -186,6 +205,10 @@ class CoordinatorServer {
   std::string HealthJson() const;
 
   const SocketTransport& transport() const { return transport_; }
+
+  /// Writes a snapshot outside the periodic schedule — the graceful
+  /// shutdown path's final checkpoint. No-op without a store.
+  void FlushCheckpoint();
 
   /// Mirrors coordinator/transport/failure counters into the attached
   /// telemetry registry (same metric names as RuntimeDriver) and samples
@@ -202,6 +225,16 @@ class CoordinatorServer {
   bool AwaitQuiescence();
   void BroadcastControl(RuntimeMessage::Type type, double scalar);
   int ConnectedCountLocked() const;
+  /// True while some barrier-population site has not acked the current
+  /// token. Without a deadline the population is every connected site;
+  /// under one, connected sites quarantined as kLagging are excluded
+  /// (their late acks are welcome but never waited for). Caller holds mu_.
+  bool BarrierAckPendingLocked() const;
+  /// Soft-deadline expiry: acked population sites reset their miss count,
+  /// silent ones accrue a miss (consecutive misses quarantine), and the
+  /// cycle is recorded degraded. Returns the missed-site count. Caller
+  /// holds mu_.
+  int HandleBarrierDeadlineLocked();
   /// Shared teardown of Shutdown()/Halt(): stop accept, sever sessions,
   /// join every thread, close every fd.
   void StopThreads();
@@ -244,6 +277,12 @@ class CoordinatorServer {
   int hellos_ = 0;
   long barrier_token_ = 0;
   int barrier_acks_ = 0;
+  /// Which sites acked the current barrier token (the deadline path judges
+  /// per-site responsiveness; the count alone cannot).
+  std::vector<bool> barrier_acked_;
+  /// Wall time each AwaitQuiescence spent, in ms (nullptr without
+  /// telemetry). Metrics only — wall time never feeds the trace.
+  Histogram* barrier_wait_ms_ = nullptr;
   long cycle_ = -1;  ///< last completed cycle; first RunCycle runs cycle 0
   long corrupt_frames_ = 0;
   /// Inbound site-originated protocol data (paper accounting family).

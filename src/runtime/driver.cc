@@ -76,6 +76,25 @@ void RuntimeDriver::Deliver(int receiver, const RuntimeMessage& message) {
   }
 }
 
+void RuntimeDriver::ReportBarrierLag(const std::vector<int>& laggards) {
+  if (coordinator_ == nullptr) return;
+  std::vector<bool> lagging(sites_.size(), false);
+  for (const int site : laggards) {
+    SGM_CHECK(site >= 0 && site < num_sites());
+    lagging[site] = true;
+  }
+  int missed = 0;
+  for (int site = 0; site < num_sites(); ++site) {
+    if (lagging[site]) {
+      ++missed;
+      coordinator_->OnBarrierDeadlineMissed(site);
+    } else {
+      coordinator_->OnBarrierDeadlineMet(site);
+    }
+  }
+  if (missed > 0) coordinator_->RecordDegradedCycle(missed);
+}
+
 void RuntimeDriver::CrashCoordinator() {
   SGM_CHECK(coordinator_ != nullptr);
   SGM_CHECK_MSG(config_.checkpoint_store != nullptr,
@@ -285,6 +304,18 @@ void RuntimeDriver::PublishMetrics() {
     registry->GetCounter("failure.total_deaths")->Set(fd.total_deaths());
     registry->GetGauge("failure.live_count")
         ->Set(static_cast<double>(fd.live_count()));
+
+    // Straggler / bounded-staleness accounting (deadline-driven barriers).
+    registry->GetCounter("degraded.cycles")
+        ->Set(coordinator_->degraded_cycles());
+    registry->GetGauge("degraded.lagging_sites")
+        ->Set(static_cast<double>(fd.lagging_count()));
+    registry->GetCounter("degraded.lag_quarantines")
+        ->Set(fd.total_lagging_verdicts());
+    registry->GetCounter("degraded.staleness_cycles_total")
+        ->Set(fd.staleness_cycles_total());
+    registry->GetGauge("degraded.staleness_cycles_max")
+        ->Set(static_cast<double>(fd.staleness_cycles_max()));
   }
 
   // Telemetry self-cost: what observability itself spends. Emitted counts

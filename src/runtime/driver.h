@@ -59,6 +59,15 @@ class RuntimeDriver {
   /// a metrics snapshot is written out.
   void PublishMetrics();
 
+  /// Deterministic stall-fault hook (DST): the harness's stall schedule
+  /// reports which sites missed this cycle's barrier deadline. Every
+  /// laggard accrues a deadline miss (consecutive misses quarantine it as
+  /// kLagging — see CoordinatorNode::OnBarrierDeadlineMissed), every other
+  /// site resets its miss count, and a nonempty set records the cycle
+  /// degraded. No-op while the coordinator is down. Call once per Tick,
+  /// after it, mirroring when the socket server's deadline would fire.
+  void ReportBarrierLag(const std::vector<int>& laggards);
+
   // ── Coordinator crash injection (DST) ──────────────────────────────────
 
   /// Kills the coordinator process model immediately: its in-memory state

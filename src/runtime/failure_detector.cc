@@ -17,6 +17,7 @@ FailureDetector::FailureDetector(int num_sites,
   SGM_CHECK(config.dead_after_misses > config.suspect_after_misses);
   SGM_CHECK(config.flap_death_threshold >= 2);
   SGM_CHECK(config.flap_window_cycles >= 1 && config.quarantine_cycles >= 0);
+  SGM_CHECK(config.lagging_after_deadline_misses >= 1);
   SGM_CHECK(config.threshold_jitter >= 0.0 && config.threshold_jitter < 1.0);
   for (int site = 0; site < num_sites; ++site) {
     SiteState& s = sites_[site];
@@ -33,10 +34,14 @@ FailureDetector::FailureDetector(int num_sites,
           static_cast<int>(std::lround(config.dead_after_misses * factor())));
       s.quarantine = std::max<long>(
           0, std::lround(config.quarantine_cycles * factor()));
+      s.lagging_after = std::max(
+          1, static_cast<int>(std::lround(
+                 config.lagging_after_deadline_misses * factor())));
     } else {
       s.suspect_after = config.suspect_after_misses;
       s.dead_after = config.dead_after_misses;
       s.quarantine = config.quarantine_cycles;
+      s.lagging_after = config.lagging_after_deadline_misses;
     }
   }
 }
@@ -113,9 +118,38 @@ void FailureDetector::ReportUnreachable(int site) {
   RecordDeath(site);
 }
 
+bool FailureDetector::RecordMissedDeadline(int site) {
+  SGM_CHECK(site >= 0 && site < static_cast<int>(sites_.size()));
+  SiteState& s = sites_[site];
+  // Dead/rejoining sites are already out of the barrier population, and a
+  // lagging one keeps its existing verdict; only live sites accrue misses.
+  if (s.state != State::kAlive && s.state != State::kSuspect) return false;
+  ++s.deadline_misses;
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.Emit("failure", "deadline_miss", site,
+                           {{"misses", s.deadline_misses}});
+  }
+  if (s.deadline_misses < s.lagging_after) return false;
+  s.state = State::kLagging;
+  s.lagging_since = cycle_;
+  s.deadline_misses = 0;
+  ++total_lagging_verdicts_;
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.Emit("failure", "lagging", site,
+                           {{"since_cycle", s.lagging_since}});
+  }
+  return true;
+}
+
+void FailureDetector::RecordDeadlineMet(int site) {
+  SGM_CHECK(site >= 0 && site < static_cast<int>(sites_.size()));
+  sites_[site].deadline_misses = 0;
+}
+
 void FailureDetector::BeginRejoin(int site) {
   SGM_CHECK(site >= 0 && site < static_cast<int>(sites_.size()));
-  if (sites_[site].state == State::kDead) {
+  if (sites_[site].state == State::kDead ||
+      sites_[site].state == State::kLagging) {
     sites_[site].state = State::kRejoining;
     if (telemetry_ != nullptr) {
       telemetry_->trace.Emit("failure", "rejoin_begin", site);
@@ -126,9 +160,26 @@ void FailureDetector::BeginRejoin(int site) {
 void FailureDetector::CompleteRejoin(int site) {
   SGM_CHECK(site >= 0 && site < static_cast<int>(sites_.size()));
   SiteState& s = sites_[site];
-  if (s.state != State::kRejoining && s.state != State::kDead) return;
+  if (s.state != State::kRejoining && s.state != State::kDead &&
+      s.state != State::kLagging) {
+    return;
+  }
+  if (s.lagging_since >= 0) {
+    // The laggard caught up: close its staleness window. Everything it
+    // served between the lagging verdict and now was up to this many
+    // cycles behind the deployment.
+    const long staleness = cycle_ - s.lagging_since;
+    staleness_cycles_total_ += staleness;
+    staleness_cycles_max_ = std::max(staleness_cycles_max_, staleness);
+    s.lagging_since = -1;
+    if (telemetry_ != nullptr) {
+      telemetry_->trace.Emit("failure", "lag_recovered", site,
+                             {{"staleness_cycles", staleness}});
+    }
+  }
   s.state = State::kAlive;
   s.last_heard_cycle = cycle_;
+  s.deadline_misses = 0;
   if (telemetry_ != nullptr) {
     telemetry_->trace.Emit("failure", "rejoin_complete", site);
   }
@@ -144,6 +195,14 @@ int FailureDetector::live_count() const {
     if (IsLive(site)) ++live;
   }
   return live;
+}
+
+int FailureDetector::lagging_count() const {
+  int lagging = 0;
+  for (const SiteState& s : sites_) {
+    if (s.state == State::kLagging) ++lagging;
+  }
+  return lagging;
 }
 
 std::vector<FailureDetector::SiteSnapshot> FailureDetector::Snapshot() const {
@@ -167,6 +226,11 @@ void FailureDetector::Restore(const std::vector<SiteSnapshot>& sites,
     s.deaths = sites[i].deaths;
     s.death_cycles = sites[i].death_cycles;
     s.quarantine_until = sites[i].quarantine_until;
+    s.deadline_misses = 0;
+    // A site checkpointed mid-lag restarts its staleness clock here: the
+    // pre-crash window is not durable, so it is under- rather than
+    // over-counted.
+    s.lagging_since = s.state == State::kLagging ? cycle : -1;
   }
 }
 
@@ -182,6 +246,7 @@ const char* ToString(FailureDetector::State state) {
     case FailureDetector::State::kSuspect: return "suspect";
     case FailureDetector::State::kDead: return "dead";
     case FailureDetector::State::kRejoining: return "rejoining";
+    case FailureDetector::State::kLagging: return "lagging";
   }
   return "?";
 }

@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <chrono>
 #include <sstream>
+#include <thread>
 
 #include "core/check.h"
 #include "core/version.h"
@@ -175,6 +176,13 @@ SiteExitReason SiteClient::RunSession(
     const std::function<Vector(long)>& next_vector, FrameReader* reader) {
   std::array<std::uint8_t, 65536> buffer;
   for (;;) {
+    if (stop_requested_.load()) return SiteExitReason::kShutdown;
+    // Consume a pending injected stall (in-process SIGSTOP stand-in): the
+    // session stays up while the loop goes unresponsive.
+    const long stall = stall_ms_.exchange(0);
+    if (stall > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall));
+    }
     // A write failure anywhere (dispatch responses, retransmissions,
     // barrier acks) drops the peer mapping — that is this session's end.
     if (!transport_.HasPeer(kCoordinatorId)) {

@@ -120,6 +120,19 @@ class SiteClient {
   /// reconnect-with-rejoin path. A no-op while disconnected.
   void InjectConnectionReset();
 
+  /// Asks the event loop to exit cleanly at its next iteration (as if the
+  /// coordinator had said kShutdown). Async-signal-safe: a SIGTERM/SIGINT
+  /// handler may call it directly.
+  void RequestStop() { stop_requested_.store(true); }
+
+  /// Makes the event loop sleep `ms` before processing its next inbound
+  /// frame batch (test/chaos harness hook, callable from any thread): the
+  /// site keeps its TCP session but goes unresponsive — an in-process
+  /// stand-in for SIGSTOP, driving the coordinator's barrier-deadline and
+  /// lag-quarantine path. One-shot: the stall is consumed by the next loop
+  /// iteration; call repeatedly for a sustained straggler.
+  void InjectProcessingStall(long ms) { stall_ms_.store(ms); }
+
   const SiteNode& node() const { return *node_; }
   long cycles_observed() const { return cycles_observed_.load(); }
 
@@ -149,6 +162,11 @@ class SiteClient {
   /// Atomic: read by the HTTP ops thread while the poll loop advances them.
   std::atomic<long> cycles_observed_{0};
   std::atomic<long> reconnects_{0};
+  /// Set by RequestStop (possibly from a signal handler); polled by the
+  /// event loop.
+  std::atomic<bool> stop_requested_{false};
+  /// Pending one-shot processing stall in ms (see InjectProcessingStall).
+  std::atomic<long> stall_ms_{0};
   SiteExitReason exit_reason_ = SiteExitReason::kShutdown;
 };
 

@@ -149,8 +149,10 @@ int ConnectTcpLoopbackWithRetry(int port, const SocketRetryConfig& retry,
   return -1;
 }
 
-bool WriteAll(int fd, const std::uint8_t* data, std::size_t size) {
+bool WriteAll(int fd, const std::uint8_t* data, std::size_t size,
+              long* short_writes) {
   std::size_t written = 0;
+  int send_calls = 0;
   while (written < size) {
     const ssize_t n =
         ::send(fd, data + written, size - written, MSG_NOSIGNAL);
@@ -158,19 +160,27 @@ bool WriteAll(int fd, const std::uint8_t* data, std::size_t size) {
       if (errno == EINTR) continue;
       return false;
     }
+    ++send_calls;
     written += static_cast<std::size_t>(n);
   }
+  if (short_writes != nullptr && send_calls > 1) ++*short_writes;
   return true;
 }
+
+SocketTransport::~SocketTransport() { StopAsyncWriter(0); }
 
 void SocketTransport::RegisterPeer(int peer, int fd) {
   std::lock_guard<std::mutex> lock(mu_);
   peer_fds_[peer] = fd;
+  // A re-registered peer (reconnect) must not inherit the dead session's
+  // backlog: those bytes belong to a stream the receiver has abandoned.
+  queues_.erase(peer);
 }
 
 void SocketTransport::UnregisterPeer(int peer) {
   std::lock_guard<std::mutex> lock(mu_);
   peer_fds_.erase(peer);
+  queues_.erase(peer);
 }
 
 bool SocketTransport::HasPeer(int peer) const {
@@ -180,7 +190,7 @@ bool SocketTransport::HasPeer(int peer) const {
 
 void SocketTransport::WriteFrame(int peer, int fd,
                                  const std::vector<std::uint8_t>& frame) {
-  if (WriteAll(fd, frame.data(), frame.size())) {
+  if (WriteAll(fd, frame.data(), frame.size(), &short_writes_)) {
     ++transport_messages_sent_;
     transport_bytes_sent_ += static_cast<double>(frame.size());
   } else {
@@ -189,6 +199,142 @@ void SocketTransport::WriteFrame(int peer, int fd,
     // give-up machinery turns the silence into a dead-link verdict.
     ++send_failures_;
     peer_fds_.erase(peer);
+  }
+}
+
+void SocketTransport::DropPeerLocked(int peer) {
+  peer_fds_.erase(peer);
+  queues_.erase(peer);
+}
+
+void SocketTransport::EnqueueFrame(int peer,
+                                   const std::vector<std::uint8_t>& frame) {
+  PeerQueue& queue = queues_[peer];
+  if (queue.frames.size() >= max_queue_frames_) {
+    // The peer has not drained a full queue's worth of frames: it is
+    // stalled. Dropping it (not blocking) is the whole point of this path —
+    // the reliability layer's give-up horizon turns the silence into the
+    // same dead-link verdict a write error yields.
+    ++send_queue_drops_;
+    ++send_failures_;
+    DropPeerLocked(peer);
+    return;
+  }
+  queue.frames.push_back(frame);
+  writer_cv_.notify_one();
+}
+
+long SocketTransport::QueueDepthLocked() const {
+  long depth = 0;
+  for (const auto& [peer, queue] : queues_) {
+    depth += static_cast<long>(queue.frames.size());
+  }
+  return depth;
+}
+
+void SocketTransport::EnableAsyncWriter(std::size_t max_queue_frames) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (async_) return;
+  async_ = true;
+  writer_stop_ = false;
+  max_queue_frames_ = max_queue_frames > 0 ? max_queue_frames : 1;
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
+void SocketTransport::StopAsyncWriter(long flush_deadline_ms) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!async_) return;
+  }
+  // Bounded flush: give the writer a window to put the tail (kShutdown
+  // broadcasts, final acks) on the wire, but never let one stalled peer's
+  // EAGAIN hold process exit hostage.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(flush_deadline_ms);
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (QueueDepthLocked() == 0) break;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    writer_stop_ = true;
+    async_ = false;
+    writer_cv_.notify_one();
+  }
+  if (writer_.joinable()) writer_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  queues_.clear();
+}
+
+void SocketTransport::WriterLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (writer_stop_) return;
+    bool progressed = false;
+    bool backlog = false;
+    for (auto it = queues_.begin(); it != queues_.end();) {
+      PeerQueue& queue = it->second;
+      if (queue.frames.empty()) {
+        ++it;
+        continue;
+      }
+      const auto fd_it = peer_fds_.find(it->first);
+      if (fd_it == peer_fds_.end()) {
+        // The peer was dropped elsewhere (reader EOF); its backlog is dead.
+        it = queues_.erase(it);
+        continue;
+      }
+      const int peer = it->first;
+      const int fd = fd_it->second;
+      bool drop = false;
+      // Drain this peer until its queue empties or its buffer fills.
+      // MSG_DONTWAIT never blocks, so holding mu_ through the send is safe.
+      while (!queue.frames.empty()) {
+        const std::vector<std::uint8_t>& head = queue.frames.front();
+        const ssize_t n = ::send(fd, head.data() + queue.head_offset,
+                                 head.size() - queue.head_offset,
+                                 MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // peer full
+          drop = true;
+          break;
+        }
+        queue.head_offset += static_cast<std::size_t>(n);
+        progressed = true;
+        if (queue.head_offset < head.size()) {
+          // Partial write: the kernel buffer filled mid-frame. Resume at
+          // the offset on the next pass and count the completion as short.
+          ++short_writes_;
+          break;
+        }
+        ++transport_messages_sent_;
+        transport_bytes_sent_ += static_cast<double>(head.size());
+        queue.frames.pop_front();
+        queue.head_offset = 0;
+      }
+      if (drop) {
+        ++send_failures_;
+        DropPeerLocked(peer);
+        it = queues_.begin();  // DropPeerLocked invalidated the iterator
+        continue;
+      }
+      if (!queue.frames.empty()) backlog = true;
+      ++it;
+    }
+    if (backlog && !progressed) {
+      // Every pending peer is EAGAIN-blocked: yield briefly instead of
+      // spinning, re-checking soon in case a buffer drained.
+      writer_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    } else if (!backlog) {
+      writer_cv_.wait(lock, [this] {
+        return writer_stop_ || QueueDepthLocked() > 0;
+      });
+    }
   }
 }
 
@@ -215,10 +361,15 @@ void SocketTransport::Send(const RuntimeMessage& message) {
   }
   if (message.to == kBroadcastId) {
     for (auto it = peer_fds_.begin(); it != peer_fds_.end();) {
-      // WriteFrame may erase the peer on failure; advance first.
+      // WriteFrame/EnqueueFrame may erase the peer on failure; advance
+      // first.
       const auto current = it++;
       if (current->first == kCoordinatorId) continue;  // sites only
-      WriteFrame(current->first, current->second, frame);
+      if (async_) {
+        EnqueueFrame(current->first, frame);
+      } else {
+        WriteFrame(current->first, current->second, frame);
+      }
     }
     return;
   }
@@ -227,7 +378,11 @@ void SocketTransport::Send(const RuntimeMessage& message) {
     ++send_failures_;
     return;
   }
-  WriteFrame(it->first, it->second, frame);
+  if (async_) {
+    EnqueueFrame(it->first, frame);
+  } else {
+    WriteFrame(it->first, it->second, frame);
+  }
 }
 
 long SocketTransport::messages_sent() const {
@@ -263,6 +418,21 @@ long SocketTransport::data_frames_sent() const {
 long SocketTransport::send_failures() const {
   std::lock_guard<std::mutex> lock(mu_);
   return send_failures_;
+}
+
+long SocketTransport::short_writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return short_writes_;
+}
+
+long SocketTransport::send_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return QueueDepthLocked();
+}
+
+long SocketTransport::send_queue_drops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return send_queue_drops_;
 }
 
 }  // namespace sgm

@@ -1,9 +1,12 @@
 #ifndef SGM_RUNTIME_SOCKET_TRANSPORT_H_
 #define SGM_RUNTIME_SOCKET_TRANSPORT_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "runtime/serialization.h"
@@ -96,14 +99,28 @@ int ConnectTcpLoopbackWithRetry(int port, const SocketRetryConfig& retry,
 
 /// Writes the whole buffer, looping over short writes and EINTR. Uses
 /// send(MSG_NOSIGNAL) so a vanished peer yields EPIPE instead of SIGPIPE.
-/// Returns false on any terminal error.
-bool WriteAll(int fd, const std::uint8_t* data, std::size_t size);
+/// Returns false on any terminal error. When `short_writes` is non-null it
+/// is incremented once per call that needed more than one send() to
+/// complete (a short-write completion — the kernel buffer was momentarily
+/// full but the peer kept draining).
+bool WriteAll(int fd, const std::uint8_t* data, std::size_t size,
+              long* short_writes = nullptr);
 
 /// Transport implementation over connected TCP sockets: Send() encodes the
 /// message (wire format v4), prepends the u32 length prefix, and writes it
 /// to the destination's fd — synchronously, on the caller's thread, so a
 /// node's responses are on the wire before it processes its next inbound
 /// frame (the FIFO ordering the coordinator's flush barrier relies on).
+///
+/// EnableAsyncWriter() switches the instance into the coordinator's
+/// non-blocking outbound mode: Send() enqueues the framed bytes onto a
+/// bounded per-peer queue and a single writer thread drains the queues with
+/// MSG_DONTWAIT, so one stalled peer (full TCP buffer) backs up only its
+/// own queue — never the accept, reader or cycle threads. Per-fd FIFO is
+/// preserved (one writer, one deque per peer); a queue overflow drops the
+/// peer exactly like a write error would, handing the silence to the
+/// reliability layer's give-up machinery. The site tier stays synchronous:
+/// its barrier-ack FIFO contract depends on inline sends.
 ///
 /// Topology is a peer map filled by the session layer: the coordinator
 /// registers every site's accepted connection under its hello'd site id;
@@ -128,6 +145,8 @@ bool WriteAll(int fd, const std::uint8_t* data, std::size_t size);
 ///    coordinator's barrier loop snapshots this to detect induced traffic.
 class SocketTransport final : public Transport {
  public:
+  ~SocketTransport() override;
+
   /// Maps `peer` (site id, or kCoordinatorId) to a connected fd. The fd is
   /// not owned — the session layer closes it.
   void RegisterPeer(int peer, int fd);
@@ -136,6 +155,19 @@ class SocketTransport final : public Transport {
 
   void Send(const RuntimeMessage& message) override;
 
+  /// Switches to the non-blocking outbound path: spawns the writer thread
+  /// and bounds every peer's queue at `max_queue_frames` frames (≥ 1). Call
+  /// once, before any concurrent Send(). Paper/data-frame accounting moves
+  /// to enqueue time (the logical send); transport totals stay at write
+  /// time (bytes actually on the wire).
+  void EnableAsyncWriter(std::size_t max_queue_frames);
+
+  /// Drains the queues for up to `flush_deadline_ms` (a stalled peer's
+  /// EAGAIN cannot hold shutdown hostage), then stops and joins the writer
+  /// thread. Undrained frames are discarded. No-op when the writer was
+  /// never enabled; called by the destructor as a backstop.
+  void StopAsyncWriter(long flush_deadline_ms);
+
   long messages_sent() const;
   long site_messages_sent() const;
   double bytes_sent() const;
@@ -143,11 +175,33 @@ class SocketTransport final : public Transport {
   double transport_bytes_sent() const;
   long data_frames_sent() const;
   long send_failures() const;
+  /// Frames whose write needed more than one send() call (short-write
+  /// completions; counted on both the sync and async paths).
+  long short_writes() const;
+  /// Frames currently queued across all peers (0 on the sync path).
+  long send_queue_depth() const;
+  /// Peers dropped because their bounded queue overflowed.
+  long send_queue_drops() const;
 
  private:
+  /// One peer's outbound backlog. `head_offset` is the already-written
+  /// prefix of the head frame (a partial MSG_DONTWAIT write resumes there).
+  struct PeerQueue {
+    std::deque<std::vector<std::uint8_t>> frames;
+    std::size_t head_offset = 0;
+  };
+
   /// Writes one framed message to `fd`; on failure drops `peer`. Caller
   /// holds mu_.
   void WriteFrame(int peer, int fd, const std::vector<std::uint8_t>& frame);
+  /// Enqueues onto `peer`'s bounded queue; overflow drops the peer. Caller
+  /// holds mu_.
+  void EnqueueFrame(int peer, const std::vector<std::uint8_t>& frame);
+  /// Drops `peer` and purges its queue. Caller holds mu_.
+  void DropPeerLocked(int peer);
+  /// The writer thread: drains queues with MSG_DONTWAIT until stopped.
+  void WriterLoop();
+  long QueueDepthLocked() const;
 
   mutable std::mutex mu_;
   std::map<int, int> peer_fds_;
@@ -158,6 +212,16 @@ class SocketTransport final : public Transport {
   double transport_bytes_sent_ = 0.0;
   long data_frames_sent_ = 0;
   long send_failures_ = 0;
+  long short_writes_ = 0;
+  long send_queue_drops_ = 0;
+
+  // Async-writer state (inert until EnableAsyncWriter).
+  bool async_ = false;
+  std::size_t max_queue_frames_ = 0;
+  std::map<int, PeerQueue> queues_;
+  std::condition_variable writer_cv_;
+  bool writer_stop_ = false;
+  std::thread writer_;
 };
 
 }  // namespace sgm

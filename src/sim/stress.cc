@@ -37,6 +37,7 @@ constexpr std::uint64_t kTransportStream = 303;
 constexpr std::uint64_t kCrashStream = 404;
 constexpr std::uint64_t kCoordCrashStream = 505;
 constexpr std::uint64_t kFdJitterStream = 606;
+constexpr std::uint64_t kStallStream = 707;
 
 JesterLikeConfig WorkloadConfig(const StressConfig& config) {
   JesterLikeConfig workload;
@@ -105,7 +106,8 @@ InvariantOptions ResolveTolerances(const StressConfig& config,
   } else {
     long run = 50;
     if (config.drop_probability > 0.0 || config.crash_probability > 0.0 ||
-        config.corrupt_probability > 0.0 || config.max_delay_rounds > 0) {
+        config.corrupt_probability > 0.0 || config.max_delay_rounds > 0 ||
+        config.stall_probability > 0.0) {
       run = 150;  // faults delay detection but never disable it
     }
     if (config.coord_crash_probability > 0.0) {
@@ -239,6 +241,10 @@ std::string FormatReplayCommand(const StressConfig& config,
     out << " --coord-crash=" << config.coord_crash_probability
         << " --coord-down=" << config.max_coord_crash_cycles;
   }
+  if (config.stall_probability > 0.0) {
+    out << " --stall=" << config.stall_probability
+        << " --stall-cycles=" << config.max_stall_cycles;
+  }
   if (config.sabotage_tolerance) out << " --sabotage";
   if (config.audit) out << " --audit";
   return out.str();
@@ -260,6 +266,10 @@ std::string StressReport::Summary() const {
             << wal_records_replayed << " WAL replays, "
             << snapshots_discarded << " snapshot fallbacks)";
       }
+      if (config.stall_probability > 0.0) {
+        out << ", " << degraded_cycles << " degraded cycles, "
+            << lag_quarantines << " lag quarantines";
+      }
     }
     if (config.audit) {
       out << "; audit TP=" << audit.true_positives
@@ -269,6 +279,11 @@ std::string StressReport::Summary() const {
           << " oz-FN-rate=" << audit.fn_rate()
           << " max|err|=" << audit.max_abs_error
           << " bound-violations=" << audit.bound_violations;
+      if (audit.degraded_cycles > 0) {
+        out << " degraded-oz-FN="
+            << audit.degraded_out_of_zone_false_negatives << "/"
+            << audit.degraded_cycles;
+      }
     }
     out << ")\n";
     return out.str();
@@ -378,7 +393,9 @@ struct RuntimeLeg {
         function_(MakeFunction(config.function)),
         crash_rng_(DeriveSeed(config.seed, kCrashStream)),
         coord_rng_(DeriveSeed(config.seed, kCoordCrashStream)),
-        recovery_cycle_(config.num_sites, -1) {}
+        stall_rng_(DeriveSeed(config.seed, kStallStream)),
+        recovery_cycle_(config.num_sites, -1),
+        stall_until_(config.num_sites, -1) {}
 
   RuntimeConfig NodeConfig() const {
     RuntimeConfig node;
@@ -419,6 +436,7 @@ struct RuntimeLeg {
     int crashed = 0;
     for (int i = 0; i < config_.num_sites; ++i) {
       if (!sim->IsCrashed(i)) continue;
+      if (stall_until_[i] >= 0) continue;  // the stall schedule owns it
       if (recovery_cycle_[i] <= cycle) {
         sim->RecoverSite(i);
       } else {
@@ -437,6 +455,42 @@ struct RuntimeLeg {
             static_cast<long>(crash_rng_.NextBounded(
                 static_cast<std::uint64_t>(config_.max_crash_cycles)));
       }
+    }
+  }
+
+  /// Stall schedule for one cycle, pre-tick: a stalled site is silenced
+  /// through the sim's crash switch (state kept, messages dropped — exactly
+  /// what a SIGSTOP'd process looks like from the outside) and listed in
+  /// `stalled` so the post-tick ReportBarrierLag call feeds the
+  /// deadline-miss path. Bounded like the crash schedule: at most a quarter
+  /// of the fleet stalled, every stall expires.
+  void StepStallSchedule(RuntimeDriver* driver, long cycle,
+                         std::vector<int>* stalled) {
+    SimTransport* sim = driver->sim_transport();
+    if (sim == nullptr || config_.stall_probability <= 0.0) return;
+    int stalled_now = 0;
+    for (int i = 0; i < config_.num_sites; ++i) {
+      if (stall_until_[i] < 0) continue;
+      if (stall_until_[i] < cycle) {
+        sim->RecoverSite(i);
+        stall_until_[i] = -1;
+      } else {
+        ++stalled_now;
+      }
+    }
+    if (stall_rng_.NextBernoulli(config_.stall_probability) &&
+        stalled_now < std::max(1, config_.num_sites / 4)) {
+      const int victim = static_cast<int>(stall_rng_.NextBounded(
+          static_cast<std::uint64_t>(config_.num_sites)));
+      if (!sim->IsCrashed(victim)) {
+        sim->CrashSite(victim);
+        stall_until_[victim] =
+            cycle + static_cast<long>(stall_rng_.NextBounded(
+                        static_cast<std::uint64_t>(config_.max_stall_cycles)));
+      }
+    }
+    for (int i = 0; i < config_.num_sites; ++i) {
+      if (stall_until_[i] >= 0) stalled->push_back(i);
     }
   }
 
@@ -508,9 +562,12 @@ struct RuntimeLeg {
     source_.Advance(&locals);
     observed_ = locals;
     driver->Initialize(locals);
+    std::vector<int> stalled;
     for (long t = 1; t <= config_.cycles; ++t) {
       StepCoordCrashSchedule(driver, t);
       StepCrashSchedule(driver, t);
+      stalled.clear();
+      StepStallSchedule(driver, t, &stalled);
       source_.Advance(&locals);
       SimTransport* sim = driver->sim_transport();
       for (int i = 0; i < config_.num_sites; ++i) {
@@ -518,6 +575,12 @@ struct RuntimeLeg {
         observed_[i] = locals[i];
       }
       driver->Tick(observed_);
+      // Mirror the socket server's barrier deadline: the cycle is over and
+      // the stalled sites never acked. Gated on the stall profile so every
+      // other leg stays byte-identical to the pre-deadline harness.
+      if (config_.stall_probability > 0.0) {
+        driver->ReportBarrierLag(stalled);
+      }
       per_cycle(t, *driver);
     }
   }
@@ -548,7 +611,10 @@ struct RuntimeLeg {
   std::unique_ptr<MonitoredFunction> function_;
   Rng crash_rng_;
   Rng coord_rng_;
+  Rng stall_rng_;
   std::vector<long> recovery_cycle_;
+  /// Last cycle (inclusive) each site stays stalled; -1 = not stalled.
+  std::vector<long> stall_until_;
   std::vector<Vector> observed_;
 
   /// Coordinator-crash machinery (active iff coord_crash_probability > 0).
@@ -584,6 +650,9 @@ StressReport RunRuntimeStress(const StressConfig& config) {
   InvariantChecker checker(tolerances);
   std::unique_ptr<AccuracyAuditor> auditor = MakeAuditor(config, tolerances);
   long prev_full = 0, prev_degraded = 0;
+  // Deadline-degraded barrier cycles (CoordinatorNode::degraded_cycles is
+  // observability state, not checkpointed — the hook below re-bases it).
+  long prev_degraded_cycles = 0;
 
   // Rejoin-convergence tracking: a crashed-and-recovered site must hold an
   // anchor at least as fresh as its recovery epoch within this horizon
@@ -642,6 +711,7 @@ StressReport RunRuntimeStress(const StressConfig& config) {
     recovery_recovered_at = t;
     recovery_deadline = t + kRecoveryHorizon;
     full_at_recovery = coord.full_syncs();
+    prev_degraded_cycles = coord.degraded_cycles();  // fresh incarnation: 0
   };
 
   leg.Drive(&driver, [&](long t, RuntimeDriver& d) {
@@ -713,8 +783,11 @@ StressReport RunRuntimeStress(const StressConfig& config) {
       sample.truth_value = oracle.value;
       sample.surface_distance = oracle.surface_distance;
       sample.span = d.coordinator().cycle_span();
+      sample.degraded =
+          d.coordinator().degraded_cycles() != prev_degraded_cycles;
       auditor->ObserveCycle(sample);
     }
+    prev_degraded_cycles = d.coordinator().degraded_cycles();
 
     // Epoch-fencing invariant: no stale-epoch message ever reaches an
     // apply path, anywhere in the deployment.
@@ -780,6 +853,9 @@ StressReport RunRuntimeStress(const StressConfig& config) {
   const CoordinatorNode::RecoveryStats recovery = driver.recovery_totals();
   report.wal_records_replayed = recovery.wal_records_replayed;
   report.snapshots_discarded = recovery.snapshots_discarded;
+  report.degraded_cycles = driver.coordinator().degraded_cycles();
+  report.lag_quarantines =
+      driver.coordinator().failure_detector().total_lagging_verdicts();
   if (auditor != nullptr) report.audit = auditor->report();
   driver.PublishMetrics();
   FillReport(checker, config, "runtime", &report);
@@ -884,12 +960,15 @@ std::vector<StressReport> RunStressSuite(std::uint64_t seed, bool audit,
     int delay;
     double crash;
     double corrupt;
+    double stall;
   };
   const FaultProfile profiles[] = {
-      {0.0, 0.0, 0, 0.0, 0.0},     // faultless baseline
-      {0.15, 0.05, 2, 0.0, 0.0},   // lossy, duplicating, reordering links
-      {0.25, 0.05, 3, 0.05, 0.0},  // hostile links plus site crash/recovery
-      {0.30, 0.10, 3, 0.05, 0.02}, // heavy loss+dup plus wire bit flips
+      {0.0, 0.0, 0, 0.0, 0.0, 0.0},     // faultless baseline
+      {0.15, 0.05, 2, 0.0, 0.0, 0.0},   // lossy, duplicating, reordering
+      {0.25, 0.05, 3, 0.05, 0.0, 0.0},  // hostile links + site crash/recovery
+      {0.30, 0.10, 3, 0.05, 0.02, 0.0}, // heavy loss+dup plus wire bit flips
+      {0.0, 0.0, 0, 0.0, 0.0, 0.10},    // pure stragglers on clean links
+      {0.15, 0.05, 2, 0.0, 0.0, 0.10},  // stragglers behind lossy links
   };
   for (StressFunction function :
        {StressFunction::kL2Norm, StressFunction::kLinfDistance}) {
@@ -903,6 +982,7 @@ std::vector<StressReport> RunStressSuite(std::uint64_t seed, bool audit,
       config.max_delay_rounds = profile.delay;
       config.crash_probability = profile.crash;
       config.corrupt_probability = profile.corrupt;
+      config.stall_probability = profile.stall;
       config.coord_crash_probability = coord_crash;
       config.max_coord_crash_cycles = coord_down;
       config.audit = audit;

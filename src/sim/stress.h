@@ -60,6 +60,15 @@ struct StressConfig {
   /// are checked on the spot.
   double coord_crash_probability = 0.0;
   int max_coord_crash_cycles = 4;
+  /// Per-cycle probability that one random live site stalls — goes silent
+  /// without losing state for uniform-[1, max_stall_cycles] cycles, the
+  /// deterministic stand-in for a SIGSTOP'd or scheduling-starved process.
+  /// Stalled sites are reported to the coordinator's barrier-deadline path
+  /// each cycle (RuntimeDriver::ReportBarrierLag), so consecutive stalls
+  /// drive the lagging → quarantined → rejoined machinery rather than the
+  /// heartbeat-death path alone.
+  double stall_probability = 0.0;
+  int max_stall_cycles = 5;
 
   // Invariant tolerances; negative = auto (exact protocols get zero
   // tolerance, approximate ones their guarantee-class defaults, widened
@@ -116,6 +125,9 @@ struct StressReport {
   long coordinator_crashes = 0;   ///< crash/recover round trips survived
   long wal_records_replayed = 0;  ///< WAL records replayed across recoveries
   long snapshots_discarded = 0;   ///< torn snapshots skipped (fallback hits)
+  // Runtime legs with stall injection only (bounded-staleness accounting).
+  long degraded_cycles = 0;   ///< barrier cycles closed over a partial quorum
+  long lag_quarantines = 0;   ///< kLagging verdicts issued by the detector
   /// Accuracy audit outcome (all-zero unless StressConfig::audit was set).
   AccuracyAuditor::Report audit;
   /// Shell command replaying this exact leg; non-empty iff violations.

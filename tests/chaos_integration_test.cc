@@ -38,11 +38,13 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/rng.h"
@@ -303,6 +305,126 @@ void AppendBeliefLine(FILE* file, long cycle, const CoordinatorServer& server,
   _exit(0);
 }
 
+// ─── Straggler (SIGSTOP) leg ───────────────────────────────────────────────
+
+constexpr long kStragglerCycles = 80;    // last cycle index of the leg
+constexpr int kStragglerVictim = 1;      // the site the parent SIGSTOPs
+constexpr long kStragglerPaceMs = 40;    // coordinator pacing per cycle
+constexpr long kStragglerDeadlineMs = 300;  // soft barrier deadline
+
+/// Deadline-driven coordinator for the SIGSTOP leg: paced cycles (so the
+/// parent can stop/continue a site mid-run), a soft barrier deadline with
+/// the per-peer bounded send queue, and end-of-run straggler invariants.
+/// Exit codes: 60 bind failed, 61 port pipe failed, 62 hello timeout,
+/// 63 belief log unwritable, 64 a cycle hit the HARD barrier timeout (the
+/// stalled site blocked progress — the liveness property under test),
+/// 65 no degraded cycle was recorded, 66 no lag quarantine was issued,
+/// 67 a site is still quarantined at the end (no re-anchor), 68 not every
+/// site connected at the end, 69 trace sink unwritable, 70 unacked
+/// reliability entries at quiescence.
+[[noreturn]] void StragglerCoordinatorMain(int port_pipe,
+                                           const std::string& beliefs_path,
+                                           const std::string& trace_path) {
+  const L2Norm norm;
+  Telemetry telemetry;
+  telemetry.trace.SetProcess("coordinator");
+  CoordinatorServerConfig config;
+  config.num_sites = kSites;
+  config.barrier_deadline_ms = kStragglerDeadlineMs;
+  config.send_queue_frames = 1024;
+  config.runtime = ProtocolConfig();
+  config.runtime.telemetry = &telemetry;
+  CoordinatorServer server(norm, config);
+  if (!server.Listen()) _exit(60);
+  const int port = server.port();
+  if (::write(port_pipe, &port, sizeof(port)) !=
+      static_cast<ssize_t>(sizeof(port))) {
+    _exit(61);
+  }
+  ::close(port_pipe);
+  if (!server.WaitForSites()) _exit(62);
+  FILE* beliefs = std::fopen(beliefs_path.c_str(), "a");
+  if (beliefs == nullptr) _exit(63);
+  for (long cycle = 0; cycle <= kStragglerCycles; ++cycle) {
+    // A false return is the 30 s hard backstop: with the soft deadline on,
+    // reaching it means a stalled site DID block cycle progress.
+    if (!server.RunCycle()) _exit(64);
+    AppendBeliefLine(beliefs, cycle, server, norm);
+    // Pace the schedule so the parent's SIGSTOP window spans many cycles.
+    std::this_thread::sleep_for(std::chrono::milliseconds(kStragglerPaceMs));
+  }
+  const CoordinatorServer::Health health = server.GetHealth();
+  if (health.degraded_cycles <= 0) _exit(65);
+  if (health.lag_quarantines <= 0) _exit(66);
+  if (health.lagging_sites != 0) _exit(67);
+  if (server.ConnectedCount() != kSites) _exit(68);
+  if (server.HasUnacked()) _exit(70);
+  {
+    std::ofstream out(trace_path);
+    if (!out) _exit(69);
+    telemetry.trace.WriteJsonl(out);
+  }
+  server.Shutdown();
+  _exit(0);
+}
+
+/// Chaos-free site for the SIGSTOP leg; the victim's unresponsiveness is
+/// inflicted externally by the parent. The victim writes its trace on clean
+/// exit so the parent can merge both process timelines. Exit codes: 40
+/// first connect gave up, 41 run ended dirty, 42 trace sink unwritable.
+[[noreturn]] void StragglerSiteMain(int site_id, int port,
+                                    const std::string& trace_path) {
+  SyntheticDriftGenerator generator(GeneratorConfig());
+  const L2Norm norm;
+  Telemetry telemetry;
+  telemetry.trace.SetProcess("site-" + std::to_string(site_id));
+  SiteClientConfig config;
+  config.site_id = site_id;
+  config.num_sites = kSites;
+  config.port = port;
+  config.runtime = ProtocolConfig();
+  if (!trace_path.empty()) config.runtime.telemetry = &telemetry;
+  config.max_reconnects = 8;
+
+  SiteClient client(norm, config);
+  if (!client.Connect()) _exit(40);
+  std::vector<Vector> locals;
+  long advanced = 0;
+  const bool clean = client.Run([&](long cycle) {
+    while (advanced <= cycle) {
+      generator.Advance(&locals);
+      ++advanced;
+    }
+    return locals[site_id];
+  });
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) _exit(42);
+    telemetry.trace.WriteJsonl(out);
+  }
+  _exit(clean ? 0 : 41);
+}
+
+/// Counts complete (newline-terminated) lines of the belief log — the
+/// parent's only window into how far the paced coordinator has progressed.
+long CountBeliefLines(const std::string& path) {
+  std::ifstream in(path);
+  long lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  return lines;
+}
+
+/// Polls the belief log until it holds at least `target` lines. Returns
+/// false after ~60 s without progress to the target (deadlocked run).
+bool AwaitBeliefLines(const std::string& path, long target) {
+  for (int i = 0; i < 1200; ++i) {
+    if (CountBeliefLines(path) >= target) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
+
 // ─── Flight-recorder crash probe ───────────────────────────────────────────
 
 /// Runs a short faultless runtime leg with the process-wide flight recorder
@@ -554,6 +676,139 @@ TEST(ChaosIntegrationTest, KilledCoordinatorAndSiteRecoverUnderSeededChaos) {
       report.false_positives, report.false_negatives,
       report.out_of_zone_false_negatives, report.fn_rate(),
       report.max_abs_error);
+}
+
+TEST(ChaosIntegrationTest, SigstoppedSiteIsQuarantinedNotBlocking) {
+  const std::uint64_t chaos_seed = SeedFromEnv();
+  const std::string artifacts = ArtifactsDir();
+  const std::string beliefs_path = artifacts + "/straggler-beliefs.txt";
+  const std::string coord_trace = artifacts + "/straggler-coordinator.jsonl";
+  const std::string victim_trace = artifacts + "/straggler-victim.jsonl";
+  std::remove(beliefs_path.c_str());
+  std::printf("straggler leg: chaos seed %llu, artifacts in %s\n",
+              static_cast<unsigned long long>(chaos_seed), artifacts.c_str());
+
+  int port_pipe[2];
+  ASSERT_EQ(::pipe(port_pipe), 0);
+  const pid_t coordinator = fork();
+  ASSERT_GE(coordinator, 0);
+  if (coordinator == 0) {
+    ::close(port_pipe[0]);
+    StragglerCoordinatorMain(port_pipe[1], beliefs_path, coord_trace);
+  }
+  ::close(port_pipe[1]);
+  int port = 0;
+  ASSERT_EQ(::read(port_pipe[0], &port, sizeof(port)),
+            static_cast<ssize_t>(sizeof(port)));
+  ::close(port_pipe[0]);
+  ASSERT_GT(port, 0);
+
+  std::vector<pid_t> sites(kSites);
+  for (int id = 0; id < kSites; ++id) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      StragglerSiteMain(id, port,
+                        id == kStragglerVictim ? victim_trace : std::string());
+    }
+    sites[id] = pid;
+  }
+
+  // Let the deployment settle into steady cycles, then freeze the victim
+  // process outright — the purest straggler: the TCP session stays up, the
+  // process just stops scheduling.
+  ASSERT_TRUE(AwaitBeliefLines(beliefs_path, 15))
+      << "coordinator never reached cycle 15";
+  ASSERT_EQ(::kill(sites[kStragglerVictim], SIGSTOP), 0);
+
+  // Liveness under a stopped site: the deadline-driven barrier must keep
+  // closing cycles over the responsive quorum. 40 further cycles against a
+  // frozen peer complete only if no send and no barrier wait ever blocks on
+  // it (the 60 s polling budget is far below 40 × the 30 s hard timeout).
+  ASSERT_TRUE(AwaitBeliefLines(beliefs_path, 55))
+      << "cycle progress stalled while a site was SIGSTOPed — the stalled "
+         "peer blocked the coordinator";
+  ASSERT_EQ(::kill(sites[kStragglerVictim], SIGCONT), 0);
+
+  // The coordinator's end-of-run _exit codes assert the rest: degraded
+  // cycles recorded (65), a lag quarantine issued (66), the quarantine
+  // lifted again (67), all sites connected (68), reliability quiesced (70).
+  int status = 0;
+  ASSERT_EQ(::waitpid(coordinator, &status, 0), coordinator);
+  ASSERT_TRUE(WIFEXITED(status)) << "straggler coordinator died by signal";
+  ASSERT_EQ(WEXITSTATUS(status), 0)
+      << "coordinator-side invariant failed — code maps to the _exit table "
+         "in StragglerCoordinatorMain";
+  for (const pid_t pid : sites) {
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status)) << "site process died by signal";
+    EXPECT_EQ(WEXITSTATUS(status), 0)
+        << "site failed — code maps to the _exit table in StragglerSiteMain";
+  }
+
+  // Complete verdict stream: the quarantined cycles still produced beliefs.
+  const std::map<long, BeliefRecord> beliefs = ReadBeliefLog(beliefs_path);
+  ASSERT_EQ(beliefs.size(), static_cast<std::size_t>(kStragglerCycles) + 1);
+
+  // Bounded-staleness accuracy gate: the audited out-of-zone FN rate over
+  // the whole run — quarantined quorum cycles included — stays within the
+  // paper's δ plus the same +0.01 chaos allowance as the crash leg.
+  const RuntimeConfig protocol = ProtocolConfig();
+  SyntheticDriftGenerator generator(GeneratorConfig());
+  const L2Norm norm;
+  AccuracyAuditorConfig audit;
+  audit.epsilon = protocol.threshold / 3.0;
+  audit.max_out_of_zone_run = 200;
+  AccuracyAuditor auditor(audit);
+  std::vector<Vector> locals;
+  for (long cycle = 0; cycle <= kStragglerCycles; ++cycle) {
+    generator.Advance(&locals);
+    Vector global(locals[0].dim());
+    for (const Vector& local : locals) global += local;
+    global /= static_cast<double>(kSites);
+    const double truth_value = norm.Value(global);
+    const BeliefRecord& record = beliefs.at(cycle);
+    AccuracyAuditor::CycleSample sample;
+    sample.cycle = cycle;
+    sample.believed_above = record.above;
+    sample.truth_above = truth_value > protocol.threshold;
+    sample.estimate_value = record.estimate_value;
+    sample.truth_value = truth_value;
+    sample.surface_distance =
+        norm.DistanceToSurface(global, protocol.threshold);
+    auditor.ObserveCycle(sample);
+  }
+  const AccuracyAuditor::Report& report = auditor.report();
+  EXPECT_LE(report.fn_rate(), protocol.delta + 0.01)
+      << "degraded cycles pushed missed detections beyond the failure "
+         "allowance: " << report.out_of_zone_false_negatives
+      << " out-of-zone FNs over " << report.cycles << " cycles";
+  EXPECT_EQ(report.bound_violations, 0L);
+
+  // Both process timelines merge into one span forest with no orphans: the
+  // quarantine and re-anchor cascades are fully parented — no span was torn
+  // by the stop/continue or the degraded barrier closes.
+  std::vector<std::vector<TraceEvent>> timelines;
+  for (const auto& entry :
+       {std::make_pair(coord_trace, std::string("coordinator")),
+        std::make_pair(victim_trace, std::string("site-1"))}) {
+    std::vector<TraceEvent> events;
+    std::string warning;
+    const Status loaded = LoadTraceJsonlTolerant(
+        entry.first, entry.second, /*validate=*/true, &events, &warning);
+    ASSERT_TRUE(loaded.ok()) << entry.first << ": " << loaded.message();
+    EXPECT_TRUE(warning.empty()) << warning;
+    timelines.push_back(std::move(events));
+  }
+  const SpanForestSummary forest =
+      SummarizeSpanForest(MergeTraceTimelines(std::move(timelines)));
+  EXPECT_GT(forest.spans, 0L);
+  EXPECT_TRUE(forest.orphans.empty())
+      << "straggler run produced orphan spans: " << forest.orphans.front();
+  std::printf(
+      "straggler audit: cycles=%ld FN=%ld oz-FN=%ld fn-rate=%.4f spans=%ld\n",
+      report.cycles, report.false_negatives,
+      report.out_of_zone_false_negatives, report.fn_rate(), forest.spans);
 }
 
 }  // namespace

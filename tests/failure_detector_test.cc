@@ -219,11 +219,135 @@ TEST(FailureDetectorTest, SnapshotRestoreRecomputesJitteredThresholds) {
   EXPECT_EQ(recovered.deaths(3), 1);
 }
 
+TEST(FailureDetectorTest, LaggingVerdictAfterConsecutiveDeadlineMisses) {
+  FailureDetector fd(2, SmallConfig());  // lagging_after_deadline_misses = 2
+  fd.BeginCycle(1);
+  fd.RecordAlive(0);
+  fd.RecordAlive(1);
+  EXPECT_FALSE(fd.RecordMissedDeadline(0));  // miss 1 of 2: no verdict yet
+  EXPECT_EQ(fd.state(0), FailureDetector::State::kAlive);
+  fd.BeginCycle(2);
+  fd.RecordAlive(1);
+  // The transition happens exactly on the call that crosses the threshold.
+  EXPECT_TRUE(fd.RecordMissedDeadline(0));
+  EXPECT_EQ(fd.state(0), FailureDetector::State::kLagging);
+  // Lagging is like dead for membership: out of the HT sample pool, but a
+  // distinct verdict with its own counters and an open staleness window.
+  EXPECT_FALSE(fd.IsLive(0));
+  EXPECT_EQ(fd.live_count(), 1);
+  EXPECT_EQ(fd.lagging_count(), 1);
+  EXPECT_EQ(fd.total_lagging_verdicts(), 1);
+  EXPECT_EQ(fd.lagging_since(0), 2);
+  EXPECT_EQ(fd.deaths(0), 0);  // a straggler is not a death
+  // Further misses keep the existing verdict instead of stacking new ones.
+  EXPECT_FALSE(fd.RecordMissedDeadline(0));
+  EXPECT_EQ(fd.total_lagging_verdicts(), 1);
+}
+
+TEST(FailureDetectorTest, DeadlineMetResetsConsecutiveMisses) {
+  FailureDetector fd(1, SmallConfig());
+  fd.BeginCycle(1);
+  fd.RecordAlive(0);
+  EXPECT_FALSE(fd.RecordMissedDeadline(0));
+  fd.RecordDeadlineMet(0);  // made the next barrier: clean slate
+  fd.BeginCycle(2);
+  fd.RecordAlive(0);
+  EXPECT_FALSE(fd.RecordMissedDeadline(0));  // miss 1 again, not miss 2
+  EXPECT_EQ(fd.state(0), FailureDetector::State::kAlive);
+  EXPECT_TRUE(fd.RecordMissedDeadline(0));
+  EXPECT_EQ(fd.state(0), FailureDetector::State::kLagging);
+}
+
+TEST(FailureDetectorTest, DeadAndRejoiningSitesDoNotAccrueDeadlineMisses) {
+  FailureDetector fd(1, SmallConfig());
+  fd.BeginCycle(1);
+  fd.ReportUnreachable(0);
+  EXPECT_FALSE(fd.RecordMissedDeadline(0));
+  EXPECT_FALSE(fd.RecordMissedDeadline(0));
+  EXPECT_EQ(fd.state(0), FailureDetector::State::kDead);
+  EXPECT_EQ(fd.total_lagging_verdicts(), 0);
+  fd.BeginRejoin(0);
+  EXPECT_FALSE(fd.RecordMissedDeadline(0));
+  EXPECT_EQ(fd.state(0), FailureDetector::State::kRejoining);
+}
+
+TEST(FailureDetectorTest, LaggingRejoinClosesStalenessWindow) {
+  FailureDetector fd(1, SmallConfig());
+  for (long c = 1; c <= 5; ++c) {  // keep the heartbeat clock warm
+    fd.BeginCycle(c);
+    fd.RecordAlive(0);
+  }
+  fd.RecordMissedDeadline(0);
+  ASSERT_TRUE(fd.RecordMissedDeadline(0));  // lagging since cycle 5
+  // The laggard catches up four cycles later: quarantine lifts through the
+  // same rejoin handshake a dead site uses, and the window is accounted.
+  fd.BeginCycle(9);
+  fd.BeginRejoin(0);
+  EXPECT_EQ(fd.state(0), FailureDetector::State::kRejoining);
+  fd.CompleteRejoin(0);
+  EXPECT_EQ(fd.state(0), FailureDetector::State::kAlive);
+  EXPECT_TRUE(fd.IsLive(0));
+  EXPECT_EQ(fd.lagging_since(0), -1);
+  EXPECT_EQ(fd.staleness_cycles_total(), 4);
+  EXPECT_EQ(fd.staleness_cycles_max(), 4);
+  // A second, shorter lag accumulates the total but not the max.
+  fd.BeginCycle(10);
+  fd.RecordMissedDeadline(0);
+  ASSERT_TRUE(fd.RecordMissedDeadline(0));
+  fd.BeginCycle(12);
+  fd.BeginRejoin(0);
+  fd.CompleteRejoin(0);
+  EXPECT_EQ(fd.staleness_cycles_total(), 6);
+  EXPECT_EQ(fd.staleness_cycles_max(), 4);
+  EXPECT_EQ(fd.total_lagging_verdicts(), 2);
+}
+
+TEST(FailureDetectorTest, LaggingThresholdIsJitteredWithinBand) {
+  FailureDetectorConfig config = SmallConfig();
+  config.lagging_after_deadline_misses = 20;
+  config.threshold_jitter = 0.25;
+  config.jitter_seed = 77;
+  FailureDetector a(64, config);
+  FailureDetector b(64, config);
+  bool any_differs = false;
+  for (int site = 0; site < 64; ++site) {
+    EXPECT_EQ(a.lagging_after(site), b.lagging_after(site));  // replayable
+    EXPECT_GE(a.lagging_after(site), 15);
+    EXPECT_LE(a.lagging_after(site), 25);
+    if (a.lagging_after(site) != a.lagging_after(0)) any_differs = true;
+  }
+  // Jitter exists to desynchronize verdicts across a slow fleet.
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(FailureDetectorTest, SnapshotRestorePreservesLaggingVerdict) {
+  FailureDetector fd(2, SmallConfig());
+  fd.BeginCycle(3);
+  fd.RecordAlive(0);
+  fd.RecordAlive(1);
+  fd.RecordMissedDeadline(1);
+  ASSERT_TRUE(fd.RecordMissedDeadline(1));
+  const auto snapshot = fd.Snapshot();
+
+  FailureDetector recovered(2, SmallConfig());
+  recovered.Restore(snapshot, 7);
+  EXPECT_EQ(recovered.state(1), FailureDetector::State::kLagging);
+  EXPECT_FALSE(recovered.IsLive(1));
+  // The pre-crash staleness window is not durable: the clock restarts at
+  // the recovery cycle (under-counted, never guessed).
+  EXPECT_EQ(recovered.lagging_since(1), 7);
+  recovered.BeginCycle(9);
+  recovered.BeginRejoin(1);
+  recovered.CompleteRejoin(1);
+  EXPECT_EQ(recovered.staleness_cycles_total(), 2);
+}
+
 TEST(FailureDetectorTest, StateNames) {
   EXPECT_STREQ(ToString(FailureDetector::State::kAlive), "alive");
   EXPECT_STREQ(ToString(FailureDetector::State::kSuspect), "suspect");
   EXPECT_STREQ(ToString(FailureDetector::State::kDead), "dead");
   EXPECT_STREQ(ToString(FailureDetector::State::kRejoining), "rejoining");
+  EXPECT_STREQ(ToString(FailureDetector::State::kLagging), "lagging");
 }
 
 }  // namespace

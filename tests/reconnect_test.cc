@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -108,8 +109,19 @@ TEST(ReconnectTest, InjectedResetTriggersReconnectAndRejoin) {
 
   // Sever site 1's connection from outside. The client must notice, redial,
   // re-hello, and drive the rejoin handshake — all while the lockstep
-  // cycles keep running against the shifting membership.
+  // cycles keep running against the shifting membership. The wait is
+  // adaptive: a fixed cycle count races the client thread's redial under
+  // CPU contention (the lockstep loop runs orders of magnitude faster than
+  // a loaded scheduler re-runs the site thread).
   clients[1]->InjectConnectionReset();
+  bool rehello = false;
+  for (long cycle = 0; cycle < 400 && !rehello; ++cycle) {
+    ASSERT_TRUE(server.RunCycle());
+    rehello = server.SiteRehellos() >= 1;
+    if (!rehello) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(rehello) << "site 1 never re-registered";
+  // Post-rejoin window: the grant schedules a resync; let it land.
   for (long cycle = 0; cycle <= 30; ++cycle) ASSERT_TRUE(server.RunCycle());
 
   EXPECT_GE(clients[1]->reconnects(), 1L);

@@ -32,6 +32,17 @@ RuntimeMessage MakeReport(int from, double scalar, std::size_t dim) {
   return message;
 }
 
+RuntimeMessage MakeEstimate(int to, double scalar) {
+  RuntimeMessage message;
+  message.type = RuntimeMessage::Type::kNewEstimate;
+  message.from = kCoordinatorId;
+  message.to = to;
+  message.epoch = 1;
+  message.scalar = scalar;
+  message.payload = Vector{1.0, 2.0};
+  return message;
+}
+
 // Encodes `message` the way SocketTransport frames it: u32 LE length prefix
 // followed by the wire-v4 frame.
 std::vector<std::uint8_t> Framed(const RuntimeMessage& message) {
@@ -284,6 +295,35 @@ TEST(SocketTransportTest, WriteAllSurvivesShortWrites) {
   EXPECT_EQ(transport.send_failures(), 0);
 }
 
+TEST(SocketTransportTest, AsyncWriterCountsShortWritesOnBigFrames) {
+  LoopbackPair pair;
+  ASSERT_TRUE(pair.Open());
+  // A small send buffer forces the writer thread's MSG_DONTWAIT sends to
+  // stop mid-frame while a reader drains the far end — each such pause is
+  // a short-write completion the counter must record.
+  int small = 4096;
+  ASSERT_EQ(::setsockopt(pair.client, SOL_SOCKET, SO_SNDBUF, &small,
+                         sizeof(small)),
+            0);
+
+  SocketTransport transport;
+  transport.EnableAsyncWriter(/*max_queue_frames=*/8);
+  transport.RegisterPeer(0, pair.client);
+  RuntimeMessage big = MakeEstimate(0, 1.0);
+  big.payload = Vector(100000, 0.5);  // ~800 KiB frame
+
+  std::vector<RuntimeMessage> got;
+  std::thread reader([&] { got = ReadMessages(pair.server, 1); });
+  transport.Send(big);
+  reader.join();
+
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].payload, big.payload);
+  EXPECT_GE(transport.short_writes(), 1);
+  EXPECT_EQ(transport.send_failures(), 0);
+  EXPECT_EQ(transport.send_queue_drops(), 0);
+}
+
 TEST(SocketTransportTest, PeerLossCountsFailureAndReconnectRecovers) {
   LoopbackPair pair;
   ASSERT_TRUE(pair.Open());
@@ -506,6 +546,85 @@ TEST(SocketRetryTest, ConnectRetriesUntilListenerAppearsAndGivesUp) {
   hopeless.max_backoff_ms = 2;
   std::uint64_t hopeless_state = 3;
   EXPECT_LT(ConnectTcpLoopbackWithRetry(port, hopeless, &hopeless_state), 0);
+}
+
+TEST(SocketTransportTest, AsyncWriterPreservesPerPeerFifoOrder) {
+  LoopbackPair pair;
+  ASSERT_TRUE(pair.Open());
+
+  SocketTransport transport;
+  transport.EnableAsyncWriter(/*max_queue_frames=*/64);
+  transport.RegisterPeer(0, pair.client);
+
+  constexpr int kFrames = 20;
+  for (int i = 0; i < kFrames; ++i) {
+    transport.Send(MakeEstimate(0, static_cast<double>(i)));
+  }
+  // Paper accounting moves to enqueue time: all 20 logical sends are
+  // visible immediately, whatever the writer thread has drained so far.
+  EXPECT_EQ(transport.messages_sent(), kFrames);
+  EXPECT_EQ(transport.data_frames_sent(), kFrames);
+
+  const std::vector<RuntimeMessage> got = ReadMessages(pair.server, kFrames);
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kFrames));
+  for (int i = 0; i < kFrames; ++i) {
+    EXPECT_EQ(got[i].scalar, static_cast<double>(i)) << "frame " << i;
+  }
+  EXPECT_EQ(transport.send_queue_drops(), 0);
+  EXPECT_EQ(transport.send_failures(), 0);
+}
+
+TEST(SocketTransportTest, AsyncWriterStopFlushesQueuedFrames) {
+  LoopbackPair pair;
+  ASSERT_TRUE(pair.Open());
+
+  SocketTransport transport;
+  transport.EnableAsyncWriter(/*max_queue_frames=*/64);
+  transport.RegisterPeer(0, pair.client);
+  constexpr int kFrames = 10;
+  for (int i = 0; i < kFrames; ++i) {
+    transport.Send(MakeEstimate(0, static_cast<double>(i)));
+  }
+  // StopAsyncWriter's flush deadline must get every queued frame onto the
+  // wire before the writer thread is joined.
+  transport.StopAsyncWriter(/*flush_deadline_ms=*/2000);
+  EXPECT_EQ(transport.send_queue_depth(), 0);
+  const std::vector<RuntimeMessage> got = ReadMessages(pair.server, kFrames);
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kFrames));
+  EXPECT_EQ(got.back().scalar, static_cast<double>(kFrames - 1));
+}
+
+TEST(SocketTransportTest, AsyncWriterOverflowDropsStalledPeer) {
+  LoopbackPair pair;
+  ASSERT_TRUE(pair.Open());
+  // Simulate a frozen peer: shrink the kernel buffers and pre-fill the
+  // client socket until it EAGAINs, with nobody reading the server end.
+  int small = 4096;
+  ASSERT_EQ(::setsockopt(pair.client, SOL_SOCKET, SO_SNDBUF, &small,
+                         sizeof(small)),
+            0);
+  ASSERT_EQ(::setsockopt(pair.server, SOL_SOCKET, SO_RCVBUF, &small,
+                         sizeof(small)),
+            0);
+  std::vector<std::uint8_t> junk(65536, 0xAB);
+  while (::send(pair.client, junk.data(), junk.size(),
+                MSG_DONTWAIT | MSG_NOSIGNAL) > 0) {
+  }
+
+  SocketTransport transport;
+  transport.EnableAsyncWriter(/*max_queue_frames=*/2);
+  transport.RegisterPeer(0, pair.client);
+  ASSERT_TRUE(transport.HasPeer(0));
+
+  // Two frames park in the bounded queue (the writer's MSG_DONTWAIT sees
+  // EAGAIN forever); the third overflows, which must drop the peer rather
+  // than block the sender or grow the queue without bound.
+  transport.Send(MakeEstimate(0, 1.0));
+  transport.Send(MakeEstimate(0, 2.0));
+  transport.Send(MakeEstimate(0, 3.0));
+  EXPECT_EQ(transport.send_queue_drops(), 1);
+  EXPECT_FALSE(transport.HasPeer(0));
+  EXPECT_EQ(transport.send_queue_depth(), 0);  // purged with the peer
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -158,6 +159,124 @@ TEST(ThreadedCoordinatorTest, LoopbackRunMatchesSimDriverExactly) {
   // than the sim's single-bus count of the very same protocol exchange.
   EXPECT_GT(server.PaperMessages(), 0);
   EXPECT_GT(server.PaperSiteMessages(), 0);
+}
+
+TEST(ThreadedCoordinatorTest, DeadlineBarrierIsInertOnHealthyDeployment) {
+  // A generous barrier deadline plus the async outbound path must not
+  // change a single verdict on a healthy loopback deployment: the sim
+  // oracle parity bar applies unchanged.
+  const RunOutcome oracle = RunSimOracle();
+
+  const L2Norm norm;
+  CoordinatorServerConfig server_config;
+  server_config.num_sites = kSites;
+  server_config.runtime = ProtocolConfig();
+  server_config.barrier_deadline_ms = 5000;
+  server_config.send_queue_frames = 256;
+  CoordinatorServer server(norm, server_config);
+  ASSERT_TRUE(server.Listen());
+
+  std::atomic<bool> sites_ok{true};
+  std::vector<std::thread> sites;
+  sites.reserve(kSites);
+  for (int id = 0; id < kSites; ++id) {
+    sites.emplace_back(SiteThread, id, server.port(), &sites_ok);
+  }
+
+  ASSERT_TRUE(server.WaitForSites());
+  RunOutcome socket;
+  for (int cycle = 0; cycle <= kCycles; ++cycle) {
+    ASSERT_TRUE(server.RunCycle()) << "barrier timed out at cycle " << cycle;
+    socket.beliefs.push_back(server.BelievesAbove());
+  }
+  socket.estimate = server.Estimate();
+  socket.epoch = server.Epoch();
+  socket.full_syncs = server.FullSyncs();
+  socket.partial_resolutions = server.PartialResolutions();
+
+  const CoordinatorServer::Health health = server.GetHealth();
+  server.Shutdown();
+  for (std::thread& site : sites) site.join();
+  EXPECT_TRUE(sites_ok.load());
+
+  EXPECT_EQ(socket.beliefs, oracle.beliefs);
+  EXPECT_EQ(socket.estimate, oracle.estimate);
+  EXPECT_EQ(socket.epoch, oracle.epoch);
+  EXPECT_EQ(socket.full_syncs, oracle.full_syncs);
+  EXPECT_EQ(socket.partial_resolutions, oracle.partial_resolutions);
+  // Nobody straggled, so the deadline machinery must have stayed silent.
+  EXPECT_EQ(health.degraded_cycles, 0);
+  EXPECT_EQ(health.lag_quarantines, 0);
+  EXPECT_EQ(health.lagging_sites, 0);
+}
+
+TEST(ThreadedCoordinatorTest, StalledSiteDegradesBarrierThenRejoins) {
+  const L2Norm norm;
+  CoordinatorServerConfig server_config;
+  server_config.num_sites = kSites;
+  server_config.runtime = ProtocolConfig();
+  // Tight deadline, bounded async queue: a 200 ms stall spans several
+  // barrier deadlines, so the coordinator must degrade, quarantine the
+  // straggler, and keep every cycle moving.
+  server_config.barrier_deadline_ms = 50;
+  server_config.send_queue_frames = 256;
+  CoordinatorServer server(norm, server_config);
+  ASSERT_TRUE(server.Listen());
+
+  std::vector<std::unique_ptr<SiteClient>> clients;
+  for (int id = 0; id < kSites; ++id) {
+    SiteClientConfig config;
+    config.site_id = id;
+    config.num_sites = kSites;
+    config.port = server.port();
+    config.runtime = ProtocolConfig();
+    clients.push_back(std::make_unique<SiteClient>(norm, config));
+  }
+  std::atomic<bool> sites_ok{true};
+  std::vector<std::thread> sites;
+  for (int id = 0; id < kSites; ++id) {
+    sites.emplace_back([id, &clients, &sites_ok] {
+      SyntheticDriftGenerator generator(GeneratorConfig());
+      if (!clients[id]->Connect()) {
+        sites_ok.store(false);
+        return;
+      }
+      std::vector<Vector> locals;
+      long advanced = 0;
+      if (!clients[id]->Run([&](long cycle) {
+            while (advanced <= cycle) {
+              generator.Advance(&locals);
+              ++advanced;
+            }
+            return locals[id];
+          })) {
+        sites_ok.store(false);
+      }
+    });
+  }
+
+  ASSERT_TRUE(server.WaitForSites());
+  constexpr int kStallVictim = 2;
+  for (int cycle = 0; cycle <= kCycles; ++cycle) {
+    // Liveness is the bar: no cycle may block on the frozen site.
+    ASSERT_TRUE(server.RunCycle()) << "barrier timed out at cycle " << cycle;
+    // Pace the run so the victim's 200 ms nap ends with cycles to spare
+    // for the catch-up → rejoin → re-anchor leg.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (cycle == 5) clients[kStallVictim]->InjectProcessingStall(200);
+  }
+
+  const CoordinatorServer::Health health = server.GetHealth();
+  server.Shutdown();
+  for (std::thread& site : sites) site.join();
+  EXPECT_TRUE(sites_ok.load());
+
+  EXPECT_GT(health.degraded_cycles, 0);
+  EXPECT_GE(health.lag_quarantines, 1);
+  // The straggler caught up: verdict lifted, session still connected.
+  EXPECT_EQ(health.lagging_sites, 0);
+  EXPECT_EQ(health.connected_sites, kSites);
+  EXPECT_EQ(server.CyclesRun(), kCycles + 1);
 }
 
 TEST(ThreadedCoordinatorTest, ShutdownWithoutCyclesIsClean) {

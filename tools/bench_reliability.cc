@@ -173,7 +173,17 @@ void RunCell(const Cell& cell, bool first, sgm::TraceLog* trace,
 constexpr int kChaosSites = 4;
 constexpr long kChaosCycles = 200;
 constexpr int kChaosResets = 8;
-constexpr long kChaosSchemaVersion = 1;
+// Straggler injection (schema v2): one-shot processing stalls long enough
+// to span several barrier deadlines, driving the lagging verdict and the
+// quarantine → catch-up → rejoin loop whose latency this bench records.
+constexpr int kChaosStalls = 3;
+constexpr long kChaosStallMs = 120;
+constexpr long kChaosBarrierDeadlineMs = 25;
+constexpr std::size_t kChaosSendQueueFrames = 1024;
+// Pace cycles so a stalled site's recovery lands inside the run (an
+// unpaced loopback retires all 200 cycles before a 120 ms stall ends).
+constexpr long kChaosPaceMs = 2;
+constexpr long kChaosSchemaVersion = 2;
 
 sgm::RuntimeConfig ChaosNodeConfig(std::uint64_t seed,
                                    const sgm::SyntheticDriftGenerator& probe) {
@@ -198,11 +208,17 @@ sgm::SyntheticDriftConfig ChaosWorkloadConfig(std::uint64_t seed) {
 struct ChaosRun {
   bool ok = false;
   long resets_injected = 0;
+  long stalls_injected = 0;
   long site_rehellos = 0;
   long reconnects = 0;
   long paper_messages = 0;
   long full_syncs = 0;
+  long degraded_cycles = 0;
+  long lag_quarantines = 0;
   std::vector<double> reconnect_ms;  ///< injection → observed re-hello
+  /// Lagging verdict → lagging_sites back to 0, in coordinator cycles:
+  /// the bounded-staleness window a quarantined straggler lives through.
+  std::vector<double> quarantine_recovery_cycles;
   double wall_ms = 0.0;
 };
 
@@ -221,6 +237,10 @@ ChaosRun RunChaosDeployment(std::uint64_t seed, bool inject) {
   sgm::CoordinatorServerConfig server_config;
   server_config.num_sites = kChaosSites;
   server_config.runtime = ChaosNodeConfig(seed, probe);
+  // Straggler tolerance on for both twins: the fault-free baseline proves
+  // the deadline path is inert without stalls (0 degraded cycles).
+  server_config.barrier_deadline_ms = kChaosBarrierDeadlineMs;
+  server_config.send_queue_frames = kChaosSendQueueFrames;
   sgm::CoordinatorServer server(norm, server_config);
   if (!server.Listen()) return run;
 
@@ -268,8 +288,11 @@ ChaosRun RunChaosDeployment(std::uint64_t seed, bool inject) {
   long seen_rehellos = 0;
   bool awaiting = false;
   Clock::time_point injected_at{};
+  long seen_quarantines = 0;
+  long quarantined_at_cycle = -1;
   for (long cycle = 0; cycles_ok && cycle <= kChaosCycles; ++cycle) {
     cycles_ok = server.RunCycle();
+    std::this_thread::sleep_for(std::chrono::milliseconds(kChaosPaceMs));
     if (awaiting && server.SiteRehellos() > seen_rehellos) {
       run.reconnect_ms.push_back(
           std::chrono::duration<double, std::milli>(Clock::now() -
@@ -277,6 +300,16 @@ ChaosRun RunChaosDeployment(std::uint64_t seed, bool inject) {
               .count());
       seen_rehellos = server.SiteRehellos();
       awaiting = false;
+    }
+    const sgm::CoordinatorServer::Health health = server.GetHealth();
+    if (health.lag_quarantines > seen_quarantines) {
+      seen_quarantines = health.lag_quarantines;
+      quarantined_at_cycle = cycle;
+    }
+    if (quarantined_at_cycle >= 0 && health.lagging_sites == 0) {
+      run.quarantine_recovery_cycles.push_back(
+          static_cast<double>(cycle - quarantined_at_cycle));
+      quarantined_at_cycle = -1;
     }
     if (inject && !awaiting && run.resets_injected < kChaosResets &&
         cycle % 20 == 10) {
@@ -287,7 +320,20 @@ ChaosRun RunChaosDeployment(std::uint64_t seed, bool inject) {
       ++run.resets_injected;
       awaiting = true;
     }
+    // Stall a different site than the reset rotation is touching: the
+    // sleep spans several barrier deadlines, so the coordinator degrades,
+    // quarantines the straggler, and re-anchors it once it catches up.
+    if (inject && run.stalls_injected < kChaosStalls &&
+        cycle % 60 == 15) {
+      const int victim =
+          static_cast<int>(run.stalls_injected + 1) % kChaosSites;
+      clients[victim]->InjectProcessingStall(kChaosStallMs);
+      ++run.stalls_injected;
+    }
   }
+  const sgm::CoordinatorServer::Health final_health = server.GetHealth();
+  run.degraded_cycles = final_health.degraded_cycles;
+  run.lag_quarantines = final_health.lag_quarantines;
   server.Shutdown();
   for (std::thread& t : threads) t.join();
   run.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() -
@@ -331,20 +377,27 @@ int RunChaosMatrix() {
             : 0.0;
     std::printf(
         "%s  {\"seed\": %llu, \"sites\": %d, \"cycles\": %ld,"
-        " \"resets_injected\": %ld,\n"
+        " \"resets_injected\": %ld, \"stalls_injected\": %ld,\n"
         "   \"site_rehellos\": %ld, \"site_reconnects\": %ld,"
         " \"reconnect_ms_p50\": %.2f, \"reconnect_ms_p99\": %.2f,\n"
+        "   \"degraded_cycles\": %ld, \"baseline_degraded_cycles\": %ld,"
+        " \"lag_quarantines\": %ld,\n"
+        "   \"quarantine_recovery_cycles_p50\": %.1f,"
+        " \"quarantine_recovery_cycles_p99\": %.1f,\n"
         "   \"paper_messages\": %ld, \"baseline_paper_messages\": %ld,"
         " \"rejoin_message_overhead_ratio\": %.4f,\n"
         "   \"full_syncs\": %ld, \"baseline_full_syncs\": %ld,"
         " \"wall_time_ms\": %.1f}",
         first ? "" : ",\n", static_cast<unsigned long long>(seed),
         kChaosSites, kChaosCycles, faulted.resets_injected,
-        faulted.site_rehellos, faulted.reconnects,
+        faulted.stalls_injected, faulted.site_rehellos, faulted.reconnects,
         Percentile(faulted.reconnect_ms, 0.50),
-        Percentile(faulted.reconnect_ms, 0.99), faulted.paper_messages,
-        baseline.paper_messages, overhead, faulted.full_syncs,
-        baseline.full_syncs, faulted.wall_ms);
+        Percentile(faulted.reconnect_ms, 0.99), faulted.degraded_cycles,
+        baseline.degraded_cycles, faulted.lag_quarantines,
+        Percentile(faulted.quarantine_recovery_cycles, 0.50),
+        Percentile(faulted.quarantine_recovery_cycles, 0.99),
+        faulted.paper_messages, baseline.paper_messages, overhead,
+        faulted.full_syncs, baseline.full_syncs, faulted.wall_ms);
     first = false;
   }
   std::printf("\n]}\n");

@@ -30,6 +30,10 @@
 //                      recovers from the checkpoint store under injected
 //                      torn-tail storage faults and is invariant-checked
 //   --coord-down=N     max coordinator downtime in cycles      [4]
+//   --stall      per-cycle site-stall probability (straggler fault: the
+//                site goes silent without losing state, and the cycle's
+//                barrier deadline reports it lagging)           [0]
+//   --stall-cycles=N   max stall length in cycles               [5]
 //   --sabotage   collapse invariant tolerances to zero
 //   --audit      run the online accuracy auditor on every sim/runtime leg;
 //                a leg then also fails when the auditor sees an ε / ε_C
@@ -148,6 +152,11 @@ bool ParseArgs(int argc, char** argv, Flags* flags) {
     } else if (ParseFlag(argv[i], "--coord-down", &value) &&
                value != nullptr) {
       flags->config.max_coord_crash_cycles = std::atoi(value);
+    } else if (ParseFlag(argv[i], "--stall-cycles", &value) &&
+               value != nullptr) {
+      flags->config.max_stall_cycles = std::atoi(value);
+    } else if (ParseFlag(argv[i], "--stall", &value) && value != nullptr) {
+      flags->config.stall_probability = std::atof(value);
     } else if (ParseFlag(argv[i], "--sabotage", &value)) {
       flags->config.sabotage_tolerance = true;
     } else if (ParseFlag(argv[i], "--audit-epsilon", &value) &&

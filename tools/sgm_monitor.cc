@@ -36,6 +36,18 @@
 //   --connect    coordinator endpoint for --site ([host:]port; loopback)
 //   --prom-out   coordinator: rewrite this Prometheus textfile every cycle
 //   --series-out coordinator: per-cycle metric time series (JSONL)
+//   --barrier-deadline-ms  coordinator: soft per-cycle barrier deadline; on
+//                expiry the cycle closes over the responsive quorum and
+//                silent sites accrue deadline misses (consecutive misses
+//                quarantine a laggard as kLagging until it catches up; see
+//                docs/RUNTIME.md straggler runbook). 0 disables — behavior
+//                is then identical to pre-deadline builds          [0]
+//   --lagging-misses  coordinator: consecutive deadline misses before a
+//                site is quarantined (jittered per site)           [2]
+//   --send-queue-frames  coordinator: per-peer bounded outbound queue
+//                drained by a writer thread, so one stalled receiver can
+//                never block the accept/cycle threads; overflow drops the
+//                peer (dead-link path). 0 keeps synchronous writes [0]
 //   --checkpoint-dir  coordinator: durable snapshot+WAL directory
 //   --recover    coordinator: restore from --checkpoint-dir before serving
 //                (restart-from-checkpoint; see docs/RUNTIME.md runbook)
@@ -65,6 +77,12 @@
 //                or proc="site-<id>" plus the coordinator-issued trace
 //                epoch, ready for `trace_inspect --merge`.
 //
+// Both daemon roles shut down gracefully on SIGTERM/SIGINT: the
+// coordinator finishes the in-flight cycle, flushes a final checkpoint
+// (when --checkpoint-dir is set), broadcasts kShutdown to every site and
+// exits 0; a site daemon drains its session loop and exits 0 as if a
+// kShutdown frame had arrived.
+//
 // Site daemons exit 0 only on a clean kShutdown; each failure mode has a
 // distinct code (and a structured stderr line):
 //   3 coordinator EOF   4 connect give-up   5 recv error
@@ -75,6 +93,7 @@
 // and all site processes: sites regenerate their deterministic streams
 // locally, only protocol messages cross the wire.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -134,6 +153,12 @@ struct Flags {
   std::string connect;   ///< [host:]port of the coordinator for --site
   std::string prom_out;
   std::string series_out;
+  /// Coordinator straggler policy (see docs/RUNTIME.md): soft barrier
+  /// deadline per cycle (0 = disabled), quarantine threshold in consecutive
+  /// misses, and the per-peer bounded send queue (0 = synchronous writes).
+  long barrier_deadline_ms = 0;
+  int lagging_misses = 2;
+  std::size_t send_queue_frames = 0;
   std::string checkpoint_dir;  ///< coordinator durability directory
   bool recover = false;        ///< restore from checkpoint_dir on start
   SocketRetryConfig socket_retry;  ///< site dial policy (first + re-connect)
@@ -199,6 +224,13 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->prom_out = value;
     } else if (key == "series-out") {
       flags->series_out = value;
+    } else if (key == "barrier-deadline-ms") {
+      flags->barrier_deadline_ms = std::atol(value.c_str());
+    } else if (key == "lagging-misses") {
+      flags->lagging_misses = std::atoi(value.c_str());
+    } else if (key == "send-queue-frames") {
+      flags->send_queue_frames =
+          static_cast<std::size_t>(std::atol(value.c_str()));
     } else if (key == "checkpoint-dir") {
       flags->checkpoint_dir = value;
     } else if (key == "recover") {
@@ -327,6 +359,23 @@ std::unique_ptr<ProtocolBase> MakeProtocol(const Flags& flags,
 
 // ── Socket-runtime daemon modes ──────────────────────────────────────────
 
+/// SIGTERM/SIGINT → graceful shutdown. The handler is async-signal-safe:
+/// it flips a sig_atomic_t flag (the coordinator's cycle loop polls it
+/// between cycles) and, in the site role, calls the client's lock-free
+/// RequestStop() so the session loop drains out as if kShutdown arrived.
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+SiteClient* g_signal_client = nullptr;
+
+void HandleTerminationSignal(int /*signo*/) {
+  g_shutdown_requested = 1;
+  if (g_signal_client != nullptr) g_signal_client->RequestStop();
+}
+
+void InstallTerminationHandlers() {
+  std::signal(SIGTERM, HandleTerminationSignal);
+  std::signal(SIGINT, HandleTerminationSignal);
+}
+
 /// Shared deployment configuration both tiers derive from the same flags:
 /// any mismatch here would have the coordinator and sites monitoring
 /// different queries, so everything comes from the workload + flags only.
@@ -448,8 +497,12 @@ int RunCoordinatorDaemon(const Flags& flags) {
   CoordinatorServerConfig config;
   config.port = flags.listen_port;
   config.num_sites = source->num_sites();
+  config.barrier_deadline_ms = flags.barrier_deadline_ms;
+  config.send_queue_frames = flags.send_queue_frames;
   config.runtime = MakeRuntimeConfig(flags, *source);
   config.runtime.telemetry = &telemetry;
+  config.runtime.failure_detector.lagging_after_deadline_misses =
+      flags.lagging_misses;
 
   std::unique_ptr<FileCheckpointStore> store;
   if (!flags.checkpoint_dir.empty()) {
@@ -484,6 +537,7 @@ int RunCoordinatorDaemon(const Flags& flags) {
                [&server] { return server.HealthJson(); });
     if (!StartOpsEndpoints(&http, &telemetry, flags.http_port)) return 2;
   }
+  InstallTerminationHandlers();
   std::printf("coordinator listening on 127.0.0.1:%d, waiting for %d "
               "sites\n",
               server.port(), config.num_sites);
@@ -495,7 +549,12 @@ int RunCoordinatorDaemon(const Flags& flags) {
   // Cycle 0 is the initialization sync; then flags.cycles update cycles.
   // A recovered incarnation completes the original schedule: it resumes
   // from the restored cycle counter instead of running --cycles anew.
+  bool terminated_by_signal = false;
   for (long cycle = server.CyclesRun(); cycle <= flags.cycles; ++cycle) {
+    if (g_shutdown_requested) {
+      terminated_by_signal = true;
+      break;
+    }
     if (!server.RunCycle()) {
       std::fprintf(stderr, "cycle %ld: barrier timeout (site lost?)\n",
                    cycle);
@@ -508,6 +567,15 @@ int RunCoordinatorDaemon(const Flags& flags) {
       server.Shutdown();
       return 2;
     }
+  }
+  if (terminated_by_signal) {
+    // Graceful drain: persist the last completed cycle before the
+    // kShutdown broadcast, so a --recover restart resumes exactly here.
+    if (store != nullptr) server.FlushCheckpoint();
+    std::printf("coordinator: termination signal — final checkpoint %s, "
+                "shutting down after cycle %ld\n",
+                store != nullptr ? "flushed" : "skipped (no --checkpoint-dir)",
+                server.CyclesRun() - 1);
   }
   server.Shutdown();
 
@@ -576,6 +644,8 @@ int RunSiteDaemon(const Flags& flags) {
   config.max_reconnects = flags.max_reconnects;
 
   SiteClient client(*function, config);
+  g_signal_client = &client;
+  InstallTerminationHandlers();
   HttpExporter http;
   if (flags.http_port >= 0) {
     http.Route("/healthz", "application/json",
